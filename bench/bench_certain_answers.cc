@@ -1,0 +1,133 @@
+// Experiment E8 (EXPERIMENTS.md): reverse query answering (Theorem 6.5) —
+// certain-answer cost versus source size and query shape, and agreement
+// with the q(I)↓ baseline for extended-invertible mappings (Theorem 6.4).
+//
+// Series reported:
+//   BM_ReverseCertain_Identity/<facts>   — q(x,y) :- P(x,y) via round trip
+//   BM_ReverseCertain_Join/<facts>       — 2-way join query
+//   BM_ReverseCertain_Disjunctive/<diag> — branching recovery (SelfLoop)
+//   answers counter                      — |certain answers|
+
+#include "bench_util.h"
+
+namespace rdx {
+namespace {
+
+using bench_util::Claim;
+using bench_util::MustOk;
+
+Instance PathSource(std::size_t length, double null_ratio, uint64_t seed) {
+  Rng rng(seed);
+  return MustOk(
+      PathInstance(Relation::MustIntern("PathP", 2), length, null_ratio, &rng),
+      "path");
+}
+
+void BM_ReverseCertain_Identity(benchmark::State& state) {
+  scenarios::Scenario s = scenarios::PathSplit();
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- PathP(x, y)");
+  Instance source =
+      PathSource(static_cast<std::size_t>(state.range(0)), 0.1, 61);
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    TupleSet certain = MustOk(
+        ReverseCertainAnswers(s.mapping, *s.reverse, q, source), "certain");
+    answers = certain.size();
+    benchmark::DoNotOptimize(certain);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_ReverseCertain_Identity)->Arg(5)->Arg(20)->Arg(60);
+
+void BM_ReverseCertain_Join(benchmark::State& state) {
+  scenarios::Scenario s = scenarios::PathSplit();
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x, z) :- PathP(x, y) & PathP(y, z)");
+  Instance source =
+      PathSource(static_cast<std::size_t>(state.range(0)), 0.1, 62);
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    TupleSet certain = MustOk(
+        ReverseCertainAnswers(s.mapping, *s.reverse, q, source), "certain");
+    answers = certain.size();
+    benchmark::DoNotOptimize(certain);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_ReverseCertain_Join)->Arg(5)->Arg(20)->Arg(60);
+
+void BM_ReverseCertain_Disjunctive(benchmark::State& state) {
+  // The SelfLoop recovery branches per diagonal fact: certain answers
+  // must be intersected across 2^d possible worlds.
+  scenarios::Scenario s = scenarios::SelfLoop();
+  Relation t = Relation::MustIntern("SlT", 1);
+  Relation p = Relation::MustIntern("SlP", 2);
+  Instance source;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    source.AddFact(
+        Fact::MustMake(t, {Value::MakeConstant(StrCat("bt", i))}));
+  }
+  source.AddFact(Fact::MustMake(p, {Value::MakeConstant("bca"),
+                                    Value::MakeConstant("bcb")}));
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- SlP(x, y)");
+  std::size_t answers = 0;
+  for (auto _ : state) {
+    TupleSet certain = MustOk(
+        ReverseCertainAnswers(s.mapping, *s.reverse, q, source), "certain");
+    answers = certain.size();
+    benchmark::DoNotOptimize(certain);
+  }
+  state.counters["answers"] = static_cast<double>(answers);
+}
+BENCHMARK(BM_ReverseCertain_Disjunctive)->DenseRange(1, 7, 2);
+
+void BM_BaselineNullFree(benchmark::State& state) {
+  // The q(I)↓ yardstick on the original instance (no round trip).
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- PathP(x, y)");
+  Instance source =
+      PathSource(static_cast<std::size_t>(state.range(0)), 0.1, 63);
+  for (auto _ : state) {
+    TupleSet baseline = MustOk(NullFreeAnswers(q, source), "baseline");
+    benchmark::DoNotOptimize(baseline);
+  }
+}
+BENCHMARK(BM_BaselineNullFree)->Arg(5)->Arg(20)->Arg(60);
+
+void VerifyClaims() {
+  // Theorem 6.4: for the extended inverse of PathSplit, reverse certain
+  // answers equal q(I)↓.
+  scenarios::Scenario s = scenarios::PathSplit();
+  for (const char* qtext :
+       {"q(x, y) :- PathP(x, y)", "q(x, z) :- PathP(x, y) & PathP(y, z)"}) {
+    ConjunctiveQuery q = ConjunctiveQuery::MustParse(qtext);
+    Instance source = PathSource(12, 0.25, 64);
+    TupleSet certain = MustOk(
+        ReverseCertainAnswers(s.mapping, *s.reverse, q, source), "certain");
+    TupleSet baseline = MustOk(NullFreeAnswers(q, source), "baseline");
+    Claim(certain == baseline,
+          "E8: reverse certain answers equal q(I)v for the extended "
+          "inverse (Thm 6.4)");
+  }
+  // Disjunctive case: diagonal sources are uncertain, off-diagonals
+  // certain (Theorem 6.5 semantics).
+  scenarios::Scenario sl = scenarios::SelfLoop();
+  Instance mixed =
+      MustParseInstance("SlT(bva). SlP(bvb, bvc). SlP(bvd, bvd)");
+  ConjunctiveQuery qp = ConjunctiveQuery::MustParse("q(x, y) :- SlP(x, y)");
+  TupleSet certain =
+      MustOk(ReverseCertainAnswers(sl.mapping, *sl.reverse, qp, mixed),
+             "certain");
+  Claim(certain.size() == 1,
+        "E8: only the off-diagonal source fact is certain (Thm 6.5)");
+  ConjunctiveQuery qt = ConjunctiveQuery::MustParse("q(x) :- SlT(x)");
+  TupleSet t_certain =
+      MustOk(ReverseCertainAnswers(sl.mapping, *sl.reverse, qt, mixed),
+             "certain");
+  Claim(t_certain.empty(),
+        "E8: T-facts are never certain (a diagonal P could explain them)");
+}
+
+}  // namespace
+}  // namespace rdx
+
+RDX_BENCH_MAIN(rdx::VerifyClaims)

@@ -1,0 +1,105 @@
+// Experiment E3 (EXPERIMENTS.md): core computation cost versus size and
+// redundancy. The core is the canonical representative used whenever the
+// paper says "up to homomorphic equivalence" — e.g. to normalize reverse
+// exchange results.
+//
+// Series reported:
+//   BM_Core/<ground_facts>/<redundant_null_facts>
+//   core_size counter — |core(I)|
+
+#include "bench_util.h"
+
+namespace rdx {
+namespace {
+
+using bench_util::Claim;
+using bench_util::MustOk;
+
+Relation CoreRelation() { return Relation::MustIntern("BcE", 2); }
+
+// A ground backbone of `ground` edges plus `redundant` null edges, each of
+// which folds onto some backbone edge (so core(I) = backbone).
+Instance RedundantInstance(std::size_t ground, std::size_t redundant,
+                           uint64_t seed) {
+  Rng rng(seed);
+  Instance out;
+  std::vector<Value> nodes;
+  for (std::size_t i = 0; i <= ground; ++i) {
+    nodes.push_back(Value::MakeConstant(StrCat("bc", i)));
+  }
+  for (std::size_t i = 0; i < ground; ++i) {
+    out.AddFact(Fact::MustMake(CoreRelation(), {nodes[i], nodes[i + 1]}));
+  }
+  for (std::size_t i = 0; i < redundant; ++i) {
+    // Edge from a real node to a fresh null: folds onto the node's
+    // outgoing backbone edge.
+    std::size_t k = rng.Uniform(ground);
+    out.AddFact(
+        Fact::MustMake(CoreRelation(), {nodes[k], Value::FreshNull()}));
+  }
+  return out;
+}
+
+void BM_Core(benchmark::State& state) {
+  Instance input =
+      RedundantInstance(static_cast<std::size_t>(state.range(0)),
+                        static_cast<std::size_t>(state.range(1)), 31);
+  std::size_t core_size = 0;
+  for (auto _ : state) {
+    Instance core = MustOk(ComputeCore(input), "core");
+    core_size = core.size();
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["input_size"] = static_cast<double>(input.size());
+  state.counters["core_size"] = static_cast<double>(core_size);
+}
+BENCHMARK(BM_Core)
+    ->Args({10, 0})
+    ->Args({10, 5})
+    ->Args({10, 20})
+    ->Args({40, 10})
+    ->Args({40, 40})
+    ->Args({100, 25});
+
+void BM_IsCore(benchmark::State& state) {
+  // Checking core-ness of an already-minimal instance (all ground).
+  Instance input =
+      RedundantInstance(static_cast<std::size_t>(state.range(0)), 0, 32);
+  for (auto _ : state) {
+    bool is_core = MustOk(IsCore(input), "is_core");
+    benchmark::DoNotOptimize(is_core);
+  }
+}
+BENCHMARK(BM_IsCore)->Arg(10)->Arg(40)->Arg(100);
+
+void BM_CoreOfChaseResult(benchmark::State& state) {
+  // Cores of canonical universal solutions (the practically relevant
+  // case: chase outputs carry many fresh nulls).
+  scenarios::Scenario s = scenarios::PathSplit();
+  Rng rng(33);
+  Instance source = MustOk(
+      PathInstance(Relation::MustIntern("PathP", 2),
+                   static_cast<std::size_t>(state.range(0)), 0.0, &rng),
+      "path");
+  Instance chased = MustOk(ChaseMapping(s.mapping, source), "chase");
+  for (auto _ : state) {
+    Instance core = MustOk(ComputeCore(chased), "core");
+    benchmark::DoNotOptimize(core);
+  }
+}
+BENCHMARK(BM_CoreOfChaseResult)->Arg(5)->Arg(20)->Arg(50);
+
+void VerifyClaims() {
+  Instance input = RedundantInstance(20, 15, 7);
+  Instance core = MustOk(ComputeCore(input), "core");
+  Claim(core.size() == 20,
+        "E3: all redundant null edges fold away (core = ground backbone)");
+  Claim(MustOk(AreHomEquivalent(core, input), "equiv"),
+        "E3: core is homomorphically equivalent to the input");
+  Claim(MustOk(IsCore(core), "is_core"), "E3: the core is itself a core");
+}
+
+}  // namespace
+}  // namespace rdx
+
+RDX_BENCH_MAIN(rdx::VerifyClaims)

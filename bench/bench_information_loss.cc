@@ -1,0 +1,165 @@
+// Experiment E7 (EXPERIMENTS.md): exact information-loss measurement
+// (→_M \ →, Definition 4.5 / Corollary 4.14) over enumerated instance
+// universes, for the paper's scenario mappings — including Example 6.7's
+// strict less-lossy separation.
+//
+// Output: a loss table (printed before the timing runs) with one row per
+// scenario, plus timing series BM_MeasureLoss/<scenario index>.
+
+#include "bench_util.h"
+
+namespace rdx {
+namespace {
+
+using bench_util::Claim;
+using bench_util::MustOk;
+
+std::vector<Instance> UniverseFor(const SchemaMapping& m,
+                                  std::size_t constants, std::size_t nulls,
+                                  std::size_t max_facts) {
+  EnumerationUniverse universe;
+  universe.schema = m.source();
+  universe.domain = StandardDomain(constants, nulls);
+  universe.max_facts = max_facts;
+  return MustOk(EnumerateInstances(universe), "enumeration");
+}
+
+// The scenarios measured, in table order.
+std::vector<scenarios::Scenario> Measured() {
+  return {scenarios::CopyBinary(), scenarios::ComponentSplit(),
+          scenarios::Union(),      scenarios::SelfLoop(),
+          scenarios::Projection(), scenarios::TwoNullable()};
+}
+
+void PrintLossTable() {
+  std::printf(
+      "\nE7: information loss over enumerated universes "
+      "(2 constants, 1 null, <=2 facts)\n");
+  std::printf("%-18s %10s %10s %10s %10s %9s\n", "mapping", "pairs",
+              "arrow_M", "e(Id)", "loss", "density");
+  for (const scenarios::Scenario& s : Measured()) {
+    std::vector<Instance> family = UniverseFor(s.mapping, 2, 1, 2);
+    InformationLossReport report = MustOk(
+        MeasureInformationLoss(s.mapping, family, 2), "loss measurement");
+    std::printf("%-18s %10llu %10llu %10llu %10llu %9.4f\n",
+                s.name.c_str(),
+                static_cast<unsigned long long>(report.total_pairs),
+                static_cast<unsigned long long>(report.arrow_m_pairs),
+                static_cast<unsigned long long>(report.e_id_pairs),
+                static_cast<unsigned long long>(report.loss_pairs),
+                report.LossDensity());
+  }
+  std::printf("\n");
+
+  // Section 4.2 companion table: ground-framework loss (→_{M,g} \ Id) vs
+  // extended loss on the same universes. TwoNullable is the paper's
+  // separator: invertible (ground loss 0) yet not extended invertible.
+  std::printf("E7b: ground vs extended information loss\n");
+  std::printf("%-18s %12s %14s\n", "mapping", "ground loss",
+              "extended loss");
+  for (const scenarios::Scenario& s : Measured()) {
+    std::vector<Instance> family = UniverseFor(s.mapping, 2, 1, 2);
+    GroundInformationLossReport ground = MustOk(
+        MeasureGroundInformationLoss(s.mapping, family, 0), "ground loss");
+    InformationLossReport extended = MustOk(
+        MeasureInformationLoss(s.mapping, family, 0), "extended loss");
+    std::printf("%-18s %12llu %14llu\n", s.name.c_str(),
+                static_cast<unsigned long long>(ground.loss_pairs),
+                static_cast<unsigned long long>(extended.loss_pairs));
+  }
+  std::printf("\n");
+}
+
+void BM_MeasureGroundLoss(benchmark::State& state) {
+  scenarios::Scenario s = Measured()[static_cast<std::size_t>(state.range(0))];
+  std::vector<Instance> family = UniverseFor(s.mapping, 2, 1, 2);
+  for (auto _ : state) {
+    GroundInformationLossReport report = MustOk(
+        MeasureGroundInformationLoss(s.mapping, family, 0), "ground loss");
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_MeasureGroundLoss)->DenseRange(0, 5, 1);
+
+void BM_MeasureLoss(benchmark::State& state) {
+  scenarios::Scenario s = Measured()[static_cast<std::size_t>(state.range(0))];
+  std::vector<Instance> family = UniverseFor(s.mapping, 2, 1, 2);
+  for (auto _ : state) {
+    InformationLossReport report =
+        MustOk(MeasureInformationLoss(s.mapping, family, 0), "loss");
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["universe"] = static_cast<double>(family.size());
+  state.SetLabel(s.name);
+}
+BENCHMARK(BM_MeasureLoss)->DenseRange(0, 5, 1);
+
+void BM_CompareLossiness(benchmark::State& state) {
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  scenarios::Scenario split = scenarios::ComponentSplit();
+  std::vector<Instance> family = UniverseFor(copy.mapping, 2, 1, 2);
+  for (auto _ : state) {
+    LessLossyReport report = MustOk(
+        CompareLossiness(copy.mapping, split.mapping, family), "compare");
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_CompareLossiness);
+
+void VerifyClaims() {
+  PrintLossTable();
+
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  scenarios::Scenario split = scenarios::ComponentSplit();
+  scenarios::Scenario uni = scenarios::Union();
+
+  std::vector<Instance> copy_family = UniverseFor(copy.mapping, 2, 1, 2);
+  InformationLossReport copy_loss = MustOk(
+      MeasureInformationLoss(copy.mapping, copy_family, 0), "copy loss");
+  Claim(copy_loss.loss_pairs == 0,
+        "E7: the copy mapping has zero information loss (Example 6.7)");
+
+  InformationLossReport split_loss = MustOk(
+      MeasureInformationLoss(split.mapping, copy_family, 0), "split loss");
+  Claim(split_loss.loss_pairs > 0,
+        "E7: the component-split mapping has positive loss (Example 6.7)");
+
+  std::vector<Instance> union_family = UniverseFor(uni.mapping, 2, 1, 2);
+  InformationLossReport union_loss = MustOk(
+      MeasureInformationLoss(uni.mapping, union_family, 0), "union loss");
+  Claim(union_loss.loss_pairs > 0,
+        "E7: the union mapping has positive loss (Example 3.14)");
+
+  // Theorem 3.15(2), quantitatively: TwoNullable has zero GROUND loss but
+  // positive extended loss.
+  scenarios::Scenario tn = scenarios::TwoNullable();
+  std::vector<Instance> tn_family = UniverseFor(tn.mapping, 2, 1, 2);
+  GroundInformationLossReport tn_ground = MustOk(
+      MeasureGroundInformationLoss(tn.mapping, tn_family, 0), "tn ground");
+  InformationLossReport tn_extended = MustOk(
+      MeasureInformationLoss(tn.mapping, tn_family, 0), "tn extended");
+  Claim(tn_ground.loss_pairs == 0,
+        "E7b: TwoNullable has zero ground loss (it is invertible)");
+  Claim(tn_extended.loss_pairs > 0,
+        "E7b: TwoNullable has positive extended loss (Thm 3.15(2))");
+
+  // Example 6.7's strict separation with the paper's witness pair.
+  std::vector<Instance> family = copy_family;
+  family.push_back(MustParseInstance("LsP(c1, c0)"));
+  family.push_back(MustParseInstance("LsP(c1, c1). LsP(c0, c0)"));
+  LessLossyReport order = MustOk(
+      CompareLossiness(copy.mapping, split.mapping, family), "compare");
+  Claim(order.less_lossy, "E7: copy is less lossy than split (Def 6.6)");
+  Claim(order.StrictlyLessLossy(),
+        "E7: strictly less lossy — witness pair exists (Example 6.7)");
+  Claim(MustOk(LessLossyViaRecoveries(copy.mapping, *copy.reverse,
+                                      split.mapping, *split.reverse, family),
+               "thm 6.8"),
+        "E7: Theorem 6.8's recovery-based criterion agrees");
+}
+
+}  // namespace
+}  // namespace rdx
+
+RDX_BENCH_MAIN(rdx::VerifyClaims)

@@ -1,0 +1,49 @@
+#ifndef RDX_BENCH_BENCH_UTIL_H_
+#define RDX_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "rdx.h"
+
+namespace rdx {
+namespace bench_util {
+
+/// Unwraps a Result<T> inside a benchmark, aborting loudly on error (a
+/// failed benchmark must not silently measure garbage).
+template <typename T>
+T MustOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "benchmark setup failed (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(result);
+}
+
+/// Prints a PASS/FAIL line for a qualitative claim the benchmark
+/// re-verifies on every run (EXPERIMENTS.md records these). A failure
+/// aborts: the numbers below would describe a broken system.
+inline void Claim(bool ok, const char* description) {
+  std::printf("[claim] %-68s %s\n", description, ok ? "PASS" : "FAIL");
+  if (!ok) std::abort();
+}
+
+/// Shared main body: claims first (deterministic), then the timing runs.
+#define RDX_BENCH_MAIN(VerifyClaimsFn)                       \
+  int main(int argc, char** argv) {                          \
+    VerifyClaimsFn();                                        \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }
+
+}  // namespace bench_util
+}  // namespace rdx
+
+#endif  // RDX_BENCH_BENCH_UTIL_H_

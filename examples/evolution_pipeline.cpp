@@ -1,0 +1,117 @@
+// Schema evolution with BOTH fundamental operators (Section 1: "when
+// combined together, [composition and inverse] attain even greater power
+// since ... they can be used to analyze schema evolution").
+//
+// A Person(id, name, city) database evolves twice:
+//   v1 --M12--> v2: vertical split into PersonName / PersonCity
+//   v2 --M23--> v3: re-joined into Profile(id, name, city)
+//
+// We (1) compose the migrations syntactically into a single v1→v3 mapping,
+// (2) exchange the v1 data along it, (3) synthesize a maximum extended
+// recovery of the composition with the quasi-inverse algorithm, and
+// (4) answer v1-era queries from the v3 database alone.
+//
+// The composition makes the information flow visible: because v2 split the
+// name and city columns, the composed tgd re-joins them only through the
+// shared id — the round trip can invent mixed profiles, and the certain
+// answers show exactly which v1 facts survived the double migration.
+//
+// Build & run:  ./build/examples/evolution_pipeline
+
+#include <cstdio>
+
+#include "rdx.h"
+
+int main() {
+  using namespace rdx;
+
+  Schema v1 = Schema::MustMake({{"Person", 3}});
+  Schema v2 = Schema::MustMake({{"PersonName", 2}, {"PersonCity", 2}});
+  Schema v3 = Schema::MustMake({{"Profile", 3}});
+
+  SchemaMapping m12 = SchemaMapping::MustParse(
+      v1, v2,
+      "Person(id, n, c) -> PersonName(id, n); "
+      "Person(id, n, c) -> PersonCity(id, c)");
+  SchemaMapping m23 = SchemaMapping::MustParse(
+      v2, v3,
+      "PersonName(id, n) & PersonCity(id, c) -> Profile(id, n, c)");
+
+  std::printf("M12 (v1 -> v2):\n%s\n\n", m12.ToString().c_str());
+  std::printf("M23 (v2 -> v3):\n%s\n\n", m23.ToString().c_str());
+
+  // (1) Compose.
+  Result<SchemaMapping> m13 = ComposeFullWithTgds(m12, m23);
+  if (!m13.ok()) {
+    std::fprintf(stderr, "compose failed: %s\n",
+                 m13.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("M13 = M12 o M23 (composition, Section 1):\n%s\n\n",
+              m13->ToString().c_str());
+
+  // (2) Exchange v1 data to v3 directly along the composition.
+  Instance v1_db = MustParseInstance(
+      "Person(p1, ada, london). Person(p2, erwin, vienna). "
+      "Person(p3, kurt, vienna)");
+  std::printf("v1 database: %s\n", v1_db.ToString().c_str());
+  Result<Instance> v3_db = ChaseMapping(*m13, v1_db);
+  if (!v3_db.ok()) {
+    std::fprintf(stderr, "exchange failed: %s\n",
+                 v3_db.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("v3 database: %s\n\n", v3_db->ToString().c_str());
+
+  // Sanity: composing then chasing equals chasing twice.
+  Result<Instance> mid = ChaseMapping(m12, v1_db);
+  Result<Instance> two_hop = ChaseMapping(m23, *mid);
+  Result<bool> agree = AreHomEquivalent(*v3_db, *two_hop);
+  std::printf("direct exchange == two-hop exchange (up to homs): %s\n\n",
+              (agree.ok() && *agree) ? "yes" : "NO");
+
+  // (3) Invert the composed mapping.
+  Result<SchemaMapping> recovery = QuasiInverse(*m13);
+  if (!recovery.ok()) {
+    std::fprintf(stderr, "quasi-inverse failed: %s\n",
+                 recovery.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("maximum extended recovery of M13 (Theorem 5.1):\n%s\n\n",
+              recovery->ToString().c_str());
+
+  // (4) v1-era queries from v3 data only.
+  struct Report {
+    const char* label;
+    const char* query;
+  };
+  const Report reports[] = {
+      {"who lives where", "q(id, c) :- Person(id, n, c)"},
+      {"names on file", "q(id, n) :- Person(id, n, c)"},
+      {"full v1 rows", "q(id, n, c) :- Person(id, n, c)"},
+      {"Viennese ids", "q(id) :- Person(id, n, 'vienna')"},
+  };
+  std::printf("v1 queries answered from v3 (reverse certain answers):\n");
+  for (const Report& report : reports) {
+    ConjunctiveQuery q = ConjunctiveQuery::MustParse(report.query);
+    Result<TupleSet> certain =
+        ReverseCertainAnswersFromTarget(*recovery, q, *v3_db);
+    Result<TupleSet> truth = NullFreeAnswers(q, v1_db);
+    if (!certain.ok() || !truth.ok()) {
+      std::fprintf(stderr, "query failed\n");
+      return 1;
+    }
+    std::printf("  %-16s %s%s\n", report.label,
+                TupleSetToString(*certain).c_str(),
+                *certain == *truth ? "   (= ground truth)"
+                                   : "   (lost vs ground truth)");
+  }
+  std::printf(
+      "\nThe per-column reports survive the double migration exactly, but\n"
+      "the full rows do not: s-t tgds cannot declare id a key, so the\n"
+      "recovery must admit worlds where names and cities recombine —\n"
+      "visible in the composed tgd itself, which joins two Person atoms\n"
+      "on id. This is the information loss of §4 made concrete by the\n"
+      "composition operator.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Comparing candidate schema mappings by information loss (Section 6.3).
+//
+// Mapping-design tools (Clio-style) generate schema mappings from visual
+// specifications, and a single visual spec often admits several logical
+// interpretations. Example 6.7: arrows from both components of P(x,y) to
+// the components of P'(x,y) can mean
+//
+//   M1 (copy):             P(x,y) -> P'(x,y)
+//   M2 (component split):  P(x,y) -> ∃z P'(x,z)   and   P(x,y) -> ∃u P'(u,y)
+//
+// The paper's notion of information loss (Definition 4.5, →_M \ →) ranks
+// them: M1 is strictly less lossy, which is why real tools emit M1. This
+// example measures the loss of both interpretations exactly over an
+// enumerated universe of small source instances.
+//
+// Build & run:  ./build/examples/mapping_comparison
+
+#include <cstdio>
+
+#include "rdx.h"
+
+int main() {
+  using namespace rdx;
+
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  scenarios::Scenario split = scenarios::ComponentSplit();
+
+  std::printf("interpretation M1 (copy):\n%s\n\n",
+              copy.mapping.ToString().c_str());
+  std::printf("interpretation M2 (component split):\n%s\n\n",
+              split.mapping.ToString().c_str());
+
+  // Universe: all instances with ≤2 facts over 2 constants and 1 null.
+  EnumerationUniverse universe;
+  universe.schema = copy.mapping.source();
+  universe.domain = StandardDomain(2, 1);
+  universe.max_facts = 2;
+  Result<std::vector<Instance>> family = EnumerateInstances(universe);
+  if (!family.ok()) {
+    std::fprintf(stderr, "enumeration failed: %s\n",
+                 family.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("universe: %zu instances (≤%zu facts, domain of %zu values)\n\n",
+              family->size(), universe.max_facts, universe.domain.size());
+
+  // Exact information loss of each interpretation.
+  for (const auto* s : {&copy, &split}) {
+    Result<InformationLossReport> report =
+        MeasureInformationLoss(s->mapping, *family, /*max_witnesses=*/3);
+    if (!report.ok()) {
+      std::fprintf(stderr, "loss measurement failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s:\n", s->name.c_str());
+    std::printf("  |family^2|            = %llu\n",
+                static_cast<unsigned long long>(report->total_pairs));
+    std::printf("  |arrow_M pairs|       = %llu\n",
+                static_cast<unsigned long long>(report->arrow_m_pairs));
+    std::printf("  |e(Id) pairs|         = %llu\n",
+                static_cast<unsigned long long>(report->e_id_pairs));
+    std::printf("  |loss = arrow_M \\ ->| = %llu  (density %.4f)\n",
+                static_cast<unsigned long long>(report->loss_pairs),
+                report->LossDensity());
+    for (const PairCounterexample& w : report->witnesses) {
+      std::printf("    lost pair: %s  ~_M  %s\n", w.i1.ToString().c_str(),
+                  w.i2.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+
+  // The ordering itself (Definition 6.6), both directly and via the
+  // shared maximum extended recovery (Theorem 6.8).
+  Result<LessLossyReport> direct =
+      CompareLossiness(copy.mapping, split.mapping, *family);
+  if (!direct.ok()) {
+    std::fprintf(stderr, "comparison failed: %s\n",
+                 direct.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("M1 less lossy than M2:          %s\n",
+              direct->less_lossy ? "yes" : "no");
+  std::printf("strictly less lossy:            %s\n",
+              direct->StrictlyLessLossy() ? "yes" : "no");
+  if (direct->strict_witness.has_value()) {
+    std::printf("strictness witness:             (%s, %s)\n",
+                direct->strict_witness->i1.ToString().c_str(),
+                direct->strict_witness->i2.ToString().c_str());
+  }
+
+  Result<bool> via_recoveries = LessLossyViaRecoveries(
+      copy.mapping, *copy.reverse, split.mapping, *split.reverse, *family);
+  std::printf("Theorem 6.8 criterion agrees:   %s\n",
+              (via_recoveries.ok() && *via_recoveries) ? "yes" : "no");
+
+  std::printf(
+      "\nVerdict: emit M1 — it has zero information loss, while M2\n"
+      "forgets which first components were paired with which second\n"
+      "components (exactly the behaviour of the mapping-generation\n"
+      "algorithms the paper cites).\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Schema evolution with reverse query answering (Section 6.2).
+//
+// A customer database is migrated to an evolved schema: the combined
+// Customer(id, city, plan) table is split into Location(id, city) and
+// Subscription(id, plan), and a derived Contact(id) roster is kept. After
+// the migration the OLD database is decommissioned — but legacy reports
+// still issue queries against the OLD schema.
+//
+// The paper's recipe: compute a maximum extended recovery M' of the
+// migration mapping M (here via the quasi-inverse algorithm, Theorem 5.1),
+// reverse-chase the migrated data, and take certain answers across the
+// resulting possible worlds (Theorem 6.5).
+//
+// Build & run:  ./build/examples/schema_evolution
+
+#include <cstdio>
+
+#include "rdx.h"
+
+namespace {
+
+void Show(const char* label, const rdx::TupleSet& tuples) {
+  std::printf("%-44s %s\n", label, rdx::TupleSetToString(tuples).c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace rdx;
+
+  Schema old_schema = Schema::MustMake({{"Customer", 3}});
+  Schema new_schema =
+      Schema::MustMake({{"Location", 2}, {"Subscription", 2}, {"Contact", 1}});
+
+  // The migration mapping: full s-t tgds, so the quasi-inverse algorithm
+  // applies.
+  SchemaMapping migration = SchemaMapping::MustParse(
+      old_schema, new_schema,
+      "Customer(id, city, plan) -> Location(id, city) & "
+      "Subscription(id, plan); "
+      "Customer(id, city, plan) -> Contact(id)");
+
+  // The old database, about to disappear.
+  Instance old_db = MustParseInstance(
+      "Customer(c1, berlin, basic). "
+      "Customer(c2, tokyo, premium). "
+      "Customer(c3, berlin, premium)");
+  std::printf("old database:\n  %s\n\n", old_db.ToString().c_str());
+
+  // Migrate (forward chase) and decommission the source.
+  Result<Instance> migrated = ChaseMapping(migration, old_db);
+  if (!migrated.ok()) {
+    std::fprintf(stderr, "migration failed: %s\n",
+                 migrated.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("migrated database:\n  %s\n\n", migrated->ToString().c_str());
+
+  // Compute a maximum extended recovery of the migration (Theorem 5.1).
+  Result<SchemaMapping> recovery = QuasiInverse(migration);
+  if (!recovery.ok()) {
+    std::fprintf(stderr, "quasi-inverse failed: %s\n",
+                 recovery.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("maximum extended recovery M' (quasi-inverse output):\n%s\n\n",
+              recovery->ToString().c_str());
+
+  // Legacy queries against the OLD schema, answered from the migrated
+  // data alone (ReverseCertainAnswersFromTarget: the old instance is
+  // gone).
+  struct LegacyReport {
+    const char* description;
+    const char* query;
+  };
+  const LegacyReport reports[] = {
+      {"customers and their cities", "q(id, city) :- Customer(id, city, p)"},
+      {"customers on premium", "q(id) :- Customer(id, c, 'premium')"},
+      {"city/plan combinations", "q(city, plan) :- Customer(i, city, plan)"},
+      {"full rows (joins both halves)",
+       "q(id, city, plan) :- Customer(id, city, plan)"},
+  };
+
+  std::printf("legacy reports via reverse certain answers:\n");
+  for (const LegacyReport& report : reports) {
+    ConjunctiveQuery q = ConjunctiveQuery::MustParse(report.query);
+    Result<TupleSet> certain =
+        ReverseCertainAnswersFromTarget(*recovery, q, *migrated);
+    if (!certain.ok()) {
+      std::fprintf(stderr, "reverse query failed: %s\n",
+                   certain.status().ToString().c_str());
+      return 1;
+    }
+    // Ground truth, for comparison (we secretly still have the old DB).
+    Result<TupleSet> truth = NullFreeAnswers(q, old_db);
+    Show(report.description, *certain);
+    bool exact = *certain == *truth;
+    std::printf("%-44s %s\n", "  matches ground truth?",
+                exact ? "yes" : "no");
+  }
+
+  std::printf(
+      "\nNote the asymmetry: the per-column reports (id-city, id-plan)\n"
+      "are answered exactly, but the row-reassembling join is NOT\n"
+      "certain — s-t tgds cannot state that id is a key, so the reverse\n"
+      "exchange must allow worlds where the halves recombine\n"
+      "differently. This is precisely the information loss →_M \\ → of\n"
+      "Definition 4.5; run ./build/examples/mapping_comparison to\n"
+      "quantify it.\n\n");
+
+  // Epilogue: keys to the rescue. Declaring id a key of the OLD schema
+  // (two egds) and chasing the recovered world with them re-joins the
+  // split halves — the classical egd chase (reference [8]) recovers what
+  // the tgd-only framework provably loses.
+  std::printf("epilogue — repairing the recovered world with key egds:\n");
+  Result<std::vector<Instance>> worlds =
+      DisjunctiveChaseMapping(*recovery, *migrated);
+  if (!worlds.ok() || worlds->size() != 1) {
+    std::fprintf(stderr, "unexpected reverse-chase result\n");
+    return 1;
+  }
+  std::vector<Egd> keys = {
+      Egd::MustParse(
+          "Customer(id, c1, p1) & Customer(id, c2, p2) -> c1 = c2"),
+      Egd::MustParse(
+          "Customer(id, c1, p1) & Customer(id, c2, p2) -> p1 = p2"),
+  };
+  Result<EgdChaseResult> repaired =
+      ChaseWithEgds((*worlds)[0], {}, keys);
+  if (!repaired.ok() || repaired->failed) {
+    std::fprintf(stderr, "egd chase failed\n");
+    return 1;
+  }
+  std::printf("  recovered world:  %s\n", (*worlds)[0].ToString().c_str());
+  std::printf("  after key egds:   %s\n",
+              repaired->combined.ToString().c_str());
+  ConjunctiveQuery full_rows = ConjunctiveQuery::MustParse(
+      "q(id, city, plan) :- Customer(id, city, plan)");
+  Result<TupleSet> rows = NullFreeAnswers(full_rows, repaired->combined);
+  Result<TupleSet> truth = NullFreeAnswers(full_rows, old_db);
+  std::printf("  full rows now:    %s%s\n",
+              TupleSetToString(*rows).c_str(),
+              (*rows == *truth) ? "   (= ground truth)" : "");
+  return 0;
+}

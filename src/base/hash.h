@@ -1,0 +1,30 @@
+#ifndef RDX_BASE_HASH_H_
+#define RDX_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rdx {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit variant).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a range of hashable elements into a single value.
+template <typename It>
+std::size_t HashRange(It begin, It end) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  using T = typename std::iterator_traits<It>::value_type;
+  std::hash<T> hasher;
+  for (It it = begin; it != end; ++it) {
+    HashCombine(seed, hasher(*it));
+  }
+  return seed;
+}
+
+}  // namespace rdx
+
+#endif  // RDX_BASE_HASH_H_

@@ -1,0 +1,43 @@
+#ifndef RDX_BASE_RNG_H_
+#define RDX_BASE_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+
+namespace rdx {
+
+/// Deterministic seeded RNG used by all generators, so every workload and
+/// benchmark run is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    assert(bound > 0);
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rdx
+
+#endif  // RDX_BASE_RNG_H_

@@ -1,0 +1,130 @@
+#ifndef RDX_BASE_STATUS_H_
+#define RDX_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rdx {
+
+/// Error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow-style status object: either OK, or an error code plus message.
+/// All fallible public APIs in rdx return Status or Result<T>; no
+/// exceptions cross the library boundary.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;` and `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define RDX_RETURN_IF_ERROR(expr)           \
+  do {                                      \
+    ::rdx::Status _rdx_status = (expr);     \
+    if (!_rdx_status.ok()) return _rdx_status; \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// binds the value to `lhs`.
+#define RDX_ASSIGN_OR_RETURN(lhs, rexpr)                  \
+  RDX_ASSIGN_OR_RETURN_IMPL_(                             \
+      RDX_STATUS_CONCAT_(_rdx_result, __LINE__), lhs, rexpr)
+
+#define RDX_STATUS_CONCAT_INNER_(x, y) x##y
+#define RDX_STATUS_CONCAT_(x, y) RDX_STATUS_CONCAT_INNER_(x, y)
+#define RDX_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                               \
+  if (!result.ok()) return result.status();            \
+  lhs = std::move(result).value()
+
+}  // namespace rdx
+
+#endif  // RDX_BASE_STATUS_H_

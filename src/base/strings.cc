@@ -1,0 +1,28 @@
+#include "base/strings.h"
+
+#include <cctype>
+
+namespace rdx {
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& p : parts) {
+    if (!first) os << sep;
+    first = false;
+    os << p;
+  }
+  return os.str();
+}
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rdx

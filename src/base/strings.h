@@ -1,0 +1,61 @@
+#ifndef RDX_BASE_STRINGS_H_
+#define RDX_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdx {
+
+namespace internal_strings {
+
+inline void AppendPiece(std::ostringstream& os, std::string_view v) {
+  os << v;
+}
+inline void AppendPiece(std::ostringstream& os, const char* v) { os << v; }
+inline void AppendPiece(std::ostringstream& os, const std::string& v) {
+  os << v;
+}
+inline void AppendPiece(std::ostringstream& os, char v) { os << v; }
+inline void AppendPiece(std::ostringstream& os, bool v) {
+  os << (v ? "true" : "false");
+}
+template <typename T>
+inline void AppendPiece(std::ostringstream& os, const T& v) {
+  os << v;
+}
+
+}  // namespace internal_strings
+
+/// Concatenates all arguments into a string using stream formatting.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (internal_strings::AppendPiece(os, args), ...);
+  return os.str();
+}
+
+/// Joins the elements of `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Joins `items` with `sep`, rendering each item with `fn(item)`.
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << fn(item);
+  }
+  return os.str();
+}
+
+/// True if `s` consists only of [A-Za-z0-9_] and is non-empty.
+bool IsIdentifier(std::string_view s);
+
+}  // namespace rdx
+
+#endif  // RDX_BASE_STRINGS_H_

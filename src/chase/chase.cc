@@ -1,0 +1,249 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "base/strings.h"
+#include "core/fact_index.h"
+
+namespace rdx {
+namespace {
+
+// True if some disjunct of `dep` is satisfiable in `instance` under an
+// extension of `match` (existential variables free).
+Result<bool> HeadSatisfied(const Instance& instance, const FactIndex& index,
+                           const Dependency& dep, const Assignment& match,
+                           const MatchOptions& options) {
+  for (const auto& disjunct : dep.disjuncts()) {
+    bool satisfied = false;
+    Status status = EnumerateMatches(
+        disjunct, instance, index,
+        [&](const Assignment&) {
+          satisfied = true;
+          return false;  // one witness suffices
+        },
+        options, match);
+    RDX_RETURN_IF_ERROR(status);
+    if (satisfied) return true;
+  }
+  return false;
+}
+
+// Grounds `disjunct` under `match`, instantiating existential variables
+// with globally fresh nulls, and adds the facts to `instance`. Newly added
+// facts are appended to `added_facts`.
+Result<uint64_t> FireDisjunct(const std::vector<Atom>& disjunct,
+                              const Assignment& match, Instance* instance,
+                              std::vector<Fact>* added_facts) {
+  Assignment extended = match;
+  for (const Atom& a : disjunct) {
+    for (Variable v : a.Vars()) {
+      if (extended.count(v) == 0) {
+        extended.emplace(v, Value::FreshNull());
+      }
+    }
+  }
+  uint64_t added = 0;
+  for (const Atom& a : disjunct) {
+    RDX_ASSIGN_OR_RETURN(Fact f, a.Ground(extended));
+    if (instance->AddFact(f)) {
+      ++added;
+      added_facts->push_back(std::move(f));
+    }
+  }
+  return added;
+}
+
+struct Trigger {
+  const Dependency* dep;
+  Assignment match;
+};
+
+// Canonical key for trigger dedup under semi-naive enumeration (the same
+// match can be discovered from several delta facts).
+std::vector<uint64_t> TriggerKey(const Dependency* dep,
+                                 const Assignment& match) {
+  std::vector<uint64_t> key;
+  key.reserve(match.size() * 2 + 1);
+  key.push_back(reinterpret_cast<uintptr_t>(dep));
+  std::vector<std::pair<uint32_t, uint64_t>> entries;
+  entries.reserve(match.size());
+  for (const auto& [var, value] : match) {
+    entries.emplace_back(var.id(),
+                         (static_cast<uint64_t>(value.kind()) << 32) |
+                             value.id());
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [var_id, packed] : entries) {
+    key.push_back(var_id);
+    key.push_back(packed);
+  }
+  return key;
+}
+
+// Attempts to pre-bind `atom`'s variables so that it grounds to `fact`
+// (the semi-naive anchor). Returns nullopt on mismatch.
+std::optional<Assignment> AnchorSeed(const Atom& atom, const Fact& fact) {
+  Assignment seed;
+  const std::vector<Term>& terms = atom.terms();
+  const std::vector<Value>& args = fact.args();
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i].IsConstant()) {
+      if (!(terms[i].constant() == args[i])) return std::nullopt;
+      continue;
+    }
+    auto it = seed.find(terms[i].variable());
+    if (it != seed.end()) {
+      if (!(it->second == args[i])) return std::nullopt;
+    } else {
+      seed.emplace(terms[i].variable(), args[i]);
+    }
+  }
+  return seed;
+}
+
+}  // namespace
+
+Result<ChaseResult> Chase(const Instance& input,
+                          const std::vector<Dependency>& dependencies,
+                          const ChaseOptions& options) {
+  for (const Dependency& dep : dependencies) {
+    if (dep.HasDisjunction()) {
+      return Status::InvalidArgument(
+          StrCat("Chase does not support disjunctive dependencies (use "
+                 "DisjunctiveChase): ",
+                 dep.ToString()));
+    }
+  }
+
+  ChaseResult result;
+  result.combined = input;
+  uint64_t total_added = 0;
+  std::vector<Fact> delta;  // facts added in the previous round
+
+  for (uint64_t round = 0; round < options.max_rounds; ++round) {
+    // Snapshot this round's triggers against a fixed index. The first
+    // round enumerates everything; later rounds (semi-naive) only matches
+    // anchored at a delta fact.
+    FactIndex index(result.combined);
+    std::vector<Trigger> triggers;
+    const bool semi_naive = options.use_semi_naive && round > 0;
+    if (!semi_naive) {
+      for (const Dependency& dep : dependencies) {
+        Status status = EnumerateMatches(
+            dep.body(), result.combined, index,
+            [&](const Assignment& match) {
+              triggers.push_back(Trigger{&dep, match});
+              return true;
+            },
+            options.match_options);
+        RDX_RETURN_IF_ERROR(status);
+      }
+    } else {
+      std::set<std::vector<uint64_t>> seen;
+      for (const Dependency& dep : dependencies) {
+        const std::vector<Atom> body = dep.RelationalBody();
+        for (std::size_t ai = 0; ai < body.size(); ++ai) {
+          for (const Fact& f : delta) {
+            if (!(f.relation() == body[ai].relation())) continue;
+            std::optional<Assignment> seed = AnchorSeed(body[ai], f);
+            if (!seed.has_value()) continue;
+            Status status = EnumerateMatches(
+                dep.body(), result.combined, index,
+                [&](const Assignment& match) {
+                  if (seen.insert(TriggerKey(&dep, match)).second) {
+                    triggers.push_back(Trigger{&dep, match});
+                  }
+                  return true;
+                },
+                options.match_options, *seed);
+            RDX_RETURN_IF_ERROR(status);
+          }
+        }
+      }
+    }
+
+    uint64_t added_this_round = 0;
+    std::vector<Fact> next_delta;
+    // The round's index doubles as the live index during firing: fact
+    // storage is append-stable, so newly fired facts are folded in
+    // incrementally (standard-chase semantics — earlier fires discharge
+    // later triggers).
+    std::size_t indexed_facts = result.combined.size();
+    for (const Trigger& trigger : triggers) {
+      RDX_ASSIGN_OR_RETURN(
+          bool satisfied,
+          HeadSatisfied(result.combined, index, *trigger.dep, trigger.match,
+                        options.match_options));
+      if (satisfied) continue;
+      RDX_ASSIGN_OR_RETURN(
+          uint64_t added,
+          FireDisjunct(trigger.dep->disjuncts()[0], trigger.match,
+                       &result.combined, &next_delta));
+      for (std::size_t i = indexed_facts; i < result.combined.size(); ++i) {
+        index.Add(&result.combined.facts()[i]);
+      }
+      indexed_facts = result.combined.size();
+      added_this_round += added;
+      total_added += added;
+      if (total_added > options.max_new_facts) {
+        return Status::ResourceExhausted(
+            StrCat("chase exceeded max_new_facts=", options.max_new_facts));
+      }
+    }
+
+    result.rounds = round + 1;
+    if (added_this_round == 0) {
+      // Fixpoint reached: compute the added-facts view and return.
+      for (const Fact& f : result.combined.facts()) {
+        if (!input.Contains(f)) result.added.AddFact(f);
+      }
+      return result;
+    }
+    delta = std::move(next_delta);
+  }
+  return Status::ResourceExhausted(
+      StrCat("chase did not terminate within max_rounds=",
+             options.max_rounds));
+}
+
+Result<bool> Satisfies(const Instance& instance, const Dependency& dependency,
+                       const MatchOptions& options) {
+  FactIndex index(instance);
+  bool all_satisfied = true;
+  Status inner_error = Status::OK();
+  Status status = EnumerateMatches(
+      dependency.body(), instance, index,
+      [&](const Assignment& match) {
+        Result<bool> head =
+            HeadSatisfied(instance, index, dependency, match, options);
+        if (!head.ok()) {
+          inner_error = head.status();
+          all_satisfied = false;
+          return false;
+        }
+        if (!*head) {
+          all_satisfied = false;
+          return false;
+        }
+        return true;
+      },
+      options);
+  RDX_RETURN_IF_ERROR(status);
+  RDX_RETURN_IF_ERROR(inner_error);
+  return all_satisfied;
+}
+
+Result<bool> SatisfiesAll(const Instance& instance,
+                          const std::vector<Dependency>& dependencies,
+                          const MatchOptions& options) {
+  for (const Dependency& dep : dependencies) {
+    RDX_ASSIGN_OR_RETURN(bool sat, Satisfies(instance, dep, options));
+    if (!sat) return false;
+  }
+  return true;
+}
+
+}  // namespace rdx

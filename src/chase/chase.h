@@ -1,0 +1,74 @@
+#ifndef RDX_CHASE_CHASE_H_
+#define RDX_CHASE_CHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "core/dependency.h"
+#include "core/instance.h"
+#include "core/match.h"
+
+namespace rdx {
+
+struct ChaseOptions {
+  /// Maximum number of fixpoint rounds before giving up with
+  /// ResourceExhausted. Chasing with cross-schema tgds (s-t or
+  /// target-to-source) terminates in two rounds; the bound only matters for
+  /// same-schema dependency sets, which may not terminate.
+  uint64_t max_rounds = 1000;
+
+  /// Maximum number of facts the chase may add.
+  uint64_t max_new_facts = 5'000'000;
+
+  /// Semi-naive trigger discovery: from the second round on, only
+  /// enumerate body matches that touch a fact added in the previous round
+  /// (every genuinely new trigger must). Semantically equivalent to the
+  /// naive strategy; exposed as a switch for the E1 ablation benchmark.
+  bool use_semi_naive = true;
+
+  MatchOptions match_options;
+};
+
+/// Outcome of a (standard) chase run.
+struct ChaseResult {
+  /// The input instance together with all facts the chase added. For a
+  /// schema mapping M = (S, T, Σ) and an S-instance I, this is the combined
+  /// instance (I, chase_M(I)).
+  Instance combined;
+
+  /// Only the facts added by the chase. For s-t tgds this is exactly the
+  /// canonical universal solution chase_M(I) (Proposition 3.11).
+  Instance added;
+
+  uint64_t rounds = 0;
+};
+
+/// Runs the standard (non-oblivious) chase of `input` with `dependencies`
+/// (plain tgds only — no disjunction; Constant and inequality body atoms
+/// are allowed). A trigger fires only if no extension of the body match
+/// satisfies the head; firing instantiates existential variables with
+/// globally fresh nulls.
+///
+/// The result is deterministic: rounds snapshot the trigger set, triggers
+/// fire in dependency order then match order, and a trigger whose head
+/// became satisfied earlier in the same round is skipped.
+Result<ChaseResult> Chase(const Instance& input,
+                          const std::vector<Dependency>& dependencies,
+                          const ChaseOptions& options = {});
+
+/// True if `instance` satisfies `dependency`: every body match has a head
+/// disjunct satisfiable by some extension of the match. For a pair (I, J)
+/// and s-t tgds, call with the combined instance Instance::Union(I, J)
+/// (source and target schemas are disjoint, so no confusion arises).
+Result<bool> Satisfies(const Instance& instance, const Dependency& dependency,
+                       const MatchOptions& options = {});
+
+/// True if `instance` satisfies every dependency in `dependencies`.
+Result<bool> SatisfiesAll(const Instance& instance,
+                          const std::vector<Dependency>& dependencies,
+                          const MatchOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_CHASE_CHASE_H_

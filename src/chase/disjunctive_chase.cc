@@ -1,0 +1,145 @@
+#include "chase/disjunctive_chase.h"
+
+#include <deque>
+#include <optional>
+#include <unordered_set>
+
+#include "base/strings.h"
+#include "core/fact_index.h"
+#include "core/homomorphism.h"
+
+namespace rdx {
+namespace {
+
+struct UnsatisfiedTrigger {
+  const Dependency* dep;
+  Assignment match;
+};
+
+// Finds the first body match of some dependency with no satisfiable head
+// disjunct, or nullopt if `instance` satisfies all dependencies.
+Result<std::optional<UnsatisfiedTrigger>> FindUnsatisfiedTrigger(
+    const Instance& instance, const std::vector<Dependency>& dependencies,
+    const MatchOptions& options) {
+  FactIndex index(instance);
+  for (const Dependency& dep : dependencies) {
+    std::optional<UnsatisfiedTrigger> found;
+    Status inner_error = Status::OK();
+    Status status = EnumerateMatches(
+        dep.body(), instance, index,
+        [&](const Assignment& match) {
+          // Check whether some disjunct is satisfiable under `match`.
+          for (const auto& disjunct : dep.disjuncts()) {
+            bool satisfied = false;
+            Status s = EnumerateMatches(
+                disjunct, instance, index,
+                [&](const Assignment&) {
+                  satisfied = true;
+                  return false;
+                },
+                options, match);
+            if (!s.ok()) {
+              inner_error = s;
+              return false;
+            }
+            if (satisfied) return true;  // this match is fine; keep going
+          }
+          found = UnsatisfiedTrigger{&dep, match};
+          return false;  // stop at the first violation
+        },
+        options);
+    RDX_RETURN_IF_ERROR(status);
+    RDX_RETURN_IF_ERROR(inner_error);
+    if (found.has_value()) return found;
+  }
+  return std::optional<UnsatisfiedTrigger>();
+}
+
+// Grounds `disjunct` under `match` with fresh nulls for existential
+// variables, returning the child instance.
+Result<Instance> ExpandBranch(const Instance& state,
+                              const std::vector<Atom>& disjunct,
+                              const Assignment& match) {
+  Assignment extended = match;
+  for (const Atom& a : disjunct) {
+    for (Variable v : a.Vars()) {
+      if (extended.count(v) == 0) {
+        extended.emplace(v, Value::FreshNull());
+      }
+    }
+  }
+  Instance child = state;
+  for (const Atom& a : disjunct) {
+    RDX_ASSIGN_OR_RETURN(Fact f, a.Ground(extended));
+    child.AddFact(f);
+  }
+  return child;
+}
+
+}  // namespace
+
+Result<DisjunctiveChaseResult> DisjunctiveChase(
+    const Instance& input, const std::vector<Dependency>& dependencies,
+    const DisjunctiveChaseOptions& options) {
+  DisjunctiveChaseResult result;
+  std::deque<Instance> queue;
+  queue.push_back(input);
+
+  while (!queue.empty()) {
+    if (queue.size() > options.max_branches) {
+      return Status::ResourceExhausted(
+          StrCat("disjunctive chase exceeded max_branches=",
+                 options.max_branches));
+    }
+    if (++result.steps > options.max_steps) {
+      return Status::ResourceExhausted(
+          StrCat("disjunctive chase exceeded max_steps=", options.max_steps));
+    }
+    Instance state = std::move(queue.front());
+    queue.pop_front();
+
+    RDX_ASSIGN_OR_RETURN(
+        std::optional<UnsatisfiedTrigger> trigger,
+        FindUnsatisfiedTrigger(state, dependencies, options.match_options));
+    if (!trigger.has_value()) {
+      // Completed branch: dedup (exact, then up to hom-equivalence).
+      bool duplicate = false;
+      for (const Instance& earlier : result.combined) {
+        if (earlier == state) {
+          duplicate = true;
+          break;
+        }
+        if (options.dedup_hom_equivalent) {
+          RDX_ASSIGN_OR_RETURN(bool equiv, AreHomEquivalent(earlier, state));
+          if (equiv) {
+            duplicate = true;
+            break;
+          }
+        }
+      }
+      if (!duplicate) {
+        result.combined.push_back(std::move(state));
+      }
+      continue;
+    }
+
+    for (const auto& disjunct : trigger->dep->disjuncts()) {
+      RDX_ASSIGN_OR_RETURN(Instance child,
+                           ExpandBranch(state, disjunct, trigger->match));
+      queue.push_back(std::move(child));
+    }
+  }
+
+  // Added-facts view.
+  result.added.reserve(result.combined.size());
+  for (const Instance& combined : result.combined) {
+    Instance added;
+    for (const Fact& f : combined.facts()) {
+      if (!input.Contains(f)) added.AddFact(f);
+    }
+    result.added.push_back(std::move(added));
+  }
+  return result;
+}
+
+}  // namespace rdx

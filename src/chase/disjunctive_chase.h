@@ -1,0 +1,57 @@
+#ifndef RDX_CHASE_DISJUNCTIVE_CHASE_H_
+#define RDX_CHASE_DISJUNCTIVE_CHASE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "core/dependency.h"
+#include "core/instance.h"
+
+namespace rdx {
+
+struct DisjunctiveChaseOptions {
+  /// Maximum number of simultaneously live branches; exceeded =>
+  /// ResourceExhausted.
+  uint64_t max_branches = 100'000;
+
+  /// Maximum total expansion steps across all branches.
+  uint64_t max_steps = 1'000'000;
+
+  /// If true (default), drop result instances that are homomorphically
+  /// equivalent to an earlier result (the set semantics of Section 6 only
+  /// cares about results up to homomorphic equivalence). Exact duplicates
+  /// are always dropped.
+  bool dedup_hom_equivalent = true;
+
+  MatchOptions match_options;
+};
+
+/// Outcome of a disjunctive chase: the set of completed branch instances.
+struct DisjunctiveChaseResult {
+  /// Combined instances (input facts plus the facts each branch added).
+  std::vector<Instance> combined;
+
+  /// The added-facts view of each branch, aligned with `combined`. For a
+  /// reverse mapping M' = (T, S, Σ') applied to a T-instance J, this is
+  /// the set chase_Σ'(J) = {V1, ..., Vk} of Section 6.
+  std::vector<Instance> added;
+
+  uint64_t steps = 0;
+};
+
+/// Runs the disjunctive chase of `input` with `dependencies` (Section 6):
+/// each unsatisfied trigger branches the current instance into one child
+/// per head disjunct; a branch completes when it satisfies all
+/// dependencies. Returns every completed branch.
+///
+/// Plain tgds are handled as one-disjunct dependencies, so a mixed set is
+/// fine. Inequality and Constant body atoms are supported.
+Result<DisjunctiveChaseResult> DisjunctiveChase(
+    const Instance& input, const std::vector<Dependency>& dependencies,
+    const DisjunctiveChaseOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_CHASE_DISJUNCTIVE_CHASE_H_

@@ -1,0 +1,104 @@
+#include "chase/egd_chase.h"
+
+#include <optional>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+struct EgdViolation {
+  Value lhs;
+  Value rhs;
+};
+
+// Finds the first egd violation in `instance`: a body match under which
+// some equated pair evaluates to distinct values.
+Result<std::optional<EgdViolation>> FindViolation(
+    const Instance& instance, const std::vector<Egd>& egds,
+    const MatchOptions& options) {
+  for (const Egd& egd : egds) {
+    std::optional<EgdViolation> found;
+    Status status = EnumerateMatches(
+        egd.body(), instance,
+        [&](const Assignment& match) {
+          for (const auto& [a, b] : egd.equalities()) {
+            const Value& va = match.at(a);
+            const Value& vb = match.at(b);
+            if (!(va == vb)) {
+              found = EgdViolation{va, vb};
+              return false;
+            }
+          }
+          return true;
+        },
+        options);
+    RDX_RETURN_IF_ERROR(status);
+    if (found.has_value()) return found;
+  }
+  return std::optional<EgdViolation>();
+}
+
+}  // namespace
+
+Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
+                                     const std::vector<Dependency>& tgds,
+                                     const std::vector<Egd>& egds,
+                                     const ChaseOptions& options) {
+  EgdChaseResult result;
+  result.combined = input;
+
+  for (uint64_t round = 0; round < options.max_rounds; ++round) {
+    // Tgd fixpoint.
+    RDX_ASSIGN_OR_RETURN(ChaseResult tgd_step,
+                         Chase(result.combined, tgds, options));
+    bool tgds_added = tgd_step.combined.size() != result.combined.size();
+    result.combined = std::move(tgd_step.combined);
+
+    // Egd repair pass: merge until clean or failed.
+    bool merged_any = false;
+    while (true) {
+      RDX_ASSIGN_OR_RETURN(
+          std::optional<EgdViolation> violation,
+          FindViolation(result.combined, egds, options.match_options));
+      if (!violation.has_value()) break;
+      const Value& a = violation->lhs;
+      const Value& b = violation->rhs;
+      if (a.IsConstant() && b.IsConstant()) {
+        result.failed = true;
+        result.failure_reason =
+            StrCat("egd equates distinct constants ", a.ToString(), " and ",
+                   b.ToString());
+        return result;
+      }
+      // Unify: map the null onto the other value (prefer keeping
+      // constants; between two nulls keep the lhs).
+      ValueMap unify;
+      if (a.IsNull()) {
+        unify.emplace(a, b);
+      } else {
+        unify.emplace(b, a);
+      }
+      result.combined = result.combined.Apply(unify);
+      ++result.merges;
+      merged_any = true;
+      if (result.merges > options.max_new_facts) {
+        return Status::ResourceExhausted(
+            StrCat("egd chase exceeded ", options.max_new_facts, " merges"));
+      }
+    }
+
+    if (!tgds_added && !merged_any) {
+      // Joint fixpoint.
+      for (const Fact& f : result.combined.facts()) {
+        if (!input.Contains(f)) result.added.AddFact(f);
+      }
+      return result;
+    }
+  }
+  return Status::ResourceExhausted(
+      StrCat("egd chase did not converge within max_rounds=",
+             options.max_rounds));
+}
+
+}  // namespace rdx

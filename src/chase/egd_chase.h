@@ -1,0 +1,48 @@
+#ifndef RDX_CHASE_EGD_CHASE_H_
+#define RDX_CHASE_EGD_CHASE_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "core/egd.h"
+
+namespace rdx {
+
+/// Outcome of a chase with tgds and egds.
+struct EgdChaseResult {
+  /// The final combined instance (meaningless if `failed`).
+  Instance combined;
+
+  /// Facts beyond the input (after null unification).
+  Instance added;
+
+  /// True if the chase FAILED: some egd equated two distinct constants.
+  /// In classical data exchange a failing chase means the source admits
+  /// no solution under the target constraints.
+  bool failed = false;
+  std::string failure_reason;
+
+  /// Number of null-unification steps performed.
+  uint64_t merges = 0;
+};
+
+/// The classical chase with tgds AND egds (the paper's reference [8]):
+/// alternate tgd fixpoints with egd repair passes. An egd violation with
+/// a null on either side unifies the null with the other value across the
+/// whole instance; a violation between two distinct constants fails the
+/// chase (reported in the result, not as an error Status).
+///
+/// Egds make keys expressible: chasing the reverse-exchange output of a
+/// vertical split with the key egd of the source relation re-joins the
+/// split halves — recovering exactly what the tgd-only framework
+/// provably loses (see the schema-evolution examples).
+Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
+                                     const std::vector<Dependency>& tgds,
+                                     const std::vector<Egd>& egds,
+                                     const ChaseOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_CHASE_EGD_CHASE_H_

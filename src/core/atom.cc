@@ -1,0 +1,123 @@
+#include "core/atom.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace rdx {
+
+Result<Atom> Atom::Relational(Relation relation, std::vector<Term> terms) {
+  if (terms.size() != relation.arity()) {
+    return Status::InvalidArgument(
+        StrCat("atom over '", relation.name(), "' has ", terms.size(),
+               " terms, expected ", relation.arity()));
+  }
+  return Atom(Kind::kRelational, relation, std::move(terms));
+}
+
+Atom Atom::MustRelational(Relation relation, std::vector<Term> terms) {
+  Result<Atom> a = Relational(relation, std::move(terms));
+  if (!a.ok()) {
+    std::abort();
+  }
+  return *std::move(a);
+}
+
+Atom Atom::Inequality(Term lhs, Term rhs) {
+  return Atom(Kind::kInequality, Relation(), {lhs, rhs});
+}
+
+Atom Atom::IsConstant(Term term) {
+  return Atom(Kind::kIsConstant, Relation(), {term});
+}
+
+std::vector<Variable> Atom::Vars() const {
+  std::vector<Variable> out;
+  for (const Term& t : terms_) {
+    if (t.IsVariable() &&
+        std::find(out.begin(), out.end(), t.variable()) == out.end()) {
+      out.push_back(t.variable());
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<Value> EvalTerm(const Term& term, const Assignment& assignment) {
+  if (term.IsConstant()) return term.constant();
+  auto it = assignment.find(term.variable());
+  if (it == assignment.end()) {
+    return Status::InvalidArgument(
+        StrCat("unbound variable '", term.variable().name(), "'"));
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<Fact> Atom::Ground(const Assignment& assignment) const {
+  if (kind_ != Kind::kRelational) {
+    return Status::InvalidArgument("cannot ground a builtin atom to a fact");
+  }
+  std::vector<Value> args;
+  args.reserve(terms_.size());
+  for (const Term& t : terms_) {
+    RDX_ASSIGN_OR_RETURN(Value v, EvalTerm(t, assignment));
+    args.push_back(v);
+  }
+  return Fact::Make(relation_, std::move(args));
+}
+
+Result<bool> Atom::EvalBuiltin(const Assignment& assignment) const {
+  switch (kind_) {
+    case Kind::kRelational:
+      return Status::InvalidArgument(
+          "EvalBuiltin called on a relational atom");
+    case Kind::kInequality: {
+      RDX_ASSIGN_OR_RETURN(Value a, EvalTerm(terms_[0], assignment));
+      RDX_ASSIGN_OR_RETURN(Value b, EvalTerm(terms_[1], assignment));
+      return !(a == b);
+    }
+    case Kind::kIsConstant: {
+      RDX_ASSIGN_OR_RETURN(Value v, EvalTerm(terms_[0], assignment));
+      return v.IsConstant();
+    }
+  }
+  return Status::Internal("unknown atom kind");
+}
+
+std::string Atom::ToString() const {
+  switch (kind_) {
+    case Kind::kRelational:
+      return StrCat(relation_.name(), "(",
+                    JoinMapped(terms_, ", ",
+                               [](const Term& t) { return t.ToString(); }),
+                    ")");
+    case Kind::kInequality:
+      return StrCat(terms_[0].ToString(), " != ", terms_[1].ToString());
+    case Kind::kIsConstant:
+      return StrCat("Constant(", terms_[0].ToString(), ")");
+  }
+  return "<invalid atom>";
+}
+
+std::string AtomsToString(const std::vector<Atom>& atoms) {
+  return JoinMapped(atoms, " & ",
+                    [](const Atom& a) { return a.ToString(); });
+}
+
+std::vector<Variable> VarsOf(const std::vector<Atom>& atoms) {
+  std::vector<Variable> out;
+  for (const Atom& a : atoms) {
+    for (Variable v : a.Vars()) {
+      if (std::find(out.begin(), out.end(), v) == out.end()) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rdx

@@ -1,0 +1,80 @@
+#ifndef RDX_CORE_ATOM_H_
+#define RDX_CORE_ATOM_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/fact.h"
+#include "core/schema.h"
+#include "core/term.h"
+
+namespace rdx {
+
+/// An atom in a dependency or query body/head. Three kinds:
+///  * relational:  R(t1, ..., tk)
+///  * inequality:  t1 != t2                 (Section 2: "inequalities")
+///  * is-constant: Constant(t)              (Section 2: the Constant predicate)
+/// Inequality and Constant atoms may appear only in bodies.
+class Atom {
+ public:
+  enum class Kind { kRelational, kInequality, kIsConstant };
+
+  /// Builds a relational atom, validating the arity.
+  static Result<Atom> Relational(Relation relation, std::vector<Term> terms);
+
+  /// Like Relational but aborts on arity mismatch; for literals in tests.
+  static Atom MustRelational(Relation relation, std::vector<Term> terms);
+
+  static Atom Inequality(Term lhs, Term rhs);
+  static Atom IsConstant(Term term);
+
+  Kind kind() const { return kind_; }
+  bool IsRelational() const { return kind_ == Kind::kRelational; }
+
+  /// Only valid for relational atoms.
+  Relation relation() const { return relation_; }
+
+  /// The terms: k terms for relational atoms, 2 for inequalities, 1 for
+  /// Constant atoms.
+  const std::vector<Term>& terms() const { return terms_; }
+
+  /// The distinct variables occurring in this atom, in first-occurrence
+  /// order.
+  std::vector<Variable> Vars() const;
+
+  /// Evaluates under a (total, for this atom's variables) assignment.
+  /// Relational atoms ground to a Fact; fails if a variable is unbound.
+  Result<Fact> Ground(const Assignment& assignment) const;
+
+  /// Evaluates a builtin atom (inequality / Constant) under `assignment`.
+  /// Inequality holds if the two values differ (labeled nulls are compared
+  /// syntactically); Constant(t) holds if the value is a constant.
+  /// Fails on relational atoms or unbound variables.
+  Result<bool> EvalBuiltin(const Assignment& assignment) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.kind_ == b.kind_ && a.relation_ == b.relation_ &&
+           a.terms_ == b.terms_;
+  }
+
+ private:
+  Atom(Kind kind, Relation relation, std::vector<Term> terms)
+      : kind_(kind), relation_(relation), terms_(std::move(terms)) {}
+
+  Kind kind_;
+  Relation relation_;  // meaningful only for kRelational
+  std::vector<Term> terms_;
+};
+
+/// Renders a conjunction of atoms as "A1 & A2 & ...".
+std::string AtomsToString(const std::vector<Atom>& atoms);
+
+/// The distinct variables occurring in `atoms`, in first-occurrence order.
+std::vector<Variable> VarsOf(const std::vector<Atom>& atoms);
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_ATOM_H_

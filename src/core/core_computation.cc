@@ -1,0 +1,47 @@
+#include "core/core_computation.h"
+
+namespace rdx {
+namespace {
+
+// Searches for an endomorphism of `instance` whose image misses at least one
+// fact. Returns the (strictly smaller) image if found.
+Result<std::optional<Instance>> FindShrinkingImage(
+    const Instance& instance, const HomomorphismOptions& options) {
+  for (const Fact& f : instance.facts()) {
+    // A ground fact maps to itself under every homomorphism, so it can
+    // never be dropped.
+    if (f.IsGround()) continue;
+    Instance target = instance;
+    target.RemoveFact(f);
+    RDX_ASSIGN_OR_RETURN(std::optional<ValueMap> h,
+                         FindHomomorphism(instance, target, {}, options));
+    if (h.has_value()) {
+      // h maps into a proper subinstance, so its image is strictly smaller
+      // and homomorphically equivalent (image ⊆ instance → image).
+      return std::optional<Instance>(instance.Apply(*h));
+    }
+  }
+  return std::optional<Instance>();
+}
+
+}  // namespace
+
+Result<Instance> ComputeCore(const Instance& instance,
+                             const HomomorphismOptions& options) {
+  Instance current = instance;
+  while (true) {
+    RDX_ASSIGN_OR_RETURN(std::optional<Instance> smaller,
+                         FindShrinkingImage(current, options));
+    if (!smaller.has_value()) return current;
+    current = *std::move(smaller);
+  }
+}
+
+Result<bool> IsCore(const Instance& instance,
+                    const HomomorphismOptions& options) {
+  RDX_ASSIGN_OR_RETURN(std::optional<Instance> smaller,
+                       FindShrinkingImage(instance, options));
+  return !smaller.has_value();
+}
+
+}  // namespace rdx

@@ -1,0 +1,29 @@
+#ifndef RDX_CORE_CORE_COMPUTATION_H_
+#define RDX_CORE_CORE_COMPUTATION_H_
+
+#include "base/status.h"
+#include "core/homomorphism.h"
+#include "core/instance.h"
+
+namespace rdx {
+
+/// Computes the core of `instance`: the (unique up to isomorphism) smallest
+/// subinstance homomorphically equivalent to it. The core is the canonical
+/// representative of a homomorphic-equivalence class, which the paper uses
+/// pervasively ("recover the source up to homomorphic equivalence").
+///
+/// Algorithm: repeatedly search for a homomorphism from the instance into a
+/// proper subinstance (dropping one non-ground fact at a time); replace the
+/// instance by the image until no such homomorphism exists. Worst-case
+/// exponential (core identification is co-NP-hard) but fast on the chase
+/// outputs this library produces.
+Result<Instance> ComputeCore(const Instance& instance,
+                             const HomomorphismOptions& options = {});
+
+/// True if `instance` equals its own core (no proper retraction exists).
+Result<bool> IsCore(const Instance& instance,
+                    const HomomorphismOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_CORE_COMPUTATION_H_

@@ -1,0 +1,185 @@
+#include "core/dependency.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+bool ContainsVar(const std::vector<Variable>& vars, Variable v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+}  // namespace
+
+Result<Dependency> Dependency::Make(
+    std::vector<Atom> body, std::vector<std::vector<Atom>> disjuncts) {
+  // Collect universal variables from relational body atoms.
+  std::vector<Variable> universal;
+  bool has_relational_body = false;
+  for (const Atom& a : body) {
+    if (a.IsRelational()) {
+      has_relational_body = true;
+      for (Variable v : a.Vars()) {
+        if (!ContainsVar(universal, v)) universal.push_back(v);
+      }
+    }
+  }
+  if (!has_relational_body) {
+    return Status::InvalidArgument(
+        "dependency body must contain at least one relational atom");
+  }
+  // Safety of builtins.
+  for (const Atom& a : body) {
+    if (a.IsRelational()) continue;
+    for (Variable v : a.Vars()) {
+      if (!ContainsVar(universal, v)) {
+        return Status::InvalidArgument(
+            StrCat("builtin atom '", a.ToString(), "' uses variable '",
+                   v.name(), "' not occurring in a relational body atom"));
+      }
+    }
+  }
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("dependency must have at least one disjunct");
+  }
+  for (const auto& disjunct : disjuncts) {
+    if (disjunct.empty()) {
+      return Status::InvalidArgument("dependency disjunct must be non-empty");
+    }
+    for (const Atom& a : disjunct) {
+      if (!a.IsRelational()) {
+        return Status::InvalidArgument(
+            StrCat("head atom '", a.ToString(), "' must be relational"));
+      }
+    }
+  }
+  return Dependency(std::move(body), std::move(disjuncts),
+                    std::move(universal));
+}
+
+Result<Dependency> Dependency::MakeTgd(std::vector<Atom> body,
+                                       std::vector<Atom> head) {
+  std::vector<std::vector<Atom>> disjuncts;
+  disjuncts.push_back(std::move(head));
+  return Make(std::move(body), std::move(disjuncts));
+}
+
+Dependency Dependency::MustMake(std::vector<Atom> body,
+                                std::vector<std::vector<Atom>> disjuncts) {
+  Result<Dependency> d = Make(std::move(body), std::move(disjuncts));
+  if (!d.ok()) {
+    std::abort();
+  }
+  return *std::move(d);
+}
+
+Dependency Dependency::MustMakeTgd(std::vector<Atom> body,
+                                   std::vector<Atom> head) {
+  Result<Dependency> d = MakeTgd(std::move(body), std::move(head));
+  if (!d.ok()) {
+    std::abort();
+  }
+  return *std::move(d);
+}
+
+std::vector<Atom> Dependency::RelationalBody() const {
+  std::vector<Atom> out;
+  for (const Atom& a : body_) {
+    if (a.IsRelational()) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Atom> Dependency::BuiltinBody() const {
+  std::vector<Atom> out;
+  for (const Atom& a : body_) {
+    if (!a.IsRelational()) out.push_back(a);
+  }
+  return out;
+}
+
+std::vector<Variable> Dependency::ExistentialVars(std::size_t i) const {
+  std::vector<Variable> out;
+  for (const Atom& a : disjuncts_[i]) {
+    for (Variable v : a.Vars()) {
+      if (!ContainsVar(universal_vars_, v) && !ContainsVar(out, v)) {
+        out.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+bool Dependency::IsPlainTgd() const {
+  return disjuncts_.size() == 1 && BuiltinBody().empty();
+}
+
+bool Dependency::IsFull() const {
+  for (std::size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (!ExistentialVars(i).empty()) return false;
+  }
+  return true;
+}
+
+bool Dependency::UsesInequalities() const {
+  for (const Atom& a : body_) {
+    if (a.kind() == Atom::Kind::kInequality) return true;
+  }
+  return false;
+}
+
+bool Dependency::UsesConstantPredicate() const {
+  for (const Atom& a : body_) {
+    if (a.kind() == Atom::Kind::kIsConstant) return true;
+  }
+  return false;
+}
+
+std::vector<Relation> Dependency::BodyRelations() const {
+  std::vector<Relation> out;
+  for (const Atom& a : body_) {
+    if (a.IsRelational() &&
+        std::find(out.begin(), out.end(), a.relation()) == out.end()) {
+      out.push_back(a.relation());
+    }
+  }
+  return out;
+}
+
+std::vector<Relation> Dependency::HeadRelations() const {
+  std::vector<Relation> out;
+  for (const auto& disjunct : disjuncts_) {
+    for (const Atom& a : disjunct) {
+      if (std::find(out.begin(), out.end(), a.relation()) == out.end()) {
+        out.push_back(a.relation());
+      }
+    }
+  }
+  return out;
+}
+
+std::string Dependency::ToString() const {
+  std::vector<std::string> rendered;
+  for (std::size_t i = 0; i < disjuncts_.size(); ++i) {
+    std::vector<Variable> exist = ExistentialVars(i);
+    std::string head = AtomsToString(disjuncts_[i]);
+    if (!exist.empty()) {
+      head = StrCat("EXISTS ",
+                    JoinMapped(exist, ", ",
+                               [](Variable v) { return v.name(); }),
+                    ": ", head);
+    }
+    rendered.push_back(head);
+  }
+  return StrCat(AtomsToString(body_), " -> ", Join(rendered, " | "));
+}
+
+std::string DependenciesToString(const std::vector<Dependency>& deps) {
+  return JoinMapped(deps, "\n",
+                    [](const Dependency& d) { return d.ToString(); });
+}
+
+}  // namespace rdx

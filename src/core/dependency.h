@@ -1,0 +1,107 @@
+#ifndef RDX_CORE_DEPENDENCY_H_
+#define RDX_CORE_DEPENDENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/atom.h"
+
+namespace rdx {
+
+/// A (disjunctive) tuple-generating dependency:
+///
+///   ∀x ( body(x)  →  ⋁_i ∃y_i head_i(x, y_i) )
+///
+/// where the body is a conjunction of relational atoms plus optional
+/// built-in atoms (inequalities `t != t'` and `Constant(t)`), and each
+/// disjunct head_i is a conjunction of relational atoms. Existential
+/// variables are implicit: any head variable not occurring in the body.
+///
+/// This single class covers the paper's whole dependency zoo:
+///  * s-t tgds                      — one disjunct, no builtins
+///  * full s-t tgds                 — additionally no existential variables
+///  * tgds with constants           — Constant atoms in the body
+///  * disjunctive tgds              — several disjuncts
+///  * disjunctive tgds w/ inequalities — inequality atoms in the body
+class Dependency {
+ public:
+  /// Builds and validates a dependency. Requirements:
+  ///  * the body contains at least one relational atom;
+  ///  * every variable of a builtin body atom occurs in a relational body
+  ///    atom (safety);
+  ///  * there is at least one disjunct, and every disjunct is a non-empty
+  ///    conjunction of relational atoms.
+  static Result<Dependency> Make(std::vector<Atom> body,
+                                 std::vector<std::vector<Atom>> disjuncts);
+
+  /// Convenience for a plain (non-disjunctive) tgd body → head.
+  static Result<Dependency> MakeTgd(std::vector<Atom> body,
+                                    std::vector<Atom> head);
+
+  /// Like Make/MakeTgd but abort on validation errors; for literals.
+  static Dependency MustMake(std::vector<Atom> body,
+                             std::vector<std::vector<Atom>> disjuncts);
+  static Dependency MustMakeTgd(std::vector<Atom> body,
+                                std::vector<Atom> head);
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<std::vector<Atom>>& disjuncts() const {
+    return disjuncts_;
+  }
+
+  /// The relational atoms of the body (excluding builtins).
+  std::vector<Atom> RelationalBody() const;
+
+  /// The builtin atoms of the body (inequalities and Constant checks).
+  std::vector<Atom> BuiltinBody() const;
+
+  /// Universal variables: those occurring in relational body atoms.
+  const std::vector<Variable>& UniversalVars() const {
+    return universal_vars_;
+  }
+
+  /// Existential variables of disjunct `i` (head vars not in the body).
+  std::vector<Variable> ExistentialVars(std::size_t i) const;
+
+  /// True if the dependency has a single disjunct and no builtin body atoms
+  /// (a plain tgd, possibly with existentials).
+  bool IsPlainTgd() const;
+
+  /// True if no disjunct has existential variables.
+  bool IsFull() const;
+
+  bool HasDisjunction() const { return disjuncts_.size() > 1; }
+  bool UsesInequalities() const;
+  bool UsesConstantPredicate() const;
+
+  /// Relations appearing in the body (resp. in some head disjunct).
+  std::vector<Relation> BodyRelations() const;
+  std::vector<Relation> HeadRelations() const;
+
+  /// "P(x, y) -> EXISTS z: Q(x, z) & Q(z, y)" style rendering; disjuncts
+  /// joined with " | ".
+  std::string ToString() const;
+
+  friend bool operator==(const Dependency& a, const Dependency& b) {
+    return a.body_ == b.body_ && a.disjuncts_ == b.disjuncts_;
+  }
+
+ private:
+  Dependency(std::vector<Atom> body, std::vector<std::vector<Atom>> disjuncts,
+             std::vector<Variable> universal_vars)
+      : body_(std::move(body)),
+        disjuncts_(std::move(disjuncts)),
+        universal_vars_(std::move(universal_vars)) {}
+
+  std::vector<Atom> body_;
+  std::vector<std::vector<Atom>> disjuncts_;
+  std::vector<Variable> universal_vars_;
+};
+
+/// Renders a set of dependencies, one per line.
+std::string DependenciesToString(const std::vector<Dependency>& deps);
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_DEPENDENCY_H_

@@ -1,0 +1,306 @@
+#include "core/dependency_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Dependency> ParseOne() {
+    RDX_ASSIGN_OR_RETURN(Dependency dep, ParseDependencyBody());
+    SkipSpace();
+    if (!AtEnd()) {
+      return Status::InvalidArgument(
+          StrCat("trailing input at offset ", pos_, " in dependency text"));
+    }
+    return dep;
+  }
+
+  Result<std::vector<Dependency>> ParseMany() {
+    std::vector<Dependency> out;
+    SkipSpace();
+    while (!AtEnd()) {
+      RDX_ASSIGN_OR_RETURN(Dependency dep, ParseDependencyBody());
+      out.push_back(std::move(dep));
+      SkipSpace();
+      if (!AtEnd()) {
+        if (Peek() != ';') {
+          return Status::InvalidArgument(
+              StrCat("expected ';' between dependencies at offset ", pos_));
+        }
+        ++pos_;
+        SkipSpace();
+      }
+    }
+    if (out.empty()) {
+      return Status::InvalidArgument("no dependencies in input");
+    }
+    return out;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  bool PeekIs(char c) const { return !AtEnd() && Peek() == c; }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  bool ConsumeToken(std::string_view token) {
+    SkipSpace();
+    if (text_.substr(pos_, token.size()) != token) return false;
+    pos_ += token.size();
+    return true;
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (AtEnd() || Peek() != c) {
+      return Status::InvalidArgument(
+          StrCat("expected '", c, "' at offset ", pos_, " in dependency text"));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrCat("expected identifier at offset ", start,
+                 " in dependency text"));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Term> ParseTerm() {
+    SkipSpace();
+    if (PeekIs('\'')) {
+      ++pos_;
+      std::size_t start = pos_;
+      while (!AtEnd() && Peek() != '\'') ++pos_;
+      if (AtEnd()) {
+        return Status::InvalidArgument(
+            StrCat("unterminated quoted constant at offset ", start));
+      }
+      std::string name(text_.substr(start, pos_ - start));
+      ++pos_;  // closing quote
+      return Term::Const(Value::MakeConstant(name));
+    }
+    RDX_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    if (IsAllDigits(name)) {
+      return Term::Const(Value::MakeConstant(name));
+    }
+    return Term::Var(name);
+  }
+
+  // Parses a body atom: relational, `Constant(t)`, or `t != t'`.
+  Result<Atom> ParseBodyAtom() {
+    SkipSpace();
+    std::size_t save = pos_;
+    // Try `Constant(t)`.
+    if (ConsumeToken("Constant")) {
+      SkipSpace();
+      if (PeekIs('(')) {
+        ++pos_;
+        RDX_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        RDX_RETURN_IF_ERROR(Expect(')'));
+        return Atom::IsConstant(t);
+      }
+      pos_ = save;
+    }
+    // A term followed by '!=' is an inequality; otherwise it must be a
+    // relational atom (identifier '(' ...).
+    SkipSpace();
+    if (PeekIs('\'')) {
+      RDX_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+      if (!ConsumeToken("!=")) {
+        return Status::InvalidArgument(
+            StrCat("expected '!=' after constant at offset ", pos_));
+      }
+      RDX_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+      return Atom::Inequality(lhs, rhs);
+    }
+    RDX_ASSIGN_OR_RETURN(std::string ident, ParseIdentifier());
+    SkipSpace();
+    if (PeekIs('(')) {
+      return ParseRelationalAtomArgs(ident);
+    }
+    // Inequality with a variable/number on the left.
+    Term lhs = IsAllDigits(ident) ? Term::Const(Value::MakeConstant(ident))
+                                  : Term::Var(ident);
+    if (!ConsumeToken("!=")) {
+      return Status::InvalidArgument(
+          StrCat("expected '(' or '!=' after '", ident, "' at offset ", pos_));
+    }
+    RDX_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Atom::Inequality(lhs, rhs);
+  }
+
+  Result<Atom> ParseRelationalAtomArgs(const std::string& rel_name) {
+    RDX_RETURN_IF_ERROR(Expect('('));
+    std::vector<Term> terms;
+    while (true) {
+      RDX_ASSIGN_OR_RETURN(Term t, ParseTerm());
+      terms.push_back(t);
+      SkipSpace();
+      if (PeekIs(',')) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    RDX_RETURN_IF_ERROR(Expect(')'));
+    RDX_ASSIGN_OR_RETURN(
+        Relation rel,
+        Relation::Intern(rel_name, static_cast<uint32_t>(terms.size())));
+    return Atom::Relational(rel, std::move(terms));
+  }
+
+  Result<Atom> ParseHeadAtom() {
+    RDX_ASSIGN_OR_RETURN(std::string ident, ParseIdentifier());
+    return ParseRelationalAtomArgs(ident);
+  }
+
+  // True if the next non-space character sequence starts an atom separator.
+  bool ConsumeAtomSeparator() {
+    SkipSpace();
+    if (PeekIs('&')) {
+      ++pos_;
+      return true;
+    }
+    if (PeekIs(',')) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::vector<Atom>> ParseDisjunct() {
+    // Optional EXISTS prefix (the variable list is redundant — existential
+    // variables are implicit — but accepted for readability).
+    std::size_t save = pos_;
+    if (ConsumeToken("EXISTS") || ConsumeToken("exists")) {
+      SkipSpace();
+      // Require a variable list followed by ':'; otherwise treat EXISTS as
+      // an identifier (unlikely) and rewind.
+      bool ok = true;
+      while (true) {
+        Result<std::string> var = ParseIdentifier();
+        if (!var.ok()) {
+          ok = false;
+          break;
+        }
+        SkipSpace();
+        if (PeekIs(',')) {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      SkipSpace();
+      if (ok && PeekIs(':')) {
+        ++pos_;
+      } else {
+        pos_ = save;
+      }
+    }
+    std::vector<Atom> atoms;
+    while (true) {
+      RDX_ASSIGN_OR_RETURN(Atom a, ParseHeadAtom());
+      atoms.push_back(std::move(a));
+      if (!ConsumeAtomSeparator()) break;
+    }
+    return atoms;
+  }
+
+  Result<Dependency> ParseDependencyBody() {
+    std::vector<Atom> body;
+    while (true) {
+      RDX_ASSIGN_OR_RETURN(Atom a, ParseBodyAtom());
+      body.push_back(std::move(a));
+      if (!ConsumeAtomSeparator()) break;
+    }
+    SkipSpace();
+    if (!ConsumeToken("->")) {
+      return Status::InvalidArgument(
+          StrCat("expected '->' at offset ", pos_, " in dependency text"));
+    }
+    std::vector<std::vector<Atom>> disjuncts;
+    while (true) {
+      RDX_ASSIGN_OR_RETURN(std::vector<Atom> disjunct, ParseDisjunct());
+      disjuncts.push_back(std::move(disjunct));
+      SkipSpace();
+      if (PeekIs('|')) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Dependency::Make(std::move(body), std::move(disjuncts));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Dependency> ParseDependency(std::string_view text) {
+  return Parser(text).ParseOne();
+}
+
+Result<std::vector<Dependency>> ParseDependencies(std::string_view text) {
+  return Parser(text).ParseMany();
+}
+
+Dependency MustParseDependency(std::string_view text) {
+  Result<Dependency> d = ParseDependency(text);
+  if (!d.ok()) {
+    std::fprintf(stderr, "MustParseDependency(\"%.*s\"): %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 d.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(d);
+}
+
+std::vector<Dependency> MustParseDependencies(std::string_view text) {
+  Result<std::vector<Dependency>> d = ParseDependencies(text);
+  if (!d.ok()) {
+    std::fprintf(stderr, "MustParseDependencies(\"%.*s\"): %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 d.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(d);
+}
+
+}  // namespace rdx

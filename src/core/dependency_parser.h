@@ -1,0 +1,37 @@
+#ifndef RDX_CORE_DEPENDENCY_PARSER_H_
+#define RDX_CORE_DEPENDENCY_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/dependency.h"
+
+namespace rdx {
+
+/// Parses one dependency from text. Syntax (whitespace-insensitive):
+///
+///   P(x, y) & x != y -> EXISTS z: Q(x, z) & Q(z, y) | R(y)
+///
+///  * bare identifiers in atom arguments are variables;
+///  * quoted tokens ('abc') and all-digit tokens (42) are constants;
+///  * body atoms are separated by '&' (or ','); builtins are `t != t'`
+///    and `Constant(t)`;
+///  * disjuncts are separated by '|'; an optional `EXISTS v1, v2:` prefix
+///    may name the existential variables (they are implicit regardless:
+///    every head variable not in the body is existential).
+///
+/// Relation symbols are interned with the observed arity; an arity clash
+/// with a previous use is an error.
+Result<Dependency> ParseDependency(std::string_view text);
+
+/// Parses a ';'-separated list of dependencies.
+Result<std::vector<Dependency>> ParseDependencies(std::string_view text);
+
+/// Abort-on-error variants for literals in tests and examples.
+Dependency MustParseDependency(std::string_view text);
+std::vector<Dependency> MustParseDependencies(std::string_view text);
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_DEPENDENCY_PARSER_H_

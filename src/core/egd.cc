@@ -1,0 +1,122 @@
+#include "core/egd.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+#include "core/dependency_parser.h"
+
+namespace rdx {
+
+Result<Egd> Egd::Make(
+    std::vector<Atom> body,
+    std::vector<std::pair<Variable, Variable>> equalities) {
+  std::vector<Variable> bound;
+  bool has_relational = false;
+  for (const Atom& a : body) {
+    if (!a.IsRelational()) continue;
+    has_relational = true;
+    for (Variable v : a.Vars()) {
+      if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+        bound.push_back(v);
+      }
+    }
+  }
+  if (!has_relational) {
+    return Status::InvalidArgument(
+        "egd body must contain a relational atom");
+  }
+  if (equalities.empty()) {
+    return Status::InvalidArgument("egd must equate at least one pair");
+  }
+  for (const auto& [a, b] : equalities) {
+    for (Variable v : {a, b}) {
+      if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+        return Status::InvalidArgument(
+            StrCat("equated variable '", v.name(),
+                   "' does not occur in a relational body atom"));
+      }
+    }
+  }
+  return Egd(std::move(body), std::move(equalities));
+}
+
+Result<Egd> Egd::Parse(std::string_view text) {
+  std::size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("egd must contain '->'");
+  }
+  // Parse the body by reusing the dependency parser with a placeholder
+  // head over a reserved relation (arity 1, variable taken from the
+  // first equality).
+  std::string_view head_text = text.substr(arrow + 2);
+  // Split head on '&' into "a = b" pieces.
+  std::vector<std::pair<Variable, Variable>> equalities;
+  std::size_t start = 0;
+  std::string head(head_text);
+  while (start <= head.size()) {
+    std::size_t amp = head.find('&', start);
+    std::string piece = head.substr(
+        start, amp == std::string::npos ? std::string::npos : amp - start);
+    // Trim.
+    auto trim = [](std::string s) {
+      while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.erase(s.begin());
+      while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.pop_back();
+      return s;
+    };
+    piece = trim(piece);
+    if (!piece.empty()) {
+      std::size_t eq = piece.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(
+            StrCat("egd head piece '", piece, "' must be 'var = var'"));
+      }
+      std::string lhs = trim(piece.substr(0, eq));
+      std::string rhs = trim(piece.substr(eq + 1));
+      if (!IsIdentifier(lhs) || !IsIdentifier(rhs)) {
+        return Status::InvalidArgument(
+            StrCat("egd equality must be between variables: '", piece, "'"));
+      }
+      equalities.emplace_back(Variable::Intern(lhs), Variable::Intern(rhs));
+    }
+    if (amp == std::string::npos) break;
+    start = amp + 1;
+  }
+  if (equalities.empty()) {
+    return Status::InvalidArgument("egd head has no equalities");
+  }
+
+  // Body: reuse the dependency parser with a synthetic head mentioning
+  // one equated variable.
+  std::string rewritten =
+      StrCat(std::string(text.substr(0, arrow)), " -> RdxEgdHead(",
+             equalities[0].first.name(), ")");
+  RDX_ASSIGN_OR_RETURN(Dependency dep, ParseDependency(rewritten));
+  return Make(dep.body(), std::move(equalities));
+}
+
+Egd Egd::MustParse(std::string_view text) {
+  Result<Egd> e = Parse(text);
+  if (!e.ok()) {
+    std::fprintf(stderr, "Egd::MustParse(\"%.*s\"): %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 e.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(e);
+}
+
+std::string Egd::ToString() const {
+  return StrCat(AtomsToString(body_), " -> ",
+                JoinMapped(equalities_, " & ",
+                           [](const std::pair<Variable, Variable>& e) {
+                             return StrCat(e.first.name(), " = ",
+                                           e.second.name());
+                           }));
+}
+
+}  // namespace rdx

@@ -1,0 +1,56 @@
+#ifndef RDX_CORE_EGD_H_
+#define RDX_CORE_EGD_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/atom.h"
+
+namespace rdx {
+
+/// An equality-generating dependency:
+///
+///   ∀x ( body(x) → x_i = x_j ∧ ... )
+///
+/// the other half of the classical data-exchange dependency language
+/// (the paper's reference [8], "Data Exchange: Semantics and Query
+/// Answering"). Egds express keys and functional dependencies, which
+/// tgds cannot — e.g. `Loc(id, c1) & Loc(id, c2) -> c1 = c2` makes `id`
+/// a key of Loc. Chasing with egds unifies labeled nulls (and fails when
+/// two distinct constants are equated); see chase/egd_chase.h.
+class Egd {
+ public:
+  /// Builds and validates an egd: the body must contain at least one
+  /// relational atom; every equated variable must occur in a relational
+  /// body atom; at least one equality.
+  static Result<Egd> Make(std::vector<Atom> body,
+                          std::vector<std::pair<Variable, Variable>> equalities);
+
+  /// Parses "Loc(id, c1) & Loc(id, c2) -> c1 = c2 & ..." (same body
+  /// syntax as tgds; the head is a '&'-conjunction of `var = var`).
+  static Result<Egd> Parse(std::string_view text);
+
+  /// Like Parse but aborts on error; for literals in tests and examples.
+  static Egd MustParse(std::string_view text);
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<std::pair<Variable, Variable>>& equalities() const {
+    return equalities_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Egd(std::vector<Atom> body,
+      std::vector<std::pair<Variable, Variable>> equalities)
+      : body_(std::move(body)), equalities_(std::move(equalities)) {}
+
+  std::vector<Atom> body_;
+  std::vector<std::pair<Variable, Variable>> equalities_;
+};
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_EGD_H_

@@ -1,0 +1,55 @@
+#include "core/fact.h"
+
+#include <cstdlib>
+
+#include "base/hash.h"
+#include "base/strings.h"
+
+namespace rdx {
+
+Result<Fact> Fact::Make(Relation relation, std::vector<Value> args) {
+  if (args.size() != relation.arity()) {
+    return Status::InvalidArgument(
+        StrCat("fact over '", relation.name(), "' has ", args.size(),
+               " arguments, expected ", relation.arity()));
+  }
+  return Fact(relation, std::move(args));
+}
+
+Fact Fact::MustMake(Relation relation, std::vector<Value> args) {
+  Result<Fact> f = Make(relation, std::move(args));
+  if (!f.ok()) {
+    std::abort();
+  }
+  return *std::move(f);
+}
+
+bool Fact::IsGround() const {
+  for (const Value& v : args_) {
+    if (v.IsNull()) return false;
+  }
+  return true;
+}
+
+std::string Fact::ToString() const {
+  return StrCat(relation_.name(), "(",
+                JoinMapped(args_, ", ", [](const Value& v) {
+                  return v.ToString();
+                }),
+                ")");
+}
+
+std::strong_ordering operator<=>(const Fact& a, const Fact& b) {
+  if (a.relation_ != b.relation_) return a.relation_.id() <=> b.relation_.id();
+  return a.args_ <=> b.args_;
+}
+
+std::size_t Fact::Hash() const {
+  std::size_t seed = std::hash<uint32_t>()(relation_.id());
+  for (const Value& v : args_) {
+    HashCombine(seed, v.Hash());
+  }
+  return seed;
+}
+
+}  // namespace rdx

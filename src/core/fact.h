@@ -1,0 +1,63 @@
+#ifndef RDX_CORE_FACT_H_
+#define RDX_CORE_FACT_H_
+
+#include <compare>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace rdx {
+
+/// A single tuple in a relation: R(v1, ..., vk). The argument count must
+/// match the relation's arity; Make() enforces this.
+class Fact {
+ public:
+  Fact() = default;
+
+  /// Builds a fact, validating that |args| equals the relation's arity.
+  static Result<Fact> Make(Relation relation, std::vector<Value> args);
+
+  /// Like Make but aborts on arity mismatch; for literals in tests.
+  static Fact MustMake(Relation relation, std::vector<Value> args);
+
+  Relation relation() const { return relation_; }
+  const std::vector<Value>& args() const { return args_; }
+  std::size_t arity() const { return args_.size(); }
+
+  /// True if every argument is a constant.
+  bool IsGround() const;
+
+  /// "R(a, ?X)" rendering.
+  std::string ToString() const;
+
+  friend bool operator==(const Fact& a, const Fact& b) {
+    return a.relation_ == b.relation_ && a.args_ == b.args_;
+  }
+  friend std::strong_ordering operator<=>(const Fact& a, const Fact& b);
+
+  std::size_t Hash() const;
+
+ private:
+  Fact(Relation relation, std::vector<Value> args)
+      : relation_(relation), args_(std::move(args)) {}
+
+  Relation relation_;
+  std::vector<Value> args_;
+};
+
+struct FactHash {
+  std::size_t operator()(const Fact& f) const { return f.Hash(); }
+};
+
+}  // namespace rdx
+
+template <>
+struct std::hash<rdx::Fact> {
+  std::size_t operator()(const rdx::Fact& f) const { return f.Hash(); }
+};
+
+#endif  // RDX_CORE_FACT_H_

@@ -1,0 +1,42 @@
+#include "core/fact_index.h"
+
+#include "base/hash.h"
+
+namespace rdx {
+
+std::size_t FactIndex::KeyHash::operator()(const Key& k) const {
+  std::size_t seed = std::hash<uint32_t>()(k.relation);
+  HashCombine(seed, k.pos);
+  HashCombine(seed, k.value.Hash());
+  return seed;
+}
+
+FactIndex::FactIndex(const Instance& instance) {
+  for (const Fact& f : instance.facts()) {
+    Add(&f);
+  }
+}
+
+void FactIndex::Add(const Fact* fact) {
+  facts_by_relation_[fact->relation()].push_back(fact);
+  for (std::size_t i = 0; i < fact->args().size(); ++i) {
+    by_position_value_[Key{fact->relation().id(), static_cast<uint32_t>(i),
+                           fact->args()[i]}]
+        .push_back(fact);
+  }
+}
+
+const std::vector<const Fact*>* FactIndex::FactsOf(Relation r) const {
+  auto it = facts_by_relation_.find(r);
+  return it == facts_by_relation_.end() ? nullptr : &it->second;
+}
+
+const std::vector<const Fact*>* FactIndex::FactsWith(Relation r,
+                                                     std::size_t pos,
+                                                     const Value& v) const {
+  auto it = by_position_value_.find(
+      Key{r.id(), static_cast<uint32_t>(pos), v});
+  return it == by_position_value_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rdx

@@ -1,0 +1,55 @@
+#ifndef RDX_CORE_FACT_INDEX_H_
+#define RDX_CORE_FACT_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rdx {
+
+/// Index over an instance's facts: per-relation fact lists plus a
+/// (relation, position, value) -> fact-list index used to filter candidate
+/// facts during homomorphism search and dependency matching.
+///
+/// The index holds references into the indexed instance; the instance must
+/// outlive the index. Instance fact storage is append-stable (deque), so
+/// the index stays valid across AddFact calls; newly appended facts can be
+/// folded in incrementally with Add() (the chase does this after each
+/// firing instead of rebuilding). RemoveFact invalidates the index.
+class FactIndex {
+ public:
+  explicit FactIndex(const Instance& instance);
+
+  /// Adds one fact (a reference into the indexed instance's storage) to
+  /// the index.
+  void Add(const Fact* fact);
+
+  /// Facts of relation `r`, or nullptr if none.
+  const std::vector<const Fact*>* FactsOf(Relation r) const;
+
+  /// Facts of relation `r` with value `v` at position `pos`, or nullptr if
+  /// none.
+  const std::vector<const Fact*>* FactsWith(Relation r, std::size_t pos,
+                                            const Value& v) const;
+
+ private:
+  struct Key {
+    uint32_t relation;
+    uint32_t pos;
+    Value value;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  std::unordered_map<Relation, std::vector<const Fact*>> facts_by_relation_;
+  std::unordered_map<Key, std::vector<const Fact*>, KeyHash>
+      by_position_value_;
+};
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_FACT_INDEX_H_

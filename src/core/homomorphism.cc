@@ -1,0 +1,286 @@
+#include "core/homomorphism.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/strings.h"
+#include "core/fact_index.h"
+
+namespace rdx {
+namespace {
+
+class HomSearch {
+ public:
+  HomSearch(const Instance& from, const Instance& to,
+            const HomomorphismOptions& options)
+      : to_(to), index_(to), options_(options) {
+    for (const Fact& f : from.facts()) {
+      source_facts_.push_back(&f);
+    }
+  }
+
+  Result<std::optional<ValueMap>> Run(const ValueMap& seed) {
+    binding_ = seed;
+    if (options_.injective) {
+      // Constants of the source are their own (reserved) images; seed
+      // bindings occupy their targets too.
+      for (const Fact* f : source_facts_) {
+        for (const Value& v : f->args()) {
+          if (v.IsConstant()) used_targets_.insert(v);
+        }
+      }
+      for (const auto& [from, to] : seed) {
+        if (from.IsNull()) {
+          if (!used_targets_.insert(to).second) {
+            return std::optional<ValueMap>();  // seed already non-injective
+          }
+        }
+      }
+    }
+    matched_.assign(source_facts_.size(), false);
+    steps_ = 0;
+    bool found = Search(source_facts_.size());
+    if (budget_exceeded_) {
+      return Status::ResourceExhausted(
+          StrCat("homomorphism search exceeded ", options_.max_steps,
+                 " steps"));
+    }
+    if (!found) return std::optional<ValueMap>();
+    return std::optional<ValueMap>(binding_);
+  }
+
+ private:
+  // Number of target candidates compatible with the current binding for
+  // source fact `f`, or a cheap upper bound. Used for the
+  // most-constrained-fact-first heuristic.
+  std::size_t CandidateBound(const Fact& f) const {
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    const std::vector<const Fact*>* all = index_.FactsOf(f.relation());
+    if (all == nullptr) return 0;
+    best = all->size();
+    for (std::size_t i = 0; i < f.args().size(); ++i) {
+      Value v = f.args()[i];
+      if (v.IsNull()) {
+        auto it = binding_.find(v);
+        if (it == binding_.end()) continue;
+        v = it->second;
+      }
+      const std::vector<const Fact*>* filtered =
+          index_.FactsWith(f.relation(), i, v);
+      std::size_t n = (filtered == nullptr) ? 0 : filtered->size();
+      best = std::min(best, n);
+    }
+    return best;
+  }
+
+  // The candidate list for `f`: the tightest single-position filter
+  // available, or all facts of the relation.
+  const std::vector<const Fact*>* Candidates(const Fact& f) const {
+    const std::vector<const Fact*>* best = index_.FactsOf(f.relation());
+    if (best == nullptr) return nullptr;
+    for (std::size_t i = 0; i < f.args().size(); ++i) {
+      Value v = f.args()[i];
+      if (v.IsNull()) {
+        auto it = binding_.find(v);
+        if (it == binding_.end()) continue;
+        v = it->second;
+      }
+      const std::vector<const Fact*>* filtered =
+          index_.FactsWith(f.relation(), i, v);
+      if (filtered == nullptr) return nullptr;  // no candidate at all
+      if (filtered->size() < best->size()) best = filtered;
+    }
+    return best;
+  }
+
+  bool Search(std::size_t remaining) {
+    if (remaining == 0) return true;
+    if (++steps_ > options_.max_steps) {
+      budget_exceeded_ = true;
+      return false;
+    }
+
+    // Pick the unmatched source fact with the fewest candidates.
+    std::size_t best_idx = source_facts_.size();
+    std::size_t best_bound = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < source_facts_.size(); ++i) {
+      if (matched_[i]) continue;
+      std::size_t bound = CandidateBound(*source_facts_[i]);
+      if (bound < best_bound) {
+        best_bound = bound;
+        best_idx = i;
+        if (bound == 0) break;
+      }
+    }
+    if (best_bound == 0) return false;
+
+    const Fact& f = *source_facts_[best_idx];
+    const std::vector<const Fact*>* candidates = Candidates(f);
+    if (candidates == nullptr) return false;
+
+    matched_[best_idx] = true;
+    for (const Fact* g : *candidates) {
+      std::vector<Value> newly_bound;
+      if (TryUnify(f, *g, &newly_bound)) {
+        if (Search(remaining - 1)) return true;
+        if (budget_exceeded_) break;
+      }
+      for (const Value& v : newly_bound) {
+        auto it = binding_.find(v);
+        if (options_.injective && it != binding_.end()) {
+          used_targets_.erase(it->second);
+        }
+        binding_.erase(it);
+      }
+    }
+    matched_[best_idx] = false;
+    return false;
+  }
+
+  // Attempts to extend the binding so that f maps onto g. On success the
+  // nulls newly bound are appended to `newly_bound`; on failure any partial
+  // additions are recorded there too (caller rolls back either way).
+  bool TryUnify(const Fact& f, const Fact& g,
+                std::vector<Value>* newly_bound) {
+    const std::vector<Value>& fa = f.args();
+    const std::vector<Value>& ga = g.args();
+    for (std::size_t i = 0; i < fa.size(); ++i) {
+      const Value& v = fa[i];
+      if (v.IsConstant()) {
+        if (!(ga[i] == v)) return false;
+        continue;
+      }
+      auto it = binding_.find(v);
+      if (it != binding_.end()) {
+        if (!(it->second == ga[i])) return false;
+      } else {
+        if (options_.nulls_to_nulls && !ga[i].IsNull()) return false;
+        if (options_.injective && !used_targets_.insert(ga[i]).second) {
+          return false;
+        }
+        binding_.emplace(v, ga[i]);
+        newly_bound->push_back(v);
+      }
+    }
+    return true;
+  }
+
+  const Instance& to_;
+  FactIndex index_;
+  HomomorphismOptions options_;
+  std::vector<const Fact*> source_facts_;
+  std::vector<bool> matched_;
+  ValueMap binding_;
+  std::unordered_set<Value, ValueHash> used_targets_;  // injective mode
+  uint64_t steps_ = 0;
+  bool budget_exceeded_ = false;
+};
+
+}  // namespace
+
+namespace {
+
+// One-pass domain filter: for every null of `from`, intersect its
+// candidate values over all (fact, position) occurrences against the
+// target index. Returns false if some null's domain is empty (no
+// homomorphism can exist). Ground facts are checked for membership
+// directly. Conservative: never rejects a satisfiable input.
+bool DomainFilterPasses(const Instance& from, const Instance& to,
+                        const ValueMap& seed) {
+  FactIndex index(to);
+  std::unordered_map<Value, std::unordered_set<Value, ValueHash>, ValueHash>
+      domains;
+  for (const Fact& f : from.facts()) {
+    if (f.IsGround()) {
+      if (!to.Contains(f)) return false;
+      continue;
+    }
+    for (std::size_t i = 0; i < f.args().size(); ++i) {
+      const Value& v = f.args()[i];
+      if (!v.IsNull()) {
+        // Constant position: some target fact must carry it here.
+        if (index.FactsWith(f.relation(), i, v) == nullptr) return false;
+        continue;
+      }
+      const std::vector<const Fact*>* candidates =
+          index.FactsOf(f.relation());
+      if (candidates == nullptr) return false;
+      std::unordered_set<Value, ValueHash> here;
+      for (const Fact* g : *candidates) {
+        here.insert(g->args()[i]);
+      }
+      auto it = domains.find(v);
+      if (it == domains.end()) {
+        domains.emplace(v, std::move(here));
+      } else {
+        // Intersect in place.
+        for (auto dit = it->second.begin(); dit != it->second.end();) {
+          if (here.count(*dit) == 0) {
+            dit = it->second.erase(dit);
+          } else {
+            ++dit;
+          }
+        }
+      }
+      auto current = domains.find(v);
+      if (current->second.empty()) return false;
+    }
+  }
+  // Seed bindings must lie within the computed domains.
+  for (const auto& [k, v] : seed) {
+    auto it = domains.find(k);
+    if (it != domains.end() && it->second.count(v) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::optional<ValueMap>> FindHomomorphism(
+    const Instance& from, const Instance& to, const ValueMap& seed,
+    const HomomorphismOptions& options) {
+  // Seed sanity: a seed may not rebind a constant to something else.
+  for (const auto& [k, v] : seed) {
+    if (k.IsConstant() && !(k == v)) {
+      return Status::InvalidArgument(
+          StrCat("seed maps constant ", k.ToString(), " to ", v.ToString()));
+    }
+  }
+  if (options.use_domain_filter && !DomainFilterPasses(from, to, seed)) {
+    return std::optional<ValueMap>();
+  }
+  HomSearch search(from, to, options);
+  return search.Run(seed);
+}
+
+Result<bool> HasHomomorphism(const Instance& from, const Instance& to,
+                             const HomomorphismOptions& options) {
+  RDX_ASSIGN_OR_RETURN(std::optional<ValueMap> h,
+                       FindHomomorphism(from, to, {}, options));
+  return h.has_value();
+}
+
+Result<bool> AreHomEquivalent(const Instance& a, const Instance& b,
+                              const HomomorphismOptions& options) {
+  RDX_ASSIGN_OR_RETURN(bool ab, HasHomomorphism(a, b, options));
+  if (!ab) return false;
+  return HasHomomorphism(b, a, options);
+}
+
+Result<bool> AreIsomorphic(const Instance& a, const Instance& b,
+                           const HomomorphismOptions& options) {
+  if (a.size() != b.size()) return false;
+  if (a.ActiveDomain().size() != b.ActiveDomain().size()) return false;
+  HomomorphismOptions iso_options = options;
+  iso_options.injective = true;
+  iso_options.nulls_to_nulls = true;
+  // An injective null-to-null homomorphism between equal-sized instances
+  // maps facts injectively, so its image is all of b; the inverse fixes
+  // constants (nulls map to nulls) and maps b's facts back into a — an
+  // isomorphism.
+  RDX_ASSIGN_OR_RETURN(std::optional<ValueMap> h,
+                       FindHomomorphism(a, b, {}, iso_options));
+  return h.has_value();
+}
+
+}  // namespace rdx

@@ -1,0 +1,69 @@
+#ifndef RDX_CORE_HOMOMORPHISM_H_
+#define RDX_CORE_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "base/status.h"
+#include "core/instance.h"
+
+namespace rdx {
+
+/// Tuning knobs for the homomorphism search.
+struct HomomorphismOptions {
+  /// Backtracking-node budget; exceeded => ResourceExhausted. The default
+  /// is far above anything the test/bench workloads need.
+  uint64_t max_steps = 50'000'000;
+
+  /// Require h to be injective on the source's active domain (no two
+  /// values share an image). Used by isomorphism checking.
+  bool injective = false;
+
+  /// Require nulls to map to nulls (h restricted to Var). Used by
+  /// isomorphism checking, where the inverse must also fix constants.
+  bool nulls_to_nulls = false;
+
+  /// Arc-consistency-style preprocessing: before the backtracking search,
+  /// intersect each source null's candidate set across all (fact,
+  /// position) occurrences; an empty domain refutes without search.
+  /// Semantically transparent. Default OFF: the E2 ablation benchmark
+  /// measured the indexed most-constrained-first search refuting typical
+  /// negatives faster than the filter's O(|from|·candidates) setup cost
+  /// (see EXPERIMENTS.md); enable for workloads with large, globally
+  /// unsatisfiable inputs.
+  bool use_domain_filter = false;
+};
+
+/// Searches for a homomorphism h : from → to (Definition 3.1): h fixes all
+/// constants and maps each fact of `from` to a fact of `to`.
+///
+/// `seed` optionally pre-binds some nulls of `from`; the returned map (if
+/// any) extends it. The returned map binds exactly the nulls occurring in
+/// `from` (plus the seed); constants are implicitly fixed.
+///
+/// Returns nullopt when no homomorphism exists, and ResourceExhausted when
+/// the step budget runs out.
+Result<std::optional<ValueMap>> FindHomomorphism(
+    const Instance& from, const Instance& to, const ValueMap& seed = {},
+    const HomomorphismOptions& options = {});
+
+/// Decides `from → to` (the paper's binary relation →).
+Result<bool> HasHomomorphism(const Instance& from, const Instance& to,
+                             const HomomorphismOptions& options = {});
+
+/// Decides homomorphic equivalence: from → to and to → from.
+Result<bool> AreHomEquivalent(const Instance& a, const Instance& b,
+                              const HomomorphismOptions& options = {});
+
+/// Decides isomorphism: a bijective homomorphism whose inverse is also a
+/// homomorphism, i.e. an injective, null-to-null homomorphism between
+/// instances of equal size. Strictly finer than homomorphic equivalence
+/// (e.g. {P(?X,?X)} and {P(?X,?X), P(?X,?Y)} are hom-equivalent but not
+/// isomorphic). Useful for asserting that two constructions agree up to
+/// renaming of nulls.
+Result<bool> AreIsomorphic(const Instance& a, const Instance& b,
+                           const HomomorphismOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_HOMOMORPHISM_H_

@@ -1,0 +1,151 @@
+#include "core/instance.h"
+
+#include <algorithm>
+
+#include "base/hash.h"
+#include "base/strings.h"
+
+namespace rdx {
+
+Instance Instance::FromFacts(const std::vector<Fact>& facts) {
+  Instance instance;
+  for (const Fact& f : facts) {
+    instance.AddFact(f);
+  }
+  return instance;
+}
+
+bool Instance::AddFact(const Fact& fact) {
+  auto [it, inserted] = fact_set_.insert(fact);
+  if (inserted) {
+    facts_.push_back(fact);
+  }
+  return inserted;
+}
+
+bool Instance::RemoveFact(const Fact& fact) {
+  auto it = fact_set_.find(fact);
+  if (it == fact_set_.end()) return false;
+  fact_set_.erase(it);
+  facts_.erase(std::find(facts_.begin(), facts_.end(), fact));
+  return true;
+}
+
+std::vector<Fact> Instance::FactsOf(Relation relation) const {
+  std::vector<Fact> out;
+  for (const Fact& f : facts_) {
+    if (f.relation() == relation) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Relation> Instance::Relations() const {
+  std::vector<Relation> out;
+  for (const Fact& f : facts_) {
+    if (std::find(out.begin(), out.end(), f.relation()) == out.end()) {
+      out.push_back(f.relation());
+    }
+  }
+  return out;
+}
+
+std::vector<Value> Instance::ActiveDomain() const {
+  std::unordered_set<Value, ValueHash> seen;
+  std::vector<Value> out;
+  for (const Fact& f : facts_) {
+    for (const Value& v : f.args()) {
+      if (seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<Value> Instance::Nulls() const {
+  std::unordered_set<Value, ValueHash> seen;
+  std::vector<Value> out;
+  for (const Fact& f : facts_) {
+    for (const Value& v : f.args()) {
+      if (v.IsNull() && seen.insert(v).second) out.push_back(v);
+    }
+  }
+  return out;
+}
+
+bool Instance::IsGround() const {
+  for (const Fact& f : facts_) {
+    if (!f.IsGround()) return false;
+  }
+  return true;
+}
+
+bool Instance::ConformsTo(const Schema& schema) const {
+  for (const Fact& f : facts_) {
+    if (!schema.Contains(f.relation())) return false;
+  }
+  return true;
+}
+
+Instance Instance::Apply(const ValueMap& h) const {
+  Instance out;
+  for (const Fact& f : facts_) {
+    std::vector<Value> args;
+    args.reserve(f.args().size());
+    for (const Value& v : f.args()) {
+      auto it = h.find(v);
+      args.push_back(it == h.end() ? v : it->second);
+    }
+    out.AddFact(Fact::MustMake(f.relation(), std::move(args)));
+  }
+  return out;
+}
+
+Instance Instance::RenameNullsFresh(ValueMap* renaming_out) const {
+  ValueMap renaming;
+  for (const Value& v : Nulls()) {
+    renaming.emplace(v, Value::FreshNull());
+  }
+  Instance out = Apply(renaming);
+  if (renaming_out != nullptr) {
+    *renaming_out = std::move(renaming);
+  }
+  return out;
+}
+
+Instance Instance::Union(const Instance& a, const Instance& b) {
+  Instance out = a;
+  for (const Fact& f : b.facts()) {
+    out.AddFact(f);
+  }
+  return out;
+}
+
+bool Instance::SubsetOf(const Instance& other) const {
+  for (const Fact& f : facts_) {
+    if (!other.Contains(f)) return false;
+  }
+  return true;
+}
+
+bool operator==(const Instance& a, const Instance& b) {
+  return a.size() == b.size() && a.SubsetOf(b);
+}
+
+std::string Instance::ToString() const {
+  std::vector<Fact> sorted(facts_.begin(), facts_.end());
+  std::sort(sorted.begin(), sorted.end());
+  return StrCat("{",
+                JoinMapped(sorted, ", ",
+                           [](const Fact& f) { return f.ToString(); }),
+                "}");
+}
+
+std::size_t Instance::Hash() const {
+  // XOR of fact hashes is order-insensitive.
+  std::size_t h = 0x51ed2701a2b3c4d5ULL;
+  for (const Fact& f : facts_) {
+    h ^= f.Hash();
+  }
+  return h;
+}
+
+}  // namespace rdx

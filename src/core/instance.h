@@ -1,0 +1,109 @@
+#ifndef RDX_CORE_INSTANCE_H_
+#define RDX_CORE_INSTANCE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "core/fact.h"
+#include "core/schema.h"
+#include "core/value.h"
+
+namespace rdx {
+
+/// A map renaming values to values, used for homomorphism images and null
+/// renaming. Values not present are mapped to themselves.
+using ValueMap = std::unordered_map<Value, Value, ValueHash>;
+
+/// A finite relational instance: a set of facts over arbitrary relation
+/// symbols, with values from Const ∪ Var. Instances are value types with
+/// set semantics (duplicate facts collapse).
+///
+/// Instances are not tied to a schema object; use ConformsTo() to validate
+/// that all facts use relations of a given schema.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Builds an instance from facts (duplicates collapse).
+  static Instance FromFacts(const std::vector<Fact>& facts);
+
+  /// Adds a fact; returns true if it was not already present.
+  bool AddFact(const Fact& fact);
+
+  /// Removes a fact; returns true if it was present.
+  bool RemoveFact(const Fact& fact);
+
+  bool Contains(const Fact& fact) const { return fact_set_.count(fact) > 0; }
+
+  /// All facts, in insertion order (stable across runs for determinism).
+  /// Stored in a deque so references remain valid across AddFact — the
+  /// chase relies on this to update fact indexes incrementally.
+  const std::deque<Fact>& facts() const { return facts_; }
+
+  /// Facts of a specific relation, in insertion order.
+  std::vector<Fact> FactsOf(Relation relation) const;
+
+  /// Distinct relation symbols with at least one fact.
+  std::vector<Relation> Relations() const;
+
+  std::size_t size() const { return facts_.size(); }
+  bool empty() const { return facts_.empty(); }
+
+  /// All values occurring in some fact (the active domain).
+  std::vector<Value> ActiveDomain() const;
+
+  /// The labeled nulls occurring in some fact.
+  std::vector<Value> Nulls() const;
+
+  /// True if every fact is ground (no nulls).
+  bool IsGround() const;
+
+  /// True if every fact's relation belongs to `schema`.
+  bool ConformsTo(const Schema& schema) const;
+
+  /// Returns the image instance h(I): every value v replaced by h(v)
+  /// (identity where h is not defined). Note the image may be smaller than
+  /// I when h collapses facts.
+  Instance Apply(const ValueMap& h) const;
+
+  /// Returns a copy with every null replaced by a globally fresh null
+  /// (consistently: equal nulls map to the same fresh null). `renaming_out`
+  /// (optional) receives the old→new map.
+  Instance RenameNullsFresh(ValueMap* renaming_out = nullptr) const;
+
+  /// Set union of the two instances.
+  static Instance Union(const Instance& a, const Instance& b);
+
+  /// True if every fact of this instance is a fact of `other`.
+  bool SubsetOf(const Instance& other) const;
+
+  /// Set equality (same facts, any order).
+  friend bool operator==(const Instance& a, const Instance& b);
+  friend bool operator!=(const Instance& a, const Instance& b) {
+    return !(a == b);
+  }
+
+  /// Canonical rendering: facts sorted, "{P(a, ?X), Q(b)}".
+  std::string ToString() const;
+
+  /// Order-insensitive hash (for use as a set/map key).
+  std::size_t Hash() const;
+
+ private:
+  std::deque<Fact> facts_;
+  std::unordered_set<Fact, FactHash> fact_set_;
+};
+
+struct InstanceHash {
+  std::size_t operator()(const Instance& i) const { return i.Hash(); }
+};
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_INSTANCE_H_

@@ -1,0 +1,130 @@
+#include "core/instance_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Instance> Parse() {
+    Instance instance;
+    SkipSeparators();
+    while (!AtEnd()) {
+      RDX_ASSIGN_OR_RETURN(Fact fact, ParseFact());
+      instance.AddFact(fact);
+      SkipSeparators();
+    }
+    return instance;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipSeparators() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '.' ||
+          c == ',') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  Result<std::string> ParseIdentifier() {
+    SkipSpace();
+    std::size_t start = pos_;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrCat("expected identifier at offset ", start, " in instance text"));
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  Result<Value> ParseTerm() {
+    SkipSpace();
+    if (!AtEnd() && Peek() == '?') {
+      ++pos_;
+      RDX_ASSIGN_OR_RETURN(std::string label, ParseIdentifier());
+      return Value::MakeNull(label);
+    }
+    RDX_ASSIGN_OR_RETURN(std::string name, ParseIdentifier());
+    return Value::MakeConstant(name);
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (AtEnd() || Peek() != c) {
+      return Status::InvalidArgument(
+          StrCat("expected '", c, "' at offset ", pos_, " in instance text"));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Result<Fact> ParseFact() {
+    RDX_ASSIGN_OR_RETURN(std::string rel_name, ParseIdentifier());
+    RDX_RETURN_IF_ERROR(Expect('('));
+    std::vector<Value> args;
+    while (true) {
+      RDX_ASSIGN_OR_RETURN(Value v, ParseTerm());
+      args.push_back(v);
+      SkipSpace();
+      if (!AtEnd() && Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    RDX_RETURN_IF_ERROR(Expect(')'));
+    RDX_ASSIGN_OR_RETURN(
+        Relation rel,
+        Relation::Intern(rel_name, static_cast<uint32_t>(args.size())));
+    return Fact::Make(rel, std::move(args));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Instance> ParseInstance(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+Instance MustParseInstance(std::string_view text) {
+  Result<Instance> r = ParseInstance(text);
+  if (!r.ok()) {
+    std::fprintf(stderr, "MustParseInstance(\"%.*s\"): %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(r);
+}
+
+}  // namespace rdx

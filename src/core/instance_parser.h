@@ -1,0 +1,28 @@
+#ifndef RDX_CORE_INSTANCE_PARSER_H_
+#define RDX_CORE_INSTANCE_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "core/instance.h"
+
+namespace rdx {
+
+/// Parses a textual instance description into an Instance.
+///
+/// Syntax: a sequence of facts separated by '.', ',' or whitespace, e.g.
+///
+///   "P(a, b). Q(?X, c)"
+///
+/// Bare identifiers and numbers are constants; tokens prefixed with '?' are
+/// labeled nulls (the same label denotes the same null everywhere). Relation
+/// symbols are interned with the observed arity; an arity clash with a
+/// previously interned symbol is an error.
+Result<Instance> ParseInstance(std::string_view text);
+
+/// Like ParseInstance but aborts on parse errors; for literals in tests.
+Instance MustParseInstance(std::string_view text);
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_INSTANCE_PARSER_H_

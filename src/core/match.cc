@@ -1,0 +1,219 @@
+#include "core/match.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+class Matcher {
+ public:
+  Matcher(const std::vector<Atom>& atoms, const Instance& instance,
+          const FactIndex& index, const MatchCallback& callback,
+          const MatchOptions& options, const Assignment& seed)
+      : instance_(instance),
+        index_(index),
+        callback_(callback),
+        options_(options),
+        assignment_(seed) {
+    for (const Atom& a : atoms) {
+      if (a.IsRelational()) {
+        relational_.push_back(&a);
+      } else {
+        builtins_.push_back(&a);
+      }
+    }
+    matched_.assign(relational_.size(), false);
+  }
+
+  Status Run() {
+    steps_ = 0;
+    stopped_ = false;
+    bool exhausted = Search(relational_.size());
+    if (!exhausted && !stopped_) {
+      return Status::ResourceExhausted(
+          StrCat("match enumeration exceeded ", options_.max_steps,
+                 " steps"));
+    }
+    return Status::OK();
+  }
+
+ private:
+  // Returns the value of `t` under the current assignment, or nullopt if t
+  // is an unbound variable.
+  std::optional<Value> Lookup(const Term& t) const {
+    if (t.IsConstant()) return t.constant();
+    auto it = assignment_.find(t.variable());
+    if (it == assignment_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // True if all variables of builtin atom `a` are bound.
+  bool BuiltinReady(const Atom& a) const {
+    for (const Term& t : a.terms()) {
+      if (t.IsVariable() && assignment_.count(t.variable()) == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Checks the builtins that just became fully bound. Atoms whose variables
+  // are all bound must hold; others are deferred.
+  bool BuiltinsHold() const {
+    for (const Atom* a : builtins_) {
+      if (!BuiltinReady(*a)) continue;
+      Result<bool> holds = a->EvalBuiltin(assignment_);
+      if (!holds.ok() || !*holds) return false;
+    }
+    return true;
+  }
+
+  std::size_t CandidateBound(const Atom& a) const {
+    const std::vector<const Fact*>* all = index_.FactsOf(a.relation());
+    if (all == nullptr) return 0;
+    std::size_t best = all->size();
+    for (std::size_t i = 0; i < a.terms().size(); ++i) {
+      std::optional<Value> v = Lookup(a.terms()[i]);
+      if (!v.has_value()) continue;
+      const std::vector<const Fact*>* filtered =
+          index_.FactsWith(a.relation(), i, *v);
+      best = std::min(best, filtered == nullptr ? 0 : filtered->size());
+    }
+    return best;
+  }
+
+  const std::vector<const Fact*>* Candidates(const Atom& a) const {
+    const std::vector<const Fact*>* best = index_.FactsOf(a.relation());
+    if (best == nullptr) return nullptr;
+    for (std::size_t i = 0; i < a.terms().size(); ++i) {
+      std::optional<Value> v = Lookup(a.terms()[i]);
+      if (!v.has_value()) continue;
+      const std::vector<const Fact*>* filtered =
+          index_.FactsWith(a.relation(), i, *v);
+      if (filtered == nullptr) return nullptr;
+      if (filtered->size() < best->size()) best = filtered;
+    }
+    return best;
+  }
+
+  bool TryBindAtom(const Atom& a, const Fact& f,
+                   std::vector<Variable>* newly_bound) {
+    const std::vector<Term>& terms = a.terms();
+    const std::vector<Value>& args = f.args();
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      const Term& t = terms[i];
+      if (t.IsConstant()) {
+        if (!(t.constant() == args[i])) return false;
+        continue;
+      }
+      auto it = assignment_.find(t.variable());
+      if (it != assignment_.end()) {
+        if (!(it->second == args[i])) return false;
+      } else {
+        assignment_.emplace(t.variable(), args[i]);
+        newly_bound->push_back(t.variable());
+      }
+    }
+    return true;
+  }
+
+  // Returns true if the search space was fully explored (or the callback
+  // stopped us); false only on budget exhaustion.
+  bool Search(std::size_t remaining) {
+    if (stopped_) return true;
+    if (++steps_ > options_.max_steps) return false;
+    if (remaining == 0) {
+      if (!callback_(assignment_)) stopped_ = true;
+      return true;
+    }
+
+    std::size_t best_idx = relational_.size();
+    std::size_t best_bound = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < relational_.size(); ++i) {
+      if (matched_[i]) continue;
+      std::size_t bound = CandidateBound(*relational_[i]);
+      if (bound < best_bound) {
+        best_bound = bound;
+        best_idx = i;
+        if (bound == 0) break;
+      }
+    }
+    if (best_bound == 0) return true;  // dead branch, fully explored
+
+    const Atom& atom = *relational_[best_idx];
+    const std::vector<const Fact*>* candidates = Candidates(atom);
+    if (candidates == nullptr) return true;
+
+    matched_[best_idx] = true;
+    bool ok = true;
+    for (const Fact* f : *candidates) {
+      std::vector<Variable> newly_bound;
+      if (TryBindAtom(atom, *f, &newly_bound) && BuiltinsHold()) {
+        ok = Search(remaining - 1);
+      }
+      for (Variable v : newly_bound) {
+        assignment_.erase(v);
+      }
+      if (!ok || stopped_) break;
+    }
+    matched_[best_idx] = false;
+    return ok;
+  }
+
+  [[maybe_unused]] const Instance& instance_;
+  const FactIndex& index_;
+  const MatchCallback& callback_;
+  MatchOptions options_;
+  std::vector<const Atom*> relational_;
+  std::vector<const Atom*> builtins_;
+  std::vector<bool> matched_;
+  Assignment assignment_;
+  uint64_t steps_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+Status EnumerateMatches(const std::vector<Atom>& atoms,
+                        const Instance& instance, const FactIndex& index,
+                        const MatchCallback& callback,
+                        const MatchOptions& options, const Assignment& seed) {
+  for (const Atom& a : atoms) {
+    if (!a.IsRelational()) {
+      // Safety (validated by Dependency::Make, revalidated here for direct
+      // callers): builtin variables must occur in some relational atom.
+      for (Variable v : a.Vars()) {
+        bool found = seed.count(v) > 0;
+        for (const Atom& r : atoms) {
+          if (!r.IsRelational()) continue;
+          for (Variable rv : r.Vars()) {
+            if (rv == v) {
+              found = true;
+              break;
+            }
+          }
+          if (found) break;
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              StrCat("builtin atom '", a.ToString(),
+                     "' uses variable not bound by any relational atom"));
+        }
+      }
+    }
+  }
+  Matcher matcher(atoms, instance, index, callback, options, seed);
+  return matcher.Run();
+}
+
+Status EnumerateMatches(const std::vector<Atom>& atoms,
+                        const Instance& instance, const MatchCallback& callback,
+                        const MatchOptions& options, const Assignment& seed) {
+  FactIndex index(instance);
+  return EnumerateMatches(atoms, instance, index, callback, options, seed);
+}
+
+}  // namespace rdx

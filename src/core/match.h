@@ -1,0 +1,50 @@
+#ifndef RDX_CORE_MATCH_H_
+#define RDX_CORE_MATCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/status.h"
+#include "core/atom.h"
+#include "core/fact_index.h"
+#include "core/instance.h"
+
+namespace rdx {
+
+struct MatchOptions {
+  /// Backtracking-node budget; exceeded => ResourceExhausted.
+  uint64_t max_steps = 50'000'000;
+};
+
+/// Called once per complete match. Return false to stop the enumeration.
+using MatchCallback = std::function<bool(const Assignment&)>;
+
+/// Enumerates every assignment of the variables of `atoms` such that each
+/// relational atom grounds to a fact of `instance` and every builtin atom
+/// (inequality / Constant) holds. Built-in atoms are checked as soon as all
+/// of their variables are bound, pruning the search.
+///
+/// `seed` pre-binds some variables (used by the chase to check whether a
+/// dependency head is satisfied under a body match); every enumerated
+/// assignment extends it. Variables in the seed that do not occur in
+/// `atoms` are passed through unchanged.
+///
+/// This is the evaluation engine behind dependency satisfaction, the chase
+/// trigger search, and conjunctive query answering.
+Status EnumerateMatches(const std::vector<Atom>& atoms,
+                        const Instance& instance, const MatchCallback& callback,
+                        const MatchOptions& options = {},
+                        const Assignment& seed = {});
+
+/// As above but with a caller-provided index over `instance` (the index
+/// must have been built from exactly this instance).
+Status EnumerateMatches(const std::vector<Atom>& atoms,
+                        const Instance& instance, const FactIndex& index,
+                        const MatchCallback& callback,
+                        const MatchOptions& options = {},
+                        const Assignment& seed = {});
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_MATCH_H_

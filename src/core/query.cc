@@ -1,0 +1,173 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+#include "core/dependency_parser.h"
+
+namespace rdx {
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Make(
+    std::vector<Variable> head_vars, std::vector<Atom> body) {
+  if (body.empty()) {
+    return Status::InvalidArgument("query body must be non-empty");
+  }
+  std::vector<Variable> bound;
+  bool has_relational = false;
+  for (const Atom& a : body) {
+    if (!a.IsRelational()) continue;
+    has_relational = true;
+    for (Variable v : a.Vars()) {
+      if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+        bound.push_back(v);
+      }
+    }
+  }
+  if (!has_relational) {
+    return Status::InvalidArgument(
+        "query body must contain a relational atom");
+  }
+  for (Variable v : head_vars) {
+    if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+      return Status::InvalidArgument(
+          StrCat("answer variable '", v.name(),
+                 "' does not occur in a relational body atom"));
+    }
+  }
+  for (const Atom& a : body) {
+    if (a.IsRelational()) continue;
+    for (Variable v : a.Vars()) {
+      if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+        return Status::InvalidArgument(
+            StrCat("builtin atom '", a.ToString(),
+                   "' uses variable not bound by a relational atom"));
+      }
+    }
+  }
+  return ConjunctiveQuery(std::move(head_vars), std::move(body));
+}
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Parse(std::string_view text) {
+  // Reuse the dependency parser: "q(x,y) :- body" is parsed by rewriting
+  // to "body -> RdxQueryHead<k>(x,y)". The synthetic head relation's name
+  // carries the arity so that queries of different arities never clash in
+  // the process-wide relation registry (the user's head name is ignored —
+  // it is pure syntax).
+  std::size_t sep = text.find(":-");
+  if (sep == std::string_view::npos) {
+    return Status::InvalidArgument("query must contain ':-'");
+  }
+  std::string_view head_text = text.substr(0, sep);
+  std::size_t open = head_text.find('(');
+  std::size_t close = head_text.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return Status::InvalidArgument("query head must be name(vars)");
+  }
+  std::string_view args = head_text.substr(open + 1, close - open - 1);
+  std::size_t arity = 1;
+  for (char c : args) {
+    if (c == ',') ++arity;
+  }
+  std::string rewritten =
+      StrCat(std::string(text.substr(sep + 2)), " -> RdxQueryHead", arity,
+             "(", std::string(args), ")");
+  RDX_ASSIGN_OR_RETURN(Dependency dep, ParseDependency(rewritten));
+  if (dep.disjuncts().size() != 1 || dep.disjuncts()[0].size() != 1) {
+    return Status::InvalidArgument("query head must be a single atom");
+  }
+  const Atom& head = dep.disjuncts()[0][0];
+  std::vector<Variable> head_vars;
+  for (const Term& t : head.terms()) {
+    if (!t.IsVariable()) {
+      return Status::InvalidArgument(
+          "query head arguments must be variables");
+    }
+    head_vars.push_back(t.variable());
+  }
+  return Make(std::move(head_vars), dep.body());
+}
+
+ConjunctiveQuery ConjunctiveQuery::MustParse(std::string_view text) {
+  Result<ConjunctiveQuery> q = Parse(text);
+  if (!q.ok()) {
+    std::fprintf(stderr, "MustParse query \"%.*s\": %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 q.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(q);
+}
+
+Result<TupleSet> ConjunctiveQuery::Eval(const Instance& instance,
+                                        const MatchOptions& options) const {
+  TupleSet answers;
+  Status status = EnumerateMatches(
+      body_, instance,
+      [&](const Assignment& assignment) {
+        Tuple tuple;
+        tuple.reserve(head_vars_.size());
+        for (Variable v : head_vars_) {
+          tuple.push_back(assignment.at(v));
+        }
+        answers.insert(std::move(tuple));
+        return true;
+      },
+      options);
+  RDX_RETURN_IF_ERROR(status);
+  return answers;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  return StrCat("q(",
+                JoinMapped(head_vars_, ", ",
+                           [](Variable v) { return v.name(); }),
+                ") :- ", AtomsToString(body_));
+}
+
+TupleSet DiscardTuplesWithNulls(const TupleSet& tuples) {
+  TupleSet out;
+  for (const Tuple& t : tuples) {
+    bool has_null = false;
+    for (const Value& v : t) {
+      if (v.IsNull()) {
+        has_null = true;
+        break;
+      }
+    }
+    if (!has_null) out.insert(t);
+  }
+  return out;
+}
+
+TupleSet IntersectAll(const std::vector<TupleSet>& sets) {
+  if (sets.empty()) return {};
+  TupleSet out = sets[0];
+  for (std::size_t i = 1; i < sets.size(); ++i) {
+    TupleSet next;
+    for (const Tuple& t : out) {
+      if (sets[i].count(t) > 0) next.insert(t);
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+std::string TupleSetToString(const TupleSet& tuples) {
+  return StrCat("{",
+                JoinMapped(tuples, ", ",
+                           [](const Tuple& t) {
+                             return StrCat(
+                                 "(",
+                                 JoinMapped(t, ", ",
+                                            [](const Value& v) {
+                                              return v.ToString();
+                                            }),
+                                 ")");
+                           }),
+                "}");
+}
+
+}  // namespace rdx

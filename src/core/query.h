@@ -1,0 +1,69 @@
+#ifndef RDX_CORE_QUERY_H_
+#define RDX_CORE_QUERY_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/atom.h"
+#include "core/instance.h"
+#include "core/match.h"
+
+namespace rdx {
+
+/// An answer tuple and a (deterministically ordered) set of answers.
+using Tuple = std::vector<Value>;
+using TupleSet = std::set<Tuple>;
+
+/// A conjunctive query q(x̄) :- body, where body is a conjunction of
+/// relational atoms (builtins tolerated for generality) and x̄ is the list
+/// of free (answer) variables, each of which must occur in a relational
+/// body atom.
+class ConjunctiveQuery {
+ public:
+  static Result<ConjunctiveQuery> Make(std::vector<Variable> head_vars,
+                                       std::vector<Atom> body);
+
+  /// Parses "q(x, y) :- P(x, z) & Q(z, y)". The head name is arbitrary.
+  static Result<ConjunctiveQuery> Parse(std::string_view text);
+
+  /// Like Parse but aborts on error; for literals in tests and examples.
+  static ConjunctiveQuery MustParse(std::string_view text);
+
+  const std::vector<Variable>& head_vars() const { return head_vars_; }
+  const std::vector<Atom>& body() const { return body_; }
+
+  /// A boolean query has no answer variables; its answer set is {()} when
+  /// satisfied and {} otherwise.
+  bool IsBoolean() const { return head_vars_.empty(); }
+
+  /// Evaluates q(I): the set of head-variable images over all matches of
+  /// the body in `instance` (naive/unrestricted semantics — answers may
+  /// contain nulls; apply DiscardTuplesWithNulls for the ↓ semantics).
+  Result<TupleSet> Eval(const Instance& instance,
+                        const MatchOptions& options = {}) const;
+
+  std::string ToString() const;
+
+ private:
+  ConjunctiveQuery(std::vector<Variable> head_vars, std::vector<Atom> body)
+      : head_vars_(std::move(head_vars)), body_(std::move(body)) {}
+
+  std::vector<Variable> head_vars_;
+  std::vector<Atom> body_;
+};
+
+/// q(I)↓: the answers containing no labeled null (Section 6.2).
+TupleSet DiscardTuplesWithNulls(const TupleSet& tuples);
+
+/// Intersection of a non-empty family of answer sets (certain answers).
+TupleSet IntersectAll(const std::vector<TupleSet>& sets);
+
+/// Renders an answer set as "{(a, b), (c, ?N1)}".
+std::string TupleSetToString(const TupleSet& tuples);
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_QUERY_H_

@@ -1,0 +1,109 @@
+#include "core/quotient.h"
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+// Recursively assigns each null to an existing block or a new block
+// (restricted-growth enumeration of set partitions), then maps each block
+// to "stay null" or to one of the constants.
+struct QuotientEnumerator {
+  const std::vector<Value>& nulls;
+  const std::vector<Value>& constants;
+  const Instance& instance;
+  uint64_t max_quotients;
+  std::vector<Instance>* out;
+
+  std::vector<uint32_t> block_of;  // block index per null
+
+  Status AssignBlocks(std::size_t index) {
+    if (index == nulls.size()) {
+      return AssignBlockTargets();
+    }
+    uint32_t max_block = 0;
+    for (uint32_t b : block_of) max_block = std::max(max_block, b + 1);
+    for (uint32_t b = 0; b <= max_block; ++b) {
+      block_of.push_back(b);
+      RDX_RETURN_IF_ERROR(AssignBlocks(index + 1));
+      block_of.pop_back();
+    }
+    return Status::OK();
+  }
+
+  Status AssignBlockTargets() {
+    uint32_t num_blocks = 0;
+    for (uint32_t b : block_of) num_blocks = std::max(num_blocks, b + 1);
+    // For each block: choice 0 = stay null (representative = first null of
+    // the block), choices 1..constants.size() = that constant.
+    std::vector<uint32_t> choice(num_blocks, 0);
+    while (true) {
+      EmitQuotient(choice);
+      if (static_cast<uint64_t>(out->size()) > max_quotients) {
+        return Status::ResourceExhausted(
+            StrCat("quotient enumeration exceeded ", max_quotients));
+      }
+      // Odometer over choices.
+      std::size_t pos = 0;
+      while (pos < choice.size()) {
+        if (++choice[pos] <= constants.size()) break;
+        choice[pos] = 0;
+        ++pos;
+      }
+      if (pos == choice.size()) break;
+    }
+    return Status::OK();
+  }
+
+  void EmitQuotient(const std::vector<uint32_t>& choice) {
+    ValueMap h;
+    // Representative of each stay-null block: its first null.
+    std::vector<Value> representative(choice.size(), Value());
+    std::vector<bool> has_representative(choice.size(), false);
+    for (std::size_t i = 0; i < nulls.size(); ++i) {
+      uint32_t b = block_of[i];
+      if (choice[b] == 0) {
+        if (!has_representative[b]) {
+          representative[b] = nulls[i];
+          has_representative[b] = true;
+        }
+        h.emplace(nulls[i], representative[b]);
+      } else {
+        h.emplace(nulls[i], constants[choice[b] - 1]);
+      }
+    }
+    out->push_back(instance.Apply(h));
+  }
+};
+
+}  // namespace
+
+Result<std::vector<Instance>> EnumerateNullQuotients(
+    const Instance& instance, uint64_t max_quotients) {
+  std::vector<Value> nulls = instance.Nulls();
+  std::vector<Value> constants;
+  for (const Value& v : instance.ActiveDomain()) {
+    if (v.IsConstant()) constants.push_back(v);
+  }
+  std::vector<Instance> out;
+  if (nulls.empty()) {
+    out.push_back(instance);
+    return out;
+  }
+  QuotientEnumerator enumerator{nulls, constants, instance, max_quotients,
+                                &out, {}};
+  RDX_RETURN_IF_ERROR(enumerator.AssignBlocks(0));
+  // The identity quotient (all blocks singleton, all stay null) is the
+  // first emitted: block assignment {0,1,2,...} is... the first restricted
+  // growth string is all-zeros (single block), not identity. Reorder so
+  // the identity image (equal to the input) is first for caller ergonomics.
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] == instance) {
+      std::swap(out[0], out[i]);
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace rdx

@@ -1,0 +1,33 @@
+#ifndef RDX_CORE_QUOTIENT_H_
+#define RDX_CORE_QUOTIENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "core/instance.h"
+
+namespace rdx {
+
+/// Enumerates the null-quotients of `instance`: every homomorphic image
+/// obtained by partitioning its labeled nulls into blocks and mapping each
+/// block either to a constant of the active domain or to the block's
+/// representative null. The identity quotient (every null its own block,
+/// kept as a null) is always first.
+///
+/// Rationale (see composition.h): e(M') = → ∘ M' ∘ → absorbs arbitrary
+/// homomorphic pre-images, and for deciding membership it suffices to
+/// consider quotients of the intermediate instance — mapping nulls to
+/// values outside the active domain never enables anything. Quotients make
+/// the procedural (disjunctive-chase-based) composition test complete for
+/// reverse mappings whose bodies use inequalities or the Constant
+/// predicate, where the syntactic chase alone is incomplete.
+///
+/// The number of quotients grows like Bell(#nulls) · (#constants+1)^blocks;
+/// the enumeration fails with ResourceExhausted beyond `max_quotients`.
+Result<std::vector<Instance>> EnumerateNullQuotients(
+    const Instance& instance, uint64_t max_quotients = 100'000);
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_QUOTIENT_H_

@@ -1,0 +1,141 @@
+#include "core/schema.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+struct RelationTables {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::vector<uint32_t> arities;
+  std::unordered_map<std::string, uint32_t> ids;
+};
+
+RelationTables& Tables() {
+  static RelationTables& tables = *new RelationTables();
+  return tables;
+}
+
+}  // namespace
+
+Result<Relation> Relation::Intern(std::string_view name, uint32_t arity) {
+  if (!IsIdentifier(name)) {
+    return Status::InvalidArgument(
+        StrCat("relation name '", name, "' is not an identifier"));
+  }
+  if (arity == 0) {
+    return Status::InvalidArgument(
+        StrCat("relation '", name, "' must have positive arity"));
+  }
+  RelationTables& t = Tables();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::string key(name);
+  auto it = t.ids.find(key);
+  if (it != t.ids.end()) {
+    if (t.arities[it->second] != arity) {
+      return Status::InvalidArgument(
+          StrCat("relation '", name, "' already interned with arity ",
+                 t.arities[it->second], ", requested ", arity));
+    }
+    return Relation(it->second);
+  }
+  uint32_t id = static_cast<uint32_t>(t.names.size());
+  t.names.push_back(key);
+  t.arities.push_back(arity);
+  t.ids.emplace(std::move(key), id);
+  return Relation(id);
+}
+
+Relation Relation::MustIntern(std::string_view name, uint32_t arity) {
+  Result<Relation> r = Intern(name, arity);
+  if (!r.ok()) {
+    std::abort();
+  }
+  return *r;
+}
+
+Result<Relation> Relation::Lookup(std::string_view name) {
+  RelationTables& t = Tables();
+  std::lock_guard<std::mutex> lock(t.mu);
+  auto it = t.ids.find(std::string(name));
+  if (it == t.ids.end()) {
+    return Status::NotFound(StrCat("relation '", name, "' not interned"));
+  }
+  return Relation(it->second);
+}
+
+const std::string& Relation::name() const {
+  RelationTables& t = Tables();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.names[id_];
+}
+
+uint32_t Relation::arity() const {
+  RelationTables& t = Tables();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return t.arities[id_];
+}
+
+Result<Schema> Schema::Make(
+    const std::vector<std::pair<std::string, uint32_t>>& relations) {
+  Schema schema;
+  for (const auto& [name, arity] : relations) {
+    RDX_ASSIGN_OR_RETURN(Relation rel, Relation::Intern(name, arity));
+    RDX_RETURN_IF_ERROR(schema.AddRelation(rel));
+  }
+  return schema;
+}
+
+Schema Schema::MustMake(
+    const std::vector<std::pair<std::string, uint32_t>>& relations) {
+  Result<Schema> s = Make(relations);
+  if (!s.ok()) {
+    std::abort();
+  }
+  return *std::move(s);
+}
+
+Status Schema::AddRelation(Relation relation) {
+  if (Contains(relation)) {
+    return Status::InvalidArgument(
+        StrCat("relation '", relation.name(), "' already in schema"));
+  }
+  relations_.push_back(relation);
+  return Status::OK();
+}
+
+bool Schema::Contains(Relation relation) const {
+  return std::find(relations_.begin(), relations_.end(), relation) !=
+         relations_.end();
+}
+
+bool Schema::DisjointFrom(const Schema& other) const {
+  for (Relation r : relations_) {
+    if (other.Contains(r)) return false;
+  }
+  return true;
+}
+
+Schema Schema::Union(const Schema& a, const Schema& b) {
+  Schema out = a;
+  for (Relation r : b.relations()) {
+    if (!out.Contains(r)) out.relations_.push_back(r);
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  return StrCat("{",
+                JoinMapped(relations_, ", ",
+                           [](Relation r) {
+                             return StrCat(r.name(), "/", r.arity());
+                           }),
+                "}");
+}
+
+}  // namespace rdx

@@ -1,0 +1,100 @@
+#ifndef RDX_CORE_SCHEMA_H_
+#define RDX_CORE_SCHEMA_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace rdx {
+
+/// An interned relation symbol with a fixed arity. Relation symbols live in
+/// a process-wide registry keyed by name; interning the same name twice
+/// with different arities is an error surfaced by the Intern factory.
+class Relation {
+ public:
+  Relation() : id_(0) {}
+
+  /// Interns (or retrieves) the relation symbol `name` with `arity`.
+  /// Fails with InvalidArgument if `name` was previously interned with a
+  /// different arity, or if `name` is not a valid identifier.
+  static Result<Relation> Intern(std::string_view name, uint32_t arity);
+
+  /// Like Intern but aborts on error; for literals in tests and examples.
+  static Relation MustIntern(std::string_view name, uint32_t arity);
+
+  /// Looks up a previously interned relation by name.
+  static Result<Relation> Lookup(std::string_view name);
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const;
+  uint32_t arity() const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.id_ == b.id_;
+  }
+  friend auto operator<=>(const Relation& a, const Relation& b) {
+    return a.id_ <=> b.id_;
+  }
+
+ private:
+  explicit Relation(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+struct RelationHash {
+  std::size_t operator()(const Relation& r) const {
+    return std::hash<uint32_t>()(r.id());
+  }
+};
+
+/// A finite sequence of relation symbols (the paper's schema R).
+/// Schemas are value types; copying is cheap (vector of 4-byte ids).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from (name, arity) pairs. Fails on duplicate names or
+  /// arity clashes with previously interned symbols.
+  static Result<Schema> Make(
+      const std::vector<std::pair<std::string, uint32_t>>& relations);
+
+  /// Like Make but aborts on error; for literals in tests and examples.
+  static Schema MustMake(
+      const std::vector<std::pair<std::string, uint32_t>>& relations);
+
+  /// Adds `relation` to the schema. Fails if already present.
+  Status AddRelation(Relation relation);
+
+  bool Contains(Relation relation) const;
+  const std::vector<Relation>& relations() const { return relations_; }
+  std::size_t size() const { return relations_.size(); }
+
+  /// True if no relation symbol occurs in both this schema and `other`
+  /// (source and target schemas of a mapping must be disjoint).
+  bool DisjointFrom(const Schema& other) const;
+
+  /// Union of the two schemas (for instances over combined schemas).
+  static Schema Union(const Schema& a, const Schema& b);
+
+  /// "{P/2, Q/1}" style rendering, in insertion order.
+  std::string ToString() const;
+
+ private:
+  std::vector<Relation> relations_;
+};
+
+}  // namespace rdx
+
+template <>
+struct std::hash<rdx::Relation> {
+  std::size_t operator()(const rdx::Relation& r) const {
+    return std::hash<uint32_t>()(r.id());
+  }
+};
+
+#endif  // RDX_CORE_SCHEMA_H_

@@ -1,0 +1,72 @@
+#include "core/term.h"
+
+#include <cassert>
+#include <mutex>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+struct VariableTables {
+  std::mutex mu;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, uint32_t> ids;
+};
+
+VariableTables& Tables() {
+  static VariableTables& tables = *new VariableTables();
+  return tables;
+}
+
+}  // namespace
+
+Variable Variable::Intern(std::string_view name) {
+  VariableTables& t = Tables();
+  std::lock_guard<std::mutex> lock(t.mu);
+  std::string key(name);
+  auto it = t.ids.find(key);
+  if (it != t.ids.end()) return Variable(it->second);
+  uint32_t id = static_cast<uint32_t>(t.names.size());
+  t.names.push_back(key);
+  t.ids.emplace(std::move(key), id);
+  return Variable(id);
+}
+
+Variable Variable::Fresh() {
+  VariableTables& t = Tables();
+  std::lock_guard<std::mutex> lock(t.mu);
+  uint32_t id = static_cast<uint32_t>(t.names.size());
+  std::string label = StrCat("v", id);
+  while (t.ids.count(label) > 0) {
+    label += "_";
+  }
+  t.names.push_back(label);
+  t.ids.emplace(std::move(label), id);
+  return Variable(id);
+}
+
+std::string Variable::name() const {
+  VariableTables& t = Tables();
+  std::lock_guard<std::mutex> lock(t.mu);
+  assert(id_ < t.names.size());
+  return t.names[id_];
+}
+
+std::string Term::ToString() const {
+  if (IsVariable()) return variable_.name();
+  // Render constants in dependency syntax: numbers bare, names quoted.
+  std::string name = constant_.name();
+  bool numeric = !name.empty();
+  for (char c : name) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      numeric = false;
+      break;
+    }
+  }
+  if (numeric) return name;
+  return StrCat("'", name, "'");
+}
+
+}  // namespace rdx

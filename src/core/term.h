@@ -1,0 +1,111 @@
+#ifndef RDX_CORE_TERM_H_
+#define RDX_CORE_TERM_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "core/value.h"
+
+namespace rdx {
+
+/// An interned first-order variable, as used in dependencies and queries.
+/// Variables are process-wide: the same name always denotes the same
+/// variable.
+class Variable {
+ public:
+  Variable() : id_(0) {}
+
+  /// Interns (or retrieves) the variable named `name`.
+  static Variable Intern(std::string_view name);
+
+  /// Returns a globally fresh variable (label "v<id>").
+  static Variable Fresh();
+
+  uint32_t id() const { return id_; }
+  std::string name() const;
+
+  friend bool operator==(const Variable& a, const Variable& b) {
+    return a.id_ == b.id_;
+  }
+  friend auto operator<=>(const Variable& a, const Variable& b) {
+    return a.id_ <=> b.id_;
+  }
+
+ private:
+  explicit Variable(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+struct VariableHash {
+  std::size_t operator()(const Variable& v) const {
+    return std::hash<uint32_t>()(v.id());
+  }
+};
+
+/// An assignment of variables to instance values, produced by dependency
+/// matching and query evaluation.
+using Assignment = std::unordered_map<Variable, Value, VariableHash>;
+
+/// A term in a dependency or query: either a variable or a constant value.
+class Term {
+ public:
+  enum class Kind : uint32_t { kVariable = 0, kConstant = 1 };
+
+  Term() : kind_(Kind::kVariable), variable_(), constant_() {}
+
+  static Term Var(Variable v) {
+    Term t;
+    t.kind_ = Kind::kVariable;
+    t.variable_ = v;
+    return t;
+  }
+  static Term Var(std::string_view name) { return Var(Variable::Intern(name)); }
+  static Term Const(Value value) {
+    Term t;
+    t.kind_ = Kind::kConstant;
+    t.constant_ = value;
+    return t;
+  }
+
+  Kind kind() const { return kind_; }
+  bool IsVariable() const { return kind_ == Kind::kVariable; }
+  bool IsConstant() const { return kind_ == Kind::kConstant; }
+
+  Variable variable() const { return variable_; }
+  Value constant() const { return constant_; }
+
+  /// The value of this term under `assignment`; for an unbound variable
+  /// returns false via the out-parameter contract: see Eval in atom.h.
+  /// Convenience here: constant terms evaluate to their value.
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.kind_ != b.kind_) return false;
+    return a.kind_ == Kind::kVariable ? a.variable_ == b.variable_
+                                      : a.constant_ == b.constant_;
+  }
+
+  std::size_t Hash() const {
+    std::size_t seed = static_cast<std::size_t>(kind_);
+    HashCombine(seed, kind_ == Kind::kVariable ? variable_.id()
+                                               : constant_.Hash());
+    return seed;
+  }
+
+ private:
+  Kind kind_;
+  Variable variable_;
+  Value constant_;
+};
+
+struct TermHash {
+  std::size_t operator()(const Term& t) const { return t.Hash(); }
+};
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_TERM_H_

@@ -1,0 +1,88 @@
+#ifndef RDX_CORE_VALUE_H_
+#define RDX_CORE_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "base/hash.h"
+
+namespace rdx {
+
+/// A value appearing in an instance: either a constant from Const or a
+/// labeled null from Var (the paper's Const ∪ Var, Section 2).
+///
+/// Values are small (8 bytes) and cheap to copy/compare. Constant names and
+/// null labels are interned in a process-wide table; two constants with the
+/// same name are the same value, and likewise for named nulls. Fresh nulls
+/// (as invented by the chase) have globally unique ids and synthesized
+/// labels "N<id>".
+class Value {
+ public:
+  enum class Kind : uint32_t { kConstant = 0, kNull = 1 };
+
+  /// Default-constructed value is the constant "" (rarely meaningful;
+  /// provided so Value is usable in containers).
+  Value() : kind_(Kind::kConstant), id_(0) {}
+
+  /// Returns the interned constant named `name`.
+  static Value MakeConstant(std::string_view name);
+
+  /// Returns the interned constant for the decimal rendering of `v`.
+  static Value MakeInt(int64_t v);
+
+  /// Returns the interned labeled null with label `name`. The same label
+  /// always yields the same null.
+  static Value MakeNull(std::string_view name);
+
+  /// Returns a globally fresh null, distinct from every null returned
+  /// before (by this function or by MakeNull).
+  static Value FreshNull();
+
+  Kind kind() const { return kind_; }
+  bool IsConstant() const { return kind_ == Kind::kConstant; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  uint32_t id() const { return id_; }
+
+  /// The constant's name, or the null's label (without the '?' sigil).
+  std::string name() const;
+
+  /// Render for display/parsing round trips: constants print as their name,
+  /// nulls print as "?<label>".
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.kind_ == b.kind_ && a.id_ == b.id_;
+  }
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b) {
+    if (a.kind_ != b.kind_) return a.kind_ <=> b.kind_;
+    return a.id_ <=> b.id_;
+  }
+
+  std::size_t Hash() const {
+    std::size_t seed = static_cast<std::size_t>(kind_);
+    HashCombine(seed, id_);
+    return seed;
+  }
+
+ private:
+  Value(Kind kind, uint32_t id) : kind_(kind), id_(id) {}
+
+  Kind kind_;
+  uint32_t id_;
+};
+
+struct ValueHash {
+  std::size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace rdx
+
+template <>
+struct std::hash<rdx::Value> {
+  std::size_t operator()(const rdx::Value& v) const { return v.Hash(); }
+};
+
+#endif  // RDX_CORE_VALUE_H_

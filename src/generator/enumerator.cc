@@ -1,0 +1,108 @@
+#include "generator/enumerator.h"
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+// Appends every fact R(d1, ..., dk) with values from `domain` to `out`.
+void AppendAllFacts(Relation relation, const std::vector<Value>& domain,
+                    std::vector<Fact>* out) {
+  uint32_t arity = relation.arity();
+  std::vector<std::size_t> idx(arity, 0);
+  while (true) {
+    std::vector<Value> args;
+    args.reserve(arity);
+    for (uint32_t i = 0; i < arity; ++i) {
+      args.push_back(domain[idx[i]]);
+    }
+    out->push_back(Fact::MustMake(relation, std::move(args)));
+    // Odometer increment.
+    uint32_t pos = 0;
+    while (pos < arity) {
+      if (++idx[pos] < domain.size()) break;
+      idx[pos] = 0;
+      ++pos;
+    }
+    if (pos == arity) break;
+  }
+}
+
+// Recursively extends `current` with facts from index `start` onwards.
+bool EnumerateSubsets(const std::vector<Fact>& all_facts, std::size_t start,
+                      std::size_t remaining_capacity, Instance* current,
+                      std::vector<Instance>* out, uint64_t max_instances) {
+  out->push_back(*current);
+  if (static_cast<uint64_t>(out->size()) > max_instances) return false;
+  if (remaining_capacity == 0) return true;
+  for (std::size_t i = start; i < all_facts.size(); ++i) {
+    current->AddFact(all_facts[i]);
+    if (!EnumerateSubsets(all_facts, i + 1, remaining_capacity - 1, current,
+                          out, max_instances)) {
+      return false;
+    }
+    current->RemoveFact(all_facts[i]);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Value> StandardDomain(std::size_t num_constants,
+                                  std::size_t num_nulls) {
+  std::vector<Value> out;
+  out.reserve(num_constants + num_nulls);
+  for (std::size_t i = 0; i < num_constants; ++i) {
+    out.push_back(Value::MakeConstant(StrCat("c", i)));
+  }
+  for (std::size_t i = 0; i < num_nulls; ++i) {
+    out.push_back(Value::MakeNull(StrCat("u", i)));
+  }
+  return out;
+}
+
+uint64_t CountPossibleFacts(const EnumerationUniverse& universe) {
+  uint64_t total = 0;
+  for (Relation r : universe.schema.relations()) {
+    uint64_t count = 1;
+    for (uint32_t i = 0; i < r.arity(); ++i) {
+      count *= universe.domain.size();
+    }
+    total += count;
+  }
+  return total;
+}
+
+Result<std::vector<Instance>> EnumerateInstances(
+    const EnumerationUniverse& universe, uint64_t max_instances) {
+  if (universe.domain.empty()) {
+    return Status::InvalidArgument("enumeration domain must be non-empty");
+  }
+  std::vector<Fact> all_facts;
+  for (Relation r : universe.schema.relations()) {
+    AppendAllFacts(r, universe.domain, &all_facts);
+  }
+  std::vector<Instance> out;
+  Instance current;
+  if (!EnumerateSubsets(all_facts, 0, universe.max_facts, &current, &out,
+                        max_instances)) {
+    return Status::ResourceExhausted(
+        StrCat("universe has more than ", max_instances,
+               " instances; shrink the domain, schema, or max_facts"));
+  }
+  return out;
+}
+
+Result<std::vector<Instance>> EnumerateNonEmptyInstances(
+    const EnumerationUniverse& universe, uint64_t max_instances) {
+  RDX_ASSIGN_OR_RETURN(std::vector<Instance> all,
+                       EnumerateInstances(universe, max_instances));
+  std::vector<Instance> out;
+  out.reserve(all.size());
+  for (Instance& I : all) {
+    if (!I.empty()) out.push_back(std::move(I));
+  }
+  return out;
+}
+
+}  // namespace rdx

@@ -1,0 +1,48 @@
+#ifndef RDX_GENERATOR_ENUMERATOR_H_
+#define RDX_GENERATOR_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace rdx {
+
+/// A finite universe of instances: all instances over `schema` with at
+/// most `max_facts` facts whose values come from `domain`.
+///
+/// The paper's properties quantify over all instances; bounded exhaustive
+/// enumeration makes them machine-checkable: a counterexample found in a
+/// universe is a proof, and "no counterexample up to size k" is the
+/// strongest evidence a finite check can give (see DESIGN.md §1).
+struct EnumerationUniverse {
+  Schema schema;
+  std::vector<Value> domain;
+  std::size_t max_facts = 2;
+};
+
+/// Builds the standard domain {c0, ..., c_{nc-1}, ?u0, ..., ?u_{nv-1}} of
+/// `num_constants` constants and `num_nulls` labeled nulls.
+std::vector<Value> StandardDomain(std::size_t num_constants,
+                                  std::size_t num_nulls);
+
+/// The number of distinct facts expressible in the universe
+/// (Σ_R |domain|^arity(R)).
+uint64_t CountPossibleFacts(const EnumerationUniverse& universe);
+
+/// Enumerates every instance of the universe (including the empty one),
+/// in a deterministic order. Fails with ResourceExhausted if more than
+/// `max_instances` would be produced.
+Result<std::vector<Instance>> EnumerateInstances(
+    const EnumerationUniverse& universe, uint64_t max_instances = 2'000'000);
+
+/// Convenience: the universe's instances with the empty instance removed
+/// (many paper properties are only interesting on non-empty instances).
+Result<std::vector<Instance>> EnumerateNonEmptyInstances(
+    const EnumerationUniverse& universe, uint64_t max_instances = 2'000'000);
+
+}  // namespace rdx
+
+#endif  // RDX_GENERATOR_ENUMERATOR_H_

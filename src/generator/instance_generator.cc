@@ -1,0 +1,58 @@
+#include "generator/instance_generator.h"
+
+#include "base/strings.h"
+
+namespace rdx {
+
+Instance RandomInstance(const Schema& schema, const InstanceGenOptions& options,
+                        Rng* rng) {
+  Instance out;
+  if (schema.relations().empty() ||
+      (options.num_constants == 0 && options.num_nulls == 0)) {
+    return out;
+  }
+  for (std::size_t i = 0; i < options.num_facts; ++i) {
+    Relation r = schema.relations()[rng->Uniform(schema.relations().size())];
+    std::vector<Value> args;
+    args.reserve(r.arity());
+    for (uint32_t pos = 0; pos < r.arity(); ++pos) {
+      bool use_null = options.num_nulls > 0 &&
+                      (options.num_constants == 0 ||
+                       rng->Bernoulli(options.null_ratio));
+      if (use_null) {
+        args.push_back(
+            Value::MakeNull(StrCat("u", rng->Uniform(options.num_nulls))));
+      } else {
+        args.push_back(Value::MakeConstant(
+            StrCat("c", rng->Uniform(options.num_constants))));
+      }
+    }
+    out.AddFact(Fact::MustMake(r, std::move(args)));
+  }
+  return out;
+}
+
+Result<Instance> PathInstance(Relation binary_relation, std::size_t length,
+                              double null_ratio, Rng* rng) {
+  if (binary_relation.arity() != 2) {
+    return Status::InvalidArgument(
+        StrCat("PathInstance needs a binary relation, got '",
+               binary_relation.name(), "/", binary_relation.arity(), "'"));
+  }
+  std::vector<Value> nodes;
+  nodes.reserve(length + 1);
+  for (std::size_t i = 0; i <= length; ++i) {
+    if (rng->Bernoulli(null_ratio)) {
+      nodes.push_back(Value::MakeNull(StrCat("pn", i)));
+    } else {
+      nodes.push_back(Value::MakeConstant(StrCat("p", i)));
+    }
+  }
+  Instance out;
+  for (std::size_t i = 0; i < length; ++i) {
+    out.AddFact(Fact::MustMake(binary_relation, {nodes[i], nodes[i + 1]}));
+  }
+  return out;
+}
+
+}  // namespace rdx

@@ -1,0 +1,47 @@
+#ifndef RDX_GENERATOR_INSTANCE_GENERATOR_H_
+#define RDX_GENERATOR_INSTANCE_GENERATOR_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "core/instance.h"
+#include "core/schema.h"
+
+namespace rdx {
+
+/// Knobs for random instance generation.
+struct InstanceGenOptions {
+  /// Number of facts to draw (duplicates collapse, so the resulting
+  /// instance can be slightly smaller).
+  std::size_t num_facts = 100;
+
+  /// Size of the constant pool values are drawn from.
+  std::size_t num_constants = 50;
+
+  /// Size of the labeled-null pool.
+  std::size_t num_nulls = 10;
+
+  /// Probability that an argument position is a null (drawn from the null
+  /// pool) rather than a constant. 0 yields ground instances.
+  double null_ratio = 0.0;
+};
+
+/// Generates a random instance over `schema`: each fact picks a uniform
+/// relation and uniform values, with nulls at rate `null_ratio`.
+/// Deterministic given the Rng seed. The value pools are shared across
+/// calls (constants "c0".., nulls "u0".. as in StandardDomain).
+Instance RandomInstance(const Schema& schema, const InstanceGenOptions& options,
+                        Rng* rng);
+
+/// A path-shaped instance over a binary relation:
+/// R(v0, v1), R(v1, v2), ..., R(v_{n-1}, v_n), where each vi is a constant
+/// "p<i>" or (with probability null_ratio) the null "?pn<i>". The shape
+/// drives the PathSplit scenarios, where chase/reverse-chase behaviour
+/// depends on value sharing between facts.
+Result<Instance> PathInstance(Relation binary_relation, std::size_t length,
+                              double null_ratio, Rng* rng);
+
+}  // namespace rdx
+
+#endif  // RDX_GENERATOR_INSTANCE_GENERATOR_H_

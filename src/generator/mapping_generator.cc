@@ -1,0 +1,98 @@
+#include "generator/mapping_generator.h"
+
+#include <atomic>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+// Monotone counter making generated relation names unique process-wide.
+std::atomic<uint64_t> g_mapping_counter{0};
+
+}  // namespace
+
+Result<SchemaMapping> RandomFullTgdMapping(const MappingGenOptions& options,
+                                           Rng* rng) {
+  if (options.num_source_relations == 0 || options.num_target_relations == 0 ||
+      options.num_tgds == 0 || options.max_arity == 0 ||
+      options.max_body_atoms == 0) {
+    return Status::InvalidArgument(
+        "mapping generator options must all be positive");
+  }
+  uint64_t tag = g_mapping_counter.fetch_add(1);
+
+  Schema source;
+  std::vector<Relation> source_rels;
+  for (std::size_t i = 0; i < options.num_source_relations; ++i) {
+    uint32_t arity =
+        static_cast<uint32_t>(1 + rng->Uniform(options.max_arity));
+    RDX_ASSIGN_OR_RETURN(
+        Relation r, Relation::Intern(StrCat("GenS", tag, "_", i), arity));
+    RDX_RETURN_IF_ERROR(source.AddRelation(r));
+    source_rels.push_back(r);
+  }
+  Schema target;
+  std::vector<Relation> target_rels;
+  for (std::size_t i = 0; i < options.num_target_relations; ++i) {
+    uint32_t arity =
+        static_cast<uint32_t>(1 + rng->Uniform(options.max_arity));
+    RDX_ASSIGN_OR_RETURN(
+        Relation r, Relation::Intern(StrCat("GenT", tag, "_", i), arity));
+    RDX_RETURN_IF_ERROR(target.AddRelation(r));
+    target_rels.push_back(r);
+  }
+
+  std::vector<Dependency> deps;
+  for (std::size_t t = 0; t < options.num_tgds; ++t) {
+    // Body: 1..max_body_atoms source atoms over a shared variable pool.
+    // Variables are chained so the body is connected: the first atom
+    // introduces fresh variables, later atoms reuse earlier variables with
+    // probability 1/2.
+    std::size_t num_atoms = 1 + rng->Uniform(options.max_body_atoms);
+    std::vector<Variable> pool;
+    std::vector<Atom> body;
+    for (std::size_t a = 0; a < num_atoms; ++a) {
+      Relation r = source_rels[rng->Uniform(source_rels.size())];
+      std::vector<Term> terms;
+      for (uint32_t p = 0; p < r.arity(); ++p) {
+        bool reuse = !pool.empty() && rng->Bernoulli(0.5);
+        if (reuse) {
+          terms.push_back(Term::Var(pool[rng->Uniform(pool.size())]));
+        } else {
+          Variable v =
+              Variable::Intern(StrCat("gx", tag, "_", t, "_", pool.size()));
+          pool.push_back(v);
+          terms.push_back(Term::Var(v));
+        }
+      }
+      RDX_ASSIGN_OR_RETURN(Atom atom, Atom::Relational(r, std::move(terms)));
+      body.push_back(std::move(atom));
+    }
+
+    // Head: a single target atom over body variables (fullness). With
+    // head_repeat_prob, a position repeats an already-used head variable.
+    Relation hr = target_rels[rng->Uniform(target_rels.size())];
+    std::vector<Term> head_terms;
+    std::vector<Variable> used;
+    for (uint32_t p = 0; p < hr.arity(); ++p) {
+      if (!used.empty() && rng->Bernoulli(options.head_repeat_prob)) {
+        head_terms.push_back(Term::Var(used[rng->Uniform(used.size())]));
+      } else {
+        Variable v = pool[rng->Uniform(pool.size())];
+        used.push_back(v);
+        head_terms.push_back(Term::Var(v));
+      }
+    }
+    RDX_ASSIGN_OR_RETURN(Atom head,
+                         Atom::Relational(hr, std::move(head_terms)));
+    RDX_ASSIGN_OR_RETURN(Dependency dep,
+                         Dependency::MakeTgd(std::move(body), {head}));
+    deps.push_back(std::move(dep));
+  }
+
+  return SchemaMapping::Make(std::move(source), std::move(target),
+                             std::move(deps));
+}
+
+}  // namespace rdx

@@ -1,0 +1,37 @@
+#ifndef RDX_GENERATOR_MAPPING_GENERATOR_H_
+#define RDX_GENERATOR_MAPPING_GENERATOR_H_
+
+#include <cstdint>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Knobs for random full-tgd mapping generation (the input class of the
+/// quasi-inverse algorithm, Theorem 5.1).
+struct MappingGenOptions {
+  std::size_t num_source_relations = 2;
+  std::size_t num_target_relations = 2;
+  uint32_t max_arity = 3;
+  std::size_t num_tgds = 3;
+  std::size_t max_body_atoms = 2;
+
+  /// Probability that a head position reuses an already-placed head
+  /// variable (creating repeated-variable head patterns, which force
+  /// equality types and thus disjunctions in the quasi-inverse output).
+  double head_repeat_prob = 0.3;
+};
+
+/// Generates a random mapping specified by full s-t tgds. Every head
+/// variable occurs in the body (fullness) by construction, and every tgd's
+/// body is connected enough to be safe. Relation names are made globally
+/// unique per call (the process-wide relation registry pins arities), so
+/// repeated calls never clash.
+Result<SchemaMapping> RandomFullTgdMapping(const MappingGenOptions& options,
+                                           Rng* rng);
+
+}  // namespace rdx
+
+#endif  // RDX_GENERATOR_MAPPING_GENERATOR_H_

@@ -1,0 +1,216 @@
+#include "generator/scenarios.h"
+
+namespace rdx {
+namespace scenarios {
+namespace {
+
+Schema S(std::vector<std::pair<std::string, uint32_t>> rels) {
+  return Schema::MustMake(std::move(rels));
+}
+
+}  // namespace
+
+Scenario Decomposition() {
+  Schema source = S({{"DecP", 3}});
+  Schema target = S({{"DecQ", 2}, {"DecR", 2}});
+  Scenario s;
+  s.name = "decomposition";
+  s.description =
+      "Example 1.1: DecP(x,y,z) -> DecQ(x,y) & DecR(y,z); quasi-invertible "
+      "but not invertible";
+  s.mapping = SchemaMapping::MustParse(source, target,
+                                       "DecP(x,y,z) -> DecQ(x,y) & DecR(y,z)");
+  s.reverse = SchemaMapping::MustParse(
+      target, source,
+      "DecQ(x,y) -> EXISTS z: DecP(x,y,z); "
+      "DecR(y,z) -> EXISTS x: DecP(x,y,z)");
+  return s;
+}
+
+Scenario Union() {
+  Schema source = S({{"UnP", 1}, {"UnQ", 1}});
+  Schema target = S({{"UnR", 1}});
+  Scenario s;
+  s.name = "union";
+  s.description =
+      "Example 3.14: UnP(x) -> UnR(x), UnQ(x) -> UnR(x); not "
+      "extended-invertible";
+  s.mapping = SchemaMapping::MustParse(source, target,
+                                       "UnP(x) -> UnR(x); UnQ(x) -> UnR(x)");
+  return s;
+}
+
+Scenario TwoNullable() {
+  Schema source = S({{"TnP", 1}, {"TnQ", 1}});
+  Schema target = S({{"TnR", 2}});
+  Scenario s;
+  s.name = "two_nullable";
+  s.description =
+      "Theorem 3.15(2): TnP(x) -> EXISTS y: TnR(x,y), TnQ(y) -> EXISTS x: "
+      "TnR(x,y); invertible but not extended-invertible";
+  s.mapping = SchemaMapping::MustParse(
+      source, target,
+      "TnP(x) -> EXISTS y: TnR(x,y); TnQ(y) -> EXISTS x: TnR(x,y)");
+  s.reverse = SchemaMapping::MustParse(
+      target, source,
+      "TnR(x,y) & Constant(x) -> TnP(x); TnR(x,y) & Constant(y) -> TnQ(y)");
+  return s;
+}
+
+Scenario PathSplit() {
+  Schema source = S({{"PathP", 2}});
+  Schema target = S({{"PathQ", 2}});
+  Scenario s;
+  s.name = "path_split";
+  s.description =
+      "Thm 3.15(3)/Ex 3.18-3.19/Prop 4.2: PathP(x,y) -> EXISTS z: "
+      "PathQ(x,z) & PathQ(z,y); M' is an extended inverse but not an "
+      "inverse; M'' (Constant-guarded) is an inverse but not an extended "
+      "inverse";
+  s.mapping = SchemaMapping::MustParse(
+      source, target, "PathP(x,y) -> EXISTS z: PathQ(x,z) & PathQ(z,y)");
+  s.reverse = SchemaMapping::MustParse(
+      target, source, "PathQ(x,z) & PathQ(z,y) -> PathP(x,y)");
+  s.alt_reverse = SchemaMapping::MustParse(
+      target, source,
+      "PathQ(x,z) & PathQ(z,y) & Constant(x) & Constant(y) -> PathP(x,y)");
+  return s;
+}
+
+Scenario CopyBinary() {
+  Schema source = S({{"LsP", 2}});
+  Schema target = S({{"LsPp", 2}});
+  Scenario s;
+  s.name = "copy_binary";
+  s.description =
+      "Example 6.7 M1: LsP(x,y) -> LsPp(x,y); no information loss";
+  s.mapping = SchemaMapping::MustParse(source, target,
+                                       "LsP(x,y) -> LsPp(x,y)");
+  s.reverse = SchemaMapping::MustParse(target, source,
+                                       "LsPp(x,y) -> LsP(x,y)");
+  return s;
+}
+
+Scenario ComponentSplit() {
+  Schema source = S({{"LsP", 2}});
+  Schema target = S({{"LsPp", 2}});
+  Scenario s;
+  s.name = "component_split";
+  s.description =
+      "Example 6.7 M2: LsP(x,y) -> EXISTS z: LsPp(x,z) and LsP(x,y) -> "
+      "EXISTS u: LsPp(u,y); strictly lossier than the copy mapping";
+  s.mapping = SchemaMapping::MustParse(
+      source, target,
+      "LsP(x,y) -> EXISTS z: LsPp(x,z); LsP(x,y) -> EXISTS u: LsPp(u,y)");
+  s.reverse = SchemaMapping::MustParse(target, source,
+                                       "LsPp(x,y) -> LsP(x,y)");
+  return s;
+}
+
+Scenario SelfLoop() {
+  Schema source = S({{"SlP", 2}, {"SlT", 1}});
+  Schema target = S({{"SlPp", 2}});
+  Scenario s;
+  s.name = "self_loop";
+  s.description =
+      "Theorem 5.2: SlP(x,y) -> SlPp(x,y), SlT(x) -> SlPp(x,x); maximum "
+      "extended recovery needs both disjunction and inequalities";
+  s.mapping = SchemaMapping::MustParse(
+      source, target, "SlP(x,y) -> SlPp(x,y); SlT(x) -> SlPp(x,x)");
+  s.reverse = SchemaMapping::MustParse(
+      target, source,
+      "SlPp(x,y) & x != y -> SlP(x,y); SlPp(x,x) -> SlT(x) | SlP(x,x)");
+  return s;
+}
+
+Scenario SquareDiagonal() {
+  Schema source = S({{"SqP", 1}});
+  Schema target = S({{"SqQ", 2}});
+  Scenario s;
+  s.name = "square_diagonal";
+  s.description =
+      "Theorem 4.10 remark: SqP(x) -> SqQ(x,x); the ground case has no "
+      "strong maximum recovery analog";
+  s.mapping = SchemaMapping::MustParse(source, target, "SqP(x) -> SqQ(x,x)");
+  s.reverse = SchemaMapping::MustParse(target, source,
+                                       "SqQ(x,x) -> SqP(x)");
+  return s;
+}
+
+Scenario Projection() {
+  Schema source = S({{"ProjP", 2}});
+  Schema target = S({{"ProjQ", 1}});
+  Scenario s;
+  s.name = "projection";
+  s.description = "ProjP(x,y) -> ProjQ(x); archetypal information loss";
+  s.mapping = SchemaMapping::MustParse(source, target,
+                                       "ProjP(x,y) -> ProjQ(x)");
+  s.reverse = SchemaMapping::MustParse(
+      target, source, "ProjQ(x) -> EXISTS y: ProjP(x,y)");
+  return s;
+}
+
+Scenario SwapDuplication() {
+  Schema source = S({{"DupP", 2}});
+  Schema target = S({{"DupQ", 2}});
+  Scenario s;
+  s.name = "swap_duplication";
+  s.description =
+      "DupP(x,y) -> DupQ(x,y) & DupQ(y,x); symmetric closure loses the "
+      "ORIENTATION of each fact (chase({P(a,b)}) = chase({P(b,a)})), so "
+      "the mapping is not extended invertible and its maximum extended "
+      "recovery must disjoin the two readings";
+  s.mapping = SchemaMapping::MustParse(
+      source, target, "DupP(x, y) -> DupQ(x, y) & DupQ(y, x)");
+  // The quasi-inverse output shape: off-diagonal facts recover either
+  // orientation; diagonal facts are unambiguous.
+  s.reverse = SchemaMapping::MustParse(
+      target, source,
+      "DupQ(x, y) & x != y -> DupP(x, y) | DupP(y, x); "
+      "DupQ(x, x) -> DupP(x, x)");
+  return s;
+}
+
+Scenario LongPathSplit() {
+  Schema source = S({{"PlP", 2}});
+  Schema target = S({{"PlQ", 2}});
+  Scenario s;
+  s.name = "long_path_split";
+  s.description =
+      "PlP(x,y) -> EXISTS z1, z2: PlQ(x,z1) & PlQ(z1,z2) & PlQ(z2,y); a "
+      "two-null chain per source fact";
+  s.mapping = SchemaMapping::MustParse(
+      source, target,
+      "PlP(x, y) -> EXISTS z1, z2: PlQ(x, z1) & PlQ(z1, z2) & PlQ(z2, y)");
+  s.reverse = SchemaMapping::MustParse(
+      target, source,
+      "PlQ(x, z1) & PlQ(z1, z2) & PlQ(z2, y) -> PlP(x, y)");
+  return s;
+}
+
+Scenario DiagonalMerge() {
+  Schema source = S({{"MgA", 1}, {"MgB", 2}});
+  Schema target = S({{"MgC", 2}});
+  Scenario s;
+  s.name = "diagonal_merge";
+  s.description =
+      "MgA(x) -> MgC(x,x) and MgB(x,y) -> MgC(x,y): diagonal facts are "
+      "ambiguous between a unary and a binary origin (full-tgd SelfLoop "
+      "cousin)";
+  s.mapping = SchemaMapping::MustParse(
+      source, target, "MgA(x) -> MgC(x, x); MgB(x, y) -> MgC(x, y)");
+  s.reverse = SchemaMapping::MustParse(
+      target, source,
+      "MgC(x, y) & x != y -> MgB(x, y); MgC(x, x) -> MgA(x) | MgB(x, x)");
+  return s;
+}
+
+std::vector<Scenario> AllScenarios() {
+  return {Decomposition(),  Union(),          TwoNullable(),
+          PathSplit(),      CopyBinary(),     ComponentSplit(),
+          SelfLoop(),       SquareDiagonal(), Projection(),
+          SwapDuplication(), LongPathSplit(), DiagonalMerge()};
+}
+
+}  // namespace scenarios
+}  // namespace rdx

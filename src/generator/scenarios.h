@@ -1,0 +1,99 @@
+#ifndef RDX_GENERATOR_SCENARIOS_H_
+#define RDX_GENERATOR_SCENARIOS_H_
+
+#include <optional>
+#include <string>
+
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+namespace scenarios {
+
+/// A named schema mapping from the paper, optionally with the "reverse"
+/// mapping(s) the paper discusses for it. Relation names carry a scenario
+/// prefix (the process-wide relation registry pins arities, so P/3 of one
+/// example must not clash with P/1 of another).
+struct Scenario {
+  std::string name;
+  std::string description;
+  SchemaMapping mapping;
+
+  /// The paper's principal reverse mapping, when one is given (e.g. the
+  /// quasi-inverse / chase-inverse candidate).
+  std::optional<SchemaMapping> reverse;
+
+  /// A secondary reverse mapping, when the paper contrasts two (e.g. the
+  /// Constant-guarded inverse M'' of Example 3.19).
+  std::optional<SchemaMapping> alt_reverse;
+};
+
+/// Example 1.1: decomposition DecP(x,y,z) → DecQ(x,y) ∧ DecR(y,z), with
+/// the paper's reverse Σ' = {DecQ(x,y) → ∃z DecP(x,y,z),
+/// DecR(y,z) → ∃x DecP(x,y,z)} (a quasi-inverse and maximum recovery).
+Scenario Decomposition();
+
+/// Example 3.14: the "union" mapping UnP(x) → UnR(x), UnQ(x) → UnR(x);
+/// not extended-invertible (fails the homomorphism property on
+/// {UnP(0)} vs {UnQ(0)}).
+Scenario Union();
+
+/// Theorem 3.15(2): TnP(x) → ∃y TnR(x,y), TnQ(y) → ∃x TnR(x,y);
+/// invertible (via the Constant-guarded reverse, attached) but not
+/// extended-invertible.
+Scenario TwoNullable();
+
+/// Theorem 3.15(3) / Examples 3.18–3.19 / Proposition 4.2:
+/// PathP(x,y) → ∃z (PathQ(x,z) ∧ PathQ(z,y)). `reverse` is M'
+/// (PathQ(x,z) ∧ PathQ(z,y) → PathP(x,y)), an extended inverse but not an
+/// inverse; `alt_reverse` is M'' (with Constant guards), an inverse but
+/// not an extended inverse.
+Scenario PathSplit();
+
+/// Example 6.7 M1: the copy mapping LsP(x,y) → LsPp(x,y); `reverse` is
+/// LsPp(x,y) → LsP(x,y) (a maximum extended recovery, also of M2).
+Scenario CopyBinary();
+
+/// Example 6.7 M2 over the same schemas as CopyBinary: component split
+/// LsP(x,y) → ∃z LsPp(x,z), LsP(x,y) → ∃u LsPp(u,y). Strictly lossier
+/// than M1.
+Scenario ComponentSplit();
+
+/// Theorem 5.2: SlP(x,y) → SlPp(x,y), SlT(x) → SlPp(x,x). `reverse` is
+/// the paper's maximum extended recovery Σ* =
+/// {SlPp(x,y) ∧ x≠y → SlP(x,y); SlPp(x,x) → SlT(x) ∨ SlP(x,x)} — the
+/// witness that both disjunction and inequalities are necessary.
+Scenario SelfLoop();
+
+/// Theorem 4.10 remark: PrP(x) → PrQ(x,x), used to show that the ground
+/// case has no analog of strong maximum recoveries.
+Scenario SquareDiagonal();
+
+/// A plainly lossy projection ProjP(x,y) → ProjQ(x) (folklore example of
+/// information loss), used in benchmarks and loss measurements.
+Scenario Projection();
+
+/// Duplication with a swap: DupP(x,y) → DupQ(x,y) ∧ DupQ(y,x). The
+/// symmetric closure forgets each fact's orientation — chase({P(a,b)})
+/// equals chase({P(b,a)}) — so the mapping is NOT extended invertible;
+/// its maximum extended recovery disjoins the two orientations
+/// (attached as `reverse`).
+Scenario SwapDuplication();
+
+/// A three-way path split PlP(x,y) → ∃z1 z2 (PlQ(x,z1) ∧ PlQ(z1,z2) ∧
+/// PlQ(z2,y)): like PathSplit but with a two-null chain — a deeper
+/// recovery problem for the chase-inverse PlQ(x,z1) & PlQ(z1,z2) &
+/// PlQ(z2,y) → PlP(x,y).
+Scenario LongPathSplit();
+
+/// Column merge: MgA(x) → MgC(x, x) and MgB(x, y) → MgC(x, y) over a
+/// shared target — a full-tgd cousin of SelfLoop where the diagonal is
+/// ambiguous between a unary and a binary origin.
+Scenario DiagonalMerge();
+
+/// All scenarios above, for sweep-style tests and benches.
+std::vector<Scenario> AllScenarios();
+
+}  // namespace scenarios
+}  // namespace rdx
+
+#endif  // RDX_GENERATOR_SCENARIOS_H_

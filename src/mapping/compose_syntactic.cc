@@ -1,0 +1,228 @@
+#include "mapping/compose_syntactic.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+// A single-head full tgd of M12, with its variables freshly renamed so
+// that repeated resolutions never capture each other's variables.
+struct SingleHead {
+  std::vector<Atom> body;
+  Atom head;
+};
+
+// Union-find over variables with optional constant binding per class.
+class TermUnifier {
+ public:
+  // Unifies two terms; returns false on constant clash.
+  bool Unify(const Term& a, const Term& b) {
+    if (a.IsConstant() && b.IsConstant()) {
+      return a.constant() == b.constant();
+    }
+    if (a.IsConstant()) return BindConstant(b.variable(), a.constant());
+    if (b.IsConstant()) return BindConstant(a.variable(), b.constant());
+    Variable ra = Find(a.variable());
+    Variable rb = Find(b.variable());
+    if (ra == rb) return true;
+    auto ca = constants_.find(ra);
+    auto cb = constants_.find(rb);
+    if (ca != constants_.end() && cb != constants_.end() &&
+        !(ca->second == cb->second)) {
+      return false;
+    }
+    parent_[ra] = rb;
+    if (ca != constants_.end()) {
+      constants_[rb] = ca->second;
+      constants_.erase(ra);
+    }
+    return true;
+  }
+
+  // The canonical term of `t` under the current unification.
+  Term Resolve(const Term& t) {
+    if (t.IsConstant()) return t;
+    Variable root = Find(t.variable());
+    auto it = constants_.find(root);
+    if (it != constants_.end()) return Term::Const(it->second);
+    return Term::Var(root);
+  }
+
+ private:
+  Variable Find(Variable v) {
+    auto it = parent_.find(v);
+    if (it == parent_.end()) return v;
+    Variable root = Find(it->second);
+    parent_[v] = root;
+    return root;
+  }
+
+  bool BindConstant(Variable v, Value c) {
+    Variable root = Find(v);
+    auto it = constants_.find(root);
+    if (it != constants_.end()) return it->second == c;
+    constants_.emplace(root, c);
+    return true;
+  }
+
+  std::unordered_map<Variable, Variable, VariableHash> parent_;
+  std::unordered_map<Variable, Value, VariableHash> constants_;
+};
+
+// Renames all variables of a dependency's body+single head with fresh
+// variables.
+SingleHead RenameFresh(const std::vector<Atom>& body, const Atom& head) {
+  std::unordered_map<Variable, Variable, VariableHash> renaming;
+  auto rename_term = [&](const Term& t) -> Term {
+    if (t.IsConstant()) return t;
+    auto it = renaming.find(t.variable());
+    if (it == renaming.end()) {
+      it = renaming.emplace(t.variable(), Variable::Fresh()).first;
+    }
+    return Term::Var(it->second);
+  };
+  auto rename_atom = [&](const Atom& a) -> Atom {
+    std::vector<Term> terms;
+    terms.reserve(a.terms().size());
+    for (const Term& t : a.terms()) terms.push_back(rename_term(t));
+    return Atom::MustRelational(a.relation(), std::move(terms));
+  };
+  SingleHead out{{}, rename_atom(head)};
+  out.body.reserve(body.size());
+  for (const Atom& a : body) out.body.push_back(rename_atom(a));
+  return out;
+}
+
+}  // namespace
+
+Result<SchemaMapping> ComposeFullWithTgds(const SchemaMapping& m12,
+                                          const SchemaMapping& m23) {
+  if (!m12.IsFullTgdMapping()) {
+    return Status::FailedPrecondition(
+        "ComposeFullWithTgds requires M12 to be specified by full s-t tgds "
+        "(beyond that, composition needs second-order tgds)");
+  }
+  if (!m23.IsTgdMapping()) {
+    return Status::Unimplemented(
+        "ComposeFullWithTgds requires M23 to be specified by plain s-t "
+        "tgds (no disjunction, inequalities, or Constant)");
+  }
+  for (Relation r : m23.source().relations()) {
+    if (!m12.target().Contains(r)) {
+      return Status::InvalidArgument(
+          StrCat("middle schemas disagree: relation '", r.name(),
+                 "' of M23's source is not in M12's target"));
+    }
+  }
+  if (!m12.source().DisjointFrom(m23.target())) {
+    return Status::InvalidArgument(
+        "M12's source and M23's target schemas must be disjoint");
+  }
+
+  // Normalize M12 to single-head tgds grouped by head relation.
+  std::unordered_map<Relation, std::vector<const Dependency*>> by_relation;
+  std::unordered_map<Relation, std::vector<std::size_t>> head_index;
+  struct Producer {
+    const Dependency* dep;
+    std::size_t head_atom;
+  };
+  std::unordered_map<Relation, std::vector<Producer>> producers;
+  for (const Dependency& dep : m12.dependencies()) {
+    for (std::size_t h = 0; h < dep.disjuncts()[0].size(); ++h) {
+      producers[dep.disjuncts()[0][h].relation()].push_back(
+          Producer{&dep, h});
+    }
+  }
+
+  std::vector<Dependency> composed;
+  for (const Dependency& chi : m23.dependencies()) {
+    const std::vector<Atom> body = chi.RelationalBody();
+    // Candidate producers per body atom; a body atom with none kills the
+    // tgd (its body can never be realized by M12's chase).
+    std::vector<const std::vector<Producer>*> candidates;
+    bool dead = false;
+    for (const Atom& a : body) {
+      auto it = producers.find(a.relation());
+      if (it == producers.end()) {
+        dead = true;
+        break;
+      }
+      candidates.push_back(&it->second);
+    }
+    if (dead) continue;
+
+    // Cartesian product over producer choices.
+    std::vector<std::size_t> choice(body.size(), 0);
+    while (true) {
+      // Instantiate fresh copies and unify.
+      TermUnifier unifier;
+      std::vector<Atom> new_body;
+      bool consistent = true;
+      for (std::size_t i = 0; i < body.size() && consistent; ++i) {
+        const Producer& p = (*candidates[i])[choice[i]];
+        SingleHead fresh =
+            RenameFresh(p.dep->body(), p.dep->disjuncts()[0][p.head_atom]);
+        const std::vector<Term>& pattern = body[i].terms();
+        const std::vector<Term>& produced = fresh.head.terms();
+        for (std::size_t k = 0; k < pattern.size(); ++k) {
+          if (!unifier.Unify(pattern[k], produced[k])) {
+            consistent = false;
+            break;
+          }
+        }
+        if (consistent) {
+          for (const Atom& a : fresh.body) new_body.push_back(a);
+        }
+      }
+      if (consistent) {
+        // Apply the unifier to body and head.
+        auto resolve_atom = [&](const Atom& a) -> Atom {
+          std::vector<Term> terms;
+          terms.reserve(a.terms().size());
+          for (const Term& t : a.terms()) terms.push_back(unifier.Resolve(t));
+          return Atom::MustRelational(a.relation(), std::move(terms));
+        };
+        std::vector<Atom> resolved_body;
+        for (const Atom& a : new_body) {
+          Atom r = resolve_atom(a);
+          if (std::find(resolved_body.begin(), resolved_body.end(), r) ==
+              resolved_body.end()) {
+            resolved_body.push_back(std::move(r));
+          }
+        }
+        std::vector<Atom> resolved_head;
+        for (const Atom& a : chi.disjuncts()[0]) {
+          resolved_head.push_back(resolve_atom(a));
+        }
+        RDX_ASSIGN_OR_RETURN(
+            Dependency dep,
+            Dependency::MakeTgd(std::move(resolved_body),
+                                std::move(resolved_head)));
+        if (std::find(composed.begin(), composed.end(), dep) ==
+            composed.end()) {
+          composed.push_back(std::move(dep));
+        }
+      }
+      // Odometer.
+      std::size_t pos = 0;
+      while (pos < choice.size()) {
+        if (++choice[pos] < candidates[pos]->size()) break;
+        choice[pos] = 0;
+        ++pos;
+      }
+      if (pos == choice.size()) break;
+    }
+  }
+
+  if (composed.empty()) {
+    // A mapping with no dependencies is the "everything goes" mapping;
+    // build it explicitly (SchemaMapping allows empty Σ).
+    return SchemaMapping::Make(m12.source(), m23.target(), {});
+  }
+  return SchemaMapping::Make(m12.source(), m23.target(),
+                             std::move(composed));
+}
+
+}  // namespace rdx

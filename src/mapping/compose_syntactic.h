@@ -1,0 +1,35 @@
+#ifndef RDX_MAPPING_COMPOSE_SYNTACTIC_H_
+#define RDX_MAPPING_COMPOSE_SYNTACTIC_H_
+
+#include "base/status.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Syntactic composition M12 ∘ M23 (Section 1: composition and inverse are
+/// the two fundamental operators; together they enable schema-evolution
+/// analysis).
+///
+/// Implements the classical unfolding construction for the case where M12
+/// is specified by FULL s-t tgds and M23 by arbitrary s-t tgds [Fagin,
+/// Kolaitis, Popa, Tan, "Composing Schema Mappings", TODS 2005]: because
+/// M12 is full, chase_M12(I) contains exactly the heads of triggered
+/// tgds, so every S2-atom in a M23 body can be resolved against the heads
+/// of M12's (single-head-normalized) tgds. For each M23 tgd and each
+/// choice of resolving tgds, the unified conjunction of M12 bodies implies
+/// the M23 head — a tgd from S1 to S3. The result specifies exactly
+/// M12 ∘ M23; beyond full M12 the composition is not first-order in
+/// general (second-order tgds are required), and this function returns
+/// FailedPrecondition.
+///
+/// Choices whose unification is inconsistent (two distinct constants
+/// forced equal) are skipped. M23 tgds whose bodies use inequalities or
+/// Constant are rejected (Unimplemented): unfolding is not sound for them
+/// (a builtin over an S2 value may differ between the chase witness and
+/// other solutions).
+Result<SchemaMapping> ComposeFullWithTgds(const SchemaMapping& m12,
+                                          const SchemaMapping& m23);
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_COMPOSE_SYNTACTIC_H_

@@ -1,0 +1,77 @@
+#include "mapping/composition.h"
+
+#include "base/strings.h"
+#include "core/homomorphism.h"
+#include "core/quotient.h"
+
+namespace rdx {
+
+Result<std::vector<Instance>> ReverseRoundTrip(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const Instance& I, const ChaseOptions& chase_options,
+    const DisjunctiveChaseOptions& disjunctive_options) {
+  RDX_ASSIGN_OR_RETURN(Instance forward, ChaseMapping(mapping, I, chase_options));
+  return DisjunctiveChaseMapping(reverse, forward, disjunctive_options);
+}
+
+Result<std::vector<Instance>> QuotientClosedReverseBranches(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const Instance& I, const ChaseOptions& chase_options,
+    const DisjunctiveChaseOptions& disjunctive_options) {
+  RDX_ASSIGN_OR_RETURN(Instance forward, ChaseMapping(mapping, I, chase_options));
+  RDX_ASSIGN_OR_RETURN(std::vector<Instance> quotients,
+                       EnumerateNullQuotients(forward));
+  std::vector<Instance> branches;
+  for (const Instance& q : quotients) {
+    RDX_ASSIGN_OR_RETURN(std::vector<Instance> per_quotient,
+                         DisjunctiveChaseMapping(reverse, q,
+                                                 disjunctive_options));
+    for (Instance& v : per_quotient) {
+      bool duplicate = false;
+      for (const Instance& earlier : branches) {
+        RDX_ASSIGN_OR_RETURN(bool equiv, AreHomEquivalent(earlier, v));
+        if (equiv) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) branches.push_back(std::move(v));
+    }
+  }
+  return branches;
+}
+
+Result<bool> InExtendedComposition(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const Instance& I, const Instance& K, const ChaseOptions& chase_options,
+    const DisjunctiveChaseOptions& disjunctive_options) {
+  if (!K.ConformsTo(reverse.target())) {
+    return Status::InvalidArgument(
+        StrCat("composition endpoint does not conform to the reverse "
+               "mapping's target schema ",
+               reverse.target().ToString()));
+  }
+  // The plain round trip is complete for builtin-free reverse mappings;
+  // inequalities and Constant atoms need the quotient closure (see
+  // QuotientClosedReverseBranches).
+  const bool needs_quotients =
+      reverse.UsesInequalities() || reverse.UsesConstantPredicate();
+  std::vector<Instance> branches;
+  if (needs_quotients) {
+    RDX_ASSIGN_OR_RETURN(
+        branches, QuotientClosedReverseBranches(mapping, reverse, I,
+                                                chase_options,
+                                                disjunctive_options));
+  } else {
+    RDX_ASSIGN_OR_RETURN(
+        branches, ReverseRoundTrip(mapping, reverse, I, chase_options,
+                                   disjunctive_options));
+  }
+  for (const Instance& V : branches) {
+    RDX_ASSIGN_OR_RETURN(bool hom, HasHomomorphism(V, K));
+    if (hom) return true;
+  }
+  return false;
+}
+
+}  // namespace rdx

@@ -1,0 +1,64 @@
+#ifndef RDX_MAPPING_COMPOSITION_H_
+#define RDX_MAPPING_COMPOSITION_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "mapping/extended.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// The reverse round trip chase_M'(chase_M(I)): forward exchange with M,
+/// then reverse (possibly disjunctive) exchange with M'. Returns the set of
+/// recovered source instances {V1, ..., Vk} of Section 6 (a singleton when
+/// M' has no disjunction).
+///
+/// Preconditions: M is a non-disjunctive mapping from S to T; M' is a
+/// mapping from T to S (validated structurally: M'.source() must equal...
+/// share M.target()'s relations and vice versa — enforced by instance
+/// conformance checks).
+Result<std::vector<Instance>> ReverseRoundTrip(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const Instance& I, const ChaseOptions& chase_options = {},
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+/// Decides (I, K) ∈ e(M) ∘ e(M') (the composition of homomorphic
+/// extensions central to Sections 3–4) via the procedural criterion:
+///
+///   some V ∈ chase_M'(chase_M(I)) has V → K.
+///
+/// The criterion is always sound (a witnessing branch exhibits the
+/// composition membership). It is also complete — hence an exact decision
+/// procedure — when M is a tgd mapping (Constant atoms allowed, no
+/// inequalities) and M' is a (disjunctive) tgd mapping without
+/// inequalities, by the universality of the (disjunctive) chase and the
+/// absorption of → on both sides of e(M) = → ∘ M ∘ →. For reverse
+/// mappings with inequality bodies (e.g. quasi-inverse outputs) the
+/// criterion is exactly the procedural composition used by the paper's
+/// universal-faithfulness machinery (Theorems 6.2/6.5).
+Result<bool> InExtendedComposition(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const Instance& I, const Instance& K,
+    const ChaseOptions& chase_options = {},
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+/// The quotient-closed reverse branch set: the union over all
+/// null-quotients J/π of J = chase_M(I) of the branch sets chase_M'(J/π),
+/// deduplicated up to homomorphic equivalence.
+///
+/// For reverse mappings whose bodies use inequalities or the Constant
+/// predicate, the syntactic disjunctive chase of J alone under-approximates
+/// e(M') — a null that "could equal" a constant is treated as distinct and
+/// the wrong premise fires (see quotient.h). Closing over quotients
+/// restores completeness: (I, K) ∈ e(M) ∘ e(M') iff some closed branch
+/// maps homomorphically into K. Without such builtins the closure adds
+/// nothing beyond hom-equivalent duplicates.
+Result<std::vector<Instance>> QuotientClosedReverseBranches(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const Instance& I, const ChaseOptions& chase_options = {},
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_COMPOSITION_H_

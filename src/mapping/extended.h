@@ -1,0 +1,76 @@
+#ifndef RDX_MAPPING_EXTENDED_H_
+#define RDX_MAPPING_EXTENDED_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "chase/disjunctive_chase.h"
+#include "core/homomorphism.h"
+#include "core/instance.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Performs data exchange: chase_M(I), the canonical target instance
+/// obtained by chasing (I, ∅) with Σ (Section 3.1). By Proposition 3.11
+/// this is an extended universal solution for I. Requires a
+/// non-disjunctive mapping; Constant and inequality body atoms are allowed.
+Result<Instance> ChaseMapping(const SchemaMapping& mapping, const Instance& I,
+                              const ChaseOptions& options = {});
+
+/// chase_M(I) normalized to its core — the smallest extended universal
+/// solution, the preferred materialization in data-exchange practice
+/// ("up to homomorphic equivalence" made canonical). Same preconditions
+/// as ChaseMapping; the extra cost is the core computation (E3).
+Result<Instance> CoreChaseMapping(const SchemaMapping& mapping,
+                                  const Instance& I,
+                                  const ChaseOptions& options = {});
+
+/// Performs (possibly disjunctive) data exchange: the set chase_M(J) of
+/// Section 6 — one instance per completed branch of the disjunctive chase.
+/// For a non-disjunctive mapping the set is a singleton.
+Result<std::vector<Instance>> DisjunctiveChaseMapping(
+    const SchemaMapping& mapping, const Instance& I,
+    const DisjunctiveChaseOptions& options = {});
+
+/// J ∈ Sol_M(I): the classical notion, (I, J) ⊨ Σ.
+Result<bool> IsSolution(const SchemaMapping& mapping, const Instance& I,
+                        const Instance& J, const MatchOptions& options = {});
+
+/// J ∈ eSol_M(I) (Definition 3.2): J is a solution of I w.r.t. the
+/// homomorphic extension e(M) = → ∘ M ∘ →.
+///
+/// Implemented via the chase criterion chase_M(I) → J, which is sound and
+/// complete for mappings given by tgds, including tgds with the Constant
+/// predicate (the chase is monotone under homomorphisms for those). Fails
+/// with FailedPrecondition for mappings using inequalities or disjunction,
+/// where the criterion is not valid.
+Result<bool> IsExtendedSolution(const SchemaMapping& mapping,
+                                const Instance& I, const Instance& J,
+                                const ChaseOptions& options = {});
+
+/// J is an extended universal solution for I (Definition 3.5): J ∈ eSol
+/// and J → J' for every J' ∈ eSol. Equivalently (Proposition 3.11), J is
+/// homomorphically equivalent to chase_M(I). Same preconditions as
+/// IsExtendedSolution.
+Result<bool> IsExtendedUniversalSolution(const SchemaMapping& mapping,
+                                         const Instance& I, const Instance& J,
+                                         const ChaseOptions& options = {});
+
+/// I1 →_M I2 (Definition 4.6: eSol_M(I2) ⊆ eSol_M(I1)), decided via
+/// Proposition 4.7: chase_M(I1) → chase_M(I2). Requires a tgd mapping
+/// (possibly with Constant atoms).
+Result<bool> ArrowM(const SchemaMapping& mapping, const Instance& I1,
+                    const Instance& I2, const ChaseOptions& options = {});
+
+/// The ground-restricted →_{M,g} (Definition 4.18: Sol_M(I2) ⊆
+/// Sol_M(I1) for ground I1, I2), decided by the same chase criterion.
+/// Fails if either instance is not ground.
+Result<bool> ArrowMGround(const SchemaMapping& mapping, const Instance& I1,
+                          const Instance& I2,
+                          const ChaseOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_EXTENDED_H_

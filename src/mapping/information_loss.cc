@@ -1,0 +1,160 @@
+#include "mapping/information_loss.h"
+
+#include "core/homomorphism.h"
+#include "mapping/composition.h"
+#include "mapping/extended.h"
+
+namespace rdx {
+namespace {
+
+// Pre-chases every family member once; the →_M tests then reduce to
+// homomorphism checks between cached chase results.
+Result<std::vector<Instance>> ChaseFamily(const SchemaMapping& mapping,
+                                          const std::vector<Instance>& family,
+                                          const ChaseOptions& options) {
+  std::vector<Instance> out;
+  out.reserve(family.size());
+  for (const Instance& I : family) {
+    RDX_ASSIGN_OR_RETURN(Instance c, ChaseMapping(mapping, I, options));
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<InformationLossReport> MeasureInformationLoss(
+    const SchemaMapping& mapping, const std::vector<Instance>& family,
+    std::size_t max_witnesses, const ChaseOptions& options) {
+  RDX_ASSIGN_OR_RETURN(std::vector<Instance> chased,
+                       ChaseFamily(mapping, family, options));
+  InformationLossReport report;
+  report.total_pairs =
+      static_cast<uint64_t>(family.size()) * family.size();
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    for (std::size_t j = 0; j < family.size(); ++j) {
+      RDX_ASSIGN_OR_RETURN(bool in_arrow_m,
+                           HasHomomorphism(chased[i], chased[j]));
+      RDX_ASSIGN_OR_RETURN(bool in_e_id,
+                           HasHomomorphism(family[i], family[j]));
+      if (in_arrow_m) ++report.arrow_m_pairs;
+      if (in_e_id) ++report.e_id_pairs;
+      if (in_arrow_m && !in_e_id) {
+        ++report.loss_pairs;
+        if (report.witnesses.size() < max_witnesses) {
+          report.witnesses.push_back(
+              PairCounterexample{family[i], family[j]});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Result<GroundInformationLossReport> MeasureGroundInformationLoss(
+    const SchemaMapping& mapping, const std::vector<Instance>& family,
+    std::size_t max_witnesses, const ChaseOptions& options) {
+  GroundInformationLossReport report;
+  std::vector<const Instance*> ground;
+  for (const Instance& I : family) {
+    if (I.IsGround()) {
+      ground.push_back(&I);
+    } else {
+      ++report.skipped_non_ground;
+    }
+  }
+  std::vector<Instance> chased;
+  chased.reserve(ground.size());
+  for (const Instance* I : ground) {
+    RDX_ASSIGN_OR_RETURN(Instance c, ChaseMapping(mapping, *I, options));
+    chased.push_back(std::move(c));
+  }
+  report.total_pairs = static_cast<uint64_t>(ground.size()) * ground.size();
+  for (std::size_t i = 0; i < ground.size(); ++i) {
+    for (std::size_t j = 0; j < ground.size(); ++j) {
+      // For ground instances, Sol(I2) ⊆ Sol(I1) iff chase(I1) → chase(I2)
+      // (the →_{M,g} criterion of Proposition 4.19).
+      RDX_ASSIGN_OR_RETURN(bool in_arrow_mg,
+                           HasHomomorphism(chased[i], chased[j]));
+      bool in_id = ground[i]->SubsetOf(*ground[j]);
+      if (in_arrow_mg) ++report.arrow_mg_pairs;
+      if (in_id) ++report.id_pairs;
+      if (in_arrow_mg && !in_id) {
+        ++report.loss_pairs;
+        if (report.witnesses.size() < max_witnesses) {
+          report.witnesses.push_back(
+              PairCounterexample{*ground[i], *ground[j]});
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Result<bool> IsExtendedInvertibleOn(const SchemaMapping& mapping,
+                                    const std::vector<Instance>& family,
+                                    const ChaseOptions& options) {
+  RDX_ASSIGN_OR_RETURN(
+      InformationLossReport report,
+      MeasureInformationLoss(mapping, family, /*max_witnesses=*/1, options));
+  return report.loss_pairs == 0;
+}
+
+Result<LessLossyReport> CompareLossiness(const SchemaMapping& m1,
+                                         const SchemaMapping& m2,
+                                         const std::vector<Instance>& family,
+                                         const ChaseOptions& options) {
+  RDX_ASSIGN_OR_RETURN(std::vector<Instance> chased1,
+                       ChaseFamily(m1, family, options));
+  RDX_ASSIGN_OR_RETURN(std::vector<Instance> chased2,
+                       ChaseFamily(m2, family, options));
+  LessLossyReport report;
+  report.less_lossy = true;
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    for (std::size_t j = 0; j < family.size(); ++j) {
+      RDX_ASSIGN_OR_RETURN(bool in_m1,
+                           HasHomomorphism(chased1[i], chased1[j]));
+      RDX_ASSIGN_OR_RETURN(bool in_m2,
+                           HasHomomorphism(chased2[i], chased2[j]));
+      if (in_m1 && !in_m2 && !report.violation.has_value()) {
+        report.less_lossy = false;
+        report.violation = PairCounterexample{family[i], family[j]};
+      }
+      if (in_m2 && !in_m1 && !report.strict_witness.has_value()) {
+        report.strict_witness = PairCounterexample{family[i], family[j]};
+      }
+    }
+  }
+  return report;
+}
+
+Result<bool> LessLossyViaRecoveries(
+    const SchemaMapping& m1, const SchemaMapping& m1_recovery,
+    const SchemaMapping& m2, const SchemaMapping& m2_recovery,
+    const std::vector<Instance>& family, const ChaseOptions& chase_options,
+    const DisjunctiveChaseOptions& disjunctive_options) {
+  for (const Instance& I : family) {
+    RDX_ASSIGN_OR_RETURN(
+        std::vector<Instance> branches1,
+        ReverseRoundTrip(m1, m1_recovery, I, chase_options,
+                         disjunctive_options));
+    RDX_ASSIGN_OR_RETURN(
+        std::vector<Instance> branches2,
+        ReverseRoundTrip(m2, m2_recovery, I, chase_options,
+                         disjunctive_options));
+    for (const Instance& v1 : branches1) {
+      bool covered = false;
+      for (const Instance& v2 : branches2) {
+        RDX_ASSIGN_OR_RETURN(bool hom, HasHomomorphism(v2, v1));
+        if (hom) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rdx

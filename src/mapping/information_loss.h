@@ -1,0 +1,110 @@
+#ifndef RDX_MAPPING_INFORMATION_LOSS_H_
+#define RDX_MAPPING_INFORMATION_LOSS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "mapping/inverse_checks.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Exact measurement of the information loss →_M \ → (Definition 4.5,
+/// Corollary 4.14) of a tgd mapping over a finite universe of source
+/// instances: counts, over all ordered pairs from `family`, how many lie
+/// in →_M, how many in → (= e(Id)), and how many in the difference.
+struct InformationLossReport {
+  uint64_t total_pairs = 0;    // |family|²
+  uint64_t arrow_m_pairs = 0;  // |→_M ∩ family²|
+  uint64_t e_id_pairs = 0;     // |→  ∩ family²|
+  uint64_t loss_pairs = 0;     // |(→_M \ →) ∩ family²|
+
+  /// Up to `max_witnesses` pairs from →_M \ →.
+  std::vector<PairCounterexample> witnesses;
+
+  /// Fraction of pairs lost: loss_pairs / total_pairs.
+  double LossDensity() const {
+    return total_pairs == 0
+               ? 0.0
+               : static_cast<double>(loss_pairs) /
+                     static_cast<double>(total_pairs);
+  }
+};
+
+Result<InformationLossReport> MeasureInformationLoss(
+    const SchemaMapping& mapping, const std::vector<Instance>& family,
+    std::size_t max_witnesses = 4, const ChaseOptions& options = {});
+
+/// The ground-framework counterpart (Section 4.2, Definition 4.17 /
+/// Proposition 4.19): information loss →_{M,g} \ Id over the GROUND
+/// members of `family`, where Id is plain containment. Non-ground members
+/// are skipped (their count is reported in `skipped_non_ground`).
+///
+/// Comparing this against MeasureInformationLoss on the same family makes
+/// the paper's separation quantitative: e.g. the TwoNullable mapping
+/// (Theorem 3.15(2)) has ZERO ground loss (it is invertible) but positive
+/// extended loss (it is not extended invertible).
+struct GroundInformationLossReport {
+  uint64_t total_pairs = 0;      // (#ground members)²
+  uint64_t arrow_mg_pairs = 0;   // |→_{M,g} ∩ ground²|
+  uint64_t id_pairs = 0;         // |⊆ ∩ ground²|
+  uint64_t loss_pairs = 0;       // |(→_{M,g} \ Id) ∩ ground²|
+  uint64_t skipped_non_ground = 0;
+  std::vector<PairCounterexample> witnesses;
+
+  double LossDensity() const {
+    return total_pairs == 0
+               ? 0.0
+               : static_cast<double>(loss_pairs) /
+                     static_cast<double>(total_pairs);
+  }
+};
+
+Result<GroundInformationLossReport> MeasureGroundInformationLoss(
+    const SchemaMapping& mapping, const std::vector<Instance>& family,
+    std::size_t max_witnesses = 4, const ChaseOptions& options = {});
+
+/// Corollary 4.15 over a family: M is extended invertible iff →_M = →
+/// (no information loss). Returns true iff no loss pair exists within the
+/// family (exhaustive evidence up to the family; a loss pair is a proof of
+/// non-extended-invertibility).
+Result<bool> IsExtendedInvertibleOn(const SchemaMapping& mapping,
+                                    const std::vector<Instance>& family,
+                                    const ChaseOptions& options = {});
+
+/// Comparison of two mappings over the same source schema (Definition
+/// 6.6): M1 is less lossy than M2 iff →_M1 ⊆ →_M2.
+struct LessLossyReport {
+  /// →_M1 ⊆ →_M2 held on every pair from the family.
+  bool less_lossy = false;
+  /// A pair in →_M1 \ →_M2 (refuting less-lossiness), if any.
+  std::optional<PairCounterexample> violation;
+  /// A pair in →_M2 \ →_M1 (witnessing strictness), if any.
+  std::optional<PairCounterexample> strict_witness;
+
+  bool StrictlyLessLossy() const {
+    return less_lossy && strict_witness.has_value();
+  }
+};
+
+Result<LessLossyReport> CompareLossiness(const SchemaMapping& m1,
+                                         const SchemaMapping& m2,
+                                         const std::vector<Instance>& family,
+                                         const ChaseOptions& options = {});
+
+/// The Theorem 6.8 criterion for →_M1 ⊆ →_M2, checked procedurally over
+/// `family` with maximum extended recoveries M1', M2' given by disjunctive
+/// tgds: for every I and every V1 ∈ chase_M1'(chase_M1(I)) there is
+/// V2 ∈ chase_M2'(chase_M2(I)) with V2 → V1. Returns true iff the
+/// criterion holds on every family member.
+Result<bool> LessLossyViaRecoveries(
+    const SchemaMapping& m1, const SchemaMapping& m1_recovery,
+    const SchemaMapping& m2, const SchemaMapping& m2_recovery,
+    const std::vector<Instance>& family, const ChaseOptions& chase_options = {},
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_INFORMATION_LOSS_H_

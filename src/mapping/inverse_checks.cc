@@ -1,0 +1,98 @@
+#include "mapping/inverse_checks.h"
+
+#include "core/homomorphism.h"
+
+namespace rdx {
+
+Result<std::optional<PairCounterexample>> CheckHomomorphismProperty(
+    const SchemaMapping& mapping, const std::vector<Instance>& family,
+    const ChaseOptions& options) {
+  // Pre-chase every member once.
+  std::vector<Instance> chased;
+  chased.reserve(family.size());
+  for (const Instance& I : family) {
+    RDX_ASSIGN_OR_RETURN(Instance c, ChaseMapping(mapping, I, options));
+    chased.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < family.size(); ++i) {
+    for (std::size_t j = 0; j < family.size(); ++j) {
+      if (i == j) continue;
+      RDX_ASSIGN_OR_RETURN(bool chase_hom,
+                           HasHomomorphism(chased[i], chased[j]));
+      if (!chase_hom) continue;
+      RDX_ASSIGN_OR_RETURN(bool source_hom,
+                           HasHomomorphism(family[i], family[j]));
+      if (!source_hom) {
+        return std::optional<PairCounterexample>(
+            PairCounterexample{family[i], family[j]});
+      }
+    }
+  }
+  return std::optional<PairCounterexample>();
+}
+
+Result<std::optional<PairCounterexample>> CheckSubsetProperty(
+    const SchemaMapping& mapping, const std::vector<Instance>& family,
+    const ChaseOptions& options) {
+  std::vector<const Instance*> ground;
+  for (const Instance& I : family) {
+    if (I.IsGround()) ground.push_back(&I);
+  }
+  std::vector<Instance> chased;
+  chased.reserve(ground.size());
+  for (const Instance* I : ground) {
+    RDX_ASSIGN_OR_RETURN(Instance c, ChaseMapping(mapping, *I, options));
+    chased.push_back(std::move(c));
+  }
+  for (std::size_t i = 0; i < ground.size(); ++i) {
+    for (std::size_t j = 0; j < ground.size(); ++j) {
+      if (i == j) continue;
+      // For ground instances, Sol(I2) ⊆ Sol(I1) iff chase(I1) → chase(I2).
+      RDX_ASSIGN_OR_RETURN(bool sol_containment,
+                           HasHomomorphism(chased[i], chased[j]));
+      if (!sol_containment) continue;
+      if (!ground[i]->SubsetOf(*ground[j])) {
+        return std::optional<PairCounterexample>(
+            PairCounterexample{*ground[i], *ground[j]});
+      }
+    }
+  }
+  return std::optional<PairCounterexample>();
+}
+
+Result<bool> ChaseInverseHoldsFor(const SchemaMapping& mapping,
+                                  const SchemaMapping& reverse,
+                                  const Instance& I,
+                                  const ChaseOptions& options) {
+  RDX_ASSIGN_OR_RETURN(Instance forward, ChaseMapping(mapping, I, options));
+  RDX_ASSIGN_OR_RETURN(Instance back, ChaseMapping(reverse, forward, options));
+  return AreHomEquivalent(I, back);
+}
+
+Result<std::optional<Instance>> CheckChaseInverse(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const std::vector<Instance>& family, const ChaseOptions& options) {
+  for (const Instance& I : family) {
+    RDX_ASSIGN_OR_RETURN(bool holds,
+                         ChaseInverseHoldsFor(mapping, reverse, I, options));
+    if (!holds) return std::optional<Instance>(I);
+  }
+  return std::optional<Instance>();
+}
+
+Result<bool> Captures(const SchemaMapping& mapping, const Instance& J,
+                      const Instance& I, const std::vector<Instance>& family,
+                      const ChaseOptions& options) {
+  RDX_ASSIGN_OR_RETURN(bool in_esol, IsExtendedSolution(mapping, I, J, options));
+  if (!in_esol) return false;
+  for (const Instance& K : family) {
+    RDX_ASSIGN_OR_RETURN(bool j_solves_k,
+                         IsExtendedSolution(mapping, K, J, options));
+    if (!j_solves_k) continue;
+    RDX_ASSIGN_OR_RETURN(bool k_to_i, HasHomomorphism(K, I));
+    if (!k_to_i) return false;
+  }
+  return true;
+}
+
+}  // namespace rdx

@@ -1,0 +1,68 @@
+#ifndef RDX_MAPPING_INVERSE_CHECKS_H_
+#define RDX_MAPPING_INVERSE_CHECKS_H_
+
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+#include "mapping/extended.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// A pair of source instances witnessing the failure of a property.
+struct PairCounterexample {
+  Instance i1;
+  Instance i2;
+};
+
+/// Checks the homomorphism property (Definition 3.12) over the given family
+/// of source instances: for every pair (I1, I2) from `family`,
+/// chase_M(I1) → chase_M(I2) must imply I1 → I2. Returns a counterexample
+/// pair if one exists within the family, nullopt otherwise.
+///
+/// By Theorem 3.13 the property (over all instances) is equivalent to
+/// extended invertibility; a counterexample over any family is therefore a
+/// proof of non-extended-invertibility, while nullopt over a bounded
+/// family is evidence (exhaustive up to the family's size bound).
+Result<std::optional<PairCounterexample>> CheckHomomorphismProperty(
+    const SchemaMapping& mapping, const std::vector<Instance>& family,
+    const ChaseOptions& options = {});
+
+/// Checks the subset property of [FKPT, Quasi-inverses] over a family of
+/// GROUND instances: Sol_M(I2) ⊆ Sol_M(I1) must imply I1 ⊆ I2. The subset
+/// property (over all ground instances) characterizes classical
+/// invertibility; Theorem 3.15(1) rests on homomorphism property ⟹ subset
+/// property. Non-ground members of `family` are skipped.
+Result<std::optional<PairCounterexample>> CheckSubsetProperty(
+    const SchemaMapping& mapping, const std::vector<Instance>& family,
+    const ChaseOptions& options = {});
+
+/// True if I and chase_M'(chase_M(I)) are homomorphically equivalent — the
+/// per-instance condition of a chase-inverse (Definition 3.16). M' must be
+/// non-disjunctive (tgds, possibly with Constant atoms, as discussed after
+/// Theorem 3.17).
+Result<bool> ChaseInverseHoldsFor(const SchemaMapping& mapping,
+                                  const SchemaMapping& reverse,
+                                  const Instance& I,
+                                  const ChaseOptions& options = {});
+
+/// Checks Definition 3.16 over a family of source instances; returns the
+/// first I in the family violating homomorphic equivalence of I and
+/// chase_M'(chase_M(I)), or nullopt. By Theorem 3.17, a violation proves
+/// that M' is not an extended inverse of M.
+Result<std::optional<Instance>> CheckChaseInverse(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const std::vector<Instance>& family, const ChaseOptions& options = {});
+
+/// Checks whether target instance J captures source instance I for M
+/// (Definition 3.9), with the universal quantifier of condition (b)
+/// bounded to `family`: (a) J ∈ eSol_M(I); (b) for every K in `family`
+/// with J ∈ eSol_M(K), K → I.
+Result<bool> Captures(const SchemaMapping& mapping, const Instance& J,
+                      const Instance& I, const std::vector<Instance>& family,
+                      const ChaseOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_INVERSE_CHECKS_H_

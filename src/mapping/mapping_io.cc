@@ -1,0 +1,158 @@
+#include "mapping/mapping_io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "base/strings.h"
+#include "core/dependency_parser.h"
+#include "core/instance_parser.h"
+
+namespace rdx {
+namespace {
+
+std::string StripComments(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_comment = false;
+  for (char c : text) {
+    if (c == '#') in_comment = true;
+    if (c == '\n') in_comment = false;
+    if (!in_comment) out.push_back(c);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses "Name/arity, Name/arity" into a schema.
+Result<Schema> ParseSchemaLine(std::string_view line) {
+  Schema schema;
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t comma = line.find(',', start);
+    std::string_view item =
+        Trim(line.substr(start, comma == std::string_view::npos
+                                    ? std::string_view::npos
+                                    : comma - start));
+    if (!item.empty()) {
+      std::size_t slash = item.find('/');
+      if (slash == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrCat("schema item '", item, "' must be Name/arity"));
+      }
+      std::string_view name = Trim(item.substr(0, slash));
+      std::string_view arity_text = Trim(item.substr(slash + 1));
+      uint32_t arity = 0;
+      for (char c : arity_text) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) {
+          return Status::InvalidArgument(
+              StrCat("bad arity '", arity_text, "' in schema item '", item,
+                     "'"));
+        }
+        arity = arity * 10 + static_cast<uint32_t>(c - '0');
+      }
+      RDX_ASSIGN_OR_RETURN(Relation rel, Relation::Intern(name, arity));
+      RDX_RETURN_IF_ERROR(schema.AddRelation(rel));
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  if (schema.size() == 0) {
+    return Status::InvalidArgument("schema declaration is empty");
+  }
+  return schema;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open '", path, "'"));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Result<SchemaMapping> ParseMappingText(std::string_view raw_text) {
+  std::string text = StripComments(raw_text);
+  std::optional<Schema> source;
+  std::optional<Schema> target;
+  std::string dependency_text;
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    std::string_view line(text.data() + pos,
+                          (eol == std::string::npos ? text.size() : eol) -
+                              pos);
+    std::string_view trimmed = Trim(line);
+    if (trimmed.rfind("source:", 0) == 0) {
+      if (source.has_value()) {
+        return Status::InvalidArgument("duplicate 'source:' declaration");
+      }
+      RDX_ASSIGN_OR_RETURN(Schema s, ParseSchemaLine(trimmed.substr(7)));
+      source = std::move(s);
+    } else if (trimmed.rfind("target:", 0) == 0) {
+      if (target.has_value()) {
+        return Status::InvalidArgument("duplicate 'target:' declaration");
+      }
+      RDX_ASSIGN_OR_RETURN(Schema s, ParseSchemaLine(trimmed.substr(7)));
+      target = std::move(s);
+    } else if (!trimmed.empty()) {
+      dependency_text.append(trimmed);
+      dependency_text.push_back('\n');
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+
+  if (!source.has_value() || !target.has_value()) {
+    return Status::InvalidArgument(
+        "mapping text must declare 'source:' and 'target:' schemas");
+  }
+  std::string_view deps = Trim(dependency_text);
+  if (deps.empty()) {
+    return SchemaMapping::Make(*std::move(source), *std::move(target), {});
+  }
+  // Tolerate a trailing ';'.
+  while (!deps.empty() && deps.back() == ';') {
+    deps = Trim(deps.substr(0, deps.size() - 1));
+  }
+  return SchemaMapping::Parse(*std::move(source), *std::move(target), deps);
+}
+
+Result<SchemaMapping> LoadMappingFile(const std::string& path) {
+  RDX_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseMappingText(text);
+}
+
+std::string MappingToText(const SchemaMapping& mapping) {
+  auto schema_line = [](const Schema& schema) {
+    return JoinMapped(schema.relations(), ", ", [](Relation r) {
+      return StrCat(r.name(), "/", r.arity());
+    });
+  };
+  return StrCat("source: ", schema_line(mapping.source()), "\n",
+                "target: ", schema_line(mapping.target()), "\n",
+                JoinMapped(mapping.dependencies(), ";\n",
+                           [](const Dependency& d) { return d.ToString(); }),
+                "\n");
+}
+
+Result<Instance> LoadInstanceFile(const std::string& path) {
+  RDX_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseInstance(StripComments(text));
+}
+
+}  // namespace rdx

@@ -1,0 +1,37 @@
+#ifndef RDX_MAPPING_MAPPING_IO_H_
+#define RDX_MAPPING_MAPPING_IO_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Parses a schema mapping from its textual file format:
+///
+///   # decomposition mapping (comments start with '#')
+///   source: Emp/3
+///   target: WorksIn/2, Manages/2
+///   Emp(n, d, g) -> WorksIn(n, d) & Manages(d, g);
+///   Emp(n, d, g) -> WorksIn(n, d)
+///
+/// `source:` and `target:` lines declare the schemas as comma-separated
+/// Name/arity pairs (each must appear exactly once, before any
+/// dependency); all remaining non-comment text is a ';'-separated
+/// dependency list (see dependency_parser.h for the dependency syntax).
+Result<SchemaMapping> ParseMappingText(std::string_view text);
+
+/// Reads and parses a mapping file from disk.
+Result<SchemaMapping> LoadMappingFile(const std::string& path);
+
+/// Renders a mapping in the file format accepted by ParseMappingText.
+std::string MappingToText(const SchemaMapping& mapping);
+
+/// Reads and parses an instance file (see instance_parser.h syntax;
+/// '#' comments allowed).
+Result<Instance> LoadInstanceFile(const std::string& path);
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_MAPPING_IO_H_

@@ -1,0 +1,131 @@
+#include "mapping/normalization.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "base/strings.h"
+#include "core/match.h"
+
+namespace rdx {
+namespace {
+
+Status RequirePlainTgd(const Dependency& d, const char* who) {
+  if (!d.IsPlainTgd()) {
+    return Status::Unimplemented(
+        StrCat(who, " supports plain tgds only, got: ", d.ToString()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> Implies(const std::vector<Dependency>& sigma,
+                     const Dependency& d, const ChaseOptions& options) {
+  RDX_RETURN_IF_ERROR(RequirePlainTgd(d, "Implies"));
+  for (const Dependency& s : sigma) {
+    RDX_RETURN_IF_ERROR(RequirePlainTgd(s, "Implies"));
+  }
+
+  // Freeze: universal variables become fresh constants.
+  Assignment frozen;
+  for (Variable v : d.UniversalVars()) {
+    frozen.emplace(v, Value::MakeConstant(StrCat("frz_", v.id(), "_",
+                                                 Value::FreshNull().id())));
+  }
+  Instance canonical;
+  for (const Atom& a : d.RelationalBody()) {
+    RDX_ASSIGN_OR_RETURN(Fact f, a.Ground(frozen));
+    canonical.AddFact(f);
+  }
+
+  RDX_ASSIGN_OR_RETURN(ChaseResult chased, Chase(canonical, sigma, options));
+
+  // d's head must be satisfiable in the chase result under the frozen
+  // assignment (existential variables free).
+  bool satisfied = false;
+  Status status = EnumerateMatches(
+      d.disjuncts()[0], chased.combined,
+      [&](const Assignment&) {
+        satisfied = true;
+        return false;
+      },
+      options.match_options, frozen);
+  RDX_RETURN_IF_ERROR(status);
+  return satisfied;
+}
+
+Result<std::vector<Dependency>> MinimizeDependencies(
+    const std::vector<Dependency>& dependencies, const ChaseOptions& options) {
+  std::vector<Dependency> kept = dependencies;
+  // Greedily try to drop each dependency (first to last); a dependency is
+  // dropped if the others imply it.
+  std::size_t i = 0;
+  while (i < kept.size()) {
+    std::vector<Dependency> others;
+    others.reserve(kept.size() - 1);
+    for (std::size_t j = 0; j < kept.size(); ++j) {
+      if (j != i) others.push_back(kept[j]);
+    }
+    RDX_ASSIGN_OR_RETURN(bool implied, Implies(others, kept[i], options));
+    if (implied) {
+      kept.erase(kept.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  return kept;
+}
+
+Result<std::vector<Dependency>> SplitHead(const Dependency& dependency) {
+  RDX_RETURN_IF_ERROR(RequirePlainTgd(dependency, "SplitHead"));
+  const std::vector<Atom>& head = dependency.disjuncts()[0];
+  std::vector<Variable> existentials = dependency.ExistentialVars(0);
+  auto is_existential = [&](Variable v) {
+    return std::find(existentials.begin(), existentials.end(), v) !=
+           existentials.end();
+  };
+
+  // Union-find over head atoms: atoms sharing an existential variable
+  // must remain in one component.
+  std::vector<std::size_t> parent(head.size());
+  for (std::size_t i = 0; i < head.size(); ++i) parent[i] = i;
+  std::function<std::size_t(std::size_t)> find =
+      [&](std::size_t x) -> std::size_t {
+    return parent[x] == x ? x : (parent[x] = find(parent[x]));
+  };
+  std::map<uint32_t, std::size_t> first_seen;  // existential var -> atom
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    for (Variable v : head[i].Vars()) {
+      if (!is_existential(v)) continue;
+      auto it = first_seen.find(v.id());
+      if (it == first_seen.end()) {
+        first_seen.emplace(v.id(), i);
+      } else {
+        parent[find(i)] = find(it->second);
+      }
+    }
+  }
+
+  std::map<std::size_t, std::vector<Atom>> components;
+  for (std::size_t i = 0; i < head.size(); ++i) {
+    components[find(i)].push_back(head[i]);
+  }
+  std::vector<Dependency> out;
+  for (auto& [root, atoms] : components) {
+    RDX_ASSIGN_OR_RETURN(Dependency dep,
+                         Dependency::MakeTgd(dependency.body(), atoms));
+    out.push_back(std::move(dep));
+  }
+  return out;
+}
+
+Result<SchemaMapping> MinimizeMapping(const SchemaMapping& mapping,
+                                      const ChaseOptions& options) {
+  RDX_ASSIGN_OR_RETURN(std::vector<Dependency> minimized,
+                       MinimizeDependencies(mapping.dependencies(), options));
+  return SchemaMapping::Make(mapping.source(), mapping.target(),
+                             std::move(minimized));
+}
+
+}  // namespace rdx

@@ -1,0 +1,40 @@
+#ifndef RDX_MAPPING_NORMALIZATION_H_
+#define RDX_MAPPING_NORMALIZATION_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Logical implication Σ ⊨ d for plain tgds, decided by the classical
+/// chase test: freeze d's universal variables to fresh constants, chase
+/// the frozen body with Σ, and check whether d's head is satisfied under
+/// the frozen assignment. Sound and complete for plain (existential) tgds
+/// with terminating chase; rejects dependencies with builtins or
+/// disjunction (Unimplemented).
+Result<bool> Implies(const std::vector<Dependency>& sigma,
+                     const Dependency& d, const ChaseOptions& options = {});
+
+/// Removes dependencies implied by the remaining ones (greedy, in order;
+/// the result is a minimal subset equivalent to the input, though not
+/// necessarily the unique minimum). Plain tgds only.
+Result<std::vector<Dependency>> MinimizeDependencies(
+    const std::vector<Dependency>& dependencies,
+    const ChaseOptions& options = {});
+
+/// Normalizes a tgd's head: splits a conjunctive head into one tgd per
+/// connected component of head atoms linked by shared EXISTENTIAL
+/// variables (atoms sharing an existential must stay together; the rest
+/// may split). Logically equivalent to the input. Plain tgds only.
+Result<std::vector<Dependency>> SplitHead(const Dependency& dependency);
+
+/// MinimizeDependencies applied to a mapping (same schemas).
+Result<SchemaMapping> MinimizeMapping(const SchemaMapping& mapping,
+                                      const ChaseOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_NORMALIZATION_H_

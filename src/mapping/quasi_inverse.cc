@@ -1,0 +1,185 @@
+#include "mapping/quasi_inverse.h"
+
+#include <algorithm>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+// A normalized full tgd: a body plus a single head atom.
+struct SingleHeadTgd {
+  std::vector<Atom> body;
+  Atom head;
+};
+
+// Enumerates all set partitions of {0, ..., n-1} as restricted growth
+// strings: partition[i] = block index of position i, with block indices
+// first-used in increasing order.
+void EnumeratePartitions(uint32_t n, std::vector<uint32_t>* current,
+                         std::vector<std::vector<uint32_t>>* out) {
+  if (current->size() == n) {
+    out->push_back(*current);
+    return;
+  }
+  uint32_t max_block = 0;
+  for (uint32_t b : *current) max_block = std::max(max_block, b + 1);
+  for (uint32_t b = 0; b <= max_block; ++b) {
+    current->push_back(b);
+    EnumeratePartitions(n, current, out);
+    current->pop_back();
+  }
+}
+
+std::vector<std::vector<uint32_t>> AllPartitions(uint32_t n) {
+  std::vector<std::vector<uint32_t>> out;
+  std::vector<uint32_t> current;
+  EnumeratePartitions(n, &current, &out);
+  return out;
+}
+
+// True if the head pattern `terms` is compatible with the equality type
+// `partition`: equal head variables force their positions into one block.
+bool Compatible(const std::vector<Term>& terms,
+                const std::vector<uint32_t>& partition) {
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    for (std::size_t j = i + 1; j < terms.size(); ++j) {
+      if (terms[i] == terms[j] && partition[i] != partition[j]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Block-representative variables z0, z1, ... for a partition. Uses fixed
+// interned names so the output is stable and readable.
+std::vector<Variable> BlockVars(const std::vector<uint32_t>& partition) {
+  uint32_t blocks = 0;
+  for (uint32_t b : partition) blocks = std::max(blocks, b + 1);
+  std::vector<Variable> out;
+  out.reserve(blocks);
+  for (uint32_t b = 0; b < blocks; ++b) {
+    out.push_back(Variable::Intern(StrCat("z", b)));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SchemaMapping> QuasiInverse(const SchemaMapping& mapping) {
+  if (!mapping.IsFullTgdMapping()) {
+    return Status::FailedPrecondition(
+        "QuasiInverse requires a mapping specified by full s-t tgds "
+        "(Theorem 5.1)");
+  }
+
+  // Step 1: normalize to single-head tgds, grouped by head relation.
+  std::vector<SingleHeadTgd> normalized;
+  for (const Dependency& dep : mapping.dependencies()) {
+    for (const Atom& head : dep.disjuncts()[0]) {
+      for (const Term& t : head.terms()) {
+        if (t.IsConstant()) {
+          return Status::Unimplemented(
+              StrCat("head atom with constant term not supported: ",
+                     head.ToString()));
+        }
+      }
+      normalized.push_back(SingleHeadTgd{dep.body(), head});
+    }
+  }
+
+  // Step 2: one disjunctive tgd per (head relation, realizable equality
+  // type).
+  std::vector<Dependency> reverse_deps;
+  std::vector<Relation> head_relations;
+  for (const SingleHeadTgd& tgd : normalized) {
+    Relation r = tgd.head.relation();
+    if (std::find(head_relations.begin(), head_relations.end(), r) ==
+        head_relations.end()) {
+      head_relations.push_back(r);
+    }
+  }
+
+  for (Relation target_rel : head_relations) {
+    for (const std::vector<uint32_t>& partition :
+         AllPartitions(target_rel.arity())) {
+      std::vector<Variable> block_vars = BlockVars(partition);
+
+      // Disjuncts from compatible tgds.
+      std::vector<std::vector<Atom>> disjuncts;
+      for (const SingleHeadTgd& tgd : normalized) {
+        if (!(tgd.head.relation() == target_rel)) continue;
+        if (!Compatible(tgd.head.terms(), partition)) continue;
+
+        // σ maps each head variable to its block representative; remaining
+        // body variables become fresh existentials.
+        std::unordered_map<Variable, Term, VariableHash> sigma;
+        for (std::size_t i = 0; i < tgd.head.terms().size(); ++i) {
+          sigma.emplace(tgd.head.terms()[i].variable(),
+                        Term::Var(block_vars[partition[i]]));
+        }
+        std::vector<Atom> disjunct;
+        for (const Atom& body_atom : tgd.body) {
+          std::vector<Term> terms;
+          terms.reserve(body_atom.terms().size());
+          for (const Term& t : body_atom.terms()) {
+            if (t.IsConstant()) {
+              terms.push_back(t);
+              continue;
+            }
+            auto it = sigma.find(t.variable());
+            if (it == sigma.end()) {
+              it = sigma.emplace(t.variable(), Term::Var(Variable::Fresh()))
+                       .first;
+            }
+            terms.push_back(it->second);
+          }
+          RDX_ASSIGN_OR_RETURN(
+              Atom mapped, Atom::Relational(body_atom.relation(),
+                                            std::move(terms)));
+          // Skip duplicate atoms within a disjunct.
+          if (std::find(disjunct.begin(), disjunct.end(), mapped) ==
+              disjunct.end()) {
+            disjunct.push_back(std::move(mapped));
+          }
+        }
+        // Skip duplicate disjuncts.
+        if (std::find(disjuncts.begin(), disjuncts.end(), disjunct) ==
+            disjuncts.end()) {
+          disjuncts.push_back(std::move(disjunct));
+        }
+      }
+      if (disjuncts.empty()) continue;  // type unrealizable by the chase
+
+      // Premise: T(z_{ε(0)}, ..., z_{ε(m-1)}) plus pairwise block
+      // inequalities.
+      std::vector<Term> premise_terms;
+      premise_terms.reserve(partition.size());
+      for (uint32_t b : partition) {
+        premise_terms.push_back(Term::Var(block_vars[b]));
+      }
+      RDX_ASSIGN_OR_RETURN(
+          Atom premise,
+          Atom::Relational(target_rel, std::move(premise_terms)));
+      std::vector<Atom> body;
+      body.push_back(std::move(premise));
+      for (std::size_t a = 0; a < block_vars.size(); ++a) {
+        for (std::size_t b = a + 1; b < block_vars.size(); ++b) {
+          body.push_back(Atom::Inequality(Term::Var(block_vars[a]),
+                                          Term::Var(block_vars[b])));
+        }
+      }
+
+      RDX_ASSIGN_OR_RETURN(
+          Dependency dep,
+          Dependency::Make(std::move(body), std::move(disjuncts)));
+      reverse_deps.push_back(std::move(dep));
+    }
+  }
+
+  return SchemaMapping::Make(mapping.target(), mapping.source(),
+                             std::move(reverse_deps));
+}
+
+}  // namespace rdx

@@ -1,0 +1,34 @@
+#ifndef RDX_MAPPING_QUASI_INVERSE_H_
+#define RDX_MAPPING_QUASI_INVERSE_H_
+
+#include "base/status.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// The quasi-inverse algorithm for full tgds (Section 4.2 of [FKPT,
+/// Quasi-inverses of schema mappings], invoked by Theorem 5.1): given a
+/// mapping M = (S, T, Σ) specified by FULL s-t tgds, produces a reverse
+/// mapping M' = (T, S, Σ') specified by disjunctive tgds with inequalities
+/// that is a maximum extended recovery of M.
+///
+/// Construction:
+///  1. Normalize Σ to single-head full tgds (split conjunctive heads).
+///  2. For each target relation T of arity m occurring in some head and
+///     each equality type ε (set partition of the positions 0..m-1):
+///       * premise: T(z_{ε(0)}, ..., z_{ε(m-1)}) plus inequalities between
+///         the representatives of distinct blocks;
+///       * one disjunct per normalized tgd φ(x) → T(t) whose head pattern
+///         is compatible with ε (t_i = t_j implies i ~ε j): the body φ with
+///         each head variable replaced by its block representative and each
+///         remaining body variable replaced by a fresh existential.
+///     Types with no compatible tgd are omitted (the chase never produces
+///     a fact of that type).
+///
+/// Fails with FailedPrecondition if the mapping is not a full-tgd mapping,
+/// and Unimplemented if a head atom contains a constant term.
+Result<SchemaMapping> QuasiInverse(const SchemaMapping& mapping);
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_QUASI_INVERSE_H_

@@ -1,0 +1,129 @@
+#include "mapping/recovery.h"
+
+#include "base/strings.h"
+#include "core/homomorphism.h"
+#include "mapping/extended.h"
+
+namespace rdx {
+
+std::string MaxRecoveryMismatch::ToString() const {
+  return StrCat("pair (", i1.ToString(), ", ", i2.ToString(),
+                "): in e(M)∘e(M')=", in_composition,
+                " but in →M=", in_arrow_m);
+}
+
+std::string UniversalFaithfulViolation::ToString() const {
+  std::string out = StrCat("I=", I.ToString(), " violates condition (",
+                           condition, ")");
+  if (witness.has_value()) {
+    out += StrCat(" with witness ", witness->ToString());
+  }
+  return out;
+}
+
+Result<std::optional<Instance>> CheckExtendedRecovery(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const std::vector<Instance>& family, const ChaseOptions& chase_options,
+    const DisjunctiveChaseOptions& disjunctive_options) {
+  for (const Instance& I : family) {
+    RDX_ASSIGN_OR_RETURN(
+        bool in_comp,
+        InExtendedComposition(mapping, reverse, I, I, chase_options,
+                              disjunctive_options));
+    if (!in_comp) return std::optional<Instance>(I);
+  }
+  return std::optional<Instance>();
+}
+
+Result<std::optional<MaxRecoveryMismatch>> CheckMaximumExtendedRecovery(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const std::vector<Instance>& family, const ChaseOptions& chase_options,
+    const DisjunctiveChaseOptions& disjunctive_options) {
+  for (const Instance& I1 : family) {
+    for (const Instance& I2 : family) {
+      RDX_ASSIGN_OR_RETURN(
+          bool in_comp,
+          InExtendedComposition(mapping, reverse, I1, I2, chase_options,
+                                disjunctive_options));
+      RDX_ASSIGN_OR_RETURN(bool in_arrow,
+                           ArrowM(mapping, I1, I2, chase_options));
+      if (in_comp != in_arrow) {
+        return std::optional<MaxRecoveryMismatch>(
+            MaxRecoveryMismatch{I1, I2, in_comp, in_arrow});
+      }
+    }
+  }
+  return std::optional<MaxRecoveryMismatch>();
+}
+
+Result<std::optional<UniversalFaithfulViolation>> CheckUniversalFaithful(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const std::vector<Instance>& family, const ChaseOptions& chase_options,
+    const DisjunctiveChaseOptions& disjunctive_options) {
+  // Definition 6.1 is stated for reverse mappings given by plain
+  // disjunctive tgds, where the syntactic round trip is the right branch
+  // set. For reverse mappings with inequality/Constant bodies (e.g.
+  // quasi-inverse outputs) the library extends the definition with the
+  // quotient-closed branch set, which is what e(M') actually denotes there
+  // (see QuotientClosedReverseBranches).
+  const bool needs_quotients =
+      reverse.UsesInequalities() || reverse.UsesConstantPredicate();
+  for (const Instance& I : family) {
+    std::vector<Instance> branches;
+    if (needs_quotients) {
+      RDX_ASSIGN_OR_RETURN(
+          branches, QuotientClosedReverseBranches(mapping, reverse, I,
+                                                  chase_options,
+                                                  disjunctive_options));
+    } else {
+      RDX_ASSIGN_OR_RETURN(
+          branches, ReverseRoundTrip(mapping, reverse, I, chase_options,
+                                     disjunctive_options));
+    }
+
+    // Condition (1): every branch Vl satisfies I →_M Vl.
+    for (const Instance& V : branches) {
+      RDX_ASSIGN_OR_RETURN(bool arrow, ArrowM(mapping, I, V, chase_options));
+      if (!arrow) {
+        return std::optional<UniversalFaithfulViolation>(
+            UniversalFaithfulViolation{I, 1, V});
+      }
+    }
+
+    // Condition (2): some branch Vi satisfies Vi →_M I.
+    bool some_back = false;
+    for (const Instance& V : branches) {
+      RDX_ASSIGN_OR_RETURN(bool arrow, ArrowM(mapping, V, I, chase_options));
+      if (arrow) {
+        some_back = true;
+        break;
+      }
+    }
+    if (!some_back) {
+      return std::optional<UniversalFaithfulViolation>(
+          UniversalFaithfulViolation{I, 2, std::nullopt});
+    }
+
+    // Condition (3): for every I' with I →_M I', some branch Vj → I'.
+    for (const Instance& Iprime : family) {
+      RDX_ASSIGN_OR_RETURN(bool arrow,
+                           ArrowM(mapping, I, Iprime, chase_options));
+      if (!arrow) continue;
+      bool covered = false;
+      for (const Instance& V : branches) {
+        RDX_ASSIGN_OR_RETURN(bool hom, HasHomomorphism(V, Iprime));
+        if (hom) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) {
+        return std::optional<UniversalFaithfulViolation>(
+            UniversalFaithfulViolation{I, 3, Iprime});
+      }
+    }
+  }
+  return std::optional<UniversalFaithfulViolation>();
+}
+
+}  // namespace rdx

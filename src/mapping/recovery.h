@@ -1,0 +1,64 @@
+#ifndef RDX_MAPPING_RECOVERY_H_
+#define RDX_MAPPING_RECOVERY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "mapping/composition.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Checks that M' is an extended recovery of M (Definition 4.3) over the
+/// given family: (I, I) ∈ e(M) ∘ e(M') for every I in `family`. Returns
+/// the first violating I, or nullopt. A violation proves M' is not an
+/// extended recovery; nullopt is exhaustive evidence up to the family.
+Result<std::optional<Instance>> CheckExtendedRecovery(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const std::vector<Instance>& family, const ChaseOptions& chase_options = {},
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+/// A pair witnessing e(M) ∘ e(M') ≠ →_M (Theorem 4.13).
+struct MaxRecoveryMismatch {
+  Instance i1;
+  Instance i2;
+  bool in_composition = false;  // (i1, i2) ∈ e(M) ∘ e(M') (procedurally)
+  bool in_arrow_m = false;      // i1 →_M i2
+
+  std::string ToString() const;
+};
+
+/// Checks Theorem 4.13's criterion for M' being a maximum extended
+/// recovery of M: e(M) ∘ e(M') = →_M, over all ordered pairs from
+/// `family`. Returns the first mismatching pair, or nullopt.
+Result<std::optional<MaxRecoveryMismatch>> CheckMaximumExtendedRecovery(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const std::vector<Instance>& family, const ChaseOptions& chase_options = {},
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+/// A violation of one of the three universal-faithfulness conditions
+/// (Definition 6.1) at source instance `I`.
+struct UniversalFaithfulViolation {
+  Instance I;
+  int condition = 0;  // 1, 2, or 3
+  /// Condition 1: the branch Vl with not(I →_M Vl). Condition 3: the
+  /// instance I' with I →_M I' but no branch mapping into it.
+  std::optional<Instance> witness;
+
+  std::string ToString() const;
+};
+
+/// Checks that M' is universal-faithful for M (Definition 6.1) on each I
+/// in `family`, with condition (3)'s quantifier over I' bounded to
+/// `family`. Returns the first violation, or nullopt. By Theorem 6.2 this
+/// is the procedural counterpart of being a maximum extended recovery.
+Result<std::optional<UniversalFaithfulViolation>> CheckUniversalFaithful(
+    const SchemaMapping& mapping, const SchemaMapping& reverse,
+    const std::vector<Instance>& family, const ChaseOptions& chase_options = {},
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_RECOVERY_H_

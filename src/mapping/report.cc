@@ -1,0 +1,96 @@
+#include "mapping/report.h"
+
+#include <cstdio>
+
+#include "base/strings.h"
+#include "generator/enumerator.h"
+#include "mapping/quasi_inverse.h"
+#include "mapping/recovery.h"
+
+namespace rdx {
+
+std::string InvertibilityReport::ToString() const {
+  std::string out =
+      StrCat("universe: ", universe_size, " instances (", universe_constants,
+             " constants, ", universe_nulls, " nulls, <=", universe_max_facts,
+             " facts)\n");
+  if (extended_invertible) {
+    out += "extended invertible on this universe (Theorem 3.13)\n";
+  } else {
+    out += StrCat(
+        "NOT extended invertible (Theorem 3.13); witness:\n  I1 = ",
+        hom_property_counterexample->i1.ToString(),
+        "\n  I2 = ", hom_property_counterexample->i2.ToString(), "\n");
+  }
+  out += StrCat("information loss: ", loss.loss_pairs, " / ",
+                loss.total_pairs, " pairs (density ");
+  char density[32];
+  std::snprintf(density, sizeof(density), "%.4f", loss.LossDensity());
+  out += density;
+  out += ")\n";
+  for (const PairCounterexample& w : loss.witnesses) {
+    out += StrCat("  lost pair: ", w.i1.ToString(), "  ~_M  ",
+                  w.i2.ToString(), "\n");
+  }
+  if (max_extended_recovery.has_value()) {
+    out += StrCat("maximum extended recovery (Theorem 5.1):\n",
+                  DependenciesToString(max_extended_recovery->dependencies()),
+                  "\n");
+    if (recovery_universal_faithful.has_value()) {
+      out += StrCat("universal-faithful on the universe (Theorem 6.2): ",
+                    *recovery_universal_faithful ? "yes" : "NO", "\n");
+    }
+  }
+  return out;
+}
+
+Result<InvertibilityReport> AnalyzeMapping(const SchemaMapping& mapping,
+                                           const AnalyzeOptions& options) {
+  if (!mapping.IsTgdMapping() && !mapping.UsesConstantPredicate()) {
+    return Status::FailedPrecondition(
+        "AnalyzeMapping requires a (possibly Constant-guarded) tgd mapping");
+  }
+  if (mapping.UsesDisjunction() || mapping.UsesInequalities()) {
+    return Status::FailedPrecondition(
+        "AnalyzeMapping requires a forward mapping without disjunction or "
+        "inequalities");
+  }
+
+  InvertibilityReport report;
+  report.universe_constants = options.universe_constants;
+  report.universe_nulls = options.universe_nulls;
+  report.universe_max_facts = options.universe_max_facts;
+
+  EnumerationUniverse universe;
+  universe.schema = mapping.source();
+  universe.domain =
+      StandardDomain(options.universe_constants, options.universe_nulls);
+  universe.max_facts = options.universe_max_facts;
+  RDX_ASSIGN_OR_RETURN(std::vector<Instance> family,
+                       EnumerateInstances(universe));
+  report.universe_size = family.size();
+
+  RDX_ASSIGN_OR_RETURN(
+      report.hom_property_counterexample,
+      CheckHomomorphismProperty(mapping, family, options.chase_options));
+  report.extended_invertible = !report.hom_property_counterexample.has_value();
+
+  RDX_ASSIGN_OR_RETURN(
+      report.loss,
+      MeasureInformationLoss(mapping, family, options.max_loss_witnesses,
+                             options.chase_options));
+
+  if (!report.extended_invertible && mapping.IsFullTgdMapping()) {
+    RDX_ASSIGN_OR_RETURN(SchemaMapping recovery, QuasiInverse(mapping));
+    RDX_ASSIGN_OR_RETURN(
+        std::optional<UniversalFaithfulViolation> violation,
+        CheckUniversalFaithful(mapping, recovery, family,
+                               options.chase_options,
+                               options.disjunctive_options));
+    report.recovery_universal_faithful = !violation.has_value();
+    report.max_extended_recovery = std::move(recovery);
+  }
+  return report;
+}
+
+}  // namespace rdx

@@ -1,0 +1,63 @@
+#ifndef RDX_MAPPING_REPORT_H_
+#define RDX_MAPPING_REPORT_H_
+
+#include <optional>
+#include <string>
+
+#include "base/status.h"
+#include "mapping/information_loss.h"
+#include "mapping/inverse_checks.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// A structured invertibility analysis of a schema mapping over a bounded
+/// universe — the paper's decision ladder as a data type:
+///   1. homomorphism property (Theorem 3.13) → extended invertibility;
+///   2. chase-inverse verification of a candidate reverse (Theorem 3.17);
+///   3. loss quantification (Corollary 4.14) and, for full-tgd mappings,
+///      maximum-extended-recovery synthesis (Theorem 5.1) with
+///      universal-faithfulness verification (Theorem 6.2).
+struct InvertibilityReport {
+  /// Parameters of the universe the analysis ran on.
+  std::size_t universe_size = 0;
+  std::size_t universe_constants = 0;
+  std::size_t universe_nulls = 0;
+  std::size_t universe_max_facts = 0;
+
+  /// Extended invertibility verdict (exhaustive up to the universe).
+  bool extended_invertible = false;
+  std::optional<PairCounterexample> hom_property_counterexample;
+
+  /// Information loss measurement (always computed).
+  InformationLossReport loss;
+
+  /// For full-tgd mappings that are not extended invertible: the
+  /// synthesized maximum extended recovery and whether it verified as
+  /// universal-faithful on the universe.
+  std::optional<SchemaMapping> max_extended_recovery;
+  std::optional<bool> recovery_universal_faithful;
+
+  /// Human-readable rendering (the format the rdx_cli `analyze` command
+  /// and the inverse_analysis example print).
+  std::string ToString() const;
+};
+
+struct AnalyzeOptions {
+  std::size_t universe_constants = 2;
+  std::size_t universe_nulls = 1;
+  std::size_t universe_max_facts = 1;
+  std::size_t max_loss_witnesses = 2;
+  ChaseOptions chase_options;
+  DisjunctiveChaseOptions disjunctive_options;
+};
+
+/// Runs the full analysis ladder on `mapping`. Requires a tgd mapping
+/// (Constant atoms allowed, no disjunction/inequality — the analysis
+/// chases the forward direction).
+Result<InvertibilityReport> AnalyzeMapping(const SchemaMapping& mapping,
+                                           const AnalyzeOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_REPORT_H_

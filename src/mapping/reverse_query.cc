@@ -1,0 +1,63 @@
+#include "mapping/reverse_query.h"
+
+#include "mapping/extended.h"
+
+namespace rdx {
+namespace {
+
+Result<TupleSet> CertainOverBranches(const std::vector<Instance>& branches,
+                                     const ConjunctiveQuery& query) {
+  // An empty branch set means the disjunctive chase failed everywhere; no
+  // possible world, so (vacuously) every tuple is certain — but that
+  // cannot arise for tgd-style dependencies, whose chase always completes.
+  // Treat it as "no answers" defensively.
+  if (branches.empty()) return TupleSet{};
+  std::vector<TupleSet> per_branch;
+  per_branch.reserve(branches.size());
+  for (const Instance& K : branches) {
+    RDX_ASSIGN_OR_RETURN(TupleSet answers, query.Eval(K));
+    per_branch.push_back(std::move(answers));
+  }
+  return DiscardTuplesWithNulls(IntersectAll(per_branch));
+}
+
+}  // namespace
+
+Result<TupleSet> ReverseCertainAnswers(
+    const SchemaMapping& mapping, const SchemaMapping& recovery,
+    const ConjunctiveQuery& query, const Instance& I,
+    const ChaseOptions& chase_options,
+    const DisjunctiveChaseOptions& disjunctive_options) {
+  RDX_ASSIGN_OR_RETURN(
+      std::vector<Instance> branches,
+      ReverseRoundTrip(mapping, recovery, I, chase_options,
+                       disjunctive_options));
+  return CertainOverBranches(branches, query);
+}
+
+Result<TupleSet> ReverseCertainAnswersFromTarget(
+    const SchemaMapping& recovery, const ConjunctiveQuery& query,
+    const Instance& J, const DisjunctiveChaseOptions& disjunctive_options) {
+  RDX_ASSIGN_OR_RETURN(
+      std::vector<Instance> branches,
+      DisjunctiveChaseMapping(recovery, J, disjunctive_options));
+  return CertainOverBranches(branches, query);
+}
+
+Result<TupleSet> ForwardCertainAnswers(const SchemaMapping& mapping,
+                                       const ConjunctiveQuery& query,
+                                       const Instance& I,
+                                       const ChaseOptions& options) {
+  RDX_ASSIGN_OR_RETURN(Instance chased, ChaseMapping(mapping, I, options));
+  RDX_ASSIGN_OR_RETURN(TupleSet answers, query.Eval(chased));
+  return DiscardTuplesWithNulls(answers);
+}
+
+Result<TupleSet> NullFreeAnswers(const ConjunctiveQuery& query,
+                                 const Instance& I,
+                                 const MatchOptions& options) {
+  RDX_ASSIGN_OR_RETURN(TupleSet answers, query.Eval(I, options));
+  return DiscardTuplesWithNulls(answers);
+}
+
+}  // namespace rdx

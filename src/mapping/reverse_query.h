@@ -1,0 +1,52 @@
+#ifndef RDX_MAPPING_REVERSE_QUERY_H_
+#define RDX_MAPPING_REVERSE_QUERY_H_
+
+#include "base/status.h"
+#include "core/query.h"
+#include "mapping/composition.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Reverse query answering (Section 6.2, Theorem 6.5): the certain answers
+/// certain_{e(M)∘e(M')}(q, I) of a conjunctive query q over the SOURCE
+/// schema, computed as
+///
+///   ( ⋂_{K ∈ chase_M'(chase_M(I))} q(K) )↓
+///
+/// where M' is a maximum extended recovery of M specified by disjunctive
+/// tgds. The query's relations must belong to M's source schema.
+Result<TupleSet> ReverseCertainAnswers(
+    const SchemaMapping& mapping, const SchemaMapping& recovery,
+    const ConjunctiveQuery& query, const Instance& I,
+    const ChaseOptions& chase_options = {},
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+/// The schema-evolution scenario: the original source instance is gone and
+/// only a target instance J (the result of a prior exchange with M) is
+/// available. Computes ( ⋂_{K ∈ chase_M'(J)} q(K) )↓.
+Result<TupleSet> ReverseCertainAnswersFromTarget(
+    const SchemaMapping& recovery, const ConjunctiveQuery& query,
+    const Instance& J,
+    const DisjunctiveChaseOptions& disjunctive_options = {});
+
+/// Forward certain answers (Definition 6.3 in its classical use): for a
+/// conjunctive query q over the TARGET schema,
+/// certain_M(q, I) = ( q(chase_M(I)) )↓ — the certain-answer semantics is
+/// computable on the canonical universal solution [the paper's reference
+/// FKMP, Data Exchange: Semantics and Query Answering].
+Result<TupleSet> ForwardCertainAnswers(const SchemaMapping& mapping,
+                                       const ConjunctiveQuery& query,
+                                       const Instance& I,
+                                       const ChaseOptions& options = {});
+
+/// q(I)↓ — the null-free answers of q on I, the yardstick of Theorem 6.4:
+/// for an extended inverse M' of M, the reverse certain answers equal
+/// q(I)↓ for every source I and conjunctive query q.
+Result<TupleSet> NullFreeAnswers(const ConjunctiveQuery& query,
+                                 const Instance& I,
+                                 const MatchOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_REVERSE_QUERY_H_

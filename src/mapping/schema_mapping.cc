@@ -1,0 +1,115 @@
+#include "mapping/schema_mapping.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/strings.h"
+#include "chase/chase.h"
+#include "core/dependency_parser.h"
+
+namespace rdx {
+
+Result<SchemaMapping> SchemaMapping::Make(
+    Schema source, Schema target, std::vector<Dependency> dependencies) {
+  if (!source.DisjointFrom(target)) {
+    return Status::InvalidArgument(
+        StrCat("source and target schemas must be disjoint: ",
+               source.ToString(), " vs ", target.ToString()));
+  }
+  for (const Dependency& dep : dependencies) {
+    for (Relation r : dep.BodyRelations()) {
+      if (!source.Contains(r)) {
+        return Status::InvalidArgument(
+            StrCat("body relation '", r.name(), "' of dependency '",
+                   dep.ToString(), "' is not in the source schema ",
+                   source.ToString()));
+      }
+    }
+    for (Relation r : dep.HeadRelations()) {
+      if (!target.Contains(r)) {
+        return Status::InvalidArgument(
+            StrCat("head relation '", r.name(), "' of dependency '",
+                   dep.ToString(), "' is not in the target schema ",
+                   target.ToString()));
+      }
+    }
+  }
+  return SchemaMapping(std::move(source), std::move(target),
+                       std::move(dependencies));
+}
+
+Result<SchemaMapping> SchemaMapping::Parse(Schema source, Schema target,
+                                           std::string_view text) {
+  RDX_ASSIGN_OR_RETURN(std::vector<Dependency> deps, ParseDependencies(text));
+  return Make(std::move(source), std::move(target), std::move(deps));
+}
+
+SchemaMapping SchemaMapping::MustParse(Schema source, Schema target,
+                                       std::string_view text) {
+  Result<SchemaMapping> m = Parse(std::move(source), std::move(target), text);
+  if (!m.ok()) {
+    std::fprintf(stderr, "SchemaMapping::MustParse(\"%.*s\"): %s\n",
+                 static_cast<int>(text.size()), text.data(),
+                 m.status().ToString().c_str());
+    std::abort();
+  }
+  return *std::move(m);
+}
+
+bool SchemaMapping::IsTgdMapping() const {
+  for (const Dependency& dep : dependencies_) {
+    if (!dep.IsPlainTgd()) return false;
+  }
+  return true;
+}
+
+bool SchemaMapping::IsFullTgdMapping() const {
+  if (!IsTgdMapping()) return false;
+  for (const Dependency& dep : dependencies_) {
+    if (!dep.IsFull()) return false;
+  }
+  return true;
+}
+
+bool SchemaMapping::UsesDisjunction() const {
+  for (const Dependency& dep : dependencies_) {
+    if (dep.HasDisjunction()) return true;
+  }
+  return false;
+}
+
+bool SchemaMapping::UsesInequalities() const {
+  for (const Dependency& dep : dependencies_) {
+    if (dep.UsesInequalities()) return true;
+  }
+  return false;
+}
+
+bool SchemaMapping::UsesConstantPredicate() const {
+  for (const Dependency& dep : dependencies_) {
+    if (dep.UsesConstantPredicate()) return true;
+  }
+  return false;
+}
+
+Result<bool> SchemaMapping::Satisfied(const Instance& source_instance,
+                                      const Instance& target_instance,
+                                      const MatchOptions& options) const {
+  if (!source_instance.ConformsTo(source_)) {
+    return Status::InvalidArgument(
+        "source instance does not conform to the source schema");
+  }
+  if (!target_instance.ConformsTo(target_)) {
+    return Status::InvalidArgument(
+        "target instance does not conform to the target schema");
+  }
+  Instance combined = Instance::Union(source_instance, target_instance);
+  return SatisfiesAll(combined, dependencies_, options);
+}
+
+std::string SchemaMapping::ToString() const {
+  return StrCat("M = (", source_.ToString(), ", ", target_.ToString(),
+                ")\n", DependenciesToString(dependencies_));
+}
+
+}  // namespace rdx

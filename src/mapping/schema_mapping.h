@@ -1,0 +1,81 @@
+#ifndef RDX_MAPPING_SCHEMA_MAPPING_H_
+#define RDX_MAPPING_SCHEMA_MAPPING_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/dependency.h"
+#include "core/instance.h"
+#include "core/match.h"
+#include "core/schema.h"
+
+namespace rdx {
+
+/// A schema mapping M = (S, T, Σ) (Section 2): a source schema, a target
+/// schema, and a set of dependencies whose bodies are over S and heads over
+/// T. "Reverse" mappings (T, S, Σ') are just schema mappings with the roles
+/// swapped; nothing in this class is specific to direction.
+///
+/// Σ may contain plain s-t tgds, tgds with constants/inequalities, and
+/// disjunctive tgds — the full language zoo of the paper.
+class SchemaMapping {
+ public:
+  SchemaMapping() = default;
+
+  /// Builds and validates a mapping: S and T must be disjoint, every
+  /// relational body atom must be over S, and every head atom over T.
+  static Result<SchemaMapping> Make(Schema source, Schema target,
+                                    std::vector<Dependency> dependencies);
+
+  /// Parses the dependencies from text (';'-separated; see
+  /// dependency_parser.h) and builds the mapping.
+  static Result<SchemaMapping> Parse(Schema source, Schema target,
+                                     std::string_view dependencies_text);
+
+  /// Like Parse but aborts on error; for literals in tests and examples.
+  static SchemaMapping MustParse(Schema source, Schema target,
+                                 std::string_view dependencies_text);
+
+  const Schema& source() const { return source_; }
+  const Schema& target() const { return target_; }
+  const std::vector<Dependency>& dependencies() const { return dependencies_; }
+
+  /// True if every dependency is a plain tgd (single disjunct, no builtin
+  /// body atoms) — the paper's "schema mapping specified by s-t tgds".
+  bool IsTgdMapping() const;
+
+  /// True if additionally no dependency has existential variables — "full
+  /// s-t tgds".
+  bool IsFullTgdMapping() const;
+
+  bool UsesDisjunction() const;
+  bool UsesInequalities() const;
+  bool UsesConstantPredicate() const;
+
+  /// (I, J) ⊨ Σ. Validates that I conforms to S and J to T, then checks
+  /// satisfaction over the combined instance (schemas are disjoint, so the
+  /// union is unambiguous).
+  Result<bool> Satisfied(const Instance& source_instance,
+                         const Instance& target_instance,
+                         const MatchOptions& options = {}) const;
+
+  /// Multi-line rendering: schemas then dependencies.
+  std::string ToString() const;
+
+ private:
+  SchemaMapping(Schema source, Schema target,
+                std::vector<Dependency> dependencies)
+      : source_(std::move(source)),
+        target_(std::move(target)),
+        dependencies_(std::move(dependencies)) {}
+
+  Schema source_;
+  Schema target_;
+  std::vector<Dependency> dependencies_;
+};
+
+}  // namespace rdx
+
+#endif  // RDX_MAPPING_SCHEMA_MAPPING_H_

@@ -1,0 +1,47 @@
+#ifndef RDX_RDX_H_
+#define RDX_RDX_H_
+
+/// Umbrella header for the RDX library: reverse data exchange with nulls,
+/// after Fagin, Kolaitis, Popa, and Tan, "Reverse Data Exchange: Coping
+/// with Nulls" (PODS 2009).
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/strings.h"
+#include "chase/chase.h"
+#include "chase/disjunctive_chase.h"
+#include "chase/egd_chase.h"
+#include "chase/termination.h"
+#include "core/atom.h"
+#include "core/core_computation.h"
+#include "core/dependency.h"
+#include "core/dependency_parser.h"
+#include "core/egd.h"
+#include "core/fact.h"
+#include "core/homomorphism.h"
+#include "core/instance.h"
+#include "core/instance_parser.h"
+#include "core/match.h"
+#include "core/query.h"
+#include "core/quotient.h"
+#include "core/schema.h"
+#include "core/term.h"
+#include "core/value.h"
+#include "generator/enumerator.h"
+#include "generator/instance_generator.h"
+#include "generator/mapping_generator.h"
+#include "generator/scenarios.h"
+#include "mapping/compose_syntactic.h"
+#include "mapping/composition.h"
+#include "mapping/extended.h"
+#include "mapping/information_loss.h"
+#include "mapping/inverse_checks.h"
+#include "mapping/mapping_io.h"
+#include "mapping/normalization.h"
+#include "mapping/quasi_inverse.h"
+#include "mapping/recovery.h"
+#include "mapping/report.h"
+#include "mapping/reverse_query.h"
+#include "mapping/schema_mapping.h"
+
+#endif  // RDX_RDX_H_

@@ -1,0 +1,195 @@
+#include "core/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dependency_parser.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+
+TEST(TermTest, VariablesInternByName) {
+  EXPECT_EQ(Term::Var("x"), Term::Var("x"));
+  EXPECT_NE(Term::Var("x"), Term::Var("y"));
+  EXPECT_NE(Term::Var("x"), Term::Const(Value::MakeConstant("x")));
+}
+
+TEST(TermTest, FreshVariablesDistinct) {
+  EXPECT_NE(Variable::Fresh(), Variable::Fresh());
+}
+
+TEST(TermTest, ToString) {
+  EXPECT_EQ(Term::Var("abc").ToString(), "abc");
+  EXPECT_EQ(Term::Const(Value::MakeConstant("42")).ToString(), "42");
+  EXPECT_EQ(Term::Const(Value::MakeConstant("name")).ToString(), "'name'");
+}
+
+TEST(AtomTest, RelationalValidatesArity) {
+  Relation r = Relation::MustIntern("DepT_P", 2);
+  EXPECT_FALSE(Atom::Relational(r, {Term::Var("x")}).ok());
+  Result<Atom> ok = Atom::Relational(r, {Term::Var("x"), Term::Var("y")});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->ToString(), "DepT_P(x, y)");
+  EXPECT_EQ(ok->Vars().size(), 2u);
+}
+
+TEST(AtomTest, GroundUnderAssignment) {
+  Relation r = Relation::MustIntern("DepT_P", 2);
+  Atom a = Atom::MustRelational(r, {Term::Var("x"), Term::Var("y")});
+  Assignment asg;
+  asg.emplace(Variable::Intern("x"), Value::MakeConstant("a"));
+  EXPECT_FALSE(a.Ground(asg).ok());  // y unbound
+  asg.emplace(Variable::Intern("y"), Value::MakeNull("N"));
+  Result<Fact> f = a.Ground(asg);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->ToString(), "DepT_P(a, ?N)");
+}
+
+TEST(AtomTest, BuiltinEvaluation) {
+  Assignment asg;
+  asg.emplace(Variable::Intern("x"), Value::MakeConstant("a"));
+  asg.emplace(Variable::Intern("y"), Value::MakeNull("N"));
+  asg.emplace(Variable::Intern("z"), Value::MakeConstant("a"));
+
+  Atom neq = Atom::Inequality(Term::Var("x"), Term::Var("y"));
+  RDX_ASSERT_OK_AND_ASSIGN(bool v1, neq.EvalBuiltin(asg));
+  EXPECT_TRUE(v1);
+
+  Atom eq = Atom::Inequality(Term::Var("x"), Term::Var("z"));
+  RDX_ASSERT_OK_AND_ASSIGN(bool v2, eq.EvalBuiltin(asg));
+  EXPECT_FALSE(v2);
+
+  Atom cx = Atom::IsConstant(Term::Var("x"));
+  RDX_ASSERT_OK_AND_ASSIGN(bool v3, cx.EvalBuiltin(asg));
+  EXPECT_TRUE(v3);
+
+  Atom cy = Atom::IsConstant(Term::Var("y"));
+  RDX_ASSERT_OK_AND_ASSIGN(bool v4, cy.EvalBuiltin(asg));
+  EXPECT_FALSE(v4);
+}
+
+TEST(DependencyTest, ParseSimpleTgd) {
+  Dependency d = D("DepT_P(x, y) -> DepT_Q2(x, y)");
+  EXPECT_TRUE(d.IsPlainTgd());
+  EXPECT_TRUE(d.IsFull());
+  EXPECT_FALSE(d.HasDisjunction());
+  EXPECT_EQ(d.UniversalVars().size(), 2u);
+  EXPECT_TRUE(d.ExistentialVars(0).empty());
+}
+
+TEST(DependencyTest, ParseExistentialTgd) {
+  Dependency d = D("DepT_P(x, y) -> EXISTS z: DepT_Q2(x, z) & DepT_Q2(z, y)");
+  EXPECT_TRUE(d.IsPlainTgd());
+  EXPECT_FALSE(d.IsFull());
+  EXPECT_EQ(d.ExistentialVars(0).size(), 1u);
+  EXPECT_EQ(d.ExistentialVars(0)[0].name(), "z");
+}
+
+TEST(DependencyTest, ExistentialsImplicitWithoutKeyword) {
+  Dependency d = D("DepT_P(x, y) -> DepT_Q2(x, w)");
+  EXPECT_FALSE(d.IsFull());
+  EXPECT_EQ(d.ExistentialVars(0).size(), 1u);
+}
+
+TEST(DependencyTest, ParseDisjunctionAndInequality) {
+  Dependency d =
+      D("DepT_Q2(x, y) & x != y -> DepT_P(x, y) | DepT_R1(x)");
+  EXPECT_TRUE(d.HasDisjunction());
+  EXPECT_TRUE(d.UsesInequalities());
+  EXPECT_FALSE(d.IsPlainTgd());
+  EXPECT_EQ(d.disjuncts().size(), 2u);
+}
+
+TEST(DependencyTest, ParseConstantPredicate) {
+  Dependency d = D("DepT_Q2(x, y) & Constant(x) -> DepT_R1(x)");
+  EXPECT_TRUE(d.UsesConstantPredicate());
+  EXPECT_FALSE(d.IsPlainTgd());
+}
+
+TEST(DependencyTest, ParseConstantsInAtoms) {
+  Dependency d = D("DepT_P(x, 'admin') -> DepT_R1(x)");
+  EXPECT_TRUE(d.IsPlainTgd());
+  const Atom& body = d.body()[0];
+  EXPECT_TRUE(body.terms()[1].IsConstant());
+  EXPECT_EQ(body.terms()[1].constant(), Value::MakeConstant("admin"));
+
+  Dependency num = D("DepT_P(x, 7) -> DepT_R1(x)");
+  EXPECT_TRUE(num.body()[0].terms()[1].IsConstant());
+}
+
+TEST(DependencyTest, RejectsUnsafeBuiltin) {
+  // z does not occur in a relational body atom.
+  Result<Dependency> bad =
+      ParseDependency("DepT_P(x, y) & x != z -> DepT_R1(x)");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(DependencyTest, RejectsEmptyOrHeadBuiltin) {
+  EXPECT_FALSE(ParseDependency("DepT_P(x, y) -> ").ok());
+  EXPECT_FALSE(ParseDependency("-> DepT_R1(x)").ok());
+}
+
+TEST(DependencyTest, RoundTripToString) {
+  Dependency d = D("DepT_P(x, y) -> EXISTS z: DepT_Q2(x, z) & DepT_Q2(z, y)");
+  Dependency reparsed = D(d.ToString());
+  EXPECT_EQ(d, reparsed);
+
+  Dependency disj =
+      D("DepT_Q2(x, y) & x != y -> DepT_P(x, y) | DepT_R1(x)");
+  EXPECT_EQ(disj, D(disj.ToString()));
+}
+
+TEST(DependencyTest, MalformedInputsReportErrorsNotCrashes) {
+  const char* bad_inputs[] = {
+      "",
+      "->",
+      "P(",
+      "DepT_P(x, y)",
+      "DepT_P(x, y) ->",
+      "DepT_P(x, y) -> |",
+      "DepT_P(x, y) -> DepT_Q2(x, y) |",
+      "DepT_P(x, y) -> DepT_Q2(x, y) &",
+      "DepT_P(x, y -> DepT_Q2(x, y)",
+      "DepT_P() -> DepT_Q2(x, y)",
+      "DepT_P(x,, y) -> DepT_Q2(x, y)",
+      "-> DepT_Q2(x, y)",
+      "DepT_P(x, y) DepT_Q2(x, y)",
+      "DepT_P(x, y) -> x != y",
+      "x != y -> DepT_Q2(x, y)",
+      "Constant(x) -> DepT_Q2(x, x)",
+      "DepT_P('unterminated -> DepT_Q2(x, y)",
+      "DepT_P(x, y) -> EXISTS : DepT_Q2(x, y) extra",
+      "DepT_P(x, y) -> DepT_Q2(x, y); ; DepT_P(x, y) -> DepT_Q2(x, y)",
+  };
+  for (const char* text : bad_inputs) {
+    Result<Dependency> one = ParseDependency(text);
+    EXPECT_FALSE(one.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(DependencyTest, WhitespaceAndFormattingTolerance) {
+  Dependency compact = D("DepT_P(x,y)->DepT_Q2(x,y)");
+  Dependency spaced = D("  DepT_P( x , y )  ->  DepT_Q2( x , y )  ");
+  Dependency multiline = D("DepT_P(x,\n  y) ->\n  DepT_Q2(x, y)");
+  EXPECT_EQ(compact, spaced);
+  EXPECT_EQ(compact, multiline);
+}
+
+TEST(DependencyTest, ParseMany) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::vector<Dependency> deps,
+      ParseDependencies(
+          "DepT_P(x, y) -> DepT_Q2(x, y); DepT_R1(x) -> DepT_Q2(x, x)"));
+  EXPECT_EQ(deps.size(), 2u);
+}
+
+TEST(DependencyTest, BodyAndHeadRelations) {
+  Dependency d = D("DepT_P(x, y) -> DepT_Q2(x, y) | DepT_R1(x)");
+  EXPECT_EQ(d.BodyRelations().size(), 1u);
+  EXPECT_EQ(d.HeadRelations().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,135 @@
+#include "chase/disjunctive_chase.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dependency_parser.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+TEST(DisjunctiveChaseTest, NonDisjunctiveBehavesLikeChase) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(I("DjT_Q(a, b)"), {D("DjT_Q(x, y) -> DjT_P(x, y)")}));
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_EQ(r.added[0], I("DjT_P(a, b)"));
+}
+
+TEST(DisjunctiveChaseTest, TwoWayBranch) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(I("DjT_Q(a, a)"),
+                       {D("DjT_Q(x, x) -> DjT_T(x) | DjT_P(x, x)")}));
+  ASSERT_EQ(r.added.size(), 2u);
+  // Branch order is deterministic: disjuncts in order.
+  EXPECT_EQ(r.added[0], I("DjT_T(a)"));
+  EXPECT_EQ(r.added[1], I("DjT_P(a, a)"));
+}
+
+TEST(DisjunctiveChaseTest, BranchesMultiplyAcrossFacts) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(I("DjT_Q(a, a). DjT_Q(b, b)"),
+                       {D("DjT_Q(x, x) -> DjT_T(x) | DjT_P(x, x)")}));
+  // 2 facts × 2 disjuncts = 4 distinct completed branches.
+  EXPECT_EQ(r.added.size(), 4u);
+}
+
+TEST(DisjunctiveChaseTest, AlreadySatisfiedDisjunctStopsBranching) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(I("DjT_Q(a, a). DjT_T(a)"),
+                       {D("DjT_Q(x, x) -> DjT_T(x) | DjT_P(x, x)")}));
+  ASSERT_EQ(r.added.size(), 1u);
+  EXPECT_TRUE(r.added[0].empty());
+}
+
+TEST(DisjunctiveChaseTest, InequalityGuardedDependency) {
+  std::vector<Dependency> deps = {
+      D("DjT_Q(x, y) & x != y -> DjT_P(x, y)"),
+      D("DjT_Q(x, x) -> DjT_T(x) | DjT_P(x, x)")};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(I("DjT_Q(a, b). DjT_Q(c, c)"), deps));
+  ASSERT_EQ(r.added.size(), 2u);
+  EXPECT_EQ(r.added[0], I("DjT_P(a, b). DjT_T(c)"));
+  EXPECT_EQ(r.added[1], I("DjT_P(a, b). DjT_P(c, c)"));
+}
+
+TEST(DisjunctiveChaseTest, ExistentialDisjunct) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(
+          I("DjT_R1(a)"),
+          {D("DjT_R1(x) -> DjT_P(x, x) | EXISTS y: DjT_Q(x, y)")}));
+  ASSERT_EQ(r.added.size(), 2u);
+  EXPECT_EQ(r.added[0], I("DjT_P(a, a)"));
+  ASSERT_EQ(r.added[1].size(), 1u);
+  EXPECT_TRUE(r.added[1].facts()[0].args()[1].IsNull());
+}
+
+TEST(DisjunctiveChaseTest, HomEquivalentBranchesDeduped) {
+  // Both disjuncts produce hom-equivalent results for this input.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(
+          I("DjT_R1(a)"),
+          {D("DjT_R1(x) -> EXISTS y: DjT_Q(x, y) | EXISTS z: DjT_Q(x, z)")}));
+  EXPECT_EQ(r.added.size(), 1u);
+}
+
+TEST(DisjunctiveChaseTest, DedupCanBeDisabled) {
+  DisjunctiveChaseOptions options;
+  options.dedup_hom_equivalent = false;
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(
+          I("DjT_R1(a)"),
+          {D("DjT_R1(x) -> EXISTS y: DjT_Q(x, y) | EXISTS z: DjT_Q(x, z)")},
+          options));
+  EXPECT_EQ(r.added.size(), 2u);
+}
+
+TEST(DisjunctiveChaseTest, CompletedBranchesSatisfyDependencies) {
+  std::vector<Dependency> deps = {
+      D("DjT_Q(x, y) -> DjT_P(x, y) | DjT_T(x)")};
+  Instance input = I("DjT_Q(a, b). DjT_Q(b, c)");
+  RDX_ASSERT_OK_AND_ASSIGN(DisjunctiveChaseResult r,
+                           DisjunctiveChase(input, deps));
+  ASSERT_FALSE(r.combined.empty());
+  for (const Instance& branch : r.combined) {
+    RDX_ASSERT_OK_AND_ASSIGN(bool sat, SatisfiesAll(branch, deps));
+    EXPECT_TRUE(sat) << branch.ToString();
+  }
+}
+
+TEST(DisjunctiveChaseTest, StepBudgetEnforced) {
+  DisjunctiveChaseOptions options;
+  options.max_steps = 2;
+  Result<DisjunctiveChaseResult> r = DisjunctiveChase(
+      I("DjT_Q(a, a). DjT_Q(b, b). DjT_Q(c, c)"),
+      {D("DjT_Q(x, x) -> DjT_T(x) | DjT_P(x, x)")}, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DisjunctiveChaseTest, Theorem52RecoveryChase) {
+  // Σ* of Theorem 5.2 applied to the chase of {P(0,1), T(2)}:
+  // P'(0,1) with 0≠1 forces P(0,1); P'(2,2) branches into T(2) | P(2,2).
+  std::vector<Dependency> deps = {
+      D("DjT_Pp(x, y) & x != y -> DjT_P(x, y)"),
+      D("DjT_Pp(x, x) -> DjT_T(x) | DjT_P(x, x)")};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(I("DjT_Pp(0, 1). DjT_Pp(2, 2)"), deps));
+  ASSERT_EQ(r.added.size(), 2u);
+  EXPECT_EQ(r.added[0], I("DjT_P(0, 1). DjT_T(2)"));
+  EXPECT_EQ(r.added[1], I("DjT_P(0, 1). DjT_P(2, 2)"));
+}
+
+}  // namespace
+}  // namespace rdx

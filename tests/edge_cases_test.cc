@@ -1,0 +1,159 @@
+// Cross-module edge cases: empty mappings and instances, builtin-guarded
+// queries, incremental index maintenance, and other boundary behaviour
+// relied upon by the higher layers.
+
+#include <gtest/gtest.h>
+
+#include "core/fact_index.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+TEST(EdgeCases, EmptyMappingAcceptsEverything) {
+  Schema source = Schema::MustMake({{"EdgP", 2}});
+  Schema target = Schema::MustMake({{"EdgQ", 2}});
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping empty,
+                           SchemaMapping::Make(source, target, {}));
+  RDX_ASSERT_OK_AND_ASSIGN(bool sat,
+                           empty.Satisfied(I("EdgP(a, b)"), Instance()));
+  EXPECT_TRUE(sat);
+  RDX_ASSERT_OK_AND_ASSIGN(Instance chased,
+                           ChaseMapping(empty, I("EdgP(a, b)")));
+  EXPECT_TRUE(chased.empty());
+}
+
+TEST(EdgeCases, EmptySourceInstanceChasesToEmpty) {
+  Schema source = Schema::MustMake({{"EdgP", 2}});
+  Schema target = Schema::MustMake({{"EdgQ", 2}});
+  SchemaMapping m =
+      SchemaMapping::MustParse(source, target, "EdgP(x, y) -> EdgQ(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(Instance chased, ChaseMapping(m, Instance()));
+  EXPECT_TRUE(chased.empty());
+  // And the empty instance is an extended universal solution for itself.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      bool universal, IsExtendedUniversalSolution(m, Instance(), Instance()));
+  EXPECT_TRUE(universal);
+}
+
+TEST(EdgeCases, FactIndexIncrementalAddMatchesRebuild) {
+  // The chase relies on FactIndex::Add being equivalent to re-indexing.
+  Instance inst = I("EdgP(a, b). EdgP(b, c)");
+  FactIndex incremental(inst);
+  inst.AddFact(Fact::MustMake(Relation::MustIntern("EdgP", 2),
+                              {Value::MakeConstant("c"),
+                               Value::MakeConstant("d")}));
+  incremental.Add(&inst.facts().back());
+  FactIndex rebuilt(inst);
+  Relation p = Relation::MustIntern("EdgP", 2);
+  EXPECT_EQ(incremental.FactsOf(p)->size(), rebuilt.FactsOf(p)->size());
+  const auto* by_value =
+      incremental.FactsWith(p, 0, Value::MakeConstant("c"));
+  ASSERT_NE(by_value, nullptr);
+  EXPECT_EQ(by_value->size(), 1u);
+}
+
+TEST(EdgeCases, DequeStabilityUnderGrowth) {
+  // References into instance fact storage survive many appends (the
+  // contract FactIndex::Add depends on).
+  Instance inst = I("EdgP(a, b)");
+  const Fact* first = &inst.facts().front();
+  Relation p = Relation::MustIntern("EdgP", 2);
+  for (int i = 0; i < 1000; ++i) {
+    inst.AddFact(Fact::MustMake(
+        p, {Value::MakeInt(i), Value::MakeInt(i + 1)}));
+  }
+  EXPECT_EQ(first->ToString(), "EdgP(a, b)");
+}
+
+TEST(EdgeCases, QueryWithInequalityBuiltin) {
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x, y) :- EdgP(x, y) & x != y");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      TupleSet answers, q.Eval(I("EdgP(a, a). EdgP(a, b). EdgP(?N, ?N)")));
+  EXPECT_EQ(answers.size(), 1u);
+}
+
+TEST(EdgeCases, QueryWithConstantBuiltin) {
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x) :- EdgP(x, y) & Constant(x)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet answers,
+                           q.Eval(I("EdgP(a, b). EdgP(?N, c)")));
+  EXPECT_EQ(answers.size(), 1u);
+}
+
+TEST(EdgeCases, DisjunctiveChaseWithConstantGuard) {
+  // Constant-guarded dependency in a disjunctive set: null triggers are
+  // skipped, constant triggers branch.
+  std::vector<Dependency> deps = {
+      D("EdgQ(x, x) & Constant(x) -> EdgA(x) | EdgB(x)")};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      DisjunctiveChaseResult r,
+      DisjunctiveChase(I("EdgQ(a, a). EdgQ(?N, ?N)"), deps));
+  ASSERT_EQ(r.added.size(), 2u);
+  EXPECT_EQ(r.added[0], I("EdgA(a)"));
+  EXPECT_EQ(r.added[1], I("EdgB(a)"));
+}
+
+TEST(EdgeCases, ReverseRoundTripOnEmptyInstance) {
+  scenarios::Scenario s = scenarios::SelfLoop();
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> branches,
+                           ReverseRoundTrip(s.mapping, *s.reverse, Instance()));
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_TRUE(branches[0].empty());
+}
+
+TEST(EdgeCases, InformationLossOnEmptyFamily) {
+  scenarios::Scenario s = scenarios::CopyBinary();
+  RDX_ASSERT_OK_AND_ASSIGN(InformationLossReport report,
+                           MeasureInformationLoss(s.mapping, {}));
+  EXPECT_EQ(report.total_pairs, 0u);
+  EXPECT_EQ(report.LossDensity(), 0.0);
+}
+
+TEST(EdgeCases, SelfInverseOfEmptyMappingIsRecovery) {
+  // The empty mapping constrains nothing: any reverse (also empty) is an
+  // extended recovery — (I, I) via J = ∅.
+  Schema source = Schema::MustMake({{"EdgP", 2}});
+  Schema target = Schema::MustMake({{"EdgQ", 2}});
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping empty,
+                           SchemaMapping::Make(source, target, {}));
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping empty_rev,
+                           SchemaMapping::Make(target, source, {}));
+  std::vector<Instance> family = {I("EdgP(a, b)"), Instance()};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<Instance> violation,
+      CheckExtendedRecovery(empty, empty_rev, family));
+  EXPECT_FALSE(violation.has_value());
+}
+
+TEST(EdgeCases, LongNullChainsChaseAndRecover) {
+  // Deep existential chains: LongPathSplit at a size where null-to-null
+  // joins dominate.
+  scenarios::Scenario s = scenarios::LongPathSplit();
+  Rng rng(17);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      Instance path,
+      PathInstance(Relation::MustIntern("PlP", 2), 12, 0.5, &rng));
+  RDX_ASSERT_OK_AND_ASSIGN(Instance u, ChaseMapping(s.mapping, path));
+  EXPECT_EQ(u.size(), 3 * path.size());
+  RDX_ASSERT_OK_AND_ASSIGN(Instance back, ChaseMapping(*s.reverse, u));
+  RDX_ASSERT_OK_AND_ASSIGN(bool equiv, AreHomEquivalent(path, back));
+  EXPECT_TRUE(equiv);
+}
+
+TEST(EdgeCases, ValuesSurviveLargeInterning) {
+  // Interning stays consistent across thousands of values.
+  for (int i = 0; i < 2000; ++i) {
+    Value v = Value::MakeConstant(StrCat("edge_bulk_", i));
+    EXPECT_EQ(v, Value::MakeConstant(StrCat("edge_bulk_", i)));
+  }
+  Value n1 = Value::MakeNull("edge_bulk_0");
+  EXPECT_NE(n1, Value::MakeConstant("edge_bulk_0"));
+}
+
+}  // namespace
+}  // namespace rdx

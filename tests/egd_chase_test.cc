@@ -1,0 +1,141 @@
+#include "chase/egd_chase.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+TEST(EgdTest, ParseAndRender) {
+  Egd key = Egd::MustParse("EgdLoc(id, c1) & EgdLoc(id, c2) -> c1 = c2");
+  EXPECT_EQ(key.body().size(), 2u);
+  EXPECT_EQ(key.equalities().size(), 1u);
+  EXPECT_EQ(key.ToString(),
+            "EgdLoc(id, c1) & EgdLoc(id, c2) -> c1 = c2");
+  // Round trip.
+  RDX_ASSERT_OK_AND_ASSIGN(Egd reparsed, Egd::Parse(key.ToString()));
+  EXPECT_EQ(reparsed.ToString(), key.ToString());
+}
+
+TEST(EgdTest, ParseErrors) {
+  EXPECT_FALSE(Egd::Parse("EgdLoc(id, c1)").ok());              // no arrow
+  EXPECT_FALSE(Egd::Parse("EgdLoc(id, c1) -> c1").ok());        // no '='
+  EXPECT_FALSE(Egd::Parse("EgdLoc(id, c1) -> c1 = zz").ok());   // unbound
+  EXPECT_FALSE(Egd::Parse("-> c1 = c2").ok());                  // no body
+}
+
+TEST(EgdChaseTest, UnifiesNullWithConstant) {
+  // Key egd: the null in the second fact must equal b.
+  Egd key = Egd::MustParse("EgdLoc(id, c1) & EgdLoc(id, c2) -> c1 = c2");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(I("EgdLoc(k1, b). EgdLoc(k1, ?N)"), {}, {key}));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.merges, 1u);
+  EXPECT_EQ(r.combined, I("EgdLoc(k1, b)"));
+}
+
+TEST(EgdChaseTest, UnifiesTwoNulls) {
+  Egd key = Egd::MustParse("EgdLoc(id, c1) & EgdLoc(id, c2) -> c1 = c2");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(I("EgdLoc(k1, ?N1). EgdLoc(k1, ?N2)"), {}, {key}));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.combined.size(), 1u);
+  EXPECT_EQ(r.combined.Nulls().size(), 1u);
+}
+
+TEST(EgdChaseTest, FailsOnConstantClash) {
+  Egd key = Egd::MustParse("EgdLoc(id, c1) & EgdLoc(id, c2) -> c1 = c2");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(I("EgdLoc(k1, b). EgdLoc(k1, c)"), {}, {key}));
+  EXPECT_TRUE(r.failed);
+  EXPECT_NE(r.failure_reason.find("distinct constants"), std::string::npos);
+}
+
+TEST(EgdChaseTest, TgdsAndEgdsInterleave) {
+  // A tgd copies facts into EgdLoc; the key egd then unifies the copies'
+  // nulls with known constants.
+  std::vector<Dependency> tgds = {D("EgdSrc(id, c) -> EgdLoc(id, c)")};
+  Egd key = Egd::MustParse("EgdLoc(id, c1) & EgdLoc(id, c2) -> c1 = c2");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(I("EgdSrc(k1, berlin). EgdLoc(k1, ?N)"), tgds, {key}));
+  EXPECT_FALSE(r.failed);
+  EXPECT_TRUE(r.combined.Contains(Fact::MustMake(
+      Relation::MustIntern("EgdLoc", 2),
+      {Value::MakeConstant("k1"), Value::MakeConstant("berlin")})));
+  EXPECT_TRUE(r.combined.IsGround());
+}
+
+TEST(EgdChaseTest, KeyEgdReassemblesVerticalSplit) {
+  // THE motivating case from the schema-evolution examples: the reverse
+  // exchange of a vertical split leaves Person(id, n, ?) and
+  // Person(id, ?, c) halves; the id-key egds re-join them — recovering
+  // what tgds alone provably cannot.
+  Instance halves = I(
+      "EgdPerson(p1, ada, ?C1). EgdPerson(p1, ?N1, london). "
+      "EgdPerson(p2, erwin, ?C2). EgdPerson(p2, ?N2, vienna)");
+  std::vector<Egd> keys = {
+      Egd::MustParse(
+          "EgdPerson(id, n1, c1) & EgdPerson(id, n2, c2) -> n1 = n2"),
+      Egd::MustParse(
+          "EgdPerson(id, n1, c1) & EgdPerson(id, n2, c2) -> c1 = c2"),
+  };
+  RDX_ASSERT_OK_AND_ASSIGN(EgdChaseResult r,
+                           ChaseWithEgds(halves, {}, keys));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.combined,
+            I("EgdPerson(p1, ada, london). EgdPerson(p2, erwin, vienna)"));
+}
+
+TEST(EgdChaseTest, KeyViolationInGroundDataFails) {
+  std::vector<Egd> keys = {Egd::MustParse(
+      "EgdPerson(id, n1, c1) & EgdPerson(id, n2, c2) -> c1 = c2")};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(I("EgdPerson(p1, ada, london). "
+                      "EgdPerson(p1, ada, paris)"),
+                    {}, keys));
+  EXPECT_TRUE(r.failed);
+}
+
+TEST(EgdChaseTest, NoEgdsReducesToPlainChase) {
+  std::vector<Dependency> tgds = {D("EgdSrc(x, y) -> EgdLoc(x, y)")};
+  Instance input = I("EgdSrc(a, b)");
+  RDX_ASSERT_OK_AND_ASSIGN(EgdChaseResult with_egds,
+                           ChaseWithEgds(input, tgds, {}));
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult plain, Chase(input, tgds));
+  EXPECT_EQ(with_egds.combined, plain.combined);
+  EXPECT_EQ(with_egds.merges, 0u);
+}
+
+TEST(EgdChaseTest, AddedViewExcludesInput) {
+  std::vector<Dependency> tgds = {D("EgdSrc(x, y) -> EgdLoc(x, y)")};
+  Instance input = I("EgdSrc(a, b)");
+  RDX_ASSERT_OK_AND_ASSIGN(EgdChaseResult r,
+                           ChaseWithEgds(input, tgds, {}));
+  EXPECT_EQ(r.added, I("EgdLoc(a, b)"));
+}
+
+TEST(EgdChaseTest, MergeEnablesNewTgdTrigger) {
+  // After the egd merges ?N with a, the tgd body EgdPair(x, x) matches —
+  // the interleaving loop must pick it up.
+  std::vector<Dependency> tgds = {D("EgdPair(x, x) -> EgdMark(x)")};
+  std::vector<Egd> egds = {
+      Egd::MustParse("EgdPin(x) & EgdPair(x, y) -> x = y")};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(I("EgdPin(a). EgdPair(a, ?N)"), tgds, egds));
+  EXPECT_FALSE(r.failed);
+  EXPECT_TRUE(r.combined.Contains(Fact::MustMake(
+      Relation::MustIntern("EgdMark", 1), {Value::MakeConstant("a")})));
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,112 @@
+#include "generator/enumerator.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+TEST(EnumeratorTest, StandardDomainShape) {
+  std::vector<Value> domain = StandardDomain(2, 3);
+  ASSERT_EQ(domain.size(), 5u);
+  EXPECT_TRUE(domain[0].IsConstant());
+  EXPECT_TRUE(domain[1].IsConstant());
+  EXPECT_TRUE(domain[2].IsNull());
+  EXPECT_TRUE(domain[4].IsNull());
+}
+
+TEST(EnumeratorTest, CountPossibleFacts) {
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"EnT_P", 2}, {"EnT_Q", 1}});
+  universe.domain = StandardDomain(3, 0);
+  EXPECT_EQ(CountPossibleFacts(universe), 9u + 3u);
+}
+
+TEST(EnumeratorTest, EnumerateSmallUniverseExactCount) {
+  // Unary relation, 2 values, up to 2 facts: {}, {R(a)}, {R(b)},
+  // {R(a),R(b)} — C(2,0)+C(2,1)+C(2,2) = 4.
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"EnT_R", 1}});
+  universe.domain = StandardDomain(2, 0);
+  universe.max_facts = 2;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> all,
+                           EnumerateInstances(universe));
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(EnumeratorTest, BinomialCountsForBinaryRelation) {
+  // 2 values over a binary relation: 4 facts; ≤2 facts → 1 + 4 + 6 = 11.
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"EnT_P", 2}});
+  universe.domain = StandardDomain(2, 0);
+  universe.max_facts = 2;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> all,
+                           EnumerateInstances(universe));
+  EXPECT_EQ(all.size(), 11u);
+}
+
+TEST(EnumeratorTest, InstancesAreDistinct) {
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"EnT_P", 2}});
+  universe.domain = StandardDomain(2, 1);
+  universe.max_facts = 2;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> all,
+                           EnumerateInstances(universe));
+  std::unordered_set<std::string> rendered;
+  for (const Instance& i : all) {
+    EXPECT_TRUE(rendered.insert(i.ToString()).second) << i.ToString();
+    EXPECT_LE(i.size(), 2u);
+  }
+}
+
+TEST(EnumeratorTest, NullsAppearInInstances) {
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"EnT_R", 1}});
+  universe.domain = StandardDomain(1, 1);
+  universe.max_facts = 1;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> all,
+                           EnumerateInstances(universe));
+  bool some_null = false;
+  for (const Instance& i : all) {
+    if (!i.IsGround()) some_null = true;
+  }
+  EXPECT_TRUE(some_null);
+}
+
+TEST(EnumeratorTest, NonEmptyVariantDropsEmpty) {
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"EnT_R", 1}});
+  universe.domain = StandardDomain(2, 0);
+  universe.max_facts = 1;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> all,
+                           EnumerateInstances(universe));
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> nonempty,
+                           EnumerateNonEmptyInstances(universe));
+  EXPECT_EQ(nonempty.size(), all.size() - 1);
+  for (const Instance& i : nonempty) {
+    EXPECT_FALSE(i.empty());
+  }
+}
+
+TEST(EnumeratorTest, BudgetEnforced) {
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"EnT_P", 2}});
+  universe.domain = StandardDomain(4, 0);
+  universe.max_facts = 8;
+  Result<std::vector<Instance>> r = EnumerateInstances(universe, 100);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EnumeratorTest, EmptyDomainRejected) {
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"EnT_R", 1}});
+  universe.domain = {};
+  EXPECT_FALSE(EnumerateInstances(universe).ok());
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,116 @@
+#include "generator/instance_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/mapping_generator.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+TEST(InstanceGeneratorTest, DeterministicGivenSeed) {
+  Schema schema = Schema::MustMake({{"GenT_P", 2}, {"GenT_Q", 1}});
+  InstanceGenOptions options;
+  options.num_facts = 20;
+  Rng rng1(42);
+  Rng rng2(42);
+  EXPECT_EQ(RandomInstance(schema, options, &rng1),
+            RandomInstance(schema, options, &rng2));
+}
+
+TEST(InstanceGeneratorTest, RespectsSchemaAndSize) {
+  Schema schema = Schema::MustMake({{"GenT_P", 2}});
+  InstanceGenOptions options;
+  options.num_facts = 50;
+  Rng rng(7);
+  Instance inst = RandomInstance(schema, options, &rng);
+  EXPECT_LE(inst.size(), 50u);
+  EXPECT_GT(inst.size(), 0u);
+  EXPECT_TRUE(inst.ConformsTo(schema));
+}
+
+TEST(InstanceGeneratorTest, NullRatioZeroGivesGround) {
+  Schema schema = Schema::MustMake({{"GenT_P", 2}});
+  InstanceGenOptions options;
+  options.num_facts = 30;
+  options.null_ratio = 0.0;
+  Rng rng(7);
+  EXPECT_TRUE(RandomInstance(schema, options, &rng).IsGround());
+}
+
+TEST(InstanceGeneratorTest, NullRatioOneGivesAllNulls) {
+  Schema schema = Schema::MustMake({{"GenT_P", 2}});
+  InstanceGenOptions options;
+  options.num_facts = 30;
+  options.null_ratio = 1.0;
+  Rng rng(7);
+  Instance inst = RandomInstance(schema, options, &rng);
+  for (const Fact& f : inst.facts()) {
+    for (const Value& v : f.args()) {
+      EXPECT_TRUE(v.IsNull());
+    }
+  }
+}
+
+TEST(InstanceGeneratorTest, PathInstanceShape) {
+  Relation e = Relation::MustIntern("GenT_E", 2);
+  Rng rng(3);
+  RDX_ASSERT_OK_AND_ASSIGN(Instance path, PathInstance(e, 10, 0.0, &rng));
+  EXPECT_EQ(path.size(), 10u);
+  EXPECT_TRUE(path.IsGround());
+  RDX_ASSERT_OK_AND_ASSIGN(Instance nully, PathInstance(e, 10, 1.0, &rng));
+  EXPECT_FALSE(nully.IsGround());
+}
+
+TEST(InstanceGeneratorTest, PathInstanceRejectsNonBinary) {
+  Relation u = Relation::MustIntern("GenT_U1", 1);
+  Rng rng(3);
+  EXPECT_FALSE(PathInstance(u, 5, 0.0, &rng).ok());
+}
+
+TEST(MappingGeneratorTest, ProducesValidFullTgdMappings) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    MappingGenOptions options;
+    RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping m,
+                             RandomFullTgdMapping(options, &rng));
+    EXPECT_TRUE(m.IsFullTgdMapping()) << m.ToString();
+    EXPECT_EQ(m.dependencies().size(), options.num_tgds);
+    EXPECT_TRUE(m.source().DisjointFrom(m.target()));
+  }
+}
+
+TEST(MappingGeneratorTest, RepeatedCallsDoNotClash) {
+  Rng rng(99);
+  MappingGenOptions options;
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping m1,
+                           RandomFullTgdMapping(options, &rng));
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping m2,
+                           RandomFullTgdMapping(options, &rng));
+  EXPECT_TRUE(m1.source().DisjointFrom(m2.source()));
+}
+
+TEST(MappingGeneratorTest, OptionsValidated) {
+  Rng rng(1);
+  MappingGenOptions options;
+  options.num_tgds = 0;
+  EXPECT_FALSE(RandomFullTgdMapping(options, &rng).ok());
+}
+
+TEST(RngTest, UniformBoundsAndDeterminism) {
+  Rng a(5);
+  Rng b(5);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t x = a.Uniform(10);
+    EXPECT_LT(x, 10u);
+    EXPECT_EQ(x, b.Uniform(10));
+  }
+  EXPECT_FALSE(Rng(1).Bernoulli(0.0));
+  EXPECT_TRUE(Rng(1).Bernoulli(1.0));
+  int64_t y = Rng(2).UniformRange(-3, 3);
+  EXPECT_GE(y, -3);
+  EXPECT_LE(y, 3);
+}
+
+}  // namespace
+}  // namespace rdx

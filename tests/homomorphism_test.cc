@@ -1,0 +1,251 @@
+#include "core/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::ExpectHom;
+using testing_util::ExpectHomEquiv;
+using testing_util::I;
+
+TEST(HomomorphismTest, IdentityAlwaysExists) {
+  Instance inst = I("HomT_P(a, ?X). HomT_P(?X, b)");
+  ExpectHom(inst, inst);
+}
+
+TEST(HomomorphismTest, EmptySourceMapsAnywhere) {
+  Instance empty;
+  ExpectHom(empty, I("HomT_P(a, b)"));
+  ExpectHom(empty, empty);
+}
+
+TEST(HomomorphismTest, NonEmptyToEmptyFails) {
+  ExpectHom(I("HomT_P(a, b)"), Instance(), false);
+}
+
+TEST(HomomorphismTest, GroundCaseIsSubset) {
+  // For ground instances I1 → I2 iff I1 ⊆ I2 (Section 1).
+  Instance i1 = I("HomT_P(a, b)");
+  Instance i2 = I("HomT_P(a, b). HomT_P(b, c)");
+  ExpectHom(i1, i2);
+  ExpectHom(i2, i1, false);
+}
+
+TEST(HomomorphismTest, ConstantsAreRigid) {
+  ExpectHom(I("HomT_P(a, a)"), I("HomT_P(b, b)"), false);
+  ExpectHom(I("HomT_Q1(a)"), I("HomT_Q1(b)"), false);
+}
+
+TEST(HomomorphismTest, NullMapsToConstant) {
+  ExpectHom(I("HomT_P(?X, b)"), I("HomT_P(a, b)"));
+}
+
+TEST(HomomorphismTest, NullMapsToNull) {
+  ExpectHom(I("HomT_P(?X, ?Y)"), I("HomT_P(?Z, ?Z)"));
+}
+
+TEST(HomomorphismTest, SharedNullForcesConsistency) {
+  // ?X occurs twice; both occurrences must map to the same value.
+  ExpectHom(I("HomT_P(?X, ?X)"), I("HomT_P(a, b)"), false);
+  ExpectHom(I("HomT_P(?X, ?X)"), I("HomT_P(a, a)"));
+}
+
+TEST(HomomorphismTest, CrossFactConsistency) {
+  Instance from = I("HomT_P(a, ?X). HomT_P(?X, b)");
+  ExpectHom(from, I("HomT_P(a, c). HomT_P(c, b)"));
+  ExpectHom(from, I("HomT_P(a, c). HomT_P(d, b)"), false);
+}
+
+TEST(HomomorphismTest, TwoFactsCanMapToOne) {
+  // Homomorphisms need not be injective.
+  ExpectHom(I("HomT_P(?X, b). HomT_P(?Y, b)"), I("HomT_P(a, b)"));
+}
+
+TEST(HomomorphismTest, Example11Instances) {
+  // V = {P(a,b,Z), P(X,b,c)} → I = {P(a,b,c)} and not vice versa... in
+  // fact I ⊆-embeds nowhere in V? I → V fails since P(a,b,c) ∉ V's
+  // possible images (V has no ground fact covering it) — but wait,
+  // homomorphisms go INTO V: constants fixed, V has no fact (a,b,c).
+  Instance v = I("HomT_P3(a, b, ?Z). HomT_P3(?X, b, c)");
+  Instance orig = I("HomT_P3(a, b, c)");
+  ExpectHom(v, orig);
+  ExpectHom(orig, v, false);
+}
+
+TEST(HomomorphismTest, FindReturnsWitness) {
+  Instance from = I("HomT_P(a, ?X)");
+  Instance to = I("HomT_P(a, b)");
+  Result<std::optional<ValueMap>> h = FindHomomorphism(from, to);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h->has_value());
+  Instance image = from.Apply(**h);
+  EXPECT_TRUE(image.SubsetOf(to));
+}
+
+TEST(HomomorphismTest, SeedConstrainsSearch) {
+  Instance from = I("HomT_P(?X, b)");
+  Instance to = I("HomT_P(a, b). HomT_P(c, b)");
+  ValueMap seed;
+  seed.emplace(Value::MakeNull("X"), Value::MakeConstant("c"));
+  Result<std::optional<ValueMap>> h = FindHomomorphism(from, to, seed);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(h->has_value());
+  EXPECT_EQ((*h)->at(Value::MakeNull("X")), Value::MakeConstant("c"));
+
+  // An unsatisfiable seed yields no homomorphism.
+  ValueMap bad_seed;
+  bad_seed.emplace(Value::MakeNull("X"), Value::MakeConstant("zzz"));
+  Result<std::optional<ValueMap>> none =
+      FindHomomorphism(from, to, bad_seed);
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+}
+
+TEST(HomomorphismTest, SeedMayNotMoveConstants) {
+  ValueMap seed;
+  seed.emplace(Value::MakeConstant("a"), Value::MakeConstant("b"));
+  Result<std::optional<ValueMap>> h =
+      FindHomomorphism(I("HomT_P(a, b)"), I("HomT_P(b, b)"), seed);
+  EXPECT_FALSE(h.ok());
+}
+
+TEST(HomomorphismTest, HomEquivalenceOfRenamings) {
+  ExpectHomEquiv(I("HomT_P(?A, ?B)"), I("HomT_P(?C, ?D)"));
+  ExpectHomEquiv(I("HomT_P(?A, ?A)"), I("HomT_P(?C, ?D)"), false);
+}
+
+TEST(HomomorphismTest, DifferentRelationsNeverMap) {
+  ExpectHom(I("HomT_Q1(a)"), I("HomT_R1(a)"), false);
+}
+
+TEST(HomomorphismTest, CycleIntoShorterCycleNeedsDivisibility) {
+  // A 4-cycle of nulls maps onto a 2-cycle; a 3-cycle does not.
+  Instance two = I("HomT_E(?A, ?B). HomT_E(?B, ?A)");
+  Instance four =
+      I("HomT_E(?C, ?D). HomT_E(?D, ?E). HomT_E(?E, ?F). HomT_E(?F, ?C)");
+  Instance three = I("HomT_E(?G, ?H). HomT_E(?H, ?K). HomT_E(?K, ?G)");
+  ExpectHom(four, two);
+  ExpectHom(three, two, false);
+}
+
+TEST(HomomorphismTest, DomainFilterAgreesWithSearch) {
+  // The preprocessing filter must be semantically transparent: on a sweep
+  // of positive and negative cases, filtered and unfiltered searches
+  // agree.
+  HomomorphismOptions filtered;
+  filtered.use_domain_filter = true;
+  HomomorphismOptions raw;
+  raw.use_domain_filter = false;
+  std::vector<std::pair<Instance, Instance>> cases = {
+      {I("HomT_P(?X, b)"), I("HomT_P(a, b)")},
+      {I("HomT_P(?X, ?X)"), I("HomT_P(a, b)")},
+      {I("HomT_P(?X, ?X)"), I("HomT_P(a, a)")},
+      {I("HomT_P(a, ?X). HomT_P(?X, b)"), I("HomT_P(a, c). HomT_P(c, b)")},
+      {I("HomT_P(a, ?X). HomT_P(?X, b)"), I("HomT_P(a, c). HomT_P(d, b)")},
+      {I("HomT_P(?X, zz9)"), I("HomT_P(a, b)")},
+      {Instance(), I("HomT_P(a, b)")},
+      {I("HomT_P(a, b)"), Instance()},
+  };
+  for (const auto& [from, to] : cases) {
+    RDX_ASSERT_OK_AND_ASSIGN(bool with, HasHomomorphism(from, to, filtered));
+    RDX_ASSERT_OK_AND_ASSIGN(bool without, HasHomomorphism(from, to, raw));
+    EXPECT_EQ(with, without)
+        << from.ToString() << " -> " << to.ToString();
+  }
+}
+
+TEST(HomomorphismTest, DomainFilterRespectsSeeds) {
+  // The filter must not reject a seed-compatible mapping nor accept a
+  // seed whose value is outside the null's domain.
+  HomomorphismOptions filtered;
+  filtered.use_domain_filter = true;
+  Instance from = I("HomT_P(?X, b)");
+  Instance to = I("HomT_P(a, b). HomT_P(c, b)");
+  ValueMap ok_seed;
+  ok_seed.emplace(Value::MakeNull("X"), Value::MakeConstant("a"));
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<ValueMap> h,
+                           FindHomomorphism(from, to, ok_seed, filtered));
+  EXPECT_TRUE(h.has_value());
+  ValueMap bad_seed;
+  bad_seed.emplace(Value::MakeNull("X"), Value::MakeConstant("b"));
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<ValueMap> none,
+                           FindHomomorphism(from, to, bad_seed, filtered));
+  EXPECT_FALSE(none.has_value());
+}
+
+
+TEST(IsomorphismTest, RenamedNullsAreIsomorphic) {
+  Instance a = I("HomT_P(?A, ?B). HomT_P(?B, c)");
+  Instance b = a.RenameNullsFresh();
+  RDX_ASSERT_OK_AND_ASSIGN(bool iso, AreIsomorphic(a, b));
+  EXPECT_TRUE(iso);
+}
+
+TEST(IsomorphismTest, FinerThanHomEquivalence) {
+  // Hom-equivalent but not isomorphic: the second instance has a
+  // redundant fact.
+  Instance a = I("HomT_P(?X, ?X)");
+  Instance b = I("HomT_P(?Y, ?Y). HomT_P(?Y, ?Z)");
+  ExpectHomEquiv(a, b);
+  RDX_ASSERT_OK_AND_ASSIGN(bool iso, AreIsomorphic(a, b));
+  EXPECT_FALSE(iso);
+}
+
+TEST(IsomorphismTest, NullsMayNotMapToConstants) {
+  Instance a = I("HomT_P(?X, b)");
+  Instance b = I("HomT_P(a, b)");
+  RDX_ASSERT_OK_AND_ASSIGN(bool hom, HasHomomorphism(a, b));
+  EXPECT_TRUE(hom);
+  RDX_ASSERT_OK_AND_ASSIGN(bool iso, AreIsomorphic(a, b));
+  EXPECT_FALSE(iso);
+}
+
+TEST(IsomorphismTest, SharedStructureMatters) {
+  // Same sizes, same null counts, different sharing patterns.
+  Instance a = I("HomT_P(?A, ?B). HomT_P(?B, ?C)");   // chain
+  Instance b = I("HomT_P(?D, ?E). HomT_P(?F, ?E)");   // co-chain
+  RDX_ASSERT_OK_AND_ASSIGN(bool iso, AreIsomorphic(a, b));
+  EXPECT_FALSE(iso);
+  RDX_ASSERT_OK_AND_ASSIGN(bool self_iso, AreIsomorphic(a, a));
+  EXPECT_TRUE(self_iso);
+}
+
+TEST(IsomorphismTest, GroundIsomorphismIsEquality) {
+  Instance a = I("HomT_P(a, b). HomT_P(b, c)");
+  Instance b = I("HomT_P(b, c). HomT_P(a, b)");
+  RDX_ASSERT_OK_AND_ASSIGN(bool iso, AreIsomorphic(a, b));
+  EXPECT_TRUE(iso);
+  RDX_ASSERT_OK_AND_ASSIGN(bool not_iso,
+                           AreIsomorphic(a, I("HomT_P(a, b). HomT_P(b, d)")));
+  EXPECT_FALSE(not_iso);
+}
+
+TEST(IsomorphismTest, InjectiveSeedRespected) {
+  // Two nulls may not share an image in injective mode.
+  HomomorphismOptions options;
+  options.injective = true;
+  Instance from = I("HomT_P(?X, ?Y)");
+  Instance to = I("HomT_P(?Z, ?Z)");
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<ValueMap> h,
+                           FindHomomorphism(from, to, {}, options));
+  EXPECT_FALSE(h.has_value());
+}
+
+TEST(HomomorphismTest, BudgetExhaustionSurfaces) {
+  // A pathological all-nulls bipartite-ish pattern with a tiny budget.
+  Instance from = I(
+      "HomT_B(?X1, ?Y1). HomT_B(?X2, ?Y2). HomT_B(?X3, ?Y3). "
+      "HomT_B(?X4, ?Y4). HomT_B(?X5, ?Y5)");
+  Instance to = I("HomT_B(a, b). HomT_B(b, c). HomT_B(c, d)");
+  HomomorphismOptions options;
+  options.max_steps = 2;
+  Result<bool> r = HasHomomorphism(from, to, options);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,189 @@
+#include "mapping/information_loss.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/enumerator.h"
+#include "generator/scenarios.h"
+#include "mapping/quasi_inverse.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+std::vector<Instance> BinaryFamily(const Schema& schema, std::size_t max_facts,
+                                   std::size_t constants, std::size_t nulls) {
+  EnumerationUniverse universe;
+  universe.schema = schema;
+  universe.domain = StandardDomain(constants, nulls);
+  universe.max_facts = max_facts;
+  Result<std::vector<Instance>> family = EnumerateInstances(universe);
+  EXPECT_TRUE(family.ok());
+  return *std::move(family);
+}
+
+TEST(InformationLossTest, CopyMappingHasNoLoss) {
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  std::vector<Instance> family =
+      BinaryFamily(copy.mapping.source(), 2, 2, 1);
+  RDX_ASSERT_OK_AND_ASSIGN(InformationLossReport report,
+                           MeasureInformationLoss(copy.mapping, family));
+  EXPECT_EQ(report.loss_pairs, 0u);
+  EXPECT_EQ(report.arrow_m_pairs, report.e_id_pairs);
+  EXPECT_EQ(report.LossDensity(), 0.0);
+  RDX_ASSERT_OK_AND_ASSIGN(bool invertible,
+                           IsExtendedInvertibleOn(copy.mapping, family));
+  EXPECT_TRUE(invertible);
+}
+
+TEST(InformationLossTest, ComponentSplitHasLoss) {
+  scenarios::Scenario split = scenarios::ComponentSplit();
+  std::vector<Instance> family =
+      BinaryFamily(split.mapping.source(), 2, 2, 0);
+  RDX_ASSERT_OK_AND_ASSIGN(InformationLossReport report,
+                           MeasureInformationLoss(split.mapping, family));
+  EXPECT_GT(report.loss_pairs, 0u);
+  EXPECT_GT(report.LossDensity(), 0.0);
+  EXPECT_FALSE(report.witnesses.empty());
+  RDX_ASSERT_OK_AND_ASSIGN(bool invertible,
+                           IsExtendedInvertibleOn(split.mapping, family));
+  EXPECT_FALSE(invertible);
+}
+
+TEST(InformationLossTest, EIdAlwaysWithinArrowM) {
+  // → ⊆ →_M structurally (Proposition 4.11's ingredient): the report can
+  // never count more e_id pairs than arrow_m pairs.
+  for (const scenarios::Scenario& s :
+       {scenarios::CopyBinary(), scenarios::ComponentSplit(),
+        scenarios::Projection()}) {
+    std::vector<Instance> family = BinaryFamily(s.mapping.source(), 1, 2, 1);
+    RDX_ASSERT_OK_AND_ASSIGN(InformationLossReport report,
+                             MeasureInformationLoss(s.mapping, family));
+    EXPECT_LE(report.e_id_pairs, report.arrow_m_pairs) << s.name;
+  }
+}
+
+TEST(InformationLossTest, Example67CopyIsStrictlyLessLossy) {
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  scenarios::Scenario split = scenarios::ComponentSplit();
+  // Shared source schema required for comparison.
+  ASSERT_EQ(copy.mapping.source().ToString(),
+            split.mapping.source().ToString());
+
+  std::vector<Instance> family =
+      BinaryFamily(copy.mapping.source(), 2, 2, 0);
+  // Make sure the paper's strictness witness is in the family:
+  // I = {P(1,0)}, I' = {P(1,1), P(0,0)} — rename to c0/c1.
+  family.push_back(I("LsP(c1, c0)"));
+  family.push_back(I("LsP(c1, c1). LsP(c0, c0)"));
+
+  RDX_ASSERT_OK_AND_ASSIGN(
+      LessLossyReport report,
+      CompareLossiness(copy.mapping, split.mapping, family));
+  EXPECT_TRUE(report.less_lossy);
+  EXPECT_FALSE(report.violation.has_value());
+  EXPECT_TRUE(report.StrictlyLessLossy());
+  ASSERT_TRUE(report.strict_witness.has_value());
+}
+
+TEST(InformationLossTest, PaperStrictnessWitnessPair) {
+  // Example 6.7's specific pair: (P(1,0), {P(1,1), P(0,0)}) ∈ →_M2 \ →_M1.
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  scenarios::Scenario split = scenarios::ComponentSplit();
+  Instance i = I("LsP(1, 0)");
+  Instance iprime = I("LsP(1, 1). LsP(0, 0)");
+  RDX_ASSERT_OK_AND_ASSIGN(bool in_m2, ArrowM(split.mapping, i, iprime));
+  EXPECT_TRUE(in_m2);
+  RDX_ASSERT_OK_AND_ASSIGN(bool in_m1, ArrowM(copy.mapping, i, iprime));
+  EXPECT_FALSE(in_m1);
+}
+
+TEST(InformationLossTest, LessLossyIsReflexive) {
+  scenarios::Scenario split = scenarios::ComponentSplit();
+  std::vector<Instance> family =
+      BinaryFamily(split.mapping.source(), 2, 2, 0);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      LessLossyReport report,
+      CompareLossiness(split.mapping, split.mapping, family));
+  EXPECT_TRUE(report.less_lossy);
+  EXPECT_FALSE(report.StrictlyLessLossy());
+}
+
+TEST(InformationLossTest, Theorem68CriterionAgrees) {
+  // Example 6.7 end of Section 6.3: M' = {P'(x,y) -> P(x,y)} is a maximum
+  // extended recovery for both M1 and M2, and the disjunctive-chase
+  // criterion certifies →_M1 ⊆ →_M2.
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  scenarios::Scenario split = scenarios::ComponentSplit();
+  std::vector<Instance> family = BinaryFamily(copy.mapping.source(), 2, 2, 0);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      bool m1_less_lossy,
+      LessLossyViaRecoveries(copy.mapping, *copy.reverse, split.mapping,
+                             *split.reverse, family));
+  EXPECT_TRUE(m1_less_lossy);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      bool m2_less_lossy,
+      LessLossyViaRecoveries(split.mapping, *split.reverse, copy.mapping,
+                             *copy.reverse, family));
+  EXPECT_FALSE(m2_less_lossy);
+}
+
+TEST(GroundInformationLossTest, TwoNullableSeparatesFrameworks) {
+  // Theorem 3.15(2) made quantitative: the mapping is invertible (zero
+  // GROUND loss) but not extended invertible (positive extended loss once
+  // nulls enter the universe).
+  scenarios::Scenario s = scenarios::TwoNullable();
+  std::vector<Instance> family =
+      BinaryFamily(s.mapping.source(), 2, 2, 1);  // constants + 1 null
+  RDX_ASSERT_OK_AND_ASSIGN(
+      GroundInformationLossReport ground,
+      MeasureGroundInformationLoss(s.mapping, family));
+  EXPECT_EQ(ground.loss_pairs, 0u);
+  EXPECT_GT(ground.skipped_non_ground, 0u);
+  RDX_ASSERT_OK_AND_ASSIGN(InformationLossReport extended,
+                           MeasureInformationLoss(s.mapping, family));
+  EXPECT_GT(extended.loss_pairs, 0u);
+}
+
+TEST(GroundInformationLossTest, ProjectionLosesEvenOnGround) {
+  scenarios::Scenario proj = scenarios::Projection();
+  std::vector<Instance> family =
+      BinaryFamily(proj.mapping.source(), 2, 2, 0);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      GroundInformationLossReport ground,
+      MeasureGroundInformationLoss(proj.mapping, family));
+  EXPECT_GT(ground.loss_pairs, 0u);
+  EXPECT_EQ(ground.skipped_non_ground, 0u);
+  EXPECT_FALSE(ground.witnesses.empty());
+  EXPECT_GT(ground.LossDensity(), 0.0);
+}
+
+TEST(GroundInformationLossTest, CopyHasNoGroundLoss) {
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  std::vector<Instance> family =
+      BinaryFamily(copy.mapping.source(), 2, 2, 0);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      GroundInformationLossReport ground,
+      MeasureGroundInformationLoss(copy.mapping, family));
+  EXPECT_EQ(ground.loss_pairs, 0u);
+  // On ground instances → coincides with ⊆, so the two frameworks agree.
+  RDX_ASSERT_OK_AND_ASSIGN(InformationLossReport extended,
+                           MeasureInformationLoss(copy.mapping, family));
+  EXPECT_EQ(ground.arrow_mg_pairs, extended.arrow_m_pairs);
+  EXPECT_EQ(ground.id_pairs, extended.e_id_pairs);
+}
+
+TEST(InformationLossTest, ProjectionLosesOrderInformation) {
+  scenarios::Scenario proj = scenarios::Projection();
+  std::vector<Instance> family =
+      BinaryFamily(proj.mapping.source(), 1, 2, 0);
+  RDX_ASSERT_OK_AND_ASSIGN(InformationLossReport report,
+                           MeasureInformationLoss(proj.mapping, family));
+  // P(a,b) and P(a,c) chase to the same {Q(a)}, so both directions are in
+  // →_M without a homomorphism: loss.
+  EXPECT_GT(report.loss_pairs, 0u);
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,127 @@
+#include "core/instance.h"
+
+#include <gtest/gtest.h>
+
+#include "core/instance_parser.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+TEST(FactTest, MakeValidatesArity) {
+  Relation r = Relation::MustIntern("InsT_P", 2);
+  Result<Fact> bad = Fact::Make(r, {Value::MakeConstant("a")});
+  EXPECT_FALSE(bad.ok());
+  Result<Fact> good =
+      Fact::Make(r, {Value::MakeConstant("a"), Value::MakeNull("X")});
+  ASSERT_TRUE(good.ok());
+  EXPECT_FALSE(good->IsGround());
+  EXPECT_EQ(good->ToString(), "InsT_P(a, ?X)");
+}
+
+TEST(InstanceTest, SetSemantics) {
+  Instance inst = I("InsT_Q(a). InsT_Q(a). InsT_Q(b)");
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_TRUE(inst.Contains(
+      Fact::MustMake(Relation::MustIntern("InsT_Q", 1),
+                     {Value::MakeConstant("a")})));
+}
+
+TEST(InstanceTest, ParserConstantsAndNulls) {
+  Instance inst = I("InsT_R(a, ?X), InsT_R(?X, b)");
+  EXPECT_EQ(inst.size(), 2u);
+  EXPECT_FALSE(inst.IsGround());
+  EXPECT_EQ(inst.Nulls().size(), 1u);  // the shared ?X
+  EXPECT_EQ(inst.ActiveDomain().size(), 3u);
+}
+
+TEST(InstanceTest, ParserErrors) {
+  EXPECT_FALSE(ParseInstance("InsT_R(a").ok());
+  EXPECT_FALSE(ParseInstance("InsT_R()").ok());
+  EXPECT_FALSE(ParseInstance("(a)").ok());
+  // Arity clash with a previously interned relation.
+  Relation::MustIntern("InsT_R", 2);
+  EXPECT_FALSE(ParseInstance("InsT_R(a, b, c)").ok());
+}
+
+TEST(InstanceTest, AddRemove) {
+  Instance inst;
+  Fact f = Fact::MustMake(Relation::MustIntern("InsT_S", 1),
+                          {Value::MakeConstant("a")});
+  EXPECT_TRUE(inst.AddFact(f));
+  EXPECT_FALSE(inst.AddFact(f));
+  EXPECT_TRUE(inst.RemoveFact(f));
+  EXPECT_FALSE(inst.RemoveFact(f));
+  EXPECT_TRUE(inst.empty());
+}
+
+TEST(InstanceTest, EqualityIsOrderInsensitive) {
+  EXPECT_EQ(I("InsT_T(a). InsT_T(b)"), I("InsT_T(b). InsT_T(a)"));
+  EXPECT_NE(I("InsT_T(a)"), I("InsT_T(b)"));
+}
+
+TEST(InstanceTest, HashAgreesWithEquality) {
+  Instance a = I("InsT_U(a, b). InsT_U(b, c)");
+  Instance b = I("InsT_U(b, c). InsT_U(a, b)");
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(InstanceTest, SubsetAndUnion) {
+  Instance small = I("InsT_V(a)");
+  Instance big = I("InsT_V(a). InsT_V(b)");
+  EXPECT_TRUE(small.SubsetOf(big));
+  EXPECT_FALSE(big.SubsetOf(small));
+  EXPECT_EQ(Instance::Union(small, big), big);
+}
+
+TEST(InstanceTest, ApplyValueMap) {
+  Instance inst = I("InsT_W(?X, a)");
+  ValueMap h;
+  h.emplace(Value::MakeNull("X"), Value::MakeConstant("a"));
+  Instance image = inst.Apply(h);
+  EXPECT_EQ(image, I("InsT_W(a, a)"));
+}
+
+TEST(InstanceTest, ApplyCanCollapseFacts) {
+  Instance inst = I("InsT_W2(?X). InsT_W2(?Y)");
+  ValueMap h;
+  h.emplace(Value::MakeNull("X"), Value::MakeConstant("a"));
+  h.emplace(Value::MakeNull("Y"), Value::MakeConstant("a"));
+  EXPECT_EQ(inst.Apply(h).size(), 1u);
+}
+
+TEST(InstanceTest, RenameNullsFresh) {
+  Instance inst = I("InsT_X(?A, ?A). InsT_X(?A, ?B)");
+  ValueMap renaming;
+  Instance renamed = inst.RenameNullsFresh(&renaming);
+  EXPECT_EQ(renamed.size(), 2u);
+  EXPECT_EQ(renaming.size(), 2u);
+  // Structure preserved: consistent renaming keeps the shared null shared.
+  EXPECT_NE(renamed, inst);
+  std::vector<Value> nulls = renamed.Nulls();
+  EXPECT_EQ(nulls.size(), 2u);
+}
+
+TEST(InstanceTest, ConformsTo) {
+  Schema s = Schema::MustMake({{"InsT_Y", 1}});
+  EXPECT_TRUE(I("InsT_Y(a)").ConformsTo(s));
+  EXPECT_FALSE(I("InsT_Z9(a)").ConformsTo(s));
+}
+
+TEST(InstanceTest, FactsOfAndRelations) {
+  Instance inst = I("InsT_M(a). InsT_N(b). InsT_M(c)");
+  Relation m = Relation::MustIntern("InsT_M", 1);
+  EXPECT_EQ(inst.FactsOf(m).size(), 2u);
+  EXPECT_EQ(inst.Relations().size(), 2u);
+}
+
+TEST(InstanceTest, ToStringSortedAndCanonical) {
+  Instance a = I("InsT_O(b). InsT_O(a)");
+  Instance b = I("InsT_O(a). InsT_O(b)");
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,153 @@
+#include "mapping/inverse_checks.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/enumerator.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+TEST(InverseChecksTest, UnionMappingFailsHomomorphismProperty) {
+  // Example 3.14.
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_P", 1}, {"IcT_Q", 1}}),
+      Schema::MustMake({{"IcT_R", 1}}),
+      "IcT_P(x) -> IcT_R(x); IcT_Q(x) -> IcT_R(x)");
+  std::vector<Instance> family = {I("IcT_P(0)"), I("IcT_Q(0)")};
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<PairCounterexample> cex,
+                           CheckHomomorphismProperty(m, family));
+  ASSERT_TRUE(cex.has_value());
+  EXPECT_EQ(cex->i1, I("IcT_P(0)"));
+  EXPECT_EQ(cex->i2, I("IcT_Q(0)"));
+}
+
+TEST(InverseChecksTest, CopyMappingSatisfiesHomomorphismProperty) {
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_P2", 2}}), Schema::MustMake({{"IcT_Pp", 2}}),
+      "IcT_P2(x, y) -> IcT_Pp(x, y)");
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"IcT_P2", 2}});
+  universe.domain = StandardDomain(2, 2);
+  universe.max_facts = 2;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> family,
+                           EnumerateInstances(universe));
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<PairCounterexample> cex,
+                           CheckHomomorphismProperty(m, family));
+  EXPECT_FALSE(cex.has_value());
+}
+
+TEST(InverseChecksTest, Theorem315TwoNullableFailsOnNullSources) {
+  // P(x) -> ∃y R(x,y), Q(y) -> ∃x R(x,y): the pair ({P(n1)}, {Q(n2)})
+  // breaks the homomorphism property (proof of Theorem 3.15(2)).
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_TP", 1}, {"IcT_TQ", 1}}),
+      Schema::MustMake({{"IcT_TR", 2}}),
+      "IcT_TP(x) -> EXISTS y: IcT_TR(x, y); "
+      "IcT_TQ(y) -> EXISTS x: IcT_TR(x, y)");
+  std::vector<Instance> family = {I("IcT_TP(?n1)"), I("IcT_TQ(?n2)")};
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<PairCounterexample> cex,
+                           CheckHomomorphismProperty(m, family));
+  ASSERT_TRUE(cex.has_value());
+
+  // But on GROUND instances alone it has the subset property (it is
+  // invertible), so no ground counterexample exists in a small universe.
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"IcT_TP", 1}, {"IcT_TQ", 1}});
+  universe.domain = StandardDomain(2, 0);
+  universe.max_facts = 2;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> ground,
+                           EnumerateInstances(universe));
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<PairCounterexample> subset_cex,
+                           CheckSubsetProperty(m, ground));
+  EXPECT_FALSE(subset_cex.has_value());
+}
+
+TEST(InverseChecksTest, ProjectionFailsSubsetProperty) {
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_S", 2}}), Schema::MustMake({{"IcT_T1", 1}}),
+      "IcT_S(x, y) -> IcT_T1(x)");
+  std::vector<Instance> family = {I("IcT_S(a, b)"), I("IcT_S(a, c)")};
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<PairCounterexample> cex,
+                           CheckSubsetProperty(m, family));
+  ASSERT_TRUE(cex.has_value());
+}
+
+TEST(InverseChecksTest, PathSplitChaseInverseHolds) {
+  // Example 3.18: M' is a chase-inverse of M.
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_PP", 2}}), Schema::MustMake({{"IcT_PQ", 2}}),
+      "IcT_PP(x, y) -> EXISTS z: IcT_PQ(x, z) & IcT_PQ(z, y)");
+  SchemaMapping mprime = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_PQ", 2}}), Schema::MustMake({{"IcT_PP", 2}}),
+      "IcT_PQ(x, z) & IcT_PQ(z, y) -> IcT_PP(x, y)");
+  std::vector<Instance> family = {
+      I("IcT_PP(a, b)"),
+      I("IcT_PP(a, b). IcT_PP(b, c)"),
+      I("IcT_PP(?W, ?Z)"),
+      I("IcT_PP(a, ?Z). IcT_PP(?Z, a)"),
+      I("IcT_PP(a, a)"),
+      Instance(),
+  };
+  RDX_ASSERT_OK_AND_ASSIGN(std::optional<Instance> cex,
+                           CheckChaseInverse(m, mprime, family));
+  EXPECT_FALSE(cex.has_value()) << cex->ToString();
+}
+
+TEST(InverseChecksTest, Example319ConstantGuardedIsNotChaseInverse) {
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_PP", 2}}), Schema::MustMake({{"IcT_PQ", 2}}),
+      "IcT_PP(x, y) -> EXISTS z: IcT_PQ(x, z) & IcT_PQ(z, y)");
+  SchemaMapping mdoubleprime = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_PQ", 2}}), Schema::MustMake({{"IcT_PP", 2}}),
+      "IcT_PQ(x, z) & IcT_PQ(z, y) & Constant(x) & Constant(y) -> "
+      "IcT_PP(x, y)");
+  // The paper's witness: I = {P(W, Z)} with W, Z nulls.
+  Instance i = I("IcT_PP(?W, ?Z)");
+  RDX_ASSERT_OK_AND_ASSIGN(bool holds,
+                           ChaseInverseHoldsFor(m, mdoubleprime, i));
+  EXPECT_FALSE(holds);
+  // On ground instances it does behave as an inverse-style round trip.
+  RDX_ASSERT_OK_AND_ASSIGN(bool ground_holds,
+                           ChaseInverseHoldsFor(m, mdoubleprime,
+                                                I("IcT_PP(a, b)")));
+  EXPECT_TRUE(ground_holds);
+}
+
+TEST(InverseChecksTest, CapturesViaChase) {
+  // Theorem 3.13: for extended-invertible mappings, chase_M is a capturing
+  // function. The copy mapping is extended invertible.
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_CP", 2}}), Schema::MustMake({{"IcT_CPp", 2}}),
+      "IcT_CP(x, y) -> IcT_CPp(x, y)");
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"IcT_CP", 2}});
+  universe.domain = StandardDomain(2, 1);
+  universe.max_facts = 2;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> family,
+                           EnumerateInstances(universe));
+  Instance i = I("IcT_CP(a, ?u0)");
+  RDX_ASSERT_OK_AND_ASSIGN(Instance j, ChaseMapping(m, i));
+  RDX_ASSERT_OK_AND_ASSIGN(bool captures, Captures(m, j, i, family));
+  EXPECT_TRUE(captures);
+}
+
+TEST(InverseChecksTest, UnionChaseDoesNotCapture) {
+  // For the (non-extended-invertible) union mapping, the chase of {P(0)}
+  // does not capture it: {Q(0)} has the same extended solutions but no
+  // homomorphism into {P(0)}.
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"IcT_P", 1}, {"IcT_Q", 1}}),
+      Schema::MustMake({{"IcT_R", 1}}),
+      "IcT_P(x) -> IcT_R(x); IcT_Q(x) -> IcT_R(x)");
+  Instance i = I("IcT_P(0)");
+  RDX_ASSERT_OK_AND_ASSIGN(Instance j, ChaseMapping(m, i));
+  std::vector<Instance> family = {I("IcT_P(0)"), I("IcT_Q(0)")};
+  RDX_ASSERT_OK_AND_ASSIGN(bool captures, Captures(m, j, i, family));
+  EXPECT_FALSE(captures);
+}
+
+}  // namespace
+}  // namespace rdx

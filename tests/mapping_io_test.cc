@@ -1,0 +1,101 @@
+#include "mapping/mapping_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+TEST(MappingIoTest, ParseBasicMapping) {
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping m, ParseMappingText(R"(
+    # a comment
+    source: MioP/2
+    target: MioQ/2, MioR/1
+    MioP(x, y) -> MioQ(x, y);   # trailing comment
+    MioP(x, x) -> MioR(x)
+  )"));
+  EXPECT_EQ(m.source().ToString(), "{MioP/2}");
+  EXPECT_EQ(m.target().ToString(), "{MioQ/2, MioR/1}");
+  EXPECT_EQ(m.dependencies().size(), 2u);
+}
+
+TEST(MappingIoTest, DeclarationsRequired) {
+  EXPECT_FALSE(ParseMappingText("MioP(x, y) -> MioQ(x, y)").ok());
+  EXPECT_FALSE(
+      ParseMappingText("source: MioP/2\nMioP(x, y) -> MioQ(x, y)").ok());
+}
+
+TEST(MappingIoTest, DuplicateDeclarationsRejected) {
+  EXPECT_FALSE(ParseMappingText(R"(
+    source: MioP/2
+    source: MioP/2
+    target: MioQ/2
+    MioP(x, y) -> MioQ(x, y)
+  )").ok());
+}
+
+TEST(MappingIoTest, BadSchemaItemsRejected) {
+  EXPECT_FALSE(ParseMappingText(R"(
+    source: MioP
+    target: MioQ/2
+  )").ok());
+  EXPECT_FALSE(ParseMappingText(R"(
+    source: MioP/two
+    target: MioQ/2
+  )").ok());
+}
+
+TEST(MappingIoTest, EmptyDependencyListAllowed) {
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping m, ParseMappingText(R"(
+    source: MioP/2
+    target: MioQ/2
+  )"));
+  EXPECT_TRUE(m.dependencies().empty());
+}
+
+TEST(MappingIoTest, RoundTripThroughText) {
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping m, ParseMappingText(R"(
+    source: MioP/2, MioS/1
+    target: MioQ/2
+    MioP(x, y) -> EXISTS z: MioQ(x, z);
+    MioS(x) & Constant(x) -> MioQ(x, x)
+  )"));
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping reparsed,
+                           ParseMappingText(MappingToText(m)));
+  EXPECT_EQ(reparsed.dependencies().size(), m.dependencies().size());
+  for (std::size_t i = 0; i < m.dependencies().size(); ++i) {
+    EXPECT_EQ(reparsed.dependencies()[i], m.dependencies()[i]);
+  }
+}
+
+TEST(MappingIoTest, LoadFromDisk) {
+  std::string mapping_path = ::testing::TempDir() + "/miot_mapping.rdx";
+  std::string instance_path = ::testing::TempDir() + "/miot_instance.rdx";
+  {
+    std::ofstream out(mapping_path);
+    out << "source: MioP/2\ntarget: MioQ/2\nMioP(x, y) -> MioQ(y, x)\n";
+  }
+  {
+    std::ofstream out(instance_path);
+    out << "# data\nMioP(a, b). MioP(?N, c)\n";
+  }
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping m, LoadMappingFile(mapping_path));
+  RDX_ASSERT_OK_AND_ASSIGN(Instance i, LoadInstanceFile(instance_path));
+  EXPECT_EQ(m.dependencies().size(), 1u);
+  EXPECT_EQ(i.size(), 2u);
+  std::remove(mapping_path.c_str());
+  std::remove(instance_path.c_str());
+}
+
+TEST(MappingIoTest, MissingFileSurfacesNotFound) {
+  Result<SchemaMapping> m = LoadMappingFile("/nonexistent/miot.rdx");
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,116 @@
+#include "core/match.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dependency_parser.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+// Helper: enumerate matches of a dependency body over an instance.
+std::vector<Assignment> Matches(const std::vector<Atom>& atoms,
+                                const Instance& inst,
+                                const Assignment& seed = {}) {
+  std::vector<Assignment> out;
+  Status s = EnumerateMatches(
+      atoms, inst,
+      [&](const Assignment& a) {
+        out.push_back(a);
+        return true;
+      },
+      MatchOptions{}, seed);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(MatchTest, SingleAtomEnumeratesAllFacts) {
+  Dependency d = D("MatT_P(x, y) -> MatT_Q(x)");
+  Instance inst = I("MatT_P(a, b). MatT_P(c, d)");
+  EXPECT_EQ(Matches(d.body(), inst).size(), 2u);
+}
+
+TEST(MatchTest, JoinAcrossAtoms) {
+  Dependency d = D("MatT_P(x, y) & MatT_P(y, z) -> MatT_Q(x)");
+  Instance inst = I("MatT_P(a, b). MatT_P(b, c). MatT_P(c, d)");
+  // (a,b,c) and (b,c,d).
+  EXPECT_EQ(Matches(d.body(), inst).size(), 2u);
+}
+
+TEST(MatchTest, RepeatedVariableInAtom) {
+  Dependency d = D("MatT_P(x, x) -> MatT_Q(x)");
+  Instance inst = I("MatT_P(a, a). MatT_P(a, b). MatT_P(?N, ?N)");
+  EXPECT_EQ(Matches(d.body(), inst).size(), 2u);
+}
+
+TEST(MatchTest, ConstantInPattern) {
+  Dependency d = D("MatT_P(x, 'b') -> MatT_Q(x)");
+  Instance inst = I("MatT_P(a, b). MatT_P(c, d)");
+  std::vector<Assignment> m = Matches(d.body(), inst);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].at(Variable::Intern("x")), Value::MakeConstant("a"));
+}
+
+TEST(MatchTest, InequalityFiltersMatches) {
+  Dependency d = D("MatT_P(x, y) & x != y -> MatT_Q(x)");
+  Instance inst = I("MatT_P(a, a). MatT_P(a, b). MatT_P(?N, ?N)");
+  EXPECT_EQ(Matches(d.body(), inst).size(), 1u);
+}
+
+TEST(MatchTest, InequalityOnNullsIsSyntactic) {
+  // Distinct labeled nulls are distinct values, so ?N1 != ?N2 holds.
+  Dependency d = D("MatT_P(x, y) & x != y -> MatT_Q(x)");
+  Instance inst = I("MatT_P(?N1, ?N2)");
+  EXPECT_EQ(Matches(d.body(), inst).size(), 1u);
+}
+
+TEST(MatchTest, ConstantPredicateFilters) {
+  Dependency d = D("MatT_P(x, y) & Constant(x) -> MatT_Q(x)");
+  Instance inst = I("MatT_P(a, b). MatT_P(?N, c)");
+  std::vector<Assignment> m = Matches(d.body(), inst);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0].at(Variable::Intern("x")), Value::MakeConstant("a"));
+}
+
+TEST(MatchTest, SeedRestrictsEnumeration) {
+  Dependency d = D("MatT_P(x, y) -> MatT_Q(x)");
+  Instance inst = I("MatT_P(a, b). MatT_P(a, c). MatT_P(d, e)");
+  Assignment seed;
+  seed.emplace(Variable::Intern("x"), Value::MakeConstant("a"));
+  EXPECT_EQ(Matches(d.body(), inst, seed).size(), 2u);
+}
+
+TEST(MatchTest, NoMatchesOnEmptyInstance) {
+  Dependency d = D("MatT_P(x, y) -> MatT_Q(x)");
+  EXPECT_TRUE(Matches(d.body(), Instance()).empty());
+}
+
+TEST(MatchTest, CallbackCanStopEarly) {
+  Dependency d = D("MatT_P(x, y) -> MatT_Q(x)");
+  Instance inst = I("MatT_P(a, b). MatT_P(c, d). MatT_P(e, f)");
+  int count = 0;
+  Status s = EnumerateMatches(d.body(), inst, [&](const Assignment&) {
+    ++count;
+    return count < 2;
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(MatchTest, BudgetExhaustionSurfaces) {
+  Dependency d = D("MatT_P(x, y) & MatT_P(y, z) & MatT_P(z, w) -> MatT_Q(x)");
+  Instance inst = I(
+      "MatT_P(a, a). MatT_P(a, b). MatT_P(b, a). MatT_P(b, b). "
+      "MatT_P(a, c). MatT_P(c, a)");
+  MatchOptions options;
+  options.max_steps = 3;
+  Status s = EnumerateMatches(d.body(), inst,
+                              [](const Assignment&) { return true; }, options);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace rdx

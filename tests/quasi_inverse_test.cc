@@ -1,0 +1,152 @@
+#include "mapping/quasi_inverse.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/enumerator.h"
+#include "generator/mapping_generator.h"
+#include "mapping/recovery.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+TEST(QuasiInverseTest, RequiresFullTgds) {
+  SchemaMapping existential = SchemaMapping::MustParse(
+      Schema::MustMake({{"QiT_A", 1}}), Schema::MustMake({{"QiT_B", 2}}),
+      "QiT_A(x) -> EXISTS y: QiT_B(x, y)");
+  EXPECT_FALSE(QuasiInverse(existential).ok());
+}
+
+TEST(QuasiInverseTest, Theorem52ProducesThePaperRecovery) {
+  // Σ = {P(x,y) -> P'(x,y); T(x) -> P'(x,x)}.
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"QiT_P", 2}, {"QiT_T", 1}}),
+      Schema::MustMake({{"QiT_Pp", 2}}),
+      "QiT_P(x, y) -> QiT_Pp(x, y); QiT_T(x) -> QiT_Pp(x, x)");
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(m));
+
+  // Expected Σ* (Theorem 5.2): two reverse dependencies, one per equality
+  // type of P'.
+  ASSERT_EQ(qi.dependencies().size(), 2u);
+  EXPECT_TRUE(qi.UsesInequalities());
+  EXPECT_TRUE(qi.UsesDisjunction());
+
+  // Type z0 = z1: P'(z0,z0) -> P(z0,z0) | T(z0) (disjunct order follows
+  // tgd order).
+  // Type z0 ≠ z1: P'(z0,z1) ∧ z0≠z1 -> P(z0,z1).
+  std::vector<std::string> rendered;
+  for (const Dependency& d : qi.dependencies()) {
+    rendered.push_back(d.ToString());
+  }
+  std::sort(rendered.begin(), rendered.end());
+  EXPECT_EQ(rendered[0], "QiT_Pp(z0, z0) -> QiT_P(z0, z0) | QiT_T(z0)");
+  EXPECT_EQ(rendered[1],
+            "QiT_Pp(z0, z1) & z0 != z1 -> QiT_P(z0, z1)");
+}
+
+TEST(QuasiInverseTest, CopyMappingYieldsPlainReverse) {
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"QiT_CP", 2}}), Schema::MustMake({{"QiT_CPp", 2}}),
+      "QiT_CP(x, y) -> QiT_CPp(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(m));
+  ASSERT_EQ(qi.dependencies().size(), 2u);
+  EXPECT_FALSE(qi.UsesDisjunction());
+  // Each equality type maps straight back to CP.
+  for (const Dependency& d : qi.dependencies()) {
+    EXPECT_EQ(d.disjuncts().size(), 1u);
+    EXPECT_EQ(d.disjuncts()[0][0].relation().name(), "QiT_CP");
+  }
+}
+
+TEST(QuasiInverseTest, UnionMappingYieldsDisjunction) {
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"QiT_UP", 1}, {"QiT_UQ", 1}}),
+      Schema::MustMake({{"QiT_UR", 1}}),
+      "QiT_UP(x) -> QiT_UR(x); QiT_UQ(x) -> QiT_UR(x)");
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(m));
+  ASSERT_EQ(qi.dependencies().size(), 1u);
+  EXPECT_EQ(qi.dependencies()[0].disjuncts().size(), 2u);
+  EXPECT_EQ(qi.dependencies()[0].ToString(),
+            "QiT_UR(z0) -> QiT_UP(z0) | QiT_UQ(z0)");
+}
+
+TEST(QuasiInverseTest, BodyOnlyVariablesBecomeExistentials) {
+  // P(x,y) -> T1(x): the reverse must existentially quantify y.
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"QiT_SP", 2}}), Schema::MustMake({{"QiT_ST", 1}}),
+      "QiT_SP(x, y) -> QiT_ST(x)");
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(m));
+  ASSERT_EQ(qi.dependencies().size(), 1u);
+  const Dependency& d = qi.dependencies()[0];
+  EXPECT_EQ(d.disjuncts().size(), 1u);
+  EXPECT_EQ(d.ExistentialVars(0).size(), 1u);
+}
+
+TEST(QuasiInverseTest, MultiAtomHeadSplits) {
+  // P(x,y) -> Q(x,y) ∧ R(y,x) yields reverse dependencies for both Q and
+  // R.
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"QiT_MP", 2}}),
+      Schema::MustMake({{"QiT_MQ", 2}, {"QiT_MR", 2}}),
+      "QiT_MP(x, y) -> QiT_MQ(x, y) & QiT_MR(y, x)");
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(m));
+  // 2 relations × 2 equality types.
+  EXPECT_EQ(qi.dependencies().size(), 4u);
+}
+
+TEST(QuasiInverseTest, OutputIsMaximumExtendedRecoveryOnUniverse) {
+  // Verify e(M) ∘ e(M*) = →_M (Theorem 4.13 / Theorem 5.1) exhaustively
+  // over a small universe for the Theorem 5.2 mapping.
+  SchemaMapping m = SchemaMapping::MustParse(
+      Schema::MustMake({{"QiT_P", 2}, {"QiT_T", 1}}),
+      Schema::MustMake({{"QiT_Pp", 2}}),
+      "QiT_P(x, y) -> QiT_Pp(x, y); QiT_T(x) -> QiT_Pp(x, x)");
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(m));
+
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"QiT_P", 2}, {"QiT_T", 1}});
+  universe.domain = StandardDomain(2, 1);
+  universe.max_facts = 1;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> family,
+                           EnumerateInstances(universe));
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch,
+      CheckMaximumExtendedRecovery(m, qi, family));
+  EXPECT_FALSE(mismatch.has_value()) << mismatch->ToString();
+}
+
+TEST(QuasiInverseTest, RandomFullTgdMappingsAreRecovered) {
+  // Property sweep: the quasi-inverse of random full-tgd mappings is an
+  // extended recovery on random instances.
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    MappingGenOptions options;
+    options.num_tgds = 2;
+    options.max_arity = 2;
+    options.max_body_atoms = 2;
+    RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping m,
+                             RandomFullTgdMapping(options, &rng));
+    RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(m));
+
+    InstanceGenOptions gen;
+    gen.num_facts = 3;
+    gen.num_constants = 3;
+    gen.num_nulls = 1;
+    gen.null_ratio = 0.3;
+    std::vector<Instance> family;
+    for (int k = 0; k < 3; ++k) {
+      family.push_back(RandomInstance(m.source(), gen, &rng));
+    }
+    RDX_ASSERT_OK_AND_ASSIGN(
+        std::optional<Instance> violation,
+        CheckExtendedRecovery(m, qi, family));
+    EXPECT_FALSE(violation.has_value())
+        << "seed " << seed << ": " << violation->ToString() << "\nmapping:\n"
+        << m.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,107 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+Tuple T1(std::string_view a) {
+  return {Value::MakeConstant(std::string(a))};
+}
+Tuple T2(std::string_view a, std::string_view b) {
+  return {Value::MakeConstant(std::string(a)),
+          Value::MakeConstant(std::string(b))};
+}
+
+TEST(QueryTest, ParseAndRender) {
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x, y) :- QryT_P(x, z) & QryT_P(z, y)");
+  EXPECT_EQ(q.head_vars().size(), 2u);
+  EXPECT_EQ(q.body().size(), 2u);
+  EXPECT_EQ(q.ToString(), "q(x, y) :- QryT_P(x, z) & QryT_P(z, y)");
+}
+
+TEST(QueryTest, ParseErrors) {
+  EXPECT_FALSE(ConjunctiveQuery::Parse("no colon dash").ok());
+  // Head variable not in body.
+  EXPECT_FALSE(ConjunctiveQuery::Parse("q(w) :- QryT_P(x, y)").ok());
+  // Head constant not allowed.
+  EXPECT_FALSE(ConjunctiveQuery::Parse("q('a') :- QryT_P(x, y)").ok());
+}
+
+TEST(QueryTest, SimpleEvaluation) {
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x) :- QryT_P(x, y)");
+  Instance inst = I("QryT_P(a, b). QryT_P(a, c). QryT_P(d, e)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet answers, q.Eval(inst));
+  EXPECT_EQ(answers, (TupleSet{T1("a"), T1("d")}));
+}
+
+TEST(QueryTest, JoinEvaluation) {
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x, y) :- QryT_P(x, z) & QryT_P(z, y)");
+  Instance inst = I("QryT_P(a, b). QryT_P(b, c)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet answers, q.Eval(inst));
+  EXPECT_EQ(answers, (TupleSet{T2("a", "c")}));
+}
+
+TEST(QueryTest, AnswersMayContainNulls) {
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x) :- QryT_P(x, y)");
+  Instance inst = I("QryT_P(?N, b). QryT_P(a, c)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet answers, q.Eval(inst));
+  EXPECT_EQ(answers.size(), 2u);
+  TupleSet null_free = DiscardTuplesWithNulls(answers);
+  EXPECT_EQ(null_free, (TupleSet{T1("a")}));
+}
+
+TEST(QueryTest, BooleanQueryViaMake) {
+  // The text syntax requires at least one head argument, but Make supports
+  // genuinely boolean queries (empty head): {()} iff the body matches.
+  Relation p = Relation::MustIntern("QryT_P", 2);
+  Atom body = Atom::MustRelational(p, {Term::Var("x"), Term::Var("x")});
+  RDX_ASSERT_OK_AND_ASSIGN(ConjunctiveQuery q,
+                           ConjunctiveQuery::Make({}, {body}));
+  EXPECT_TRUE(q.IsBoolean());
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet yes, q.Eval(I("QryT_P(a, a)")));
+  EXPECT_EQ(yes.size(), 1u);
+  EXPECT_TRUE(yes.begin()->empty());
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet no, q.Eval(I("QryT_P(a, b)")));
+  EXPECT_TRUE(no.empty());
+}
+
+TEST(QueryTest, IntersectAll) {
+  TupleSet s1 = {T1("a"), T1("b"), T1("c")};
+  TupleSet s2 = {T1("b"), T1("c"), T1("d")};
+  TupleSet s3 = {T1("c"), T1("b")};
+  EXPECT_EQ(IntersectAll({s1, s2, s3}), (TupleSet{T1("b"), T1("c")}));
+  EXPECT_EQ(IntersectAll({s1}), s1);
+  EXPECT_TRUE(IntersectAll({}).empty());
+  EXPECT_TRUE(IntersectAll({s1, TupleSet{}}).empty());
+}
+
+TEST(QueryTest, TupleSetToString) {
+  TupleSet s = {T2("a", "b")};
+  EXPECT_EQ(TupleSetToString(s), "{(a, b)}");
+}
+
+TEST(QueryTest, QueryWithConstant) {
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x) :- QryT_P(x, 'b')");
+  Instance inst = I("QryT_P(a, b). QryT_P(c, d)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet answers, q.Eval(inst));
+  EXPECT_EQ(answers, (TupleSet{T1("a")}));
+}
+
+TEST(QueryTest, RepeatedHeadVariable) {
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x, x) :- QryT_P(x, y)");
+  Instance inst = I("QryT_P(a, b)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet answers, q.Eval(inst));
+  EXPECT_EQ(answers, (TupleSet{T2("a", "a")}));
+}
+
+}  // namespace
+}  // namespace rdx

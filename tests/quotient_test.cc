@@ -1,0 +1,73 @@
+#include "core/quotient.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::ExpectHom;
+using testing_util::I;
+
+TEST(QuotientTest, GroundInstanceHasOnlyItself) {
+  Instance inst = I("QuoT_P(a, b)");
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> quotients,
+                           EnumerateNullQuotients(inst));
+  ASSERT_EQ(quotients.size(), 1u);
+  EXPECT_EQ(quotients[0], inst);
+}
+
+TEST(QuotientTest, SingleNullQuotients) {
+  // {P(?X, a)}: ?X can stay, or map to a. (One null, one constant.)
+  Instance inst = I("QuoT_P(?X, a)");
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> quotients,
+                           EnumerateNullQuotients(inst));
+  ASSERT_EQ(quotients.size(), 2u);
+  EXPECT_EQ(quotients[0], inst);  // identity first
+  EXPECT_EQ(quotients[1], I("QuoT_P(a, a)"));
+}
+
+TEST(QuotientTest, TwoNullsEnumerateAllCollapses) {
+  // {P(?X, ?Y)} with no constants: partitions {X}{Y} and {XY} — each
+  // block stays null (no constants to map to): 2 quotients.
+  Instance inst = I("QuoT_P(?X, ?Y)");
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> quotients,
+                           EnumerateNullQuotients(inst));
+  ASSERT_EQ(quotients.size(), 2u);
+  EXPECT_EQ(quotients[0], inst);
+  // The collapsed quotient has both positions equal.
+  const Instance& collapsed = quotients[1];
+  ASSERT_EQ(collapsed.size(), 1u);
+  EXPECT_EQ(collapsed.facts()[0].args()[0], collapsed.facts()[0].args()[1]);
+}
+
+TEST(QuotientTest, CountWithConstants) {
+  // {P(?X, ?Y), Q1(a)}: constants {a}. Partitions: {X}{Y} (each block: stay
+  // or a → 4 combos), {XY} (stay or a → 2 combos): 6 quotients.
+  Instance inst = I("QuoT_P(?X, ?Y). QuoT_Q1(a)");
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> quotients,
+                           EnumerateNullQuotients(inst));
+  EXPECT_EQ(quotients.size(), 6u);
+}
+
+TEST(QuotientTest, EveryQuotientIsAHomomorphicImage) {
+  Instance inst = I("QuoT_P(?X, ?Y). QuoT_P(?Y, a). QuoT_Q1(b)");
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> quotients,
+                           EnumerateNullQuotients(inst));
+  for (const Instance& q : quotients) {
+    ExpectHom(inst, q);
+    EXPECT_LE(q.size(), inst.size());
+  }
+}
+
+TEST(QuotientTest, BudgetEnforced) {
+  Instance inst = I(
+      "QuoT_P(?A, ?B). QuoT_P(?C, ?D). QuoT_P(?E, ?F). QuoT_P(a, b)");
+  Result<std::vector<Instance>> r = EnumerateNullQuotients(inst, 5);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace rdx

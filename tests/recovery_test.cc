@@ -1,0 +1,144 @@
+#include "mapping/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/enumerator.h"
+#include "generator/scenarios.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+std::vector<Instance> PathFamily() {
+  return {
+      I("RcT_P(a, b)"),
+      I("RcT_P(a, b). RcT_P(b, c)"),
+      I("RcT_P(?W, ?Z)"),
+      I("RcT_P(a, ?Z)"),
+      I("RcT_P(a, a)"),
+      Instance(),
+  };
+}
+
+SchemaMapping PathM() {
+  return SchemaMapping::MustParse(
+      Schema::MustMake({{"RcT_P", 2}}), Schema::MustMake({{"RcT_Q", 2}}),
+      "RcT_P(x, y) -> EXISTS z: RcT_Q(x, z) & RcT_Q(z, y)");
+}
+
+SchemaMapping PathMPrime() {
+  return SchemaMapping::MustParse(
+      Schema::MustMake({{"RcT_Q", 2}}), Schema::MustMake({{"RcT_P", 2}}),
+      "RcT_Q(x, z) & RcT_Q(z, y) -> RcT_P(x, y)");
+}
+
+TEST(RecoveryTest, ChaseInverseIsExtendedRecovery) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<Instance> violation,
+      CheckExtendedRecovery(PathM(), PathMPrime(), PathFamily()));
+  EXPECT_FALSE(violation.has_value()) << violation->ToString();
+}
+
+TEST(RecoveryTest, ExtendedInverseIsMaximumExtendedRecovery) {
+  // Proposition 4.16: for extended-invertible M, extended inverse =
+  // maximum extended recovery. PathSplit's M' is an extended inverse.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch,
+      CheckMaximumExtendedRecovery(PathM(), PathMPrime(), PathFamily()));
+  EXPECT_FALSE(mismatch.has_value()) << mismatch->ToString();
+}
+
+TEST(RecoveryTest, ConstantGuardedReverseIsNotMaximumExtendedRecovery) {
+  // M'' of Example 3.19 is an inverse but not an extended inverse; on a
+  // family with null-only sources, e(M)∘e(M'') ≠ →_M.
+  SchemaMapping mdoubleprime = SchemaMapping::MustParse(
+      Schema::MustMake({{"RcT_Q", 2}}), Schema::MustMake({{"RcT_P", 2}}),
+      "RcT_Q(x, z) & RcT_Q(z, y) & Constant(x) & Constant(y) -> "
+      "RcT_P(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch,
+      CheckMaximumExtendedRecovery(PathM(), mdoubleprime, PathFamily()));
+  EXPECT_TRUE(mismatch.has_value());
+}
+
+TEST(RecoveryTest, UniversalFaithfulForChaseInverse) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<UniversalFaithfulViolation> violation,
+      CheckUniversalFaithful(PathM(), PathMPrime(), PathFamily()));
+  EXPECT_FALSE(violation.has_value()) << violation->ToString();
+}
+
+TEST(RecoveryTest, SelfLoopRecoveryIsUniversalFaithful) {
+  // Theorem 5.2's Σ* with disjunction + inequality, checked via Def 6.1.
+  scenarios::Scenario s = scenarios::SelfLoop();
+  EnumerationUniverse universe;
+  universe.schema = s.mapping.source();
+  universe.domain = StandardDomain(2, 1);
+  universe.max_facts = 1;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> family,
+                           EnumerateInstances(universe));
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<UniversalFaithfulViolation> violation,
+      CheckUniversalFaithful(s.mapping, *s.reverse, family));
+  EXPECT_FALSE(violation.has_value()) << violation->ToString();
+}
+
+TEST(RecoveryTest, DroppingInequalityBreaksMaximality) {
+  // Theorem 5.2(3): without inequalities the recovery over-demands
+  // P(x,y) for diagonal facts produced by T; the composition then misses
+  // pairs that are in →_M.
+  scenarios::Scenario s = scenarios::SelfLoop();
+  SchemaMapping no_ineq = SchemaMapping::MustParse(
+      s.mapping.target(), s.mapping.source(),
+      "SlPp(x, y) -> SlP(x, y); SlPp(x, x) -> SlT(x) | SlP(x, x)");
+  std::vector<Instance> family = {I("SlT(a)"), I("SlP(a, a)"),
+                                  I("SlP(a, b)"), Instance()};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch,
+      CheckMaximumExtendedRecovery(s.mapping, no_ineq, family));
+  EXPECT_TRUE(mismatch.has_value());
+}
+
+TEST(RecoveryTest, DroppingDisjunctionBreaksRecovery) {
+  // Theorem 5.2(2): tgds with inequalities alone cannot express the
+  // recovery — forcing the diagonal branch to P only misrecovers T-facts.
+  scenarios::Scenario s = scenarios::SelfLoop();
+  SchemaMapping no_disj = SchemaMapping::MustParse(
+      s.mapping.target(), s.mapping.source(),
+      "SlPp(x, y) & x != y -> SlP(x, y); SlPp(x, x) -> SlP(x, x)");
+  std::vector<Instance> family = {I("SlT(a)"), I("SlP(a, a)"),
+                                  I("SlP(a, b)"), Instance()};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch,
+      CheckMaximumExtendedRecovery(s.mapping, no_disj, family));
+  EXPECT_TRUE(mismatch.has_value());
+}
+
+TEST(RecoveryTest, DecompositionReverseIsMaximumExtendedRecovery) {
+  // Example 1.1's Σ' is a maximum recovery in the ground framework; in
+  // the extended framework it should satisfy Theorem 4.13 on families.
+  scenarios::Scenario s = scenarios::Decomposition();
+  std::vector<Instance> family = {
+      I("DecP(a, b, c)"),
+      I("DecP(a, b, ?Z)"),
+      I("DecP(a, b, c). DecP(d, b, e)"),
+      I("DecP(?X, ?Y, ?W)"),
+      Instance(),
+  };
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch,
+      CheckMaximumExtendedRecovery(s.mapping, *s.reverse, family));
+  EXPECT_FALSE(mismatch.has_value()) << mismatch->ToString();
+}
+
+TEST(RecoveryTest, ViolationStructsRender) {
+  MaxRecoveryMismatch m{I("RcT_P(a, b)"), I("RcT_P(a, a)"), true, false};
+  EXPECT_NE(m.ToString().find("RcT_P(a, b)"), std::string::npos);
+  UniversalFaithfulViolation v{I("RcT_P(a, b)"), 3, I("RcT_P(a, a)")};
+  EXPECT_NE(v.ToString().find("condition (3)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,78 @@
+#include "mapping/report.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/scenarios.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+TEST(ReportTest, CopyMappingReport) {
+  RDX_ASSERT_OK_AND_ASSIGN(InvertibilityReport report,
+                           AnalyzeMapping(scenarios::CopyBinary().mapping));
+  EXPECT_TRUE(report.extended_invertible);
+  EXPECT_FALSE(report.hom_property_counterexample.has_value());
+  EXPECT_EQ(report.loss.loss_pairs, 0u);
+  EXPECT_FALSE(report.max_extended_recovery.has_value());
+  EXPECT_NE(report.ToString().find("extended invertible"),
+            std::string::npos);
+}
+
+TEST(ReportTest, SelfLoopReportSynthesizesRecovery) {
+  RDX_ASSERT_OK_AND_ASSIGN(InvertibilityReport report,
+                           AnalyzeMapping(scenarios::SelfLoop().mapping));
+  EXPECT_FALSE(report.extended_invertible);
+  ASSERT_TRUE(report.hom_property_counterexample.has_value());
+  EXPECT_GT(report.loss.loss_pairs, 0u);
+  ASSERT_TRUE(report.max_extended_recovery.has_value());
+  EXPECT_TRUE(report.max_extended_recovery->UsesDisjunction());
+  EXPECT_TRUE(report.max_extended_recovery->UsesInequalities());
+  ASSERT_TRUE(report.recovery_universal_faithful.has_value());
+  EXPECT_TRUE(*report.recovery_universal_faithful);
+  std::string rendered = report.ToString();
+  EXPECT_NE(rendered.find("NOT extended invertible"), std::string::npos);
+  EXPECT_NE(rendered.find("Theorem 5.1"), std::string::npos);
+}
+
+TEST(ReportTest, NonFullMappingSkipsSynthesis) {
+  // ComponentSplit's loss witness needs two facts (Example 6.7's pair),
+  // so a 1-fact universe is blind to it — a nice demonstration that the
+  // bound matters.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      InvertibilityReport small,
+      AnalyzeMapping(scenarios::ComponentSplit().mapping));
+  EXPECT_TRUE(small.extended_invertible);  // bound too small to refute
+
+  AnalyzeOptions options;
+  options.universe_max_facts = 2;
+  RDX_ASSERT_OK_AND_ASSIGN(
+      InvertibilityReport report,
+      AnalyzeMapping(scenarios::ComponentSplit().mapping, options));
+  EXPECT_FALSE(report.extended_invertible);
+  EXPECT_FALSE(report.max_extended_recovery.has_value());
+}
+
+TEST(ReportTest, UniverseKnobsRespected) {
+  AnalyzeOptions options;
+  options.universe_constants = 1;
+  options.universe_nulls = 0;
+  options.universe_max_facts = 1;
+  RDX_ASSERT_OK_AND_ASSIGN(
+      InvertibilityReport report,
+      AnalyzeMapping(scenarios::Union().mapping, options));
+  // Universe: {}, {UnP(c0)}, {UnQ(c0)} — 3 instances; the union
+  // counterexample is already inside.
+  EXPECT_EQ(report.universe_size, 3u);
+  EXPECT_FALSE(report.extended_invertible);
+}
+
+TEST(ReportTest, PreconditionsEnforced) {
+  scenarios::Scenario s = scenarios::SelfLoop();
+  // The reverse mapping (disjunctive, with inequalities) is not a valid
+  // analysis subject.
+  EXPECT_FALSE(AnalyzeMapping(*s.reverse).ok());
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,153 @@
+#include "mapping/reverse_query.h"
+
+#include <gtest/gtest.h>
+
+#include "generator/scenarios.h"
+#include "mapping/extended.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+Tuple T1(std::string_view a) {
+  return {Value::MakeConstant(std::string(a))};
+}
+Tuple T2(std::string_view a, std::string_view b) {
+  return {Value::MakeConstant(std::string(a)),
+          Value::MakeConstant(std::string(b))};
+}
+
+TEST(ReverseQueryTest, Theorem64ExtendedInverseRecoversNullFreeAnswers) {
+  // PathSplit's M' is an extended inverse, so reverse certain answers
+  // equal q(I)↓ for every source I and CQ q.
+  scenarios::Scenario s = scenarios::PathSplit();
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- PathP(x, y)");
+  std::vector<Instance> sources = {
+      I("PathP(a, b)"),
+      I("PathP(a, b). PathP(b, c)"),
+      I("PathP(a, ?Z)"),
+      I("PathP(?W, ?Z)"),
+  };
+  for (const Instance& src : sources) {
+    RDX_ASSERT_OK_AND_ASSIGN(
+        TupleSet reverse_answers,
+        ReverseCertainAnswers(s.mapping, *s.reverse, q, src));
+    RDX_ASSERT_OK_AND_ASSIGN(TupleSet expected, NullFreeAnswers(q, src));
+    EXPECT_EQ(reverse_answers, expected) << src.ToString();
+  }
+}
+
+TEST(ReverseQueryTest, JoinQueryThroughRoundTrip) {
+  scenarios::Scenario s = scenarios::PathSplit();
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x, z) :- PathP(x, y) & PathP(y, z)");
+  Instance src = I("PathP(a, b). PathP(b, c)");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      TupleSet answers, ReverseCertainAnswers(s.mapping, *s.reverse, q, src));
+  EXPECT_EQ(answers, (TupleSet{T2("a", "c")}));
+}
+
+TEST(ReverseQueryTest, FromTargetInstanceDirectly) {
+  // Schema-evolution style: the source is gone; only J = chase_M(I)
+  // remains.
+  scenarios::Scenario s = scenarios::PathSplit();
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- PathP(x, y)");
+  Instance src = I("PathP(a, b)");
+  RDX_ASSERT_OK_AND_ASSIGN(Instance target, ChaseMapping(s.mapping, src));
+  RDX_ASSERT_OK_AND_ASSIGN(
+      TupleSet answers,
+      ReverseCertainAnswersFromTarget(*s.reverse, q, target));
+  EXPECT_EQ(answers, (TupleSet{T2("a", "b")}));
+}
+
+TEST(ReverseQueryTest, DisjunctiveRecoveryIntersectsBranches) {
+  // SelfLoop (Theorem 5.2): a diagonal P'(a,a) could come from T(a) or
+  // P(a,a); neither source fact is certain, so both queries come back
+  // empty — but a fact certain in all branches survives.
+  scenarios::Scenario s = scenarios::SelfLoop();
+  Instance src = I("SlT(a). SlP(b, c)");
+  ConjunctiveQuery qt = ConjunctiveQuery::MustParse("q(x) :- SlT(x)");
+  ConjunctiveQuery qp = ConjunctiveQuery::MustParse("q(x, y) :- SlP(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      TupleSet t_answers,
+      ReverseCertainAnswers(s.mapping, *s.reverse, qt, src));
+  EXPECT_TRUE(t_answers.empty());  // T(a) is not certain (P(a,a) possible)
+  RDX_ASSERT_OK_AND_ASSIGN(
+      TupleSet p_answers,
+      ReverseCertainAnswers(s.mapping, *s.reverse, qp, src));
+  EXPECT_EQ(p_answers, (TupleSet{T2("b", "c")}));  // off-diagonal certain
+}
+
+TEST(ReverseQueryTest, LossyMappingLosesAnswers) {
+  // Projection loses the second column; the reverse certain answers of
+  // q(x,y) :- P(x,y) must be empty (y is never certain).
+  scenarios::Scenario s = scenarios::Projection();
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- ProjP(x, y)");
+  Instance src = I("ProjP(a, b)");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      TupleSet answers, ReverseCertainAnswers(s.mapping, *s.reverse, q, src));
+  EXPECT_TRUE(answers.empty());
+  // The first column, however, is recoverable.
+  ConjunctiveQuery q1 = ConjunctiveQuery::MustParse("q(x) :- ProjP(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      TupleSet col1, ReverseCertainAnswers(s.mapping, *s.reverse, q1, src));
+  EXPECT_EQ(col1, (TupleSet{T1("a")}));
+}
+
+TEST(ReverseQueryTest, NullsInSourceNeverCertain) {
+  scenarios::Scenario s = scenarios::PathSplit();
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- PathP(x, y)");
+  Instance src = I("PathP(a, ?Z). PathP(b, c)");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      TupleSet answers, ReverseCertainAnswers(s.mapping, *s.reverse, q, src));
+  EXPECT_EQ(answers, (TupleSet{T2("b", "c")}));
+}
+
+TEST(ForwardQueryTest, CertainAnswersOverTarget) {
+  // Classic data-exchange query answering: evaluate over the canonical
+  // universal solution and drop null tuples.
+  scenarios::Scenario s = scenarios::PathSplit();
+  Instance src = I("PathP(a, b). PathP(b, c)");
+  // q over the TARGET schema: middle nodes are nulls, endpoints certain.
+  ConjunctiveQuery q =
+      ConjunctiveQuery::MustParse("q(x, y) :- PathQ(x, z) & PathQ(z, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet certain,
+                           ForwardCertainAnswers(s.mapping, q, src));
+  EXPECT_EQ(certain, (TupleSet{T2("a", "b"), T2("b", "c")}));
+  // Asking for the fresh nulls themselves yields nothing certain.
+  ConjunctiveQuery q1 = ConjunctiveQuery::MustParse("q(z) :- PathQ(x, z)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet mids,
+                           ForwardCertainAnswers(s.mapping, q1, src));
+  EXPECT_EQ(mids, (TupleSet{T1("b"), T1("c")}));
+}
+
+TEST(ForwardQueryTest, CertainAnswersAreSoundForAllSolutions) {
+  // Every certain answer holds in arbitrary other solutions.
+  scenarios::Scenario s = scenarios::Decomposition();
+  Instance src = I("DecP(a, b, c)");
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- DecQ(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet certain,
+                           ForwardCertainAnswers(s.mapping, q, src));
+  Instance other_solution =
+      I("DecQ(a, b). DecR(b, c). DecQ(extra, extra)");
+  RDX_ASSERT_OK_AND_ASSIGN(bool is_sol,
+                           IsSolution(s.mapping, src, other_solution));
+  ASSERT_TRUE(is_sol);
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet other_answers,
+                           q.Eval(other_solution));
+  for (const Tuple& t : certain) {
+    EXPECT_TRUE(other_answers.count(t) > 0);
+  }
+}
+
+TEST(ReverseQueryTest, NullFreeAnswersBaseline) {
+  ConjunctiveQuery q = ConjunctiveQuery::MustParse("q(x, y) :- PathP(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(TupleSet answers,
+                           NullFreeAnswers(q, I("PathP(a, b). PathP(?N, c)")));
+  EXPECT_EQ(answers, (TupleSet{T2("a", "b")}));
+}
+
+}  // namespace
+}  // namespace rdx

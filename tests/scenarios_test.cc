@@ -1,0 +1,143 @@
+#include "generator/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+TEST(ScenariosTest, AllScenariosWellFormed) {
+  std::vector<scenarios::Scenario> all = scenarios::AllScenarios();
+  EXPECT_GE(all.size(), 12u);
+  for (const scenarios::Scenario& s : all) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_FALSE(s.mapping.dependencies().empty()) << s.name;
+    EXPECT_TRUE(s.mapping.source().DisjointFrom(s.mapping.target()))
+        << s.name;
+    if (s.reverse.has_value()) {
+      // Reverse mapping swaps the schemas.
+      EXPECT_EQ(s.reverse->source().ToString(),
+                s.mapping.target().ToString())
+          << s.name;
+      EXPECT_EQ(s.reverse->target().ToString(),
+                s.mapping.source().ToString())
+          << s.name;
+    }
+  }
+}
+
+TEST(ScenariosTest, ClassificationMatchesPaper) {
+  EXPECT_TRUE(scenarios::CopyBinary().mapping.IsFullTgdMapping());
+  EXPECT_TRUE(scenarios::Union().mapping.IsFullTgdMapping());
+  EXPECT_TRUE(scenarios::SelfLoop().mapping.IsFullTgdMapping());
+  // The decomposition's forward tgd is full; its REVERSE has existentials.
+  EXPECT_TRUE(scenarios::Decomposition().mapping.IsFullTgdMapping());
+  EXPECT_TRUE(scenarios::Decomposition().mapping.IsTgdMapping());
+  EXPECT_FALSE(scenarios::Decomposition().reverse->IsFullTgdMapping());
+  EXPECT_FALSE(scenarios::PathSplit().mapping.IsFullTgdMapping());
+  EXPECT_TRUE(scenarios::PathSplit().mapping.IsTgdMapping());
+  EXPECT_FALSE(scenarios::ComponentSplit().mapping.IsFullTgdMapping());
+}
+
+TEST(ScenariosTest, ReverseMappingsUseTheRightLanguage) {
+  // PathSplit's M'' uses Constant; SelfLoop's Σ* uses both disjunction
+  // and inequalities; TwoNullable's inverse uses Constant.
+  EXPECT_TRUE(scenarios::PathSplit().alt_reverse->UsesConstantPredicate());
+  EXPECT_FALSE(scenarios::PathSplit().reverse->UsesConstantPredicate());
+  EXPECT_TRUE(scenarios::SelfLoop().reverse->UsesDisjunction());
+  EXPECT_TRUE(scenarios::SelfLoop().reverse->UsesInequalities());
+  EXPECT_TRUE(scenarios::TwoNullable().reverse->UsesConstantPredicate());
+}
+
+TEST(ScenariosTest, SharedSchemaForLossComparison) {
+  // CopyBinary and ComponentSplit must share schemas (Example 6.7 compares
+  // them).
+  scenarios::Scenario copy = scenarios::CopyBinary();
+  scenarios::Scenario split = scenarios::ComponentSplit();
+  EXPECT_EQ(copy.mapping.source().ToString(),
+            split.mapping.source().ToString());
+  EXPECT_EQ(copy.mapping.target().ToString(),
+            split.mapping.target().ToString());
+}
+
+TEST(ScenariosTest, SwapDuplicationLosesOrientation) {
+  // The symmetric closure identifies {P(a,b)} and {P(b,a)}: both chase to
+  // the same target, but neither maps into the other — not extended
+  // invertible.
+  scenarios::Scenario s = scenarios::SwapDuplication();
+  Instance ab = MustParseInstance("DupP(a, b)");
+  Instance ba = MustParseInstance("DupP(b, a)");
+  RDX_ASSERT_OK_AND_ASSIGN(Instance cab, ChaseMapping(s.mapping, ab));
+  RDX_ASSERT_OK_AND_ASSIGN(Instance cba, ChaseMapping(s.mapping, ba));
+  EXPECT_EQ(cab, cba);
+  RDX_ASSERT_OK_AND_ASSIGN(bool hom, HasHomomorphism(ab, ba));
+  EXPECT_FALSE(hom);
+
+  // The attached disjunctive recovery matches the quasi-inverse output
+  // and verifies as a maximum extended recovery.
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(s.mapping));
+  EXPECT_TRUE(qi.UsesDisjunction());
+  EnumerationUniverse universe;
+  universe.schema = s.mapping.source();
+  universe.domain = StandardDomain(2, 1);
+  universe.max_facts = 1;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> family,
+                           EnumerateInstances(universe));
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch,
+      CheckMaximumExtendedRecovery(s.mapping, *s.reverse, family));
+  EXPECT_FALSE(mismatch.has_value()) << mismatch->ToString();
+}
+
+TEST(ScenariosTest, LongPathSplitChaseInverseRecovers) {
+  scenarios::Scenario s = scenarios::LongPathSplit();
+  for (const char* text :
+       {"PlP(a, b)", "PlP(a, b). PlP(b, c)", "PlP(?W, ?Z)", "PlP(a, a)"}) {
+    Instance i = MustParseInstance(text);
+    RDX_ASSERT_OK_AND_ASSIGN(Instance u, ChaseMapping(s.mapping, i));
+    EXPECT_EQ(u.size(), 3 * i.size());
+    RDX_ASSERT_OK_AND_ASSIGN(Instance back, ChaseMapping(*s.reverse, u));
+    RDX_ASSERT_OK_AND_ASSIGN(bool equiv, AreHomEquivalent(i, back));
+    EXPECT_TRUE(equiv) << text << " recovered as " << back.ToString();
+  }
+}
+
+TEST(ScenariosTest, DiagonalMergeMirrorsSelfLoop) {
+  // Full-tgd mapping: the quasi-inverse algorithm applies, and its output
+  // matches the hand-written recovery attached to the scenario.
+  scenarios::Scenario s = scenarios::DiagonalMerge();
+  ASSERT_TRUE(s.mapping.IsFullTgdMapping());
+  RDX_ASSERT_OK_AND_ASSIGN(SchemaMapping qi, QuasiInverse(s.mapping));
+  ASSERT_EQ(qi.dependencies().size(), s.reverse->dependencies().size());
+  // Same dependency set up to ordering and variable naming: compare
+  // rendered forms after normalizing variable names via re-parse of the
+  // hand-written ones (they use x/y vs z0/z1; compare structurally by
+  // checking the composition behaviour instead).
+  EnumerationUniverse universe;
+  universe.schema = s.mapping.source();
+  universe.domain = StandardDomain(2, 1);
+  universe.max_facts = 1;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> family,
+                           EnumerateInstances(universe));
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch_qi,
+      CheckMaximumExtendedRecovery(s.mapping, qi, family));
+  EXPECT_FALSE(mismatch_qi.has_value()) << mismatch_qi->ToString();
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<MaxRecoveryMismatch> mismatch_hand,
+      CheckMaximumExtendedRecovery(s.mapping, *s.reverse, family));
+  EXPECT_FALSE(mismatch_hand.has_value()) << mismatch_hand->ToString();
+}
+
+TEST(ScenariosTest, NamesAreUnique) {
+  std::vector<scenarios::Scenario> all = scenarios::AllScenarios();
+  std::set<std::string> names;
+  for (const scenarios::Scenario& s : all) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate: " << s.name;
+  }
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,96 @@
+#include "mapping/schema_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+Schema Src() { return Schema::MustMake({{"SmT_P", 2}, {"SmT_R", 1}}); }
+Schema Tgt() { return Schema::MustMake({{"SmT_Q", 2}, {"SmT_S", 1}}); }
+
+TEST(SchemaMappingTest, MakeValidMapping) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      SchemaMapping m,
+      SchemaMapping::Parse(Src(), Tgt(), "SmT_P(x, y) -> SmT_Q(x, y)"));
+  EXPECT_TRUE(m.IsTgdMapping());
+  EXPECT_TRUE(m.IsFullTgdMapping());
+  EXPECT_FALSE(m.UsesDisjunction());
+}
+
+TEST(SchemaMappingTest, RejectsNonDisjointSchemas) {
+  Result<SchemaMapping> m =
+      SchemaMapping::Parse(Src(), Src(), "SmT_P(x, y) -> SmT_R(x)");
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(SchemaMappingTest, RejectsBodyOverTarget) {
+  Result<SchemaMapping> m =
+      SchemaMapping::Parse(Src(), Tgt(), "SmT_Q(x, y) -> SmT_S(x)");
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(SchemaMappingTest, RejectsHeadOverSource) {
+  Result<SchemaMapping> m =
+      SchemaMapping::Parse(Src(), Tgt(), "SmT_P(x, y) -> SmT_R(x)");
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(SchemaMappingTest, ClassificationFlags) {
+  SchemaMapping existential = SchemaMapping::MustParse(
+      Src(), Tgt(), "SmT_P(x, y) -> EXISTS z: SmT_Q(x, z)");
+  EXPECT_TRUE(existential.IsTgdMapping());
+  EXPECT_FALSE(existential.IsFullTgdMapping());
+
+  SchemaMapping disjunctive = SchemaMapping::MustParse(
+      Src(), Tgt(), "SmT_P(x, y) -> SmT_Q(x, y) | SmT_S(x)");
+  EXPECT_FALSE(disjunctive.IsTgdMapping());
+  EXPECT_TRUE(disjunctive.UsesDisjunction());
+
+  SchemaMapping guarded = SchemaMapping::MustParse(
+      Src(), Tgt(), "SmT_P(x, y) & Constant(x) -> SmT_Q(x, y)");
+  EXPECT_TRUE(guarded.UsesConstantPredicate());
+  EXPECT_FALSE(guarded.IsTgdMapping());
+
+  SchemaMapping unequal = SchemaMapping::MustParse(
+      Src(), Tgt(), "SmT_P(x, y) & x != y -> SmT_Q(x, y)");
+  EXPECT_TRUE(unequal.UsesInequalities());
+}
+
+TEST(SchemaMappingTest, SatisfiedChecksBothSchemas) {
+  SchemaMapping m = SchemaMapping::MustParse(
+      Src(), Tgt(), "SmT_P(x, y) -> SmT_Q(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      bool sat, m.Satisfied(I("SmT_P(a, b)"), I("SmT_Q(a, b)")));
+  EXPECT_TRUE(sat);
+  RDX_ASSERT_OK_AND_ASSIGN(bool unsat,
+                           m.Satisfied(I("SmT_P(a, b)"), Instance()));
+  EXPECT_FALSE(unsat);
+  // Wrong-schema instances are rejected, not silently accepted.
+  EXPECT_FALSE(m.Satisfied(I("SmT_Q(a, b)"), Instance()).ok());
+  EXPECT_FALSE(m.Satisfied(Instance(), I("SmT_P(a, b)")).ok());
+}
+
+TEST(SchemaMappingTest, OpenWorldSemantics) {
+  // Extra target facts never hurt satisfaction (open-world, footnote 1).
+  SchemaMapping m = SchemaMapping::MustParse(
+      Src(), Tgt(), "SmT_P(x, y) -> SmT_Q(x, y)");
+  RDX_ASSERT_OK_AND_ASSIGN(
+      bool sat,
+      m.Satisfied(I("SmT_P(a, b)"),
+                  I("SmT_Q(a, b). SmT_Q(z, w). SmT_S(q)")));
+  EXPECT_TRUE(sat);
+}
+
+TEST(SchemaMappingTest, ToStringMentionsDependencies) {
+  SchemaMapping m = SchemaMapping::MustParse(
+      Src(), Tgt(), "SmT_P(x, y) -> SmT_Q(x, y)");
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("SmT_P(x, y) -> SmT_Q(x, y)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdx

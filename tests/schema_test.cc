@@ -1,0 +1,73 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace rdx {
+namespace {
+
+TEST(RelationTest, InternByNameWithFixedArity) {
+  Result<Relation> r1 = Relation::Intern("SchT_Emp", 2);
+  ASSERT_TRUE(r1.ok());
+  Result<Relation> r2 = Relation::Intern("SchT_Emp", 2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+  EXPECT_EQ(r1->name(), "SchT_Emp");
+  EXPECT_EQ(r1->arity(), 2u);
+}
+
+TEST(RelationTest, ArityClashRejected) {
+  ASSERT_TRUE(Relation::Intern("SchT_Clash", 2).ok());
+  Result<Relation> bad = Relation::Intern("SchT_Clash", 3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RelationTest, InvalidNamesRejected) {
+  EXPECT_FALSE(Relation::Intern("has space", 1).ok());
+  EXPECT_FALSE(Relation::Intern("", 1).ok());
+  EXPECT_FALSE(Relation::Intern("ZeroArity", 0).ok());
+}
+
+TEST(RelationTest, Lookup) {
+  Relation r = Relation::MustIntern("SchT_Lookup", 1);
+  Result<Relation> found = Relation::Lookup("SchT_Lookup");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, r);
+  EXPECT_FALSE(Relation::Lookup("SchT_Never_Interned_XYZ").ok());
+}
+
+TEST(SchemaTest, MakeAndContains) {
+  Result<Schema> s = Schema::Make({{"SchT_A", 1}, {"SchT_B", 2}});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 2u);
+  EXPECT_TRUE(s->Contains(Relation::MustIntern("SchT_A", 1)));
+  EXPECT_FALSE(s->Contains(Relation::MustIntern("SchT_C", 1)));
+}
+
+TEST(SchemaTest, DuplicateRelationRejected) {
+  Result<Schema> s = Schema::Make({{"SchT_Dup", 1}, {"SchT_Dup", 1}});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SchemaTest, Disjointness) {
+  Schema s1 = Schema::MustMake({{"SchT_D1", 1}});
+  Schema s2 = Schema::MustMake({{"SchT_D2", 1}});
+  Schema s3 = Schema::MustMake({{"SchT_D1", 1}, {"SchT_D3", 1}});
+  EXPECT_TRUE(s1.DisjointFrom(s2));
+  EXPECT_FALSE(s1.DisjointFrom(s3));
+}
+
+TEST(SchemaTest, Union) {
+  Schema s1 = Schema::MustMake({{"SchT_U1", 1}, {"SchT_U2", 2}});
+  Schema s2 = Schema::MustMake({{"SchT_U2", 2}, {"SchT_U3", 3}});
+  Schema u = Schema::Union(s1, s2);
+  EXPECT_EQ(u.size(), 3u);
+}
+
+TEST(SchemaTest, ToString) {
+  Schema s = Schema::MustMake({{"SchT_P", 2}, {"SchT_Q", 1}});
+  EXPECT_EQ(s.ToString(), "{SchT_P/2, SchT_Q/1}");
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,45 @@
+#include "base/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace rdx {
+namespace {
+
+TEST(StringsTest, StrCatBasics) {
+  EXPECT_EQ(StrCat("a", "b", "c"), "abc");
+  EXPECT_EQ(StrCat("x=", 42), "x=42");
+  EXPECT_EQ(StrCat(1, '+', 2, "=", 3), "1+2=3");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat(true, " ", false), "true false");
+}
+
+TEST(StringsTest, StrCatMixedTypes) {
+  std::string s = "str";
+  std::string_view sv = "view";
+  EXPECT_EQ(StrCat(s, "/", sv, "/", 3.5), "str/view/3.5");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(StringsTest, JoinMapped) {
+  std::vector<int> v = {1, 2, 3};
+  EXPECT_EQ(JoinMapped(v, "-", [](int x) { return StrCat(x * 2); }),
+            "2-4-6");
+}
+
+TEST(StringsTest, IsIdentifier) {
+  EXPECT_TRUE(IsIdentifier("abc"));
+  EXPECT_TRUE(IsIdentifier("A_1"));
+  EXPECT_TRUE(IsIdentifier("123"));
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("a b"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+  EXPECT_FALSE(IsIdentifier("a?"));
+}
+
+}  // namespace
+}  // namespace rdx

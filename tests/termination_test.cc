@@ -1,0 +1,116 @@
+#include "chase/termination.h"
+
+#include <gtest/gtest.h>
+
+#include "chase/chase.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+TEST(TerminationTest, CrossSchemaTgdsAreWeaklyAcyclic) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      WeakAcyclicityReport report,
+      CheckWeakAcyclicity({D("TmT_P(x, y) -> EXISTS z: TmT_Q(x, z)"),
+                           D("TmT_Q(x, y) -> TmT_R(y, x)")}));
+  EXPECT_TRUE(report.weakly_acyclic);
+}
+
+TEST(TerminationTest, FullSameSchemaTgdsAreWeaklyAcyclic) {
+  // Transitive closure has cycles, but only through regular edges.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      WeakAcyclicityReport report,
+      CheckWeakAcyclicity({D("TmT_E(x, y) & TmT_E(y, z) -> TmT_E(x, z)")}));
+  EXPECT_TRUE(report.weakly_acyclic);
+}
+
+TEST(TerminationTest, SelfFeedingExistentialIsRejected) {
+  // E(x,y) -> ∃z E(y,z): the classic diverging tgd.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      WeakAcyclicityReport report,
+      CheckWeakAcyclicity({D("TmT_E(x, y) -> EXISTS z: TmT_E(y, z)")}));
+  EXPECT_FALSE(report.weakly_acyclic);
+  EXPECT_FALSE(report.cycle_witness.empty());
+  EXPECT_NE(report.cycle_witness.find("TmT_E"), std::string::npos);
+}
+
+TEST(TerminationTest, HeadlessUniversalCreatesNoSpecialEdge) {
+  // A1(x) -> ∃z B1(z): x does not occur in the head, so (per the FKMP
+  // definition) there is no special edge — and indeed the STANDARD chase
+  // terminates: once some B1 exists, every further trigger is satisfied.
+  std::vector<Dependency> deps = {D("TmT_A1(x) -> EXISTS z: TmT_B1(z)"),
+                                  D("TmT_B1(x) -> TmT_A1(x)")};
+  RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
+                           CheckWeakAcyclicity(deps));
+  EXPECT_TRUE(report.weakly_acyclic);
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(I("TmT_A1(a)"), deps));
+  EXPECT_LE(result.combined.size(), 3u);
+}
+
+TEST(TerminationTest, TwoStepSpecialCycleDetected) {
+  // A1(x) -> ∃z B2(x,z) has a special edge A1.1 ⇒ B2.2 (x occurs in the
+  // head); B2(x,z) -> A1(z) closes the cycle with a regular edge.
+  std::vector<Dependency> deps = {D("TmT_A1(x) -> EXISTS z: TmT_B2(x, z)"),
+                                  D("TmT_B2(x, z) -> TmT_A1(z)")};
+  RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
+                           CheckWeakAcyclicity(deps));
+  EXPECT_FALSE(report.weakly_acyclic);
+  // And the standard chase genuinely diverges on it.
+  ChaseOptions options;
+  options.max_rounds = 6;
+  Result<ChaseResult> r = Chase(I("TmT_A1(a)"), deps, options);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TerminationTest, ExistentialWithoutFeedbackIsFine) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      WeakAcyclicityReport report,
+      CheckWeakAcyclicity({D("TmT_A1(x) -> EXISTS z: TmT_B1(z)"),
+                           D("TmT_B1(x) -> TmT_C1(x)")}));
+  EXPECT_TRUE(report.weakly_acyclic);
+}
+
+TEST(TerminationTest, DisjunctsAnalyzedIndependently) {
+  // The dangerous disjunct alone makes the set non-weakly-acyclic.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      WeakAcyclicityReport report,
+      CheckWeakAcyclicity(
+          {D("TmT_E(x, y) -> TmT_C1(x) | EXISTS z: TmT_E(y, z)")}));
+  EXPECT_FALSE(report.weakly_acyclic);
+}
+
+TEST(TerminationTest, WeaklyAcyclicSetsActuallyTerminate) {
+  // End-to-end: a weakly acyclic same-schema set reaches a fixpoint well
+  // within the round budget.
+  std::vector<Dependency> deps = {
+      D("TmT_E(x, y) & TmT_E(y, z) -> TmT_E(x, z)"),
+      D("TmT_E(x, y) -> EXISTS w: TmT_F(x, w)"),
+  };
+  RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
+                           CheckWeakAcyclicity(deps));
+  ASSERT_TRUE(report.weakly_acyclic);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      ChaseResult result,
+      Chase(I("TmT_E(a, b). TmT_E(b, c). TmT_E(c, d)"), deps));
+  // Transitive closure of a 3-edge path: 6 E-facts; F-facts for sources.
+  EXPECT_EQ(result.combined.FactsOf(Relation::MustIntern("TmT_E", 2)).size(),
+            6u);
+}
+
+TEST(TerminationTest, NonWeaklyAcyclicSetsHitTheBudget) {
+  std::vector<Dependency> deps = {D("TmT_E(x, y) -> EXISTS z: TmT_E(y, z)")};
+  RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
+                           CheckWeakAcyclicity(deps));
+  ASSERT_FALSE(report.weakly_acyclic);
+  ChaseOptions options;
+  options.max_rounds = 4;
+  Result<ChaseResult> result = Chase(I("TmT_E(a, b)"), deps, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace rdx

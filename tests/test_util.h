@@ -1,0 +1,59 @@
+#ifndef RDX_TESTS_TEST_UTIL_H_
+#define RDX_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "rdx.h"
+
+namespace rdx {
+namespace testing_util {
+
+/// Shorthand: parse an instance literal, aborting on error.
+inline Instance I(std::string_view text) { return MustParseInstance(text); }
+
+/// Shorthand: parse a dependency literal, aborting on error.
+inline Dependency D(std::string_view text) {
+  return MustParseDependency(text);
+}
+
+/// Unwraps a Result<T>, failing the test on error.
+#define RDX_ASSERT_OK_AND_ASSIGN(lhs, rexpr)                      \
+  RDX_ASSERT_OK_AND_ASSIGN_IMPL_(                                 \
+      RDX_STATUS_CONCAT_(_rdx_test_result, __LINE__), lhs, rexpr)
+
+#define RDX_ASSERT_OK_AND_ASSIGN_IMPL_(result, lhs, rexpr)        \
+  auto result = (rexpr);                                          \
+  ASSERT_TRUE(result.ok()) << result.status().ToString();         \
+  lhs = std::move(result).value()
+
+#define RDX_EXPECT_OK(expr)                                       \
+  do {                                                            \
+    ::rdx::Status _rdx_test_status = (expr);                      \
+    EXPECT_TRUE(_rdx_test_status.ok())                            \
+        << _rdx_test_status.ToString();                          \
+  } while (0)
+
+/// Expects `from → to` (or its negation).
+inline void ExpectHom(const Instance& from, const Instance& to,
+                      bool expected = true) {
+  Result<bool> hom = HasHomomorphism(from, to);
+  ASSERT_TRUE(hom.ok()) << hom.status().ToString();
+  EXPECT_EQ(*hom, expected) << "from=" << from.ToString()
+                            << " to=" << to.ToString();
+}
+
+/// Expects homomorphic equivalence (or its negation).
+inline void ExpectHomEquiv(const Instance& a, const Instance& b,
+                           bool expected = true) {
+  Result<bool> equiv = AreHomEquivalent(a, b);
+  ASSERT_TRUE(equiv.ok()) << equiv.status().ToString();
+  EXPECT_EQ(*equiv, expected) << "a=" << a.ToString()
+                              << " b=" << b.ToString();
+}
+
+}  // namespace testing_util
+}  // namespace rdx
+
+#endif  // RDX_TESTS_TEST_UTIL_H_

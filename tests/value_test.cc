@@ -1,0 +1,79 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace rdx {
+namespace {
+
+TEST(ValueTest, ConstantsInternByName) {
+  Value a1 = Value::MakeConstant("alpha");
+  Value a2 = Value::MakeConstant("alpha");
+  Value b = Value::MakeConstant("beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_TRUE(a1.IsConstant());
+  EXPECT_FALSE(a1.IsNull());
+  EXPECT_EQ(a1.name(), "alpha");
+}
+
+TEST(ValueTest, IntConstants) {
+  EXPECT_EQ(Value::MakeInt(42), Value::MakeConstant("42"));
+  EXPECT_EQ(Value::MakeInt(-1).name(), "-1");
+}
+
+TEST(ValueTest, NamedNullsInternByLabel) {
+  Value x1 = Value::MakeNull("X");
+  Value x2 = Value::MakeNull("X");
+  Value y = Value::MakeNull("Y");
+  EXPECT_EQ(x1, x2);
+  EXPECT_NE(x1, y);
+  EXPECT_TRUE(x1.IsNull());
+  EXPECT_EQ(x1.name(), "X");
+}
+
+TEST(ValueTest, ConstantAndNullWithSameNameDiffer) {
+  Value c = Value::MakeConstant("same");
+  Value n = Value::MakeNull("same");
+  EXPECT_NE(c, n);
+}
+
+TEST(ValueTest, FreshNullsAreDistinct) {
+  Value n1 = Value::FreshNull();
+  Value n2 = Value::FreshNull();
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(n1.IsNull());
+  // Fresh nulls never collide with named nulls created afterwards either.
+  Value named = Value::MakeNull(n1.name());
+  EXPECT_EQ(named, n1);  // same label -> same null, by interning
+}
+
+TEST(ValueTest, ToStringSigils) {
+  EXPECT_EQ(Value::MakeConstant("a").ToString(), "a");
+  EXPECT_EQ(Value::MakeNull("Z").ToString(), "?Z");
+}
+
+TEST(ValueTest, OrderingIsTotalAndStable) {
+  Value a = Value::MakeConstant("ord_a");
+  Value b = Value::MakeConstant("ord_b");
+  Value n = Value::MakeNull("ord_n");
+  // Constants sort before nulls (kind-major order).
+  EXPECT_LT(a, n);
+  EXPECT_LT(b, n);
+  std::set<Value> s = {n, b, a};
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(*s.begin(), std::min(a, b));
+}
+
+TEST(ValueTest, HashUsableInUnorderedSet) {
+  std::unordered_set<Value, ValueHash> s;
+  s.insert(Value::MakeConstant("h1"));
+  s.insert(Value::MakeConstant("h1"));
+  s.insert(Value::MakeNull("h1"));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rdx

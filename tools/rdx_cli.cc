@@ -1,0 +1,198 @@
+// rdx_cli — command-line front end for the RDX library.
+//
+// Usage:
+//   rdx_cli chase          --mapping M.rdx --instance I.rdx
+//   rdx_cli reverse        --mapping M'.rdx --instance J.rdx
+//   rdx_cli roundtrip      --mapping M.rdx --reverse M'.rdx --instance I.rdx
+//   rdx_cli quasi-inverse  --mapping M.rdx
+//   rdx_cli compose        --mapping M12.rdx --second M23.rdx
+//   rdx_cli analyze        --mapping M.rdx [--constants 2 --nulls 1 --max-facts 1]
+//   rdx_cli certain        --mapping M.rdx --reverse M'.rdx --instance I.rdx \
+//                          --query "q(x, y) :- P(x, y)"
+//   rdx_cli core           --instance I.rdx
+//
+// Mapping files use the format of mapping_io.h; instance files use the
+// instance_parser.h syntax ('#' comments allowed in both).
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "mapping/mapping_io.h"
+#include "rdx.h"
+
+namespace rdx {
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  const char* Get(const std::string& key) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? nullptr : it->second.c_str();
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const char* v = Get(key);
+    return v == nullptr ? fallback : std::atoi(v);
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rdx_cli <chase|reverse|roundtrip|quasi-inverse|compose|"
+      "analyze|certain|core> [--mapping F] [--second F] [--reverse F] "
+      "[--instance F] [--query Q] [--constants N] [--nulls N] "
+      "[--max-facts N]\n");
+  return 2;
+}
+
+// Unwraps or prints the error and exits.
+template <typename T>
+T Unwrap(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "error (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(result);
+}
+
+SchemaMapping RequireMapping(const Args& args, const char* flag) {
+  const char* path = args.Get(flag);
+  if (path == nullptr) {
+    std::fprintf(stderr, "missing --%s\n", flag);
+    std::exit(Usage());
+  }
+  return Unwrap(LoadMappingFile(path), flag);
+}
+
+Instance RequireInstance(const Args& args) {
+  const char* path = args.Get("instance");
+  if (path == nullptr) {
+    std::fprintf(stderr, "missing --instance\n");
+    std::exit(Usage());
+  }
+  return Unwrap(LoadInstanceFile(path), "instance");
+}
+
+int RunChase(const Args& args) {
+  SchemaMapping m = RequireMapping(args, "mapping");
+  Instance i = RequireInstance(args);
+  Instance chased = Unwrap(ChaseMapping(m, i), "chase");
+  std::printf("%s\n", chased.ToString().c_str());
+  return 0;
+}
+
+int RunReverse(const Args& args) {
+  SchemaMapping m = RequireMapping(args, "mapping");
+  Instance i = RequireInstance(args);
+  std::vector<Instance> branches =
+      Unwrap(DisjunctiveChaseMapping(m, i), "disjunctive chase");
+  std::printf("%zu possible world(s):\n", branches.size());
+  for (const Instance& v : branches) {
+    std::printf("  %s\n", v.ToString().c_str());
+  }
+  return 0;
+}
+
+int RunRoundTrip(const Args& args) {
+  SchemaMapping m = RequireMapping(args, "mapping");
+  SchemaMapping back = RequireMapping(args, "reverse");
+  Instance i = RequireInstance(args);
+  std::vector<Instance> branches =
+      Unwrap(ReverseRoundTrip(m, back, i), "round trip");
+  std::printf("input:  %s\n", i.ToString().c_str());
+  std::printf("%zu recovered world(s):\n", branches.size());
+  for (const Instance& v : branches) {
+    bool sound = Unwrap(HasHomomorphism(v, i), "soundness check");
+    bool exact = sound && Unwrap(HasHomomorphism(i, v), "equivalence check");
+    std::printf("  %s   [%s]\n", v.ToString().c_str(),
+                exact ? "hom-equivalent to input"
+                      : (sound ? "maps into input" : "incomparable"));
+  }
+  return 0;
+}
+
+int RunQuasiInverse(const Args& args) {
+  SchemaMapping m = RequireMapping(args, "mapping");
+  SchemaMapping qi = Unwrap(QuasiInverse(m), "quasi-inverse");
+  std::printf("%s", MappingToText(qi).c_str());
+  return 0;
+}
+
+int RunCompose(const Args& args) {
+  SchemaMapping m12 = RequireMapping(args, "mapping");
+  SchemaMapping m23 = RequireMapping(args, "second");
+  SchemaMapping m13 = Unwrap(ComposeFullWithTgds(m12, m23), "compose");
+  std::printf("%s", MappingToText(m13).c_str());
+  return 0;
+}
+
+int RunAnalyze(const Args& args) {
+  SchemaMapping m = RequireMapping(args, "mapping");
+  AnalyzeOptions options;
+  options.universe_constants =
+      static_cast<std::size_t>(args.GetInt("constants", 2));
+  options.universe_nulls = static_cast<std::size_t>(args.GetInt("nulls", 1));
+  options.universe_max_facts =
+      static_cast<std::size_t>(args.GetInt("max-facts", 1));
+  InvertibilityReport report = Unwrap(AnalyzeMapping(m, options), "analyze");
+  std::printf("%s", report.ToString().c_str());
+  if (!report.extended_invertible && !m.IsFullTgdMapping()) {
+    std::printf("(mapping is not full: maximum-extended-recovery synthesis "
+                "is the paper's open problem)\n");
+  }
+  return 0;
+}
+
+int RunCertain(const Args& args) {
+  SchemaMapping m = RequireMapping(args, "mapping");
+  SchemaMapping back = RequireMapping(args, "reverse");
+  Instance i = RequireInstance(args);
+  const char* query_text = args.Get("query");
+  if (query_text == nullptr) {
+    std::fprintf(stderr, "missing --query\n");
+    return Usage();
+  }
+  ConjunctiveQuery q =
+      Unwrap(ConjunctiveQuery::Parse(query_text), "query");
+  TupleSet certain =
+      Unwrap(ReverseCertainAnswers(m, back, q, i), "certain answers");
+  std::printf("%s\n", TupleSetToString(certain).c_str());
+  return 0;
+}
+
+int RunCore(const Args& args) {
+  Instance i = RequireInstance(args);
+  Instance core = Unwrap(ComputeCore(i), "core");
+  std::printf("%s\n", core.ToString().c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int k = 2; k + 1 < argc; k += 2) {
+    if (std::strncmp(argv[k], "--", 2) != 0) return Usage();
+    args.flags[argv[k] + 2] = argv[k + 1];
+  }
+
+  if (args.command == "chase") return RunChase(args);
+  if (args.command == "reverse") return RunReverse(args);
+  if (args.command == "roundtrip") return RunRoundTrip(args);
+  if (args.command == "quasi-inverse") return RunQuasiInverse(args);
+  if (args.command == "compose") return RunCompose(args);
+  if (args.command == "analyze") return RunAnalyze(args);
+  if (args.command == "certain") return RunCertain(args);
+  if (args.command == "core") return RunCore(args);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rdx
+
+int main(int argc, char** argv) { return rdx::Main(argc, argv); }
