@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_information_loss.dir/bench_information_loss.cc.o"
+  "CMakeFiles/bench_information_loss.dir/bench_information_loss.cc.o.d"
+  "bench_information_loss"
+  "bench_information_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_information_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quasi_inverse.dir/bench_quasi_inverse.cc.o"
+  "CMakeFiles/bench_quasi_inverse.dir/bench_quasi_inverse.cc.o.d"
+  "bench_quasi_inverse"
+  "bench_quasi_inverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quasi_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

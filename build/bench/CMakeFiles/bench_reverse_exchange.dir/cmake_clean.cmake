@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reverse_exchange.dir/bench_reverse_exchange.cc.o"
+  "CMakeFiles/bench_reverse_exchange.dir/bench_reverse_exchange.cc.o.d"
+  "bench_reverse_exchange"
+  "bench_reverse_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reverse_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

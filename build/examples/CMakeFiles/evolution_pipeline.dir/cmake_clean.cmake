@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolution_pipeline.dir/evolution_pipeline.cpp.o"
+  "CMakeFiles/evolution_pipeline.dir/evolution_pipeline.cpp.o.d"
+  "evolution_pipeline"
+  "evolution_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolution_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_analysis.dir/inverse_analysis.cpp.o"
+  "CMakeFiles/inverse_analysis.dir/inverse_analysis.cpp.o.d"
+  "inverse_analysis"
+  "inverse_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

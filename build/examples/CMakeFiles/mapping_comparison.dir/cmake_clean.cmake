@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_comparison.dir/mapping_comparison.cpp.o"
+  "CMakeFiles/mapping_comparison.dir/mapping_comparison.cpp.o.d"
+  "mapping_comparison"
+  "mapping_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "certain \\(name, dept\\) pairs" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_schema_evolution "/root/repo/build/examples/schema_evolution")
+set_tests_properties(example_schema_evolution PROPERTIES  PASS_REGULAR_EXPRESSION "legacy reports via reverse certain answers" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_mapping_comparison "/root/repo/build/examples/mapping_comparison")
+set_tests_properties(example_mapping_comparison PROPERTIES  PASS_REGULAR_EXPRESSION "strictly less lossy:            yes" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_inverse_analysis "/root/repo/build/examples/inverse_analysis")
+set_tests_properties(example_inverse_analysis PROPERTIES  PASS_REGULAR_EXPRESSION "universal-faithful on the universe \\(Theorem 6.2\\): yes" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_evolution_pipeline "/root/repo/build/examples/evolution_pipeline")
+set_tests_properties(example_evolution_pipeline PROPERTIES  PASS_REGULAR_EXPRESSION "direct exchange == two-hop exchange \\(up to homs\\): yes" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_analysis.dir/mapping/report.cc.o"
+  "CMakeFiles/rdx_analysis.dir/mapping/report.cc.o.d"
+  "librdx_analysis.a"
+  "librdx_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

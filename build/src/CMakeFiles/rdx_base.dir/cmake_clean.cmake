@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_base.dir/base/status.cc.o"
+  "CMakeFiles/rdx_base.dir/base/status.cc.o.d"
+  "CMakeFiles/rdx_base.dir/base/strings.cc.o"
+  "CMakeFiles/rdx_base.dir/base/strings.cc.o.d"
+  "librdx_base.a"
+  "librdx_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chase/chase.cc" "src/CMakeFiles/rdx_chase.dir/chase/chase.cc.o" "gcc" "src/CMakeFiles/rdx_chase.dir/chase/chase.cc.o.d"
+  "/root/repo/src/chase/disjunctive_chase.cc" "src/CMakeFiles/rdx_chase.dir/chase/disjunctive_chase.cc.o" "gcc" "src/CMakeFiles/rdx_chase.dir/chase/disjunctive_chase.cc.o.d"
+  "/root/repo/src/chase/egd_chase.cc" "src/CMakeFiles/rdx_chase.dir/chase/egd_chase.cc.o" "gcc" "src/CMakeFiles/rdx_chase.dir/chase/egd_chase.cc.o.d"
+  "/root/repo/src/chase/termination.cc" "src/CMakeFiles/rdx_chase.dir/chase/termination.cc.o" "gcc" "src/CMakeFiles/rdx_chase.dir/chase/termination.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_chase.dir/chase/chase.cc.o"
+  "CMakeFiles/rdx_chase.dir/chase/chase.cc.o.d"
+  "CMakeFiles/rdx_chase.dir/chase/disjunctive_chase.cc.o"
+  "CMakeFiles/rdx_chase.dir/chase/disjunctive_chase.cc.o.d"
+  "CMakeFiles/rdx_chase.dir/chase/egd_chase.cc.o"
+  "CMakeFiles/rdx_chase.dir/chase/egd_chase.cc.o.d"
+  "CMakeFiles/rdx_chase.dir/chase/termination.cc.o"
+  "CMakeFiles/rdx_chase.dir/chase/termination.cc.o.d"
+  "librdx_chase.a"
+  "librdx_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

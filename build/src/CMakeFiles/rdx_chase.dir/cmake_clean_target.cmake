@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdx_chase.a"
+)

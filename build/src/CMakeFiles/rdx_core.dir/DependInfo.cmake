@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atom.cc" "src/CMakeFiles/rdx_core.dir/core/atom.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/atom.cc.o.d"
+  "/root/repo/src/core/core_computation.cc" "src/CMakeFiles/rdx_core.dir/core/core_computation.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/core_computation.cc.o.d"
+  "/root/repo/src/core/dependency.cc" "src/CMakeFiles/rdx_core.dir/core/dependency.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/dependency.cc.o.d"
+  "/root/repo/src/core/dependency_parser.cc" "src/CMakeFiles/rdx_core.dir/core/dependency_parser.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/dependency_parser.cc.o.d"
+  "/root/repo/src/core/egd.cc" "src/CMakeFiles/rdx_core.dir/core/egd.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/egd.cc.o.d"
+  "/root/repo/src/core/fact.cc" "src/CMakeFiles/rdx_core.dir/core/fact.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/fact.cc.o.d"
+  "/root/repo/src/core/fact_index.cc" "src/CMakeFiles/rdx_core.dir/core/fact_index.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/fact_index.cc.o.d"
+  "/root/repo/src/core/homomorphism.cc" "src/CMakeFiles/rdx_core.dir/core/homomorphism.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/homomorphism.cc.o.d"
+  "/root/repo/src/core/instance.cc" "src/CMakeFiles/rdx_core.dir/core/instance.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/instance.cc.o.d"
+  "/root/repo/src/core/instance_parser.cc" "src/CMakeFiles/rdx_core.dir/core/instance_parser.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/instance_parser.cc.o.d"
+  "/root/repo/src/core/match.cc" "src/CMakeFiles/rdx_core.dir/core/match.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/match.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/CMakeFiles/rdx_core.dir/core/query.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/query.cc.o.d"
+  "/root/repo/src/core/quotient.cc" "src/CMakeFiles/rdx_core.dir/core/quotient.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/quotient.cc.o.d"
+  "/root/repo/src/core/schema.cc" "src/CMakeFiles/rdx_core.dir/core/schema.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/schema.cc.o.d"
+  "/root/repo/src/core/term.cc" "src/CMakeFiles/rdx_core.dir/core/term.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/term.cc.o.d"
+  "/root/repo/src/core/value.cc" "src/CMakeFiles/rdx_core.dir/core/value.cc.o" "gcc" "src/CMakeFiles/rdx_core.dir/core/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

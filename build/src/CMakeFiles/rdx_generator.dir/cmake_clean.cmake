@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_generator.dir/generator/enumerator.cc.o"
+  "CMakeFiles/rdx_generator.dir/generator/enumerator.cc.o.d"
+  "CMakeFiles/rdx_generator.dir/generator/instance_generator.cc.o"
+  "CMakeFiles/rdx_generator.dir/generator/instance_generator.cc.o.d"
+  "CMakeFiles/rdx_generator.dir/generator/mapping_generator.cc.o"
+  "CMakeFiles/rdx_generator.dir/generator/mapping_generator.cc.o.d"
+  "CMakeFiles/rdx_generator.dir/generator/scenarios.cc.o"
+  "CMakeFiles/rdx_generator.dir/generator/scenarios.cc.o.d"
+  "librdx_generator.a"
+  "librdx_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapping/compose_syntactic.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/compose_syntactic.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/compose_syntactic.cc.o.d"
+  "/root/repo/src/mapping/composition.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/composition.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/composition.cc.o.d"
+  "/root/repo/src/mapping/extended.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/extended.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/extended.cc.o.d"
+  "/root/repo/src/mapping/information_loss.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/information_loss.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/information_loss.cc.o.d"
+  "/root/repo/src/mapping/inverse_checks.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/inverse_checks.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/inverse_checks.cc.o.d"
+  "/root/repo/src/mapping/mapping_io.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/mapping_io.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/mapping_io.cc.o.d"
+  "/root/repo/src/mapping/normalization.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/normalization.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/normalization.cc.o.d"
+  "/root/repo/src/mapping/quasi_inverse.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/quasi_inverse.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/quasi_inverse.cc.o.d"
+  "/root/repo/src/mapping/recovery.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/recovery.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/recovery.cc.o.d"
+  "/root/repo/src/mapping/reverse_query.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/reverse_query.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/reverse_query.cc.o.d"
+  "/root/repo/src/mapping/schema_mapping.cc" "src/CMakeFiles/rdx_mapping.dir/mapping/schema_mapping.cc.o" "gcc" "src/CMakeFiles/rdx_mapping.dir/mapping/schema_mapping.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdx_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

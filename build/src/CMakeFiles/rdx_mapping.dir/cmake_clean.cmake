@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_mapping.dir/mapping/compose_syntactic.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/compose_syntactic.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/composition.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/composition.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/extended.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/extended.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/information_loss.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/information_loss.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/inverse_checks.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/inverse_checks.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/mapping_io.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/mapping_io.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/normalization.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/normalization.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/quasi_inverse.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/quasi_inverse.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/recovery.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/recovery.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/reverse_query.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/reverse_query.cc.o.d"
+  "CMakeFiles/rdx_mapping.dir/mapping/schema_mapping.cc.o"
+  "CMakeFiles/rdx_mapping.dir/mapping/schema_mapping.cc.o.d"
+  "librdx_mapping.a"
+  "librdx_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compose_syntactic_test.dir/compose_syntactic_test.cc.o"
+  "CMakeFiles/compose_syntactic_test.dir/compose_syntactic_test.cc.o.d"
+  "compose_syntactic_test"
+  "compose_syntactic_test.pdb"
+  "compose_syntactic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compose_syntactic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_computation_test.dir/core_computation_test.cc.o"
+  "CMakeFiles/core_computation_test.dir/core_computation_test.cc.o.d"
+  "core_computation_test"
+  "core_computation_test.pdb"
+  "core_computation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_computation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

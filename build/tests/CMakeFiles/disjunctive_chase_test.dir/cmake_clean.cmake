@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disjunctive_chase_test.dir/disjunctive_chase_test.cc.o"
+  "CMakeFiles/disjunctive_chase_test.dir/disjunctive_chase_test.cc.o.d"
+  "disjunctive_chase_test"
+  "disjunctive_chase_test.pdb"
+  "disjunctive_chase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disjunctive_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

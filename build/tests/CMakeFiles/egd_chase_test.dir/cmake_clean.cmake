@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/egd_chase_test.dir/egd_chase_test.cc.o"
+  "CMakeFiles/egd_chase_test.dir/egd_chase_test.cc.o.d"
+  "egd_chase_test"
+  "egd_chase_test.pdb"
+  "egd_chase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/egd_chase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/information_loss_test.dir/information_loss_test.cc.o"
+  "CMakeFiles/information_loss_test.dir/information_loss_test.cc.o.d"
+  "information_loss_test"
+  "information_loss_test.pdb"
+  "information_loss_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/information_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

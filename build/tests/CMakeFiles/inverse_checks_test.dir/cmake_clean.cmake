@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_checks_test.dir/inverse_checks_test.cc.o"
+  "CMakeFiles/inverse_checks_test.dir/inverse_checks_test.cc.o.d"
+  "inverse_checks_test"
+  "inverse_checks_test.pdb"
+  "inverse_checks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_checks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_io_test.dir/mapping_io_test.cc.o"
+  "CMakeFiles/mapping_io_test.dir/mapping_io_test.cc.o.d"
+  "mapping_io_test"
+  "mapping_io_test.pdb"
+  "mapping_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/normalization_test.dir/normalization_test.cc.o"
+  "CMakeFiles/normalization_test.dir/normalization_test.cc.o.d"
+  "normalization_test"
+  "normalization_test.pdb"
+  "normalization_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/normalization_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_theorems_test.dir/paper_theorems_test.cc.o"
+  "CMakeFiles/paper_theorems_test.dir/paper_theorems_test.cc.o.d"
+  "paper_theorems_test"
+  "paper_theorems_test.pdb"
+  "paper_theorems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_theorems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quasi_inverse_test.dir/quasi_inverse_test.cc.o"
+  "CMakeFiles/quasi_inverse_test.dir/quasi_inverse_test.cc.o.d"
+  "quasi_inverse_test"
+  "quasi_inverse_test.pdb"
+  "quasi_inverse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quasi_inverse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

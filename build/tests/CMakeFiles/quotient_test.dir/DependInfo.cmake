@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quotient_test.cc" "tests/CMakeFiles/quotient_test.dir/quotient_test.cc.o" "gcc" "tests/CMakeFiles/quotient_test.dir/quotient_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rdx_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdx_generator.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdx_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdx_chase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rdx_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

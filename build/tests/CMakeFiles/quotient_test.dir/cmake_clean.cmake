@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quotient_test.dir/quotient_test.cc.o"
+  "CMakeFiles/quotient_test.dir/quotient_test.cc.o.d"
+  "quotient_test"
+  "quotient_test.pdb"
+  "quotient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quotient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

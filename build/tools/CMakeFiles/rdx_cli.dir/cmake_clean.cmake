@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdx_cli.dir/rdx_cli.cc.o"
+  "CMakeFiles/rdx_cli.dir/rdx_cli.cc.o.d"
+  "rdx_cli"
+  "rdx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_chase "/root/repo/build/tools/rdx_cli" "chase" "--mapping" "/root/repo/data/decomposition.rdx" "--instance" "/root/repo/data/company.rdx")
+set_tests_properties(cli_chase PROPERTIES  PASS_REGULAR_EXPRESSION "WorksIn\\(alice, search\\).*Manages\\(ads, dana\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_roundtrip "/root/repo/build/tools/rdx_cli" "roundtrip" "--mapping" "/root/repo/data/decomposition.rdx" "--reverse" "/root/repo/data/decomposition_reverse.rdx" "--instance" "/root/repo/data/company.rdx")
+set_tests_properties(cli_roundtrip PROPERTIES  PASS_REGULAR_EXPRESSION "recovered world" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_quasi_inverse "/root/repo/build/tools/rdx_cli" "quasi-inverse" "--mapping" "/root/repo/data/selfloop.rdx")
+set_tests_properties(cli_quasi_inverse PROPERTIES  PASS_REGULAR_EXPRESSION "SlPp\\(z0, z0\\) -> SlP\\(z0, z0\\) \\| SlT\\(z0\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/rdx_cli" "analyze" "--mapping" "/root/repo/data/selfloop.rdx")
+set_tests_properties(cli_analyze PROPERTIES  PASS_REGULAR_EXPRESSION "NOT extended invertible" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_certain "/root/repo/build/tools/rdx_cli" "certain" "--mapping" "/root/repo/data/decomposition.rdx" "--reverse" "/root/repo/data/decomposition_reverse.rdx" "--instance" "/root/repo/data/company.rdx" "--query" "q(n, d) :- Emp(n, d, g)")
+set_tests_properties(cli_certain PROPERTIES  PASS_REGULAR_EXPRESSION "\\(alice, search\\)" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage "/root/repo/build/tools/rdx_cli")
+set_tests_properties(cli_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;38;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_missing_file "/root/repo/build/tools/rdx_cli" "chase" "--mapping" "/nonexistent.rdx" "--instance" "/root/repo/data/company.rdx")
+set_tests_properties(cli_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;41;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_disjunctive_roundtrip "/root/repo/build/tools/rdx_cli" "roundtrip" "--mapping" "/root/repo/data/selfloop.rdx" "--reverse" "/root/repo/data/selfloop_reverse.rdx" "--instance" "/root/repo/data/selfloop_instance.rdx")
+set_tests_properties(cli_disjunctive_roundtrip PROPERTIES  PASS_REGULAR_EXPRESSION "2 recovered world" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;46;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_compose "/root/repo/build/tools/rdx_cli" "compose" "--mapping" "/root/repo/data/decomposition.rdx" "--second" "/root/repo/data/decomposition_reverse.rdx")
+set_tests_properties(cli_compose PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;53;add_test;/root/repo/tools/CMakeLists.txt;0;")
