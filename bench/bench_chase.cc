@@ -32,6 +32,9 @@ void RunForwardChase(benchmark::State& state, const scenarios::Scenario& s,
       MakeSource(s.mapping, static_cast<std::size_t>(state.range(0)),
                  null_ratio, /*seed=*/17);
   std::size_t output_facts = 0;
+  bench_util::ExportCounters exported(
+      state, {"chase.triggers_enumerated", "chase.triggers_fired",
+              "chase.facts_added"});
   for (auto _ : state) {
     Instance chased = MustOk(ChaseMapping(s.mapping, source), "chase");
     output_facts = chased.size();

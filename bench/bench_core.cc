@@ -45,6 +45,9 @@ void BM_Core(benchmark::State& state) {
       RedundantInstance(static_cast<std::size_t>(state.range(0)),
                         static_cast<std::size_t>(state.range(1)), 31);
   std::size_t core_size = 0;
+  bench_util::ExportCounters exported(
+      state, {"core.retraction_attempts", "core.successful_folds",
+              "hom.steps"});
   for (auto _ : state) {
     Instance core = MustOk(ComputeCore(input), "core");
     core_size = core.size();

@@ -42,6 +42,8 @@ void BM_HomPositive(benchmark::State& state) {
     if (coin.Bernoulli(null_ratio)) weaken.emplace(v, Value::FreshNull());
   }
   Instance from = to.Apply(weaken);
+  bench_util::ExportCounters exported(
+      state, {"hom.steps", "hom.candidate_pairs", "hom.backtracks"});
   for (auto _ : state) {
     bool hom = MustOk(HasHomomorphism(from, to), "hom");
     benchmark::DoNotOptimize(hom);
@@ -74,6 +76,9 @@ void RunHomNegative(benchmark::State& state, bool use_domain_filter) {
       {Value::MakeNull("bhdead"), Value::MakeConstant("bh_missing")}));
   HomomorphismOptions options;
   options.use_domain_filter = use_domain_filter;
+  bench_util::ExportCounters exported(
+      state, {"hom.steps", "hom.candidate_pairs", "hom.backtracks",
+              "hom.domain_filter_prunes"});
   for (auto _ : state) {
     Result<bool> hom = HasHomomorphism(from, to, options);
     bool value = hom.ok() ? *hom : false;

@@ -5,6 +5,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "rdx.h"
 
@@ -25,11 +29,55 @@ T MustOk(Result<T> result, const char* what) {
 
 /// Prints a PASS/FAIL line for a qualitative claim the benchmark
 /// re-verifies on every run (EXPERIMENTS.md records these). A failure
-/// aborts: the numbers below would describe a broken system.
+/// aborts: the numbers below would describe a broken system. Claims go to
+/// stderr so `--benchmark_format=json` output on stdout stays parseable.
 inline void Claim(bool ok, const char* description) {
-  std::printf("[claim] %-68s %s\n", description, ok ? "PASS" : "FAIL");
+  std::fprintf(stderr, "[claim] %-68s %s\n", description, ok ? "PASS" : "FAIL");
   if (!ok) std::abort();
 }
+
+/// Exports rdx::obs engine counters as google-benchmark user counters.
+/// Construct before the timing loop; on destruction each named counter's
+/// delta over the benchmark run lands in `state.counters` as a rate
+/// (per-second), with '.' replaced by '_' so downstream tools that treat
+/// counter names as identifiers stay happy:
+///
+///   void BM_Chase(benchmark::State& state) {
+///     bench_util::ExportCounters exported(
+///         state, {"chase.triggers_fired", "chase.facts_added"});
+///     for (auto _ : state) { ... }
+///   }  // -> state.counters["chase_triggers_fired"] etc.
+class ExportCounters {
+ public:
+  ExportCounters(benchmark::State& state,
+                 std::initializer_list<const char*> names)
+      : state_(state) {
+    before_.reserve(names.size());
+    for (const char* name : names) {
+      obs::Counter& c = obs::Counter::Get(name);
+      before_.emplace_back(&c, c.value());
+    }
+  }
+
+  ExportCounters(const ExportCounters&) = delete;
+  ExportCounters& operator=(const ExportCounters&) = delete;
+
+  ~ExportCounters() {
+    for (const auto& [counter, start] : before_) {
+      std::string label = counter->name();
+      for (char& ch : label) {
+        if (ch == '.') ch = '_';
+      }
+      state_.counters[label] = benchmark::Counter(
+          static_cast<double>(counter->value() - start),
+          benchmark::Counter::kIsRate);
+    }
+  }
+
+ private:
+  benchmark::State& state_;
+  std::vector<std::pair<obs::Counter*, uint64_t>> before_;
+};
 
 /// Shared main body: claims first (deterministic), then the timing runs.
 #define RDX_BENCH_MAIN(VerifyClaimsFn)                       \

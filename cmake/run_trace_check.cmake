@@ -1,0 +1,45 @@
+# End-to-end trace check driven by ctest (see tools/CMakeLists.txt):
+#   1. run `rdx_cli chase --stats --trace TRACE_FILE` on the sample data;
+#   2. re-run obs_test's TraceValidation suite against the written file,
+#      which validates every line as JSON and requires a chase.round event.
+# No external tools (python, jq) involved — the validator ships in rdx_base.
+#
+# Expects -DRDX_CLI, -DOBS_TEST, -DMAPPING, -DINSTANCE, -DTRACE_FILE.
+
+foreach(var RDX_CLI OBS_TEST MAPPING INSTANCE TRACE_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_trace_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${RDX_CLI} chase --stats
+          --mapping ${MAPPING} --instance ${INSTANCE}
+          --trace ${TRACE_FILE}
+  RESULT_VARIABLE cli_result
+  OUTPUT_VARIABLE cli_stdout
+  ERROR_VARIABLE cli_stderr)
+if(NOT cli_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli chase --trace failed (${cli_result}):\n${cli_stderr}")
+endif()
+if(NOT cli_stderr MATCHES "chase: rounds=")
+  message(FATAL_ERROR
+      "--stats printed no per-round chase summary on stderr:\n${cli_stderr}")
+endif()
+
+set(ENV{RDX_TRACE_VALIDATE_FILE} ${TRACE_FILE})
+execute_process(
+  COMMAND ${OBS_TEST} --gtest_filter=TraceValidation.*
+  RESULT_VARIABLE validate_result
+  OUTPUT_VARIABLE validate_stdout
+  ERROR_VARIABLE validate_stderr)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR
+      "trace validation failed:\n${validate_stdout}\n${validate_stderr}")
+endif()
+if(validate_stdout MATCHES "SKIPPED")
+  message(FATAL_ERROR
+      "TraceValidation skipped — RDX_TRACE_VALIDATE_FILE not seen:\n"
+      "${validate_stdout}")
+endif()

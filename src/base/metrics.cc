@@ -1,0 +1,123 @@
+#include "base/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace obs {
+namespace {
+
+// Shared intern table for counters and histograms. Entries are never
+// removed, so references handed out by Get() stay valid forever; the
+// leak-on-exit is deliberate (metrics may be bumped from destructors of
+// static objects).
+template <typename T>
+class Registry {
+ public:
+  T& GetOrCreate(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      std::string key(name);
+      it = entries_.emplace(key, std::unique_ptr<T>(new T(key))).first;
+    }
+    return *it->second;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, entry] : entries_) fn(*entry);
+  }
+
+ private:
+  std::mutex mu_;
+  // std::map: snapshots come out sorted by name for free, and heterogeneous
+  // string_view lookup avoids an allocation on the hot Get() path.
+  std::map<std::string, std::unique_ptr<T>, std::less<>> entries_;
+};
+
+Registry<Counter>& Counters() {
+  static Registry<Counter>* r = new Registry<Counter>();
+  return *r;
+}
+
+Registry<Histogram>& Histograms() {
+  static Registry<Histogram>* r = new Registry<Histogram>();
+  return *r;
+}
+
+int BucketOf(uint64_t v) {
+  int b = 0;
+  while (v != 0) {
+    ++b;
+    v >>= 1;
+  }
+  return b < Histogram::kBuckets ? b : Histogram::kBuckets - 1;
+}
+
+}  // namespace
+
+Counter& Counter::Get(std::string_view name) {
+  return Counters().GetOrCreate(name);
+}
+
+Histogram& Histogram::Get(std::string_view name) {
+  return Histograms().GetOrCreate(name);
+}
+
+void Histogram::Record(uint64_t v) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+std::vector<CounterSample> SnapshotCounters() {
+  std::vector<CounterSample> out;
+  Counters().ForEach([&](Counter& c) {
+    out.push_back(CounterSample{c.name(), c.value()});
+  });
+  return out;
+}
+
+void ResetAllMetrics() {
+  Counters().ForEach([](Counter& c) { c.Reset(); });
+  Histograms().ForEach([](Histogram& h) { h.Reset(); });
+}
+
+std::string CountersToString() {
+  std::vector<CounterSample> samples = SnapshotCounters();
+  std::size_t width = 0;
+  for (const CounterSample& s : samples) {
+    if (s.value != 0) width = std::max(width, s.name.size());
+  }
+  std::ostringstream os;
+  for (const CounterSample& s : samples) {
+    if (s.value == 0) continue;
+    os << s.name << std::string(width - s.name.size() + 2, ' ') << s.value
+       << "\n";
+  }
+  return os.str();
+}
+
+ScopedTimer::ScopedTimer(std::string_view counter_prefix)
+    : ScopedTimer(&Counter::Get(StrCat(counter_prefix, ".us"))) {}
+
+}  // namespace obs
+}  // namespace rdx

@@ -1,0 +1,137 @@
+#ifndef RDX_BASE_METRICS_H_
+#define RDX_BASE_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdx {
+namespace obs {
+
+/// Process-wide named counter. Interned on first use and never destroyed;
+/// increments are relaxed atomic adds, so counters are safe (and cheap) to
+/// bump from any thread and from the hottest engine loops.
+///
+/// Call sites should cache the reference:
+///
+///   static Counter& fired = Counter::Get("chase.triggers_fired");
+///   fired.Add(n);
+///
+/// Counter names are dotted paths, "<engine>.<quantity>"; durations use a
+/// ".us" suffix (microseconds). See docs/observability.md for the registry
+/// of names the engines maintain.
+class Counter {
+ public:
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The reference stays valid for the life of the process.
+  static Counter& Get(std::string_view name);
+
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+  /// Use Get(); public only for the registry's benefit.
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-layout histogram over power-of-two buckets: bucket i counts
+/// samples v with 2^(i-1) <= v < 2^i (bucket 0 counts v == 0). Tracks
+/// count / sum / max exactly; the buckets give the shape. Like Counter,
+/// instances are interned by name and never destroyed.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  static Histogram& Get(std::string_view name);
+
+  void Record(uint64_t v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  const std::string& name() const { return name_; }
+
+  void Reset();
+
+  /// Use Get(); public only for the registry's benefit.
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+};
+
+/// One row of a counter snapshot.
+struct CounterSample {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// Snapshot of every registered counter, sorted by name. Zero-valued
+/// counters are included (a counter exists once something touched it).
+std::vector<CounterSample> SnapshotCounters();
+
+/// Resets every registered counter (and histogram) to zero. For tests and
+/// benchmark setup; running engines concurrently with a reset is safe but
+/// yields torn deltas.
+void ResetAllMetrics();
+
+/// Multi-line human-readable rendering of all non-zero counters, aligned,
+/// sorted by name. Empty string when nothing was counted.
+std::string CountersToString();
+
+/// RAII wall-clock timer (steady_clock, microsecond resolution). On
+/// destruction adds the elapsed time to an optional Counter (conventionally
+/// named "<scope>.us") and/or stores it through an optional out-pointer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Counter* sink_us = nullptr, uint64_t* out_us = nullptr)
+      : sink_(sink_us), out_(out_us),
+        start_(std::chrono::steady_clock::now()) {}
+
+  /// Convenience: time into Counter::Get(StrCat(name, ".us")).
+  explicit ScopedTimer(std::string_view counter_prefix);
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+  ~ScopedTimer() {
+    uint64_t us = ElapsedMicros();
+    if (sink_ != nullptr) sink_->Add(us);
+    if (out_ != nullptr) *out_ = us;
+  }
+
+ private:
+  Counter* sink_;
+  uint64_t* out_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace rdx
+
+#endif  // RDX_BASE_METRICS_H_

@@ -1,0 +1,357 @@
+#include "base/trace.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace obs {
+namespace {
+
+struct Sink {
+  std::unique_ptr<std::ofstream> owned;  // set when file-backed
+  std::ostream* out = nullptr;
+  std::chrono::steady_clock::time_point installed;
+};
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+// Guarded by SinkMutex(); `g_tracing` mirrors "sink != null" so the hot
+// path can check without taking the lock.
+Sink*& CurrentSink() {
+  static Sink* sink = nullptr;
+  return sink;
+}
+
+std::atomic<bool> g_tracing{false};
+
+void InstallLocked(Sink* sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  delete CurrentSink();
+  CurrentSink() = sink;
+  g_tracing.store(sink != nullptr, std::memory_order_release);
+}
+
+void AppendEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+TraceEvent::TraceEvent(std::string_view ev) {
+  body_ = "{\"ev\":\"";
+  AppendEscaped(&body_, ev);
+  body_ += '"';
+}
+
+TraceEvent& TraceEvent::Add(std::string_view key, uint64_t v) {
+  body_ += StrCat(",\"", key, "\":", v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::Add(std::string_view key, int64_t v) {
+  body_ += StrCat(",\"", key, "\":", v);
+  return *this;
+}
+
+TraceEvent& TraceEvent::Add(std::string_view key, double v) {
+  // JSON has no NaN/Infinity; clamp to null to stay parseable.
+  if (std::isfinite(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    body_ += StrCat(",\"", key, "\":", buf);
+  } else {
+    body_ += StrCat(",\"", key, "\":null");
+  }
+  return *this;
+}
+
+TraceEvent& TraceEvent::Add(std::string_view key, bool v) {
+  body_ += StrCat(",\"", key, "\":", v ? "true" : "false");
+  return *this;
+}
+
+TraceEvent& TraceEvent::Add(std::string_view key, std::string_view v) {
+  body_ += StrCat(",\"", key, "\":\"");
+  AppendEscaped(&body_, v);
+  body_ += '"';
+  return *this;
+}
+
+bool TracingEnabled() { return g_tracing.load(std::memory_order_acquire); }
+
+Status InstallTraceFile(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) {
+    return Status::InvalidArgument(
+        StrCat("cannot open trace file for writing: ", path));
+  }
+  Sink* sink = new Sink();
+  sink->out = file.get();
+  sink->owned = std::move(file);
+  sink->installed = std::chrono::steady_clock::now();
+  InstallLocked(sink);
+  return Status::OK();
+}
+
+void InstallTraceStream(std::ostream* out) {
+  Sink* sink = new Sink();
+  sink->out = out;
+  sink->installed = std::chrono::steady_clock::now();
+  InstallLocked(sink);
+}
+
+void UninstallTraceSink() { InstallLocked(nullptr); }
+
+void EmitTrace(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  Sink* sink = CurrentSink();
+  if (sink == nullptr) return;
+  uint64_t ts_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - sink->installed)
+          .count());
+  std::string line = event.Finish();
+  // Splice ts_us before the closing brace so Finish() stays const.
+  line.pop_back();
+  line += StrCat(",\"ts_us\":", ts_us, "}\n");
+  *sink->out << line;
+  sink->out->flush();
+}
+
+namespace {
+
+// Minimal recursive-descent JSON (RFC 8259) checker. Validation only — no
+// DOM is built; numbers are checked syntactically.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view s) : s_(s) {}
+
+  Status Check() {
+    SkipWs();
+    RDX_RETURN_IF_ERROR(Value(0));
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Error(std::string_view what) const {
+    return Status::InvalidArgument(
+        StrCat("invalid JSON at byte ", pos_, ": ", what));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Value(int depth) {
+    if (depth > 64) return Error("nesting too deep");
+    if (pos_ >= s_.size()) return Error("unexpected end of input");
+    char c = s_[pos_];
+    if (c == '{') return Object(depth);
+    if (c == '[') return Array(depth);
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    if (c == '-' || (c >= '0' && c <= '9')) return Number();
+    return Error(StrCat("unexpected character '", c, "'"));
+  }
+
+  Status Literal(std::string_view word) {
+    if (s_.substr(pos_, word.size()) != word) {
+      return Error(StrCat("expected '", word, "'"));
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  Status Object(int depth) {
+    Eat('{');
+    SkipWs();
+    if (Eat('}')) return Status::OK();
+    while (true) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return Error("expected string key in object");
+      }
+      RDX_RETURN_IF_ERROR(String());
+      SkipWs();
+      if (!Eat(':')) return Error("expected ':' after object key");
+      SkipWs();
+      RDX_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Eat('}')) return Status::OK();
+      if (!Eat(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status Array(int depth) {
+    Eat('[');
+    SkipWs();
+    if (Eat(']')) return Status::OK();
+    while (true) {
+      SkipWs();
+      RDX_RETURN_IF_ERROR(Value(depth + 1));
+      SkipWs();
+      if (Eat(']')) return Status::OK();
+      if (!Eat(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status String() {
+    Eat('"');
+    while (pos_ < s_.size()) {
+      unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (c < 0x20) return Error("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return Error("dangling escape");
+        char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+              return Error("bad \\u escape");
+            }
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Error(StrCat("bad escape '\\", e, "'"));
+        }
+      }
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status Number() {
+    Eat('-');
+    if (Eat('0')) {
+      // Leading zero must not be followed by more digits.
+    } else {
+      if (pos_ >= s_.size() || s_[pos_] < '1' || s_[pos_] > '9') {
+        return Error("malformed number");
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(
+                                     s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (Eat('.')) {
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Error("malformed fraction");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() ||
+          !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return Error("malformed exponent");
+      }
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return Status::OK();
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status ValidateJsonLine(std::string_view line) {
+  return JsonChecker(line).Check();
+}
+
+Status ValidateJsonlFile(const std::string& path, std::size_t* lines) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound(StrCat("cannot open trace file: ", path));
+  }
+  std::size_t n = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    Status s = ValidateJsonLine(line);
+    if (!s.ok()) {
+      return Status::InvalidArgument(
+          StrCat(path, ":", lineno, ": ", s.message()));
+    }
+    ++n;
+  }
+  if (lines != nullptr) *lines = n;
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace rdx

@@ -1,0 +1,86 @@
+#ifndef RDX_BASE_TRACE_H_
+#define RDX_BASE_TRACE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace rdx {
+namespace obs {
+
+/// One structured trace event, rendered as a single JSON object:
+///
+///   TraceEvent("chase.round")
+///       .Add("round", 3).Add("triggers", 120).Add("fired", 17)
+///
+/// becomes `{"ev":"chase.round","round":3,"triggers":120,"fired":17}`.
+/// Keys must be plain identifiers (they are emitted unescaped); string
+/// values are JSON-escaped. Events are cheap plain objects — but callers
+/// on hot paths should not even build one unless TracingEnabled().
+class TraceEvent {
+ public:
+  explicit TraceEvent(std::string_view ev);
+
+  TraceEvent& Add(std::string_view key, uint64_t v);
+  TraceEvent& Add(std::string_view key, int64_t v);
+  TraceEvent& Add(std::string_view key, int v) {
+    return Add(key, static_cast<int64_t>(v));
+  }
+  TraceEvent& Add(std::string_view key, double v);
+  TraceEvent& Add(std::string_view key, bool v);
+  TraceEvent& Add(std::string_view key, std::string_view v);
+  TraceEvent& Add(std::string_view key, const char* v) {
+    return Add(key, std::string_view(v));
+  }
+
+  /// The finished JSON object (no trailing newline).
+  std::string Finish() const { return body_ + "}"; }
+
+ private:
+  std::string body_;  // "{...fields" — Finish() closes the brace
+};
+
+/// True if a trace sink is installed. A relaxed atomic load — guard every
+/// event construction with this so tracing compiles down to a predictable
+/// branch when off:
+///
+///   if (obs::TracingEnabled()) {
+///     obs::EmitTrace(obs::TraceEvent("chase.done").Add("rounds", n));
+///   }
+bool TracingEnabled();
+
+/// Installs a JSONL sink writing to `path` (truncates). Replaces any
+/// previously installed sink.
+Status InstallTraceFile(const std::string& path);
+
+/// Installs a JSONL sink writing to a caller-owned stream; the stream must
+/// outlive the sink (i.e. until UninstallTraceSink or a replacement).
+void InstallTraceStream(std::ostream* out);
+
+/// Flushes and removes the current sink (closing it if file-backed).
+/// No-op when nothing is installed.
+void UninstallTraceSink();
+
+/// Writes `event` as one line of JSON to the installed sink; a "ts_us"
+/// field (microseconds since sink installation) is appended to every
+/// event. No-op when no sink is installed. Thread-safe.
+void EmitTrace(const TraceEvent& event);
+
+/// Validates that `line` is exactly one well-formed JSON value (RFC 8259
+/// syntax; no trailing garbage). Returns InvalidArgument describing the
+/// first problem otherwise. Used by tests and the ctest trace check to
+/// keep the emitter honest without external dependencies.
+Status ValidateJsonLine(std::string_view line);
+
+/// Validates every non-empty line of the file at `path` with
+/// ValidateJsonLine; on success stores the number of validated lines in
+/// `lines` (may be null).
+Status ValidateJsonlFile(const std::string& path, std::size_t* lines);
+
+}  // namespace obs
+}  // namespace rdx
+
+#endif  // RDX_BASE_TRACE_H_

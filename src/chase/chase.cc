@@ -5,7 +5,9 @@
 #include <optional>
 #include <set>
 
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "core/fact_index.h"
 
 namespace rdx {
@@ -104,7 +106,52 @@ std::optional<Assignment> AnchorSeed(const Atom& atom, const Fact& fact) {
   return seed;
 }
 
+// Publishes a finished run's totals to the process-wide "chase.*"
+// counters (one batched atomic add per counter) and, when tracing, emits
+// the "chase.done" event.
+void PublishChaseStats(const ChaseStats& stats, bool completed) {
+  static obs::Counter& runs = obs::Counter::Get("chase.runs");
+  static obs::Counter& rounds = obs::Counter::Get("chase.rounds");
+  static obs::Counter& enumerated =
+      obs::Counter::Get("chase.triggers_enumerated");
+  static obs::Counter& fired = obs::Counter::Get("chase.triggers_fired");
+  static obs::Counter& satisfied =
+      obs::Counter::Get("chase.triggers_satisfied");
+  static obs::Counter& added = obs::Counter::Get("chase.facts_added");
+  static obs::Counter& us = obs::Counter::Get("chase.us");
+  runs.Increment();
+  rounds.Add(stats.rounds);
+  enumerated.Add(stats.triggers_enumerated);
+  fired.Add(stats.triggers_fired);
+  satisfied.Add(stats.triggers_satisfied);
+  added.Add(stats.facts_added);
+  us.Add(stats.micros);
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("chase.done")
+                       .Add("rounds", stats.rounds)
+                       .Add("triggers", stats.triggers_enumerated)
+                       .Add("fired", stats.triggers_fired)
+                       .Add("new_facts", stats.facts_added)
+                       .Add("completed", completed)
+                       .Add("us", stats.micros));
+  }
+}
+
 }  // namespace
+
+std::string ChaseStats::ToString() const {
+  std::string out = StrCat(
+      "chase: rounds=", rounds, " triggers=", triggers_enumerated,
+      " fired=", triggers_fired, " satisfied=", triggers_satisfied,
+      " new_facts=", facts_added, " us=", micros, "\n");
+  for (const ChaseRoundStats& r : per_round) {
+    out += StrCat("  round ", r.round, ": frontier=", r.frontier,
+                  " triggers=", r.triggers_enumerated, " fired=",
+                  r.triggers_fired, " satisfied=", r.triggers_satisfied,
+                  " new_facts=", r.facts_added, " us=", r.micros, "\n");
+  }
+  return out;
+}
 
 Result<ChaseResult> Chase(const Instance& input,
                           const std::vector<Dependency>& dependencies,
@@ -120,10 +167,16 @@ Result<ChaseResult> Chase(const Instance& input,
 
   ChaseResult result;
   result.combined = input;
+  ChaseStats& stats = result.stats;
+  obs::ScopedTimer run_timer;
   uint64_t total_added = 0;
   std::vector<Fact> delta;  // facts added in the previous round
 
   for (uint64_t round = 0; round < options.max_rounds; ++round) {
+    ChaseRoundStats round_stats;
+    round_stats.round = round;
+    round_stats.frontier = delta.size();
+    obs::ScopedTimer round_timer;
     // Snapshot this round's triggers against a fixed index. The first
     // round enumerates everything; later rounds (semi-naive) only matches
     // anchored at a delta fact.
@@ -165,6 +218,8 @@ Result<ChaseResult> Chase(const Instance& input,
       }
     }
 
+    round_stats.triggers_enumerated = triggers.size();
+
     uint64_t added_this_round = 0;
     std::vector<Fact> next_delta;
     // The round's index doubles as the live index during firing: fact
@@ -177,7 +232,11 @@ Result<ChaseResult> Chase(const Instance& input,
           bool satisfied,
           HeadSatisfied(result.combined, index, *trigger.dep, trigger.match,
                         options.match_options));
-      if (satisfied) continue;
+      if (satisfied) {
+        ++round_stats.triggers_satisfied;
+        continue;
+      }
+      ++round_stats.triggers_fired;
       RDX_ASSIGN_OR_RETURN(
           uint64_t added,
           FireDisjunct(trigger.dep->disjuncts()[0], trigger.match,
@@ -189,9 +248,34 @@ Result<ChaseResult> Chase(const Instance& input,
       added_this_round += added;
       total_added += added;
       if (total_added > options.max_new_facts) {
-        return Status::ResourceExhausted(
-            StrCat("chase exceeded max_new_facts=", options.max_new_facts));
+        stats.micros = run_timer.ElapsedMicros();
+        PublishChaseStats(stats, /*completed=*/false);
+        return Status::ResourceExhausted(StrCat(
+            "chase exceeded max_new_facts=", options.max_new_facts, ": ",
+            total_added, " facts added by round ", round, " (",
+            round_stats.triggers_fired, " of ",
+            round_stats.triggers_enumerated,
+            " triggers fired in the current round)"));
       }
+    }
+
+    round_stats.facts_added = added_this_round;
+    round_stats.micros = round_timer.ElapsedMicros();
+    stats.rounds = round + 1;
+    stats.triggers_enumerated += round_stats.triggers_enumerated;
+    stats.triggers_fired += round_stats.triggers_fired;
+    stats.triggers_satisfied += round_stats.triggers_satisfied;
+    stats.facts_added += round_stats.facts_added;
+    stats.per_round.push_back(round_stats);
+    if (obs::TracingEnabled()) {
+      obs::EmitTrace(obs::TraceEvent("chase.round")
+                         .Add("round", round_stats.round)
+                         .Add("frontier", round_stats.frontier)
+                         .Add("triggers", round_stats.triggers_enumerated)
+                         .Add("fired", round_stats.triggers_fired)
+                         .Add("satisfied", round_stats.triggers_satisfied)
+                         .Add("new_facts", round_stats.facts_added)
+                         .Add("us", round_stats.micros));
     }
 
     result.rounds = round + 1;
@@ -200,13 +284,18 @@ Result<ChaseResult> Chase(const Instance& input,
       for (const Fact& f : result.combined.facts()) {
         if (!input.Contains(f)) result.added.AddFact(f);
       }
+      stats.micros = run_timer.ElapsedMicros();
+      PublishChaseStats(stats, /*completed=*/true);
       return result;
     }
     delta = std::move(next_delta);
   }
+  stats.micros = run_timer.ElapsedMicros();
+  PublishChaseStats(stats, /*completed=*/false);
   return Status::ResourceExhausted(
-      StrCat("chase did not terminate within max_rounds=",
-             options.max_rounds));
+      StrCat("chase did not terminate within max_rounds=", options.max_rounds,
+             ": ", total_added, " facts added over ", stats.rounds,
+             " rounds"));
 }
 
 Result<bool> Satisfies(const Instance& instance, const Dependency& dependency,

@@ -2,6 +2,7 @@
 #define RDX_CHASE_CHASE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/status.h"
@@ -30,6 +31,34 @@ struct ChaseOptions {
   MatchOptions match_options;
 };
 
+/// Per-round breakdown of a chase run (one entry per fixpoint round,
+/// including the final quiescent round that discovers no trigger fires).
+struct ChaseRoundStats {
+  uint64_t round = 0;                // 0-based
+  uint64_t frontier = 0;             // delta facts driving semi-naive discovery
+  uint64_t triggers_enumerated = 0;  // body matches found this round
+  uint64_t triggers_fired = 0;       // matches whose head had to be created
+  uint64_t triggers_satisfied = 0;   // matches skipped: head already held
+  uint64_t facts_added = 0;          // new facts materialized this round
+  uint64_t micros = 0;               // wall time of the round
+};
+
+/// Aggregate observability stats for a chase run. Totals equal the sums of
+/// the per-round entries; `rounds` mirrors ChaseResult::rounds.
+struct ChaseStats {
+  uint64_t rounds = 0;
+  uint64_t triggers_enumerated = 0;
+  uint64_t triggers_fired = 0;
+  uint64_t triggers_satisfied = 0;
+  uint64_t facts_added = 0;
+  uint64_t micros = 0;
+  std::vector<ChaseRoundStats> per_round;
+
+  /// Human-readable multi-line summary: one header line with the totals
+  /// followed by one line per round.
+  std::string ToString() const;
+};
+
 /// Outcome of a (standard) chase run.
 struct ChaseResult {
   /// The input instance together with all facts the chase added. For a
@@ -42,6 +71,11 @@ struct ChaseResult {
   Instance added;
 
   uint64_t rounds = 0;
+
+  /// Per-run engine statistics (also mirrored into the process-wide
+  /// "chase.*" counters and, when a trace sink is installed, emitted as
+  /// "chase.round" / "chase.done" events).
+  ChaseStats stats;
 };
 
 /// Runs the standard (non-oblivious) chase of `input` with `dependencies`

@@ -1,10 +1,13 @@
 #include "chase/disjunctive_chase.h"
 
+#include <algorithm>
 #include <deque>
 #include <optional>
 #include <unordered_set>
 
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "core/fact_index.h"
 #include "core/homomorphism.h"
 
@@ -76,32 +79,87 @@ Result<Instance> ExpandBranch(const Instance& state,
   return child;
 }
 
+// One batched publish of a run's totals to the "dchase.*" counters plus
+// the "dchase.done" trace event.
+void PublishDisjunctiveStats(const DisjunctiveChaseStats& stats,
+                             uint64_t worlds, bool completed) {
+  static obs::Counter& runs = obs::Counter::Get("dchase.runs");
+  static obs::Counter& steps = obs::Counter::Get("dchase.steps");
+  static obs::Counter& expanded = obs::Counter::Get("dchase.branches_expanded");
+  static obs::Counter& done = obs::Counter::Get("dchase.branches_completed");
+  static obs::Counter& deduped = obs::Counter::Get("dchase.branches_deduped");
+  static obs::Counter& us = obs::Counter::Get("dchase.us");
+  runs.Increment();
+  steps.Add(stats.steps);
+  expanded.Add(stats.branches_expanded);
+  done.Add(stats.branches_completed);
+  deduped.Add(stats.branches_deduped);
+  us.Add(stats.micros);
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("dchase.done")
+                       .Add("steps", stats.steps)
+                       .Add("expanded", stats.branches_expanded)
+                       .Add("completed_branches", stats.branches_completed)
+                       .Add("deduped", stats.branches_deduped)
+                       .Add("max_live", stats.max_live_branches)
+                       .Add("peak_facts", stats.peak_instance_facts)
+                       .Add("worlds", worlds)
+                       .Add("completed", completed)
+                       .Add("us", stats.micros));
+  }
+}
+
 }  // namespace
+
+std::string DisjunctiveChaseStats::ToString() const {
+  return StrCat("dchase: steps=", steps, " expanded=", branches_expanded,
+                " completed=", branches_completed, " deduped=",
+                branches_deduped, " max_live=", max_live_branches,
+                " peak_facts=", peak_instance_facts, " us=", micros, "\n");
+}
 
 Result<DisjunctiveChaseResult> DisjunctiveChase(
     const Instance& input, const std::vector<Dependency>& dependencies,
     const DisjunctiveChaseOptions& options) {
   DisjunctiveChaseResult result;
+  DisjunctiveChaseStats& stats = result.stats;
+  obs::ScopedTimer run_timer;
   std::deque<Instance> queue;
   queue.push_back(input);
 
   while (!queue.empty()) {
+    stats.max_live_branches = std::max<uint64_t>(stats.max_live_branches,
+                                                 queue.size());
     if (queue.size() > options.max_branches) {
+      stats.micros = run_timer.ElapsedMicros();
+      PublishDisjunctiveStats(stats, result.combined.size(),
+                              /*completed=*/false);
       return Status::ResourceExhausted(
           StrCat("disjunctive chase exceeded max_branches=",
-                 options.max_branches));
+                 options.max_branches, " after ", stats.steps, " steps (",
+                 stats.branches_completed, " branches completed)"));
     }
     if (++result.steps > options.max_steps) {
+      stats.steps = result.steps;
+      stats.micros = run_timer.ElapsedMicros();
+      PublishDisjunctiveStats(stats, result.combined.size(),
+                              /*completed=*/false);
       return Status::ResourceExhausted(
-          StrCat("disjunctive chase exceeded max_steps=", options.max_steps));
+          StrCat("disjunctive chase exceeded max_steps=", options.max_steps,
+                 " (", queue.size() + 1, " branches live, ",
+                 stats.branches_completed, " completed)"));
     }
+    stats.steps = result.steps;
     Instance state = std::move(queue.front());
     queue.pop_front();
+    stats.peak_instance_facts =
+        std::max<uint64_t>(stats.peak_instance_facts, state.size());
 
     RDX_ASSIGN_OR_RETURN(
         std::optional<UnsatisfiedTrigger> trigger,
         FindUnsatisfiedTrigger(state, dependencies, options.match_options));
     if (!trigger.has_value()) {
+      ++stats.branches_completed;
       // Completed branch: dedup (exact, then up to hom-equivalence).
       bool duplicate = false;
       for (const Instance& earlier : result.combined) {
@@ -119,6 +177,8 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
       }
       if (!duplicate) {
         result.combined.push_back(std::move(state));
+      } else {
+        ++stats.branches_deduped;
       }
       continue;
     }
@@ -127,6 +187,7 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
       RDX_ASSIGN_OR_RETURN(Instance child,
                            ExpandBranch(state, disjunct, trigger->match));
       queue.push_back(std::move(child));
+      ++stats.branches_expanded;
     }
   }
 
@@ -139,6 +200,8 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
     }
     result.added.push_back(std::move(added));
   }
+  stats.micros = run_timer.ElapsedMicros();
+  PublishDisjunctiveStats(stats, result.combined.size(), /*completed=*/true);
   return result;
 }
 

@@ -2,6 +2,7 @@
 #define RDX_CHASE_DISJUNCTIVE_CHASE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "base/status.h"
@@ -28,6 +29,20 @@ struct DisjunctiveChaseOptions {
   MatchOptions match_options;
 };
 
+/// Observability stats for a disjunctive chase run. The "universe" figures
+/// describe the branch tree the search actually explored.
+struct DisjunctiveChaseStats {
+  uint64_t steps = 0;               // branches dequeued and examined
+  uint64_t branches_expanded = 0;   // children enqueued (one per disjunct)
+  uint64_t branches_completed = 0;  // branches satisfying all dependencies
+  uint64_t branches_deduped = 0;    // completed branches dropped as duplicate
+  uint64_t max_live_branches = 0;   // queue high-water mark
+  uint64_t peak_instance_facts = 0; // largest branch instance seen
+  uint64_t micros = 0;
+
+  std::string ToString() const;
+};
+
 /// Outcome of a disjunctive chase: the set of completed branch instances.
 struct DisjunctiveChaseResult {
   /// Combined instances (input facts plus the facts each branch added).
@@ -39,6 +54,10 @@ struct DisjunctiveChaseResult {
   std::vector<Instance> added;
 
   uint64_t steps = 0;
+
+  /// Per-run engine statistics (mirrored into the process-wide "dchase.*"
+  /// counters; "dchase.done" is emitted when a trace sink is installed).
+  DisjunctiveChaseStats stats;
 };
 
 /// Runs the disjunctive chase of `input` with `dependencies` (Section 6):

@@ -2,7 +2,9 @@
 
 #include <optional>
 
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 
 namespace rdx {
 namespace {
@@ -39,7 +41,46 @@ Result<std::optional<EgdViolation>> FindViolation(
   return std::optional<EgdViolation>();
 }
 
+// One batched publish of a run's totals to the "egd.*" counters plus the
+// "egd.done" trace event.
+void PublishEgdStats(const EgdChaseStats& stats, bool failed,
+                     bool completed) {
+  static obs::Counter& runs = obs::Counter::Get("egd.runs");
+  static obs::Counter& rounds = obs::Counter::Get("egd.rounds");
+  static obs::Counter& merges = obs::Counter::Get("egd.merges");
+  static obs::Counter& null_null = obs::Counter::Get("egd.null_null_merges");
+  static obs::Counter& promotions =
+      obs::Counter::Get("egd.null_constant_promotions");
+  static obs::Counter& failures = obs::Counter::Get("egd.failures");
+  static obs::Counter& us = obs::Counter::Get("egd.us");
+  runs.Increment();
+  rounds.Add(stats.rounds);
+  merges.Add(stats.merges);
+  null_null.Add(stats.null_null_merges);
+  promotions.Add(stats.null_constant_promotions);
+  if (failed) failures.Increment();
+  us.Add(stats.micros);
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("egd.done")
+                       .Add("rounds", stats.rounds)
+                       .Add("tgd_facts", stats.tgd_facts_added)
+                       .Add("merges", stats.merges)
+                       .Add("null_null", stats.null_null_merges)
+                       .Add("promotions", stats.null_constant_promotions)
+                       .Add("failed", failed)
+                       .Add("completed", completed)
+                       .Add("us", stats.micros));
+  }
+}
+
 }  // namespace
+
+std::string EgdChaseStats::ToString() const {
+  return StrCat("egd chase: rounds=", rounds, " tgd_facts=", tgd_facts_added,
+                " merges=", merges, " null_null=", null_null_merges,
+                " promotions=", null_constant_promotions, " us=", micros,
+                "\n");
+}
 
 Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
                                      const std::vector<Dependency>& tgds,
@@ -47,16 +88,22 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
                                      const ChaseOptions& options) {
   EgdChaseResult result;
   result.combined = input;
+  EgdChaseStats& stats = result.stats;
+  obs::ScopedTimer run_timer;
 
   for (uint64_t round = 0; round < options.max_rounds; ++round) {
+    obs::ScopedTimer round_timer;
+    stats.rounds = round + 1;
     // Tgd fixpoint.
     RDX_ASSIGN_OR_RETURN(ChaseResult tgd_step,
                          Chase(result.combined, tgds, options));
     bool tgds_added = tgd_step.combined.size() != result.combined.size();
+    stats.tgd_facts_added += tgd_step.stats.facts_added;
     result.combined = std::move(tgd_step.combined);
 
     // Egd repair pass: merge until clean or failed.
     bool merged_any = false;
+    uint64_t round_merges = 0;
     while (true) {
       RDX_ASSIGN_OR_RETURN(
           std::optional<EgdViolation> violation,
@@ -69,6 +116,8 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
         result.failure_reason =
             StrCat("egd equates distinct constants ", a.ToString(), " and ",
                    b.ToString());
+        stats.micros = run_timer.ElapsedMicros();
+        PublishEgdStats(stats, /*failed=*/true, /*completed=*/true);
         return result;
       }
       // Unify: map the null onto the other value (prefer keeping
@@ -76,16 +125,38 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
       ValueMap unify;
       if (a.IsNull()) {
         unify.emplace(a, b);
+        if (b.IsNull()) {
+          ++stats.null_null_merges;
+        } else {
+          ++stats.null_constant_promotions;
+        }
       } else {
         unify.emplace(b, a);
+        ++stats.null_constant_promotions;
       }
       result.combined = result.combined.Apply(unify);
       ++result.merges;
+      ++stats.merges;
+      ++round_merges;
       merged_any = true;
       if (result.merges > options.max_new_facts) {
+        stats.micros = run_timer.ElapsedMicros();
+        PublishEgdStats(stats, /*failed=*/false, /*completed=*/false);
         return Status::ResourceExhausted(
-            StrCat("egd chase exceeded ", options.max_new_facts, " merges"));
+            StrCat("egd chase exceeded ", options.max_new_facts,
+                   " merges in round ", round, " (",
+                   stats.null_constant_promotions, " null-to-constant "
+                   "promotions, ", stats.null_null_merges,
+                   " null-null merges)"));
       }
+    }
+
+    if (obs::TracingEnabled()) {
+      obs::EmitTrace(obs::TraceEvent("egd.round")
+                         .Add("round", round)
+                         .Add("tgd_facts", tgd_step.stats.facts_added)
+                         .Add("merges", round_merges)
+                         .Add("us", round_timer.ElapsedMicros()));
     }
 
     if (!tgds_added && !merged_any) {
@@ -93,12 +164,17 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
       for (const Fact& f : result.combined.facts()) {
         if (!input.Contains(f)) result.added.AddFact(f);
       }
+      stats.micros = run_timer.ElapsedMicros();
+      PublishEgdStats(stats, /*failed=*/false, /*completed=*/true);
       return result;
     }
   }
+  stats.micros = run_timer.ElapsedMicros();
+  PublishEgdStats(stats, /*failed=*/false, /*completed=*/false);
   return Status::ResourceExhausted(
       StrCat("egd chase did not converge within max_rounds=",
-             options.max_rounds));
+             options.max_rounds, ": ", stats.tgd_facts_added,
+             " tgd facts added and ", stats.merges, " merges performed"));
 }
 
 }  // namespace rdx

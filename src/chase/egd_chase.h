@@ -10,6 +10,20 @@
 
 namespace rdx {
 
+/// Observability stats for a tgd+egd chase run. `merges` splits into
+/// null-to-null unifications and null-to-constant promotions (the two
+/// repair shapes the paper's reference chase distinguishes).
+struct EgdChaseStats {
+  uint64_t rounds = 0;                     // tgd-fixpoint/egd-repair cycles
+  uint64_t tgd_facts_added = 0;            // facts added across tgd passes
+  uint64_t merges = 0;                     // total egd unification steps
+  uint64_t null_null_merges = 0;           // null unified with null
+  uint64_t null_constant_promotions = 0;   // null promoted to a constant
+  uint64_t micros = 0;
+
+  std::string ToString() const;
+};
+
 /// Outcome of a chase with tgds and egds.
 struct EgdChaseResult {
   /// The final combined instance (meaningless if `failed`).
@@ -26,6 +40,10 @@ struct EgdChaseResult {
 
   /// Number of null-unification steps performed.
   uint64_t merges = 0;
+
+  /// Per-run engine statistics (mirrored into the process-wide "egd.*"
+  /// counters; "egd.round" / "egd.done" are emitted when tracing).
+  EgdChaseStats stats;
 };
 
 /// The classical chase with tgds AND egds (the paper's reference [8]):

@@ -1,16 +1,22 @@
 #include "core/core_computation.h"
 
+#include "base/metrics.h"
+#include "base/trace.h"
+
 namespace rdx {
 namespace {
 
 // Searches for an endomorphism of `instance` whose image misses at least one
-// fact. Returns the (strictly smaller) image if found.
+// fact. Returns the (strictly smaller) image if found. Counts every
+// candidate fact tried into `run`.
 Result<std::optional<Instance>> FindShrinkingImage(
-    const Instance& instance, const HomomorphismOptions& options) {
+    const Instance& instance, const HomomorphismOptions& options,
+    CoreStats* run) {
   for (const Fact& f : instance.facts()) {
     // A ground fact maps to itself under every homomorphism, so it can
     // never be dropped.
     if (f.IsGround()) continue;
+    ++run->retraction_attempts;
     Instance target = instance;
     target.RemoveFact(f);
     RDX_ASSIGN_OR_RETURN(std::optional<ValueMap> h,
@@ -18,29 +24,76 @@ Result<std::optional<Instance>> FindShrinkingImage(
     if (h.has_value()) {
       // h maps into a proper subinstance, so its image is strictly smaller
       // and homomorphically equivalent (image ⊆ instance → image).
+      ++run->successful_folds;
       return std::optional<Instance>(instance.Apply(*h));
     }
   }
   return std::optional<Instance>();
 }
 
+// Batched publish of one run's totals to the "core.*" counters, the
+// caller's accumulator (if any), and the trace sink.
+void PublishCoreStats(const CoreStats& run, CoreStats* accumulator,
+                      uint64_t initial_facts, uint64_t final_facts) {
+  static obs::Counter& runs = obs::Counter::Get("core.runs");
+  static obs::Counter& iterations = obs::Counter::Get("core.iterations");
+  static obs::Counter& attempts =
+      obs::Counter::Get("core.retraction_attempts");
+  static obs::Counter& folds = obs::Counter::Get("core.successful_folds");
+  static obs::Counter& us = obs::Counter::Get("core.us");
+  runs.Increment();
+  iterations.Add(run.iterations);
+  attempts.Add(run.retraction_attempts);
+  folds.Add(run.successful_folds);
+  us.Add(run.micros);
+  if (accumulator != nullptr) {
+    accumulator->iterations += run.iterations;
+    accumulator->retraction_attempts += run.retraction_attempts;
+    accumulator->successful_folds += run.successful_folds;
+    accumulator->micros += run.micros;
+  }
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("core.done")
+                       .Add("initial_facts", initial_facts)
+                       .Add("core_facts", final_facts)
+                       .Add("iterations", run.iterations)
+                       .Add("attempts", run.retraction_attempts)
+                       .Add("folds", run.successful_folds)
+                       .Add("us", run.micros));
+  }
+}
+
 }  // namespace
 
 Result<Instance> ComputeCore(const Instance& instance,
-                             const HomomorphismOptions& options) {
+                             const HomomorphismOptions& options,
+                             CoreStats* stats) {
+  CoreStats run;
+  obs::ScopedTimer timer;
   Instance current = instance;
   while (true) {
+    ++run.iterations;
     RDX_ASSIGN_OR_RETURN(std::optional<Instance> smaller,
-                         FindShrinkingImage(current, options));
-    if (!smaller.has_value()) return current;
+                         FindShrinkingImage(current, options, &run));
+    if (!smaller.has_value()) {
+      run.micros = timer.ElapsedMicros();
+      PublishCoreStats(run, stats, instance.size(), current.size());
+      return current;
+    }
     current = *std::move(smaller);
   }
 }
 
 Result<bool> IsCore(const Instance& instance,
-                    const HomomorphismOptions& options) {
+                    const HomomorphismOptions& options, CoreStats* stats) {
+  CoreStats run;
+  obs::ScopedTimer timer;
+  ++run.iterations;
   RDX_ASSIGN_OR_RETURN(std::optional<Instance> smaller,
-                       FindShrinkingImage(instance, options));
+                       FindShrinkingImage(instance, options, &run));
+  run.micros = timer.ElapsedMicros();
+  PublishCoreStats(run, stats, instance.size(),
+                   smaller.has_value() ? smaller->size() : instance.size());
   return !smaller.has_value();
 }
 

@@ -1,11 +1,25 @@
 #ifndef RDX_CORE_CORE_COMPUTATION_H_
 #define RDX_CORE_CORE_COMPUTATION_H_
 
+#include <cstdint>
+
 #include "base/status.h"
 #include "core/homomorphism.h"
 #include "core/instance.h"
 
 namespace rdx {
+
+/// Observability stats for core computation. Accumulated (+=) per run;
+/// totals are also mirrored into the process-wide "core.*" counters, and
+/// a "core.done" trace event is emitted per ComputeCore when tracing. The
+/// homomorphism searches performed inside are themselves counted under
+/// "hom.*".
+struct CoreStats {
+  uint64_t iterations = 0;           // fold-until-fixpoint rounds
+  uint64_t retraction_attempts = 0;  // candidate facts tried for dropping
+  uint64_t successful_folds = 0;     // retraction rounds that shrank
+  uint64_t micros = 0;
+};
 
 /// Computes the core of `instance`: the (unique up to isomorphism) smallest
 /// subinstance homomorphically equivalent to it. The core is the canonical
@@ -18,11 +32,13 @@ namespace rdx {
 /// exponential (core identification is co-NP-hard) but fast on the chase
 /// outputs this library produces.
 Result<Instance> ComputeCore(const Instance& instance,
-                             const HomomorphismOptions& options = {});
+                             const HomomorphismOptions& options = {},
+                             CoreStats* stats = nullptr);
 
 /// True if `instance` equals its own core (no proper retraction exists).
 Result<bool> IsCore(const Instance& instance,
-                    const HomomorphismOptions& options = {});
+                    const HomomorphismOptions& options = {},
+                    CoreStats* stats = nullptr);
 
 }  // namespace rdx
 

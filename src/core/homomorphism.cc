@@ -3,11 +3,53 @@
 #include <algorithm>
 #include <limits>
 
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "core/fact_index.h"
 
 namespace rdx {
 namespace {
+
+// Batched publish of one search run's totals to the "hom.*" counters plus
+// the caller's accumulator (if any) and, when tracing, a "hom.search"
+// event.
+void PublishHomStats(const HomomorphismStats& run,
+                     HomomorphismStats* accumulator, uint64_t from_facts) {
+  static obs::Counter& searches = obs::Counter::Get("hom.searches");
+  static obs::Counter& steps = obs::Counter::Get("hom.steps");
+  static obs::Counter& pairs = obs::Counter::Get("hom.candidate_pairs");
+  static obs::Counter& backtracks = obs::Counter::Get("hom.backtracks");
+  static obs::Counter& prunes = obs::Counter::Get("hom.domain_filter_prunes");
+  static obs::Counter& found = obs::Counter::Get("hom.found");
+  static obs::Counter& us = obs::Counter::Get("hom.us");
+  searches.Increment();
+  steps.Add(run.steps);
+  pairs.Add(run.candidate_pairs);
+  backtracks.Add(run.backtracks);
+  prunes.Add(run.domain_filter_prunes);
+  found.Add(run.found);
+  us.Add(run.micros);
+  if (accumulator != nullptr) {
+    accumulator->searches += 1;
+    accumulator->steps += run.steps;
+    accumulator->candidate_pairs += run.candidate_pairs;
+    accumulator->backtracks += run.backtracks;
+    accumulator->domain_filter_prunes += run.domain_filter_prunes;
+    accumulator->found += run.found;
+    accumulator->micros += run.micros;
+  }
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("hom.search")
+                       .Add("from_facts", from_facts)
+                       .Add("steps", run.steps)
+                       .Add("pairs", run.candidate_pairs)
+                       .Add("backtracks", run.backtracks)
+                       .Add("pruned", run.domain_filter_prunes != 0)
+                       .Add("found", run.found != 0)
+                       .Add("us", run.micros));
+  }
+}
 
 class HomSearch {
  public:
@@ -120,11 +162,13 @@ class HomSearch {
 
     matched_[best_idx] = true;
     for (const Fact* g : *candidates) {
+      ++candidate_pairs_;
       std::vector<Value> newly_bound;
       if (TryUnify(f, *g, &newly_bound)) {
         if (Search(remaining - 1)) return true;
         if (budget_exceeded_) break;
       }
+      ++backtracks_;
       for (const Value& v : newly_bound) {
         auto it = binding_.find(v);
         if (options_.injective && it != binding_.end()) {
@@ -173,7 +217,14 @@ class HomSearch {
   ValueMap binding_;
   std::unordered_set<Value, ValueHash> used_targets_;  // injective mode
   uint64_t steps_ = 0;
+  uint64_t candidate_pairs_ = 0;
+  uint64_t backtracks_ = 0;
   bool budget_exceeded_ = false;
+
+ public:
+  uint64_t steps() const { return steps_; }
+  uint64_t candidate_pairs() const { return candidate_pairs_; }
+  uint64_t backtracks() const { return backtracks_; }
 };
 
 }  // namespace
@@ -246,11 +297,23 @@ Result<std::optional<ValueMap>> FindHomomorphism(
           StrCat("seed maps constant ", k.ToString(), " to ", v.ToString()));
     }
   }
+  HomomorphismStats run;
+  obs::ScopedTimer timer;
   if (options.use_domain_filter && !DomainFilterPasses(from, to, seed)) {
+    run.domain_filter_prunes = 1;
+    run.micros = timer.ElapsedMicros();
+    PublishHomStats(run, options.stats, from.size());
     return std::optional<ValueMap>();
   }
   HomSearch search(from, to, options);
-  return search.Run(seed);
+  Result<std::optional<ValueMap>> result = search.Run(seed);
+  run.steps = search.steps();
+  run.candidate_pairs = search.candidate_pairs();
+  run.backtracks = search.backtracks();
+  run.found = (result.ok() && result->has_value()) ? 1 : 0;
+  run.micros = timer.ElapsedMicros();
+  PublishHomStats(run, options.stats, from.size());
+  return result;
 }
 
 Result<bool> HasHomomorphism(const Instance& from, const Instance& to,

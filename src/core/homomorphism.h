@@ -9,6 +9,20 @@
 
 namespace rdx {
 
+/// Observability stats for the backtracking homomorphism search.
+/// Accumulated (+=) across calls so one struct can cover a whole phase
+/// (e.g. every search performed by one ComputeCore); also mirrored into
+/// the process-wide "hom.*" counters.
+struct HomomorphismStats {
+  uint64_t searches = 0;             // FindHomomorphism calls
+  uint64_t steps = 0;                // backtracking nodes expanded
+  uint64_t candidate_pairs = 0;      // (source fact, target fact) unifications tried
+  uint64_t backtracks = 0;           // bindings rolled back
+  uint64_t domain_filter_prunes = 0; // searches refuted by the arc-consistency filter
+  uint64_t found = 0;                // searches that found a homomorphism
+  uint64_t micros = 0;
+};
+
 /// Tuning knobs for the homomorphism search.
 struct HomomorphismOptions {
   /// Backtracking-node budget; exceeded => ResourceExhausted. The default
@@ -32,6 +46,11 @@ struct HomomorphismOptions {
   /// (see EXPERIMENTS.md); enable for workloads with large, globally
   /// unsatisfiable inputs.
   bool use_domain_filter = false;
+
+  /// Optional per-run stats accumulator (not owned; may be null). The
+  /// pointed-to struct is incremented, never reset, by each search run
+  /// with these options.
+  HomomorphismStats* stats = nullptr;
 };
 
 /// Searches for a homomorphism h : from → to (Definition 3.1): h fixes all

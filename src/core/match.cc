@@ -3,10 +3,30 @@
 #include <algorithm>
 #include <limits>
 
+#include "base/metrics.h"
 #include "base/strings.h"
 
 namespace rdx {
 namespace {
+
+// Batched publish of one enumeration run's totals to the "match.*"
+// counters — a handful of relaxed atomic adds per EnumerateMatches call.
+void PublishMatchStats(const MatchStats& run, MatchStats* accumulator) {
+  static obs::Counter& enumerations = obs::Counter::Get("match.enumerations");
+  static obs::Counter& steps = obs::Counter::Get("match.steps");
+  static obs::Counter& candidates = obs::Counter::Get("match.candidates");
+  static obs::Counter& matches = obs::Counter::Get("match.matches");
+  enumerations.Increment();
+  steps.Add(run.steps);
+  candidates.Add(run.candidates);
+  matches.Add(run.matches);
+  if (accumulator != nullptr) {
+    accumulator->enumerations += 1;
+    accumulator->steps += run.steps;
+    accumulator->candidates += run.candidates;
+    accumulator->matches += run.matches;
+  }
+}
 
 class Matcher {
  public:
@@ -32,6 +52,11 @@ class Matcher {
     steps_ = 0;
     stopped_ = false;
     bool exhausted = Search(relational_.size());
+    MatchStats run;
+    run.steps = steps_;
+    run.candidates = candidates_;
+    run.matches = matches_;
+    PublishMatchStats(run, options_.stats);
     if (!exhausted && !stopped_) {
       return Status::ResourceExhausted(
           StrCat("match enumeration exceeded ", options_.max_steps,
@@ -126,6 +151,7 @@ class Matcher {
     if (stopped_) return true;
     if (++steps_ > options_.max_steps) return false;
     if (remaining == 0) {
+      ++matches_;
       if (!callback_(assignment_)) stopped_ = true;
       return true;
     }
@@ -150,6 +176,7 @@ class Matcher {
     matched_[best_idx] = true;
     bool ok = true;
     for (const Fact* f : *candidates) {
+      ++candidates_;
       std::vector<Variable> newly_bound;
       if (TryBindAtom(atom, *f, &newly_bound) && BuiltinsHold()) {
         ok = Search(remaining - 1);
@@ -172,6 +199,8 @@ class Matcher {
   std::vector<bool> matched_;
   Assignment assignment_;
   uint64_t steps_ = 0;
+  uint64_t candidates_ = 0;
+  uint64_t matches_ = 0;
   bool stopped_ = false;
 };
 

@@ -12,9 +12,24 @@
 
 namespace rdx {
 
+/// Observability stats for match enumeration. Accumulated (+=) across
+/// calls so one struct can aggregate a whole phase; totals are also
+/// mirrored into the process-wide "match.*" counters.
+struct MatchStats {
+  uint64_t enumerations = 0;  // EnumerateMatches calls
+  uint64_t steps = 0;         // backtracking nodes expanded
+  uint64_t candidates = 0;    // (atom, fact) binding attempts
+  uint64_t matches = 0;       // complete assignments delivered
+};
+
 struct MatchOptions {
   /// Backtracking-node budget; exceeded => ResourceExhausted.
   uint64_t max_steps = 50'000'000;
+
+  /// Optional per-run stats accumulator (not owned; may be null). The
+  /// pointed-to struct is incremented, never reset, by each enumeration
+  /// run with these options.
+  MatchStats* stats = nullptr;
 };
 
 /// Called once per complete match. Return false to stop the enumeration.

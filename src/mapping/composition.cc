@@ -1,6 +1,8 @@
 #include "mapping/composition.h"
 
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "core/homomorphism.h"
 #include "core/quotient.h"
 
@@ -10,8 +12,21 @@ Result<std::vector<Instance>> ReverseRoundTrip(
     const SchemaMapping& mapping, const SchemaMapping& reverse,
     const Instance& I, const ChaseOptions& chase_options,
     const DisjunctiveChaseOptions& disjunctive_options) {
+  static obs::Counter& runs = obs::Counter::Get("reverse_exchange.runs");
+  static obs::Counter& us = obs::Counter::Get("reverse_exchange.us");
+  runs.Increment();
+  obs::ScopedTimer timer(&us);
   RDX_ASSIGN_OR_RETURN(Instance forward, ChaseMapping(mapping, I, chase_options));
-  return DisjunctiveChaseMapping(reverse, forward, disjunctive_options);
+  Result<std::vector<Instance>> worlds =
+      DisjunctiveChaseMapping(reverse, forward, disjunctive_options);
+  if (worlds.ok() && obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("reverse.done")
+                       .Add("source_facts", I.size())
+                       .Add("forward_facts", forward.size())
+                       .Add("worlds", worlds->size())
+                       .Add("us", timer.ElapsedMicros()));
+  }
+  return worlds;
 }
 
 Result<std::vector<Instance>> QuotientClosedReverseBranches(

@@ -32,11 +32,17 @@ Status CheckSourceInstance(const SchemaMapping& mapping, const Instance& I) {
 
 Result<Instance> ChaseMapping(const SchemaMapping& mapping, const Instance& I,
                               const ChaseOptions& options) {
+  RDX_ASSIGN_OR_RETURN(ChaseResult result,
+                       ChaseMappingWithStats(mapping, I, options));
+  return result.added;
+}
+
+Result<ChaseResult> ChaseMappingWithStats(const SchemaMapping& mapping,
+                                          const Instance& I,
+                                          const ChaseOptions& options) {
   RDX_RETURN_IF_ERROR(CheckChaseable(mapping, /*allow_inequalities=*/true));
   RDX_RETURN_IF_ERROR(CheckSourceInstance(mapping, I));
-  RDX_ASSIGN_OR_RETURN(ChaseResult result,
-                       Chase(I, mapping.dependencies(), options));
-  return result.added;
+  return Chase(I, mapping.dependencies(), options);
 }
 
 Result<Instance> CoreChaseMapping(const SchemaMapping& mapping,

@@ -19,6 +19,14 @@ namespace rdx {
 Result<Instance> ChaseMapping(const SchemaMapping& mapping, const Instance& I,
                               const ChaseOptions& options = {});
 
+/// As ChaseMapping, but returns the full ChaseResult — including the
+/// per-round ChaseStats — instead of just the added-facts view. The CLI's
+/// `chase --stats` and any caller that wants to report engine statistics
+/// should prefer this entry point.
+Result<ChaseResult> ChaseMappingWithStats(const SchemaMapping& mapping,
+                                          const Instance& I,
+                                          const ChaseOptions& options = {});
+
 /// chase_M(I) normalized to its core — the smallest extended universal
 /// solution, the preferred materialization in data-exchange practice
 /// ("up to homomorphic equivalence" made canonical). Same preconditions

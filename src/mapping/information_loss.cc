@@ -1,5 +1,7 @@
 #include "mapping/information_loss.h"
 
+#include "base/metrics.h"
+#include "base/trace.h"
 #include "core/homomorphism.h"
 #include "mapping/composition.h"
 #include "mapping/extended.h"
@@ -26,6 +28,12 @@ Result<std::vector<Instance>> ChaseFamily(const SchemaMapping& mapping,
 Result<InformationLossReport> MeasureInformationLoss(
     const SchemaMapping& mapping, const std::vector<Instance>& family,
     std::size_t max_witnesses, const ChaseOptions& options) {
+  static obs::Counter& runs = obs::Counter::Get("information_loss.runs");
+  static obs::Counter& pairs = obs::Counter::Get("information_loss.pairs");
+  static obs::Counter& us = obs::Counter::Get("information_loss.us");
+  runs.Increment();
+  pairs.Add(static_cast<uint64_t>(family.size()) * family.size());
+  obs::ScopedTimer timer(&us);
   RDX_ASSIGN_OR_RETURN(std::vector<Instance> chased,
                        ChaseFamily(mapping, family, options));
   InformationLossReport report;
@@ -47,6 +55,14 @@ Result<InformationLossReport> MeasureInformationLoss(
         }
       }
     }
+  }
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("information_loss.done")
+                       .Add("family", family.size())
+                       .Add("arrow_m_pairs", report.arrow_m_pairs)
+                       .Add("e_id_pairs", report.e_id_pairs)
+                       .Add("loss_pairs", report.loss_pairs)
+                       .Add("us", timer.ElapsedMicros()));
   }
   return report;
 }

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "base/metrics.h"
 #include "base/strings.h"
+#include "base/trace.h"
 
 namespace rdx {
 namespace {
@@ -73,6 +75,10 @@ Result<SchemaMapping> QuasiInverse(const SchemaMapping& mapping) {
         "QuasiInverse requires a mapping specified by full s-t tgds "
         "(Theorem 5.1)");
   }
+  static obs::Counter& runs = obs::Counter::Get("quasi_inverse.runs");
+  static obs::Counter& us = obs::Counter::Get("quasi_inverse.us");
+  runs.Increment();
+  obs::ScopedTimer timer(&us);
 
   // Step 1: normalize to single-head tgds, grouped by head relation.
   std::vector<SingleHeadTgd> normalized;
@@ -178,6 +184,12 @@ Result<SchemaMapping> QuasiInverse(const SchemaMapping& mapping) {
     }
   }
 
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("quasi_inverse.done")
+                       .Add("dependencies_in", mapping.dependencies().size())
+                       .Add("dependencies_out", reverse_deps.size())
+                       .Add("us", timer.ElapsedMicros()));
+  }
   return SchemaMapping::Make(mapping.target(), mapping.source(),
                              std::move(reverse_deps));
 }

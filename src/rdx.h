@@ -5,9 +5,11 @@
 /// after Fagin, Kolaitis, Popa, and Tan, "Reverse Data Exchange: Coping
 /// with Nulls" (PODS 2009).
 
+#include "base/metrics.h"
 #include "base/rng.h"
 #include "base/status.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "chase/chase.h"
 #include "chase/disjunctive_chase.h"
 #include "chase/egd_chase.h"

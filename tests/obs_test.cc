@@ -1,0 +1,263 @@
+// Tests for the rdx::obs instrumentation layer (base/metrics.h,
+// base/trace.h) and for the per-run stats the engines publish through it.
+//
+// The TraceValidation suite doubles as the ctest JSONL check: the
+// cli_trace_jsonl test (cmake/run_trace_check.cmake) runs `rdx_cli chase
+// --trace FILE` and then this binary with RDX_TRACE_VALIDATE_FILE=FILE.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/metrics.h"
+#include "base/trace.h"
+#include "chase/chase.h"
+#include "core/dependency_parser.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+TEST(CounterTest, GetInternsByName) {
+  obs::Counter& a = obs::Counter::Get("obs_test.interned");
+  obs::Counter& b = obs::Counter::Get("obs_test.interned");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "obs_test.interned");
+}
+
+TEST(CounterTest, AddAndReset) {
+  obs::Counter& c = obs::Counter::Get("obs_test.add_reset");
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.Add(41);
+  c.Increment();
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, SnapshotContainsRegisteredCounter) {
+  obs::Counter::Get("obs_test.snapshot").Add(7);
+  bool found = false;
+  for (const obs::CounterSample& s : obs::SnapshotCounters()) {
+    if (s.name == "obs_test.snapshot") {
+      found = true;
+      EXPECT_GE(s.value, 7u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CounterTest, CountersToStringShowsNonZero) {
+  obs::Counter::Get("obs_test.printed").Add(3);
+  std::string rendered = obs::CountersToString();
+  EXPECT_NE(rendered.find("obs_test.printed"), std::string::npos);
+}
+
+TEST(HistogramTest, RecordsCountSumMaxAndBuckets) {
+  obs::Histogram& h = obs::Histogram::Get("obs_test.hist");
+  h.Reset();
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 6u);
+  EXPECT_EQ(h.max(), 5u);
+  EXPECT_EQ(h.bucket(0), 1u);  // v == 0
+  EXPECT_EQ(h.bucket(1), 1u);  // v == 1
+  EXPECT_EQ(h.bucket(3), 1u);  // 4 <= 5 < 8
+}
+
+TEST(ScopedTimerTest, WritesElapsedToSinkAndOutParam) {
+  obs::Counter& us = obs::Counter::Get("obs_test.timer.us");
+  us.Reset();
+  uint64_t out = 123456789;
+  {
+    obs::ScopedTimer timer(&us, &out);
+    EXPECT_GE(timer.ElapsedMicros(), 0u);
+  }
+  // Elapsed time may legitimately be 0µs; the contract is that both sinks
+  // receive the same value and the out-param is overwritten.
+  EXPECT_EQ(us.value(), out);
+  EXPECT_LT(out, 1000000u);  // sanity: an empty scope is far below 1s
+}
+
+TEST(TraceTest, DisabledByDefaultAndEmitIsNoOp) {
+  obs::UninstallTraceSink();
+  EXPECT_FALSE(obs::TracingEnabled());
+  obs::EmitTrace(obs::TraceEvent("noop"));  // must not crash
+}
+
+TEST(TraceTest, EventsAreOneJsonObjectPerLine) {
+  std::ostringstream sink;
+  obs::InstallTraceStream(&sink);
+  EXPECT_TRUE(obs::TracingEnabled());
+  obs::EmitTrace(obs::TraceEvent("alpha").Add("n", 3).Add("flag", true));
+  obs::EmitTrace(obs::TraceEvent("beta").Add("ratio", 0.5).Add("who", "x"));
+  obs::UninstallTraceSink();
+  EXPECT_FALSE(obs::TracingEnabled());
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    RDX_EXPECT_OK(obs::ValidateJsonLine(line));
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+  }
+  EXPECT_EQ(count, 2);
+  EXPECT_NE(sink.str().find("\"ev\":\"alpha\""), std::string::npos);
+  EXPECT_NE(sink.str().find("\"n\":3"), std::string::npos);
+  EXPECT_NE(sink.str().find("\"flag\":true"), std::string::npos);
+}
+
+TEST(TraceTest, StringValuesAreJsonEscaped) {
+  std::ostringstream sink;
+  obs::InstallTraceStream(&sink);
+  obs::EmitTrace(obs::TraceEvent("esc").Add(
+      "s", std::string_view("a\"b\\c\n\t\x01z")));
+  obs::UninstallTraceSink();
+  std::string line = sink.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  RDX_EXPECT_OK(obs::ValidateJsonLine(line));
+  EXPECT_NE(line.find("a\\\"b\\\\c\\n\\t\\u0001z"), std::string::npos);
+}
+
+TEST(JsonValidationTest, AcceptsValidValues) {
+  RDX_EXPECT_OK(obs::ValidateJsonLine("{}"));
+  RDX_EXPECT_OK(obs::ValidateJsonLine("{\"a\":[1,2.5,-3e2],\"b\":null}"));
+  RDX_EXPECT_OK(obs::ValidateJsonLine("[true,false,\"\\u00e9\"]"));
+  RDX_EXPECT_OK(obs::ValidateJsonLine("  42  "));
+}
+
+TEST(JsonValidationTest, RejectsMalformedValues) {
+  EXPECT_FALSE(obs::ValidateJsonLine("").ok());
+  EXPECT_FALSE(obs::ValidateJsonLine("{").ok());
+  EXPECT_FALSE(obs::ValidateJsonLine("{\"a\":1,}").ok());
+  EXPECT_FALSE(obs::ValidateJsonLine("{'a':1}").ok());
+  EXPECT_FALSE(obs::ValidateJsonLine("{\"a\":01}").ok());
+  EXPECT_FALSE(obs::ValidateJsonLine("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(obs::ValidateJsonLine("{\"a\":\"unterminated").ok());
+  EXPECT_FALSE(obs::ValidateJsonLine("nul").ok());
+}
+
+TEST(ChaseStatsTest, TotalsMatchPerRoundAndResult) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      ChaseResult r,
+      Chase(I("ObT_P(a, b). ObT_P(c, d). ObT_Q(a, x)"),
+            {D("ObT_P(x, y) -> EXISTS z: ObT_Q(x, z)")}));
+  const ChaseStats& s = r.stats;
+  EXPECT_EQ(s.rounds, r.rounds);
+  EXPECT_EQ(s.facts_added, r.added.size());
+  EXPECT_LE(s.triggers_fired, s.triggers_enumerated);
+  EXPECT_EQ(s.triggers_fired + s.triggers_satisfied, s.triggers_enumerated);
+  // ObT_Q(a, x) already satisfies the trigger on ObT_P(a, b).
+  EXPECT_EQ(s.triggers_satisfied, 1u);
+
+  ChaseStats sums;
+  for (const ChaseRoundStats& round : s.per_round) {
+    sums.triggers_enumerated += round.triggers_enumerated;
+    sums.triggers_fired += round.triggers_fired;
+    sums.triggers_satisfied += round.triggers_satisfied;
+    sums.facts_added += round.facts_added;
+  }
+  EXPECT_EQ(s.per_round.size(), s.rounds);
+  EXPECT_EQ(sums.triggers_enumerated, s.triggers_enumerated);
+  EXPECT_EQ(sums.triggers_fired, s.triggers_fired);
+  EXPECT_EQ(sums.triggers_satisfied, s.triggers_satisfied);
+  EXPECT_EQ(sums.facts_added, s.facts_added);
+
+  std::string rendered = s.ToString();
+  EXPECT_NE(rendered.find("chase:"), std::string::npos);
+  EXPECT_NE(rendered.find("round 0:"), std::string::npos);
+}
+
+TEST(ChaseStatsTest, PublishesProcessCounters) {
+  obs::Counter& fired = obs::Counter::Get("chase.triggers_fired");
+  obs::Counter& added = obs::Counter::Get("chase.facts_added");
+  uint64_t fired_before = fired.value();
+  uint64_t added_before = added.value();
+  RDX_ASSERT_OK_AND_ASSIGN(
+      ChaseResult r,
+      Chase(I("ObT_P(e, f)"), {D("ObT_P(x, y) -> ObT_R(y, x)")}));
+  EXPECT_EQ(fired.value() - fired_before, r.stats.triggers_fired);
+  EXPECT_EQ(added.value() - added_before, r.stats.facts_added);
+}
+
+TEST(ChaseStatsTest, ResourceExhaustedMessagesCarryCounts) {
+  ChaseOptions options;
+  options.max_rounds = 3;
+  // Ever-growing successor chain: never reaches a fixpoint.
+  Result<ChaseResult> r =
+      Chase(I("ObT_S(a, b)"),
+            {D("ObT_S(x, y) -> EXISTS z: ObT_S(y, z)")}, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("max_rounds=3"), std::string::npos);
+  EXPECT_NE(r.status().message().find("3 facts added over 3 rounds"),
+            std::string::npos);
+
+  options.max_rounds = 1000;
+  options.max_new_facts = 2;
+  r = Chase(I("ObT_S(a, b)"),
+            {D("ObT_S(x, y) -> EXISTS z: ObT_S(y, z)")}, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(r.status().message().find("max_new_facts=2"), std::string::npos);
+  EXPECT_NE(r.status().message().find("facts added by round"),
+            std::string::npos);
+}
+
+TEST(ChaseStatsTest, ChaseRunEmitsValidTraceEvents) {
+  std::ostringstream sink;
+  obs::InstallTraceStream(&sink);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      ChaseResult r,
+      Chase(I("ObT_P(g, h)"), {D("ObT_P(x, y) -> ObT_R(y, x)")}));
+  obs::UninstallTraceSink();
+  (void)r;
+  std::istringstream lines(sink.str());
+  std::string line;
+  bool saw_round = false, saw_done = false;
+  while (std::getline(lines, line)) {
+    RDX_EXPECT_OK(obs::ValidateJsonLine(line));
+    if (line.find("\"ev\":\"chase.round\"") != std::string::npos) {
+      saw_round = true;
+    }
+    if (line.find("\"ev\":\"chase.done\"") != std::string::npos) {
+      saw_done = true;
+    }
+  }
+  EXPECT_TRUE(saw_round);
+  EXPECT_TRUE(saw_done);
+}
+
+// Driven by cmake/run_trace_check.cmake: validates the JSONL file a prior
+// `rdx_cli chase --trace FILE` invocation wrote. Skipped when the env var
+// is absent (plain `ctest` / direct binary runs).
+TEST(TraceValidation, CliTraceFileIsWellFormedJsonl) {
+  const char* path = std::getenv("RDX_TRACE_VALIDATE_FILE");
+  if (path == nullptr) {
+    GTEST_SKIP() << "RDX_TRACE_VALIDATE_FILE not set";
+  }
+  std::size_t lines = 0;
+  Status valid = obs::ValidateJsonlFile(path, &lines);
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_GE(lines, 1u);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "cannot reopen " << path;
+  std::stringstream all;
+  all << in.rdbuf();
+  EXPECT_NE(all.str().find("\"ev\":\"chase.round\""), std::string::npos)
+      << "trace file lacks a chase.round event";
+}
+
+}  // namespace
+}  // namespace rdx

@@ -11,6 +11,12 @@
 //                          --query "q(x, y) :- P(x, y)"
 //   rdx_cli core           --instance I.rdx
 //
+// Every subcommand additionally accepts:
+//   --stats        print engine statistics (per-round chase summary plus
+//                  all process counters) to stderr after the run
+//   --trace FILE   write structured JSONL trace events to FILE
+//                  (docs/observability.md describes the event schema)
+//
 // Mapping files use the format of mapping_io.h; instance files use the
 // instance_parser.h syntax ('#' comments allowed in both).
 
@@ -33,6 +39,7 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? nullptr : it->second.c_str();
   }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
   int GetInt(const std::string& key, int fallback) const {
     const char* v = Get(key);
     return v == nullptr ? fallback : std::atoi(v);
@@ -45,7 +52,7 @@ int Usage() {
       "usage: rdx_cli <chase|reverse|roundtrip|quasi-inverse|compose|"
       "analyze|certain|core> [--mapping F] [--second F] [--reverse F] "
       "[--instance F] [--query Q] [--constants N] [--nulls N] "
-      "[--max-facts N]\n");
+      "[--max-facts N] [--stats] [--trace FILE]\n");
   return 2;
 }
 
@@ -81,8 +88,11 @@ Instance RequireInstance(const Args& args) {
 int RunChase(const Args& args) {
   SchemaMapping m = RequireMapping(args, "mapping");
   Instance i = RequireInstance(args);
-  Instance chased = Unwrap(ChaseMapping(m, i), "chase");
-  std::printf("%s\n", chased.ToString().c_str());
+  ChaseResult chased = Unwrap(ChaseMappingWithStats(m, i), "chase");
+  std::printf("%s\n", chased.added.ToString().c_str());
+  if (args.Has("stats")) {
+    std::fprintf(stderr, "%s", chased.stats.ToString().c_str());
+  }
   return 0;
 }
 
@@ -172,15 +182,10 @@ int RunCore(const Args& args) {
   return 0;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  Args args;
-  args.command = argv[1];
-  for (int k = 2; k + 1 < argc; k += 2) {
-    if (std::strncmp(argv[k], "--", 2) != 0) return Usage();
-    args.flags[argv[k] + 2] = argv[k + 1];
-  }
+// Flags that take no value argument.
+bool IsBooleanFlag(const char* name) { return std::strcmp(name, "stats") == 0; }
 
+int Dispatch(const Args& args) {
   if (args.command == "chase") return RunChase(args);
   if (args.command == "reverse") return RunReverse(args);
   if (args.command == "roundtrip") return RunRoundTrip(args);
@@ -190,6 +195,39 @@ int Main(int argc, char** argv) {
   if (args.command == "certain") return RunCertain(args);
   if (args.command == "core") return RunCore(args);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int k = 2; k < argc;) {
+    if (std::strncmp(argv[k], "--", 2) != 0) return Usage();
+    const char* name = argv[k] + 2;
+    if (IsBooleanFlag(name)) {
+      args.flags[name] = "";
+      k += 1;
+    } else {
+      if (k + 1 >= argc) return Usage();
+      args.flags[name] = argv[k + 1];
+      k += 2;
+    }
+  }
+
+  if (const char* trace_path = args.Get("trace"); trace_path != nullptr) {
+    Status installed = obs::InstallTraceFile(trace_path);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "error (trace): %s\n",
+                   installed.ToString().c_str());
+      return 1;
+    }
+  }
+  int code = Dispatch(args);
+  if (args.Has("stats")) {
+    std::fprintf(stderr, "%s", obs::CountersToString().c_str());
+  }
+  obs::UninstallTraceSink();
+  return code;
 }
 
 }  // namespace
