@@ -1,0 +1,26 @@
+# Helper for the `bench_baseline` target (bench/CMakeLists.txt): merges the
+# freshly measured benchmark JSON files into the checked-in baseline via
+# tools/bench_compare.py, redirecting stdout into the source tree.
+#
+# Expects -DBENCH_COMPARE, -DJSONS (;-list), -DOUT.
+
+foreach(var BENCH_COMPARE JSONS OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_bench_baseline.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+find_package(Python3 COMPONENTS Interpreter REQUIRED)
+
+execute_process(
+  COMMAND ${Python3_EXECUTABLE} ${BENCH_COMPARE} merge ${JSONS}
+  RESULT_VARIABLE merge_result
+  OUTPUT_VARIABLE merged
+  ERROR_VARIABLE merge_stderr)
+if(NOT merge_result EQUAL 0)
+  message(FATAL_ERROR
+      "bench_compare.py merge failed (${merge_result}):\n${merge_stderr}")
+endif()
+
+file(WRITE ${OUT} "${merged}")
+message(STATUS "Wrote ${OUT}")

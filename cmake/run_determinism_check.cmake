@@ -1,0 +1,52 @@
+# Byte-identity determinism check driven by ctest (see tools/CMakeLists.txt):
+# runs the same rdx_cli subcommand with --threads 1 and --threads N in
+# separate processes and requires the stdout to match byte for byte.
+# Separate processes give every run a pristine fresh-null counter, so the
+# comparison is exact — no normalization involved. docs/parallelism.md
+# states this guarantee; this script enforces it.
+#
+# Expects -DRDX_CLI, -DSUBCOMMAND, -DCLI_ARGS (;-list), -DTHREADS, -DOUT_DIR.
+
+foreach(var RDX_CLI SUBCOMMAND CLI_ARGS THREADS OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_determinism_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(base_out ${OUT_DIR}/${SUBCOMMAND}_threads1.out)
+set(wide_out ${OUT_DIR}/${SUBCOMMAND}_threads${THREADS}.out)
+
+execute_process(
+  COMMAND ${RDX_CLI} ${SUBCOMMAND} ${CLI_ARGS} --threads 1
+  RESULT_VARIABLE base_result
+  OUTPUT_FILE ${base_out}
+  ERROR_VARIABLE base_stderr)
+if(NOT base_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli ${SUBCOMMAND} --threads 1 failed (${base_result}):\n"
+      "${base_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${RDX_CLI} ${SUBCOMMAND} ${CLI_ARGS} --threads ${THREADS}
+  RESULT_VARIABLE wide_result
+  OUTPUT_FILE ${wide_out}
+  ERROR_VARIABLE wide_stderr)
+if(NOT wide_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli ${SUBCOMMAND} --threads ${THREADS} failed (${wide_result}):\n"
+      "${wide_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${base_out} ${wide_out}
+  RESULT_VARIABLE compare_result)
+if(NOT compare_result EQUAL 0)
+  file(READ ${base_out} base_text)
+  file(READ ${wide_out} wide_text)
+  message(FATAL_ERROR
+      "rdx_cli ${SUBCOMMAND}: output differs between --threads 1 and "
+      "--threads ${THREADS}\n--- threads 1 ---\n${base_text}\n"
+      "--- threads ${THREADS} ---\n${wide_text}")
+endif()

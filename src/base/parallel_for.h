@@ -1,0 +1,62 @@
+#ifndef RDX_BASE_PARALLEL_FOR_H_
+#define RDX_BASE_PARALLEL_FOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "base/status.h"
+
+namespace rdx {
+namespace par {
+
+/// Runs fn(0) ... fn(n-1), dynamically scheduled across up to
+/// `num_threads` threads (the calling thread participates; helper work
+/// runs on the shared work-stealing pool, see base/thread_pool.h). Blocks
+/// until every iteration has completed.
+///
+/// num_threads <= 1 degenerates to a plain inline loop — byte-for-byte
+/// the sequential code path, with no pool involvement.
+///
+/// Iterations may execute in any order on any participating thread, so
+/// `fn` must only touch shared state through its own index (write fn(i)'s
+/// results to slot i of a pre-sized vector) or behind synchronization.
+/// Writes made by fn(i) are visible to the caller when ParallelFor
+/// returns. The first exception thrown by an iteration aborts the
+/// remaining unstarted iterations and is rethrown in the caller.
+///
+/// Nested calls are allowed: a waiting caller drains queued pool tasks
+/// instead of blocking, so inner loops cannot deadlock the pool.
+void ParallelFor(std::size_t num_threads, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+/// ParallelFor that collects fn(i) into slot i of the returned vector.
+/// T must be default-constructible; results are in index order regardless
+/// of execution order.
+template <typename T>
+std::vector<T> ParallelMap(std::size_t num_threads, std::size_t n,
+                           const std::function<T(std::size_t)>& fn) {
+  std::vector<T> out(n);
+  ParallelFor(num_threads, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+/// Races body(0) ... body(n-1) across up to `num_threads` threads and
+/// returns the lowest index for which body returned true — the same
+/// witness a sequential scan returns, so the result is deterministic for
+/// every thread count. Errors and witnesses are resolved in index order:
+/// the call returns body(e)'s error only if no index below e witnessed,
+/// exactly like the sequential scan. Tasks above a decided index may be
+/// skipped (their side effects — e.g. process-wide counters bumped by
+/// speculative searches — are the only thread-count-dependent
+/// observable). num_threads <= 1 is a plain sequential scan with
+/// early exit.
+Result<std::optional<std::size_t>> RaceFirstWitness(
+    std::size_t num_threads, std::size_t n,
+    const std::function<Result<bool>(std::size_t)>& body);
+
+}  // namespace par
+}  // namespace rdx
+
+#endif  // RDX_BASE_PARALLEL_FOR_H_

@@ -1,0 +1,243 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/parallel_for.h"
+
+namespace rdx {
+namespace par {
+namespace {
+
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// Submit can keep a worker's own spawned tasks on its own deque.
+struct ThreadIdentity {
+  ThreadPool* pool = nullptr;
+  std::size_t worker = 0;
+};
+thread_local ThreadIdentity t_identity;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_workers)
+    : workers_(std::make_unique<Worker[]>(kMaxWorkers)) {
+  EnsureWorkers(std::min(num_workers, kMaxWorkers));
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  wake_.notify_all();
+  std::size_t n = active_workers_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (workers_[i].thread.joinable()) workers_[i].thread.join();
+  }
+}
+
+void ThreadPool::EnsureWorkers(std::size_t min_workers) {
+  min_workers = std::min(min_workers, kMaxWorkers);
+  std::lock_guard<std::mutex> lock(sleep_mu_);
+  std::size_t current = active_workers_.load(std::memory_order_acquire);
+  for (std::size_t i = current; i < min_workers; ++i) {
+    workers_[i].thread = std::thread([this, i] { WorkerLoop(i); });
+    // Publish after the slot is fully initialized; stealers scan
+    // [0, active_workers_).
+    active_workers_.store(i + 1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  std::size_t n = active_workers_.load(std::memory_order_acquire);
+  std::size_t target;
+  if (t_identity.pool == this && n > 0) {
+    target = t_identity.worker;  // keep a worker's own spawn local
+  } else {
+    target = n == 0 ? 0 : next_victim_.fetch_add(1, std::memory_order_relaxed) % n;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target].mu);
+    workers_[target].tasks.push_back(std::move(task));
+  }
+  {
+    // Pairing the notify with the sleep mutex guarantees a worker checking
+    // its deques under sleep_mu_ either sees this task or gets the wakeup.
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+  }
+  wake_.notify_one();
+}
+
+bool ThreadPool::PopFrom(std::size_t index, bool steal,
+                         std::function<void()>* out) {
+  Worker& w = workers_[index];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.tasks.empty()) return false;
+  if (steal) {
+    *out = std::move(w.tasks.front());
+    w.tasks.pop_front();
+  } else {
+    *out = std::move(w.tasks.back());
+    w.tasks.pop_back();
+  }
+  return true;
+}
+
+bool ThreadPool::RunOneTask() {
+  std::size_t n = active_workers_.load(std::memory_order_acquire);
+  std::function<void()> task;
+  // Own deque first (LIFO) when called from a worker, then steal (FIFO)
+  // round the others.
+  std::size_t self = (t_identity.pool == this) ? t_identity.worker : n;
+  if (self < n && PopFrom(self, /*steal=*/false, &task)) {
+    task();
+    return true;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t victim = (self + 1 + k) % std::max<std::size_t>(n, 1);
+    if (victim == self) continue;
+    if (PopFrom(victim, /*steal=*/true, &task)) {
+      task();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  t_identity.pool = this;
+  t_identity.worker = self;
+  while (true) {
+    if (RunOneTask()) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    // Re-check for work under sleep_mu_ (Submit touches sleep_mu_ before
+    // notifying, so this cannot miss a task), then sleep.
+    bool has_work = false;
+    std::size_t n = active_workers_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < n && !has_work; ++i) {
+      std::lock_guard<std::mutex> wlock(workers_[i].mu);
+      has_work = !workers_[i].tasks.empty();
+    }
+    if (has_work) continue;
+    wake_.wait(lock, [this] {
+      if (stopping_.load(std::memory_order_acquire)) return true;
+      std::size_t n = active_workers_.load(std::memory_order_acquire);
+      for (std::size_t i = 0; i < n; ++i) {
+        std::lock_guard<std::mutex> wlock(workers_[i].mu);
+        if (!workers_[i].tasks.empty()) return true;
+      }
+      return false;
+    });
+    if (stopping_.load(std::memory_order_acquire)) return;
+  }
+}
+
+ThreadPool& ThreadPool::Shared(std::size_t min_workers) {
+  // Interned like the counter registry: created on first use, never
+  // destroyed, so engines may run during static destruction.
+  static ThreadPool* shared = new ThreadPool(0);
+  if (min_workers > 0) shared->EnsureWorkers(min_workers);
+  return *shared;
+}
+
+void ParallelFor(std::size_t num_threads, std::size_t n,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Every index in [0, n) is claimed exactly once via `next`; a claimant
+  // always bumps `finished` afterwards (even on error), so the caller can
+  // wait for finished == n without tracking in-flight helpers. Helpers
+  // outliving this call see next >= n immediately and touch only `state`.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> finished{0};
+    std::atomic<bool> abort{false};
+    std::mutex mu;
+    std::exception_ptr error;
+  };
+  auto state = std::make_shared<State>();
+  const std::function<void(std::size_t)>* body = &fn;
+
+  auto run_span = [state, n, body] {
+    while (true) {
+      std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      if (!state->abort.load(std::memory_order_relaxed)) {
+        try {
+          (*body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->error) state->error = std::current_exception();
+          state->abort.store(true, std::memory_order_relaxed);
+        }
+      }
+      state->finished.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  std::size_t helpers = std::min(num_threads, n) - 1;
+  ThreadPool& pool = ThreadPool::Shared(helpers);
+  for (std::size_t h = 0; h < helpers; ++h) pool.Submit(run_span);
+  run_span();
+  // Help drain the pool while our stragglers finish; this keeps nested
+  // ParallelFor calls (a pool worker waiting on its own inner loop) from
+  // deadlocking, since the waiter executes queued tasks itself.
+  while (state->finished.load(std::memory_order_acquire) < n) {
+    if (!pool.RunOneTask()) std::this_thread::yield();
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+Result<std::optional<std::size_t>> RaceFirstWitness(
+    std::size_t num_threads, std::size_t n,
+    const std::function<Result<bool>(std::size_t)>& body) {
+  if (num_threads <= 1 || n <= 1) {
+    for (std::size_t t = 0; t < n; ++t) {
+      RDX_ASSIGN_OR_RETURN(bool witness, body(t));
+      if (witness) return std::optional<std::size_t>(t);
+    }
+    return std::optional<std::size_t>();
+  }
+
+  struct Scan {
+    bool witness = false;
+    Status status = Status::OK();
+  };
+  std::vector<Scan> scans(n);
+  // Lowest index that witnessed (or errored); tasks above it are moot and
+  // skip themselves. `decided` only ever decreases, so a skipped task can
+  // never be one the resolution loop below consults: resolution stops at
+  // the final minimum, and every task at or below it ran to completion.
+  std::atomic<std::size_t> decided{n};
+  ParallelFor(num_threads, n, [&](std::size_t t) {
+    if (decided.load(std::memory_order_relaxed) < t) return;
+    Result<bool> witness = body(t);
+    bool won;
+    if (witness.ok()) {
+      scans[t].witness = *witness;
+      won = *witness;
+    } else {
+      scans[t].status = witness.status();
+      won = true;
+    }
+    if (won) {
+      std::size_t cur = decided.load(std::memory_order_relaxed);
+      while (t < cur && !decided.compare_exchange_weak(
+                            cur, t, std::memory_order_relaxed)) {
+      }
+    }
+  });
+  for (std::size_t t = 0; t < n; ++t) {
+    RDX_RETURN_IF_ERROR(scans[t].status);
+    if (scans[t].witness) return std::optional<std::size_t>(t);
+  }
+  return std::optional<std::size_t>();
+}
+
+}  // namespace par
+}  // namespace rdx

@@ -1,0 +1,95 @@
+#ifndef RDX_BASE_THREAD_POOL_H_
+#define RDX_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rdx {
+namespace par {
+
+/// Fixed-size work-stealing thread pool.
+///
+/// Each worker owns a deque of tasks: it pops from the front of its own
+/// deque and, when that runs dry, steals from the back of a sibling's. A
+/// task submitted from a worker thread lands on that worker's own deque
+/// (keeping related work hot); submissions from outside the pool are
+/// spread round-robin. Idle workers sleep on a condition variable, so a
+/// quiescent pool costs nothing.
+///
+/// The engines do not use this class directly — they go through
+/// `ParallelFor` / `ParallelMap` (base/parallel_for.h), which dispatch to
+/// the process-wide pool returned by `Shared()`. Construct a private pool
+/// only for tests or for workloads that must not share workers.
+///
+/// All public methods are thread-safe.
+class ThreadPool {
+ public:
+  /// Hard upper bound on workers, chosen far above any sane --threads
+  /// value. Keeping the worker array at fixed capacity lets stealing scan
+  /// it without locking the pool itself.
+  static constexpr std::size_t kMaxWorkers = 64;
+
+  /// Spawns `num_workers` worker threads (clamped to kMaxWorkers).
+  explicit ThreadPool(std::size_t num_workers);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of live workers.
+  std::size_t num_workers() const {
+    return active_workers_.load(std::memory_order_acquire);
+  }
+
+  /// Submits one task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread, if any is available.
+  /// Returns false when every deque is empty. ParallelFor's caller thread
+  /// uses this to help drain the pool instead of blocking — which also
+  /// makes nested ParallelFor calls from inside pool tasks deadlock-free.
+  bool RunOneTask();
+
+  /// The process-wide pool, grown (never shrunk) to at least `min_workers`
+  /// workers. The instance is created on first use and intentionally never
+  /// destroyed, like the obs::Counter registry, so engine code may use it
+  /// during static destruction.
+  static ThreadPool& Shared(std::size_t min_workers);
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+    std::thread thread;
+  };
+
+  void EnsureWorkers(std::size_t min_workers);
+  void WorkerLoop(std::size_t self);
+  bool PopFrom(std::size_t index, bool steal, std::function<void()>* out);
+
+  // Fixed-capacity slot array so stealers can scan [0, active_workers_)
+  // without synchronizing with worker creation.
+  std::unique_ptr<Worker[]> workers_;
+  std::atomic<std::size_t> active_workers_{0};
+  std::atomic<std::size_t> next_victim_{0};  // round-robin submission cursor
+  std::atomic<bool> stopping_{false};
+
+  // Sleep/wake machinery; the task deques have their own fine-grained
+  // locks, this mutex only covers idle waiting and worker growth.
+  std::mutex sleep_mu_;
+  std::condition_variable wake_;
+};
+
+}  // namespace par
+}  // namespace rdx
+
+#endif  // RDX_BASE_THREAD_POOL_H_

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "base/metrics.h"
+#include "base/parallel_for.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "core/fact_index.h"
@@ -106,6 +107,56 @@ std::optional<Assignment> AnchorSeed(const Atom& atom, const Fact& fact) {
   return seed;
 }
 
+// Adds a task-local MatchStats into the caller's accumulator (the
+// accumulator pointer is not thread-safe, so parallel enumeration tasks
+// record locally and merge here, in task order, after the join).
+void MergeMatchStats(const MatchStats& run, MatchStats* accumulator) {
+  if (accumulator == nullptr) return;
+  accumulator->enumerations += run.enumerations;
+  accumulator->steps += run.steps;
+  accumulator->candidates += run.candidates;
+  accumulator->matches += run.matches;
+}
+
+// One semi-naive enumeration unit: dependency `dep` with its body anchored
+// at a delta fact through `seed`. Tasks are built in the exact order the
+// sequential loop nest visits them, so merging task results in task order
+// (under the TriggerKey dedup) reproduces the sequential trigger list.
+struct EnumerationTask {
+  const Dependency* dep;
+  Assignment seed;
+};
+
+struct EnumerationResult {
+  std::vector<Assignment> matches;
+  MatchStats run;
+  Status status = Status::OK();
+};
+
+// Runs every task (each one a full sequential EnumerateMatches over a
+// shared snapshot index) across `num_threads` threads. Results land in
+// task order regardless of scheduling.
+std::vector<EnumerationResult> RunEnumerationTasks(
+    const std::vector<EnumerationTask>& tasks, const Instance& instance,
+    const FactIndex& index, const MatchOptions& match_options,
+    uint64_t num_threads) {
+  std::vector<EnumerationResult> results(tasks.size());
+  par::ParallelFor(num_threads, tasks.size(), [&](std::size_t t) {
+    EnumerationResult& r = results[t];
+    MatchOptions task_options = match_options;
+    task_options.num_threads = 1;
+    task_options.stats = &r.run;
+    r.status = EnumerateMatches(
+        tasks[t].dep->body(), instance, index,
+        [&](const Assignment& match) {
+          r.matches.push_back(match);
+          return true;
+        },
+        task_options, tasks[t].seed);
+  });
+  return results;
+}
+
 // Publishes a finished run's totals to the process-wide "chase.*"
 // counters (one batched atomic add per counter) and, when tracing, emits
 // the "chase.done" event.
@@ -184,18 +235,25 @@ Result<ChaseResult> Chase(const Instance& input,
     std::vector<Trigger> triggers;
     const bool semi_naive = options.use_semi_naive && round > 0;
     if (!semi_naive) {
+      // Full enumeration per dependency; CollectMatches fans the search
+      // out over num_threads and returns matches in sequential order.
+      MatchOptions match_options = options.match_options;
+      match_options.num_threads = options.num_threads;
       for (const Dependency& dep : dependencies) {
-        Status status = EnumerateMatches(
-            dep.body(), result.combined, index,
-            [&](const Assignment& match) {
-              triggers.push_back(Trigger{&dep, match});
-              return true;
-            },
-            options.match_options);
-        RDX_RETURN_IF_ERROR(status);
+        RDX_ASSIGN_OR_RETURN(
+            std::vector<Assignment> matches,
+            CollectMatches(dep.body(), result.combined, index,
+                           match_options));
+        for (Assignment& match : matches) {
+          triggers.push_back(Trigger{&dep, std::move(match)});
+        }
       }
     } else {
-      std::set<std::vector<uint64_t>> seen;
+      // One task per (dependency, anchor atom, delta fact) in the order
+      // the sequential loop nest visits them; run in parallel, then merge
+      // in task order so the dedup below sees matches exactly as the
+      // sequential enumeration would produce them.
+      std::vector<EnumerationTask> tasks;
       for (const Dependency& dep : dependencies) {
         const std::vector<Atom> body = dep.RelationalBody();
         for (std::size_t ai = 0; ai < body.size(); ++ai) {
@@ -203,16 +261,20 @@ Result<ChaseResult> Chase(const Instance& input,
             if (!(f.relation() == body[ai].relation())) continue;
             std::optional<Assignment> seed = AnchorSeed(body[ai], f);
             if (!seed.has_value()) continue;
-            Status status = EnumerateMatches(
-                dep.body(), result.combined, index,
-                [&](const Assignment& match) {
-                  if (seen.insert(TriggerKey(&dep, match)).second) {
-                    triggers.push_back(Trigger{&dep, match});
-                  }
-                  return true;
-                },
-                options.match_options, *seed);
-            RDX_RETURN_IF_ERROR(status);
+            tasks.push_back(EnumerationTask{&dep, *std::move(seed)});
+          }
+        }
+      }
+      std::vector<EnumerationResult> enumerated = RunEnumerationTasks(
+          tasks, result.combined, index, options.match_options,
+          options.num_threads);
+      std::set<std::vector<uint64_t>> seen;
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        MergeMatchStats(enumerated[t].run, options.match_options.stats);
+        RDX_RETURN_IF_ERROR(enumerated[t].status);
+        for (Assignment& match : enumerated[t].matches) {
+          if (seen.insert(TriggerKey(tasks[t].dep, match)).second) {
+            triggers.push_back(Trigger{tasks[t].dep, std::move(match)});
           }
         }
       }

@@ -28,6 +28,13 @@ struct ChaseOptions {
   /// naive strategy; exposed as a switch for the E1 ablation benchmark.
   bool use_semi_naive = true;
 
+  /// Threads used for per-round trigger enumeration (rdx::par). Firing is
+  /// always sequential over the snapshotted trigger list, so the chase
+  /// result — including fresh-null allocation and the per-round stats —
+  /// is identical for every value of num_threads. 1 (the default) is
+  /// exactly the sequential code path. See docs/parallelism.md.
+  uint64_t num_threads = 1;
+
   MatchOptions match_options;
 };
 

@@ -1,11 +1,14 @@
 #include "chase/disjunctive_chase.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
+#include <functional>
 #include <optional>
 #include <unordered_set>
 
 #include "base/metrics.h"
+#include "base/parallel_for.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "core/fact_index.h"
@@ -19,41 +22,110 @@ struct UnsatisfiedTrigger {
   Assignment match;
 };
 
+// Scans one dependency for a body match with no satisfiable head disjunct,
+// leaving it in *found (first in enumeration order). `cancelled`, when
+// set, is polled between body matches so a losing racer can stop early.
+Status ScanDependency(const Instance& instance, const FactIndex& index,
+                      const Dependency& dep, const MatchOptions& options,
+                      std::optional<UnsatisfiedTrigger>* found,
+                      const std::function<bool()>& cancelled) {
+  Status inner_error = Status::OK();
+  Status status = EnumerateMatches(
+      dep.body(), instance, index,
+      [&](const Assignment& match) {
+        if (cancelled && cancelled()) return false;
+        // Check whether some disjunct is satisfiable under `match`.
+        for (const auto& disjunct : dep.disjuncts()) {
+          bool satisfied = false;
+          Status s = EnumerateMatches(
+              disjunct, instance, index,
+              [&](const Assignment&) {
+                satisfied = true;
+                return false;
+              },
+              options, match);
+          if (!s.ok()) {
+            inner_error = s;
+            return false;
+          }
+          if (satisfied) return true;  // this match is fine; keep going
+        }
+        *found = UnsatisfiedTrigger{&dep, match};
+        return false;  // stop at the first violation
+      },
+      options);
+  RDX_RETURN_IF_ERROR(status);
+  RDX_RETURN_IF_ERROR(inner_error);
+  return Status::OK();
+}
+
+// Adds a racer-local MatchStats into the caller's accumulator (the
+// accumulator pointer is not thread-safe; losing racers' speculative work
+// is discarded so the accumulated totals match the sequential scan).
+void MergeMatchStats(const MatchStats& run, MatchStats* accumulator) {
+  if (accumulator == nullptr) return;
+  accumulator->enumerations += run.enumerations;
+  accumulator->steps += run.steps;
+  accumulator->candidates += run.candidates;
+  accumulator->matches += run.matches;
+}
+
 // Finds the first body match of some dependency with no satisfiable head
 // disjunct, or nullopt if `instance` satisfies all dependencies.
+//
+// With num_threads > 1 the per-dependency scans race on the pool; the
+// winner is the lowest dependency index that finds a violation, which is
+// exactly the trigger the sequential scan returns. Higher-index racers
+// are speculative: they stop once a lower index wins, and their stats are
+// dropped from the accumulator (the process-wide match.* counters do see
+// the speculative work).
 Result<std::optional<UnsatisfiedTrigger>> FindUnsatisfiedTrigger(
     const Instance& instance, const std::vector<Dependency>& dependencies,
-    const MatchOptions& options) {
+    const MatchOptions& options, uint64_t num_threads) {
   FactIndex index(instance);
-  for (const Dependency& dep : dependencies) {
+  if (num_threads <= 1 || dependencies.size() <= 1) {
+    for (const Dependency& dep : dependencies) {
+      std::optional<UnsatisfiedTrigger> found;
+      RDX_RETURN_IF_ERROR(ScanDependency(instance, index, dep, options,
+                                         &found, nullptr));
+      if (found.has_value()) return found;
+    }
+    return std::optional<UnsatisfiedTrigger>();
+  }
+
+  struct DepScan {
     std::optional<UnsatisfiedTrigger> found;
-    Status inner_error = Status::OK();
-    Status status = EnumerateMatches(
-        dep.body(), instance, index,
-        [&](const Assignment& match) {
-          // Check whether some disjunct is satisfiable under `match`.
-          for (const auto& disjunct : dep.disjuncts()) {
-            bool satisfied = false;
-            Status s = EnumerateMatches(
-                disjunct, instance, index,
-                [&](const Assignment&) {
-                  satisfied = true;
-                  return false;
-                },
-                options, match);
-            if (!s.ok()) {
-              inner_error = s;
-              return false;
-            }
-            if (satisfied) return true;  // this match is fine; keep going
-          }
-          found = UnsatisfiedTrigger{&dep, match};
-          return false;  // stop at the first violation
-        },
-        options);
-    RDX_RETURN_IF_ERROR(status);
-    RDX_RETURN_IF_ERROR(inner_error);
-    if (found.has_value()) return found;
+    MatchStats run;
+    Status status = Status::OK();
+  };
+  std::vector<DepScan> scans(dependencies.size());
+  std::atomic<std::size_t> winner{dependencies.size()};
+  par::ParallelFor(num_threads, dependencies.size(), [&](std::size_t d) {
+    if (winner.load(std::memory_order_relaxed) < d) return;
+    DepScan& scan = scans[d];
+    MatchOptions task_options = options;
+    task_options.num_threads = 1;
+    task_options.stats = &scan.run;
+    scan.status = ScanDependency(
+        instance, index, dependencies[d], task_options, &scan.found,
+        [&winner, d] {
+          return winner.load(std::memory_order_relaxed) < d;
+        });
+    if (scan.found.has_value()) {
+      std::size_t cur = winner.load(std::memory_order_relaxed);
+      while (d < cur &&
+             !winner.compare_exchange_weak(cur, d,
+                                           std::memory_order_relaxed)) {
+      }
+    }
+  });
+  // Resolve in dependency order: a task only stops early when a strictly
+  // lower index won, and that index is consulted first, so everything the
+  // resolution loop reads before returning ran to its sequential end.
+  for (std::size_t d = 0; d < dependencies.size(); ++d) {
+    MergeMatchStats(scans[d].run, options.stats);
+    RDX_RETURN_IF_ERROR(scans[d].status);
+    if (scans[d].found.has_value()) return std::move(scans[d].found);
   }
   return std::optional<UnsatisfiedTrigger>();
 }
@@ -157,7 +229,8 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
 
     RDX_ASSIGN_OR_RETURN(
         std::optional<UnsatisfiedTrigger> trigger,
-        FindUnsatisfiedTrigger(state, dependencies, options.match_options));
+        FindUnsatisfiedTrigger(state, dependencies, options.match_options,
+                               options.num_threads));
     if (!trigger.has_value()) {
       ++stats.branches_completed;
       // Completed branch: dedup (exact, then up to hom-equivalence).

@@ -26,6 +26,13 @@ struct DisjunctiveChaseOptions {
   /// are always dropped.
   bool dedup_hom_equivalent = true;
 
+  /// Threads racing the per-dependency violation scans (rdx::par). The
+  /// winner is always the lowest dependency index with a violation — the
+  /// same trigger the sequential scan finds — so branching order and the
+  /// final result set are identical for every value. 1 (the default) is
+  /// exactly the sequential code path. See docs/parallelism.md.
+  uint64_t num_threads = 1;
+
   MatchOptions match_options;
 };
 

@@ -1,31 +1,102 @@
 #include "core/core_computation.h"
 
+#include <algorithm>
+#include <vector>
+
 #include "base/metrics.h"
+#include "base/parallel_for.h"
 #include "base/trace.h"
 
 namespace rdx {
 namespace {
 
+// Adds an attempt-local HomomorphismStats into the caller's accumulator
+// (the accumulator pointer is not thread-safe; raced attempts record
+// locally and only the ones the sequential scan would have made are
+// merged, so accumulated totals stay deterministic).
+void MergeHomStats(const HomomorphismStats& run,
+                   HomomorphismStats* accumulator) {
+  if (accumulator == nullptr) return;
+  accumulator->searches += run.searches;
+  accumulator->steps += run.steps;
+  accumulator->candidate_pairs += run.candidate_pairs;
+  accumulator->backtracks += run.backtracks;
+  accumulator->domain_filter_prunes += run.domain_filter_prunes;
+  accumulator->found += run.found;
+  accumulator->micros += run.micros;
+}
+
 // Searches for an endomorphism of `instance` whose image misses at least one
 // fact. Returns the (strictly smaller) image if found. Counts every
 // candidate fact tried into `run`.
+//
+// With options.num_threads > 1 the independent retraction attempts race in
+// chunks of num_threads; the winner is the lowest candidate index whose
+// removal admits a homomorphism — exactly the fold the sequential scan
+// performs, so the fold sequence (and thus the core) is identical for
+// every thread count. Losing attempts past the winner are speculative:
+// their stats are dropped from the accumulator, though the process-wide
+// hom.* counters do see them.
 Result<std::optional<Instance>> FindShrinkingImage(
     const Instance& instance, const HomomorphismOptions& options,
     CoreStats* run) {
+  // Ground facts map to themselves under every homomorphism, so they can
+  // never be dropped.
+  std::vector<const Fact*> candidates;
   for (const Fact& f : instance.facts()) {
-    // A ground fact maps to itself under every homomorphism, so it can
-    // never be dropped.
-    if (f.IsGround()) continue;
-    ++run->retraction_attempts;
-    Instance target = instance;
-    target.RemoveFact(f);
-    RDX_ASSIGN_OR_RETURN(std::optional<ValueMap> h,
-                         FindHomomorphism(instance, target, {}, options));
-    if (h.has_value()) {
-      // h maps into a proper subinstance, so its image is strictly smaller
-      // and homomorphically equivalent (image ⊆ instance → image).
-      ++run->successful_folds;
-      return std::optional<Instance>(instance.Apply(*h));
+    if (!f.IsGround()) candidates.push_back(&f);
+  }
+
+  if (options.num_threads <= 1 || candidates.size() <= 1) {
+    for (const Fact* f : candidates) {
+      ++run->retraction_attempts;
+      Instance target = instance;
+      target.RemoveFact(*f);
+      RDX_ASSIGN_OR_RETURN(std::optional<ValueMap> h,
+                           FindHomomorphism(instance, target, {}, options));
+      if (h.has_value()) {
+        // h maps into a proper subinstance, so its image is strictly
+        // smaller and homomorphically equivalent (image ⊆ instance →
+        // image).
+        ++run->successful_folds;
+        return std::optional<Instance>(instance.Apply(*h));
+      }
+    }
+    return std::optional<Instance>();
+  }
+
+  struct Attempt {
+    std::optional<ValueMap> h;
+    HomomorphismStats hom_run;
+    Status status = Status::OK();
+  };
+  const std::size_t chunk = options.num_threads;
+  for (std::size_t base = 0; base < candidates.size(); base += chunk) {
+    const std::size_t count = std::min(chunk, candidates.size() - base);
+    std::vector<Attempt> attempts(count);
+    par::ParallelFor(options.num_threads, count, [&](std::size_t k) {
+      Attempt& attempt = attempts[k];
+      HomomorphismOptions task_options = options;
+      task_options.num_threads = 1;
+      task_options.stats = &attempt.hom_run;
+      Instance target = instance;
+      target.RemoveFact(*candidates[base + k]);
+      Result<std::optional<ValueMap>> h =
+          FindHomomorphism(instance, target, {}, task_options);
+      if (h.ok()) {
+        attempt.h = *std::move(h);
+      } else {
+        attempt.status = h.status();
+      }
+    });
+    for (std::size_t k = 0; k < count; ++k) {
+      ++run->retraction_attempts;
+      MergeHomStats(attempts[k].hom_run, options.stats);
+      RDX_RETURN_IF_ERROR(attempts[k].status);
+      if (attempts[k].h.has_value()) {
+        ++run->successful_folds;
+        return std::optional<Instance>(instance.Apply(*attempts[k].h));
+      }
     }
   }
   return std::optional<Instance>();

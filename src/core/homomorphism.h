@@ -47,6 +47,15 @@ struct HomomorphismOptions {
   /// unsatisfiable inputs.
   bool use_domain_filter = false;
 
+  /// Threads used by the callers that race independent searches —
+  /// ComputeCore / IsCore retraction attempts and the mapping-level
+  /// inverse checks. FindHomomorphism itself is always single-threaded;
+  /// it ignores this field. The raced winner is always the one the
+  /// sequential order would find first, so results are identical for
+  /// every value. 1 = the plain sequential code path. See
+  /// docs/parallelism.md.
+  uint64_t num_threads = 1;
+
   /// Optional per-run stats accumulator (not owned; may be null). The
   /// pointed-to struct is incremented, never reset, by each search run
   /// with these options.

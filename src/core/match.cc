@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
 #include "base/metrics.h"
+#include "base/parallel_for.h"
 #include "base/strings.h"
 
 namespace rdx {
@@ -28,6 +30,71 @@ void PublishMatchStats(const MatchStats& run, MatchStats* accumulator) {
   }
 }
 
+// Value of `t` under `assignment`, or nullopt for an unbound variable.
+std::optional<Value> LookupTerm(const Term& t, const Assignment& assignment) {
+  if (t.IsConstant()) return t.constant();
+  auto it = assignment.find(t.variable());
+  if (it == assignment.end()) return std::nullopt;
+  return it->second;
+}
+
+// Size of the smallest candidate list for `a` under the current bindings.
+// Shared by the sequential search and the parallel root-partitioning so
+// both branch on exactly the same atom (determinism depends on this).
+std::size_t CandidateBoundFor(const Atom& a, const FactIndex& index,
+                              const Assignment& assignment) {
+  const std::vector<const Fact*>* all = index.FactsOf(a.relation());
+  if (all == nullptr) return 0;
+  std::size_t best = all->size();
+  for (std::size_t i = 0; i < a.terms().size(); ++i) {
+    std::optional<Value> v = LookupTerm(a.terms()[i], assignment);
+    if (!v.has_value()) continue;
+    const std::vector<const Fact*>* filtered =
+        index.FactsWith(a.relation(), i, *v);
+    best = std::min(best, filtered == nullptr ? 0 : filtered->size());
+  }
+  return best;
+}
+
+// The smallest candidate list itself (nullptr => provably no match).
+const std::vector<const Fact*>* CandidatesFor(const Atom& a,
+                                              const FactIndex& index,
+                                              const Assignment& assignment) {
+  const std::vector<const Fact*>* best = index.FactsOf(a.relation());
+  if (best == nullptr) return nullptr;
+  for (std::size_t i = 0; i < a.terms().size(); ++i) {
+    std::optional<Value> v = LookupTerm(a.terms()[i], assignment);
+    if (!v.has_value()) continue;
+    const std::vector<const Fact*>* filtered =
+        index.FactsWith(a.relation(), i, *v);
+    if (filtered == nullptr) return nullptr;
+    if (filtered->size() < best->size()) best = filtered;
+  }
+  return best;
+}
+
+// Extends `*assignment` so that `atom` grounds to `fact`; false (with
+// *assignment possibly partially extended) on constant/binding conflict.
+// Mirrors Matcher::TryBindAtom's matching rules.
+bool TryExtendSeed(const Atom& atom, const Fact& fact,
+                   Assignment* assignment) {
+  const std::vector<Term>& terms = atom.terms();
+  const std::vector<Value>& args = fact.args();
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i].IsConstant()) {
+      if (!(terms[i].constant() == args[i])) return false;
+      continue;
+    }
+    auto it = assignment->find(terms[i].variable());
+    if (it != assignment->end()) {
+      if (!(it->second == args[i])) return false;
+    } else {
+      assignment->emplace(terms[i].variable(), args[i]);
+    }
+  }
+  return true;
+}
+
 class Matcher {
  public:
   Matcher(const std::vector<Atom>& atoms, const Instance& instance,
@@ -48,15 +115,16 @@ class Matcher {
     matched_.assign(relational_.size(), false);
   }
 
-  Status Run() {
+  // Runs the search, adding this run's counts to *run. Publishing to the
+  // process-wide counters is the caller's job (CollectMatches merges
+  // several partition runs into one logical enumeration first).
+  Status Run(MatchStats* run) {
     steps_ = 0;
     stopped_ = false;
     bool exhausted = Search(relational_.size());
-    MatchStats run;
-    run.steps = steps_;
-    run.candidates = candidates_;
-    run.matches = matches_;
-    PublishMatchStats(run, options_.stats);
+    run->steps += steps_;
+    run->candidates += candidates_;
+    run->matches += matches_;
     if (!exhausted && !stopped_) {
       return Status::ResourceExhausted(
           StrCat("match enumeration exceeded ", options_.max_steps,
@@ -66,15 +134,6 @@ class Matcher {
   }
 
  private:
-  // Returns the value of `t` under the current assignment, or nullopt if t
-  // is an unbound variable.
-  std::optional<Value> Lookup(const Term& t) const {
-    if (t.IsConstant()) return t.constant();
-    auto it = assignment_.find(t.variable());
-    if (it == assignment_.end()) return std::nullopt;
-    return it->second;
-  }
-
   // True if all variables of builtin atom `a` are bound.
   bool BuiltinReady(const Atom& a) const {
     for (const Term& t : a.terms()) {
@@ -94,34 +153,6 @@ class Matcher {
       if (!holds.ok() || !*holds) return false;
     }
     return true;
-  }
-
-  std::size_t CandidateBound(const Atom& a) const {
-    const std::vector<const Fact*>* all = index_.FactsOf(a.relation());
-    if (all == nullptr) return 0;
-    std::size_t best = all->size();
-    for (std::size_t i = 0; i < a.terms().size(); ++i) {
-      std::optional<Value> v = Lookup(a.terms()[i]);
-      if (!v.has_value()) continue;
-      const std::vector<const Fact*>* filtered =
-          index_.FactsWith(a.relation(), i, *v);
-      best = std::min(best, filtered == nullptr ? 0 : filtered->size());
-    }
-    return best;
-  }
-
-  const std::vector<const Fact*>* Candidates(const Atom& a) const {
-    const std::vector<const Fact*>* best = index_.FactsOf(a.relation());
-    if (best == nullptr) return nullptr;
-    for (std::size_t i = 0; i < a.terms().size(); ++i) {
-      std::optional<Value> v = Lookup(a.terms()[i]);
-      if (!v.has_value()) continue;
-      const std::vector<const Fact*>* filtered =
-          index_.FactsWith(a.relation(), i, *v);
-      if (filtered == nullptr) return nullptr;
-      if (filtered->size() < best->size()) best = filtered;
-    }
-    return best;
   }
 
   bool TryBindAtom(const Atom& a, const Fact& f,
@@ -160,7 +191,8 @@ class Matcher {
     std::size_t best_bound = std::numeric_limits<std::size_t>::max();
     for (std::size_t i = 0; i < relational_.size(); ++i) {
       if (matched_[i]) continue;
-      std::size_t bound = CandidateBound(*relational_[i]);
+      std::size_t bound = CandidateBoundFor(*relational_[i], index_,
+                                            assignment_);
       if (bound < best_bound) {
         best_bound = bound;
         best_idx = i;
@@ -170,7 +202,8 @@ class Matcher {
     if (best_bound == 0) return true;  // dead branch, fully explored
 
     const Atom& atom = *relational_[best_idx];
-    const std::vector<const Fact*>* candidates = Candidates(atom);
+    const std::vector<const Fact*>* candidates =
+        CandidatesFor(atom, index_, assignment_);
     if (candidates == nullptr) return true;
 
     matched_[best_idx] = true;
@@ -204,38 +237,151 @@ class Matcher {
   bool stopped_ = false;
 };
 
+// Safety validation (done by Dependency::Make, revalidated for direct
+// callers): builtin variables must occur in some relational atom or the
+// seed.
+Status ValidateBuiltinVars(const std::vector<Atom>& atoms,
+                           const Assignment& seed) {
+  for (const Atom& a : atoms) {
+    if (a.IsRelational()) continue;
+    for (Variable v : a.Vars()) {
+      bool found = seed.count(v) > 0;
+      for (const Atom& r : atoms) {
+        if (!r.IsRelational()) continue;
+        for (Variable rv : r.Vars()) {
+          if (rv == v) {
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            StrCat("builtin atom '", a.ToString(),
+                   "' uses variable not bound by any relational atom"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Parallel collection: partition the search by the candidate facts of the
+// root atom the sequential Matcher would branch on first. Each partition
+// k pre-binds the root atom to candidate fact k and runs the identical
+// sub-search over the remaining atoms, so concatenating partition results
+// in candidate order reproduces the sequential enumeration order — and
+// the summed candidates/matches counts — exactly. Only `steps` shifts
+// (the shared root node is counted once here, not per partition).
+Result<std::vector<Assignment>> CollectMatchesParallel(
+    const std::vector<Atom>& atoms, const Instance& instance,
+    const FactIndex& index, const MatchOptions& options,
+    const Assignment& seed) {
+  // Replicate the sequential root: pick the most constrained relational
+  // atom (smallest candidate bound, ties to the first).
+  const Atom* root = nullptr;
+  std::size_t root_pos = 0;
+  std::size_t best_bound = std::numeric_limits<std::size_t>::max();
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (!atoms[i].IsRelational()) continue;
+    std::size_t bound = CandidateBoundFor(atoms[i], index, seed);
+    if (bound < best_bound) {
+      best_bound = bound;
+      root = &atoms[i];
+      root_pos = i;
+      if (bound == 0) break;
+    }
+  }
+  MatchStats merged;
+  merged.steps = 1;  // the shared root node
+  if (root == nullptr || best_bound == 0) {
+    // No relational atoms is handled by the sequential path; a zero bound
+    // means a provably dead root, exactly like the sequential search.
+    PublishMatchStats(merged, options.stats);
+    return std::vector<Assignment>();
+  }
+  const std::vector<const Fact*>* candidates = CandidatesFor(*root, index,
+                                                             seed);
+  if (candidates == nullptr) {
+    PublishMatchStats(merged, options.stats);
+    return std::vector<Assignment>();
+  }
+
+  std::vector<Atom> sub_atoms;
+  sub_atoms.reserve(atoms.size() - 1);
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i != root_pos) sub_atoms.push_back(atoms[i]);
+  }
+
+  struct Partition {
+    std::vector<Assignment> matches;
+    MatchStats run;
+    Status status = Status::OK();
+  };
+  std::vector<Partition> parts(candidates->size());
+  par::ParallelFor(
+      options.num_threads, candidates->size(), [&](std::size_t k) {
+        Partition& p = parts[k];
+        p.run.candidates = 1;  // the root (atom, fact) binding attempt
+        Assignment sub_seed = seed;
+        if (!TryExtendSeed(*root, *(*candidates)[k], &sub_seed)) return;
+        // Builtins fully bound by the extended seed prune here, exactly
+        // where the sequential search checks them after the root binding.
+        for (const Atom& a : sub_atoms) {
+          if (a.IsRelational()) continue;
+          bool ready = true;
+          for (Variable v : a.Vars()) {
+            if (sub_seed.count(v) == 0) {
+              ready = false;
+              break;
+            }
+          }
+          if (!ready) continue;
+          Result<bool> holds = a.EvalBuiltin(sub_seed);
+          if (!holds.ok() || !*holds) return;
+        }
+        MatchOptions sub_options = options;
+        sub_options.num_threads = 1;
+        sub_options.stats = nullptr;
+        Matcher matcher(
+            sub_atoms, instance, index,
+            [&](const Assignment& match) {
+              p.matches.push_back(match);
+              return true;
+            },
+            sub_options, sub_seed);
+        p.status = matcher.Run(&p.run);
+      });
+
+  std::vector<Assignment> out;
+  for (const Partition& p : parts) {
+    merged.steps += p.run.steps;
+    merged.candidates += p.run.candidates;
+    merged.matches += p.run.matches;
+  }
+  PublishMatchStats(merged, options.stats);
+  for (const Partition& p : parts) {
+    RDX_RETURN_IF_ERROR(p.status);
+  }
+  for (Partition& p : parts) {
+    out.insert(out.end(), std::make_move_iterator(p.matches.begin()),
+               std::make_move_iterator(p.matches.end()));
+  }
+  return out;
+}
+
 }  // namespace
 
 Status EnumerateMatches(const std::vector<Atom>& atoms,
                         const Instance& instance, const FactIndex& index,
                         const MatchCallback& callback,
                         const MatchOptions& options, const Assignment& seed) {
-  for (const Atom& a : atoms) {
-    if (!a.IsRelational()) {
-      // Safety (validated by Dependency::Make, revalidated here for direct
-      // callers): builtin variables must occur in some relational atom.
-      for (Variable v : a.Vars()) {
-        bool found = seed.count(v) > 0;
-        for (const Atom& r : atoms) {
-          if (!r.IsRelational()) continue;
-          for (Variable rv : r.Vars()) {
-            if (rv == v) {
-              found = true;
-              break;
-            }
-          }
-          if (found) break;
-        }
-        if (!found) {
-          return Status::InvalidArgument(
-              StrCat("builtin atom '", a.ToString(),
-                     "' uses variable not bound by any relational atom"));
-        }
-      }
-    }
-  }
+  RDX_RETURN_IF_ERROR(ValidateBuiltinVars(atoms, seed));
   Matcher matcher(atoms, instance, index, callback, options, seed);
-  return matcher.Run();
+  MatchStats run;
+  Status status = matcher.Run(&run);
+  PublishMatchStats(run, options.stats);
+  return status;
 }
 
 Status EnumerateMatches(const std::vector<Atom>& atoms,
@@ -243,6 +389,33 @@ Status EnumerateMatches(const std::vector<Atom>& atoms,
                         const MatchOptions& options, const Assignment& seed) {
   FactIndex index(instance);
   return EnumerateMatches(atoms, instance, index, callback, options, seed);
+}
+
+Result<std::vector<Assignment>> CollectMatches(
+    const std::vector<Atom>& atoms, const Instance& instance,
+    const FactIndex& index, const MatchOptions& options,
+    const Assignment& seed) {
+  bool has_relational = false;
+  for (const Atom& a : atoms) {
+    if (a.IsRelational()) {
+      has_relational = true;
+      break;
+    }
+  }
+  if (options.num_threads > 1 && has_relational) {
+    RDX_RETURN_IF_ERROR(ValidateBuiltinVars(atoms, seed));
+    return CollectMatchesParallel(atoms, instance, index, options, seed);
+  }
+  std::vector<Assignment> out;
+  Status status = EnumerateMatches(
+      atoms, instance, index,
+      [&](const Assignment& match) {
+        out.push_back(match);
+        return true;
+      },
+      options, seed);
+  RDX_RETURN_IF_ERROR(status);
+  return out;
 }
 
 }  // namespace rdx

@@ -23,8 +23,16 @@ struct MatchStats {
 };
 
 struct MatchOptions {
-  /// Backtracking-node budget; exceeded => ResourceExhausted.
+  /// Backtracking-node budget; exceeded => ResourceExhausted. Under
+  /// parallel collection (CollectMatches with num_threads > 1) the budget
+  /// applies per partition, not to the whole search.
   uint64_t max_steps = 50'000'000;
+
+  /// Threads used by CollectMatches (EnumerateMatches itself is always
+  /// single-threaded; its callback contract is sequential). 1 = the plain
+  /// sequential code path, no thread-pool involvement. See
+  /// docs/parallelism.md.
+  uint64_t num_threads = 1;
 
   /// Optional per-run stats accumulator (not owned; may be null). The
   /// pointed-to struct is incremented, never reset, by each enumeration
@@ -59,6 +67,21 @@ Status EnumerateMatches(const std::vector<Atom>& atoms,
                         const MatchCallback& callback,
                         const MatchOptions& options = {},
                         const Assignment& seed = {});
+
+/// Enumerates like EnumerateMatches but returns the complete assignments
+/// as a vector, fanning the search out over options.num_threads threads
+/// (rdx::par). The parallel decomposition partitions the search by the
+/// candidate facts of the root atom the sequential search would branch on
+/// first, so the returned order, the match multiset, and the aggregated
+/// enumerations/candidates/matches stats are all independent of the
+/// thread count and identical to the sequential path (steps can differ:
+/// each partition is a separate sub-search with its own budget). The
+/// chase's trigger-enumeration phase is built on this; see
+/// docs/parallelism.md for the determinism argument.
+Result<std::vector<Assignment>> CollectMatches(
+    const std::vector<Atom>& atoms, const Instance& instance,
+    const FactIndex& index, const MatchOptions& options = {},
+    const Assignment& seed = {});
 
 }  // namespace rdx
 

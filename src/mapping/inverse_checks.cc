@@ -1,5 +1,9 @@
 #include "mapping/inverse_checks.h"
 
+#include <utility>
+#include <vector>
+
+#include "base/parallel_for.h"
 #include "core/homomorphism.h"
 
 namespace rdx {
@@ -7,26 +11,41 @@ namespace rdx {
 Result<std::optional<PairCounterexample>> CheckHomomorphismProperty(
     const SchemaMapping& mapping, const std::vector<Instance>& family,
     const ChaseOptions& options) {
-  // Pre-chase every member once.
+  // Pre-chase every member once. Kept sequential across members so fresh
+  // nulls are allocated in a reproducible order; each chase fans its own
+  // trigger enumeration out over options.num_threads.
   std::vector<Instance> chased;
   chased.reserve(family.size());
   for (const Instance& I : family) {
     RDX_ASSIGN_OR_RETURN(Instance c, ChaseMapping(mapping, I, options));
     chased.push_back(std::move(c));
   }
+  // Race the ordered-pair scans; the winner is the first pair (in the
+  // sequential loop-nest order) witnessing chase(I1) → chase(I2) without
+  // I1 → I2, so the counterexample is thread-count independent.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(family.size() * family.size());
   for (std::size_t i = 0; i < family.size(); ++i) {
     for (std::size_t j = 0; j < family.size(); ++j) {
-      if (i == j) continue;
-      RDX_ASSIGN_OR_RETURN(bool chase_hom,
-                           HasHomomorphism(chased[i], chased[j]));
-      if (!chase_hom) continue;
-      RDX_ASSIGN_OR_RETURN(bool source_hom,
-                           HasHomomorphism(family[i], family[j]));
-      if (!source_hom) {
-        return std::optional<PairCounterexample>(
-            PairCounterexample{family[i], family[j]});
-      }
+      if (i != j) pairs.emplace_back(i, j);
     }
+  }
+  RDX_ASSIGN_OR_RETURN(
+      std::optional<std::size_t> witness,
+      par::RaceFirstWitness(
+          options.num_threads, pairs.size(),
+          [&](std::size_t t) -> Result<bool> {
+            const auto& [i, j] = pairs[t];
+            RDX_ASSIGN_OR_RETURN(bool chase_hom,
+                                 HasHomomorphism(chased[i], chased[j]));
+            if (!chase_hom) return false;
+            RDX_ASSIGN_OR_RETURN(bool source_hom,
+                                 HasHomomorphism(family[i], family[j]));
+            return !source_hom;
+          }));
+  if (witness.has_value()) {
+    return std::optional<PairCounterexample>(PairCounterexample{
+        family[pairs[*witness].first], family[pairs[*witness].second]});
   }
   return std::optional<PairCounterexample>();
 }
@@ -44,18 +63,30 @@ Result<std::optional<PairCounterexample>> CheckSubsetProperty(
     RDX_ASSIGN_OR_RETURN(Instance c, ChaseMapping(mapping, *I, options));
     chased.push_back(std::move(c));
   }
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(ground.size() * ground.size());
   for (std::size_t i = 0; i < ground.size(); ++i) {
     for (std::size_t j = 0; j < ground.size(); ++j) {
-      if (i == j) continue;
-      // For ground instances, Sol(I2) ⊆ Sol(I1) iff chase(I1) → chase(I2).
-      RDX_ASSIGN_OR_RETURN(bool sol_containment,
-                           HasHomomorphism(chased[i], chased[j]));
-      if (!sol_containment) continue;
-      if (!ground[i]->SubsetOf(*ground[j])) {
-        return std::optional<PairCounterexample>(
-            PairCounterexample{*ground[i], *ground[j]});
-      }
+      if (i != j) pairs.emplace_back(i, j);
     }
+  }
+  RDX_ASSIGN_OR_RETURN(
+      std::optional<std::size_t> witness,
+      par::RaceFirstWitness(
+          options.num_threads, pairs.size(),
+          [&](std::size_t t) -> Result<bool> {
+            const auto& [i, j] = pairs[t];
+            // For ground instances, Sol(I2) ⊆ Sol(I1) iff
+            // chase(I1) → chase(I2).
+            RDX_ASSIGN_OR_RETURN(bool sol_containment,
+                                 HasHomomorphism(chased[i], chased[j]));
+            if (!sol_containment) return false;
+            return !ground[i]->SubsetOf(*ground[j]);
+          }));
+  if (witness.has_value()) {
+    return std::optional<PairCounterexample>(
+        PairCounterexample{*ground[pairs[*witness].first],
+                           *ground[pairs[*witness].second]});
   }
   return std::optional<PairCounterexample>();
 }
@@ -72,11 +103,24 @@ Result<bool> ChaseInverseHoldsFor(const SchemaMapping& mapping,
 Result<std::optional<Instance>> CheckChaseInverse(
     const SchemaMapping& mapping, const SchemaMapping& reverse,
     const std::vector<Instance>& family, const ChaseOptions& options) {
-  for (const Instance& I : family) {
-    RDX_ASSIGN_OR_RETURN(bool holds,
-                         ChaseInverseHoldsFor(mapping, reverse, I, options));
-    if (!holds) return std::optional<Instance>(I);
-  }
+  // Race the per-member round trips. Concurrent chases interleave their
+  // fresh-null draws from the global counter, but every downstream
+  // comparison is up to homomorphic equivalence, so the verdicts — and
+  // the first failing member returned — are thread-count independent.
+  ChaseOptions member_options = options;
+  member_options.num_threads = 1;
+  RDX_ASSIGN_OR_RETURN(
+      std::optional<std::size_t> witness,
+      par::RaceFirstWitness(options.num_threads, family.size(),
+                            [&](std::size_t t) -> Result<bool> {
+                              RDX_ASSIGN_OR_RETURN(
+                                  bool holds,
+                                  ChaseInverseHoldsFor(mapping, reverse,
+                                                       family[t],
+                                                       member_options));
+                              return !holds;
+                            }));
+  if (witness.has_value()) return std::optional<Instance>(family[*witness]);
   return std::optional<Instance>();
 }
 

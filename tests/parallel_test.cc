@@ -1,0 +1,396 @@
+// Tests for the rdx::par subsystem (thread pool, ParallelFor,
+// RaceFirstWitness) and for the determinism guarantee of the parallel
+// engines: every thread count must produce the same results — and the
+// same structural stats — as the sequential path.
+//
+// RDX_TEST_THREADS overrides the "wide" thread count (default 8) so the
+// CI TSan job can pin it explicitly.
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+uint64_t WideThreads() {
+  const char* v = std::getenv("RDX_TEST_THREADS");
+  if (v == nullptr) return 8;
+  int n = std::atoi(v);
+  return n < 1 ? 8 : static_cast<uint64_t>(n);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelFor / ThreadPool
+
+TEST(ParallelForTest, RunsEveryIterationExactlyOnce) {
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  par::ParallelFor(WideThreads(), kN,
+                   [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "iteration " << i;
+  }
+}
+
+TEST(ParallelForTest, SequentialDegenerateMatchesPlainLoop) {
+  std::vector<std::size_t> order;
+  par::ParallelFor(1, 10, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsANoop) {
+  par::ParallelFor(WideThreads(), 0,
+                   [&](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ParallelForTest, FirstExceptionPropagates) {
+  EXPECT_THROW(
+      par::ParallelFor(WideThreads(), 100,
+                       [&](std::size_t i) {
+                         if (i == 57) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedLoopsDoNotDeadlock) {
+  constexpr std::size_t kOuter = 8;
+  constexpr std::size_t kInner = 16;
+  std::atomic<int> total{0};
+  par::ParallelFor(WideThreads(), kOuter, [&](std::size_t) {
+    par::ParallelFor(WideThreads(), kInner,
+                     [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), static_cast<int>(kOuter * kInner));
+}
+
+TEST(ParallelForTest, ParallelMapFillsSlotsInIndexOrder) {
+  std::vector<std::size_t> out = par::ParallelMap<std::size_t>(
+      WideThreads(), 100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, SharedPoolGrowsToRequestedWorkers) {
+  par::ThreadPool& pool = par::ThreadPool::Shared(2);
+  EXPECT_GE(pool.num_workers(), 2u);
+  par::ThreadPool& again = par::ThreadPool::Shared(3);
+  EXPECT_GE(again.num_workers(), 3u);
+  EXPECT_EQ(&pool, &again);
+}
+
+// ---------------------------------------------------------------------------
+// RaceFirstWitness
+
+TEST(RaceFirstWitnessTest, FindsLowestWitnessAtEveryThreadCount) {
+  for (uint64_t threads : {uint64_t{1}, uint64_t{2}, WideThreads()}) {
+    RDX_ASSERT_OK_AND_ASSIGN(
+        std::optional<std::size_t> witness,
+        par::RaceFirstWitness(threads, 100, [](std::size_t t) -> Result<bool> {
+          return t == 23 || t == 71;
+        }));
+    ASSERT_TRUE(witness.has_value()) << "threads=" << threads;
+    EXPECT_EQ(*witness, 23u) << "threads=" << threads;
+  }
+}
+
+TEST(RaceFirstWitnessTest, NoWitnessReturnsNullopt) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<std::size_t> witness,
+      par::RaceFirstWitness(WideThreads(), 50,
+                            [](std::size_t) -> Result<bool> { return false; }));
+  EXPECT_FALSE(witness.has_value());
+}
+
+TEST(RaceFirstWitnessTest, ErrorBeforeAnyWitnessPropagates) {
+  Result<std::optional<std::size_t>> witness = par::RaceFirstWitness(
+      WideThreads(), 50, [](std::size_t t) -> Result<bool> {
+        if (t == 10) return Status::Internal("scan failed");
+        return t == 40;
+      });
+  EXPECT_FALSE(witness.ok());
+}
+
+TEST(RaceFirstWitnessTest, WitnessBelowErrorWinsLikeSequentialScan) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<std::size_t> witness,
+      par::RaceFirstWitness(WideThreads(), 50,
+                            [](std::size_t t) -> Result<bool> {
+                              if (t == 30) return Status::Internal("late");
+                              return t == 5;
+                            }));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_EQ(*witness, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// CollectMatches: parallel collection must reproduce the sequential
+// enumeration exactly — same matches in the same order, same
+// enumerations/candidates/matches stats — on randomized instances.
+
+TEST(CollectMatchesTest, MatchesSequentialOnRandomInstances) {
+  Schema schema = Schema::MustMake({{"ParT_E", 2}, {"ParT_L", 1}});
+  const Dependency join =
+      D("ParT_E(x, y) & ParT_E(y, z) -> ParT_L(x)");
+  const Dependency triangle =
+      D("ParT_E(x, y) & ParT_E(y, z) & ParT_E(z, x) -> ParT_L(x)");
+  const Dependency guarded =
+      D("ParT_E(x, y) & ParT_L(x) & x != y -> ParT_L(y)");
+
+  for (uint64_t seed : {1u, 7u, 42u, 1234u}) {
+    Rng rng(seed);
+    InstanceGenOptions gen;
+    gen.num_facts = 120;
+    gen.num_constants = 12;  // dense enough for real join fan-out
+    gen.null_ratio = 0.2;
+    Instance instance = RandomInstance(schema, gen, &rng);
+    FactIndex index(instance);
+
+    for (const Dependency& dep : {join, triangle, guarded}) {
+      MatchOptions sequential;
+      MatchStats seq_stats;
+      sequential.stats = &seq_stats;
+      RDX_ASSERT_OK_AND_ASSIGN(
+          std::vector<Assignment> expected,
+          CollectMatches(dep.body(), instance, index, sequential));
+
+      for (uint64_t threads : {uint64_t{2}, WideThreads()}) {
+        MatchOptions parallel;
+        parallel.num_threads = threads;
+        MatchStats par_stats;
+        parallel.stats = &par_stats;
+        RDX_ASSERT_OK_AND_ASSIGN(
+            std::vector<Assignment> actual,
+            CollectMatches(dep.body(), instance, index, parallel));
+        ASSERT_EQ(actual.size(), expected.size())
+            << "seed=" << seed << " threads=" << threads
+            << " dep=" << dep.ToString();
+        for (std::size_t k = 0; k < expected.size(); ++k) {
+          EXPECT_EQ(actual[k], expected[k])
+              << "match " << k << " differs (seed=" << seed
+              << " threads=" << threads << ")";
+        }
+        EXPECT_EQ(par_stats.enumerations, seq_stats.enumerations);
+        EXPECT_EQ(par_stats.candidates, seq_stats.candidates);
+        EXPECT_EQ(par_stats.matches, seq_stats.matches);
+        // steps intentionally unchecked: partitions count their own roots.
+      }
+    }
+  }
+}
+
+TEST(CollectMatchesTest, BudgetExhaustionSurfacesFromPartitions) {
+  Schema schema = Schema::MustMake({{"ParB_E", 2}});
+  Rng rng(3);
+  InstanceGenOptions gen;
+  gen.num_facts = 60;
+  gen.num_constants = 6;
+  Instance instance = RandomInstance(schema, gen, &rng);
+  FactIndex index(instance);
+  const Dependency join = D("ParB_E(x, y) & ParB_E(y, z) -> ParB_E(x, z)");
+  MatchOptions options;
+  options.num_threads = WideThreads();
+  options.max_steps = 1;  // every non-trivial partition blows the budget
+  Result<std::vector<Assignment>> result =
+      CollectMatches(join.body(), instance, index, options);
+  EXPECT_FALSE(result.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Chase determinism: identical structural stats and isomorphic results
+// (fresh-null *ids* shift between in-process runs because the null
+// counter is global, but allocation order — and thus the instance shape —
+// must not).
+
+TEST(ParallelChaseTest, ChaseIsIdenticalAcrossThreadCounts) {
+  scenarios::Scenario scenario = scenarios::PathSplit();
+  Rng rng(11);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      Instance input,
+      PathInstance(scenario.mapping.dependencies()[0].body()[0].relation(),
+                   60, /*null_ratio=*/0.25, &rng));
+
+  std::vector<ChaseResult> results;
+  for (uint64_t threads : {uint64_t{1}, uint64_t{2}, WideThreads()}) {
+    ChaseOptions options;
+    options.num_threads = threads;
+    RDX_ASSERT_OK_AND_ASSIGN(
+        ChaseResult chased,
+        Chase(input, scenario.mapping.dependencies(), options));
+    results.push_back(std::move(chased));
+  }
+  const ChaseResult& base = results[0];
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    EXPECT_EQ(results[r].rounds, base.rounds);
+    EXPECT_EQ(results[r].stats.triggers_enumerated,
+              base.stats.triggers_enumerated);
+    EXPECT_EQ(results[r].stats.triggers_fired, base.stats.triggers_fired);
+    EXPECT_EQ(results[r].stats.triggers_satisfied,
+              base.stats.triggers_satisfied);
+    EXPECT_EQ(results[r].stats.facts_added, base.stats.facts_added);
+    EXPECT_EQ(results[r].combined.size(), base.combined.size());
+    RDX_ASSERT_OK_AND_ASSIGN(bool iso,
+                             AreIsomorphic(results[r].combined,
+                                           base.combined));
+    EXPECT_TRUE(iso) << "thread count " << r << " changed the chase result";
+  }
+}
+
+TEST(ParallelChaseTest, NaiveStrategyAlsoIdenticalAcrossThreadCounts) {
+  scenarios::Scenario scenario = scenarios::PathSplit();
+  Rng rng(5);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      Instance input,
+      PathInstance(scenario.mapping.dependencies()[0].body()[0].relation(),
+                   40, /*null_ratio=*/0.2, &rng));
+  std::vector<ChaseResult> results;
+  for (uint64_t threads : {uint64_t{1}, WideThreads()}) {
+    ChaseOptions options;
+    options.use_semi_naive = false;
+    options.num_threads = threads;
+    RDX_ASSERT_OK_AND_ASSIGN(
+        ChaseResult chased,
+        Chase(input, scenario.mapping.dependencies(), options));
+    results.push_back(std::move(chased));
+  }
+  EXPECT_EQ(results[1].stats.triggers_enumerated,
+            results[0].stats.triggers_enumerated);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      bool iso, AreIsomorphic(results[1].combined, results[0].combined));
+  EXPECT_TRUE(iso);
+}
+
+TEST(ParallelChaseTest, DisjunctiveChaseIsIdenticalAcrossThreadCounts) {
+  scenarios::Scenario scenario = scenarios::SelfLoop();
+  ASSERT_TRUE(scenario.reverse.has_value());
+  Instance target = I("SlPp(a, a) SlPp(a, b) SlPp(b, b)");
+
+  std::vector<DisjunctiveChaseResult> results;
+  for (uint64_t threads : {uint64_t{1}, uint64_t{2}, WideThreads()}) {
+    DisjunctiveChaseOptions options;
+    options.num_threads = threads;
+    RDX_ASSERT_OK_AND_ASSIGN(
+        DisjunctiveChaseResult chased,
+        DisjunctiveChase(target, scenario.reverse->dependencies(), options));
+    results.push_back(std::move(chased));
+  }
+  const DisjunctiveChaseResult& base = results[0];
+  ASSERT_GT(base.combined.size(), 1u) << "scenario must actually branch";
+  for (std::size_t r = 1; r < results.size(); ++r) {
+    EXPECT_EQ(results[r].stats.steps, base.stats.steps);
+    EXPECT_EQ(results[r].stats.branches_expanded,
+              base.stats.branches_expanded);
+    EXPECT_EQ(results[r].stats.branches_completed,
+              base.stats.branches_completed);
+    ASSERT_EQ(results[r].combined.size(), base.combined.size());
+    for (std::size_t w = 0; w < base.combined.size(); ++w) {
+      RDX_ASSERT_OK_AND_ASSIGN(
+          bool iso, AreIsomorphic(results[r].combined[w], base.combined[w]));
+      EXPECT_TRUE(iso) << "world " << w << " differs at thread set " << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Core computation: retraction racing must perform the same fold sequence,
+// so the computed core is bit-identical (no fresh values involved).
+
+TEST(ParallelCoreTest, CoreIsIdenticalAcrossThreadCounts) {
+  // A chain with redundant null-padded facts folds down in several
+  // iterations, exercising the chunked race repeatedly.
+  Instance instance = I(
+      "ParC_E(a, b) ParC_E(b, c) "
+      "ParC_E(a, ?n1) ParC_E(?n1, c) ParC_E(a, ?n2) ParC_E(?n2, ?n3) "
+      "ParC_E(?n4, c) ParC_E(b, ?n5) ParC_E(?n6, ?n7)");
+  HomomorphismOptions sequential;
+  CoreStats seq_stats;
+  RDX_ASSERT_OK_AND_ASSIGN(Instance expected,
+                           ComputeCore(instance, sequential, &seq_stats));
+  for (uint64_t threads : {uint64_t{2}, WideThreads()}) {
+    HomomorphismOptions options;
+    options.num_threads = threads;
+    CoreStats par_stats;
+    RDX_ASSERT_OK_AND_ASSIGN(Instance core,
+                             ComputeCore(instance, options, &par_stats));
+    EXPECT_EQ(core, expected) << "threads=" << threads;
+    EXPECT_EQ(par_stats.iterations, seq_stats.iterations);
+    EXPECT_EQ(par_stats.retraction_attempts, seq_stats.retraction_attempts);
+    EXPECT_EQ(par_stats.successful_folds, seq_stats.successful_folds);
+  }
+}
+
+TEST(ParallelCoreTest, IsCoreAgreesAcrossThreadCounts) {
+  Instance not_core = I("ParC_E(a, b) ParC_E(a, ?n1)");
+  Instance core = I("ParC_E(a, b) ParC_E(b, a)");
+  for (uint64_t threads : {uint64_t{1}, WideThreads()}) {
+    HomomorphismOptions options;
+    options.num_threads = threads;
+    RDX_ASSERT_OK_AND_ASSIGN(bool a, IsCore(not_core, options));
+    EXPECT_FALSE(a);
+    RDX_ASSERT_OK_AND_ASSIGN(bool b, IsCore(core, options));
+    EXPECT_TRUE(b);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Inverse checks: raced pair scans must return the sequential
+// counterexample.
+
+TEST(ParallelInverseChecksTest, HomomorphismPropertyCounterexampleStable) {
+  scenarios::Scenario scenario = scenarios::Union();
+  std::vector<Instance> family = {I("UnP(0)"), I("UnQ(0)"), I("UnP(1)"),
+                                  I("UnQ(1)")};
+  ChaseOptions sequential;
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<PairCounterexample> expected,
+      CheckHomomorphismProperty(scenario.mapping, family, sequential));
+  ASSERT_TRUE(expected.has_value());
+  for (uint64_t threads : {uint64_t{2}, WideThreads()}) {
+    ChaseOptions options;
+    options.num_threads = threads;
+    RDX_ASSERT_OK_AND_ASSIGN(
+        std::optional<PairCounterexample> actual,
+        CheckHomomorphismProperty(scenario.mapping, family, options));
+    ASSERT_TRUE(actual.has_value()) << "threads=" << threads;
+    EXPECT_EQ(actual->i1, expected->i1);
+    EXPECT_EQ(actual->i2, expected->i2);
+  }
+}
+
+TEST(ParallelInverseChecksTest, ChaseInverseWitnessStable) {
+  scenarios::Scenario scenario = scenarios::PathSplit();
+  ASSERT_TRUE(scenario.reverse.has_value());
+  // M' is an extended inverse but not an inverse: ground instances expose
+  // the failure (Example 3.18), so some family member must be returned.
+  std::vector<Instance> family = {I("PathP(a, b)"), I("PathP(b, c)"),
+                                  I("PathP(a, a)")};
+  ChaseOptions sequential;
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<Instance> expected,
+      CheckChaseInverse(scenario.mapping, *scenario.reverse, family,
+                        sequential));
+  for (uint64_t threads : {uint64_t{2}, WideThreads()}) {
+    ChaseOptions options;
+    options.num_threads = threads;
+    RDX_ASSERT_OK_AND_ASSIGN(
+        std::optional<Instance> actual,
+        CheckChaseInverse(scenario.mapping, *scenario.reverse, family,
+                          options));
+    ASSERT_EQ(actual.has_value(), expected.has_value());
+    if (expected.has_value()) {
+      EXPECT_EQ(*actual, *expected);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rdx

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for the RDX CI (stdlib only, no pip deps).
+
+Compares google-benchmark JSON output against a checked-in baseline and
+fails (exit 1) if any benchmark's median real_time regressed more than the
+threshold. Benchmarks present on only one side are reported but never
+fail the gate (new benchmarks land with the PR that adds them; the
+baseline is regenerated via the `bench_baseline` target).
+
+Usage:
+  bench_compare.py compare --baseline bench/baseline.json \
+      --current out1.json [out2.json ...] [--threshold 0.15]
+  bench_compare.py merge out1.json [out2.json ...] > baseline.json
+
+`merge` folds several per-binary JSON files into one flat baseline mapping
+benchmark name -> median real_time (ns), suitable for checking in.
+
+Median selection: with --benchmark_repetitions=N google-benchmark emits
+aggregate entries (run_type == "aggregate", aggregate_name == "median");
+those are preferred. Without repetitions, the plain iteration entry is
+used as-is.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path):
+    """Returns {benchmark name: median real_time in ns} for one JSON file."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    plain = {}
+    medians = {}
+    for entry in doc.get("benchmarks", []):
+        name = entry.get("run_name", entry.get("name", ""))
+        if not name:
+            continue
+        unit_scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
+            entry.get("time_unit", "ns"), 1.0)
+        time_ns = float(entry.get("real_time", 0.0)) * unit_scale
+        if entry.get("run_type") == "aggregate":
+            if entry.get("aggregate_name") == "median":
+                medians[name] = time_ns
+        elif entry.get("run_type", "iteration") == "iteration":
+            # Last one wins; identical names only occur without repetitions.
+            plain[name] = time_ns
+    # Prefer aggregates; fall back to the plain entry per name.
+    out = dict(plain)
+    out.update(medians)
+    return out
+
+
+def load_many(paths):
+    merged = {}
+    for path in paths:
+        for name, time_ns in load_medians(path).items():
+            if name in merged:
+                print(f"warning: duplicate benchmark '{name}' in {path}; "
+                      "keeping the first occurrence", file=sys.stderr)
+                continue
+            merged[name] = time_ns
+    return merged
+
+
+def cmd_merge(args):
+    merged = load_many(args.files)
+    if not merged:
+        print("error: no benchmark entries found", file=sys.stderr)
+        return 1
+    json.dump({"schema": "rdx-bench-baseline-v1",
+               "median_real_time_ns": dict(sorted(merged.items()))},
+              sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
+def cmd_compare(args):
+    with open(args.baseline, "r", encoding="utf-8") as f:
+        baseline_doc = json.load(f)
+    baseline = baseline_doc.get("median_real_time_ns", {})
+    current = load_many(args.current)
+
+    regressions = []
+    improvements = []
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+    for name in sorted(set(baseline) & set(current)):
+        base = baseline[name]
+        cur = current[name]
+        if base <= 0:
+            continue
+        ratio = cur / base
+        line = f"{name}: {base:12.0f} ns -> {cur:12.0f} ns  ({ratio:5.2f}x)"
+        if ratio > 1.0 + args.threshold:
+            regressions.append(line)
+        elif ratio < 1.0 - args.threshold:
+            improvements.append(line)
+
+    if improvements:
+        print(f"-- improved beyond {args.threshold:.0%}:")
+        for line in improvements:
+            print(f"   {line}")
+    if new:
+        print(f"-- not in baseline (run `make bench_baseline` to adopt): "
+              f"{', '.join(new)}")
+    if missing:
+        print(f"-- in baseline but not measured: {', '.join(missing)}")
+    if regressions:
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} vs {args.baseline}:")
+        for line in regressions:
+            print(f"   {line}")
+        return 1
+    print(f"OK: no benchmark regressed more than {args.threshold:.0%} "
+          f"({len(set(baseline) & set(current))} compared, "
+          f"{len(new)} new, {len(missing)} missing)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compare = sub.add_parser("compare", help="gate current vs baseline")
+    p_compare.add_argument("--baseline", required=True)
+    p_compare.add_argument("--current", nargs="+", required=True)
+    p_compare.add_argument("--threshold", type=float, default=0.15,
+                           help="allowed relative slowdown (default 0.15)")
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_merge = sub.add_parser("merge", help="fold JSON files into a baseline")
+    p_merge.add_argument("files", nargs="+")
+    p_merge.set_defaults(func=cmd_merge)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

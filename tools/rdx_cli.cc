@@ -7,7 +7,7 @@
 //   rdx_cli quasi-inverse  --mapping M.rdx
 //   rdx_cli compose        --mapping M12.rdx --second M23.rdx
 //   rdx_cli analyze        --mapping M.rdx [--constants 2 --nulls 1 --max-facts 1]
-//   rdx_cli certain        --mapping M.rdx --reverse M'.rdx --instance I.rdx \
+//   rdx_cli certain        --mapping M.rdx --reverse M'.rdx --instance I.rdx
 //                          --query "q(x, y) :- P(x, y)"
 //   rdx_cli core           --instance I.rdx
 //
@@ -16,6 +16,10 @@
 //                  all process counters) to stderr after the run
 //   --trace FILE   write structured JSONL trace events to FILE
 //                  (docs/observability.md describes the event schema)
+//   --threads N    fan engine-internal work (trigger enumeration,
+//                  retraction attempts, violation scans) out over N
+//                  threads; results are identical for every N
+//                  (docs/parallelism.md). Default 1 = sequential.
 //
 // Mapping files use the format of mapping_io.h; instance files use the
 // instance_parser.h syntax ('#' comments allowed in both).
@@ -44,6 +48,11 @@ struct Args {
     const char* v = Get(key);
     return v == nullptr ? fallback : std::atoi(v);
   }
+  // --threads N, clamped below at 1 (0 or garbage fall back to sequential).
+  uint64_t Threads() const {
+    int n = GetInt("threads", 1);
+    return n < 1 ? 1 : static_cast<uint64_t>(n);
+  }
 };
 
 int Usage() {
@@ -52,7 +61,7 @@ int Usage() {
       "usage: rdx_cli <chase|reverse|roundtrip|quasi-inverse|compose|"
       "analyze|certain|core> [--mapping F] [--second F] [--reverse F] "
       "[--instance F] [--query Q] [--constants N] [--nulls N] "
-      "[--max-facts N] [--stats] [--trace FILE]\n");
+      "[--max-facts N] [--threads N] [--stats] [--trace FILE]\n");
   return 2;
 }
 
@@ -88,7 +97,9 @@ Instance RequireInstance(const Args& args) {
 int RunChase(const Args& args) {
   SchemaMapping m = RequireMapping(args, "mapping");
   Instance i = RequireInstance(args);
-  ChaseResult chased = Unwrap(ChaseMappingWithStats(m, i), "chase");
+  ChaseOptions options;
+  options.num_threads = args.Threads();
+  ChaseResult chased = Unwrap(ChaseMappingWithStats(m, i, options), "chase");
   std::printf("%s\n", chased.added.ToString().c_str());
   if (args.Has("stats")) {
     std::fprintf(stderr, "%s", chased.stats.ToString().c_str());
@@ -99,8 +110,10 @@ int RunChase(const Args& args) {
 int RunReverse(const Args& args) {
   SchemaMapping m = RequireMapping(args, "mapping");
   Instance i = RequireInstance(args);
+  DisjunctiveChaseOptions options;
+  options.num_threads = args.Threads();
   std::vector<Instance> branches =
-      Unwrap(DisjunctiveChaseMapping(m, i), "disjunctive chase");
+      Unwrap(DisjunctiveChaseMapping(m, i, options), "disjunctive chase");
   std::printf("%zu possible world(s):\n", branches.size());
   for (const Instance& v : branches) {
     std::printf("  %s\n", v.ToString().c_str());
@@ -112,8 +125,13 @@ int RunRoundTrip(const Args& args) {
   SchemaMapping m = RequireMapping(args, "mapping");
   SchemaMapping back = RequireMapping(args, "reverse");
   Instance i = RequireInstance(args);
-  std::vector<Instance> branches =
-      Unwrap(ReverseRoundTrip(m, back, i), "round trip");
+  ChaseOptions chase_options;
+  chase_options.num_threads = args.Threads();
+  DisjunctiveChaseOptions disjunctive_options;
+  disjunctive_options.num_threads = args.Threads();
+  std::vector<Instance> branches = Unwrap(
+      ReverseRoundTrip(m, back, i, chase_options, disjunctive_options),
+      "round trip");
   std::printf("input:  %s\n", i.ToString().c_str());
   std::printf("%zu recovered world(s):\n", branches.size());
   for (const Instance& v : branches) {
@@ -149,6 +167,8 @@ int RunAnalyze(const Args& args) {
   options.universe_nulls = static_cast<std::size_t>(args.GetInt("nulls", 1));
   options.universe_max_facts =
       static_cast<std::size_t>(args.GetInt("max-facts", 1));
+  options.chase_options.num_threads = args.Threads();
+  options.disjunctive_options.num_threads = args.Threads();
   InvertibilityReport report = Unwrap(AnalyzeMapping(m, options), "analyze");
   std::printf("%s", report.ToString().c_str());
   if (!report.extended_invertible && !m.IsFullTgdMapping()) {
@@ -169,15 +189,23 @@ int RunCertain(const Args& args) {
   }
   ConjunctiveQuery q =
       Unwrap(ConjunctiveQuery::Parse(query_text), "query");
-  TupleSet certain =
-      Unwrap(ReverseCertainAnswers(m, back, q, i), "certain answers");
+  ChaseOptions chase_options;
+  chase_options.num_threads = args.Threads();
+  DisjunctiveChaseOptions disjunctive_options;
+  disjunctive_options.num_threads = args.Threads();
+  TupleSet certain = Unwrap(
+      ReverseCertainAnswers(m, back, q, i, chase_options,
+                            disjunctive_options),
+      "certain answers");
   std::printf("%s\n", TupleSetToString(certain).c_str());
   return 0;
 }
 
 int RunCore(const Args& args) {
   Instance i = RequireInstance(args);
-  Instance core = Unwrap(ComputeCore(i), "core");
+  HomomorphismOptions options;
+  options.num_threads = args.Threads();
+  Instance core = Unwrap(ComputeCore(i, options), "core");
   std::printf("%s\n", core.ToString().c_str());
   return 0;
 }
