@@ -1,0 +1,92 @@
+#include "core/blocks.h"
+
+#include <numeric>
+#include <unordered_map>
+
+namespace rdx {
+namespace {
+
+// Disjoint-set forest over dense ids with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t Find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(std::size_t a, std::size_t b) {
+    a = Find(a);
+    b = Find(b);
+    // Lower root wins so representatives stay stable in insertion order.
+    if (a == b) return;
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+BlockDecomposition DecomposeIntoBlocks(const Instance& instance) {
+  BlockDecomposition out;
+  // Dense ids for the non-ground facts, in insertion order.
+  std::vector<const Fact*> null_facts;
+  for (const Fact& f : instance.facts()) {
+    if (f.IsGround()) {
+      out.ground.push_back(&f);
+    } else {
+      null_facts.push_back(&f);
+    }
+  }
+  if (null_facts.empty()) return out;
+
+  UnionFind sets(null_facts.size());
+  // Facts sharing a null are connected: union each fact with the previous
+  // fact seen for every null it carries.
+  std::unordered_map<Value, std::size_t, ValueHash> last_fact_with_null;
+  for (std::size_t i = 0; i < null_facts.size(); ++i) {
+    for (const Value& v : null_facts[i]->args()) {
+      if (!v.IsNull()) continue;
+      auto [it, inserted] = last_fact_with_null.try_emplace(v, i);
+      if (!inserted) {
+        sets.Union(it->second, i);
+        it->second = i;
+      }
+    }
+  }
+
+  // Group by root; block order = order of each root's first fact.
+  std::unordered_map<std::size_t, std::size_t> block_of_root;
+  for (std::size_t i = 0; i < null_facts.size(); ++i) {
+    std::size_t root = sets.Find(i);
+    auto [it, inserted] =
+        block_of_root.try_emplace(root, out.blocks.size());
+    if (inserted) out.blocks.emplace_back();
+    out.blocks[it->second].push_back(null_facts[i]);
+  }
+  return out;
+}
+
+uint64_t BlockFingerprint(const std::vector<const Fact*>& facts) {
+  // XOR of fact hashes is order-insensitive; the seed keeps the empty
+  // residue distinct from a zero-hash singleton.
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (const Fact* f : facts) {
+    h ^= static_cast<uint64_t>(f->Hash());
+  }
+  return h;
+}
+
+}  // namespace rdx

@@ -1,0 +1,42 @@
+#ifndef RDX_CORE_BLOCKS_H_
+#define RDX_CORE_BLOCKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rdx {
+
+/// Decomposition of an instance into its ground facts and its null-blocks:
+/// the connected components of the Gaifman graph whose vertices are the
+/// non-ground facts and whose edges join facts sharing a labeled null
+/// (Fagin–Kolaitis–Popa, "Data exchange: getting to the core").
+///
+/// Because the blocks partition the nulls, every endomorphism of the
+/// instance that fixes constants decomposes into one independent
+/// homomorphism per block — which is what lets the core engine retract
+/// blockwise instead of searching over the whole instance
+/// (see docs/core.md).
+///
+/// Fact pointers reference the decomposed instance's storage; the instance
+/// must outlive the decomposition. Ordering is deterministic: ground facts
+/// and the facts within each block keep instance insertion order, and
+/// blocks are ordered by their lowest fact index.
+struct BlockDecomposition {
+  std::vector<const Fact*> ground;
+  std::vector<std::vector<const Fact*>> blocks;
+};
+
+/// Computes the block decomposition of `instance` in
+/// O(facts · arity · α) time via union-find over the nulls.
+BlockDecomposition DecomposeIntoBlocks(const Instance& instance);
+
+/// Order-insensitive fingerprint of a set of facts (XOR of fact hashes,
+/// like Instance::Hash). The core engine stamps each block's residue with
+/// this for trace output; equal residues always fingerprint equal.
+uint64_t BlockFingerprint(const std::vector<const Fact*>& facts);
+
+}  // namespace rdx
+
+#endif  // RDX_CORE_BLOCKS_H_

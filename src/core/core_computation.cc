@@ -1,11 +1,17 @@
 #include "core/core_computation.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "base/metrics.h"
 #include "base/parallel_for.h"
 #include "base/trace.h"
+#include "core/blocks.h"
+#include "core/fact_index.h"
 
 namespace rdx {
 namespace {
@@ -25,6 +31,10 @@ void MergeHomStats(const HomomorphismStats& run,
   accumulator->found += run.found;
   accumulator->micros += run.micros;
 }
+
+// ---------------------------------------------------------------------------
+// Legacy whole-instance engine (CoreOptions::use_blocks = false).
+// ---------------------------------------------------------------------------
 
 // Searches for an endomorphism of `instance` whose image misses at least one
 // fact. Returns the (strictly smaller) image if found. Counts every
@@ -102,34 +112,322 @@ Result<std::optional<Instance>> FindShrinkingImage(
   return std::optional<Instance>();
 }
 
+// ---------------------------------------------------------------------------
+// Block-decomposed engine (CoreOptions::use_blocks = true, the default).
+//
+// The instance splits into ground facts plus null-blocks (core/blocks.h).
+// A retraction dropping fact f exists iff f's own block maps into the
+// alive instance minus f — every other block can stay put under the
+// identity — so each attempt searches from one small block instead of the
+// whole instance, against the shared FactIndex with dead facts masked out
+// (no per-attempt copy or index rebuild).
+//
+// The engine runs in rounds. Each round: (1) discovery — every active
+// block independently scans its candidates in order against the
+// round-start alive set and reports the first droppable fact with its
+// witness homomorphism (blocks are rdx::par units; the scan within a
+// block races in chunks like the legacy engine); (2) application — the
+// proposals are applied sequentially in ascending block order, each
+// validated against the current alive set (an earlier application this
+// round may have killed a fact the witness maps onto; such a proposal is
+// dropped and the block retries next round). The first applied proposal
+// is always valid, so every round with a proposal strictly shrinks the
+// instance and the loop terminates.
+//
+// Memoization: a failed attempt (block, f) stays failed while the block's
+// residue is unchanged — homomorphism existence is monotone in the target
+// and the alive set only ever shrinks, so re-searching cannot succeed.
+// Failed facts are recorded per block and the set is cleared when that
+// block folds (the only event that changes its residue), so the final
+// no-progress round costs one memo lookup per candidate instead of one
+// search. Only failures the sequential scan would have made are memoized
+// (not speculative race losers), keeping every stat identical across
+// thread counts.
+// ---------------------------------------------------------------------------
+
+struct BlockState {
+  std::vector<const Fact*> residue;  // facts of this block still alive
+  std::unordered_set<const Fact*> failed;  // memoized failed drops
+  // Per-run trace numbers.
+  uint64_t initial_size = 0;
+  uint64_t attempts = 0;
+  uint64_t memo_hits = 0;
+  uint64_t folds = 0;
+};
+
+struct FoldProposal {
+  const Fact* drop = nullptr;
+  ValueMap h;  // witness: block residue → alive \ {drop}
+};
+
+// One block's discovery result for one round.
+struct BlockRound {
+  std::optional<FoldProposal> proposal;
+  std::vector<const Fact*> new_failures;  // failures before the winner
+  HomomorphismStats hom_run;
+  uint64_t attempts = 0;
+  uint64_t memo_hits = 0;
+  Status status = Status::OK();
+};
+
+// Scans `block`'s candidates in residue order for a droppable fact.
+// Reads only round-start state (block + mask are not mutated), so
+// discoveries for distinct blocks can run concurrently.
+BlockRound DiscoverFold(const BlockState& block, const FactIndex& index,
+                        const FactMask& mask, const CoreOptions& options) {
+  BlockRound round;
+  std::vector<const Fact*> candidates;
+  candidates.reserve(block.residue.size());
+  for (const Fact* f : block.residue) {
+    if (options.memoize && block.failed.count(f) > 0) {
+      ++round.memo_hits;
+      continue;
+    }
+    candidates.push_back(f);
+  }
+
+  HomomorphismOptions hom = options.hom;
+  if (hom.num_threads <= 1 || candidates.size() <= 1) {
+    hom.stats = &round.hom_run;
+    for (const Fact* f : candidates) {
+      ++round.attempts;
+      Result<std::optional<ValueMap>> h =
+          FindHomomorphismMasked(block.residue, index, &mask, f, hom);
+      if (!h.ok()) {
+        round.status = h.status();
+        return round;
+      }
+      if (h->has_value()) {
+        round.proposal = FoldProposal{f, *std::move(*h)};
+        return round;
+      }
+      round.new_failures.push_back(f);
+    }
+    return round;
+  }
+
+  // Race the candidate scan in chunks of num_threads, lowest index wins;
+  // stats of speculative losers past the winner are dropped (only the
+  // process-wide hom.* counters see them), and their failures are not
+  // memoized.
+  struct Attempt {
+    std::optional<ValueMap> h;
+    HomomorphismStats hom_run;
+    Status status = Status::OK();
+  };
+  const std::size_t chunk = hom.num_threads;
+  for (std::size_t base = 0; base < candidates.size(); base += chunk) {
+    const std::size_t count = std::min(chunk, candidates.size() - base);
+    std::vector<Attempt> attempts(count);
+    par::ParallelFor(hom.num_threads, count, [&](std::size_t k) {
+      Attempt& attempt = attempts[k];
+      HomomorphismOptions task_options = options.hom;
+      task_options.num_threads = 1;
+      task_options.stats = &attempt.hom_run;
+      Result<std::optional<ValueMap>> h = FindHomomorphismMasked(
+          block.residue, index, &mask, candidates[base + k], task_options);
+      if (h.ok()) {
+        attempt.h = *std::move(h);
+      } else {
+        attempt.status = h.status();
+      }
+    });
+    for (std::size_t k = 0; k < count; ++k) {
+      ++round.attempts;
+      MergeHomStats(attempts[k].hom_run, &round.hom_run);
+      if (!attempts[k].status.ok()) {
+        round.status = attempts[k].status;
+        return round;
+      }
+      if (attempts[k].h.has_value()) {
+        round.proposal = FoldProposal{candidates[base + k],
+                                      *std::move(attempts[k].h)};
+        return round;
+      }
+      round.new_failures.push_back(candidates[base + k]);
+    }
+  }
+  return round;
+}
+
+// The image fact h(f): every argument mapped through h (identity where h
+// is not defined), same relation.
+Fact ApplyToFact(const Fact& f, const ValueMap& h) {
+  std::vector<Value> args;
+  args.reserve(f.args().size());
+  for (const Value& v : f.args()) {
+    auto it = h.find(v);
+    args.push_back(it == h.end() ? v : it->second);
+  }
+  return Fact::MustMake(f.relation(), std::move(args));
+}
+
+class BlockedCoreEngine {
+ public:
+  // `decomp` must be the decomposition of `instance` (moved in so the
+  // callers' ground fast path can decompose without paying for the index
+  // and pointer map built here).
+  BlockedCoreEngine(const Instance& instance, BlockDecomposition decomp,
+                    const CoreOptions& options, CoreStats* run)
+      : instance_(instance), options_(options), run_(run), index_(instance) {
+    run_->blocks = decomp.blocks.size();
+    blocks_.resize(decomp.blocks.size());
+    for (std::size_t b = 0; b < decomp.blocks.size(); ++b) {
+      blocks_[b].residue = std::move(decomp.blocks[b]);
+      blocks_[b].initial_size = blocks_[b].residue.size();
+    }
+    for (const Fact& f : instance.facts()) {
+      fact_ptrs_.emplace(f, &f);
+    }
+  }
+
+  // One round: parallel discovery over the blocks with facts left, then
+  // ordered validated application. Returns whether any proposal was
+  // applied; a round applying nothing is the fixpoint (every candidate of
+  // every block is now a memoized failure).
+  Result<bool> RunRound() {
+    ++run_->iterations;
+    std::vector<std::size_t> active;
+    for (std::size_t b = 0; b < blocks_.size(); ++b) {
+      if (!blocks_[b].residue.empty()) active.push_back(b);
+    }
+    if (active.empty()) return false;
+
+    std::vector<BlockRound> rounds = par::ParallelMap<BlockRound>(
+        options_.hom.num_threads, active.size(), [&](std::size_t k) {
+          return DiscoverFold(blocks_[active[k]], index_, mask_, options_);
+        });
+
+    // Merge stats and memoized failures in block order (deterministic for
+    // every thread count), then apply the surviving proposals.
+    bool applied_any = false;
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      BlockState& block = blocks_[active[k]];
+      BlockRound& round = rounds[k];
+      block.attempts += round.attempts;
+      block.memo_hits += round.memo_hits;
+      run_->retraction_attempts += round.attempts;
+      run_->masked_attempts += round.attempts;
+      run_->memo_hits += round.memo_hits;
+      MergeHomStats(round.hom_run, options_.hom.stats);
+      RDX_RETURN_IF_ERROR(round.status);
+      for (const Fact* f : round.new_failures) block.failed.insert(f);
+      if (round.proposal.has_value() &&
+          ApplyProposal(block, *round.proposal)) {
+        applied_any = true;
+      }
+    }
+    return applied_any;
+  }
+
+  // Surviving facts, in instance insertion order.
+  Instance Materialize() const {
+    std::vector<const Fact*> alive;
+    for (const Fact& f : instance_.facts()) {
+      if (mask_.alive(&f)) alive.push_back(&f);
+    }
+    return Instance::FromFactPointers(alive);
+  }
+
+  uint64_t alive_size() const { return instance_.size() - mask_.dead_count(); }
+
+  const std::vector<BlockState>& blocks() const { return blocks_; }
+
+ private:
+  // Validates the witness against the current alive set and, if still
+  // valid, kills the residue facts outside its image. Returns whether the
+  // fold was applied.
+  bool ApplyProposal(BlockState& block, const FoldProposal& proposal) {
+    std::unordered_set<const Fact*> image;
+    image.reserve(block.residue.size());
+    for (const Fact* f : block.residue) {
+      auto it = fact_ptrs_.find(ApplyToFact(*f, proposal.h));
+      if (it == fact_ptrs_.end() || !mask_.alive(it->second)) {
+        // An application earlier this round killed a fact the witness
+        // maps onto; drop the proposal, the block retries next round.
+        return false;
+      }
+      image.insert(it->second);
+    }
+    std::vector<const Fact*> survivors;
+    survivors.reserve(block.residue.size());
+    for (const Fact* f : block.residue) {
+      if (image.count(f) > 0) {
+        survivors.push_back(f);
+      } else {
+        mask_.Kill(f);
+      }
+    }
+    block.residue = std::move(survivors);
+    block.failed.clear();
+    ++block.folds;
+    ++run_->successful_folds;
+    return true;
+  }
+
+  const Instance& instance_;
+  const CoreOptions& options_;
+  CoreStats* run_;
+  FactIndex index_;
+  FactMask mask_;
+  std::vector<BlockState> blocks_;
+  std::unordered_map<Fact, const Fact*, FactHash> fact_ptrs_;
+};
+
 // Batched publish of one run's totals to the "core.*" counters, the
 // caller's accumulator (if any), and the trace sink.
 void PublishCoreStats(const CoreStats& run, CoreStats* accumulator,
-                      uint64_t initial_facts, uint64_t final_facts) {
+                      uint64_t initial_facts, uint64_t final_facts,
+                      const std::vector<BlockState>* blocks) {
   static obs::Counter& runs = obs::Counter::Get("core.runs");
   static obs::Counter& iterations = obs::Counter::Get("core.iterations");
   static obs::Counter& attempts =
       obs::Counter::Get("core.retraction_attempts");
   static obs::Counter& folds = obs::Counter::Get("core.successful_folds");
+  static obs::Counter& block_count = obs::Counter::Get("core.blocks");
+  static obs::Counter& masked = obs::Counter::Get("core.masked_attempts");
+  static obs::Counter& memo = obs::Counter::Get("core.memo_hits");
   static obs::Counter& us = obs::Counter::Get("core.us");
   runs.Increment();
   iterations.Add(run.iterations);
   attempts.Add(run.retraction_attempts);
   folds.Add(run.successful_folds);
+  block_count.Add(run.blocks);
+  masked.Add(run.masked_attempts);
+  memo.Add(run.memo_hits);
   us.Add(run.micros);
   if (accumulator != nullptr) {
     accumulator->iterations += run.iterations;
     accumulator->retraction_attempts += run.retraction_attempts;
     accumulator->successful_folds += run.successful_folds;
+    accumulator->blocks += run.blocks;
+    accumulator->masked_attempts += run.masked_attempts;
+    accumulator->memo_hits += run.memo_hits;
     accumulator->micros += run.micros;
   }
   if (obs::TracingEnabled()) {
+    if (blocks != nullptr) {
+      for (std::size_t b = 0; b < blocks->size(); ++b) {
+        const BlockState& block = (*blocks)[b];
+        obs::EmitTrace(obs::TraceEvent("core.block")
+                           .Add("block", b)
+                           .Add("facts", block.initial_size)
+                           .Add("core_facts", block.residue.size())
+                           .Add("fingerprint", BlockFingerprint(block.residue))
+                           .Add("attempts", block.attempts)
+                           .Add("folds", block.folds)
+                           .Add("memo_hits", block.memo_hits));
+      }
+    }
     obs::EmitTrace(obs::TraceEvent("core.done")
                        .Add("initial_facts", initial_facts)
                        .Add("core_facts", final_facts)
                        .Add("iterations", run.iterations)
                        .Add("attempts", run.retraction_attempts)
                        .Add("folds", run.successful_folds)
+                       .Add("blocks", run.blocks)
+                       .Add("masked_attempts", run.masked_attempts)
+                       .Add("memo_hits", run.memo_hits)
                        .Add("us", run.micros));
   }
 }
@@ -137,35 +435,93 @@ void PublishCoreStats(const CoreStats& run, CoreStats* accumulator,
 }  // namespace
 
 Result<Instance> ComputeCore(const Instance& instance,
-                             const HomomorphismOptions& options,
-                             CoreStats* stats) {
+                             const CoreOptions& options, CoreStats* stats) {
   CoreStats run;
   obs::ScopedTimer timer;
-  Instance current = instance;
+  if (!options.use_blocks) {
+    Instance current = instance;
+    while (true) {
+      ++run.iterations;
+      RDX_ASSIGN_OR_RETURN(std::optional<Instance> smaller,
+                           FindShrinkingImage(current, options.hom, &run));
+      if (!smaller.has_value()) {
+        run.micros = timer.ElapsedMicros();
+        PublishCoreStats(run, stats, instance.size(), current.size(),
+                         /*blocks=*/nullptr);
+        return current;
+      }
+      current = *std::move(smaller);
+    }
+  }
+
+  BlockDecomposition decomp = DecomposeIntoBlocks(instance);
+  if (decomp.blocks.empty()) {
+    // Every fact is ground, hence fixed by every endomorphism: the
+    // instance is its own core. Skips the index and pointer-map builds.
+    run.iterations = 1;
+    run.micros = timer.ElapsedMicros();
+    PublishCoreStats(run, stats, instance.size(), instance.size(),
+                     /*blocks=*/nullptr);
+    return instance;
+  }
+  BlockedCoreEngine engine(instance, std::move(decomp), options, &run);
   while (true) {
+    RDX_ASSIGN_OR_RETURN(bool applied, engine.RunRound());
+    if (!applied) break;
+  }
+  Instance core = engine.Materialize();
+  run.micros = timer.ElapsedMicros();
+  PublishCoreStats(run, stats, instance.size(), core.size(),
+                   &engine.blocks());
+  return core;
+}
+
+Result<Instance> ComputeCore(const Instance& instance,
+                             const HomomorphismOptions& options,
+                             CoreStats* stats) {
+  CoreOptions core_options;
+  core_options.hom = options;
+  return ComputeCore(instance, core_options, stats);
+}
+
+Result<bool> IsCore(const Instance& instance, const CoreOptions& options,
+                    CoreStats* stats) {
+  CoreStats run;
+  obs::ScopedTimer timer;
+  if (!options.use_blocks) {
     ++run.iterations;
     RDX_ASSIGN_OR_RETURN(std::optional<Instance> smaller,
-                         FindShrinkingImage(current, options, &run));
-    if (!smaller.has_value()) {
-      run.micros = timer.ElapsedMicros();
-      PublishCoreStats(run, stats, instance.size(), current.size());
-      return current;
-    }
-    current = *std::move(smaller);
+                         FindShrinkingImage(instance, options.hom, &run));
+    run.micros = timer.ElapsedMicros();
+    PublishCoreStats(run, stats, instance.size(),
+                     smaller.has_value() ? smaller->size() : instance.size(),
+                     /*blocks=*/nullptr);
+    return !smaller.has_value();
   }
+
+  // One discovery round decides: the instance is a core iff no block has a
+  // droppable fact.
+  BlockDecomposition decomp = DecomposeIntoBlocks(instance);
+  if (decomp.blocks.empty()) {
+    run.iterations = 1;
+    run.micros = timer.ElapsedMicros();
+    PublishCoreStats(run, stats, instance.size(), instance.size(),
+                     /*blocks=*/nullptr);
+    return true;
+  }
+  BlockedCoreEngine engine(instance, std::move(decomp), options, &run);
+  RDX_ASSIGN_OR_RETURN(bool shrank, engine.RunRound());
+  run.micros = timer.ElapsedMicros();
+  PublishCoreStats(run, stats, instance.size(), engine.alive_size(),
+                   &engine.blocks());
+  return !shrank;
 }
 
 Result<bool> IsCore(const Instance& instance,
                     const HomomorphismOptions& options, CoreStats* stats) {
-  CoreStats run;
-  obs::ScopedTimer timer;
-  ++run.iterations;
-  RDX_ASSIGN_OR_RETURN(std::optional<Instance> smaller,
-                       FindShrinkingImage(instance, options, &run));
-  run.micros = timer.ElapsedMicros();
-  PublishCoreStats(run, stats, instance.size(),
-                   smaller.has_value() ? smaller->size() : instance.size());
-  return !smaller.has_value();
+  CoreOptions core_options;
+  core_options.hom = options;
+  return IsCore(instance, core_options, stats);
 }
 
 }  // namespace rdx

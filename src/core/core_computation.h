@@ -18,7 +18,33 @@ struct CoreStats {
   uint64_t iterations = 0;           // fold-until-fixpoint rounds
   uint64_t retraction_attempts = 0;  // candidate facts tried for dropping
   uint64_t successful_folds = 0;     // retraction rounds that shrank
+  uint64_t blocks = 0;               // null-blocks in the decomposition
+  uint64_t masked_attempts = 0;      // attempts run via the masked search
+  uint64_t memo_hits = 0;            // attempts skipped: block unchanged
+                                     // since the same attempt failed
   uint64_t micros = 0;
+};
+
+/// Tuning knobs for ComputeCore / IsCore. The homomorphism options carry
+/// the search budget, the per-run stats accumulator, and num_threads for
+/// the parallel fan-out (across blocks, and across the candidate scan
+/// within a block).
+struct CoreOptions {
+  HomomorphismOptions hom;
+
+  /// Use the block-decomposed engine (docs/core.md): split the instance
+  /// into ground facts + null-blocks, retract blockwise with a copy-free
+  /// exclusion mask, and memoize failed attempts per unchanged block.
+  /// false selects the legacy whole-instance retraction loop, which deep
+  /// copies the instance (and rebuilds its index) per attempt — kept as
+  /// the reference implementation and for the E12 ablation benchmarks.
+  bool use_blocks = true;
+
+  /// Cache failed retraction attempts keyed by (block residue, fact) and
+  /// skip them while the block's residue is unchanged. Sound because the
+  /// search target only ever shrinks: a failed attempt can only become
+  /// satisfiable if its own block changed. Blocked engine only.
+  bool memoize = true;
 };
 
 /// Computes the core of `instance`: the (unique up to isomorphism) smallest
@@ -29,13 +55,24 @@ struct CoreStats {
 /// Algorithm: repeatedly search for a homomorphism from the instance into a
 /// proper subinstance (dropping one non-ground fact at a time); replace the
 /// instance by the image until no such homomorphism exists. Worst-case
-/// exponential (core identification is co-NP-hard) but fast on the chase
-/// outputs this library produces.
+/// exponential (core identification is co-NP-hard), but the default
+/// block-decomposed engine exploits that chase-style instances split into
+/// many small null-blocks, shrinking each search from |instance| source
+/// facts to one block (see docs/core.md for the algorithm and its
+/// complexity).
+Result<Instance> ComputeCore(const Instance& instance,
+                             const CoreOptions& options,
+                             CoreStats* stats = nullptr);
+
+/// Convenience overload: default engine knobs, homomorphism options only.
 Result<Instance> ComputeCore(const Instance& instance,
                              const HomomorphismOptions& options = {},
                              CoreStats* stats = nullptr);
 
 /// True if `instance` equals its own core (no proper retraction exists).
+Result<bool> IsCore(const Instance& instance, const CoreOptions& options,
+                    CoreStats* stats = nullptr);
+
 Result<bool> IsCore(const Instance& instance,
                     const HomomorphismOptions& options = {},
                     CoreStats* stats = nullptr);

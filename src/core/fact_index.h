@@ -3,11 +3,32 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/instance.h"
 
 namespace rdx {
+
+/// Tombstone overlay for an indexed instance: marks facts as dead without
+/// touching the instance or its FactIndex. The masked homomorphism search
+/// treats dead facts as absent from the target, which is what lets the
+/// core engine express "instance minus this fact" without the per-attempt
+/// deep copy and index rebuild (see docs/core.md).
+///
+/// Pointers must reference the masked instance's (append-stable) fact
+/// storage. Kills are permanent for the mask's lifetime — the core
+/// retraction loop only ever shrinks, and the memoization soundness
+/// argument relies on the target never growing back.
+class FactMask {
+ public:
+  bool alive(const Fact* fact) const { return dead_.count(fact) == 0; }
+  void Kill(const Fact* fact) { dead_.insert(fact); }
+  std::size_t dead_count() const { return dead_.size(); }
+
+ private:
+  std::unordered_set<const Fact*> dead_;
+};
 
 /// Index over an instance's facts: per-relation fact lists plus a
 /// (relation, position, value) -> fact-list index used to filter candidate

@@ -53,13 +53,14 @@ void PublishHomStats(const HomomorphismStats& run,
 
 class HomSearch {
  public:
-  HomSearch(const Instance& from, const Instance& to,
-            const HomomorphismOptions& options)
-      : to_(to), index_(to), options_(options) {
-    for (const Fact& f : from.facts()) {
-      source_facts_.push_back(&f);
-    }
-  }
+  HomSearch(std::vector<const Fact*> source_facts, const FactIndex& index,
+            const HomomorphismOptions& options,
+            const FactMask* mask = nullptr, const Fact* excluded = nullptr)
+      : index_(index),
+        mask_(mask),
+        excluded_(excluded),
+        options_(options),
+        source_facts_(std::move(source_facts)) {}
 
   Result<std::optional<ValueMap>> Run(const ValueMap& seed) {
     binding_ = seed;
@@ -92,9 +93,18 @@ class HomSearch {
   }
 
  private:
+  // True if target fact `g` is part of the (possibly masked) search
+  // target. Index candidate lists are not mask-aware, so every consumer
+  // of a candidate filters through this.
+  bool Admissible(const Fact* g) const {
+    if (g == excluded_) return false;
+    return mask_ == nullptr || mask_->alive(g);
+  }
+
   // Number of target candidates compatible with the current binding for
-  // source fact `f`, or a cheap upper bound. Used for the
-  // most-constrained-fact-first heuristic.
+  // source fact `f`, or a cheap upper bound (masked-out facts are still
+  // counted, so masking only weakens the bound, never unsoundly prunes).
+  // Used for the most-constrained-fact-first heuristic.
   std::size_t CandidateBound(const Fact& f) const {
     std::size_t best = std::numeric_limits<std::size_t>::max();
     const std::vector<const Fact*>* all = index_.FactsOf(f.relation());
@@ -162,6 +172,7 @@ class HomSearch {
 
     matched_[best_idx] = true;
     for (const Fact* g : *candidates) {
+      if (!Admissible(g)) continue;
       ++candidate_pairs_;
       std::vector<Value> newly_bound;
       if (TryUnify(f, *g, &newly_bound)) {
@@ -209,8 +220,9 @@ class HomSearch {
     return true;
   }
 
-  const Instance& to_;
-  FactIndex index_;
+  const FactIndex& index_;
+  const FactMask* mask_;
+  const Fact* excluded_;
   HomomorphismOptions options_;
   std::vector<const Fact*> source_facts_;
   std::vector<bool> matched_;
@@ -287,16 +299,52 @@ bool DomainFilterPasses(const Instance& from, const Instance& to,
 
 }  // namespace
 
-Result<std::optional<ValueMap>> FindHomomorphism(
-    const Instance& from, const Instance& to, const ValueMap& seed,
-    const HomomorphismOptions& options) {
-  // Seed sanity: a seed may not rebind a constant to something else.
+namespace {
+
+// Seed sanity: a seed may not rebind a constant to something else.
+Status CheckSeed(const ValueMap& seed) {
   for (const auto& [k, v] : seed) {
     if (k.IsConstant() && !(k == v)) {
       return Status::InvalidArgument(
           StrCat("seed maps constant ", k.ToString(), " to ", v.ToString()));
     }
   }
+  return Status::OK();
+}
+
+// Shared tail of every public search entry point: run the backtracking
+// search over `source_facts` against `index` (optionally masked) and
+// publish one batch of stats.
+Result<std::optional<ValueMap>> RunSearch(
+    std::vector<const Fact*> source_facts, const FactIndex& index,
+    const FactMask* mask, const Fact* excluded, const ValueMap& seed,
+    const HomomorphismOptions& options, HomomorphismStats run,
+    const obs::ScopedTimer& timer) {
+  const uint64_t from_facts = source_facts.size();
+  HomSearch search(std::move(source_facts), index, options, mask, excluded);
+  Result<std::optional<ValueMap>> result = search.Run(seed);
+  run.steps = search.steps();
+  run.candidate_pairs = search.candidate_pairs();
+  run.backtracks = search.backtracks();
+  run.found = (result.ok() && result->has_value()) ? 1 : 0;
+  run.micros = timer.ElapsedMicros();
+  PublishHomStats(run, options.stats, from_facts);
+  return result;
+}
+
+}  // namespace
+
+Result<std::optional<ValueMap>> FindHomomorphism(
+    const Instance& from, const Instance& to, const ValueMap& seed,
+    const HomomorphismOptions& options) {
+  FactIndex index(to);
+  return FindHomomorphism(from, to, index, seed, options);
+}
+
+Result<std::optional<ValueMap>> FindHomomorphism(
+    const Instance& from, const Instance& to, const FactIndex& to_index,
+    const ValueMap& seed, const HomomorphismOptions& options) {
+  RDX_RETURN_IF_ERROR(CheckSeed(seed));
   HomomorphismStats run;
   obs::ScopedTimer timer;
   if (options.use_domain_filter && !DomainFilterPasses(from, to, seed)) {
@@ -305,15 +353,22 @@ Result<std::optional<ValueMap>> FindHomomorphism(
     PublishHomStats(run, options.stats, from.size());
     return std::optional<ValueMap>();
   }
-  HomSearch search(from, to, options);
-  Result<std::optional<ValueMap>> result = search.Run(seed);
-  run.steps = search.steps();
-  run.candidate_pairs = search.candidate_pairs();
-  run.backtracks = search.backtracks();
-  run.found = (result.ok() && result->has_value()) ? 1 : 0;
-  run.micros = timer.ElapsedMicros();
-  PublishHomStats(run, options.stats, from.size());
-  return result;
+  std::vector<const Fact*> source_facts;
+  source_facts.reserve(from.size());
+  for (const Fact& f : from.facts()) {
+    source_facts.push_back(&f);
+  }
+  return RunSearch(std::move(source_facts), to_index, /*mask=*/nullptr,
+                   /*excluded=*/nullptr, seed, options, run, timer);
+}
+
+Result<std::optional<ValueMap>> FindHomomorphismMasked(
+    const std::vector<const Fact*>& from_facts, const FactIndex& to_index,
+    const FactMask* mask, const Fact* excluded,
+    const HomomorphismOptions& options) {
+  obs::ScopedTimer timer;
+  return RunSearch(from_facts, to_index, mask, excluded, /*seed=*/{},
+                   options, HomomorphismStats(), timer);
 }
 
 Result<bool> HasHomomorphism(const Instance& from, const Instance& to,

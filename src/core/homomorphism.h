@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "base/status.h"
+#include "core/fact_index.h"
 #include "core/instance.h"
 
 namespace rdx {
@@ -73,6 +75,30 @@ struct HomomorphismOptions {
 /// the step budget runs out.
 Result<std::optional<ValueMap>> FindHomomorphism(
     const Instance& from, const Instance& to, const ValueMap& seed = {},
+    const HomomorphismOptions& options = {});
+
+/// FindHomomorphism with a caller-owned index over `to`. The plain
+/// overload builds a fresh FactIndex on every call; loops that probe many
+/// sources against one stable target (the chase/core engines, the
+/// information-loss pair scans) build the index once and pass it here.
+/// `to_index` must index exactly `to` and both must outlive the call.
+Result<std::optional<ValueMap>> FindHomomorphism(
+    const Instance& from, const Instance& to, const FactIndex& to_index,
+    const ValueMap& seed = {}, const HomomorphismOptions& options = {});
+
+/// Masked-target search: looks for a homomorphism from the explicit fact
+/// set `from_facts` into the indexed instance restricted to the facts
+/// alive in `mask` (if non-null) and distinct from `excluded` (if
+/// non-null). This is the copy-free retraction primitive of the core
+/// engine: "can this block map into the instance with fact f masked out"
+/// without materializing the sub-instance or rebuilding its index.
+///
+/// The domain-filter preprocessing pass is not applied here (it needs the
+/// target in instance form); everything else behaves like
+/// FindHomomorphism, including stats publication under "hom.*".
+Result<std::optional<ValueMap>> FindHomomorphismMasked(
+    const std::vector<const Fact*>& from_facts, const FactIndex& to_index,
+    const FactMask* mask, const Fact* excluded,
     const HomomorphismOptions& options = {});
 
 /// Decides `from → to` (the paper's binary relation →).

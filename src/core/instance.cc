@@ -31,12 +31,20 @@ bool Instance::RemoveFact(const Fact& fact) {
   return true;
 }
 
-std::vector<Fact> Instance::FactsOf(Relation relation) const {
-  std::vector<Fact> out;
+std::vector<const Fact*> Instance::FactsOf(Relation relation) const {
+  std::vector<const Fact*> out;
   for (const Fact& f : facts_) {
-    if (f.relation() == relation) out.push_back(f);
+    if (f.relation() == relation) out.push_back(&f);
   }
   return out;
+}
+
+Instance Instance::FromFactPointers(const std::vector<const Fact*>& facts) {
+  Instance instance;
+  for (const Fact* f : facts) {
+    instance.AddFact(*f);
+  }
+  return instance;
 }
 
 std::vector<Relation> Instance::Relations() const {

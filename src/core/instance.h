@@ -46,8 +46,16 @@ class Instance {
   /// chase relies on this to update fact indexes incrementally.
   const std::deque<Fact>& facts() const { return facts_; }
 
-  /// Facts of a specific relation, in insertion order.
-  std::vector<Fact> FactsOf(Relation relation) const;
+  /// Facts of a specific relation, in insertion order. Pointers reference
+  /// this instance's (append-stable) storage — no fact copies; they stay
+  /// valid across AddFact but not RemoveFact. Callers filtering by
+  /// relation repeatedly should build a FactIndex instead.
+  std::vector<const Fact*> FactsOf(Relation relation) const;
+
+  /// Builds an instance from pointers into another instance's storage
+  /// (duplicates collapse). Used by the core engine to materialize the
+  /// surviving facts of a masked instance in insertion order.
+  static Instance FromFactPointers(const std::vector<const Fact*>& facts);
 
   /// Distinct relation symbols with at least one fact.
   std::vector<Relation> Relations() const;

@@ -2,12 +2,34 @@
 
 #include "base/metrics.h"
 #include "base/trace.h"
+#include "core/fact_index.h"
 #include "core/homomorphism.h"
 #include "mapping/composition.h"
 #include "mapping/extended.h"
 
 namespace rdx {
 namespace {
+
+// Index every member once up front: the O(|family|²) pair scans below
+// probe each instance as a homomorphism target |family| times, and the
+// index-less HasHomomorphism overload would rebuild its index on every
+// probe.
+std::vector<FactIndex> IndexAll(const std::vector<Instance>& instances) {
+  std::vector<FactIndex> out;
+  out.reserve(instances.size());
+  for (const Instance& I : instances) {
+    out.emplace_back(I);
+  }
+  return out;
+}
+
+// The pair test `from → to` against a prebuilt index over `to`.
+Result<bool> HasHomInto(const Instance& from, const Instance& to,
+                        const FactIndex& to_index) {
+  RDX_ASSIGN_OR_RETURN(std::optional<ValueMap> h,
+                       FindHomomorphism(from, to, to_index));
+  return h.has_value();
+}
 
 // Pre-chases every family member once; the →_M tests then reduce to
 // homomorphism checks between cached chase results.
@@ -39,12 +61,14 @@ Result<InformationLossReport> MeasureInformationLoss(
   InformationLossReport report;
   report.total_pairs =
       static_cast<uint64_t>(family.size()) * family.size();
+  const std::vector<FactIndex> chased_index = IndexAll(chased);
+  const std::vector<FactIndex> family_index = IndexAll(family);
   for (std::size_t i = 0; i < family.size(); ++i) {
     for (std::size_t j = 0; j < family.size(); ++j) {
-      RDX_ASSIGN_OR_RETURN(bool in_arrow_m,
-                           HasHomomorphism(chased[i], chased[j]));
-      RDX_ASSIGN_OR_RETURN(bool in_e_id,
-                           HasHomomorphism(family[i], family[j]));
+      RDX_ASSIGN_OR_RETURN(
+          bool in_arrow_m, HasHomInto(chased[i], chased[j], chased_index[j]));
+      RDX_ASSIGN_OR_RETURN(
+          bool in_e_id, HasHomInto(family[i], family[j], family_index[j]));
       if (in_arrow_m) ++report.arrow_m_pairs;
       if (in_e_id) ++report.e_id_pairs;
       if (in_arrow_m && !in_e_id) {
@@ -86,12 +110,13 @@ Result<GroundInformationLossReport> MeasureGroundInformationLoss(
     chased.push_back(std::move(c));
   }
   report.total_pairs = static_cast<uint64_t>(ground.size()) * ground.size();
+  const std::vector<FactIndex> chased_index = IndexAll(chased);
   for (std::size_t i = 0; i < ground.size(); ++i) {
     for (std::size_t j = 0; j < ground.size(); ++j) {
       // For ground instances, Sol(I2) ⊆ Sol(I1) iff chase(I1) → chase(I2)
       // (the →_{M,g} criterion of Proposition 4.19).
-      RDX_ASSIGN_OR_RETURN(bool in_arrow_mg,
-                           HasHomomorphism(chased[i], chased[j]));
+      RDX_ASSIGN_OR_RETURN(
+          bool in_arrow_mg, HasHomInto(chased[i], chased[j], chased_index[j]));
       bool in_id = ground[i]->SubsetOf(*ground[j]);
       if (in_arrow_mg) ++report.arrow_mg_pairs;
       if (in_id) ++report.id_pairs;
@@ -126,12 +151,14 @@ Result<LessLossyReport> CompareLossiness(const SchemaMapping& m1,
                        ChaseFamily(m2, family, options));
   LessLossyReport report;
   report.less_lossy = true;
+  const std::vector<FactIndex> index1 = IndexAll(chased1);
+  const std::vector<FactIndex> index2 = IndexAll(chased2);
   for (std::size_t i = 0; i < family.size(); ++i) {
     for (std::size_t j = 0; j < family.size(); ++j) {
       RDX_ASSIGN_OR_RETURN(bool in_m1,
-                           HasHomomorphism(chased1[i], chased1[j]));
+                           HasHomInto(chased1[i], chased1[j], index1[j]));
       RDX_ASSIGN_OR_RETURN(bool in_m2,
-                           HasHomomorphism(chased2[i], chased2[j]));
+                           HasHomInto(chased2[i], chased2[j], index2[j]));
       if (in_m1 && !in_m2 && !report.violation.has_value()) {
         report.less_lossy = false;
         report.violation = PairCounterexample{family[i], family[j]};

@@ -1,0 +1,270 @@
+#include "core/blocks.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/core_computation.h"
+#include "core/fact_index.h"
+#include "core/homomorphism.h"
+#include "generator/enumerator.h"
+#include "generator/instance_generator.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::I;
+
+CoreOptions Naive() {
+  CoreOptions options;
+  options.use_blocks = false;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// Block decomposition.
+
+TEST(BlockDecompositionTest, GroundInstanceHasOnlyGroundFacts) {
+  Instance inst = I("BlkT_E(a, b) BlkT_E(b, c) BlkT_P(a)");
+  BlockDecomposition decomp = DecomposeIntoBlocks(inst);
+  EXPECT_EQ(decomp.ground.size(), 3u);
+  EXPECT_TRUE(decomp.blocks.empty());
+}
+
+TEST(BlockDecompositionTest, SharedNullsMergeTransitively) {
+  // ?A-?B and ?B-?C chain into one block even though the first and third
+  // facts share no null directly.
+  Instance inst = I("BlkT_E(?A, ?B) BlkT_E(?B, ?C) BlkT_E(?C, ?C)");
+  BlockDecomposition decomp = DecomposeIntoBlocks(inst);
+  EXPECT_TRUE(decomp.ground.empty());
+  ASSERT_EQ(decomp.blocks.size(), 1u);
+  EXPECT_EQ(decomp.blocks[0].size(), 3u);
+}
+
+TEST(BlockDecompositionTest, DisjointNullsStaySeparate) {
+  Instance inst = I(
+      "BlkT_E(a, ?N1) BlkT_E(b, c) BlkT_E(?N2, ?N3) BlkT_E(?N3, a) "
+      "BlkT_P(?N4)");
+  BlockDecomposition decomp = DecomposeIntoBlocks(inst);
+  EXPECT_EQ(decomp.ground.size(), 1u);
+  ASSERT_EQ(decomp.blocks.size(), 3u);
+  EXPECT_EQ(decomp.blocks[0].size(), 1u);  // E(a, ?N1)
+  EXPECT_EQ(decomp.blocks[1].size(), 2u);  // E(?N2, ?N3), E(?N3, a)
+  EXPECT_EQ(decomp.blocks[2].size(), 1u);  // P(?N4)
+}
+
+TEST(BlockDecompositionTest, PartitionCoversEveryFactOnce) {
+  Rng rng(11);
+  Schema schema = Schema::MustMake({{"BlkT_R", 2}, {"BlkT_S", 3}});
+  InstanceGenOptions gen;
+  gen.num_facts = 40;
+  gen.num_constants = 5;
+  gen.num_nulls = 8;
+  gen.null_ratio = 0.5;
+  Instance inst = RandomInstance(schema, gen, &rng);
+  BlockDecomposition decomp = DecomposeIntoBlocks(inst);
+  std::size_t total = decomp.ground.size();
+  for (const auto& block : decomp.blocks) {
+    EXPECT_FALSE(block.empty());
+    total += block.size();
+    for (const Fact* f : block) {
+      EXPECT_FALSE(f->IsGround());
+    }
+  }
+  EXPECT_EQ(total, inst.size());
+  for (const Fact* f : decomp.ground) {
+    EXPECT_TRUE(f->IsGround());
+  }
+  // No null may occur in two distinct blocks (blocks partition the nulls).
+  std::unordered_map<Value, std::size_t, ValueHash> block_of;
+  for (std::size_t b = 0; b < decomp.blocks.size(); ++b) {
+    for (const Fact* f : decomp.blocks[b]) {
+      for (const Value& v : f->args()) {
+        if (!v.IsNull()) continue;
+        auto [it, inserted] = block_of.emplace(v, b);
+        EXPECT_EQ(it->second, b) << v.ToString() << " spans two blocks";
+      }
+    }
+  }
+}
+
+TEST(BlockDecompositionTest, OrderingIsDeterministic) {
+  Instance inst = I("BlkT_P(?N2) BlkT_E(a, ?N1) BlkT_Q(?N2) BlkT_P(?N1)");
+  BlockDecomposition decomp = DecomposeIntoBlocks(inst);
+  ASSERT_EQ(decomp.blocks.size(), 2u);
+  // Blocks ordered by lowest fact index; facts keep insertion order.
+  EXPECT_EQ(decomp.blocks[0][0]->ToString(), "BlkT_P(?N2)");
+  EXPECT_EQ(decomp.blocks[0][1]->ToString(), "BlkT_Q(?N2)");
+  EXPECT_EQ(decomp.blocks[1][0]->ToString(), "BlkT_E(a, ?N1)");
+  EXPECT_EQ(decomp.blocks[1][1]->ToString(), "BlkT_P(?N1)");
+}
+
+TEST(BlockFingerprintTest, OrderInsensitiveAndSensitiveToContent) {
+  Instance inst = I("BlkT_E(?A, ?B) BlkT_E(?B, ?A) BlkT_E(?A, c)");
+  std::vector<const Fact*> facts;
+  for (const Fact& f : inst.facts()) facts.push_back(&f);
+  std::vector<const Fact*> reversed(facts.rbegin(), facts.rend());
+  EXPECT_EQ(BlockFingerprint(facts), BlockFingerprint(reversed));
+  std::vector<const Fact*> shorter(facts.begin(), facts.end() - 1);
+  EXPECT_NE(BlockFingerprint(facts), BlockFingerprint(shorter));
+}
+
+// ---------------------------------------------------------------------------
+// The copy-free retraction primitive.
+
+TEST(FactMaskTest, KillsArePermanentAndCounted) {
+  Instance inst = I("BlkT_P(a) BlkT_P(b)");
+  const Fact* first = &inst.facts().front();
+  FactMask mask;
+  EXPECT_TRUE(mask.alive(first));
+  EXPECT_EQ(mask.dead_count(), 0u);
+  mask.Kill(first);
+  EXPECT_FALSE(mask.alive(first));
+  EXPECT_TRUE(mask.alive(&inst.facts().back()));
+  EXPECT_EQ(mask.dead_count(), 1u);
+}
+
+TEST(MaskedSearchTest, MaskAndExclusionRestrictTheTarget) {
+  Instance to = I("BlkT_P(a) BlkT_P(b) BlkT_P(c)");
+  Instance from = I("BlkT_P(?X)");
+  FactIndex index(to);
+  std::vector<const Fact*> source;
+  for (const Fact& f : from.facts()) source.push_back(&f);
+
+  // P(a) masked out, P(b) excluded: only P(c) remains as a target.
+  FactMask mask;
+  mask.Kill(&to.facts()[0]);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<ValueMap> h,
+      FindHomomorphismMasked(source, index, &mask, &to.facts()[1]));
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(Value::MakeNull("X")), Value::MakeConstant("c"));
+
+  // Everything masked or excluded: no homomorphism.
+  mask.Kill(&to.facts()[2]);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::optional<ValueMap> none,
+      FindHomomorphismMasked(source, index, &mask, &to.facts()[1]));
+  EXPECT_FALSE(none.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Blocked engine vs. the naive whole-instance reference.
+
+void ExpectSameCore(const Instance& inst, uint64_t seed_for_message) {
+  RDX_ASSERT_OK_AND_ASSIGN(Instance naive, ComputeCore(inst, Naive()));
+  RDX_ASSERT_OK_AND_ASSIGN(Instance blocked, ComputeCore(inst, CoreOptions{}));
+  // The fold sequences differ, so the cores need not keep the same facts —
+  // but they must be isomorphic retracts of equal size, and both engines
+  // must agree with IsCore.
+  EXPECT_EQ(blocked.size(), naive.size()) << "seed " << seed_for_message
+                                          << " instance " << inst.ToString();
+  RDX_ASSERT_OK_AND_ASSIGN(bool iso, AreIsomorphic(blocked, naive));
+  EXPECT_TRUE(iso) << "seed " << seed_for_message << "\n  naive   "
+                   << naive.ToString() << "\n  blocked "
+                   << blocked.ToString();
+  RDX_ASSERT_OK_AND_ASSIGN(bool blocked_is_core,
+                           IsCore(blocked, CoreOptions{}));
+  RDX_ASSERT_OK_AND_ASSIGN(bool naive_agrees, IsCore(blocked, Naive()));
+  EXPECT_TRUE(blocked_is_core);
+  EXPECT_TRUE(naive_agrees);
+  // Memoization must be semantically invisible.
+  CoreOptions no_memo;
+  no_memo.memoize = false;
+  RDX_ASSERT_OK_AND_ASSIGN(Instance unmemoized, ComputeCore(inst, no_memo));
+  EXPECT_EQ(unmemoized, blocked) << "seed " << seed_for_message;
+}
+
+TEST(BlockedCoreEquivalenceTest, AgreesWithNaiveOnRandomInstances) {
+  Schema schema = Schema::MustMake({{"BlkT_R", 2}, {"BlkT_U", 1}});
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    InstanceGenOptions gen;
+    gen.num_facts = 14;
+    gen.num_constants = 4;
+    gen.num_nulls = 6;
+    gen.null_ratio = 0.5;
+    ExpectSameCore(RandomInstance(schema, gen, &rng), seed);
+  }
+}
+
+TEST(BlockedCoreEquivalenceTest, AgreesWithNaiveOnEnumeratedUniverse) {
+  EnumerationUniverse universe;
+  universe.schema = Schema::MustMake({{"BlkT_V", 2}});
+  universe.domain = StandardDomain(/*num_constants=*/1, /*num_nulls=*/2);
+  universe.max_facts = 3;
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<Instance> all,
+                           EnumerateNonEmptyInstances(universe));
+  ASSERT_GT(all.size(), 100u);
+  for (std::size_t k = 0; k < all.size(); ++k) {
+    ExpectSameCore(all[k], k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: the blocked engine must produce byte-identical cores and
+// stats at every thread count.
+
+void ExpectThreadCountInvariant(const Instance& inst) {
+  CoreOptions sequential;
+  CoreStats seq_stats;
+  RDX_ASSERT_OK_AND_ASSIGN(Instance expected,
+                           ComputeCore(inst, sequential, &seq_stats));
+  EXPECT_EQ(seq_stats.blocks, DecomposeIntoBlocks(inst).blocks.size());
+  for (uint64_t threads : {uint64_t{2}, uint64_t{8}}) {
+    CoreOptions options;
+    options.hom.num_threads = threads;
+    CoreStats par_stats;
+    RDX_ASSERT_OK_AND_ASSIGN(Instance core,
+                             ComputeCore(inst, options, &par_stats));
+    EXPECT_EQ(core, expected) << "threads=" << threads;
+    EXPECT_EQ(par_stats.iterations, seq_stats.iterations);
+    EXPECT_EQ(par_stats.retraction_attempts, seq_stats.retraction_attempts);
+    EXPECT_EQ(par_stats.masked_attempts, seq_stats.masked_attempts);
+    EXPECT_EQ(par_stats.memo_hits, seq_stats.memo_hits);
+    EXPECT_EQ(par_stats.successful_folds, seq_stats.successful_folds);
+    EXPECT_EQ(par_stats.blocks, seq_stats.blocks);
+  }
+}
+
+TEST(BlockedCoreDeterminismTest, ManySmallBlocks) {
+  // A chase-shaped instance: a ground backbone plus one redundant
+  // null-chain per backbone edge.
+  Instance inst = I(
+      "BlkT_E(a, b) BlkT_E(b, c) BlkT_E(c, d) "
+      "BlkT_E(a, ?n1) BlkT_E(?n1, c) "
+      "BlkT_E(b, ?n2) BlkT_E(?n2, d) "
+      "BlkT_E(a, ?n3) BlkT_E(?n3, ?n4) BlkT_E(?n4, d) "
+      "BlkT_E(?n5, ?n6)");
+  ExpectThreadCountInvariant(inst);
+}
+
+TEST(BlockedCoreDeterminismTest, SingleBlockWorstCase) {
+  // Fully connected nulls: every fact shares a null with every other, so
+  // the Gaifman graph is one clique and block decomposition degenerates to
+  // a single block covering the whole instance — the engine's worst case,
+  // equivalent to the naive whole-instance search plus masking. The
+  // within-block candidate race is then the only parallelism left.
+  std::string text = "BlkT_E(z, z) ";
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      if (i == j) continue;
+      text += "BlkT_E(?m" + std::to_string(i) + ", ?m" + std::to_string(j) +
+              ") ";
+    }
+  }
+  Instance inst = I(text);
+  BlockDecomposition decomp = DecomposeIntoBlocks(inst);
+  ASSERT_EQ(decomp.blocks.size(), 1u);
+  ASSERT_EQ(decomp.blocks[0].size(), inst.size() - 1);
+  ExpectThreadCountInvariant(inst);
+  // The clique folds onto the ground loop entirely.
+  RDX_ASSERT_OK_AND_ASSIGN(Instance core, ComputeCore(inst, CoreOptions{}));
+  EXPECT_EQ(core, I("BlkT_E(z, z)"));
+  ExpectSameCore(inst, 0);
+}
+
+}  // namespace
+}  // namespace rdx

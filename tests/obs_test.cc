@@ -15,6 +15,7 @@
 #include "base/metrics.h"
 #include "base/trace.h"
 #include "chase/chase.h"
+#include "core/core_computation.h"
 #include "core/dependency_parser.h"
 #include "test_util.h"
 
@@ -236,6 +237,60 @@ TEST(ChaseStatsTest, ChaseRunEmitsValidTraceEvents) {
     }
   }
   EXPECT_TRUE(saw_round);
+  EXPECT_TRUE(saw_done);
+}
+
+TEST(CoreStatsTest, PublishesBlockCountersAndPerBlockTrace) {
+  obs::Counter& blocks = obs::Counter::Get("core.blocks");
+  obs::Counter& masked = obs::Counter::Get("core.masked_attempts");
+  obs::Counter& memo = obs::Counter::Get("core.memo_hits");
+  const uint64_t blocks_before = blocks.value();
+  const uint64_t masked_before = masked.value();
+  const uint64_t memo_before = memo.value();
+
+  std::ostringstream sink;
+  obs::InstallTraceStream(&sink);
+  CoreStats stats;
+  // Two null-blocks plus one ground fact. Round 1: the {E(?A, c0)} block
+  // has no retraction (nothing else ends in c0; the failure is memoized)
+  // and the {E(a, ?N)} block folds onto E(a, b). Round 2 re-scans the
+  // first block, skipping its memoized candidate, and reaches the
+  // fixpoint.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      Instance core,
+      ComputeCore(I("ObC_E(?A, c0). ObC_E(a, b). ObC_E(a, ?N)"),
+                  HomomorphismOptions{}, &stats));
+  obs::UninstallTraceSink();
+
+  EXPECT_EQ(core, I("ObC_E(?A, c0). ObC_E(a, b)"));
+  EXPECT_EQ(stats.blocks, 2u);
+  EXPECT_EQ(stats.masked_attempts, 2u);
+  EXPECT_EQ(stats.retraction_attempts, 2u);
+  EXPECT_EQ(stats.memo_hits, 1u);
+  EXPECT_EQ(stats.successful_folds, 1u);
+  EXPECT_EQ(stats.iterations, 2u);
+  EXPECT_EQ(blocks.value() - blocks_before, stats.blocks);
+  EXPECT_EQ(masked.value() - masked_before, stats.masked_attempts);
+  EXPECT_EQ(memo.value() - memo_before, stats.memo_hits);
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  int block_events = 0;
+  bool saw_done = false;
+  while (std::getline(lines, line)) {
+    RDX_EXPECT_OK(obs::ValidateJsonLine(line));
+    if (line.find("\"ev\":\"core.block\"") != std::string::npos) {
+      ++block_events;
+      EXPECT_NE(line.find("\"fingerprint\":"), std::string::npos);
+    }
+    if (line.find("\"ev\":\"core.done\"") != std::string::npos) {
+      saw_done = true;
+      EXPECT_NE(line.find("\"blocks\":2"), std::string::npos);
+      EXPECT_NE(line.find("\"masked_attempts\":2"), std::string::npos);
+      EXPECT_NE(line.find("\"memo_hits\":1"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(block_events, 2);
   EXPECT_TRUE(saw_done);
 }
 
