@@ -22,6 +22,13 @@ struct ChaseOptions {
   /// Maximum number of facts the chase may add.
   uint64_t max_new_facts = 5'000'000;
 
+  /// Maximum number of egd unification steps (null-null merges plus
+  /// null-to-constant promotions) a ChaseWithEgds run may perform before
+  /// giving up with ResourceExhausted. Only the egd chase reads this; it
+  /// used to piggyback on max_new_facts, conflating two unrelated
+  /// budgets.
+  uint64_t max_merges = 1'000'000;
+
   /// Semi-naive trigger discovery: from the second round on, only
   /// enumerate body matches that touch a fact added in the previous round
   /// (every genuinely new trigger must). Semantically equivalent to the

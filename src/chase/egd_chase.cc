@@ -1,6 +1,7 @@
 #include "chase/egd_chase.h"
 
 #include <optional>
+#include <unordered_map>
 
 #include "base/metrics.h"
 #include "base/strings.h"
@@ -9,36 +10,78 @@
 namespace rdx {
 namespace {
 
-struct EgdViolation {
-  Value lhs;
-  Value rhs;
+// Union-find over instance values for one egd repair pass. Constants
+// always win the representative election (they cannot be renamed);
+// between two nulls the right-hand side of the union survives, matching
+// the historical single-merge direction (lhs null maps onto rhs).
+class ValueUnionFind {
+ public:
+  Value Find(Value v) {
+    auto it = parent_.find(v);
+    if (it == parent_.end()) return v;
+    Value root = Find(it->second);
+    it->second = root;  // path compression
+    return root;
+  }
+
+  // Merges the classes of `a` and `b`. Returns false (and reports the
+  // clashing pair) when both representatives are distinct constants —
+  // the chase-failure case. Counts the merge kind into `stats`.
+  bool Union(Value a, Value b, EgdChaseStats* stats, Value* clash_lhs,
+             Value* clash_rhs) {
+    Value ra = Find(a);
+    Value rb = Find(b);
+    if (ra == rb) return true;
+    if (ra.IsConstant() && rb.IsConstant()) {
+      *clash_lhs = ra;
+      *clash_rhs = rb;
+      return false;
+    }
+    if (ra.IsNull() && rb.IsNull()) {
+      ++stats->null_null_merges;
+    } else {
+      ++stats->null_constant_promotions;
+    }
+    ++stats->merges;
+    ++merges_;
+    if (ra.IsConstant()) {
+      parent_.emplace(rb, ra);
+    } else {
+      parent_.emplace(ra, rb);  // rb survives (constant, or rhs null)
+    }
+    return true;
+  }
+
+  uint64_t merges() const { return merges_; }
+
+  // The pass's substitution: every merged-away value mapped to its final
+  // representative (identity entries omitted).
+  ValueMap ToValueMap() {
+    ValueMap map;
+    map.reserve(parent_.size());
+    for (const auto& [v, unused] : parent_) {
+      Value root = Find(v);
+      if (!(root == v)) map.emplace(v, root);
+    }
+    return map;
+  }
+
+ private:
+  std::unordered_map<Value, Value, ValueHash> parent_;
+  uint64_t merges_ = 0;
 };
 
-// Finds the first egd violation in `instance`: a body match under which
-// some equated pair evaluates to distinct values.
-Result<std::optional<EgdViolation>> FindViolation(
-    const Instance& instance, const std::vector<Egd>& egds,
-    const MatchOptions& options) {
-  for (const Egd& egd : egds) {
-    std::optional<EgdViolation> found;
-    Status status = EnumerateMatches(
-        egd.body(), instance,
-        [&](const Assignment& match) {
-          for (const auto& [a, b] : egd.equalities()) {
-            const Value& va = match.at(a);
-            const Value& vb = match.at(b);
-            if (!(va == vb)) {
-              found = EgdViolation{va, vb};
-              return false;
-            }
-          }
-          return true;
-        },
-        options);
-    RDX_RETURN_IF_ERROR(status);
-    if (found.has_value()) return found;
+// Folds `step` into the cumulative substitution `total` (total := step ∘
+// total): existing images are rewritten through `step`, then step's own
+// entries are added for values not already remapped.
+void ComposeInto(ValueMap* total, const ValueMap& step) {
+  for (auto& [from, to] : *total) {
+    auto it = step.find(to);
+    if (it != step.end()) to = it->second;
   }
-  return std::optional<EgdViolation>();
+  for (const auto& [from, to] : step) {
+    total->emplace(from, to);
+  }
 }
 
 // One batched publish of a run's totals to the "egd.*" counters plus the
@@ -101,54 +144,68 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
     stats.tgd_facts_added += tgd_step.stats.facts_added;
     result.combined = std::move(tgd_step.combined);
 
-    // Egd repair pass: merge until clean or failed.
+    // Egd repair: sweep the egds in order, batching every violation one
+    // enumeration discovers into a single union-find and applying the
+    // resulting substitution once per egd. A merge does NOT restart the
+    // scan from the first egd (the historical quadratic-in-merges
+    // behaviour); instead the sweep continues with the next egd, and
+    // sweeps repeat until one full pass finds no violation. Batching is
+    // sound because applying a substitution is a homomorphism: a body
+    // match on the pre-merge instance maps to a body match on the
+    // post-merge instance, so every batched equality remains a
+    // consequence of the egd.
     bool merged_any = false;
     uint64_t round_merges = 0;
     while (true) {
-      RDX_ASSIGN_OR_RETURN(
-          std::optional<EgdViolation> violation,
-          FindViolation(result.combined, egds, options.match_options));
-      if (!violation.has_value()) break;
-      const Value& a = violation->lhs;
-      const Value& b = violation->rhs;
-      if (a.IsConstant() && b.IsConstant()) {
-        result.failed = true;
-        result.failure_reason =
-            StrCat("egd equates distinct constants ", a.ToString(), " and ",
-                   b.ToString());
-        stats.micros = run_timer.ElapsedMicros();
-        PublishEgdStats(stats, /*failed=*/true, /*completed=*/true);
-        return result;
-      }
-      // Unify: map the null onto the other value (prefer keeping
-      // constants; between two nulls keep the lhs).
-      ValueMap unify;
-      if (a.IsNull()) {
-        unify.emplace(a, b);
-        if (b.IsNull()) {
-          ++stats.null_null_merges;
-        } else {
-          ++stats.null_constant_promotions;
+      bool merged_this_sweep = false;
+      for (const Egd& egd : egds) {
+        ValueUnionFind uf;
+        std::optional<std::pair<Value, Value>> clash;
+        Status status = EnumerateMatches(
+            egd.body(), result.combined,
+            [&](const Assignment& match) {
+              for (const auto& [a, b] : egd.equalities()) {
+                Value clash_lhs, clash_rhs;
+                if (!uf.Union(match.at(a), match.at(b), &stats, &clash_lhs,
+                              &clash_rhs)) {
+                  clash = {clash_lhs, clash_rhs};
+                  return false;
+                }
+              }
+              return true;
+            },
+            options.match_options);
+        RDX_RETURN_IF_ERROR(status);
+        if (clash.has_value()) {
+          result.failed = true;
+          result.failure_reason =
+              StrCat("egd equates distinct constants ",
+                     clash->first.ToString(), " and ",
+                     clash->second.ToString());
+          stats.micros = run_timer.ElapsedMicros();
+          PublishEgdStats(stats, /*failed=*/true, /*completed=*/true);
+          return result;
         }
-      } else {
-        unify.emplace(b, a);
-        ++stats.null_constant_promotions;
+        if (uf.merges() == 0) continue;
+        ValueMap unify = uf.ToValueMap();
+        result.combined = result.combined.Apply(unify);
+        ComposeInto(&result.merge_map, unify);
+        result.merges += uf.merges();
+        round_merges += uf.merges();
+        merged_this_sweep = true;
+        merged_any = true;
+        if (result.merges > options.max_merges) {
+          stats.micros = run_timer.ElapsedMicros();
+          PublishEgdStats(stats, /*failed=*/false, /*completed=*/false);
+          return Status::ResourceExhausted(
+              StrCat("egd chase exceeded max_merges=", options.max_merges,
+                     " in round ", round, " (",
+                     stats.null_constant_promotions, " null-to-constant "
+                     "promotions, ", stats.null_null_merges,
+                     " null-null merges)"));
+        }
       }
-      result.combined = result.combined.Apply(unify);
-      ++result.merges;
-      ++stats.merges;
-      ++round_merges;
-      merged_any = true;
-      if (result.merges > options.max_new_facts) {
-        stats.micros = run_timer.ElapsedMicros();
-        PublishEgdStats(stats, /*failed=*/false, /*completed=*/false);
-        return Status::ResourceExhausted(
-            StrCat("egd chase exceeded ", options.max_new_facts,
-                   " merges in round ", round, " (",
-                   stats.null_constant_promotions, " null-to-constant "
-                   "promotions, ", stats.null_null_merges,
-                   " null-null merges)"));
-      }
+      if (!merged_this_sweep) break;
     }
 
     if (obs::TracingEnabled()) {
@@ -160,9 +217,12 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
     }
 
     if (!tgds_added && !merged_any) {
-      // Joint fixpoint.
+      // Joint fixpoint. The "added" view compares against the input's
+      // image under the cumulative unification, so input facts that were
+      // merely rewritten by merges are not misreported as chase-added.
+      Instance unified_input = input.Apply(result.merge_map);
       for (const Fact& f : result.combined.facts()) {
-        if (!input.Contains(f)) result.added.AddFact(f);
+        if (!unified_input.Contains(f)) result.added.AddFact(f);
       }
       stats.micros = run_timer.ElapsedMicros();
       PublishEgdStats(stats, /*failed=*/false, /*completed=*/true);

@@ -29,8 +29,16 @@ struct EgdChaseResult {
   /// The final combined instance (meaningless if `failed`).
   Instance combined;
 
-  /// Facts beyond the input (after null unification).
+  /// Facts beyond the input, after null unification: combined minus the
+  /// image of the input under `merge_map`. An input fact whose nulls were
+  /// rewritten by merges is NOT reported here — only genuinely
+  /// chase-created facts are (themselves rendered post-unification).
   Instance added;
+
+  /// Cumulative value unification performed by the egd repair passes:
+  /// maps each merged-away value to its final representative. Applying it
+  /// to the input yields the input's image inside `combined`.
+  ValueMap merge_map;
 
   /// True if the chase FAILED: some egd equated two distinct constants.
   /// In classical data exchange a failing chase means the source admits

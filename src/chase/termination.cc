@@ -57,7 +57,6 @@ Result<WeakAcyclicityReport> CheckWeakAcyclicity(
       // Head occurrences split into universal and existential positions.
       std::map<uint32_t, std::vector<Position>> universal_head;
       std::vector<Position> existential_positions;
-      std::set<uint32_t> universal_in_this_head;
       for (const Atom& a : head) {
         relation_names[a.relation().id()] = a.relation().name();
         for (std::size_t i = 0; i < a.terms().size(); ++i) {
@@ -67,7 +66,6 @@ Result<WeakAcyclicityReport> CheckWeakAcyclicity(
           if (!t.IsVariable()) continue;
           if (body_positions.count(t.variable().id()) > 0) {
             universal_head[t.variable().id()].push_back(p);
-            universal_in_this_head.insert(t.variable().id());
           } else {
             existential_positions.push_back(p);
           }
@@ -80,10 +78,19 @@ Result<WeakAcyclicityReport> CheckWeakAcyclicity(
           }
         }
       }
-      for (uint32_t var_id : universal_in_this_head) {
-        for (const Position& from : body_positions[var_id]) {
-          for (const Position& to : existential_positions) {
-            edges.push_back(Edge{from, to, /*special=*/true});
+      // Special edges (FKMP05 Def. 3.9): when this disjunct invents
+      // existential values, EVERY universal variable occurring in the
+      // body feeds them — each of its body positions gets a special edge
+      // into each existential position, whether or not the variable is
+      // propagated to this head. Restricting to head-occurring variables
+      // (the old behaviour) under-approximates the dependency graph and
+      // certifies sets the definition rejects.
+      if (!existential_positions.empty()) {
+        for (const auto& [var_id, body_ps] : body_positions) {
+          for (const Position& from : body_ps) {
+            for (const Position& to : existential_positions) {
+              edges.push_back(Edge{from, to, /*special=*/true});
+            }
           }
         }
       }

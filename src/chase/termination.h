@@ -19,9 +19,13 @@ namespace rdx {
 ///   * a REGULAR edge (R,i) → (S,j) for each occurrence of x at head
 ///     position (S,j);
 ///   * a SPECIAL edge (R,i) ⇒ (S,j) for each existential variable at head
-///     position (S,j), provided x occurs in that disjunct's head at all.
+///     position (S,j) — from every universal variable occurring in the
+///     body, whether or not x is propagated to this disjunct's head
+///     (FKMP05 Def. 3.9).
 /// The set is weakly acyclic iff no cycle passes through a special edge;
-/// then every chase sequence terminates in polynomially many steps.
+/// then every chase sequence terminates in polynomially many steps. The
+/// criterion is sufficient, not necessary: rejected sets may still
+/// terminate (see termination_test.cc for witnesses).
 ///
 /// Cross-schema dependency sets (s-t tgds, reverse tgds) are trivially
 /// weakly acyclic; the analysis matters for same-schema sets, where

@@ -343,13 +343,15 @@ Result<std::vector<Assignment>> CollectMatchesParallel(
         MatchOptions sub_options = options;
         sub_options.num_threads = 1;
         sub_options.stats = nullptr;
-        Matcher matcher(
-            sub_atoms, instance, index,
-            [&](const Assignment& match) {
-              p.matches.push_back(match);
-              return true;
-            },
-            sub_options, sub_seed);
+        // Matcher stores the callback by reference, so it must outlive
+        // Run() — a lambda passed inline dies with the constructor's
+        // full-expression (stack-use-after-scope).
+        MatchCallback collect = [&p](const Assignment& match) {
+          p.matches.push_back(match);
+          return true;
+        };
+        Matcher matcher(sub_atoms, instance, index, collect, sub_options,
+                        sub_seed);
         p.status = matcher.Run(&p.run);
       });
 

@@ -1,0 +1,258 @@
+#include "fuzz/fuzzer.h"
+
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+
+#include "base/metrics.h"
+#include "base/rng.h"
+#include "base/strings.h"
+#include "base/trace.h"
+#include "core/term.h"
+#include "generator/instance_generator.h"
+#include "generator/mapping_generator.h"
+#include "generator/scenarios.h"
+
+namespace rdx {
+namespace fuzz {
+namespace {
+
+// splitmix64 finalizer: decorrelates (seed, iteration) pairs so adjacent
+// iterations drive the Rng from unrelated states.
+uint64_t MixSeed(uint64_t seed, uint64_t iteration) {
+  uint64_t z = seed * 0x9E3779B97F4A7C15ull + iteration + 1;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+// Key egds over the target schema: for ~half the target relations of
+// arity >= 2, the first position determines the rest. Chase-invented
+// target facts carrying input nulls then trigger repairs.
+Status AddKeyEgds(FuzzScenario* s, const std::string& tag, Rng* rng) {
+  int added = 0;
+  for (const Relation& r : s->target.relations()) {
+    if (r.arity() < 2 || added >= 2 || !rng->Bernoulli(0.5)) continue;
+    std::vector<Term> left_terms, right_terms;
+    std::vector<std::pair<Variable, Variable>> equalities;
+    Variable key = Variable::Intern(StrCat("fk", tag, "_k", added));
+    left_terms.push_back(Term::Var(key));
+    right_terms.push_back(Term::Var(key));
+    for (uint32_t p = 1; p < r.arity(); ++p) {
+      Variable a = Variable::Intern(StrCat("fk", tag, "_a", added, "_", p));
+      Variable b = Variable::Intern(StrCat("fk", tag, "_b", added, "_", p));
+      left_terms.push_back(Term::Var(a));
+      right_terms.push_back(Term::Var(b));
+      equalities.emplace_back(a, b);
+    }
+    RDX_ASSIGN_OR_RETURN(Atom left, Atom::Relational(r, std::move(left_terms)));
+    RDX_ASSIGN_OR_RETURN(Atom right,
+                         Atom::Relational(r, std::move(right_terms)));
+    RDX_ASSIGN_OR_RETURN(
+        Egd egd, Egd::Make({std::move(left), std::move(right)},
+                           std::move(equalities)));
+    s->egds.push_back(std::move(egd));
+    ++added;
+  }
+  return Status::OK();
+}
+
+std::string SanitizeForFilename(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<FuzzScenario> GenerateScenario(uint64_t seed, uint64_t iteration) {
+  Rng rng(MixSeed(seed, iteration));
+  FuzzScenario s;
+  s.name = StrCat("fz_s", seed, "_i", iteration);
+  uint64_t kind = rng.Uniform(10);
+
+  if (kind < 8) {
+    // Random full-tgd mapping. The name tag pins relation/variable names
+    // to (seed, iteration) so regeneration is exact; mixing the seed in
+    // keeps distinct fuzzing streams from colliding in the process-wide
+    // relation registry with different arities.
+    MappingGenOptions mo;
+    mo.name_tag = StrCat("Fz", seed, "x", iteration);
+    mo.num_source_relations = 1 + rng.Uniform(3);
+    mo.num_target_relations = 1 + rng.Uniform(3);
+    mo.max_arity = 1 + static_cast<uint32_t>(rng.Uniform(3));
+    mo.num_tgds = 1 + rng.Uniform(4);
+    mo.max_body_atoms = 1 + rng.Uniform(2);
+    RDX_ASSIGN_OR_RETURN(SchemaMapping mapping,
+                         RandomFullTgdMapping(mo, &rng));
+    s.source = mapping.source();
+    s.target = mapping.target();
+    s.tgds = mapping.dependencies();
+
+    InstanceGenOptions io;
+    io.num_facts = 4 + rng.Uniform(28);
+    io.num_constants = 3 + rng.Uniform(10);
+    io.num_nulls = 2 + rng.Uniform(6);
+    static constexpr double kNullRatios[] = {0.0, 0.0, 0.2, 0.5};
+    io.null_ratio = kNullRatios[kind % 4];
+    s.instance = RandomInstance(s.source, io, &rng);
+
+    if (kind >= 6) {
+      RDX_RETURN_IF_ERROR(AddKeyEgds(&s, mo.name_tag, &rng));
+    }
+  } else {
+    // A paper scenario with a random instance over its source schema.
+    // Scenario construction interns fixed names, so this is regeneration-
+    // safe by definition.
+    std::vector<scenarios::Scenario> all = scenarios::AllScenarios();
+    scenarios::Scenario picked = all[rng.Uniform(all.size())];
+    s.source = picked.mapping.source();
+    s.target = picked.mapping.target();
+    s.tgds = picked.mapping.dependencies();
+    InstanceGenOptions io;
+    io.num_facts = 4 + rng.Uniform(20);
+    io.num_constants = 3 + rng.Uniform(6);
+    io.num_nulls = 3;
+    io.null_ratio = (kind == 9) ? 0.25 : 0.0;
+    s.instance = RandomInstance(s.source, io, &rng);
+  }
+  return s;
+}
+
+std::string FuzzFailure::ToString() const {
+  std::string out = StrCat("iteration ", iteration, ": [", oracle, "] ",
+                           detail);
+  if (!repro_path.empty()) out += StrCat("\n  repro: ", repro_path);
+  return out;
+}
+
+double FuzzReport::ScenariosPerSecond() const {
+  if (micros == 0) return 0.0;
+  return static_cast<double>(iterations) * 1e6 / static_cast<double>(micros);
+}
+
+std::string FuzzReport::ToString() const {
+  std::string out = StrCat(
+      "fuzz: ", iterations, " scenario(s), ", failures, " failure(s), ",
+      exhausted, " budget-exhausted, ", micros / 1000, " ms");
+  if (micros > 0) {
+    out += StrCat(" (", static_cast<uint64_t>(ScenariosPerSecond()),
+                  " scenarios/s)");
+  }
+  out += "\n";
+  for (const FuzzFailure& f : failure_list) {
+    out += StrCat("  ", f.ToString(), "\n");
+  }
+  return out;
+}
+
+Result<FuzzReport> RunFuzzer(const FuzzOptions& options) {
+  static obs::Counter& scenarios_run = obs::Counter::Get("fuzz.scenarios");
+  static obs::Counter& failures_found = obs::Counter::Get("fuzz.failures");
+  static obs::Counter& budget_skips = obs::Counter::Get("fuzz.exhausted");
+
+  FuzzReport report;
+  uint64_t iteration_cap = options.max_iterations;
+  if (iteration_cap == 0 && options.max_seconds <= 0.0) iteration_cap = 1000;
+
+  if (!options.out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.out_dir, ec);
+    if (ec) {
+      return Status::Internal(StrCat("cannot create out dir ",
+                                     options.out_dir, ": ", ec.message()));
+    }
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  auto elapsed_seconds = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  for (uint64_t iter = 0;; ++iter) {
+    if (iteration_cap != 0 && iter >= iteration_cap) break;
+    if (options.max_seconds > 0.0 && elapsed_seconds() >= options.max_seconds) {
+      break;
+    }
+    RDX_ASSIGN_OR_RETURN(FuzzScenario scenario,
+                         GenerateScenario(options.seed, iter));
+    RDX_ASSIGN_OR_RETURN(OracleReport oracles,
+                         RunOracles(scenario, options.oracles));
+    ++report.iterations;
+    scenarios_run.Increment();
+    if (oracles.resource_exhausted) {
+      ++report.exhausted;
+      budget_skips.Increment();
+    }
+    if (oracles.ok()) continue;
+
+    ++report.failures;
+    failures_found.Increment();
+    const OracleFailure& first = oracles.failures.front();
+    FuzzFailure failure;
+    failure.iteration = iter;
+    failure.oracle = first.oracle;
+    failure.detail = first.detail;
+
+    FuzzScenario repro = scenario;
+    if (options.shrink) {
+      std::string oracle_name = first.oracle;
+      const OracleOptions& oracle_opts = options.oracles;
+      FailurePredicate same_failure =
+          [&oracle_name, &oracle_opts](
+              const FuzzScenario& candidate) -> Result<bool> {
+        RDX_ASSIGN_OR_RETURN(OracleReport r,
+                             RunOracles(candidate, oracle_opts));
+        for (const OracleFailure& f : r.failures) {
+          if (f.oracle == oracle_name) return true;
+        }
+        return false;
+      };
+      ShrinkStats shrink_stats;
+      Result<FuzzScenario> shrunk = ShrinkScenario(
+          scenario, same_failure, options.shrink_options, &shrink_stats);
+      if (shrunk.ok()) {
+        repro = *std::move(shrunk);
+        repro.name = StrCat(scenario.name, "_min");
+      }
+      // A shrink error keeps the unshrunk scenario as the repro.
+    }
+
+    if (!options.out_dir.empty()) {
+      std::string path =
+          StrCat(options.out_dir, "/", SanitizeForFilename(first.oracle), "_",
+                 SanitizeForFilename(repro.name), ".rdxf");
+      Status saved = repro.Save(path);
+      if (saved.ok()) {
+        failure.repro_path = path;
+      } else {
+        failure.detail += StrCat(" [repro not saved: ", saved.message(), "]");
+      }
+    }
+    if (obs::TracingEnabled()) {
+      obs::EmitTrace(obs::TraceEvent("fuzz.failure")
+                         .Add("iteration", iter)
+                         .Add("oracle", failure.oracle)
+                         .Add("repro", failure.repro_path));
+    }
+    report.failure_list.push_back(std::move(failure));
+    if (options.stop_on_failure) break;
+  }
+
+  report.micros = static_cast<uint64_t>(elapsed_seconds() * 1e6);
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("fuzz.done")
+                       .Add("iterations", report.iterations)
+                       .Add("failures", report.failures)
+                       .Add("exhausted", report.exhausted)
+                       .Add("us", report.micros));
+  }
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace rdx

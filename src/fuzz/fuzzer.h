@@ -1,0 +1,78 @@
+#ifndef RDX_FUZZ_FUZZER_H_
+#define RDX_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrinker.h"
+
+namespace rdx {
+namespace fuzz {
+
+struct FuzzOptions {
+  uint64_t seed = 1;
+
+  /// Stop after this many scenarios (0 = no iteration bound).
+  uint64_t max_iterations = 0;
+
+  /// Stop after this much wall time (0 = no time bound). When neither
+  /// bound is set, RunFuzzer falls back to 1000 iterations.
+  double max_seconds = 0.0;
+
+  /// Directory shrunken repros are written into ("" = don't write).
+  /// Created if missing.
+  std::string out_dir;
+
+  /// Delta-debug each failure down to a minimal repro before reporting.
+  bool shrink = true;
+  ShrinkOptions shrink_options;
+
+  /// Stop at the first failing scenario instead of fuzzing on.
+  bool stop_on_failure = false;
+
+  OracleOptions oracles;
+};
+
+/// One fuzzing failure: the (shrunken) scenario's first violated oracle.
+struct FuzzFailure {
+  uint64_t iteration = 0;
+  std::string oracle;
+  std::string detail;
+  std::string repro_path;  // empty if out_dir was not set
+
+  std::string ToString() const;
+};
+
+struct FuzzReport {
+  uint64_t iterations = 0;
+  uint64_t failures = 0;
+  uint64_t exhausted = 0;  // scenarios skipped on budget exhaustion
+  uint64_t micros = 0;
+  std::vector<FuzzFailure> failure_list;
+
+  double ScenariosPerSecond() const;
+  std::string ToString() const;
+};
+
+/// Deterministically generates scenario number `iteration` of stream
+/// `seed`: the same pair always yields the same scenario, including
+/// relation names (the mapping generator is pinned to a per-pair name
+/// tag), so failures replay exactly. The mix covers random full-tgd
+/// mappings over random instances at several null ratios, the same with
+/// key egds on the target schema, and the paper's scenario catalog.
+Result<FuzzScenario> GenerateScenario(uint64_t seed, uint64_t iteration);
+
+/// The fuzzing loop: generate, run the oracle battery, and on failure
+/// shrink and serialize a repro. Deterministic from `seed` up to the
+/// iteration count (a wall-time bound cuts the stream at a
+/// machine-dependent point; the scenarios themselves never differ).
+Result<FuzzReport> RunFuzzer(const FuzzOptions& options);
+
+}  // namespace fuzz
+}  // namespace rdx
+
+#endif  // RDX_FUZZ_FUZZER_H_

@@ -1,0 +1,461 @@
+#include "fuzz/oracles.h"
+
+#include <optional>
+#include <utility>
+
+#include "base/strings.h"
+#include "chase/egd_chase.h"
+#include "chase/termination.h"
+#include "core/core_computation.h"
+#include "core/fact_index.h"
+#include "core/match.h"
+#include "mapping/quasi_inverse.h"
+#include "mapping/recovery.h"
+
+namespace rdx {
+namespace fuzz {
+namespace {
+
+// Oracle comparisons between two chase runs use isomorphism, not
+// equality: each run draws fresh nulls from the process-wide counter, so
+// consecutive in-process runs agree only up to a renaming of nulls (the
+// per-run determinism guarantee is about one run, not two).
+class Battery {
+ public:
+  Battery(const FuzzScenario& scenario, const OracleOptions& options,
+          OracleReport* report)
+      : s_(scenario), opts_(options), report_(report) {}
+
+  void Run() {
+    RunTermination();
+    bool chase_ok = RunChaseFamily();
+    RunEgdFamily(chase_ok);
+    if (chase_ok) {
+      RunCoreFamily();
+      RunHomFamily();
+      RunInverse();
+    }
+  }
+
+ private:
+  void Fail(std::string oracle, std::string detail) {
+    report_->failures.push_back(
+        OracleFailure{std::move(oracle), std::move(detail)});
+  }
+
+  void Ran(const char* oracle) { report_->oracles_run.push_back(oracle); }
+
+  void Exhausted(const char* where, const Status& status) {
+    report_->resource_exhausted = true;
+    if (report_->exhausted_reason.empty()) {
+      report_->exhausted_reason = StrCat(where, ": ", status.message());
+    }
+  }
+
+  // Unwraps an engine result. ResourceExhausted skips (recorded, not a
+  // failure); every other error is a status.* oracle failure.
+  template <typename T>
+  bool Take(Result<T> result, const char* where, T* out) {
+    if (result.ok()) {
+      *out = *std::move(result);
+      return true;
+    }
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      Exhausted(where, result.status());
+    } else {
+      Fail(StrCat("status.", where), result.status().ToString());
+    }
+    return false;
+  }
+
+  void RunTermination() {
+    if (s_.tgds.empty()) return;
+    WeakAcyclicityReport wa;
+    if (!Take(CheckWeakAcyclicity(s_.tgds), "termination", &wa)) return;
+    wa_verdict_ = wa.weakly_acyclic;
+    if (s_.expect_weakly_acyclic.has_value()) {
+      Ran("wa.expectation");
+      if (wa.weakly_acyclic != *s_.expect_weakly_acyclic) {
+        Fail("wa.expectation",
+             StrCat("CheckWeakAcyclicity said ",
+                    wa.weakly_acyclic ? "true" : "false", ", scenario expects ",
+                    *s_.expect_weakly_acyclic ? "true" : "false",
+                    wa.cycle_witness.empty()
+                        ? std::string()
+                        : StrCat(" (witness: ", wa.cycle_witness, ")")));
+      }
+    }
+  }
+
+  // Compares two chase outcomes up to null renaming.
+  void ExpectAgree(const char* oracle, const ChaseResult& a,
+                   const ChaseResult& b, const std::string& label) {
+    Ran(oracle);
+    if (a.combined.size() != b.combined.size() ||
+        a.added.size() != b.added.size()) {
+      Fail(oracle, StrCat(label, ": sizes differ (combined ",
+                          a.combined.size(), " vs ", b.combined.size(),
+                          ", added ", a.added.size(), " vs ", b.added.size(),
+                          ")"));
+      return;
+    }
+    bool iso = false;
+    if (!Take(AreIsomorphic(a.combined, b.combined, opts_.hom), oracle, &iso)) {
+      return;
+    }
+    if (!iso) {
+      Fail(oracle, StrCat(label, ": results are not isomorphic: ",
+                          a.combined.ToString(), " vs ",
+                          b.combined.ToString()));
+    }
+  }
+
+  bool RunChaseFamily() {
+    ChaseOptions base = opts_.chase;
+    base.use_semi_naive = true;
+    base.num_threads = 1;
+    Result<ChaseResult> first = Chase(s_.instance, s_.tgds, base);
+    if (!first.ok() &&
+        first.status().code() == StatusCode::kResourceExhausted &&
+        wa_verdict_ == true &&
+        first.status().message().find("max_rounds") != std::string::npos) {
+      // A weakly acyclic set is guaranteed to terminate; running out of
+      // rounds on one is an engine bug, not a budget artifact.
+      Ran("wa.sufficiency");
+      Fail("wa.sufficiency",
+           StrCat("chase of a certified weakly acyclic set hit the round "
+                  "budget: ",
+                  first.status().message()));
+      return false;
+    }
+    if (!Take(std::move(first), "chase", &chased_)) return false;
+    if (wa_verdict_ == true) Ran("wa.sufficiency");
+
+    ChaseOptions naive = base;
+    naive.use_semi_naive = false;
+    ChaseResult naive_result;
+    if (Take(Chase(s_.instance, s_.tgds, naive), "chase", &naive_result)) {
+      if (opts_.inject_chase_corruption && !naive_result.combined.empty()) {
+        naive_result.combined.RemoveFact(naive_result.combined.facts().back());
+      }
+      ExpectAgree("chase.semi_naive", chased_, naive_result,
+                  "semi-naive vs naive");
+    }
+
+    for (uint64_t threads : {uint64_t{2}, uint64_t{8}}) {
+      ChaseOptions threaded = base;
+      threaded.num_threads = threads;
+      ChaseResult threaded_result;
+      if (!Take(Chase(s_.instance, s_.tgds, threaded), "chase",
+                &threaded_result)) {
+        continue;
+      }
+      ExpectAgree("chase.threads", chased_, threaded_result,
+                  StrCat("threads 1 vs ", threads));
+      if (chased_.rounds != threaded_result.rounds) {
+        Fail("chase.threads", StrCat("round counts differ at threads=",
+                                     threads, ": ", chased_.rounds, " vs ",
+                                     threaded_result.rounds));
+      }
+    }
+
+    Ran("chase.satisfies");
+    bool satisfied = false;
+    if (Take(SatisfiesAll(chased_.combined, s_.tgds, base.match_options),
+             "satisfies", &satisfied) &&
+        !satisfied) {
+      Fail("chase.satisfies",
+           "chase fixpoint does not satisfy its own dependencies");
+    }
+    return true;
+  }
+
+  void RunEgdFamily(bool chase_ok) {
+    EgdChaseResult egd;
+    if (!Take(ChaseWithEgds(s_.instance, s_.tgds, s_.egds, opts_.chase),
+              "egd_chase", &egd)) {
+      return;
+    }
+    if (s_.egds.empty() && chase_ok) {
+      Ran("egd.zero");
+      if (egd.merges != 0) {
+        Fail("egd.zero", StrCat("zero-egd chase performed ", egd.merges,
+                                " merges"));
+      } else if (egd.combined.size() != chased_.combined.size() ||
+                 egd.added.size() != chased_.added.size()) {
+        Fail("egd.zero",
+             StrCat("zero-egd chase differs from plain chase: combined ",
+                    egd.combined.size(), " vs ", chased_.combined.size()));
+      } else {
+        bool iso = false;
+        if (Take(AreIsomorphic(egd.combined, chased_.combined, opts_.hom),
+                 "egd.zero", &iso) &&
+            !iso) {
+          Fail("egd.zero",
+               "zero-egd chase is not isomorphic to the plain chase");
+        }
+      }
+    }
+    if (egd.failed) return;  // a failing chase is a legitimate outcome
+
+    if (!s_.egds.empty()) {
+      Ran("egd.fixpoint");
+      for (const Egd& e : s_.egds) {
+        std::optional<std::string> violation;
+        Status status = EnumerateMatches(
+            e.body(), egd.combined,
+            [&](const Assignment& match) {
+              for (const auto& [a, b] : e.equalities()) {
+                if (!(match.at(a) == match.at(b))) {
+                  violation = StrCat(e.ToString(), " violated: ",
+                                     match.at(a).ToString(), " != ",
+                                     match.at(b).ToString());
+                  return false;
+                }
+              }
+              return true;
+            },
+            opts_.chase.match_options);
+        if (!status.ok()) {
+          if (status.code() == StatusCode::kResourceExhausted) {
+            Exhausted("egd.fixpoint", status);
+          } else {
+            Fail("status.egd.fixpoint", status.ToString());
+          }
+          return;
+        }
+        if (violation.has_value()) {
+          Fail("egd.fixpoint", *violation);
+          return;
+        }
+      }
+    }
+
+    Ran("egd.added_view");
+    Instance rewritten_input = s_.instance.Apply(egd.merge_map);
+    if (Instance::Union(rewritten_input, egd.added) != egd.combined) {
+      Fail("egd.added_view",
+           "rewritten input + added does not reassemble the combined "
+           "instance");
+    } else {
+      for (const Fact& f : egd.added.facts()) {
+        if (rewritten_input.Contains(f)) {
+          Fail("egd.added_view",
+               StrCat("added misreports the rewritten input fact ",
+                      f.ToString()));
+          break;
+        }
+      }
+    }
+
+    if (s_.tgds.empty()) {
+      Ran("egd.pure_rewrite");
+      if (!egd.added.empty()) {
+        Fail("egd.pure_rewrite",
+             StrCat("a tgd-free egd chase reported ", egd.added.size(),
+                    " added fact(s): ", egd.added.ToString()));
+      }
+    }
+  }
+
+  void RunCoreFamily() {
+    CoreOptions blocked_opts;
+    blocked_opts.hom = opts_.hom;
+    blocked_opts.use_blocks = true;
+    Instance blocked;
+    if (!Take(ComputeCore(chased_.combined, blocked_opts), "core", &blocked)) {
+      return;
+    }
+    if (opts_.inject_core_corruption && !blocked.empty()) {
+      blocked.RemoveFact(blocked.facts().back());
+    }
+
+    CoreOptions naive_opts = blocked_opts;
+    naive_opts.use_blocks = false;
+    Instance naive;
+    if (Take(ComputeCore(chased_.combined, naive_opts), "core", &naive)) {
+      Ran("core.blocks_vs_naive");
+      bool iso = false;
+      if (Take(AreIsomorphic(blocked, naive, opts_.hom),
+               "core.blocks_vs_naive", &iso) &&
+          !iso) {
+        Fail("core.blocks_vs_naive",
+             StrCat("blocked core ", blocked.ToString(),
+                    " is not isomorphic to naive core ", naive.ToString()));
+      }
+    }
+
+    // Core retraction never invents values, so cores of the SAME input
+    // computed at different thread counts must be equal, not just
+    // isomorphic.
+    for (uint64_t threads : {uint64_t{2}, uint64_t{8}}) {
+      CoreOptions threaded_opts = blocked_opts;
+      threaded_opts.hom.num_threads = threads;
+      Instance threaded;
+      if (!Take(ComputeCore(chased_.combined, threaded_opts), "core",
+                &threaded)) {
+        continue;
+      }
+      Ran("core.threads");
+      if (threaded != blocked) {
+        Fail("core.threads",
+             StrCat("core at threads=", threads, " differs: ",
+                    threaded.ToString(), " vs ", blocked.ToString()));
+      }
+    }
+
+    Ran("core.hom_equiv");
+    bool equiv = false;
+    if (Take(AreHomEquivalent(blocked, chased_.combined, opts_.hom),
+             "core.hom_equiv", &equiv)) {
+      if (!equiv) {
+        Fail("core.hom_equiv",
+             "core is not homomorphically equivalent to its input");
+      } else if (!blocked.SubsetOf(chased_.combined)) {
+        Fail("core.hom_equiv", "core is not a subinstance of its input");
+      }
+    }
+
+    Ran("core.idempotent");
+    bool is_core = false;
+    if (Take(IsCore(blocked, blocked_opts), "core.idempotent", &is_core) &&
+        !is_core) {
+      Fail("core.idempotent", "ComputeCore output admits a further retraction");
+    }
+  }
+
+  void RunHomFamily() {
+    Ran("hom.masked_vs_plain");
+    // Both directions: input -> chase result always has a homomorphism
+    // (the identity); the reverse direction exercises the negative path.
+    CompareHomEngines(s_.instance, chased_.combined, "input->combined");
+    CompareHomEngines(chased_.combined, s_.instance, "combined->input");
+  }
+
+  void CompareHomEngines(const Instance& from, const Instance& to,
+                         const char* label) {
+    std::optional<ValueMap> plain;
+    if (!Take(FindHomomorphism(from, to, {}, opts_.hom), "hom", &plain)) {
+      return;
+    }
+    FactIndex index(to);
+    std::vector<const Fact*> from_facts;
+    from_facts.reserve(from.size());
+    for (const Fact& f : from.facts()) from_facts.push_back(&f);
+    std::optional<ValueMap> masked;
+    if (!Take(FindHomomorphismMasked(from_facts, index, /*mask=*/nullptr,
+                                     /*excluded=*/nullptr, opts_.hom),
+              "hom", &masked)) {
+      return;
+    }
+    if (plain.has_value() != masked.has_value()) {
+      Fail("hom.masked_vs_plain",
+           StrCat(label, ": plain search ",
+                  plain.has_value() ? "found" : "refuted",
+                  " a homomorphism, masked search ",
+                  masked.has_value() ? "found" : "refuted", " one"));
+    }
+  }
+
+  void RunInverse() {
+    if (!opts_.run_inverse || !s_.HasMappingShape()) return;
+    if (s_.instance.size() > opts_.max_inverse_facts) return;
+    Result<SchemaMapping> mapping = s_.Mapping();
+    if (!mapping.ok()) return;  // not a mapping-shaped scenario
+    if (!mapping->IsFullTgdMapping() || !s_.instance.IsGround() ||
+        !s_.instance.ConformsTo(mapping->source())) {
+      return;
+    }
+    Result<SchemaMapping> quasi = QuasiInverse(*mapping);
+    if (!quasi.ok()) {
+      // FailedPrecondition/Unimplemented mark inputs outside the
+      // algorithm's language; anything else is an engine bug.
+      if (quasi.status().code() != StatusCode::kFailedPrecondition &&
+          quasi.status().code() != StatusCode::kUnimplemented) {
+        Fail("status.quasi_inverse", quasi.status().ToString());
+      }
+      return;
+    }
+    Ran("inverse.quasi");
+    std::optional<Instance> witness;
+    if (Take(CheckExtendedRecovery(*mapping, *quasi, {s_.instance},
+                                   opts_.chase, opts_.disjunctive),
+             "inverse.quasi", &witness) &&
+        witness.has_value()) {
+      Fail("inverse.quasi",
+           StrCat("quasi-inverse is not an extended recovery; violating "
+                  "instance: ",
+                  witness->ToString()));
+    }
+  }
+
+  const FuzzScenario& s_;
+  const OracleOptions& opts_;
+  OracleReport* report_;
+  std::optional<bool> wa_verdict_;
+  ChaseResult chased_;
+};
+
+}  // namespace
+
+std::string OracleFailure::ToString() const {
+  return StrCat("[", oracle, "] ", detail);
+}
+
+std::string OracleReport::ToString() const {
+  std::string out = StrCat(oracles_run.size(), " oracle check(s), ",
+                           failures.size(), " failure(s)");
+  if (resource_exhausted) {
+    out += StrCat(" (budget exhausted: ", exhausted_reason, ")");
+  }
+  out += "\n";
+  for (const OracleFailure& f : failures) {
+    out += StrCat("  ", f.ToString(), "\n");
+  }
+  return out;
+}
+
+const std::vector<OracleInfo>& OracleCatalog() {
+  static const std::vector<OracleInfo>* catalog = new std::vector<OracleInfo>{
+      {"wa.expectation",
+       "CheckWeakAcyclicity matches the scenario's expected verdict"},
+      {"wa.sufficiency",
+       "a certified weakly acyclic set never exhausts the chase round budget"},
+      {"chase.semi_naive",
+       "semi-naive and naive chase agree up to null renaming"},
+      {"chase.threads",
+       "chase at thread counts 1/2/8 agrees (sizes, rounds, isomorphism)"},
+      {"chase.satisfies", "the chase fixpoint satisfies all dependencies"},
+      {"egd.zero", "the egd chase with zero egds equals the plain chase"},
+      {"egd.fixpoint", "after a non-failing egd chase every egd is satisfied"},
+      {"egd.added_view",
+       "rewritten input + added reassembles combined; added never contains "
+       "rewritten input facts"},
+      {"egd.pure_rewrite", "a tgd-free egd chase reports no added facts"},
+      {"core.blocks_vs_naive",
+       "blocked and naive core engines produce isomorphic cores"},
+      {"core.threads", "the blocked core is equal at thread counts 1/2/8"},
+      {"core.hom_equiv",
+       "the core is a hom-equivalent subinstance of its input"},
+      {"core.idempotent", "the core admits no further retraction"},
+      {"hom.masked_vs_plain",
+       "masked and plain homomorphism search agree on existence"},
+      {"inverse.quasi",
+       "the quasi-inverse of a full-tgd mapping passes the "
+       "extended-recovery check"},
+      {"status.*",
+       "any engine error other than ResourceExhausted fails the scenario"},
+  };
+  return *catalog;
+}
+
+Result<OracleReport> RunOracles(const FuzzScenario& scenario,
+                                const OracleOptions& options) {
+  OracleReport report;
+  Battery battery(scenario, options, &report);
+  battery.Run();
+  return report;
+}
+
+}  // namespace fuzz
+}  // namespace rdx

@@ -1,0 +1,104 @@
+#ifndef RDX_FUZZ_ORACLES_H_
+#define RDX_FUZZ_ORACLES_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "chase/chase.h"
+#include "chase/disjunctive_chase.h"
+#include "core/homomorphism.h"
+#include "fuzz/scenario.h"
+
+namespace rdx {
+namespace fuzz {
+
+/// Knobs for one oracle run. The chase/homomorphism budgets default far
+/// below the library defaults: a fuzzer wants throughput, and a scenario
+/// that blows a small budget is skipped (counted, not failed) rather than
+/// ground through.
+struct OracleOptions {
+  OracleOptions() {
+    chase.max_rounds = 64;
+    chase.max_new_facts = 20'000;
+    chase.max_merges = 20'000;
+    hom.max_steps = 2'000'000;
+    disjunctive.max_branches = 2'000;
+    disjunctive.max_steps = 50'000;
+  }
+
+  ChaseOptions chase;
+  HomomorphismOptions hom;
+  DisjunctiveChaseOptions disjunctive;
+
+  /// Run the quasi-inverse recovery oracle (only applies to ground-input
+  /// full-tgd mapping scenarios; it is the most expensive oracle).
+  bool run_inverse = true;
+
+  /// Instance-size gate for the quasi-inverse oracle: the extended-recovery
+  /// check is exponential in the number of source facts (measured ~4x per
+  /// +2 facts; 19 facts ~48s), so larger instances skip it. 10 facts keeps
+  /// the worst case around 150ms per scenario.
+  std::size_t max_inverse_facts = 10;
+
+  /// Self-test hooks: deliberately corrupt one side of a comparison so
+  /// the oracle-library unit tests can prove a broken engine is caught.
+  /// Never set outside tests.
+  bool inject_chase_corruption = false;  // perturb the naive chase result
+  bool inject_core_corruption = false;   // perturb the blocked core result
+};
+
+/// One oracle violation.
+struct OracleFailure {
+  std::string oracle;  // catalog name, e.g. "chase.semi_naive"
+  std::string detail;  // human-readable mismatch description
+
+  std::string ToString() const;
+};
+
+/// Outcome of running the oracle battery on one scenario.
+struct OracleReport {
+  std::vector<OracleFailure> failures;
+  std::vector<std::string> oracles_run;
+
+  /// True if some engine call exhausted its budget; the dependent oracles
+  /// were skipped. Not a failure — fuzzing counts these separately.
+  bool resource_exhausted = false;
+  std::string exhausted_reason;
+
+  bool ok() const { return failures.empty(); }
+  std::string ToString() const;
+};
+
+/// A catalog entry for --list-oracles and docs.
+struct OracleInfo {
+  std::string name;
+  std::string description;
+};
+
+/// All oracles the battery can run, in execution order.
+const std::vector<OracleInfo>& OracleCatalog();
+
+/// Runs the full oracle battery on `scenario`:
+///
+///  * cross-engine agreement — naive vs semi-naive chase, thread counts
+///    1/2/8, blocked vs naive core (isomorphism), core thread counts,
+///    masked vs plain homomorphism;
+///  * metamorphic paper invariants — the chase result satisfies all
+///    dependencies, the core is hom-equivalent to its input and
+///    idempotent, the egd chase with zero egds equals the plain chase,
+///    the `added` view never contains rewritten input facts, the
+///    quasi-inverse of a full-tgd mapping passes the extended-recovery
+///    check, weak acyclicity implies chase termination;
+///  * crash/Status oracles — every engine error other than
+///    ResourceExhausted is a failure.
+///
+/// Only returns a non-OK Status on programming errors (e.g. an invalid
+/// scenario); engine misbehaviour is reported inside the OracleReport.
+Result<OracleReport> RunOracles(const FuzzScenario& scenario,
+                                const OracleOptions& options = {});
+
+}  // namespace fuzz
+}  // namespace rdx
+
+#endif  // RDX_FUZZ_ORACLES_H_

@@ -1,0 +1,195 @@
+#include "fuzz/scenario.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "base/strings.h"
+#include "core/dependency_parser.h"
+#include "core/instance_parser.h"
+
+namespace rdx {
+namespace fuzz {
+namespace {
+
+std::string_view TrimView(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Parses "Name/arity, Name/arity, ..." into a Schema (same declaration
+// syntax as the mapping file format's source:/target: lines).
+Result<Schema> ParseSchemaDecl(std::string_view decl) {
+  Schema schema;
+  std::size_t start = 0;
+  while (start <= decl.size()) {
+    std::size_t comma = decl.find(',', start);
+    std::string_view item = TrimView(
+        decl.substr(start, comma == std::string_view::npos ? std::string_view::npos
+                                                           : comma - start));
+    if (!item.empty()) {
+      std::size_t slash = item.find('/');
+      if (slash == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrCat("schema declaration '", std::string(item),
+                   "' is not Name/arity"));
+      }
+      std::string_view name = TrimView(item.substr(0, slash));
+      std::string_view arity_text = TrimView(item.substr(slash + 1));
+      int arity = std::atoi(std::string(arity_text).c_str());
+      if (arity <= 0) {
+        return Status::InvalidArgument(
+            StrCat("bad arity in schema declaration '", std::string(item),
+                   "'"));
+      }
+      RDX_ASSIGN_OR_RETURN(Relation r,
+                           Relation::Intern(name, static_cast<uint32_t>(arity)));
+      RDX_RETURN_IF_ERROR(schema.AddRelation(r));
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return schema;
+}
+
+std::string FormatSchemaDecl(const Schema& schema) {
+  std::string out;
+  for (const Relation& r : schema.relations()) {
+    if (!out.empty()) out += ", ";
+    out += StrCat(r.name(), "/", r.arity());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<SchemaMapping> FuzzScenario::Mapping() const {
+  if (!HasMappingShape()) {
+    return Status::FailedPrecondition(
+        StrCat("scenario '", name, "' has no source/target mapping shape"));
+  }
+  return SchemaMapping::Make(source, target, tgds);
+}
+
+std::string FuzzScenario::ToText() const {
+  std::string out = StrCat("# rdx fuzz scenario\nname: ", name, "\n");
+  if (source.size() > 0) {
+    out += StrCat("source: ", FormatSchemaDecl(source), "\n");
+  }
+  if (target.size() > 0) {
+    out += StrCat("target: ", FormatSchemaDecl(target), "\n");
+  }
+  if (expect_weakly_acyclic.has_value()) {
+    out += StrCat("expect_weakly_acyclic: ",
+                  *expect_weakly_acyclic ? "true" : "false", "\n");
+  }
+  for (const Dependency& d : tgds) out += StrCat("tgd: ", d.ToString(), "\n");
+  for (const Egd& e : egds) out += StrCat("egd: ", e.ToString(), "\n");
+  for (const Fact& f : instance.facts()) {
+    out += StrCat("fact: ", f.ToString(), "\n");
+  }
+  return out;
+}
+
+Result<FuzzScenario> FuzzScenario::FromText(std::string_view text) {
+  FuzzScenario scenario;
+  bool saw_name = false;
+  std::size_t line_start = 0;
+  int line_no = 0;
+  while (line_start <= text.size()) {
+    std::size_t nl = text.find('\n', line_start);
+    std::string_view line = text.substr(
+        line_start, nl == std::string_view::npos ? std::string_view::npos
+                                                 : nl - line_start);
+    ++line_no;
+    std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = TrimView(line);
+    if (!line.empty()) {
+      std::size_t colon = line.find(':');
+      if (colon == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrCat("scenario line ", line_no, " has no 'key:' prefix: '",
+                   std::string(line), "'"));
+      }
+      std::string_view key = TrimView(line.substr(0, colon));
+      std::string_view value = TrimView(line.substr(colon + 1));
+      if (key == "name") {
+        scenario.name = std::string(value);
+        saw_name = true;
+      } else if (key == "source") {
+        RDX_ASSIGN_OR_RETURN(scenario.source, ParseSchemaDecl(value));
+      } else if (key == "target") {
+        RDX_ASSIGN_OR_RETURN(scenario.target, ParseSchemaDecl(value));
+      } else if (key == "expect_weakly_acyclic") {
+        if (value == "true") {
+          scenario.expect_weakly_acyclic = true;
+        } else if (value == "false") {
+          scenario.expect_weakly_acyclic = false;
+        } else {
+          return Status::InvalidArgument(StrCat(
+              "scenario line ", line_no,
+              ": expect_weakly_acyclic must be true or false, got '",
+              std::string(value), "'"));
+        }
+      } else if (key == "tgd") {
+        RDX_ASSIGN_OR_RETURN(Dependency d, ParseDependency(value));
+        scenario.tgds.push_back(std::move(d));
+      } else if (key == "egd") {
+        RDX_ASSIGN_OR_RETURN(Egd e, Egd::Parse(value));
+        scenario.egds.push_back(std::move(e));
+      } else if (key == "fact") {
+        RDX_ASSIGN_OR_RETURN(Instance one, ParseInstance(value));
+        if (one.size() != 1) {
+          return Status::InvalidArgument(
+              StrCat("scenario line ", line_no,
+                     ": 'fact:' must carry exactly one fact"));
+        }
+        scenario.instance.AddFact(one.facts().front());
+      } else {
+        return Status::InvalidArgument(StrCat("scenario line ", line_no,
+                                              ": unknown key '",
+                                              std::string(key), "'"));
+      }
+    }
+    if (nl == std::string_view::npos) break;
+    line_start = nl + 1;
+  }
+  if (!saw_name) {
+    return Status::InvalidArgument("scenario text has no 'name:' line");
+  }
+  return scenario;
+}
+
+Result<FuzzScenario> FuzzScenario::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound(StrCat("cannot open scenario file ", path));
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  RDX_ASSIGN_OR_RETURN(FuzzScenario scenario, FromText(buffer.str()));
+  return scenario;
+}
+
+Status FuzzScenario::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal(StrCat("cannot write scenario file ", path));
+  }
+  out << ToText();
+  out.close();
+  if (!out) {
+    return Status::Internal(StrCat("error writing scenario file ", path));
+  }
+  return Status::OK();
+}
+
+}  // namespace fuzz
+}  // namespace rdx

@@ -1,0 +1,70 @@
+#ifndef RDX_FUZZ_SCENARIO_H_
+#define RDX_FUZZ_SCENARIO_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/egd.h"
+#include "core/instance.h"
+#include "core/schema.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+namespace fuzz {
+
+/// One differential-fuzzing test case: a dependency set (tgds and egds)
+/// plus an input instance, with optional source/target schemas. This is
+/// deliberately looser than SchemaMapping — weak-acyclicity scenarios use
+/// same-schema tgds and no target, which SchemaMapping::Make rejects.
+///
+/// Serialized form (".rdxf", line-based, '#' comments):
+///
+///   name: egd_added_null_promotion
+///   source: RgA_Pin/1, RgA_Loc/2
+///   target: RgA_Out/2
+///   expect_weakly_acyclic: false
+///   tgd: RgA_Pin(x) -> RgA_Out(x, x)
+///   egd: RgA_Pin(x) & RgA_Loc(k, y) -> x = y
+///   fact: RgA_Pin(b)
+///   fact: RgA_Loc(k1, ?N)
+///
+/// Relation names are interned process-wide with pinned arities, so every
+/// checked-in scenario file uses a distinct relation-name prefix.
+struct FuzzScenario {
+  std::string name;
+  Schema source;
+  Schema target;  // may be empty (same-schema scenarios)
+  std::vector<Dependency> tgds;
+  std::vector<Egd> egds;
+  Instance instance;
+
+  /// When set, the wa.expectation oracle asserts CheckWeakAcyclicity
+  /// returns exactly this verdict on `tgds`.
+  std::optional<bool> expect_weakly_acyclic;
+
+  /// True if the scenario has the (S, T, Σ) shape of a schema mapping:
+  /// both schemas non-empty. Mapping() additionally validates that every
+  /// tgd is genuinely source-to-target.
+  bool HasMappingShape() const {
+    return source.size() > 0 && target.size() > 0;
+  }
+
+  /// Rebuilds the SchemaMapping view (for the inverse oracles).
+  Result<SchemaMapping> Mapping() const;
+
+  /// Serialization round-trip.
+  std::string ToText() const;
+  static Result<FuzzScenario> FromText(std::string_view text);
+
+  /// File I/O for the regression corpus (data/regressions/*.rdxf).
+  static Result<FuzzScenario> Load(const std::string& path);
+  Status Save(const std::string& path) const;
+};
+
+}  // namespace fuzz
+}  // namespace rdx
+
+#endif  // RDX_FUZZ_SCENARIO_H_

@@ -1,0 +1,191 @@
+#include "fuzz/shrinker.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace fuzz {
+namespace {
+
+// Rebuilds the instance without the fact at `drop_index` (Instance has no
+// positional removal; order is preserved for determinism).
+Instance WithoutFact(const Instance& instance, std::size_t drop_index) {
+  Instance out;
+  std::size_t i = 0;
+  for (const Fact& f : instance.facts()) {
+    if (i++ != drop_index) out.AddFact(f);
+  }
+  return out;
+}
+
+// Drops schema relations no dependency, egd, or fact mentions. Purely
+// cosmetic for the serialized repro; never affects the predicate.
+Schema PruneSchema(const Schema& schema, const FuzzScenario& s) {
+  std::unordered_set<Relation, RelationHash> used;
+  for (const Dependency& d : s.tgds) {
+    for (const Atom& a : d.body()) {
+      if (a.IsRelational()) used.insert(a.relation());
+    }
+    for (const auto& disjunct : d.disjuncts()) {
+      for (const Atom& a : disjunct) {
+        if (a.IsRelational()) used.insert(a.relation());
+      }
+    }
+  }
+  for (const Egd& e : s.egds) {
+    for (const Atom& a : e.body()) {
+      if (a.IsRelational()) used.insert(a.relation());
+    }
+  }
+  for (const Fact& f : s.instance.facts()) used.insert(f.relation());
+  Schema pruned;
+  for (const Relation& r : schema.relations()) {
+    if (used.count(r) > 0) {
+      // AddRelation only fails on duplicates, impossible here.
+      (void)pruned.AddRelation(r);
+    }
+  }
+  return pruned;
+}
+
+class Shrinker {
+ public:
+  Shrinker(FuzzScenario scenario, const FailurePredicate& still_fails,
+           const ShrinkOptions& options, ShrinkStats* stats)
+      : best_(std::move(scenario)),
+        still_fails_(still_fails),
+        opts_(options),
+        stats_(stats) {}
+
+  Result<FuzzScenario> Run() {
+    bool progress = true;
+    while (progress && !OutOfBudget()) {
+      progress = false;
+      RDX_ASSIGN_OR_RETURN(bool dropped_tgds, DropPass(&FuzzScenario::tgds));
+      RDX_ASSIGN_OR_RETURN(bool dropped_egds, DropPass(&FuzzScenario::egds));
+      RDX_ASSIGN_OR_RETURN(bool dropped_facts, DropFactsPass());
+      progress = dropped_tgds || dropped_egds || dropped_facts;
+      if (opts_.merge_values) {
+        RDX_ASSIGN_OR_RETURN(bool merged, MergeValuesPass());
+        progress = progress || merged;
+      }
+    }
+    best_.source = PruneSchema(best_.source, best_);
+    best_.target = PruneSchema(best_.target, best_);
+    return std::move(best_);
+  }
+
+ private:
+  bool OutOfBudget() const {
+    return stats_ != nullptr && stats_->attempts >= opts_.max_attempts;
+  }
+
+  Result<bool> StillFails(const FuzzScenario& candidate) {
+    if (stats_ != nullptr) ++stats_->attempts;
+    RDX_ASSIGN_OR_RETURN(bool fails, still_fails_(candidate));
+    if (fails && stats_ != nullptr) ++stats_->accepted;
+    return fails;
+  }
+
+  // Tries dropping each element of a dependency list, last to first (the
+  // later elements of a generated scenario are the most likely padding).
+  template <typename Member>
+  Result<bool> DropPass(Member member) {
+    bool progress = false;
+    for (std::size_t i = (best_.*member).size(); i-- > 0;) {
+      if (OutOfBudget()) break;
+      FuzzScenario candidate = best_;
+      auto& list = candidate.*member;
+      list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+      RDX_ASSIGN_OR_RETURN(bool fails, StillFails(candidate));
+      if (fails) {
+        best_ = std::move(candidate);
+        progress = true;
+      }
+    }
+    return progress;
+  }
+
+  Result<bool> DropFactsPass() {
+    bool progress = false;
+    for (std::size_t i = best_.instance.size(); i-- > 0;) {
+      if (OutOfBudget()) break;
+      FuzzScenario candidate = best_;
+      candidate.instance = WithoutFact(best_.instance, i);
+      RDX_ASSIGN_OR_RETURN(bool fails, StillFails(candidate));
+      if (fails) {
+        best_ = std::move(candidate);
+        progress = true;
+      }
+    }
+    return progress;
+  }
+
+  // Tries mapping a later value onto an earlier one across the instance:
+  // any null may collapse onto anything; a constant only onto another
+  // constant (null-to-constant would invent groundness the scenario never
+  // had). Restarts the scan after each success since the domain changed.
+  Result<bool> MergeValuesPass() {
+    bool progress = false;
+    bool merged = true;
+    while (merged && !OutOfBudget()) {
+      merged = false;
+      std::vector<Value> domain = best_.instance.ActiveDomain();
+      for (std::size_t i = domain.size(); i-- > 1 && !merged;) {
+        for (std::size_t j = 0; j < i && !merged; ++j) {
+          if (OutOfBudget()) break;
+          if (!domain[i].IsNull() &&
+              !(domain[i].IsConstant() && domain[j].IsConstant())) {
+            continue;
+          }
+          FuzzScenario candidate = best_;
+          candidate.instance =
+              best_.instance.Apply({{domain[i], domain[j]}});
+          if (candidate.instance == best_.instance) continue;
+          RDX_ASSIGN_OR_RETURN(bool fails, StillFails(candidate));
+          if (fails) {
+            best_ = std::move(candidate);
+            if (stats_ != nullptr) ++stats_->values_merged;
+            merged = true;
+            progress = true;
+          }
+        }
+      }
+    }
+    return progress;
+  }
+
+  FuzzScenario best_;
+  const FailurePredicate& still_fails_;
+  const ShrinkOptions& opts_;
+  ShrinkStats* stats_;
+};
+
+}  // namespace
+
+std::string ShrinkStats::ToString() const {
+  return StrCat("shrink: ", attempts, " attempts, ", accepted,
+                " accepted; facts ", facts_before, " -> ", facts_after,
+                ", deps ", deps_before, " -> ", deps_after, ", ",
+                values_merged, " value merge(s)");
+}
+
+Result<FuzzScenario> ShrinkScenario(const FuzzScenario& scenario,
+                                    const FailurePredicate& still_fails,
+                                    const ShrinkOptions& options,
+                                    ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats* s = stats != nullptr ? stats : &local;
+  s->facts_before = scenario.instance.size();
+  s->deps_before = scenario.tgds.size() + scenario.egds.size();
+  Shrinker shrinker(scenario, still_fails, options, s);
+  RDX_ASSIGN_OR_RETURN(FuzzScenario shrunk, shrinker.Run());
+  s->facts_after = shrunk.instance.size();
+  s->deps_after = shrunk.tgds.size() + shrunk.egds.size();
+  return shrunk;
+}
+
+}  // namespace fuzz
+}  // namespace rdx

@@ -1,0 +1,54 @@
+#ifndef RDX_FUZZ_SHRINKER_H_
+#define RDX_FUZZ_SHRINKER_H_
+
+#include <functional>
+#include <string>
+
+#include "base/status.h"
+#include "fuzz/scenario.h"
+
+namespace rdx {
+namespace fuzz {
+
+/// Decides whether a candidate scenario still exhibits the failure being
+/// minimized (typically: RunOracles reports a failure from the same
+/// oracle). A non-OK Status aborts the shrink and is propagated.
+using FailurePredicate = std::function<Result<bool>(const FuzzScenario&)>;
+
+struct ShrinkOptions {
+  /// Upper bound on predicate evaluations; the shrink stops early (keeping
+  /// the best scenario so far) when it runs out.
+  uint64_t max_attempts = 5'000;
+
+  /// Also try collapsing pairs of instance values (null onto any earlier
+  /// value, constant onto an earlier constant) — often turns a large
+  /// random counterexample into a two-value one.
+  bool merge_values = true;
+};
+
+struct ShrinkStats {
+  uint64_t attempts = 0;        // predicate evaluations
+  uint64_t accepted = 0;        // candidates that kept failing
+  std::size_t facts_before = 0;
+  std::size_t facts_after = 0;
+  std::size_t deps_before = 0;  // tgds + egds
+  std::size_t deps_after = 0;
+  uint64_t values_merged = 0;
+
+  std::string ToString() const;
+};
+
+/// Delta-debugging minimizer: greedily drops tgds, egds, and facts, then
+/// merges values, repeating to a fixpoint. Every committed candidate
+/// satisfies `still_fails`, so the result reproduces the original failure
+/// with (weakly) fewer dependencies, facts, and distinct values. Unused
+/// schema relations are pruned at the end.
+Result<FuzzScenario> ShrinkScenario(const FuzzScenario& scenario,
+                                    const FailurePredicate& still_fails,
+                                    const ShrinkOptions& options = {},
+                                    ShrinkStats* stats = nullptr);
+
+}  // namespace fuzz
+}  // namespace rdx
+
+#endif  // RDX_FUZZ_SHRINKER_H_

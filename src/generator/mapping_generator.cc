@@ -20,7 +20,9 @@ Result<SchemaMapping> RandomFullTgdMapping(const MappingGenOptions& options,
     return Status::InvalidArgument(
         "mapping generator options must all be positive");
   }
-  uint64_t tag = g_mapping_counter.fetch_add(1);
+  std::string tag = options.name_tag.empty()
+                        ? StrCat(g_mapping_counter.fetch_add(1))
+                        : options.name_tag;
 
   Schema source;
   std::vector<Relation> source_rels;

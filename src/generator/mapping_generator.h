@@ -2,6 +2,7 @@
 #define RDX_GENERATOR_MAPPING_GENERATOR_H_
 
 #include <cstdint>
+#include <string>
 
 #include "base/rng.h"
 #include "base/status.h"
@@ -22,6 +23,14 @@ struct MappingGenOptions {
   /// variable (creating repeated-variable head patterns, which force
   /// equality types and thus disjunctions in the quasi-inverse output).
   double head_repeat_prob = 0.3;
+
+  /// Tag embedded in generated relation and variable names. Empty (the
+  /// default) draws from a process-wide counter, making names unique per
+  /// call. A caller needing REPRODUCIBLE names — the fuzzer regenerating
+  /// a scenario from (seed, iteration) — pins an explicit tag instead;
+  /// such a tag must itself be unique per distinct mapping, because the
+  /// process-wide relation registry pins each name to one arity.
+  std::string name_tag;
 };
 
 /// Generates a random mapping specified by full s-t tgds. Every head

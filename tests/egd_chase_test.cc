@@ -123,6 +123,81 @@ TEST(EgdChaseTest, AddedViewExcludesInput) {
   EXPECT_EQ(r.added, I("EgdLoc(a, b)"));
 }
 
+TEST(EgdChaseTest, AddedExcludesRewrittenInputFacts) {
+  // Regression: the input fact EgdRw(k1, ?N) is rewritten to EgdRw(k1, b)
+  // by the repair pass. A pure-egd chase creates nothing, so `added` must
+  // be empty; the old code compared against the raw input and misreported
+  // the rewritten input fact as chase-added.
+  std::vector<Egd> egds = {
+      Egd::MustParse("EgdRwPin(x) & EgdRw(k, y) -> x = y")};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(I("EgdRwPin(b). EgdRw(k1, ?N)"), {}, egds));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.merges, 1u);
+  EXPECT_EQ(r.combined, I("EgdRwPin(b). EgdRw(k1, b)"));
+  EXPECT_TRUE(r.added.empty()) << r.added.ToString();
+  // The cumulative unification is exposed: ?N -> b.
+  ASSERT_EQ(r.merge_map.size(), 1u);
+  EXPECT_EQ(r.merge_map.at(Value::MakeNull("N")), Value::MakeConstant("b"));
+}
+
+TEST(EgdChaseTest, AddedKeepsChaseCreatedFactsAfterUnification) {
+  // A tgd invents EgdRwLoc(k1, ?fresh); the egd then promotes the fresh
+  // null to w. `added` must contain the chase-created fact in its final,
+  // unified rendering — and nothing else.
+  std::vector<Dependency> tgds = {
+      D("EgdRwSrc(k) -> EXISTS y: EgdRwLoc(k, y)")};
+  std::vector<Egd> egds = {
+      Egd::MustParse("EgdRwLoc(k, y) & EgdRwAnchor(k, p) -> y = p")};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(I("EgdRwSrc(k1). EgdRwAnchor(k1, w)"), tgds, egds));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.added, I("EgdRwLoc(k1, w)"));
+}
+
+TEST(EgdChaseTest, RepairBatchesMergeChainInOneSweep) {
+  // Four facts collapse onto the constant via three merges; the batched
+  // union-find performs them in a single enumeration of the egd rather
+  // than restarting the scan after every merge.
+  std::vector<Egd> keys = {
+      Egd::MustParse("EgdCh(id, c1) & EgdCh(id, c2) -> c1 = c2")};
+  RDX_ASSERT_OK_AND_ASSIGN(
+      EgdChaseResult r,
+      ChaseWithEgds(
+          I("EgdCh(k, ?M1). EgdCh(k, ?M2). EgdCh(k, ?M3). EgdCh(k, c)"), {},
+          keys));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.merges, 3u);
+  EXPECT_EQ(r.combined, I("EgdCh(k, c)"));
+  EXPECT_TRUE(r.added.empty());
+}
+
+TEST(EgdChaseTest, MergeBudgetIsItsOwnKnob) {
+  std::vector<Egd> keys = {
+      Egd::MustParse("EgdBg(id, c1) & EgdBg(id, c2) -> c1 = c2")};
+  Instance input = I("EgdBg(k, ?B1). EgdBg(k, ?B2). EgdBg(k, ?B3)");
+
+  // Exhausting max_merges reports the knob by name.
+  ChaseOptions tight;
+  tight.max_merges = 1;
+  Result<EgdChaseResult> exhausted = ChaseWithEgds(input, {}, keys, tight);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(exhausted.status().message().find("max_merges=1"),
+            std::string::npos);
+
+  // max_new_facts no longer gates merges: with a zero fact budget (no
+  // tgds, so nothing is added) the repair still completes.
+  ChaseOptions no_facts;
+  no_facts.max_new_facts = 0;
+  RDX_ASSERT_OK_AND_ASSIGN(EgdChaseResult r,
+                           ChaseWithEgds(input, {}, keys, no_facts));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.combined.size(), 1u);
+}
+
 TEST(EgdChaseTest, MergeEnablesNewTgdTrigger) {
   // After the egd merges ?N with a, the tgd body EgdPair(x, x) matches —
   // the interleaving loop must pick it up.

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "fuzz/fuzzer.h"
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+#include "fuzz/shrinker.h"
+#include "generator/scenarios.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace fuzz {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+FuzzScenario DecompositionScenario(Instance instance) {
+  scenarios::Scenario paper = scenarios::Decomposition();
+  FuzzScenario s;
+  s.name = "fzt_decomposition";
+  s.source = paper.mapping.source();
+  s.target = paper.mapping.target();
+  s.tgds = paper.mapping.dependencies();
+  s.instance = std::move(instance);
+  return s;
+}
+
+TEST(FuzzScenarioTest, TextRoundTrip) {
+  FuzzScenario s;
+  s.name = "fzt_roundtrip";
+  s.source = Schema::MustMake({{"FzRt_P", 2}, {"FzRt_Pin", 1}});
+  s.tgds = {D("FzRt_P(x, y) -> EXISTS z: FzRt_P(y, z)")};
+  s.egds = {Egd::MustParse("FzRt_Pin(x) & FzRt_P(k, y) -> x = y")};
+  s.instance = I("FzRt_P(a, ?N). FzRt_Pin(b)");
+  s.expect_weakly_acyclic = false;
+
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario reparsed,
+                           FuzzScenario::FromText(s.ToText()));
+  EXPECT_EQ(reparsed.name, s.name);
+  EXPECT_EQ(reparsed.source.ToString(), s.source.ToString());
+  ASSERT_EQ(reparsed.tgds.size(), 1u);
+  EXPECT_EQ(reparsed.tgds[0].ToString(), s.tgds[0].ToString());
+  ASSERT_EQ(reparsed.egds.size(), 1u);
+  EXPECT_EQ(reparsed.egds[0].ToString(), s.egds[0].ToString());
+  EXPECT_EQ(reparsed.instance, s.instance);
+  EXPECT_EQ(reparsed.expect_weakly_acyclic, std::optional<bool>(false));
+  // Serialization is a fixpoint.
+  EXPECT_EQ(reparsed.ToText(), s.ToText());
+}
+
+TEST(FuzzScenarioTest, ParseErrors) {
+  EXPECT_FALSE(FuzzScenario::FromText("fact: FzRt_P(a, b)").ok());  // no name
+  EXPECT_FALSE(FuzzScenario::FromText("name: x\nbogus: y").ok());
+  EXPECT_FALSE(FuzzScenario::FromText("name: x\nsource: NoArity").ok());
+  EXPECT_FALSE(
+      FuzzScenario::FromText("name: x\nexpect_weakly_acyclic: maybe").ok());
+  EXPECT_FALSE(FuzzScenario::FromText("name: x\njust a line").ok());
+}
+
+TEST(FuzzScenarioTest, SaveLoadRoundTrip) {
+  FuzzScenario s;
+  s.name = "fzt_saveload";
+  s.source = Schema::MustMake({{"FzSv_Q", 1}});
+  s.instance = I("FzSv_Q(a). FzSv_Q(?X)");
+  std::string path = ::testing::TempDir() + "/fzt_saveload.rdxf";
+  ASSERT_TRUE(s.Save(path).ok());
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario loaded, FuzzScenario::Load(path));
+  EXPECT_EQ(loaded.ToText(), s.ToText());
+}
+
+TEST(FuzzGeneratorTest, ScenariosAreDeterministic) {
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario a, GenerateScenario(5, 3));
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario b, GenerateScenario(5, 3));
+  EXPECT_EQ(a.ToText(), b.ToText());
+
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario c, GenerateScenario(5, 4));
+  EXPECT_NE(a.name, c.name);
+}
+
+TEST(FuzzOracleTest, CleanOnPaperScenario) {
+  FuzzScenario s = DecompositionScenario(
+      I("DecP(a, b, c). DecP(a, b, d). DecP(x, y, z)"));
+  RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_FALSE(report.resource_exhausted) << report.exhausted_reason;
+  // The full-tgd ground-instance path must include the expensive oracle.
+  EXPECT_NE(std::find(report.oracles_run.begin(), report.oracles_run.end(),
+                      "inverse.quasi"),
+            report.oracles_run.end());
+}
+
+TEST(FuzzOracleTest, CleanOnGeneratedSlice) {
+  for (uint64_t iter = 0; iter < 10; ++iter) {
+    RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario s, GenerateScenario(11, iter));
+    RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s));
+    EXPECT_TRUE(report.ok())
+        << "iteration " << iter << ":\n"
+        << report.ToString() << "\n"
+        << s.ToText();
+  }
+}
+
+TEST(FuzzOracleTest, BrokenChaseEngineIsCaught) {
+  // A deliberately corrupted naive-chase result must trip the
+  // cross-engine agreement oracle — proof the battery has teeth.
+  FuzzScenario s = DecompositionScenario(I("DecP(a, b, c)"));
+  OracleOptions options;
+  options.inject_chase_corruption = true;
+  RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s, options));
+  ASSERT_FALSE(report.ok());
+  bool chase_failure = false;
+  for (const OracleFailure& f : report.failures) {
+    chase_failure = chase_failure || f.oracle == "chase.semi_naive";
+  }
+  EXPECT_TRUE(chase_failure) << report.ToString();
+}
+
+TEST(FuzzOracleTest, BrokenCoreEngineIsCaught) {
+  FuzzScenario s;
+  s.name = "fzt_core_corruption";
+  s.source = Schema::MustMake({{"FzCc_P", 2}});
+  s.instance = I("FzCc_P(a, b). FzCc_P(b, c)");
+  OracleOptions options;
+  options.inject_core_corruption = true;
+  RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s, options));
+  ASSERT_FALSE(report.ok());
+  bool core_failure = false;
+  for (const OracleFailure& f : report.failures) {
+    core_failure = core_failure || f.oracle.rfind("core.", 0) == 0;
+  }
+  EXPECT_TRUE(core_failure) << report.ToString();
+}
+
+TEST(FuzzShrinkerTest, ReducesSyntheticFailureToTheRelevantSlice) {
+  FuzzScenario s;
+  s.name = "fzt_shrink_synthetic";
+  s.source = Schema::MustMake({{"FzSh_R", 2}, {"FzSh_S", 1}, {"FzSh_T", 1}});
+  for (int i = 0; i < 6; ++i) {
+    s.tgds.push_back(D("FzSh_R(x, y) -> FzSh_S(x)"));
+  }
+  s.instance = I(
+      "FzSh_R(a, b). FzSh_R(c, d). FzSh_R(e, f). FzSh_R(g, h). "
+      "FzSh_S(a). FzSh_S(c). FzSh_T(e). FzSh_T(g). FzSh_S(i). "
+      "FzSh_R(i, j). FzSh_R(k, l). FzSh_T(k)");
+  Fact needle = Fact::MustMake(Relation::MustIntern("FzSh_R", 2),
+                               {Value::MakeConstant("a"),
+                                Value::MakeConstant("b")});
+  // "Fails" iff the needle fact survives and at least one tgd remains.
+  FailurePredicate predicate =
+      [&needle](const FuzzScenario& candidate) -> Result<bool> {
+    return candidate.instance.Contains(needle) && !candidate.tgds.empty();
+  };
+  ShrinkStats stats;
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario shrunk,
+                           ShrinkScenario(s, predicate, {}, &stats));
+  EXPECT_EQ(shrunk.tgds.size(), 1u);
+  EXPECT_EQ(shrunk.instance.size(), 1u);
+  EXPECT_TRUE(shrunk.instance.Contains(needle));
+  // FzSh_S stays (the surviving tgd's head uses it); FzSh_T — referenced
+  // by no surviving fact or dependency — is pruned from the schema.
+  EXPECT_NE(shrunk.ToText().find("FzSh_S/1"), std::string::npos);
+  EXPECT_EQ(shrunk.ToText().find("FzSh_T/1"), std::string::npos);
+  EXPECT_GT(stats.attempts, 0u);
+}
+
+TEST(FuzzShrinkerTest, RealOracleFailureShrinksByHalfOrMore) {
+  // Seeded bug: the scenario wrongly claims its dependency set is weakly
+  // acyclic; wa.expectation fails. Only the two cycle tgds matter — the
+  // padding tgds and every fact are droppable.
+  FuzzScenario s;
+  s.name = "fzt_shrink_wa";
+  s.source = Schema::MustMake(
+      {{"FzSw_A", 1}, {"FzSw_B", 1}, {"FzSw_C", 1}, {"FzSw_D", 1}});
+  s.tgds = {D("FzSw_A(x) -> EXISTS z: FzSw_B(z)"),
+            D("FzSw_B(x) -> FzSw_A(x)"), D("FzSw_C(x) -> FzSw_D(x)"),
+            D("FzSw_D(x) -> FzSw_C(x)")};
+  s.instance = I(
+      "FzSw_A(a). FzSw_A(b). FzSw_B(c). FzSw_C(d). FzSw_C(e). FzSw_D(f). "
+      "FzSw_A(g). FzSw_B(h)");
+  s.expect_weakly_acyclic = true;  // wrong on purpose
+
+  OracleOptions oracle_options;
+  FailurePredicate still_fails =
+      [&oracle_options](const FuzzScenario& candidate) -> Result<bool> {
+    RDX_ASSIGN_OR_RETURN(OracleReport r, RunOracles(candidate, oracle_options));
+    for (const OracleFailure& f : r.failures) {
+      if (f.oracle == "wa.expectation") return true;
+    }
+    return false;
+  };
+
+  ShrinkStats stats;
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario shrunk,
+                           ShrinkScenario(s, still_fails, {}, &stats));
+  std::size_t before = stats.facts_before + stats.deps_before;
+  std::size_t after = stats.facts_after + stats.deps_after;
+  EXPECT_LE(after * 2, before) << stats.ToString();
+  EXPECT_EQ(shrunk.tgds.size(), 2u);
+  EXPECT_TRUE(shrunk.instance.empty());
+}
+
+TEST(FuzzRunnerTest, BoundedRunIsCleanAndCountsIterations) {
+  FuzzOptions options;
+  options.seed = 19;
+  options.max_iterations = 8;
+  options.shrink = false;
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzReport report, RunFuzzer(options));
+  EXPECT_EQ(report.iterations, 8u);
+  EXPECT_EQ(report.failures, 0u) << report.ToString();
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace rdx

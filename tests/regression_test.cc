@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracles.h"
+#include "fuzz/scenario.h"
+
+#ifndef RDX_REGRESSION_DIR
+#error "RDX_REGRESSION_DIR must point at the checked-in repro corpus"
+#endif
+
+namespace rdx {
+namespace fuzz {
+namespace {
+
+std::vector<std::string> CorpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RDX_REGRESSION_DIR)) {
+    if (entry.path().extension() == ".rdxf") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string TestName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return stem;
+}
+
+class RegressionCorpusTest : public ::testing::TestWithParam<std::string> {};
+
+// Every checked-in shrunken repro must replay clean against the current
+// engines. Each file encodes a bug that a previous engine version had;
+// a failure here means that bug (or a cousin) is back.
+TEST_P(RegressionCorpusTest, ReplaysClean) {
+  auto scenario = FuzzScenario::Load(GetParam());
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  auto report = RunOracles(*scenario);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->ToString();
+  EXPECT_FALSE(report->resource_exhausted) << report->exhausted_reason;
+}
+
+// The on-disk text must be a serialization fixpoint, so shrunken repros
+// saved by the fuzzer stay byte-stable under load/save cycles.
+TEST_P(RegressionCorpusTest, TextIsCanonical) {
+  auto scenario = FuzzScenario::Load(GetParam());
+  ASSERT_TRUE(scenario.ok()) << scenario.status().ToString();
+  auto reparsed = FuzzScenario::FromText(scenario->ToText());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->ToText(), scenario->ToText());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, RegressionCorpusTest,
+                         ::testing::ValuesIn(CorpusFiles()), TestName);
+
+TEST(RegressionCorpusSanity, CorpusIsPresent) {
+  EXPECT_GE(CorpusFiles().size(), 5u)
+      << "expected the checked-in repros under " << RDX_REGRESSION_DIR;
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace rdx

@@ -37,17 +37,54 @@ TEST(TerminationTest, SelfFeedingExistentialIsRejected) {
   EXPECT_NE(report.cycle_witness.find("TmT_E"), std::string::npos);
 }
 
-TEST(TerminationTest, HeadlessUniversalCreatesNoSpecialEdge) {
-  // A1(x) -> ∃z B1(z): x does not occur in the head, so (per the FKMP
-  // definition) there is no special edge — and indeed the STANDARD chase
-  // terminates: once some B1 exists, every further trigger is satisfied.
+TEST(TerminationTest, HeadlessUniversalCreatesSpecialEdge) {
+  // Regression (FKMP05 Def. 3.9): in A1(x) -> ∃z B1(z) the universal x
+  // does not occur in the head, but its body position still gets a
+  // special edge into z's position — special edges originate from EVERY
+  // universal variable of the body when the disjunct has existentials.
+  // With B1(x) -> A1(x) closing the loop, the set must be rejected; the
+  // old code only drew special edges from head-occurring universals and
+  // wrongly certified it.
   std::vector<Dependency> deps = {D("TmT_A1(x) -> EXISTS z: TmT_B1(z)"),
                                   D("TmT_B1(x) -> TmT_A1(x)")};
   RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
                            CheckWeakAcyclicity(deps));
-  EXPECT_TRUE(report.weakly_acyclic);
-  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(I("TmT_A1(a)"), deps));
+  EXPECT_FALSE(report.weakly_acyclic);
+  EXPECT_FALSE(report.cycle_witness.empty());
+}
+
+TEST(TerminationTest, BodyOnlyUniversalFeedingExistentialIsRejected) {
+  // Regression: P(x,y) -> ∃z Q(x,z) must get a special edge P.2 ⇒ Q.2
+  // from the head-absent universal y; Q(u,v) -> P(u,v) then closes the
+  // cycle through Q.2 → P.2. The old head-occurring-only construction
+  // saw just P.1 ⇒ Q.2 and certified the set.
+  std::vector<Dependency> deps = {D("TmT_P2(x, y) -> EXISTS z: TmT_Q2(x, z)"),
+                                  D("TmT_Q2(u, v) -> TmT_P2(u, v)")};
+  RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
+                           CheckWeakAcyclicity(deps));
+  EXPECT_FALSE(report.weakly_acyclic);
+}
+
+TEST(TerminationTest, WeakAcyclicityIsSufficientNotNecessary) {
+  // Both rejected sets above are termination-safe under the STANDARD
+  // chase: once some B1 (resp. Q2-with-null) fact exists, every further
+  // trigger is already satisfied. Weak acyclicity guarantees termination
+  // but rejection does not imply divergence.
+  std::vector<Dependency> headless = {D("TmT_A1(x) -> EXISTS z: TmT_B1(z)"),
+                                      D("TmT_B1(x) -> TmT_A1(x)")};
+  RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
+                           CheckWeakAcyclicity(headless));
+  ASSERT_FALSE(report.weakly_acyclic);
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result,
+                           Chase(I("TmT_A1(a)"), headless));
   EXPECT_LE(result.combined.size(), 3u);
+
+  std::vector<Dependency> copy_back = {
+      D("TmT_P2(x, y) -> EXISTS z: TmT_Q2(x, z)"),
+      D("TmT_Q2(u, v) -> TmT_P2(u, v)")};
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult copy_result,
+                           Chase(I("TmT_P2(a, b)"), copy_back));
+  EXPECT_LE(copy_result.combined.size(), 4u);
 }
 
 TEST(TerminationTest, TwoStepSpecialCycleDetected) {

@@ -1,0 +1,193 @@
+// rdx_fuzz — differential fuzzer and repro replayer for the RDX engines.
+//
+// Usage:
+//   rdx_fuzz [--seconds N] [--iters N] [--seed S] [--out DIR]
+//            [--no-shrink] [--stop-on-failure]
+//   rdx_fuzz --replay FILE.rdxf
+//   rdx_fuzz --replay-dir DIR
+//   rdx_fuzz --list-oracles
+//
+// Fuzzing mode generates scenarios deterministically from --seed, runs the
+// oracle battery on each (docs/fuzzing.md has the catalog), shrinks any
+// failure to a minimal repro, and writes it under --out. Replay mode runs
+// the battery on a serialized scenario file — checked-in regression repros
+// under data/regressions/ replay through exactly this path.
+//
+// Every mode additionally accepts:
+//   --stats        print process counters to stderr after the run
+//   --trace FILE   write structured JSONL trace events to FILE
+//
+// Exit status: 0 when every scenario passed every oracle, 1 when a
+// failure was found (or a replayed file fails), 2 on usage errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/metrics.h"
+#include "base/trace.h"
+#include "fuzz/fuzzer.h"
+
+namespace rdx {
+namespace fuzz {
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> flags;
+
+  const char* Get(const std::string& key) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? nullptr : it->second.c_str();
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  double GetDouble(const std::string& key, double fallback) const {
+    const char* v = Get(key);
+    return v == nullptr ? fallback : std::atof(v);
+  }
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    const char* v = Get(key);
+    if (v == nullptr) return fallback;
+    long long parsed = std::atoll(v);
+    return parsed < 0 ? fallback : static_cast<uint64_t>(parsed);
+  }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rdx_fuzz [--seconds N] [--iters N] [--seed S] [--out DIR] "
+      "[--no-shrink] [--stop-on-failure] [--stats] [--trace FILE]\n"
+      "       rdx_fuzz --replay FILE.rdxf | --replay-dir DIR | "
+      "--list-oracles\n");
+  return 2;
+}
+
+bool IsBooleanFlag(const std::string& name) {
+  return name == "no-shrink" || name == "stop-on-failure" ||
+         name == "list-oracles" || name == "stats";
+}
+
+void MaybePrintStats(const Args& args) {
+  if (args.Has("stats")) {
+    std::fprintf(stderr, "%s", obs::CountersToString().c_str());
+  }
+}
+
+int ReplayOne(const std::string& path, const OracleOptions& options) {
+  Result<FuzzScenario> scenario = FuzzScenario::Load(path);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "error loading %s: %s\n", path.c_str(),
+                 scenario.status().ToString().c_str());
+    return 2;
+  }
+  Result<OracleReport> report = RunOracles(*scenario, options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "error replaying %s: %s\n", path.c_str(),
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s (%s): %s", path.c_str(), scenario->name.c_str(),
+              report->ToString().c_str());
+  return report->ok() ? 0 : 1;
+}
+
+int RunReplayDir(const std::string& dir, const OracleOptions& options) {
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".rdxf") {
+      files.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read directory %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  std::sort(files.begin(), files.end());
+  int worst = 0;
+  for (const std::string& file : files) {
+    int rc = ReplayOne(file, options);
+    if (rc > worst) worst = rc;
+  }
+  std::printf("replayed %zu file(s)\n", files.size());
+  return worst;
+}
+
+int Main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", arg);
+      return Usage();
+    }
+    std::string name = arg + 2;
+    if (IsBooleanFlag(name)) {
+      args.flags[name] = "1";
+    } else if (i + 1 < argc) {
+      args.flags[name] = argv[++i];
+    } else {
+      std::fprintf(stderr, "flag --%s needs a value\n", name.c_str());
+      return Usage();
+    }
+  }
+
+  if (const char* trace_path = args.Get("trace")) {
+    Status status = obs::InstallTraceFile(trace_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cannot open trace file: %s\n",
+                   status.ToString().c_str());
+      return 2;
+    }
+  }
+
+  if (args.Has("list-oracles")) {
+    for (const OracleInfo& info : OracleCatalog()) {
+      std::printf("%-22s %s\n", info.name.c_str(), info.description.c_str());
+    }
+    return 0;
+  }
+
+  OracleOptions oracle_options;
+  if (args.Has("replay")) {
+    int rc = ReplayOne(args.Get("replay"), oracle_options);
+    MaybePrintStats(args);
+    return rc;
+  }
+  if (args.Has("replay-dir")) {
+    int rc = RunReplayDir(args.Get("replay-dir"), oracle_options);
+    MaybePrintStats(args);
+    return rc;
+  }
+
+  FuzzOptions options;
+  options.seed = args.GetUint("seed", 1);
+  options.max_iterations = args.GetUint("iters", 0);
+  options.max_seconds = args.GetDouble("seconds", 0.0);
+  if (const char* out = args.Get("out")) options.out_dir = out;
+  options.shrink = !args.Has("no-shrink");
+  options.stop_on_failure = args.Has("stop-on-failure");
+  options.oracles = oracle_options;
+
+  Result<FuzzReport> report = RunFuzzer(options);
+  if (!report.ok()) {
+    std::fprintf(stderr, "fuzzer error: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("%s", report->ToString().c_str());
+  MaybePrintStats(args);
+  return report->failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace rdx
+
+int main(int argc, char** argv) { return rdx::fuzz::Main(argc, argv); }
