@@ -16,11 +16,21 @@ namespace {
 // the historical single-merge direction (lhs null maps onto rhs).
 class ValueUnionFind {
  public:
+  // Iterative two-pass find: walk to the root, then compress the path.
+  // Must not recurse — one egd enumeration batches up to the whole merge
+  // budget before the budget check runs, so a parent chain can be as
+  // long as max_merges and a per-link stack frame would overflow.
   Value Find(Value v) {
-    auto it = parent_.find(v);
-    if (it == parent_.end()) return v;
-    Value root = Find(it->second);
-    it->second = root;  // path compression
+    Value root = v;
+    for (auto it = parent_.find(root); it != parent_.end();
+         it = parent_.find(root)) {
+      root = it->second;
+    }
+    while (!(v == root)) {
+      auto it = parent_.find(v);
+      v = it->second;
+      it->second = root;  // path compression
+    }
     return root;
   }
 

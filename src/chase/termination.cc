@@ -33,7 +33,7 @@ std::string PrettyPosition(const Position& p,
 }  // namespace
 
 Result<WeakAcyclicityReport> CheckWeakAcyclicity(
-    const std::vector<Dependency>& dependencies) {
+    const std::vector<Dependency>& dependencies, WeakAcyclicityMode mode) {
   std::vector<Edge> edges;
   std::set<Position> nodes;
   std::map<uint32_t, std::string> relation_names;
@@ -78,15 +78,18 @@ Result<WeakAcyclicityReport> CheckWeakAcyclicity(
           }
         }
       }
-      // Special edges (FKMP05 Def. 3.9): when this disjunct invents
-      // existential values, EVERY universal variable occurring in the
-      // body feeds them — each of its body positions gets a special edge
-      // into each existential position, whether or not the variable is
-      // propagated to this head. Restricting to head-occurring variables
-      // (the old behaviour) under-approximates the dependency graph and
-      // certifies sets the definition rejects.
+      // Special edges. FKMP05 Def. 3.9 draws them only from universal
+      // variables occurring in THIS head: a standard chase fires no step
+      // for an already-satisfied trigger, so a head-absent universal
+      // never forces fresh values. kObliviousChase keeps the stricter
+      // every-body-universal graph for engines that fire all triggers
+      // unconditionally (see termination.h).
       if (!existential_positions.empty()) {
         for (const auto& [var_id, body_ps] : body_positions) {
+          if (mode == WeakAcyclicityMode::kStandardChase &&
+              universal_head.count(var_id) == 0) {
+            continue;
+          }
           for (const Position& from : body_ps) {
             for (const Position& to : existential_positions) {
               edges.push_back(Edge{from, to, /*special=*/true});

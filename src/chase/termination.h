@@ -9,9 +9,28 @@
 
 namespace rdx {
 
-/// Static chase-termination analysis: weak acyclicity [Fagin, Kolaitis,
-/// Miller, Popa, "Data Exchange: Semantics and Query Answering" — the
-/// paper's reference [8]].
+/// Which dependency (position) graph the weak-acyclicity check builds.
+enum class WeakAcyclicityMode {
+  /// FKMP05 Def. 3.9 ["Data Exchange: Semantics and Query Answering" —
+  /// the paper's reference [8]]: for a tgd disjunct with existentials,
+  /// special edges originate only from universal variables that OCCUR IN
+  /// THAT HEAD. This is the textbook criterion and is sound for the
+  /// standard chase implemented by Chase(): a trigger whose head is
+  /// already satisfied fires no step (the HeadSatisfied gate), which is
+  /// exactly the slack the definition exploits.
+  kStandardChase,
+
+  /// Stricter graph: special edges originate from EVERY universal
+  /// variable of the body, head-occurring or not. This over-approximates
+  /// value flow for the standard chase (it rejects sets Def. 3.9
+  /// accepts, e.g. {A(x) -> EXISTS z: B(z); B(x) -> A(x)}), but is the
+  /// appropriate conservative criterion when analysing an OBLIVIOUS
+  /// chase, which fires every trigger regardless of head satisfaction
+  /// and so can diverge on such sets.
+  kObliviousChase,
+};
+
+/// Static chase-termination analysis: weak acyclicity.
 ///
 /// The dependency (position) graph has a node per (relation, position).
 /// For every tgd, every universal variable x at body position (R, i), and
@@ -19,13 +38,13 @@ namespace rdx {
 ///   * a REGULAR edge (R,i) → (S,j) for each occurrence of x at head
 ///     position (S,j);
 ///   * a SPECIAL edge (R,i) ⇒ (S,j) for each existential variable at head
-///     position (S,j) — from every universal variable occurring in the
-///     body, whether or not x is propagated to this disjunct's head
-///     (FKMP05 Def. 3.9).
+///     position (S,j) — drawn from the universal variables selected by
+///     `mode` (head-occurring only under kStandardChase, per FKMP05
+///     Def. 3.9; all body universals under kObliviousChase).
 /// The set is weakly acyclic iff no cycle passes through a special edge;
-/// then every chase sequence terminates in polynomially many steps. The
-/// criterion is sufficient, not necessary: rejected sets may still
-/// terminate (see termination_test.cc for witnesses).
+/// then every (standard) chase sequence terminates in polynomially many
+/// steps. The criterion is sufficient, not necessary: rejected sets may
+/// still terminate (see termination_test.cc for witnesses).
 ///
 /// Cross-schema dependency sets (s-t tgds, reverse tgds) are trivially
 /// weakly acyclic; the analysis matters for same-schema sets, where
@@ -39,7 +58,8 @@ struct WeakAcyclicityReport {
 };
 
 Result<WeakAcyclicityReport> CheckWeakAcyclicity(
-    const std::vector<Dependency>& dependencies);
+    const std::vector<Dependency>& dependencies,
+    WeakAcyclicityMode mode = WeakAcyclicityMode::kStandardChase);
 
 }  // namespace rdx
 

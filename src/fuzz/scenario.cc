@@ -1,9 +1,10 @@
 #include "fuzz/scenario.h"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "base/strings.h"
 #include "core/dependency_parser.h"
@@ -42,8 +43,13 @@ Result<Schema> ParseSchemaDecl(std::string_view decl) {
       }
       std::string_view name = TrimView(item.substr(0, slash));
       std::string_view arity_text = TrimView(item.substr(slash + 1));
-      int arity = std::atoi(std::string(arity_text).c_str());
-      if (arity <= 0) {
+      // Full-match integer parse: "2x" and out-of-range values are
+      // errors, not silently truncated arities.
+      int arity = 0;
+      auto [end, ec] = std::from_chars(
+          arity_text.data(), arity_text.data() + arity_text.size(), arity);
+      if (ec != std::errc() || end != arity_text.data() + arity_text.size() ||
+          arity <= 0) {
         return Status::InvalidArgument(
             StrCat("bad arity in schema declaration '", std::string(item),
                    "'"));

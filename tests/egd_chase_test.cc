@@ -198,6 +198,29 @@ TEST(EgdChaseTest, MergeBudgetIsItsOwnKnob) {
   EXPECT_EQ(r.combined.size(), 1u);
 }
 
+TEST(EgdChaseTest, DeepMergeChainDoesNotOverflowTheStack) {
+  // Regression: one enumeration of EgdDeep(x, y) -> x = y over a chain
+  // n0->n1->...->nN batches N merges whose union-find parent links form
+  // a single path of length N (each union roots the left null onto the
+  // right). A per-link recursive Find overflowed the stack on chains of
+  // this length under sanitizers; Find is now iterative.
+  constexpr int kChain = 1 << 16;
+  Relation deep = Relation::MustIntern("EgdDeep", 2);
+  Instance chain;
+  for (int i = 0; i < kChain; ++i) {
+    chain.AddFact(Fact::MustMake(
+        deep, {Value::MakeNull("EgdDp" + std::to_string(i)),
+               Value::MakeNull("EgdDp" + std::to_string(i + 1))}));
+  }
+  std::vector<Egd> egds = {Egd::MustParse("EgdDeep(x, y) -> x = y")};
+  RDX_ASSERT_OK_AND_ASSIGN(EgdChaseResult r, ChaseWithEgds(chain, {}, egds));
+  EXPECT_FALSE(r.failed);
+  EXPECT_EQ(r.merges, static_cast<uint64_t>(kChain));
+  EXPECT_EQ(r.combined.size(), 1u);
+  EXPECT_EQ(r.combined.Nulls().size(), 1u);
+  EXPECT_TRUE(r.added.empty());
+}
+
 TEST(EgdChaseTest, MergeEnablesNewTgdTrigger) {
   // After the egd merges ?N with a, the tgd body EgdPair(x, x) matches —
   // the interleaving loop must pick it up.

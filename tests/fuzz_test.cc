@@ -52,6 +52,13 @@ TEST(FuzzScenarioTest, ParseErrors) {
   EXPECT_FALSE(FuzzScenario::FromText("fact: FzRt_P(a, b)").ok());  // no name
   EXPECT_FALSE(FuzzScenario::FromText("name: x\nbogus: y").ok());
   EXPECT_FALSE(FuzzScenario::FromText("name: x\nsource: NoArity").ok());
+  // Arity must be a bare positive integer: trailing junk and
+  // out-of-range values are rejected, not silently truncated.
+  EXPECT_FALSE(FuzzScenario::FromText("name: x\nsource: FzPe_R/2x").ok());
+  EXPECT_FALSE(FuzzScenario::FromText("name: x\nsource: FzPe_R/-1").ok());
+  EXPECT_FALSE(FuzzScenario::FromText(
+                   "name: x\nsource: FzPe_R/99999999999999999999")
+                   .ok());
   EXPECT_FALSE(
       FuzzScenario::FromText("name: x\nexpect_weakly_acyclic: maybe").ok());
   EXPECT_FALSE(FuzzScenario::FromText("name: x\njust a line").ok());
@@ -165,18 +172,20 @@ TEST(FuzzShrinkerTest, ReducesSyntheticFailureToTheRelevantSlice) {
 
 TEST(FuzzShrinkerTest, RealOracleFailureShrinksByHalfOrMore) {
   // Seeded bug: the scenario wrongly claims its dependency set is weakly
-  // acyclic; wa.expectation fails. Only the two cycle tgds matter — the
-  // padding tgds and every fact are droppable.
+  // acyclic (A feeds B's existential through the head-occurring x, and B
+  // copies its existential position back into A — a special cycle);
+  // wa.expectation fails. Only the two cycle tgds matter — the padding
+  // tgds and every fact are droppable.
   FuzzScenario s;
   s.name = "fzt_shrink_wa";
   s.source = Schema::MustMake(
-      {{"FzSw_A", 1}, {"FzSw_B", 1}, {"FzSw_C", 1}, {"FzSw_D", 1}});
-  s.tgds = {D("FzSw_A(x) -> EXISTS z: FzSw_B(z)"),
-            D("FzSw_B(x) -> FzSw_A(x)"), D("FzSw_C(x) -> FzSw_D(x)"),
+      {{"FzSw_A", 1}, {"FzSw_B", 2}, {"FzSw_C", 1}, {"FzSw_D", 1}});
+  s.tgds = {D("FzSw_A(x) -> EXISTS z: FzSw_B(x, z)"),
+            D("FzSw_B(x, z) -> FzSw_A(z)"), D("FzSw_C(x) -> FzSw_D(x)"),
             D("FzSw_D(x) -> FzSw_C(x)")};
   s.instance = I(
-      "FzSw_A(a). FzSw_A(b). FzSw_B(c). FzSw_C(d). FzSw_C(e). FzSw_D(f). "
-      "FzSw_A(g). FzSw_B(h)");
+      "FzSw_A(a). FzSw_A(b). FzSw_B(c, c). FzSw_C(d). FzSw_C(e). FzSw_D(f). "
+      "FzSw_A(g). FzSw_B(h, h)");
   s.expect_weakly_acyclic = true;  // wrong on purpose
 
   OracleOptions oracle_options;

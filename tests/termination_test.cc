@@ -37,54 +37,82 @@ TEST(TerminationTest, SelfFeedingExistentialIsRejected) {
   EXPECT_NE(report.cycle_witness.find("TmT_E"), std::string::npos);
 }
 
-TEST(TerminationTest, HeadlessUniversalCreatesSpecialEdge) {
+TEST(TerminationTest, HeadAbsentUniversalDrawsNoSpecialEdge) {
   // Regression (FKMP05 Def. 3.9): in A1(x) -> ∃z B1(z) the universal x
-  // does not occur in the head, but its body position still gets a
-  // special edge into z's position — special edges originate from EVERY
-  // universal variable of the body when the disjunct has existentials.
-  // With B1(x) -> A1(x) closing the loop, the set must be rejected; the
-  // old code only drew special edges from head-occurring universals and
-  // wrongly certified it.
+  // does not occur in the head, so it contributes NO special edge — the
+  // definition only quantifies over head-occurring universals. With
+  // B1(x) -> A1(x) closing the loop there is no cycle through a special
+  // edge, and the standard chase indeed reaches a 3-fact fixpoint (once
+  // some B1 exists, every further ∃z trigger is already satisfied). A
+  // temporary over-strict construction drew special edges from every
+  // body universal and wrongly rejected this set.
   std::vector<Dependency> deps = {D("TmT_A1(x) -> EXISTS z: TmT_B1(z)"),
                                   D("TmT_B1(x) -> TmT_A1(x)")};
   RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
                            CheckWeakAcyclicity(deps));
-  EXPECT_FALSE(report.weakly_acyclic);
-  EXPECT_FALSE(report.cycle_witness.empty());
+  EXPECT_TRUE(report.weakly_acyclic);
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(I("TmT_A1(a)"), deps));
+  EXPECT_LE(result.combined.size(), 3u);
 }
 
-TEST(TerminationTest, BodyOnlyUniversalFeedingExistentialIsRejected) {
-  // Regression: P(x,y) -> ∃z Q(x,z) must get a special edge P.2 ⇒ Q.2
-  // from the head-absent universal y; Q(u,v) -> P(u,v) then closes the
-  // cycle through Q.2 → P.2. The old head-occurring-only construction
-  // saw just P.1 ⇒ Q.2 and certified the set.
+TEST(TerminationTest, BodyOnlyUniversalFeedingExistentialIsAccepted) {
+  // Same shape at arity 2: in P(x,y) -> ∃z Q(x,z) the head-absent y
+  // draws no special edge (only P.1 ⇒ Q.2 exists), and Q(u,v) -> P(u,v)
+  // closes no special cycle. The standard chase terminates: P(a,b) adds
+  // Q(a,n), then P(a,n), whose ∃z trigger Q(a,n) already satisfies.
   std::vector<Dependency> deps = {D("TmT_P2(x, y) -> EXISTS z: TmT_Q2(x, z)"),
                                   D("TmT_Q2(u, v) -> TmT_P2(u, v)")};
   RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
                            CheckWeakAcyclicity(deps));
-  EXPECT_FALSE(report.weakly_acyclic);
+  EXPECT_TRUE(report.weakly_acyclic);
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result,
+                           Chase(I("TmT_P2(a, b)"), deps));
+  EXPECT_LE(result.combined.size(), 4u);
 }
 
-TEST(TerminationTest, WeakAcyclicityIsSufficientNotNecessary) {
-  // Both rejected sets above are termination-safe under the STANDARD
-  // chase: once some B1 (resp. Q2-with-null) fact exists, every further
-  // trigger is already satisfied. Weak acyclicity guarantees termination
-  // but rejection does not imply divergence.
+TEST(TerminationTest, ObliviousModeDrawsSpecialEdgesFromAllBodyUniversals) {
+  // Under kObliviousChase both sets above are rejected: an oblivious
+  // chase fires every trigger regardless of head satisfaction, so the
+  // head-absent universals genuinely keep forcing fresh values and the
+  // stricter every-body-universal graph is the right over-approximation.
   std::vector<Dependency> headless = {D("TmT_A1(x) -> EXISTS z: TmT_B1(z)"),
                                       D("TmT_B1(x) -> TmT_A1(x)")};
-  RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
-                           CheckWeakAcyclicity(headless));
-  ASSERT_FALSE(report.weakly_acyclic);
-  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result,
-                           Chase(I("TmT_A1(a)"), headless));
-  EXPECT_LE(result.combined.size(), 3u);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      WeakAcyclicityReport report,
+      CheckWeakAcyclicity(headless, WeakAcyclicityMode::kObliviousChase));
+  EXPECT_FALSE(report.weakly_acyclic);
+  EXPECT_FALSE(report.cycle_witness.empty());
 
   std::vector<Dependency> copy_back = {
       D("TmT_P2(x, y) -> EXISTS z: TmT_Q2(x, z)"),
       D("TmT_Q2(u, v) -> TmT_P2(u, v)")};
-  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult copy_result,
-                           Chase(I("TmT_P2(a, b)"), copy_back));
-  EXPECT_LE(copy_result.combined.size(), 4u);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      WeakAcyclicityReport copy_report,
+      CheckWeakAcyclicity(copy_back, WeakAcyclicityMode::kObliviousChase));
+  EXPECT_FALSE(copy_report.weakly_acyclic);
+
+  // And the oblivious graph stays a superset: sets it accepts are
+  // exactly as safe, e.g. the cross-schema pair.
+  RDX_ASSERT_OK_AND_ASSIGN(
+      WeakAcyclicityReport cross,
+      CheckWeakAcyclicity({D("TmT_P(x, y) -> EXISTS z: TmT_Q(x, z)"),
+                           D("TmT_Q(x, y) -> TmT_R(y, x)")},
+                          WeakAcyclicityMode::kObliviousChase));
+  EXPECT_TRUE(cross.weakly_acyclic);
+}
+
+TEST(TerminationTest, WeakAcyclicityIsSufficientNotNecessary) {
+  // E(x,y) -> ∃z E(y,z) is rejected (special self-loop E.2 ⇒ E.2), yet
+  // on the instance E(a,a) the standard chase terminates immediately:
+  // the only trigger's head ∃z E(a,z) is satisfied by E(a,a) itself.
+  // Weak acyclicity guarantees termination; rejection does not imply
+  // divergence.
+  std::vector<Dependency> deps = {D("TmT_E(x, y) -> EXISTS z: TmT_E(y, z)")};
+  RDX_ASSERT_OK_AND_ASSIGN(WeakAcyclicityReport report,
+                           CheckWeakAcyclicity(deps));
+  ASSERT_FALSE(report.weakly_acyclic);
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(I("TmT_E(a, a)"), deps));
+  EXPECT_EQ(result.combined.size(), 1u);
 }
 
 TEST(TerminationTest, TwoStepSpecialCycleDetected) {

@@ -72,6 +72,12 @@ bool IsBooleanFlag(const std::string& name) {
          name == "list-oracles" || name == "stats";
 }
 
+bool IsValueFlag(const std::string& name) {
+  return name == "seconds" || name == "iters" || name == "seed" ||
+         name == "out" || name == "trace" || name == "replay" ||
+         name == "replay-dir";
+}
+
 void MaybePrintStats(const Args& args) {
   if (args.Has("stats")) {
     std::fprintf(stderr, "%s", obs::CountersToString().c_str());
@@ -130,6 +136,10 @@ int Main(int argc, char** argv) {
     std::string name = arg + 2;
     if (IsBooleanFlag(name)) {
       args.flags[name] = "1";
+    } else if (!IsValueFlag(name)) {
+      // A typo like --seedd must not silently run with default settings.
+      std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+      return Usage();
     } else if (i + 1 < argc) {
       args.flags[name] = argv[++i];
     } else {
