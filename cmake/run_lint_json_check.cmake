@@ -1,0 +1,45 @@
+# End-to-end lint JSON check driven by ctest (see tools/CMakeLists.txt):
+#   1. run `rdx_lint --json` on a sample mapping, capturing stdout;
+#   2. re-run obs_test's TraceValidation suite against the captured file,
+#      which validates every line as a single well-formed JSON object.
+# No external tools (python, jq) involved — the validator ships in rdx_base.
+#
+# Expects -DRDX_LINT, -DOBS_TEST, -DMAPPING, -DOUT_FILE.
+
+foreach(var RDX_LINT OBS_TEST MAPPING OUT_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_lint_json_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${RDX_LINT} --json ${MAPPING}
+  RESULT_VARIABLE lint_result
+  OUTPUT_FILE ${OUT_FILE}
+  ERROR_VARIABLE lint_stderr)
+if(NOT lint_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_lint --json failed (${lint_result}):\n${lint_stderr}")
+endif()
+
+file(READ ${OUT_FILE} lint_json)
+if(NOT lint_json MATCHES "analysis\\.summary")
+  message(FATAL_ERROR
+      "--json printed no analysis.summary event:\n${lint_json}")
+endif()
+
+set(ENV{RDX_JSONL_VALIDATE_FILE} ${OUT_FILE})
+execute_process(
+  COMMAND ${OBS_TEST} --gtest_filter=TraceValidation.JsonlFileIsWellFormed
+  RESULT_VARIABLE validate_result
+  OUTPUT_VARIABLE validate_stdout
+  ERROR_VARIABLE validate_stderr)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR
+      "lint JSON validation failed:\n${validate_stdout}\n${validate_stderr}")
+endif()
+if(validate_stdout MATCHES "SKIPPED")
+  message(FATAL_ERROR
+      "validation skipped — RDX_JSONL_VALIDATE_FILE not seen:\n"
+      "${validate_stdout}")
+endif()

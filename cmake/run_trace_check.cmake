@@ -30,7 +30,7 @@ endif()
 
 set(ENV{RDX_TRACE_VALIDATE_FILE} ${TRACE_FILE})
 execute_process(
-  COMMAND ${OBS_TEST} --gtest_filter=TraceValidation.*
+  COMMAND ${OBS_TEST} --gtest_filter=TraceValidation.CliTraceFileIsWellFormedJsonl
   RESULT_VARIABLE validate_result
   OUTPUT_VARIABLE validate_stdout
   ERROR_VARIABLE validate_stderr)

@@ -1,0 +1,107 @@
+#include "analysis/analyze.h"
+
+#include "base/metrics.h"
+#include "base/strings.h"
+#include "base/trace.h"
+
+namespace rdx {
+namespace {
+
+obs::TraceEvent SummaryEvent(const AnalysisReport& report) {
+  return obs::TraceEvent("analysis.summary")
+      .Add("dependencies", static_cast<uint64_t>(report.dependency_count))
+      .Add("weakly_acyclic", report.weakly_acyclic)
+      .Add("max_rank", static_cast<uint64_t>(report.max_rank))
+      .Add("degree", report.bound.polynomial_degree)
+      .Add("errors", static_cast<uint64_t>(report.errors))
+      .Add("warnings", static_cast<uint64_t>(report.warnings))
+      .Add("notes", static_cast<uint64_t>(report.notes));
+}
+
+obs::TraceEvent LintEvent(const LintDiagnostic& d) {
+  obs::TraceEvent event("analysis.lint");
+  event.Add("code", LintCodeId(d.code))
+      .Add("severity", LintSeverityName(d.severity));
+  if (d.dependency != LintDiagnostic::kWholeSet) {
+    event.Add("dependency", static_cast<uint64_t>(d.dependency));
+  }
+  if (d.location.IsKnown()) {
+    event.Add("line", static_cast<uint64_t>(d.location.line))
+        .Add("column", static_cast<uint64_t>(d.location.column));
+  }
+  event.Add("message", d.message);
+  return event;
+}
+
+}  // namespace
+
+std::string AnalysisReport::ToString() const {
+  std::string out =
+      StrCat("static analysis: ", dependency_count, " dependency(ies), ",
+             errors, " error(s), ", warnings, " warning(s), ", notes,
+             " note(s)\n  ", bound.ToString(), "\n");
+  for (const LintDiagnostic& d : diagnostics) {
+    out += StrCat("  ", d.ToString(), "\n");
+  }
+  return out;
+}
+
+std::string AnalysisReport::ToJsonLines() const {
+  std::string out = SummaryEvent(*this).Finish() + "\n";
+  for (const LintDiagnostic& d : diagnostics) {
+    out += LintEvent(d).Finish() + "\n";
+  }
+  return out;
+}
+
+Result<AnalysisReport> AnalyzeDependencies(const AnalysisInput& input,
+                                           const AnalysisOptions& options) {
+  static obs::Counter& runs = obs::Counter::Get("analysis.runs");
+  static obs::Counter& diags = obs::Counter::Get("analysis.diagnostics");
+  static obs::Counter& us = obs::Counter::Get("analysis.us");
+  obs::ScopedTimer timer;
+
+  AnalysisReport report;
+  report.dependency_count = input.dependencies.size();
+
+  PositionGraph graph = PositionGraph::Build(input.dependencies, options.mode);
+  report.weakly_acyclic = graph.weakly_acyclic();
+  report.cycle_witness = graph.cycle_witness();
+  report.max_rank = graph.max_rank();
+  report.bound = ComputeChaseSizeBound(graph, input.dependencies);
+
+  LintOptions lint_options = options.lints;
+  lint_options.mode = options.mode;
+  lint_options.source = input.source;
+  lint_options.target = input.target;
+  lint_options.include_notes = options.include_notes;
+  RDX_ASSIGN_OR_RETURN(report.diagnostics,
+                       LintDependencies(input.dependencies, lint_options));
+
+  for (const LintDiagnostic& d : report.diagnostics) {
+    switch (d.severity) {
+      case LintSeverity::kError:
+        ++report.errors;
+        break;
+      case LintSeverity::kWarning:
+        ++report.warnings;
+        break;
+      case LintSeverity::kNote:
+        ++report.notes;
+        break;
+    }
+  }
+
+  runs.Increment();
+  diags.Add(report.diagnostics.size());
+  us.Add(timer.ElapsedMicros());
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(SummaryEvent(report));
+    for (const LintDiagnostic& d : report.diagnostics) {
+      obs::EmitTrace(LintEvent(d));
+    }
+  }
+  return report;
+}
+
+}  // namespace rdx

@@ -1,0 +1,69 @@
+#ifndef RDX_ANALYSIS_ANALYZE_H_
+#define RDX_ANALYSIS_ANALYZE_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "analysis/lints.h"
+#include "analysis/position_graph.h"
+#include "core/dependency.h"
+#include "core/schema.h"
+
+namespace rdx {
+
+/// Input to the static analyzer: a dependency set, optionally with the
+/// schemas it is declared against (enables the schema-class lint).
+struct AnalysisInput {
+  std::vector<Dependency> dependencies;
+  Schema source;
+  Schema target;
+};
+
+struct AnalysisOptions {
+  WeakAcyclicityMode mode = WeakAcyclicityMode::kStandardChase;
+
+  /// Lint budgets and toggles; mode/source/target are copied in from the
+  /// analysis input, the rest is taken as-is.
+  LintOptions lints;
+
+  /// Emit RDX1xx capability notes (syntactic-class facts).
+  bool include_notes = true;
+};
+
+/// The static analyzer's combined result: termination verdict, chase-size
+/// bound tables, and lint diagnostics.
+struct AnalysisReport {
+  std::size_t dependency_count = 0;
+  bool weakly_acyclic = false;
+  std::string cycle_witness;  // empty when weakly acyclic
+  uint32_t max_rank = 0;
+
+  ChaseSizeBound bound;
+  std::vector<LintDiagnostic> diagnostics;
+
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
+
+  /// No errors and no warnings (notes don't count).
+  bool clean() const { return errors == 0 && warnings == 0; }
+
+  /// Multi-line human-readable rendering.
+  std::string ToString() const;
+
+  /// JSONL rendering: one "analysis.summary" object followed by one
+  /// "analysis.lint" object per diagnostic, each a single line (the
+  /// rdx::obs trace-event shape, validated by obs::ValidateJsonLine).
+  std::string ToJsonLines() const;
+};
+
+/// Runs the full static pass: position graph, weak acyclicity, chase-size
+/// bound, lints. When tracing is enabled, emits the same
+/// "analysis.summary"/"analysis.lint" events to the installed trace sink.
+Result<AnalysisReport> AnalyzeDependencies(const AnalysisInput& input,
+                                           const AnalysisOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_ANALYSIS_ANALYZE_H_

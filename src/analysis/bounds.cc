@@ -1,0 +1,188 @@
+#include "analysis/bounds.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/strings.h"
+#include "core/value.h"
+
+namespace rdx {
+namespace {
+
+constexpr uint64_t kUnbounded = ChaseSizeBound::kUnbounded;
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  return a > kUnbounded - b ? kUnbounded : a + b;
+}
+
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  return a > kUnbounded / b ? kUnbounded : a * b;
+}
+
+uint64_t SatPow(uint64_t base, uint64_t exp) {
+  uint64_t out = 1;
+  for (uint64_t i = 0; i < exp; ++i) {
+    out = SatMul(out, base);
+    if (out == kUnbounded) break;
+  }
+  return out;
+}
+
+// N_r for r = 0..max_rank: bound on the distinct values that can appear
+// at positions of rank ≤ r (see the derivation in bounds.h).
+std::vector<uint64_t> ValueLevels(const ChaseSizeBound& bound, uint64_t n0) {
+  std::vector<uint64_t> levels(bound.max_rank + 1);
+  levels[0] = n0 == 0 ? 1 : n0;
+  for (uint32_t r = 1; r <= bound.max_rank; ++r) {
+    uint64_t total = levels[r - 1];
+    for (const ChaseSizeBound::DisjunctProfile& d : bound.disjuncts) {
+      if (d.min_existential_rank > r) continue;
+      total = SatAdd(total, SatMul(d.existentials,
+                                   SatPow(levels[r - 1], d.trigger_width)));
+    }
+    levels[r] = total;
+  }
+  return levels;
+}
+
+}  // namespace
+
+uint64_t ChaseSizeBound::ValueBound(const Instance& input) const {
+  if (!weakly_acyclic) return kUnbounded;
+  uint64_t n0 = SatAdd(SatAdd(input.ActiveDomain().size(),
+                              dependency_constants),
+                       once_existentials);
+  return ValueLevels(*this, n0).back();
+}
+
+uint64_t ChaseSizeBound::FactBound(const Instance& input) const {
+  if (!weakly_acyclic) return kUnbounded;
+  uint64_t n0 = SatAdd(SatAdd(input.ActiveDomain().size(),
+                              dependency_constants),
+                       once_existentials);
+  std::vector<uint64_t> levels = ValueLevels(*this, n0);
+  uint64_t total = input.size();
+  for (const HeadRelationProfile& head : head_relations) {
+    uint64_t product = 1;
+    for (uint32_t rank : head.position_ranks) {
+      product = SatMul(product, levels[rank]);
+    }
+    total = SatAdd(total, product);
+  }
+  return total;
+}
+
+std::string ChaseSizeBound::ToString() const {
+  if (!weakly_acyclic) {
+    return "not weakly acyclic: no static chase bound";
+  }
+  std::string degree =
+      polynomial_degree == kUnbounded ? std::string("huge")
+                                      : StrCat(polynomial_degree);
+  return StrCat("weakly acyclic: max rank ", max_rank, ", fact bound |I| + ",
+                "O(n^", degree, ") with n = |adom(I)| + ",
+                dependency_constants, " dependency constant(s)");
+}
+
+ChaseSizeBound ComputeChaseSizeBound(const PositionGraph& graph,
+                                     const std::vector<Dependency>& deps) {
+  ChaseSizeBound bound;
+  bound.weakly_acyclic = graph.weakly_acyclic();
+  if (!bound.weakly_acyclic) return bound;
+  bound.max_rank = graph.max_rank();
+
+  std::unordered_set<Value, ValueHash> constants;
+  std::vector<uint32_t> seen_relations;
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    const Dependency& dep = deps[i];
+    for (const Atom& a : dep.body()) {
+      for (const Term& t : a.terms()) {
+        if (t.IsConstant()) constants.insert(t.constant());
+      }
+    }
+    for (std::size_t d = 0; d < dep.disjuncts().size(); ++d) {
+      // Distinct head-occurring universals of this disjunct.
+      std::vector<Variable> head_universals;
+      uint32_t min_existential_rank = 0;
+      bool has_existential_position = false;
+      for (const Atom& a : dep.disjuncts()[d]) {
+        if (std::find(seen_relations.begin(), seen_relations.end(),
+                      a.relation().id()) == seen_relations.end()) {
+          seen_relations.push_back(a.relation().id());
+          ChaseSizeBound::HeadRelationProfile profile;
+          profile.relation = a.relation();
+          for (uint32_t p = 0; p < a.relation().arity(); ++p) {
+            profile.position_ranks.push_back(
+                graph.RankOf(GraphPosition{a.relation(), p}));
+          }
+          bound.head_relations.push_back(std::move(profile));
+        }
+        for (std::size_t p = 0; p < a.terms().size(); ++p) {
+          const Term& t = a.terms()[p];
+          if (t.IsConstant()) {
+            constants.insert(t.constant());
+            continue;
+          }
+          Variable v = t.variable();
+          const std::vector<Variable>& universals = dep.UniversalVars();
+          if (std::find(universals.begin(), universals.end(), v) !=
+              universals.end()) {
+            if (std::find(head_universals.begin(), head_universals.end(), v) ==
+                head_universals.end()) {
+              head_universals.push_back(v);
+            }
+          } else {
+            uint32_t rank = graph.RankOf(
+                GraphPosition{a.relation(), static_cast<uint32_t>(p)});
+            if (!has_existential_position || rank < min_existential_rank) {
+              min_existential_rank = rank;
+            }
+            has_existential_position = true;
+          }
+        }
+      }
+      std::size_t existentials = dep.ExistentialVars(d).size();
+      if (existentials > 0 && head_universals.empty()) {
+        bound.once_existentials = SatAdd(bound.once_existentials, existentials);
+      } else if (existentials > 0) {
+        ChaseSizeBound::DisjunctProfile profile;
+        profile.dependency = static_cast<uint32_t>(i);
+        profile.disjunct = static_cast<uint32_t>(d);
+        profile.min_existential_rank = min_existential_rank;
+        profile.existentials = existentials;
+        profile.trigger_width = head_universals.size();
+        bound.disjuncts.push_back(profile);
+      }
+    }
+  }
+  bound.dependency_constants = constants.size();
+
+  // Degree of N_r in n, then of the fact bound.
+  std::vector<uint64_t> level_degree(bound.max_rank + 1);
+  level_degree[0] = 1;
+  for (uint32_t r = 1; r <= bound.max_rank; ++r) {
+    uint64_t widest = 1;
+    for (const ChaseSizeBound::DisjunctProfile& d : bound.disjuncts) {
+      if (d.min_existential_rank <= r) {
+        widest = std::max(widest, d.trigger_width);
+      }
+    }
+    level_degree[r] = SatMul(level_degree[r - 1], widest);
+  }
+  for (const ChaseSizeBound::HeadRelationProfile& head : bound.head_relations) {
+    uint64_t degree = 0;
+    for (uint32_t rank : head.position_ranks) {
+      degree = SatAdd(degree, level_degree[rank]);
+    }
+    bound.polynomial_degree = std::max(bound.polynomial_degree, degree);
+  }
+  return bound;
+}
+
+ChaseSizeBound ComputeChaseSizeBound(const std::vector<Dependency>& deps,
+                                     WeakAcyclicityMode mode) {
+  return ComputeChaseSizeBound(PositionGraph::Build(deps, mode), deps);
+}
+
+}  // namespace rdx

@@ -1,0 +1,104 @@
+#ifndef RDX_ANALYSIS_BOUNDS_H_
+#define RDX_ANALYSIS_BOUNDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/position_graph.h"
+#include "core/dependency.h"
+#include "core/instance.h"
+
+namespace rdx {
+
+/// Static chase-size bound for a weakly acyclic dependency set, following
+/// FKMP05 Thm. 3.9: every standard-chase sequence terminates, and the
+/// result size is polynomial in the size of the input instance, with a
+/// degree computable from the position graph's ranks.
+///
+/// Construction (docs/analysis.md derives it in full). Let n be the number
+/// of distinct values in adom(I) plus the constants mentioned by Σ, and
+/// let N_r bound the number of distinct values that can ever appear at a
+/// position of rank ≤ r:
+///
+///   N_0 = max(1, n)
+///   N_r = N_{r-1} + Σ_d E_d · N_{r-1}^{w_d}
+///
+/// summed over the (dependency, disjunct) pairs d whose minimum
+/// existential-position rank is ≤ r, where E_d counts d's distinct
+/// existential variables and w_d its distinct head-occurring universals.
+/// The recurrence is sound for the standard chase because a trigger whose
+/// head is already satisfied fires no step, so each disjunct fires at most
+/// once per assignment of its head-occurring universals — and each of
+/// those variables occurs at a body position of rank < r.
+///
+/// The fact bound is then |I| plus, for every relation R occurring in a
+/// head, Π_i N_{rank(R.i)} over R's positions.
+///
+/// All arithmetic saturates at kUnbounded; a non-weakly-acyclic set has no
+/// static bound and both evaluators return kUnbounded.
+struct ChaseSizeBound {
+  static constexpr uint64_t kUnbounded = UINT64_MAX;
+
+  bool weakly_acyclic = false;
+  uint32_t max_rank = 0;
+
+  /// Degree of the fact bound as a polynomial in n (saturating).
+  uint64_t polynomial_degree = 0;
+
+  /// One (dependency, disjunct) pair with existential variables.
+  struct DisjunctProfile {
+    uint32_t dependency = 0;       // index into the analyzed set
+    uint32_t disjunct = 0;
+    uint32_t min_existential_rank = 0;
+    uint64_t existentials = 0;     // distinct existential variables
+    uint64_t trigger_width = 0;    // distinct head-occurring universals
+  };
+  std::vector<DisjunctProfile> disjuncts;
+
+  /// Every relation occurring in some head, with the per-position ranks
+  /// its fact bound multiplies over.
+  struct HeadRelationProfile {
+    Relation relation;
+    std::vector<uint32_t> position_ranks;
+  };
+  std::vector<HeadRelationProfile> head_relations;
+
+  /// Constants mentioned in the dependencies (body or head terms); they
+  /// enter the chase's value pool even when absent from the instance.
+  uint64_t dependency_constants = 0;
+
+  /// Existential variables of disjuncts with NO head-occurring universal
+  /// (trigger width 0). Such a disjunct fires at most once ever — after
+  /// one firing its head stays satisfied for every trigger — and in
+  /// standard mode it draws no special edges, so its existential
+  /// positions keep rank 0. Folding these variables into the base value
+  /// pool N_0 keeps the per-rank value bound sound.
+  uint64_t once_existentials = 0;
+
+  /// Upper bound on the number of distinct values in any standard-chase
+  /// result over `input` (input values + fresh nulls).
+  uint64_t ValueBound(const Instance& input) const;
+
+  /// Upper bound on the TOTAL fact count (input + added) of any standard
+  /// chase of `input`. kUnbounded when the set is not weakly acyclic.
+  uint64_t FactBound(const Instance& input) const;
+
+  /// "weakly acyclic: max rank 1, fact bound O(n^2)" | "not weakly
+  /// acyclic: no static chase bound".
+  std::string ToString() const;
+};
+
+/// Computes the bound tables from an already-built position graph and the
+/// dependency set it was built from.
+ChaseSizeBound ComputeChaseSizeBound(const PositionGraph& graph,
+                                     const std::vector<Dependency>& deps);
+
+/// Convenience: builds the graph internally.
+ChaseSizeBound ComputeChaseSizeBound(
+    const std::vector<Dependency>& deps,
+    WeakAcyclicityMode mode = WeakAcyclicityMode::kStandardChase);
+
+}  // namespace rdx
+
+#endif  // RDX_ANALYSIS_BOUNDS_H_

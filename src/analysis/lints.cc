@@ -1,0 +1,495 @@
+#include "analysis/lints.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "analysis/position_graph.h"
+#include "base/strings.h"
+#include "core/instance.h"
+
+namespace rdx {
+namespace {
+
+// --- catalog -------------------------------------------------------------
+
+const LintInfo kCatalog[] = {
+    {LintCode::kNotWeaklyAcyclic, "RDX001", LintSeverity::kError,
+     "not weakly acyclic",
+     "the dependency set fails FKMP05 Def. 3.9; the chase has no static "
+     "termination guarantee"},
+    {LintCode::kDeclaredExistentialInBody, "RDX002", LintSeverity::kWarning,
+     "declared existential occurs in body",
+     "a variable declared with EXISTS also occurs in the body, so it is "
+     "universal and the declaration is dead"},
+    {LintCode::kDisconnectedBodyAtoms, "RDX003", LintSeverity::kWarning,
+     "body atoms disconnected from the head",
+     "a join component of the body shares no variable with the head — a "
+     "cartesian guard that multiplies matches"},
+    {LintCode::kSubsumedBodyAtom, "RDX004", LintSeverity::kWarning,
+     "subsumed body atom",
+     "a relational body atom is a duplicate of, or homomorphically "
+     "subsumed by, the rest of the body"},
+    {LintCode::kRedundantDependency, "RDX005", LintSeverity::kWarning,
+     "redundant dependency",
+     "the dependency is implied by the remaining dependencies "
+     "(frozen-body chase implication)"},
+    {LintCode::kSchemaMisclassification, "RDX006", LintSeverity::kWarning,
+     "not a source-to-target dependency",
+     "against the declared schemas the dependency is reversed, "
+     "same-schema, or mixes schemas"},
+    {LintCode::kNotFullTgd, "RDX101", LintSeverity::kNote, "not a full tgd",
+     "existential head variables; gates QuasiInverse (Theorem 5.1) and "
+     "syntactic composition"},
+    {LintCode::kNotPlainTgd, "RDX102", LintSeverity::kNote, "not a plain tgd",
+     "disjunction or builtin body atoms; gates syntactic composition"},
+    {LintCode::kConstantInHead, "RDX103", LintSeverity::kNote,
+     "constant in head",
+     "a head atom mentions a constant term; unsupported by QuasiInverse"},
+};
+
+std::size_t CatalogIndex(LintCode code) {
+  for (std::size_t i = 0; i < std::size(kCatalog); ++i) {
+    if (kCatalog[i].code == code) return i;
+  }
+  return std::size(kCatalog);
+}
+
+// --- freezing helpers ----------------------------------------------------
+
+// Hands out constants guaranteed fresh w.r.t. every constant mentioned in
+// the dependency set (the chase introduces no other constants).
+class FreshConstantPool {
+ public:
+  explicit FreshConstantPool(const std::vector<Dependency>& deps) {
+    for (const Dependency& dep : deps) {
+      CollectAtoms(dep.body());
+      for (const auto& disjunct : dep.disjuncts()) CollectAtoms(disjunct);
+    }
+  }
+
+  Value Next() {
+    while (true) {
+      std::string name = StrCat("frz", counter_++);
+      if (used_.insert(name).second) return Value::MakeConstant(name);
+    }
+  }
+
+ private:
+  void CollectAtoms(const std::vector<Atom>& atoms) {
+    for (const Atom& a : atoms) {
+      for (const Term& t : a.terms()) {
+        if (t.IsConstant() && t.constant().IsConstant()) {
+          used_.insert(std::string(t.constant().name()));
+        }
+      }
+    }
+  }
+
+  std::unordered_set<std::string> used_;
+  uint64_t counter_ = 0;
+};
+
+bool Contains(const std::vector<Variable>& vars, Variable v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+// Distinct universal variables occurring in some head disjunct.
+std::vector<Variable> HeadUniversals(const Dependency& dep) {
+  std::vector<Variable> out;
+  for (const auto& disjunct : dep.disjuncts()) {
+    for (const Atom& a : disjunct) {
+      for (Variable v : a.Vars()) {
+        if (Contains(dep.UniversalVars(), v) && !Contains(out, v)) {
+          out.push_back(v);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Instance> GroundAtoms(const std::vector<Atom>& atoms,
+                             const Assignment& assignment) {
+  std::vector<Fact> facts;
+  for (const Atom& a : atoms) {
+    RDX_ASSIGN_OR_RETURN(Fact f, a.Ground(assignment));
+    facts.push_back(std::move(f));
+  }
+  return Instance::FromFacts(facts);
+}
+
+// --- the lint passes -----------------------------------------------------
+
+class Linter {
+ public:
+  Linter(const std::vector<Dependency>& deps, const LintOptions& options)
+      : deps_(deps), options_(options) {}
+
+  Result<std::vector<LintDiagnostic>> Run() {
+    CheckWeakAcyclicity();
+    for (std::size_t i = 0; i < deps_.size(); ++i) {
+      CheckDeclaredExistentials(i);
+      CheckDisconnectedBody(i);
+      RDX_RETURN_IF_ERROR(CheckSubsumedBodyAtoms(i));
+      CheckSchemaClass(i);
+      if (options_.include_notes) EmitCapabilityNotes(i);
+    }
+    if (options_.check_redundant_dependencies && deps_.size() >= 2) {
+      for (std::size_t i = 0; i < deps_.size(); ++i) {
+        RDX_RETURN_IF_ERROR(CheckRedundantDependency(i));
+      }
+    }
+    std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                     [](const LintDiagnostic& a, const LintDiagnostic& b) {
+                       auto key = [](const LintDiagnostic& d) {
+                         std::size_t dep = d.dependency == LintDiagnostic::kWholeSet
+                                               ? 0
+                                               : d.dependency + 1;
+                         return std::pair(dep, CatalogIndex(d.code));
+                       };
+                       return key(a) < key(b);
+                     });
+    return std::move(diagnostics_);
+  }
+
+ private:
+  void Emit(LintCode code, std::size_t dep_index, std::string message) {
+    LintDiagnostic d;
+    d.code = code;
+    d.severity = GetLintInfo(code).severity;
+    d.dependency = dep_index;
+    if (dep_index != LintDiagnostic::kWholeSet) {
+      d.location = deps_[dep_index].location();
+    }
+    d.message = std::move(message);
+    diagnostics_.push_back(std::move(d));
+  }
+
+  // RDX001.
+  void CheckWeakAcyclicity() {
+    PositionGraph graph = PositionGraph::Build(deps_, options_.mode);
+    if (graph.weakly_acyclic()) return;
+    Emit(LintCode::kNotWeaklyAcyclic, LintDiagnostic::kWholeSet,
+         StrCat("dependency set is not weakly acyclic (cycle through a "
+                "special edge: ",
+                graph.cycle_witness(),
+                "); the chase has no static termination guarantee"));
+  }
+
+  // RDX002.
+  void CheckDeclaredExistentials(std::size_t i) {
+    const Dependency& dep = deps_[i];
+    for (Variable v : dep.declared_existentials()) {
+      if (Contains(dep.UniversalVars(), v)) {
+        Emit(LintCode::kDeclaredExistentialInBody, i,
+             StrCat("variable '", v.name(),
+                    "' is declared with EXISTS but occurs in the body, so "
+                    "it is universally quantified; rename the head "
+                    "variable or drop the declaration"));
+      }
+    }
+  }
+
+  // RDX003. Join components over body atoms (relational and builtin; a
+  // builtin linking two components counts as a join). A component
+  // "exports" when one of its variables occurs in some head disjunct.
+  void CheckDisconnectedBody(std::size_t i) {
+    const Dependency& dep = deps_[i];
+    std::vector<Atom> rel_body = dep.RelationalBody();
+    if (rel_body.size() < 2) return;
+
+    // Union-find over body atoms, joined through shared variables.
+    std::vector<std::size_t> parent(dep.body().size());
+    for (std::size_t k = 0; k < parent.size(); ++k) parent[k] = k;
+    auto find = [&](std::size_t k) {
+      while (parent[k] != k) k = parent[k] = parent[parent[k]];
+      return k;
+    };
+    std::unordered_map<uint32_t, std::size_t> var_home;  // var id -> atom
+    for (std::size_t k = 0; k < dep.body().size(); ++k) {
+      for (Variable v : dep.body()[k].Vars()) {
+        auto [it, inserted] = var_home.emplace(v.id(), k);
+        if (!inserted) parent[find(k)] = find(it->second);
+      }
+    }
+
+    std::vector<Variable> exported = HeadUniversals(dep);
+    std::unordered_set<std::size_t> exporting_roots;
+    for (std::size_t k = 0; k < dep.body().size(); ++k) {
+      for (Variable v : dep.body()[k].Vars()) {
+        if (Contains(exported, v)) exporting_roots.insert(find(k));
+      }
+    }
+    if (exporting_roots.empty()) return;  // fully-guarding body: deliberate
+
+    std::unordered_map<std::size_t, std::vector<std::string>> dangling;
+    for (std::size_t k = 0; k < dep.body().size(); ++k) {
+      if (!dep.body()[k].IsRelational()) continue;
+      std::size_t root = find(k);
+      if (exporting_roots.count(root) == 0) {
+        dangling[root].push_back(dep.body()[k].ToString());
+      }
+    }
+    for (auto& [root, atoms] : dangling) {
+      Emit(LintCode::kDisconnectedBodyAtoms, i,
+           StrCat("body atom(s) ", Join(atoms, ", "),
+                  " share no variable with the head; they only gate the "
+                  "dependency and multiply the number of matches"));
+    }
+  }
+
+  // RDX004. An atom is subsumed when the body maps homomorphically into
+  // the body minus the atom, with head and builtin variables held fixed
+  // (frozen to fresh constants) — then both bodies admit exactly the
+  // same head-relevant matches.
+  Status CheckSubsumedBodyAtoms(std::size_t i) {
+    const Dependency& dep = deps_[i];
+    std::vector<Atom> rel_body = dep.RelationalBody();
+    if (rel_body.size() < 2) return Status::OK();
+
+    std::vector<Variable> keep = HeadUniversals(dep);
+    for (const Atom& a : dep.BuiltinBody()) {
+      for (Variable v : a.Vars()) {
+        if (!Contains(keep, v)) keep.push_back(v);
+      }
+    }
+    FreshConstantPool pool(deps_);
+    Assignment freeze;
+    for (Variable v : dep.UniversalVars()) {
+      freeze.emplace(v, Contains(keep, v) ? pool.Next() : Value::FreshNull());
+    }
+    RDX_ASSIGN_OR_RETURN(Instance frozen, GroundAtoms(rel_body, freeze));
+
+    for (std::size_t k = 0; k < rel_body.size(); ++k) {
+      bool duplicate_of_earlier = false;
+      bool has_later_copy = false;
+      for (std::size_t j = 0; j < rel_body.size(); ++j) {
+        if (j < k && rel_body[j] == rel_body[k]) duplicate_of_earlier = true;
+        if (j > k && rel_body[j] == rel_body[k]) has_later_copy = true;
+      }
+      if (duplicate_of_earlier) {
+        Emit(LintCode::kSubsumedBodyAtom, i,
+             StrCat("body atom '", rel_body[k].ToString(),
+                    "' duplicates an earlier body atom"));
+        continue;
+      }
+      // The duplicate report above covers the pair; testing the first
+      // copy would re-flag it through its own duplicate.
+      if (has_later_copy) continue;
+
+      std::vector<Atom> rest;
+      for (std::size_t j = 0; j < rel_body.size(); ++j) {
+        if (j != k) rest.push_back(rel_body[j]);
+      }
+      RDX_ASSIGN_OR_RETURN(Instance reduced, GroundAtoms(rest, freeze));
+      Result<std::optional<ValueMap>> hom =
+          FindHomomorphism(frozen, reduced, /*seed=*/{}, options_.hom);
+      if (!hom.ok()) {
+        if (hom.status().code() == StatusCode::kResourceExhausted) continue;
+        return hom.status();
+      }
+      if (hom->has_value()) {
+        Emit(LintCode::kSubsumedBodyAtom, i,
+             StrCat("body atom '", rel_body[k].ToString(),
+                    "' is subsumed by the rest of the body (dropping it "
+                    "preserves the dependency's matches)"));
+      }
+    }
+    return Status::OK();
+  }
+
+  // RDX005. σ is implied by Σ' = Σ \ {σ} when chasing σ's frozen body
+  // with Σ' satisfies some frozen head disjunct. Universals freeze to
+  // fresh nulls (fresh constants when Constant-guarded — a guarded match
+  // value is always a constant), which makes the frozen body the most
+  // general σ-body match; the test is restricted to inequality-free
+  // plain-headed Σ' members because an inequality satisfied by two
+  // distinct frozen nulls need not survive the collapse onto an
+  // arbitrary instance's match.
+  Status CheckRedundantDependency(std::size_t i) {
+    const Dependency& dep = deps_[i];
+    std::vector<Dependency> others;
+    for (std::size_t j = 0; j < deps_.size(); ++j) {
+      if (j == i) continue;
+      if (deps_[j].disjuncts().size() == 1 && !deps_[j].UsesInequalities()) {
+        others.push_back(deps_[j]);
+      }
+    }
+    if (others.empty()) return Status::OK();
+
+    FreshConstantPool pool(deps_);
+    std::vector<Variable> constant_guarded;
+    for (const Atom& a : dep.BuiltinBody()) {
+      if (a.kind() != Atom::Kind::kIsConstant) continue;
+      for (Variable v : a.Vars()) {
+        if (!Contains(constant_guarded, v)) constant_guarded.push_back(v);
+      }
+    }
+    Assignment freeze;
+    for (Variable v : dep.UniversalVars()) {
+      freeze.emplace(v, Contains(constant_guarded, v) ? pool.Next()
+                                                      : Value::FreshNull());
+    }
+    RDX_ASSIGN_OR_RETURN(Instance frozen,
+                         GroundAtoms(dep.RelationalBody(), freeze));
+
+    Result<ChaseResult> chased =
+        Chase(frozen, others, options_.redundancy_chase);
+    if (!chased.ok()) {
+      // Budget overrun (or e.g. a non-terminating Σ'): skip the check.
+      if (chased.status().code() == StatusCode::kResourceExhausted) {
+        return Status::OK();
+      }
+      return chased.status();
+    }
+
+    for (std::size_t d = 0; d < dep.disjuncts().size(); ++d) {
+      Assignment head_assignment = freeze;
+      for (Variable v : dep.ExistentialVars(d)) {
+        head_assignment.emplace(v, Value::FreshNull());
+      }
+      RDX_ASSIGN_OR_RETURN(Instance head,
+                           GroundAtoms(dep.disjuncts()[d], head_assignment));
+      // Frozen universal nulls must map to themselves — only the head's
+      // existential nulls are free.
+      ValueMap seed;
+      for (const auto& [v, value] : freeze) {
+        if (value.IsNull()) seed.emplace(value, value);
+      }
+      Result<std::optional<ValueMap>> hom =
+          FindHomomorphism(head, chased->combined, seed, options_.hom);
+      if (!hom.ok()) {
+        if (hom.status().code() == StatusCode::kResourceExhausted) continue;
+        return hom.status();
+      }
+      if (hom->has_value()) {
+        Emit(LintCode::kRedundantDependency, i,
+             StrCat("dependency is implied by the remaining dependencies: "
+                    "chasing its frozen body already satisfies ",
+                    dep.disjuncts().size() > 1
+                        ? StrCat("disjunct ", d + 1, " of its head")
+                        : std::string("its head")));
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  // RDX006.
+  void CheckSchemaClass(std::size_t i) {
+    if (options_.source.relations().empty() ||
+        options_.target.relations().empty()) {
+      return;
+    }
+    const Dependency& dep = deps_[i];
+    auto all_in = [&](const std::vector<Relation>& rels, const Schema& s) {
+      return std::all_of(rels.begin(), rels.end(),
+                         [&](Relation r) { return s.Contains(r); });
+    };
+    std::vector<Relation> body = dep.BodyRelations();
+    std::vector<Relation> head = dep.HeadRelations();
+    if (all_in(body, options_.source) && all_in(head, options_.target)) {
+      return;  // a source-to-target dependency, as declared
+    }
+    std::string shape;
+    if (all_in(body, options_.target) && all_in(head, options_.source)) {
+      shape = "reversed (target-to-source)";
+    } else if (all_in(body, options_.source) && all_in(head, options_.source)) {
+      shape = "same-schema over the source";
+    } else if (all_in(body, options_.target) && all_in(head, options_.target)) {
+      shape = "same-schema over the target";
+    } else {
+      shape = "mixing relations across the schemas";
+    }
+    Emit(LintCode::kSchemaMisclassification, i,
+         StrCat("not a source-to-target dependency against the declared "
+                "schemas: ",
+                shape));
+  }
+
+  // RDX101/RDX102/RDX103.
+  void EmitCapabilityNotes(std::size_t i) {
+    const Dependency& dep = deps_[i];
+    if (!dep.IsFull()) {
+      Emit(LintCode::kNotFullTgd, i,
+           "not a full tgd (existential head variables); QuasiInverse "
+           "(Theorem 5.1) and syntactic composition of M12 require full "
+           "tgds");
+    }
+    if (!dep.IsPlainTgd()) {
+      std::vector<std::string> features;
+      if (dep.HasDisjunction()) features.push_back("disjunction");
+      if (dep.UsesInequalities()) features.push_back("inequalities");
+      if (dep.UsesConstantPredicate()) features.push_back("Constant atoms");
+      Emit(LintCode::kNotPlainTgd, i,
+           StrCat("not a plain tgd (", Join(features, ", "),
+                  "); syntactic composition requires plain tgds"));
+    }
+    for (const auto& disjunct : dep.disjuncts()) {
+      bool found = false;
+      for (const Atom& a : disjunct) {
+        for (const Term& t : a.terms()) {
+          if (t.IsConstant()) {
+            Emit(LintCode::kConstantInHead, i,
+                 StrCat("head atom '", a.ToString(),
+                        "' mentions a constant term; QuasiInverse does "
+                        "not support constant heads"));
+            found = true;
+            break;
+          }
+        }
+        if (found) break;
+      }
+      if (found) break;
+    }
+  }
+
+  const std::vector<Dependency>& deps_;
+  const LintOptions& options_;
+  std::vector<LintDiagnostic> diagnostics_;
+};
+
+}  // namespace
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kError:
+      return "error";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+const std::vector<LintInfo>& LintCatalog() {
+  static const std::vector<LintInfo> catalog(std::begin(kCatalog),
+                                             std::end(kCatalog));
+  return catalog;
+}
+
+const LintInfo& GetLintInfo(LintCode code) {
+  return kCatalog[CatalogIndex(code)];
+}
+
+const char* LintCodeId(LintCode code) { return GetLintInfo(code).id; }
+
+std::string LintDiagnostic::ToString() const {
+  std::string out =
+      StrCat(LintSeverityName(severity), "[", LintCodeId(code), "]");
+  if (location.IsKnown()) {
+    out = StrCat(out, " at ", location.ToString());
+  } else if (dependency != kWholeSet) {
+    out = StrCat(out, " dependency #", dependency + 1);
+  }
+  return StrCat(out, ": ", message);
+}
+
+Result<std::vector<LintDiagnostic>> LintDependencies(
+    const std::vector<Dependency>& dependencies, const LintOptions& options) {
+  return Linter(dependencies, options).Run();
+}
+
+}  // namespace rdx

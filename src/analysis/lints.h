@@ -1,0 +1,128 @@
+#ifndef RDX_ANALYSIS_LINTS_H_
+#define RDX_ANALYSIS_LINTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/position_graph.h"
+#include "base/status.h"
+#include "chase/chase.h"
+#include "core/dependency.h"
+#include "core/homomorphism.h"
+#include "core/schema.h"
+
+namespace rdx {
+
+/// Coded diagnostics over a dependency set. Errors and warnings flag
+/// likely authoring mistakes; notes record syntactic-class facts that
+/// gate downstream operators (which of the paper's inversion/composition
+/// theorems apply). docs/analysis.md has the full catalog with examples.
+enum class LintCode {
+  /// RDX001 (error): the set is not weakly acyclic — the chase has no
+  /// static termination guarantee (FKMP05 Def. 3.9).
+  kNotWeaklyAcyclic,
+  /// RDX002 (warning): a variable declared with EXISTS also occurs in the
+  /// body, so it is in fact universal and the declaration is dead.
+  kDeclaredExistentialInBody,
+  /// RDX003 (warning): the body splits into join components and some
+  /// component shares no variable with any head disjunct — a cartesian
+  /// guard that multiplies matches without contributing values.
+  kDisconnectedBodyAtoms,
+  /// RDX004 (warning): a relational body atom is subsumed by the rest of
+  /// the body (exact duplicate, or a homomorphism on the frozen body maps
+  /// the body into itself minus the atom, fixing head/builtin variables).
+  kSubsumedBodyAtom,
+  /// RDX005 (warning): the dependency is implied by the other
+  /// dependencies of the set (frozen-body chase implication test).
+  kRedundantDependency,
+  /// RDX006 (warning): against the declared source/target schemas the
+  /// dependency is not a source-to-target constraint (reversed, mixed, or
+  /// same-schema) — often a swapped-mapping mistake.
+  kSchemaMisclassification,
+  /// RDX101 (note): not a full tgd (existential head variables). Gates
+  /// QuasiInverse (Theorem 5.1) and syntactic composition of M12.
+  kNotFullTgd,
+  /// RDX102 (note): not a plain tgd (disjunction or builtin body atoms).
+  /// Gates syntactic composition and parts of mapping/report.cc.
+  kNotPlainTgd,
+  /// RDX103 (note): a head atom mentions a constant term; QuasiInverse
+  /// does not support these heads.
+  kConstantInHead,
+};
+
+enum class LintSeverity {
+  kError,
+  kWarning,
+  /// Capability notes: facts about the syntactic class, not defects. They
+  /// never make a report "unclean" and never affect rdx_lint's exit code.
+  kNote,
+};
+
+const char* LintSeverityName(LintSeverity severity);
+
+/// Static metadata of one lint code.
+struct LintInfo {
+  LintCode code;
+  const char* id;  // "RDX001"
+  LintSeverity severity;
+  const char* title;
+  const char* summary;
+};
+
+/// All lint codes in id order.
+const std::vector<LintInfo>& LintCatalog();
+const LintInfo& GetLintInfo(LintCode code);
+const char* LintCodeId(LintCode code);
+
+/// One diagnostic instance.
+struct LintDiagnostic {
+  /// `dependency` value for set-level diagnostics (RDX001).
+  static constexpr std::size_t kWholeSet = static_cast<std::size_t>(-1);
+
+  LintCode code;
+  LintSeverity severity;
+  std::size_t dependency = kWholeSet;  // index into the analyzed set
+  SourceLocation location;             // of that dependency, when known
+  std::string message;
+
+  /// "warning[RDX004] at line 2, column 1: ..." (location omitted when
+  /// unknown).
+  std::string ToString() const;
+};
+
+struct LintOptions {
+  WeakAcyclicityMode mode = WeakAcyclicityMode::kStandardChase;
+
+  /// Source/target schemas for RDX006; leave empty to skip the check.
+  Schema source;
+  Schema target;
+
+  /// Emit RDX1xx capability notes.
+  bool include_notes = true;
+
+  /// Run the chase-based redundant-dependency pass (RDX005). The chase
+  /// and homomorphism budgets below keep it cheap; a budget overrun
+  /// silently skips the corresponding check (never a false positive).
+  bool check_redundant_dependencies = true;
+  ChaseOptions redundancy_chase;
+  HomomorphismOptions hom;
+
+  LintOptions() {
+    redundancy_chase.max_rounds = 64;
+    redundancy_chase.max_new_facts = 20'000;
+    hom.max_steps = 500'000;
+  }
+};
+
+/// Runs every lint pass over the set. Diagnostics are ordered by
+/// dependency index (set-level first), then catalog order. Only
+/// infrastructure failures surface as a non-OK Status; budget overruns in
+/// the semantic passes degrade to "check skipped".
+Result<std::vector<LintDiagnostic>> LintDependencies(
+    const std::vector<Dependency>& dependencies,
+    const LintOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_ANALYSIS_LINTS_H_

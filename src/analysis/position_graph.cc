@@ -1,0 +1,265 @@
+#include "analysis/position_graph.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+using NodeKey = std::pair<uint32_t, uint32_t>;  // (relation id, index)
+
+// Iterative Tarjan SCC. Returns the number of components and fills
+// `component` (indexed by node id). Component ids are assigned in
+// completion order, so every cross-component edge goes from a higher
+// component id to a lower one (reverse topological order).
+std::size_t TarjanScc(std::size_t n,
+                      const std::vector<std::vector<uint32_t>>& adjacency,
+                      std::vector<uint32_t>* component) {
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<uint32_t> stack;
+  component->assign(n, 0);
+  uint32_t next_index = 0;
+  uint32_t next_component = 0;
+
+  struct Frame {
+    uint32_t node;
+    std::size_t next_child;
+  };
+  std::vector<Frame> call_stack;
+
+  for (uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root, 0});
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      uint32_t v = frame.node;
+      if (frame.next_child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      bool descended = false;
+      while (frame.next_child < adjacency[v].size()) {
+        uint32_t w = adjacency[v][frame.next_child++];
+        if (index[w] == kUnvisited) {
+          call_stack.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          uint32_t w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          (*component)[w] = next_component;
+          if (w == v) break;
+        }
+        ++next_component;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        uint32_t parent = call_stack.back().node;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+      }
+    }
+  }
+  return next_component;
+}
+
+}  // namespace
+
+std::string GraphPosition::ToString() const {
+  return StrCat(relation.name(), ".", index + 1);
+}
+
+PositionGraph PositionGraph::Build(const std::vector<Dependency>& dependencies,
+                                   WeakAcyclicityMode mode) {
+  PositionGraph g;
+  std::map<NodeKey, uint32_t> node_ids;
+  auto intern = [&](Relation rel, std::size_t index) {
+    NodeKey key{rel.id(), static_cast<uint32_t>(index)};
+    auto it = node_ids.find(key);
+    if (it != node_ids.end()) return it->second;
+    uint32_t id = static_cast<uint32_t>(g.positions_.size());
+    g.positions_.push_back(GraphPosition{rel, key.second});
+    node_ids.emplace(key, id);
+    return id;
+  };
+
+  for (std::size_t dep_index = 0; dep_index < dependencies.size();
+       ++dep_index) {
+    const Dependency& dep = dependencies[dep_index];
+    uint32_t dep_id = static_cast<uint32_t>(dep_index);
+    // Universal variable occurrences in relational body atoms, by var id.
+    std::map<uint32_t, std::vector<uint32_t>> body_positions;
+    for (const Atom& a : dep.RelationalBody()) {
+      for (std::size_t i = 0; i < a.terms().size(); ++i) {
+        uint32_t node = intern(a.relation(), i);
+        const Term& t = a.terms()[i];
+        if (t.IsVariable()) {
+          body_positions[t.variable().id()].push_back(node);
+        }
+      }
+    }
+    for (std::size_t d = 0; d < dep.disjuncts().size(); ++d) {
+      // Head occurrences split into universal and existential positions.
+      std::map<uint32_t, std::vector<uint32_t>> universal_head;
+      std::vector<uint32_t> existential_positions;
+      for (const Atom& a : dep.disjuncts()[d]) {
+        for (std::size_t i = 0; i < a.terms().size(); ++i) {
+          uint32_t node = intern(a.relation(), i);
+          const Term& t = a.terms()[i];
+          if (!t.IsVariable()) continue;
+          if (body_positions.count(t.variable().id()) > 0) {
+            universal_head[t.variable().id()].push_back(node);
+          } else {
+            existential_positions.push_back(node);
+          }
+        }
+      }
+      for (const auto& [var_id, head_nodes] : universal_head) {
+        for (uint32_t from : body_positions[var_id]) {
+          for (uint32_t to : head_nodes) {
+            g.edges_.push_back(Edge{from, to, /*special=*/false, dep_id});
+          }
+        }
+      }
+      // Special edges. FKMP05 Def. 3.9 draws them only from universal
+      // variables occurring in THIS head: a standard chase fires no step
+      // for an already-satisfied trigger, so a head-absent universal
+      // never forces fresh values. kObliviousChase keeps the stricter
+      // every-body-universal graph for engines that fire all triggers
+      // unconditionally.
+      if (!existential_positions.empty()) {
+        for (const auto& [var_id, body_nodes] : body_positions) {
+          if (mode == WeakAcyclicityMode::kStandardChase &&
+              universal_head.count(var_id) == 0) {
+            continue;
+          }
+          for (uint32_t from : body_nodes) {
+            for (uint32_t to : existential_positions) {
+              g.edges_.push_back(Edge{from, to, /*special=*/true, dep_id});
+            }
+          }
+        }
+      }
+    }
+  }
+
+  std::size_t n = g.positions_.size();
+  std::vector<std::vector<uint32_t>> adjacency(n);
+  for (const Edge& e : g.edges_) {
+    adjacency[e.from].push_back(e.to);
+  }
+  g.component_count_ = TarjanScc(n, adjacency, &g.component_);
+
+  // Weakly acyclic iff no special edge lies on a cycle, i.e. no special
+  // edge stays within one strongly connected component.
+  for (const Edge& e : g.edges_) {
+    if (!e.special || g.component_[e.from] != g.component_[e.to]) continue;
+    g.weakly_acyclic_ = false;
+    // Witness: the special edge plus a return path inside the component.
+    // Any path between two nodes of one SCC can be chosen within it.
+    uint32_t comp = g.component_[e.from];
+    std::vector<uint32_t> prev(n, UINT32_MAX);
+    std::queue<uint32_t> queue;
+    queue.push(e.to);
+    prev[e.to] = e.to;
+    while (!queue.empty() && prev[e.from] == UINT32_MAX) {
+      uint32_t v = queue.front();
+      queue.pop();
+      for (uint32_t w : adjacency[v]) {
+        if (g.component_[w] != comp || prev[w] != UINT32_MAX) continue;
+        prev[w] = v;
+        queue.push(w);
+      }
+    }
+    std::vector<uint32_t> path;
+    for (uint32_t v = e.from; v != e.to; v = prev[v]) path.push_back(v);
+    path.push_back(e.to);
+    std::reverse(path.begin(), path.end());
+    g.cycle_witness_ = StrCat(
+        g.positions_[e.from].ToString(), " => ",
+        JoinMapped(path, " -> ",
+                   [&](uint32_t v) { return g.positions_[v].ToString(); }));
+    break;
+  }
+
+  if (g.weakly_acyclic_) {
+    // Per-component rank over the condensation DAG: the maximum number of
+    // special edges on any path into the component. All nodes of one
+    // component share a rank — inside a weakly acyclic component only
+    // regular edges occur. Component ids are a reverse topological order,
+    // so descending order visits sources before their targets.
+    std::vector<std::vector<const Edge*>> in_edges(g.component_count_);
+    for (const Edge& e : g.edges_) {
+      if (g.component_[e.from] != g.component_[e.to]) {
+        in_edges[g.component_[e.to]].push_back(&e);
+      }
+    }
+    std::vector<uint32_t> comp_rank(g.component_count_, 0);
+    for (std::size_t c = g.component_count_; c-- > 0;) {
+      for (const Edge* e : in_edges[c]) {
+        uint32_t via = comp_rank[g.component_[e->from]] + (e->special ? 1 : 0);
+        comp_rank[c] = std::max(comp_rank[c], via);
+      }
+    }
+    g.ranks_.resize(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      g.ranks_[v] = comp_rank[g.component_[v]];
+      g.max_rank_ = std::max(g.max_rank_, g.ranks_[v]);
+    }
+  }
+  return g;
+}
+
+std::optional<uint32_t> PositionGraph::NodeOf(
+    const GraphPosition& position) const {
+  for (std::size_t v = 0; v < positions_.size(); ++v) {
+    if (positions_[v] == position) return static_cast<uint32_t>(v);
+  }
+  return std::nullopt;
+}
+
+uint32_t PositionGraph::RankOf(const GraphPosition& position) const {
+  std::optional<uint32_t> node = NodeOf(position);
+  if (!node.has_value() || ranks_.empty()) return 0;
+  return ranks_[*node];
+}
+
+std::string PositionGraph::ToString() const {
+  std::string out = StrCat("position graph: ", positions_.size(), " node(s), ",
+                           edges_.size(), " edge(s), ", component_count_,
+                           " component(s), ",
+                           weakly_acyclic_ ? "weakly acyclic" : "NOT weakly acyclic",
+                           "\n");
+  for (std::size_t v = 0; v < positions_.size(); ++v) {
+    out += StrCat("  node ", positions_[v].ToString(), " scc=", component_[v],
+                  ranks_.empty() ? std::string()
+                                 : StrCat(" rank=", ranks_[v]),
+                  "\n");
+  }
+  for (const Edge& e : edges_) {
+    out += StrCat("  edge ", positions_[e.from].ToString(),
+                  e.special ? " => " : " -> ", positions_[e.to].ToString(),
+                  " (dep ", e.dependency, ")\n");
+  }
+  if (!cycle_witness_.empty()) {
+    out += StrCat("  cycle: ", cycle_witness_, "\n");
+  }
+  return out;
+}
+
+}  // namespace rdx

@@ -1,0 +1,119 @@
+#ifndef RDX_ANALYSIS_POSITION_GRAPH_H_
+#define RDX_ANALYSIS_POSITION_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/dependency.h"
+
+namespace rdx {
+
+/// Which chase semantics the position graph models (FKMP05 Def. 3.9 and
+/// its oblivious-chase variant). The difference is which universal
+/// variables contribute *special* edges into a disjunct's existential
+/// positions:
+///
+///  * kStandardChase — only universals that occur in that head disjunct.
+///    The standard chase skips already-satisfied triggers, so a
+///    head-absent universal never forces fresh values; this is the
+///    paper's Def. 3.9 graph and accepts strictly more dependency sets.
+///  * kObliviousChase — every body universal. Required for engines that
+///    fire all triggers unconditionally.
+enum class WeakAcyclicityMode {
+  kStandardChase,
+  kObliviousChase,
+};
+
+/// A position (R, i): argument slot `index` (0-based) of relation
+/// `relation`. Rendered 1-based ("R.1") to match the literature.
+struct GraphPosition {
+  Relation relation;
+  uint32_t index;
+
+  friend bool operator==(const GraphPosition&, const GraphPosition&) = default;
+
+  /// "Emp.2" — 1-based, as in FKMP05.
+  std::string ToString() const;
+};
+
+/// The dependency (position) graph of a set of tgds, SCC-condensed.
+///
+/// Nodes are the positions occurring in the dependencies; edges are drawn
+/// per (dependency, disjunct) following FKMP05 Def. 3.9:
+///  * a regular edge from every body position of a universal variable to
+///    every head position of that variable in the disjunct, and
+///  * a special edge from every contributing body position (see
+///    WeakAcyclicityMode) to every existential position of the disjunct.
+///
+/// On top of the raw graph the constructor computes the Tarjan SCC
+/// condensation, the weak-acyclicity verdict (no special edge inside an
+/// SCC), and — when weakly acyclic — the *rank* of every position: the
+/// maximum number of special edges on any path ending at it. Ranks drive
+/// the polynomial chase-size bound (bounds.h): values created at a
+/// rank-r position are polynomial in the input domain with degree
+/// determined by ranks < r.
+class PositionGraph {
+ public:
+  struct Edge {
+    uint32_t from;        // node id
+    uint32_t to;          // node id
+    bool special;
+    uint32_t dependency;  // index into the build input that drew the edge
+  };
+
+  static PositionGraph Build(
+      const std::vector<Dependency>& dependencies,
+      WeakAcyclicityMode mode = WeakAcyclicityMode::kStandardChase);
+
+  /// Nodes, indexed by node id (dense, deterministic order).
+  const std::vector<GraphPosition>& positions() const { return positions_; }
+  std::size_t node_count() const { return positions_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Node id of a position, if it occurs in the graph.
+  std::optional<uint32_t> NodeOf(const GraphPosition& position) const;
+
+  /// SCC condensation. Component ids are a reverse topological order:
+  /// every cross-component edge goes from a higher component id to a
+  /// lower one.
+  uint32_t ComponentOf(uint32_t node) const { return component_[node]; }
+  std::size_t component_count() const { return component_count_; }
+
+  /// Weak acyclicity: no special edge joins two positions of the same
+  /// strongly connected component.
+  bool weakly_acyclic() const { return weakly_acyclic_; }
+
+  /// When not weakly acyclic: a special edge plus the return path that
+  /// closes the cycle, "Emp.1 => Emp.2 -> Emp.1". Empty otherwise.
+  const std::string& cycle_witness() const { return cycle_witness_; }
+
+  /// Per-node rank: the maximum number of special edges on any path of
+  /// the graph ending at the node (FKMP05 Thm. 3.9's stratification).
+  /// Only meaningful when weakly_acyclic(); empty otherwise.
+  const std::vector<uint32_t>& ranks() const { return ranks_; }
+  uint32_t max_rank() const { return max_rank_; }
+
+  /// Rank of a specific position; 0 for positions not in the graph (a
+  /// position no dependency touches keeps its input values, rank 0).
+  uint32_t RankOf(const GraphPosition& position) const;
+
+  /// Human-readable multi-line dump (nodes with ranks, then edges), for
+  /// debugging and the lint CLI's --dump-graph.
+  std::string ToString() const;
+
+ private:
+  std::vector<GraphPosition> positions_;
+  std::vector<Edge> edges_;
+  std::vector<uint32_t> component_;
+  std::size_t component_count_ = 0;
+  bool weakly_acyclic_ = true;
+  std::string cycle_witness_;
+  std::vector<uint32_t> ranks_;
+  uint32_t max_rank_ = 0;
+};
+
+}  // namespace rdx
+
+#endif  // RDX_ANALYSIS_POSITION_GRAPH_H_

@@ -26,7 +26,13 @@ const char* StatusCodeToString(StatusCode code);
 /// Arrow-style status object: either OK, or an error code plus message.
 /// All fallible public APIs in rdx return Status or Result<T>; no
 /// exceptions cross the library boundary.
-class Status {
+///
+/// Both Status and Result<T> are [[nodiscard]]: silently dropping an
+/// error is always a bug here (there is no side channel that would
+/// surface it). status_test.cc asserts the marker below stays in sync
+/// with the attributes.
+#define RDX_STATUS_IS_NODISCARD 1
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -71,7 +77,7 @@ class Status {
 /// Either a value of type T or an error Status. Accessing the value of an
 /// errored Result is a programming error (asserts in debug builds).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so functions can `return value;` and `return status;`.
   Result(T value) : value_(std::move(value)) {}

@@ -212,7 +212,7 @@ Result<ChaseResult> Chase(const Instance& input,
       return Status::InvalidArgument(
           StrCat("Chase does not support disjunctive dependencies (use "
                  "DisjunctiveChase): ",
-                 dep.ToString()));
+                 dep.Describe()));
     }
   }
 
@@ -317,7 +317,8 @@ Result<ChaseResult> Chase(const Instance& input,
             total_added, " facts added by round ", round, " (",
             round_stats.triggers_fired, " of ",
             round_stats.triggers_enumerated,
-            " triggers fired in the current round)"));
+            " triggers fired in the current round; last fired: ",
+            trigger.dep->Describe(), ")"));
       }
     }
 

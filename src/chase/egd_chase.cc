@@ -189,7 +189,7 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
         if (clash.has_value()) {
           result.failed = true;
           result.failure_reason =
-              StrCat("egd equates distinct constants ",
+              StrCat("egd '", egd.ToString(), "' equates distinct constants ",
                      clash->first.ToString(), " and ",
                      clash->second.ToString());
           stats.micros = run_timer.ElapsedMicros();
@@ -212,7 +212,8 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
                      " in round ", round, " (",
                      stats.null_constant_promotions, " null-to-constant "
                      "promotions, ", stats.null_null_merges,
-                     " null-null merges)"));
+                     " null-null merges; last merging egd: '", egd.ToString(),
+                     "')"));
         }
       }
       if (!merged_this_sweep) break;

@@ -1,141 +1,15 @@
 #include "chase/termination.h"
 
-#include <algorithm>
-#include <map>
-#include <set>
-
-#include "base/strings.h"
+#include "analysis/position_graph.h"
 
 namespace rdx {
-namespace {
-
-// A position node (relation, argument index).
-struct Position {
-  uint32_t relation;
-  uint32_t index;
-  auto operator<=>(const Position&) const = default;
-};
-
-struct Edge {
-  Position from;
-  Position to;
-  bool special;
-};
-
-// Renders a position as "RelName.i" (1-based, as in the literature).
-std::string PrettyPosition(const Position& p,
-                           const std::map<uint32_t, std::string>& names) {
-  auto it = names.find(p.relation);
-  return StrCat(it == names.end() ? StrCat("#", p.relation) : it->second,
-                ".", p.index + 1);
-}
-
-}  // namespace
 
 Result<WeakAcyclicityReport> CheckWeakAcyclicity(
     const std::vector<Dependency>& dependencies, WeakAcyclicityMode mode) {
-  std::vector<Edge> edges;
-  std::set<Position> nodes;
-  std::map<uint32_t, std::string> relation_names;
-
-  for (const Dependency& dep : dependencies) {
-    // Universal variable occurrences in relational body atoms.
-    std::map<uint32_t, std::vector<Position>> body_positions;  // by var id
-    for (const Atom& a : dep.RelationalBody()) {
-      relation_names[a.relation().id()] = a.relation().name();
-      for (std::size_t i = 0; i < a.terms().size(); ++i) {
-        const Term& t = a.terms()[i];
-        Position p{a.relation().id(), static_cast<uint32_t>(i)};
-        nodes.insert(p);
-        if (t.IsVariable()) {
-          body_positions[t.variable().id()].push_back(p);
-        }
-      }
-    }
-    for (std::size_t d = 0; d < dep.disjuncts().size(); ++d) {
-      const std::vector<Atom>& head = dep.disjuncts()[d];
-      // Head occurrences split into universal and existential positions.
-      std::map<uint32_t, std::vector<Position>> universal_head;
-      std::vector<Position> existential_positions;
-      for (const Atom& a : head) {
-        relation_names[a.relation().id()] = a.relation().name();
-        for (std::size_t i = 0; i < a.terms().size(); ++i) {
-          const Term& t = a.terms()[i];
-          Position p{a.relation().id(), static_cast<uint32_t>(i)};
-          nodes.insert(p);
-          if (!t.IsVariable()) continue;
-          if (body_positions.count(t.variable().id()) > 0) {
-            universal_head[t.variable().id()].push_back(p);
-          } else {
-            existential_positions.push_back(p);
-          }
-        }
-      }
-      for (const auto& [var_id, head_ps] : universal_head) {
-        for (const Position& from : body_positions[var_id]) {
-          for (const Position& to : head_ps) {
-            edges.push_back(Edge{from, to, /*special=*/false});
-          }
-        }
-      }
-      // Special edges. FKMP05 Def. 3.9 draws them only from universal
-      // variables occurring in THIS head: a standard chase fires no step
-      // for an already-satisfied trigger, so a head-absent universal
-      // never forces fresh values. kObliviousChase keeps the stricter
-      // every-body-universal graph for engines that fire all triggers
-      // unconditionally (see termination.h).
-      if (!existential_positions.empty()) {
-        for (const auto& [var_id, body_ps] : body_positions) {
-          if (mode == WeakAcyclicityMode::kStandardChase &&
-              universal_head.count(var_id) == 0) {
-            continue;
-          }
-          for (const Position& from : body_ps) {
-            for (const Position& to : existential_positions) {
-              edges.push_back(Edge{from, to, /*special=*/true});
-            }
-          }
-        }
-      }
-    }
-  }
-
-  // Weakly acyclic iff no special edge lies on a cycle, i.e. for no
-  // special edge (u ⇒ v) is u reachable from v.
-  std::map<Position, std::vector<Position>> adjacency;
-  for (const Edge& e : edges) {
-    adjacency[e.from].push_back(e.to);
-  }
-  auto reachable = [&](const Position& from, const Position& target) {
-    std::set<Position> seen;
-    std::vector<Position> stack = {from};
-    while (!stack.empty()) {
-      Position p = stack.back();
-      stack.pop_back();
-      if (p == target) return true;
-      if (!seen.insert(p).second) continue;
-      auto it = adjacency.find(p);
-      if (it == adjacency.end()) continue;
-      for (const Position& q : it->second) {
-        stack.push_back(q);
-      }
-    }
-    return false;
-  };
-
+  PositionGraph graph = PositionGraph::Build(dependencies, mode);
   WeakAcyclicityReport report;
-  for (const Edge& e : edges) {
-    if (!e.special) continue;
-    if (reachable(e.to, e.from)) {
-      report.weakly_acyclic = false;
-      report.cycle_witness =
-          StrCat(PrettyPosition(e.from, relation_names), " => ",
-                 PrettyPosition(e.to, relation_names),
-                 " ->* ", PrettyPosition(e.from, relation_names));
-      return report;
-    }
-  }
-  report.weakly_acyclic = true;
+  report.weakly_acyclic = graph.weakly_acyclic();
+  report.cycle_witness = graph.cycle_witness();
   return report;
 }
 

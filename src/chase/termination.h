@@ -4,31 +4,15 @@
 #include <string>
 #include <vector>
 
+#include "analysis/position_graph.h"
 #include "base/status.h"
 #include "core/dependency.h"
 
 namespace rdx {
 
-/// Which dependency (position) graph the weak-acyclicity check builds.
-enum class WeakAcyclicityMode {
-  /// FKMP05 Def. 3.9 ["Data Exchange: Semantics and Query Answering" —
-  /// the paper's reference [8]]: for a tgd disjunct with existentials,
-  /// special edges originate only from universal variables that OCCUR IN
-  /// THAT HEAD. This is the textbook criterion and is sound for the
-  /// standard chase implemented by Chase(): a trigger whose head is
-  /// already satisfied fires no step (the HeadSatisfied gate), which is
-  /// exactly the slack the definition exploits.
-  kStandardChase,
-
-  /// Stricter graph: special edges originate from EVERY universal
-  /// variable of the body, head-occurring or not. This over-approximates
-  /// value flow for the standard chase (it rejects sets Def. 3.9
-  /// accepts, e.g. {A(x) -> EXISTS z: B(z); B(x) -> A(x)}), but is the
-  /// appropriate conservative criterion when analysing an OBLIVIOUS
-  /// chase, which fires every trigger regardless of head satisfaction
-  /// and so can diverge on such sets.
-  kObliviousChase,
-};
+// WeakAcyclicityMode lives in analysis/position_graph.h (the graph is
+// shared with the static analyzer); it is re-exported here so existing
+// callers keep compiling unchanged.
 
 /// Static chase-termination analysis: weak acyclicity.
 ///
@@ -49,6 +33,10 @@ enum class WeakAcyclicityMode {
 /// Cross-schema dependency sets (s-t tgds, reverse tgds) are trivially
 /// weakly acyclic; the analysis matters for same-schema sets, where
 /// Chase() otherwise relies on its round budget.
+///
+/// This is a thin wrapper over PositionGraph (analysis/position_graph.h),
+/// which additionally exposes the SCC condensation and per-position ranks
+/// for the static chase-size bound.
 struct WeakAcyclicityReport {
   bool weakly_acyclic = false;
 

@@ -14,6 +14,11 @@ bool ContainsVar(const std::vector<Variable>& vars, Variable v) {
 
 }  // namespace
 
+std::string SourceLocation::ToString() const {
+  if (!IsKnown()) return "unknown location";
+  return StrCat("line ", line, ", column ", column);
+}
+
 Result<Dependency> Dependency::Make(
     std::vector<Atom> body, std::vector<std::vector<Atom>> disjuncts) {
   // Collect universal variables from relational body atoms.
@@ -175,6 +180,11 @@ std::string Dependency::ToString() const {
     rendered.push_back(head);
   }
   return StrCat(AtomsToString(body_), " -> ", Join(rendered, " | "));
+}
+
+std::string Dependency::Describe() const {
+  if (!location_.IsKnown()) return ToString();
+  return StrCat(ToString(), " (at ", location_.ToString(), ")");
 }
 
 std::string DependenciesToString(const std::vector<Dependency>& deps) {

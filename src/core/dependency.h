@@ -9,6 +9,19 @@
 
 namespace rdx {
 
+/// Where a parsed object came from in its source text. Lines and columns
+/// are 1-based; a zero line means "unknown" (e.g. a programmatically
+/// constructed dependency).
+struct SourceLocation {
+  uint32_t line = 0;
+  uint32_t column = 0;
+
+  bool IsKnown() const { return line > 0; }
+
+  /// "line 3, column 7", or "unknown location".
+  std::string ToString() const;
+};
+
 /// A (disjunctive) tuple-generating dependency:
 ///
 ///   ∀x ( body(x)  →  ⋁_i ∃y_i head_i(x, y_i) )
@@ -83,6 +96,28 @@ class Dependency {
   /// joined with " | ".
   std::string ToString() const;
 
+  /// ToString plus the source location when one is known — the form error
+  /// messages should cite: "P(x) -> Q(x) (at line 3, column 1)".
+  std::string Describe() const;
+
+  /// Source position of the dependency in the text it was parsed from.
+  /// Defaults to unknown; ignored by operator== (two dependencies parsed
+  /// from different lines still compare equal).
+  const SourceLocation& location() const { return location_; }
+  void set_location(const SourceLocation& location) { location_ = location; }
+
+  /// Variables the source text declared with EXISTS, in declaration
+  /// order. Unlike ExistentialVars (which derives existentials as
+  /// head-vars-not-in-body), this preserves what the author *wrote*, so
+  /// lints can flag declarations shadowed by a body occurrence. Empty for
+  /// programmatically built dependencies. Ignored by operator==.
+  const std::vector<Variable>& declared_existentials() const {
+    return declared_existentials_;
+  }
+  void set_declared_existentials(std::vector<Variable> vars) {
+    declared_existentials_ = std::move(vars);
+  }
+
   friend bool operator==(const Dependency& a, const Dependency& b) {
     return a.body_ == b.body_ && a.disjuncts_ == b.disjuncts_;
   }
@@ -97,6 +132,8 @@ class Dependency {
   std::vector<Atom> body_;
   std::vector<std::vector<Atom>> disjuncts_;
   std::vector<Variable> universal_vars_;
+  SourceLocation location_;
+  std::vector<Variable> declared_existentials_;
 };
 
 /// Renders a set of dependencies, one per line.

@@ -1,5 +1,6 @@
 #include "core/dependency_parser.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -26,7 +27,7 @@ class Parser {
     SkipSpace();
     if (!AtEnd()) {
       return Status::InvalidArgument(
-          StrCat("trailing input at offset ", pos_, " in dependency text"));
+          StrCat("trailing input at ", Where(pos_), " in dependency text"));
     }
     return dep;
   }
@@ -41,7 +42,7 @@ class Parser {
       if (!AtEnd()) {
         if (Peek() != ';') {
           return Status::InvalidArgument(
-              StrCat("expected ';' between dependencies at offset ", pos_));
+              StrCat("expected ';' between dependencies at ", Where(pos_)));
         }
         ++pos_;
         SkipSpace();
@@ -57,6 +58,23 @@ class Parser {
   bool AtEnd() const { return pos_ >= text_.size(); }
   char Peek() const { return text_[pos_]; }
   bool PeekIs(char c) const { return !AtEnd() && Peek() == c; }
+
+  // 1-based line/column of a text offset, for error messages and the
+  // SourceLocation recorded on each parsed dependency.
+  SourceLocation LocationAt(std::size_t pos) const {
+    SourceLocation loc{1, 1};
+    for (std::size_t i = 0; i < pos && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++loc.line;
+        loc.column = 1;
+      } else {
+        ++loc.column;
+      }
+    }
+    return loc;
+  }
+
+  std::string Where(std::size_t pos) const { return LocationAt(pos).ToString(); }
 
   void SkipSpace() {
     while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
@@ -75,7 +93,7 @@ class Parser {
     SkipSpace();
     if (AtEnd() || Peek() != c) {
       return Status::InvalidArgument(
-          StrCat("expected '", c, "' at offset ", pos_, " in dependency text"));
+          StrCat("expected '", c, "' at ", Where(pos_), " in dependency text"));
     }
     ++pos_;
     return Status::OK();
@@ -94,7 +112,7 @@ class Parser {
     }
     if (pos_ == start) {
       return Status::InvalidArgument(
-          StrCat("expected identifier at offset ", start,
+          StrCat("expected identifier at ", Where(start),
                  " in dependency text"));
     }
     return std::string(text_.substr(start, pos_ - start));
@@ -108,7 +126,7 @@ class Parser {
       while (!AtEnd() && Peek() != '\'') ++pos_;
       if (AtEnd()) {
         return Status::InvalidArgument(
-            StrCat("unterminated quoted constant at offset ", start));
+            StrCat("unterminated quoted constant at ", Where(start)));
       }
       std::string name(text_.substr(start, pos_ - start));
       ++pos_;  // closing quote
@@ -143,7 +161,7 @@ class Parser {
       RDX_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
       if (!ConsumeToken("!=")) {
         return Status::InvalidArgument(
-            StrCat("expected '!=' after constant at offset ", pos_));
+            StrCat("expected '!=' after constant at ", Where(pos_)));
       }
       RDX_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
       return Atom::Inequality(lhs, rhs);
@@ -158,7 +176,7 @@ class Parser {
                                   : Term::Var(ident);
     if (!ConsumeToken("!=")) {
       return Status::InvalidArgument(
-          StrCat("expected '(' or '!=' after '", ident, "' at offset ", pos_));
+          StrCat("expected '(' or '!=' after '", ident, "' at ", Where(pos_)));
     }
     RDX_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
     return Atom::Inequality(lhs, rhs);
@@ -205,19 +223,23 @@ class Parser {
 
   Result<std::vector<Atom>> ParseDisjunct() {
     // Optional EXISTS prefix (the variable list is redundant — existential
-    // variables are implicit — but accepted for readability).
+    // variables are implicit — but accepted for readability). The declared
+    // names are recorded on the dependency so lints can cross-check them
+    // against the body (RDX002).
     std::size_t save = pos_;
     if (ConsumeToken("EXISTS") || ConsumeToken("exists")) {
       SkipSpace();
       // Require a variable list followed by ':'; otherwise treat EXISTS as
       // an identifier (unlikely) and rewind.
       bool ok = true;
+      std::vector<std::string> names;
       while (true) {
         Result<std::string> var = ParseIdentifier();
         if (!var.ok()) {
           ok = false;
           break;
         }
+        names.push_back(*std::move(var));
         SkipSpace();
         if (PeekIs(',')) {
           ++pos_;
@@ -228,6 +250,14 @@ class Parser {
       SkipSpace();
       if (ok && PeekIs(':')) {
         ++pos_;
+        for (const std::string& name : names) {
+          Variable v = Variable::Intern(name);
+          if (std::find(declared_existentials_.begin(),
+                        declared_existentials_.end(),
+                        v) == declared_existentials_.end()) {
+            declared_existentials_.push_back(v);
+          }
+        }
       } else {
         pos_ = save;
       }
@@ -242,6 +272,9 @@ class Parser {
   }
 
   Result<Dependency> ParseDependencyBody() {
+    SkipSpace();
+    SourceLocation start = LocationAt(pos_);
+    declared_existentials_.clear();
     std::vector<Atom> body;
     while (true) {
       RDX_ASSIGN_OR_RETURN(Atom a, ParseBodyAtom());
@@ -251,7 +284,7 @@ class Parser {
     SkipSpace();
     if (!ConsumeToken("->")) {
       return Status::InvalidArgument(
-          StrCat("expected '->' at offset ", pos_, " in dependency text"));
+          StrCat("expected '->' at ", Where(pos_), " in dependency text"));
     }
     std::vector<std::vector<Atom>> disjuncts;
     while (true) {
@@ -264,11 +297,18 @@ class Parser {
       }
       break;
     }
-    return Dependency::Make(std::move(body), std::move(disjuncts));
+    RDX_ASSIGN_OR_RETURN(
+        Dependency dep, Dependency::Make(std::move(body), std::move(disjuncts)));
+    dep.set_location(start);
+    dep.set_declared_existentials(std::move(declared_existentials_));
+    return dep;
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  // Declared EXISTS variables of the dependency currently being parsed,
+  // across all of its disjuncts.
+  std::vector<Variable> declared_existentials_;
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/analyze.h"
 #include "base/strings.h"
 #include "chase/egd_chase.h"
 #include "chase/termination.h"
@@ -29,6 +30,7 @@ class Battery {
   void Run() {
     RunTermination();
     bool chase_ok = RunChaseFamily();
+    RunAnalysis(chase_ok);
     RunEgdFamily(chase_ok);
     if (chase_ok) {
       RunCoreFamily();
@@ -168,6 +170,39 @@ class Battery {
            "chase fixpoint does not satisfy its own dependencies");
     }
     return true;
+  }
+
+  // Runs the static analyzer as a crash/Status oracle over every scenario
+  // and, on weakly acyclic ones where the chase completed, checks the
+  // static chase-size bound against the actual fixpoint.
+  void RunAnalysis(bool chase_ok) {
+    if (s_.tgds.empty()) return;
+    AnalysisInput input;
+    input.dependencies = s_.tgds;
+    if (s_.HasMappingShape()) {
+      input.source = s_.source;
+      input.target = s_.target;
+    }
+    AnalysisReport analysis;
+    if (!Take(AnalyzeDependencies(input), "analysis", &analysis)) return;
+    Ran("analysis.report");
+    if (wa_verdict_.has_value() && analysis.weakly_acyclic != *wa_verdict_) {
+      Fail("analysis.report",
+           StrCat("analyzer weak-acyclicity verdict ",
+                  analysis.weakly_acyclic ? "true" : "false",
+                  " contradicts CheckWeakAcyclicity (",
+                  *wa_verdict_ ? "true" : "false", ")"));
+    }
+
+    if (!chase_ok || !analysis.weakly_acyclic) return;
+    Ran("analysis.bound");
+    const uint64_t bound = analysis.bound.FactBound(s_.instance);
+    if (chased_.combined.size() > bound) {
+      Fail("analysis.bound",
+           StrCat("chase produced ", chased_.combined.size(),
+                  " facts, above the static bound of ", bound, " (",
+                  analysis.bound.ToString(), ")"));
+    }
   }
 
   void RunEgdFamily(bool chase_ok) {
@@ -421,6 +456,12 @@ const std::vector<OracleInfo>& OracleCatalog() {
        "CheckWeakAcyclicity matches the scenario's expected verdict"},
       {"wa.sufficiency",
        "a certified weakly acyclic set never exhausts the chase round budget"},
+      {"analysis.report",
+       "the static analyzer runs without error and agrees with "
+       "CheckWeakAcyclicity"},
+      {"analysis.bound",
+       "on weakly acyclic scenarios the chase fixpoint never exceeds the "
+       "static chase-size bound"},
       {"chase.semi_naive",
        "semi-naive and naive chase agree up to null renaming"},
       {"chase.threads",

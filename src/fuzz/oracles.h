@@ -90,6 +90,10 @@ const std::vector<OracleInfo>& OracleCatalog();
 ///    the `added` view never contains rewritten input facts, the
 ///    quasi-inverse of a full-tgd mapping passes the extended-recovery
 ///    check, weak acyclicity implies chase termination;
+///  * static-analysis oracles — the rdx::analysis pass runs without error
+///    on every scenario, agrees with CheckWeakAcyclicity, and on weakly
+///    acyclic scenarios the chase fixpoint never exceeds the static
+///    chase-size bound;
 ///  * crash/Status oracles — every engine error other than
 ///    ResourceExhausted is a failure.
 ///

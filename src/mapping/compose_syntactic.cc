@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lints.h"
 #include "base/strings.h"
 
 namespace rdx {
@@ -101,13 +102,17 @@ Result<SchemaMapping> ComposeFullWithTgds(const SchemaMapping& m12,
                                           const SchemaMapping& m23) {
   if (!m12.IsFullTgdMapping()) {
     return Status::FailedPrecondition(
-        "ComposeFullWithTgds requires M12 to be specified by full s-t tgds "
-        "(beyond that, composition needs second-order tgds)");
+        StrCat("ComposeFullWithTgds requires M12 to be specified by full "
+               "s-t tgds (beyond that, composition needs second-order "
+               "tgds); rdx_lint reports the offending dependencies as ",
+               LintCodeId(LintCode::kNotFullTgd), "/",
+               LintCodeId(LintCode::kNotPlainTgd)));
   }
   if (!m23.IsTgdMapping()) {
     return Status::Unimplemented(
-        "ComposeFullWithTgds requires M23 to be specified by plain s-t "
-        "tgds (no disjunction, inequalities, or Constant)");
+        StrCat("ComposeFullWithTgds requires M23 to be specified by plain "
+               "s-t tgds (no disjunction, inequalities, or Constant; lint ",
+               LintCodeId(LintCode::kNotPlainTgd), ")"));
   }
   for (Relation r : m23.source().relations()) {
     if (!m12.target().Contains(r)) {

@@ -109,10 +109,12 @@ Result<SchemaMapping> ParseMappingText(std::string_view raw_text) {
       }
       RDX_ASSIGN_OR_RETURN(Schema s, ParseSchemaLine(trimmed.substr(7)));
       target = std::move(s);
-    } else if (!trimmed.empty()) {
-      dependency_text.append(trimmed);
-      dependency_text.push_back('\n');
+    } else {
+      // Keep the raw line (schema lines become blank ones) so dependency
+      // source locations match the original text, line for line.
+      dependency_text.append(line);
     }
+    dependency_text.push_back('\n');
     if (eol == std::string::npos) break;
     pos = eol + 1;
   }
@@ -121,13 +123,22 @@ Result<SchemaMapping> ParseMappingText(std::string_view raw_text) {
     return Status::InvalidArgument(
         "mapping text must declare 'source:' and 'target:' schemas");
   }
-  std::string_view deps = Trim(dependency_text);
-  if (deps.empty()) {
+  if (Trim(dependency_text).empty()) {
     return SchemaMapping::Make(*std::move(source), *std::move(target), {});
   }
-  // Tolerate a trailing ';'.
+  // Tolerate trailing ';'s. Only the tail is trimmed — leading blank
+  // lines stay so parsed source locations remain accurate.
+  std::string_view deps = dependency_text;
+  auto rtrim = [&deps] {
+    while (!deps.empty() &&
+           std::isspace(static_cast<unsigned char>(deps.back()))) {
+      deps.remove_suffix(1);
+    }
+  };
+  rtrim();
   while (!deps.empty() && deps.back() == ';') {
-    deps = Trim(deps.substr(0, deps.size() - 1));
+    deps.remove_suffix(1);
+    rtrim();
   }
   return SchemaMapping::Parse(*std::move(source), *std::move(target), deps);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/lints.h"
 #include "base/metrics.h"
 #include "base/strings.h"
 #include "base/trace.h"
@@ -72,8 +73,11 @@ std::vector<Variable> BlockVars(const std::vector<uint32_t>& partition) {
 Result<SchemaMapping> QuasiInverse(const SchemaMapping& mapping) {
   if (!mapping.IsFullTgdMapping()) {
     return Status::FailedPrecondition(
-        "QuasiInverse requires a mapping specified by full s-t tgds "
-        "(Theorem 5.1)");
+        StrCat("QuasiInverse requires a mapping specified by full s-t tgds "
+               "(Theorem 5.1); rdx_lint reports the offending dependencies "
+               "as ",
+               LintCodeId(LintCode::kNotFullTgd), "/",
+               LintCodeId(LintCode::kNotPlainTgd)));
   }
   static obs::Counter& runs = obs::Counter::Get("quasi_inverse.runs");
   static obs::Counter& us = obs::Counter::Get("quasi_inverse.us");
@@ -87,8 +91,9 @@ Result<SchemaMapping> QuasiInverse(const SchemaMapping& mapping) {
       for (const Term& t : head.terms()) {
         if (t.IsConstant()) {
           return Status::Unimplemented(
-              StrCat("head atom with constant term not supported: ",
-                     head.ToString()));
+              StrCat("head atom with constant term not supported (lint ",
+                     LintCodeId(LintCode::kConstantInHead),
+                     "): ", head.ToString()));
         }
       }
       normalized.push_back(SingleHeadTgd{dep.body(), head});

@@ -10,10 +10,10 @@
 namespace rdx {
 
 std::string InvertibilityReport::ToString() const {
-  std::string out =
-      StrCat("universe: ", universe_size, " instances (", universe_constants,
-             " constants, ", universe_nulls, " nulls, <=", universe_max_facts,
-             " facts)\n");
+  std::string out = statics.ToString();
+  out += StrCat("universe: ", universe_size, " instances (",
+                universe_constants, " constants, ", universe_nulls,
+                " nulls, <=", universe_max_facts, " facts)\n");
   if (extended_invertible) {
     out += "extended invertible on this universe (Theorem 3.13)\n";
   } else {
@@ -48,15 +48,23 @@ Result<InvertibilityReport> AnalyzeMapping(const SchemaMapping& mapping,
                                            const AnalyzeOptions& options) {
   if (!mapping.IsTgdMapping() && !mapping.UsesConstantPredicate()) {
     return Status::FailedPrecondition(
-        "AnalyzeMapping requires a (possibly Constant-guarded) tgd mapping");
+        StrCat("AnalyzeMapping requires a (possibly Constant-guarded) tgd "
+               "mapping (lint ",
+               LintCodeId(LintCode::kNotPlainTgd), ")"));
   }
   if (mapping.UsesDisjunction() || mapping.UsesInequalities()) {
     return Status::FailedPrecondition(
-        "AnalyzeMapping requires a forward mapping without disjunction or "
-        "inequalities");
+        StrCat("AnalyzeMapping requires a forward mapping without "
+               "disjunction or inequalities (lint ",
+               LintCodeId(LintCode::kNotPlainTgd), ")"));
   }
 
   InvertibilityReport report;
+  AnalysisInput static_input;
+  static_input.dependencies = mapping.dependencies();
+  static_input.source = mapping.source();
+  static_input.target = mapping.target();
+  RDX_ASSIGN_OR_RETURN(report.statics, AnalyzeDependencies(static_input));
   report.universe_constants = options.universe_constants;
   report.universe_nulls = options.universe_nulls;
   report.universe_max_facts = options.universe_max_facts;

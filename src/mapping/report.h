@@ -4,6 +4,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/analyze.h"
 #include "base/status.h"
 #include "mapping/information_loss.h"
 #include "mapping/inverse_checks.h"
@@ -19,6 +20,12 @@ namespace rdx {
 ///      maximum-extended-recovery synthesis (Theorem 5.1) with
 ///      universal-faithfulness verification (Theorem 6.2).
 struct InvertibilityReport {
+  /// Static analysis of the forward dependencies (rdx::analysis): lint
+  /// diagnostics, weak-acyclicity verdict, and chase-size bound. Computed
+  /// before any chase runs, so its verdicts hold even when the dynamic
+  /// ladder below is cut short by budgets.
+  AnalysisReport statics;
+
   /// Parameters of the universe the analysis ran on.
   std::size_t universe_size = 0;
   std::size_t universe_constants = 0;

@@ -1,0 +1,383 @@
+#include "analysis/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "generator/scenarios.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace {
+
+using testing_util::D;
+using testing_util::I;
+
+std::vector<Dependency> Deps(const std::vector<const char*>& texts) {
+  std::vector<Dependency> out;
+  out.reserve(texts.size());
+  for (const char* t : texts) out.push_back(D(t));
+  return out;
+}
+
+std::vector<LintDiagnostic> Lint(const std::vector<const char*>& texts,
+                                 const LintOptions& options = {}) {
+  Result<std::vector<LintDiagnostic>> diags =
+      LintDependencies(Deps(texts), options);
+  EXPECT_TRUE(diags.ok()) << diags.status().ToString();
+  return diags.ok() ? *std::move(diags) : std::vector<LintDiagnostic>{};
+}
+
+bool Fired(const std::vector<LintDiagnostic>& diags, LintCode code) {
+  for (const LintDiagnostic& d : diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// --- position graph ------------------------------------------------------
+
+TEST(PositionGraphTest, RanksFollowSpecialEdges) {
+  PositionGraph graph =
+      PositionGraph::Build({D("AnG_E(x, y) -> EXISTS z: AnG_F(y, z)")});
+  ASSERT_TRUE(graph.weakly_acyclic());
+  Relation e = Relation::MustIntern("AnG_E", 2);
+  Relation f = Relation::MustIntern("AnG_F", 2);
+  EXPECT_EQ(graph.node_count(), 4u);
+  EXPECT_EQ(graph.RankOf(GraphPosition{e, 0}), 0u);
+  EXPECT_EQ(graph.RankOf(GraphPosition{e, 1}), 0u);
+  EXPECT_EQ(graph.RankOf(GraphPosition{f, 0}), 0u);  // copied from E.2
+  EXPECT_EQ(graph.RankOf(GraphPosition{f, 1}), 1u);  // existential target
+  EXPECT_EQ(graph.max_rank(), 1u);
+  // Unknown positions rank 0 by convention.
+  EXPECT_EQ(graph.RankOf(GraphPosition{Relation::MustIntern("AnG_Z", 1), 0}),
+            0u);
+}
+
+TEST(PositionGraphTest, RanksChainAcrossDependencies) {
+  // B.1 is fed by an existential of rank 1, whose value feeds C's
+  // existential: rank 2.
+  PositionGraph graph =
+      PositionGraph::Build({D("AnG_A(x) -> EXISTS z: AnG_B(x, z)"),
+                            D("AnG_B(x, z) -> EXISTS w: AnG_C(z, w)")});
+  ASSERT_TRUE(graph.weakly_acyclic());
+  Relation c = Relation::MustIntern("AnG_C", 2);
+  EXPECT_EQ(graph.RankOf(GraphPosition{c, 0}), 1u);
+  EXPECT_EQ(graph.RankOf(GraphPosition{c, 1}), 2u);
+  EXPECT_EQ(graph.max_rank(), 2u);
+}
+
+TEST(PositionGraphTest, CycleWitnessNamesThePositions) {
+  PositionGraph graph =
+      PositionGraph::Build({D("AnG_E(x, y) -> EXISTS z: AnG_E(y, z)")});
+  EXPECT_FALSE(graph.weakly_acyclic());
+  EXPECT_NE(graph.cycle_witness().find("AnG_E.2"), std::string::npos)
+      << graph.cycle_witness();
+}
+
+TEST(PositionGraphTest, ComponentsCondenseRegularCycles) {
+  // Transitive closure: all three E positions interact through regular
+  // edges only; E.1 and E.2 stay distinct SCCs from each other only if
+  // no edge cycle connects them — here x flows E.1->E.1 and z E.2->E.2,
+  // with E.2 -> E.1 via y... build and just assert global invariants.
+  PositionGraph graph =
+      PositionGraph::Build({D("AnG_E(x, y) & AnG_E(y, z) -> AnG_E(x, z)")});
+  EXPECT_TRUE(graph.weakly_acyclic());
+  EXPECT_EQ(graph.max_rank(), 0u);
+  EXPECT_LE(graph.component_count(), graph.node_count());
+}
+
+// --- chase-size bound ----------------------------------------------------
+
+TEST(ChaseSizeBoundTest, FullTgdBoundIsInputPolynomial) {
+  ChaseSizeBound bound =
+      ComputeChaseSizeBound({D("AnB_P(x, y) -> AnB_Q(y, x)")});
+  ASSERT_TRUE(bound.weakly_acyclic);
+  EXPECT_EQ(bound.max_rank, 0u);
+  EXPECT_EQ(bound.polynomial_degree, 2u);  // Q has two rank-0 positions
+  // I = {P(a,b)}: values n=2, Q bound 2^2=4, facts <= 1 + 4.
+  Instance input = I("AnB_P(a, b)");
+  EXPECT_EQ(bound.ValueBound(input), 2u);
+  EXPECT_EQ(bound.FactBound(input), 5u);
+}
+
+TEST(ChaseSizeBoundTest, ExistentialRaisesValueAndFactBounds) {
+  ChaseSizeBound bound =
+      ComputeChaseSizeBound({D("AnB_E(x, y) -> EXISTS z: AnB_F(y, z)")});
+  ASSERT_TRUE(bound.weakly_acyclic);
+  EXPECT_EQ(bound.max_rank, 1u);
+  ASSERT_EQ(bound.disjuncts.size(), 1u);
+  EXPECT_EQ(bound.disjuncts[0].existentials, 1u);
+  EXPECT_EQ(bound.disjuncts[0].trigger_width, 1u);  // only y is in the head
+  // I = {E(a,b)}: N_0 = 2, N_1 = 2 + 1*2^1 = 4; F bound = N_0 * N_1 = 8.
+  Instance input = I("AnB_E(a, b)");
+  EXPECT_EQ(bound.ValueBound(input), 4u);
+  EXPECT_EQ(bound.FactBound(input), 1u + 8u);
+}
+
+TEST(ChaseSizeBoundTest, NonWeaklyAcyclicHasNoBound) {
+  ChaseSizeBound bound =
+      ComputeChaseSizeBound({D("AnB_E(x, y) -> EXISTS z: AnB_E(y, z)")});
+  EXPECT_FALSE(bound.weakly_acyclic);
+  Instance input = I("AnB_E(a, b)");
+  EXPECT_EQ(bound.ValueBound(input), ChaseSizeBound::kUnbounded);
+  EXPECT_EQ(bound.FactBound(input), ChaseSizeBound::kUnbounded);
+  EXPECT_NE(bound.ToString().find("no static chase bound"),
+            std::string::npos);
+}
+
+TEST(ChaseSizeBoundTest, DependencyConstantsEnterTheValuePool) {
+  ChaseSizeBound bound =
+      ComputeChaseSizeBound({D("AnB_P(x, y) -> AnB_Q(x, 'pin')")});
+  ASSERT_TRUE(bound.weakly_acyclic);
+  EXPECT_EQ(bound.dependency_constants, 1u);
+  // I = {P(a,b)}: n = 2 + 1 constant = 3.
+  EXPECT_EQ(bound.ValueBound(I("AnB_P(a, b)")), 3u);
+}
+
+TEST(ChaseSizeBoundTest, HeadlessUniversalDisjunctFiresOnce) {
+  // A(x) -> ∃z B(z) has trigger width 0: it fires at most once ever, so
+  // its existential folds into the base pool instead of the recurrence.
+  ChaseSizeBound bound =
+      ComputeChaseSizeBound({D("AnB_A(x) -> EXISTS z: AnB_B(z)")});
+  ASSERT_TRUE(bound.weakly_acyclic);
+  EXPECT_TRUE(bound.disjuncts.empty());
+  EXPECT_EQ(bound.once_existentials, 1u);
+  // I = {A(a)}: one input value + one once-fired null.
+  EXPECT_EQ(bound.ValueBound(I("AnB_A(a)")), 2u);
+}
+
+// --- lint codes, firing and clean, table-driven --------------------------
+
+struct CodeCase {
+  const char* id;
+  LintCode code;
+  std::vector<const char*> firing;
+  std::vector<const char*> clean;
+};
+
+const CodeCase kCodeCases[] = {
+    {"RDX001", LintCode::kNotWeaklyAcyclic,
+     {"AnT_E(x, y) -> EXISTS z: AnT_E(y, z)"},
+     {"AnT_E(x, y) & AnT_E(y, z) -> AnT_E(x, z)"}},
+    {"RDX002", LintCode::kDeclaredExistentialInBody,
+     {"AnT_P(x, y) -> EXISTS y: AnT_Q(x, y)"},
+     {"AnT_P(x, y) -> EXISTS z: AnT_Q(x, z)"}},
+    {"RDX003", LintCode::kDisconnectedBodyAtoms,
+     {"AnT_P(x, y) & AnT_G(u) -> AnT_Q(x, y)"},
+     {"AnT_P(x, y) & AnT_G(x) -> AnT_Q(x, y)"}},
+    {"RDX004", LintCode::kSubsumedBodyAtom,
+     {"AnT_P(x, y) & AnT_P(x, x) -> AnT_Q(x, x)"},
+     {"AnT_P(x, y) & AnT_P(y, x) -> AnT_Q(x, x)"}},
+    {"RDX005", LintCode::kRedundantDependency,
+     {"AnT_A(x, y) -> AnT_B(x, y)",
+      "AnT_A(x, y) -> EXISTS z: AnT_B(x, z)"},
+     {"AnT_A(x, y) -> AnT_B(x, y)", "AnT_A(x, y) -> AnT_C(x)"}},
+    {"RDX101", LintCode::kNotFullTgd,
+     {"AnT_P(x, y) -> EXISTS z: AnT_Q(x, z)"},
+     {"AnT_P(x, y) -> AnT_Q(x, y)"}},
+    {"RDX102", LintCode::kNotPlainTgd,
+     {"AnT_P(x, y) & x != y -> AnT_Q(x, y)"},
+     {"AnT_P(x, y) -> AnT_Q(x, y)"}},
+    {"RDX103", LintCode::kConstantInHead,
+     {"AnT_P(x, y) -> AnT_Q(x, 'pin')"},
+     {"AnT_P(x, y) -> AnT_Q(x, y)"}},
+};
+
+TEST(LintTest, EveryCodeFiresAndStaysQuiet) {
+  for (const CodeCase& c : kCodeCases) {
+    SCOPED_TRACE(c.id);
+    EXPECT_STREQ(LintCodeId(c.code), c.id);
+    std::vector<LintDiagnostic> firing = Lint(c.firing);
+    EXPECT_TRUE(Fired(firing, c.code)) << "expected " << c.id << " to fire";
+    for (const LintDiagnostic& d : firing) {
+      if (d.code == c.code) {
+        EXPECT_EQ(d.severity, GetLintInfo(c.code).severity);
+        EXPECT_FALSE(d.message.empty());
+      }
+    }
+    EXPECT_FALSE(Fired(Lint(c.clean), c.code))
+        << c.id << " fired on its clean case";
+  }
+}
+
+TEST(LintTest, SchemaMisclassificationDirections) {
+  Schema source, target;
+  RDX_EXPECT_OK(source.AddRelation(Relation::MustIntern("AnT_S", 1)));
+  RDX_EXPECT_OK(target.AddRelation(Relation::MustIntern("AnT_T", 1)));
+  LintOptions options;
+  options.source = source;
+  options.target = target;
+
+  EXPECT_FALSE(Fired(Lint({"AnT_S(x) -> AnT_T(x)"}, options),
+                     LintCode::kSchemaMisclassification));
+  std::vector<LintDiagnostic> reversed =
+      Lint({"AnT_T(x) -> AnT_S(x)"}, options);
+  ASSERT_TRUE(Fired(reversed, LintCode::kSchemaMisclassification));
+  for (const LintDiagnostic& d : reversed) {
+    if (d.code == LintCode::kSchemaMisclassification) {
+      EXPECT_NE(d.message.find("reversed"), std::string::npos) << d.message;
+    }
+  }
+  std::vector<LintDiagnostic> same = Lint({"AnT_S(x) -> AnT_S(x)"}, options);
+  ASSERT_TRUE(Fired(same, LintCode::kSchemaMisclassification));
+
+  // No declared schemas: the check is skipped entirely.
+  EXPECT_FALSE(Fired(Lint({"AnT_T(x) -> AnT_S(x)"}),
+                     LintCode::kSchemaMisclassification));
+}
+
+TEST(LintTest, FullyGuardingBodyIsNotDisconnected) {
+  // A(x) -> ∃z B(z): the body exports nothing, which is a deliberate
+  // pattern (the paper's own wa_headless example) — not a lint.
+  EXPECT_FALSE(Fired(Lint({"AnT_A(x, y) -> EXISTS z: AnT_C(z)"}),
+                     LintCode::kDisconnectedBodyAtoms));
+}
+
+TEST(LintTest, BuiltinsJoinBodyComponents) {
+  // The inequality links u to x, so G(u) is connected to the exporting
+  // component and must not be flagged.
+  EXPECT_FALSE(Fired(Lint({"AnT_P(x, y) & AnT_G(u) & u != x -> AnT_Q(x, y)"}),
+                     LintCode::kDisconnectedBodyAtoms));
+}
+
+TEST(LintTest, DuplicateBodyAtomReportedOnce) {
+  std::vector<LintDiagnostic> diags =
+      Lint({"AnT_P(x, y) & AnT_G(x) & AnT_G(x) -> AnT_Q(x, y)"});
+  int count = 0;
+  for (const LintDiagnostic& d : diags) {
+    if (d.code == LintCode::kSubsumedBodyAtom) {
+      ++count;
+      EXPECT_NE(d.message.find("duplicates"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(LintTest, InequalityGuardedOtherDoesNotImplyRedundancy) {
+  // τ: P(u,v) & u != v -> Q(u,u) must NOT count as implying σ: P(x,y) ->
+  // Q(x,x): on P(a,a), σ fires but τ does not. The frozen-body test
+  // would wrongly conclude implication if inequality-guarded
+  // dependencies were admitted as premises (two fresh frozen nulls
+  // always differ). The converse IS fine: σ implies the strictly less
+  // general τ, so RDX005 may fire on τ (index 1) but never on σ.
+  std::vector<LintDiagnostic> diags =
+      Lint({"AnT_P(x, y) -> AnT_Q(x, x)",
+            "AnT_P(u, v) & u != v -> AnT_Q(u, u)"});
+  for (const LintDiagnostic& d : diags) {
+    if (d.code == LintCode::kRedundantDependency) {
+      EXPECT_EQ(d.dependency, 1u) << d.ToString();
+    }
+  }
+}
+
+TEST(LintTest, ExactDuplicateDependencyIsRedundant) {
+  std::vector<LintDiagnostic> diags = Lint(
+      {"AnT_A(x, y) -> AnT_B(x, y)", "AnT_A(u, v) -> AnT_B(u, v)"});
+  // Both copies imply each other; at least one is flagged.
+  EXPECT_TRUE(Fired(diags, LintCode::kRedundantDependency));
+}
+
+TEST(LintTest, DiagnosticsCarrySourceLocations) {
+  RDX_ASSERT_OK_AND_ASSIGN(
+      std::vector<Dependency> deps,
+      ParseDependencies("AnT_P(x, y) -> AnT_Q(x, y);\n"
+                        "AnT_P(x, y) -> EXISTS z: AnT_Q(x, z)"));
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_EQ(deps[0].location().line, 1u);
+  EXPECT_EQ(deps[1].location().line, 2u);
+  RDX_ASSERT_OK_AND_ASSIGN(std::vector<LintDiagnostic> diags,
+                           LintDependencies(deps));
+  bool saw_line2 = false;
+  for (const LintDiagnostic& d : diags) {
+    if (d.code == LintCode::kRedundantDependency) {
+      EXPECT_EQ(d.dependency, 1u);
+      EXPECT_NE(d.ToString().find("at line 2"), std::string::npos)
+          << d.ToString();
+      saw_line2 = true;
+    }
+  }
+  EXPECT_TRUE(saw_line2);
+}
+
+// --- the analysis driver -------------------------------------------------
+
+TEST(AnalyzeTest, ReportTalliesSeverities) {
+  AnalysisInput input;
+  input.dependencies = Deps({"AnT_E(x, y) -> EXISTS z: AnT_E(y, z)"});
+  RDX_ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                           AnalyzeDependencies(input));
+  EXPECT_EQ(report.dependency_count, 1u);
+  EXPECT_FALSE(report.weakly_acyclic);
+  EXPECT_FALSE(report.cycle_witness.empty());
+  EXPECT_EQ(report.errors, 1u);    // RDX001
+  EXPECT_EQ(report.notes, 1u);     // RDX101
+  EXPECT_FALSE(report.clean());
+  EXPECT_NE(report.ToString().find("RDX001"), std::string::npos);
+}
+
+TEST(AnalyzeTest, CleanMappingReportsClean) {
+  AnalysisInput input;
+  input.dependencies = Deps({"AnT_P(x, y) -> AnT_Q(x, y)"});
+  RDX_ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                           AnalyzeDependencies(input));
+  EXPECT_TRUE(report.weakly_acyclic);
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.diagnostics.size(), 0u);
+}
+
+TEST(AnalyzeTest, NotesCanBeSuppressed) {
+  AnalysisInput input;
+  input.dependencies = Deps({"AnT_P(x, y) -> EXISTS z: AnT_Q(x, z)"});
+  AnalysisOptions options;
+  options.include_notes = false;
+  RDX_ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                           AnalyzeDependencies(input, options));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.notes, 0u);
+}
+
+TEST(AnalyzeTest, JsonLinesAreWellFormed) {
+  AnalysisInput input;
+  input.dependencies = Deps({"AnT_E(x, y) -> EXISTS z: AnT_E(y, z)"});
+  RDX_ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                           AnalyzeDependencies(input));
+  std::istringstream lines(report.ToJsonLines());
+  std::string line;
+  std::size_t count = 0;
+  bool saw_summary = false;
+  while (std::getline(lines, line)) {
+    RDX_EXPECT_OK(obs::ValidateJsonLine(line));
+    if (line.find("\"ev\":\"analysis.summary\"") != std::string::npos) {
+      saw_summary = true;
+    }
+    ++count;
+  }
+  EXPECT_TRUE(saw_summary);
+  EXPECT_EQ(count, 1u + report.diagnostics.size());
+}
+
+// --- the paper's own mappings must be lint-clean -------------------------
+
+TEST(AnalyzeTest, PaperScenariosAreLintClean) {
+  for (const scenarios::Scenario& s : scenarios::AllScenarios()) {
+    auto check = [&](const SchemaMapping& m, const char* which) {
+      AnalysisInput input;
+      input.dependencies = m.dependencies();
+      input.source = m.source();
+      input.target = m.target();
+      RDX_ASSERT_OK_AND_ASSIGN(AnalysisReport report,
+                               AnalyzeDependencies(input));
+      EXPECT_TRUE(report.clean())
+          << s.name << " (" << which << ") fired lints:\n"
+          << report.ToString();
+    };
+    SCOPED_TRACE(s.name);
+    check(s.mapping, "mapping");
+    if (s.reverse.has_value()) check(*s.reverse, "reverse");
+    if (s.alt_reverse.has_value()) check(*s.alt_reverse, "alt_reverse");
+  }
+}
+
+}  // namespace
+}  // namespace rdx

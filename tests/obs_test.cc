@@ -314,5 +314,18 @@ TEST(TraceValidation, CliTraceFileIsWellFormedJsonl) {
       << "trace file lacks a chase.round event";
 }
 
+// Driven by cmake/run_lint_json_check.cmake: validates the JSONL that a
+// prior `rdx_lint --json` invocation printed (no chase events expected).
+TEST(TraceValidation, JsonlFileIsWellFormed) {
+  const char* path = std::getenv("RDX_JSONL_VALIDATE_FILE");
+  if (path == nullptr) {
+    GTEST_SKIP() << "RDX_JSONL_VALIDATE_FILE not set";
+  }
+  std::size_t lines = 0;
+  Status valid = obs::ValidateJsonlFile(path, &lines);
+  ASSERT_TRUE(valid.ok()) << valid.ToString();
+  EXPECT_GE(lines, 1u);
+}
+
 }  // namespace
 }  // namespace rdx

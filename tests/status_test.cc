@@ -76,5 +76,19 @@ TEST(ResultTest, AssignOrReturnMacro) {
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
 }
 
+// Compile-time guarantee: Status and Result<T> stay [[nodiscard]], so a
+// silently dropped error is a build warning (an error under -Werror in
+// CI). The marker macro is defined next to the attributes in
+// base/status.h; deliberate discards spell out a void cast, which must
+// keep compiling:
+static_assert(RDX_STATUS_IS_NODISCARD,
+              "base/status.h must keep Status/Result<T> marked "
+              "[[nodiscard]]");
+
+TEST(StatusTest, DeliberateDiscardNeedsAVoidCast) {
+  (void)Status::InvalidArgument("intentionally ignored");
+  (void)Half(3);
+}
+
 }  // namespace
 }  // namespace rdx

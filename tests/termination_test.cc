@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/bounds.h"
 #include "chase/chase.h"
 #include "test_util.h"
 
@@ -163,6 +164,47 @@ TEST(TerminationTest, WeaklyAcyclicSetsActuallyTerminate) {
   // Transitive closure of a 3-edge path: 6 E-facts; F-facts for sources.
   EXPECT_EQ(result.combined.FactsOf(Relation::MustIntern("TmT_E", 2)).size(),
             6u);
+}
+
+TEST(TerminationTest, StaticBoundIsExactOnCopy) {
+  // P(x) -> Q(x) over I = {P(a)}: the chase adds exactly Q(a). The fact
+  // bound |I| + n^1 = 1 + 1 = 2 equals the actual fixpoint size — the
+  // bound is tight here, not just an overestimate.
+  std::vector<Dependency> deps = {D("TmT_C1a(x) -> TmT_C1b(x)")};
+  ChaseSizeBound bound = ComputeChaseSizeBound(deps);
+  ASSERT_TRUE(bound.weakly_acyclic);
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(I("TmT_C1a(a)"), deps));
+  EXPECT_EQ(result.combined.size(), 2u);
+  EXPECT_EQ(bound.FactBound(I("TmT_C1a(a)")), 2u);
+}
+
+TEST(TerminationTest, StaticBoundOverestimatesProjections) {
+  // P(x,y) -> Q(x) over I = {P(a,b)}: the chase adds only Q(a) (2 facts
+  // total), but the bound cannot know Q's position is fed by P.1 alone
+  // and allows Q(b) too: |I| + n^1 = 1 + 2 = 3. Sound, not exact.
+  std::vector<Dependency> deps = {D("TmT_C2a(x, y) -> TmT_C2b(x)")};
+  ChaseSizeBound bound = ComputeChaseSizeBound(deps);
+  ASSERT_TRUE(bound.weakly_acyclic);
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result,
+                           Chase(I("TmT_C2a(a, b)"), deps));
+  EXPECT_EQ(result.combined.size(), 2u);
+  EXPECT_EQ(bound.FactBound(I("TmT_C2a(a, b)")), 3u);
+  EXPECT_GT(bound.FactBound(I("TmT_C2a(a, b)")), result.combined.size());
+}
+
+TEST(TerminationTest, ChaseStaysWithinStaticBoundOnExistentialChain) {
+  // The ranked chain from the paper's weak-acyclicity discussion: fresh
+  // nulls cascade one level but the bound still dominates the fixpoint.
+  std::vector<Dependency> deps = {
+      D("TmT_D1(x, y) -> EXISTS z: TmT_D2(y, z)"),
+      D("TmT_D2(x, z) -> EXISTS w: TmT_D3(z, w)"),
+  };
+  ChaseSizeBound bound = ComputeChaseSizeBound(deps);
+  ASSERT_TRUE(bound.weakly_acyclic);
+  EXPECT_EQ(bound.max_rank, 2u);
+  Instance input = I("TmT_D1(a, b). TmT_D1(b, c)");
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(input, deps));
+  EXPECT_LE(result.combined.size(), bound.FactBound(input));
 }
 
 TEST(TerminationTest, NonWeaklyAcyclicSetsHitTheBudget) {

@@ -1,0 +1,119 @@
+// rdx_lint — static mapping analyzer front end (docs/analysis.md).
+//
+// Usage:
+//   rdx_lint [--json] [--oblivious] [--no-notes] [--quiet] FILE...
+//
+// Each FILE is a mapping file in the mapping_io.h format. For every file
+// the analyzer prints the weak-acyclicity verdict, the static chase-size
+// bound, and all lint diagnostics (RDX001...; see `rdx_lint --codes`).
+//
+// Flags:
+//   --json       emit one JSON object per line ("analysis.summary" /
+//                "analysis.lint" events) instead of the text report
+//   --oblivious  build the position graph for oblivious-chase semantics
+//                (stricter weak-acyclicity test; the chase-size bound
+//                still models the standard chase, see docs/analysis.md)
+//   --no-notes   suppress RDX1xx capability notes
+//   --quiet      print diagnostics only, no per-file report body
+//   --codes      print the lint catalog and exit
+//
+// Exit status: 0 when every file is clean (notes do not count), 1 when
+// any error- or warning-level diagnostic fired, 2 on usage or I/O error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "mapping/mapping_io.h"
+
+namespace rdx {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: rdx_lint [--json] [--oblivious] [--no-notes] "
+               "[--quiet] [--codes] FILE...\n");
+  return 2;
+}
+
+int PrintCatalog() {
+  for (const LintInfo& info : LintCatalog()) {
+    std::printf("%s  %-7s  %s\n    %s\n", info.id,
+                LintSeverityName(info.severity), info.title, info.summary);
+  }
+  return 0;
+}
+
+struct Options {
+  bool json = false;
+  bool quiet = false;
+  AnalysisOptions analysis;
+};
+
+// Returns 0 clean / 1 diagnostics / 2 load failure.
+int LintFile(const std::string& path, const Options& options) {
+  Result<SchemaMapping> mapping = LoadMappingFile(path);
+  if (!mapping.ok()) {
+    std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                 mapping.status().ToString().c_str());
+    return 2;
+  }
+  AnalysisInput input;
+  input.dependencies = mapping->dependencies();
+  input.source = mapping->source();
+  input.target = mapping->target();
+  Result<AnalysisReport> report = AnalyzeDependencies(input, options.analysis);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  if (options.json) {
+    std::printf("%s", report->ToJsonLines().c_str());
+  } else if (options.quiet) {
+    for (const LintDiagnostic& d : report->diagnostics) {
+      std::printf("%s: %s\n", path.c_str(), d.ToString().c_str());
+    }
+  } else {
+    std::printf("== %s ==\n%s", path.c_str(), report->ToString().c_str());
+  }
+  return report->clean() ? 0 : 1;
+}
+
+int Main(int argc, char** argv) {
+  Options options;
+  std::vector<std::string> files;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--json") == 0) {
+      options.json = true;
+    } else if (std::strcmp(argv[k], "--quiet") == 0) {
+      options.quiet = true;
+    } else if (std::strcmp(argv[k], "--oblivious") == 0) {
+      options.analysis.mode = WeakAcyclicityMode::kObliviousChase;
+    } else if (std::strcmp(argv[k], "--no-notes") == 0) {
+      options.analysis.include_notes = false;
+    } else if (std::strcmp(argv[k], "--codes") == 0) {
+      return PrintCatalog();
+    } else if (std::strncmp(argv[k], "--", 2) == 0) {
+      return Usage();
+    } else {
+      files.emplace_back(argv[k]);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  int exit_code = 0;
+  for (const std::string& file : files) {
+    int code = LintFile(file, options);
+    if (code == 2) return 2;
+    if (code != 0) exit_code = 1;
+  }
+  return exit_code;
+}
+
+}  // namespace
+}  // namespace rdx
+
+int main(int argc, char** argv) { return rdx::Main(argc, argv); }
