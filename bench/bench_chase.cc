@@ -145,6 +145,23 @@ void BM_ParallelChase_PathSplit(benchmark::State& state) {
 BENCHMARK(BM_ParallelChase_PathSplit)
     ->ArgsProduct({{200, 1000}, {1, 2, 4, 8}});
 
+// Attributed chase: the same PathSplit workload with per-dependency
+// attribution enabled, exporting the three hottest chase.dep rows as
+// user counters (attr_d0_us, ...). A dedicated series — attribution adds
+// per-trigger timing, so it must not share a name with the plain runs.
+void BM_AttributedChase_PathSplit(benchmark::State& state) {
+  scenarios::Scenario s = scenarios::PathSplit();
+  Instance source = MakeSource(
+      s.mapping, static_cast<std::size_t>(state.range(0)), 0.0, /*seed=*/17);
+  bench_util::ExportTopAttribution attr(state, "chase.dep", 3);
+  for (auto _ : state) {
+    ChaseResult r =
+        MustOk(Chase(source, s.mapping.dependencies(), {}), "chase");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AttributedChase_PathSplit)->Arg(200);
+
 // Semi-naive rounds under threading: the layer chain keeps a live delta
 // for D rounds, exercising the (dependency × anchor × delta-fact) task
 // fan-out rather than the round-0 root partitioning.

@@ -3,9 +3,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -77,6 +80,77 @@ class ExportCounters {
  private:
   benchmark::State& state_;
   std::vector<std::pair<obs::Counter*, uint64_t>> before_;
+};
+
+/// Enables rdx::obs attribution (base/attribution.h) for the benchmark
+/// run and, on destruction, exports the top-k rows of one domain — by
+/// time spent — as google-benchmark user counters. Counter names are
+/// "attr_<first token of key>_us" / "_fired" / "_facts" with '.'→'_'
+/// (the first token of a chase.dep key is the dependency index, "d0").
+/// Times are per-iteration averages. Use in *dedicated* attributed
+/// benchmark variants: measuring attribution changes what the engine
+/// does, so reusing an unattributed benchmark's name would skew its
+/// history.
+///
+///   void BM_AttributedChase(benchmark::State& state) {
+///     bench_util::ExportTopAttribution attr(state, "chase.dep", 3);
+///     for (auto _ : state) { ... }
+///   }  // -> state.counters["attr_d0_us"] etc.
+class ExportTopAttribution {
+ public:
+  ExportTopAttribution(benchmark::State& state, std::string domain,
+                       std::size_t top_k = 3)
+      : state_(state),
+        domain_(std::move(domain)),
+        top_k_(top_k),
+        was_enabled_(obs::AttributionEnabled()) {
+    obs::EnableAttribution(true);
+    for (const obs::AttributionRow& row : obs::SnapshotAttribution()) {
+      if (row.domain == domain_) before_[row.key] = row;
+    }
+  }
+
+  ExportTopAttribution(const ExportTopAttribution&) = delete;
+  ExportTopAttribution& operator=(const ExportTopAttribution&) = delete;
+
+  ~ExportTopAttribution() {
+    std::vector<obs::AttributionRow> rows;
+    for (obs::AttributionRow row : obs::SnapshotAttribution()) {
+      if (row.domain != domain_) continue;
+      auto it = before_.find(row.key);
+      if (it != before_.end()) {
+        row.time_us -= it->second.time_us;
+        row.fired -= it->second.fired;
+        row.facts -= it->second.facts;
+      }
+      rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const obs::AttributionRow& a, const obs::AttributionRow& b) {
+                return a.time_us > b.time_us;
+              });
+    if (rows.size() > top_k_) rows.resize(top_k_);
+    for (const obs::AttributionRow& row : rows) {
+      std::string token = row.key.substr(0, row.key.find(' '));
+      for (char& ch : token) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      state_.counters["attr_" + token + "_us"] = benchmark::Counter(
+          static_cast<double>(row.time_us), benchmark::Counter::kAvgIterations);
+      state_.counters["attr_" + token + "_fired"] = benchmark::Counter(
+          static_cast<double>(row.fired), benchmark::Counter::kAvgIterations);
+      state_.counters["attr_" + token + "_facts"] = benchmark::Counter(
+          static_cast<double>(row.facts), benchmark::Counter::kAvgIterations);
+    }
+    obs::EnableAttribution(was_enabled_);
+  }
+
+ private:
+  benchmark::State& state_;
+  std::string domain_;
+  std::size_t top_k_;
+  bool was_enabled_;
+  std::map<std::string, obs::AttributionRow> before_;
 };
 
 /// Shared main body: claims first (deterministic), then the timing runs.

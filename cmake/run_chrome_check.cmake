@@ -1,0 +1,53 @@
+# Chrome trace-export gate driven by ctest (see tools/CMakeLists.txt):
+#   1. run an rdx_cli subcommand with both trace sinks installed
+#      (--trace JSONL + --trace-chrome JSON);
+#   2. rdx_prof --check-chrome: the Chrome file must be one valid JSON
+#      value with every B/E pair balanced (LIFO, matching names, per tid);
+#   3. optionally (-DCHECK_COVERAGE=ON, chase runs only) rdx_prof
+#      --check-coverage: the chase.dep attribution rows must sum to
+#      within 10% of the chase.done wall time.
+# No external tools involved — both checkers ship in tools/rdx_prof.
+#
+# Expects -DRDX_CLI, -DRDX_PROF, -DSUBCOMMAND, -DCLI_ARGS (;-list),
+# -DCHROME_FILE, -DJSONL_FILE; optional -DCHECK_COVERAGE.
+
+foreach(var RDX_CLI RDX_PROF SUBCOMMAND CLI_ARGS CHROME_FILE JSONL_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_chrome_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${RDX_CLI} ${SUBCOMMAND} ${CLI_ARGS}
+          --trace ${JSONL_FILE} --trace-chrome ${CHROME_FILE}
+  RESULT_VARIABLE cli_result
+  OUTPUT_VARIABLE cli_stdout
+  ERROR_VARIABLE cli_stderr)
+if(NOT cli_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli ${SUBCOMMAND} --trace-chrome failed (${cli_result}):\n"
+      "${cli_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${RDX_PROF} --check-chrome ${CHROME_FILE}
+  RESULT_VARIABLE chrome_result
+  OUTPUT_VARIABLE chrome_stdout
+  ERROR_VARIABLE chrome_stderr)
+if(NOT chrome_result EQUAL 0)
+  message(FATAL_ERROR
+      "chrome trace check failed:\n${chrome_stdout}\n${chrome_stderr}")
+endif()
+
+if(CHECK_COVERAGE)
+  execute_process(
+    COMMAND ${RDX_PROF} ${JSONL_FILE} --check-coverage
+    RESULT_VARIABLE coverage_result
+    OUTPUT_VARIABLE coverage_stdout
+    ERROR_VARIABLE coverage_stderr)
+  if(NOT coverage_result EQUAL 0)
+    message(FATAL_ERROR
+        "attribution coverage check failed:\n"
+        "${coverage_stdout}\n${coverage_stderr}")
+  endif()
+endif()

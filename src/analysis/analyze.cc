@@ -1,6 +1,7 @@
 #include "analysis/analyze.h"
 
 #include "base/metrics.h"
+#include "base/spans.h"
 #include "base/strings.h"
 #include "base/trace.h"
 
@@ -59,6 +60,8 @@ Result<AnalysisReport> AnalyzeDependencies(const AnalysisInput& input,
   static obs::Counter& runs = obs::Counter::Get("analysis.runs");
   static obs::Counter& diags = obs::Counter::Get("analysis.diagnostics");
   static obs::Counter& us = obs::Counter::Get("analysis.us");
+  obs::Span span("analysis");
+  span.Arg("dependencies", input.dependencies.size());
   obs::ScopedTimer timer;
 
   AnalysisReport report;
@@ -95,6 +98,8 @@ Result<AnalysisReport> AnalyzeDependencies(const AnalysisInput& input,
   runs.Increment();
   diags.Add(report.diagnostics.size());
   us.Add(timer.ElapsedMicros());
+  span.Arg("diagnostics", report.diagnostics.size())
+      .Arg("weakly_acyclic", report.weakly_acyclic ? 1 : 0);
   if (obs::TracingEnabled()) {
     obs::EmitTrace(SummaryEvent(report));
     for (const LintDiagnostic& d : report.diagnostics) {

@@ -1,0 +1,126 @@
+#include "base/attribution.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace obs {
+namespace {
+
+std::atomic<bool> g_attribution{false};
+
+// Interned like the Counter registry: entries are never removed, so
+// references from Get() stay valid forever. Keys are "<domain>\x1f<key>"
+// (0x1f cannot appear in either part: domains are dotted identifiers and
+// keys come from dependency/oracle names with control bytes escaped away
+// upstream).
+class Registry {
+ public:
+  Attribution& GetOrCreate(std::string_view domain, std::string_view key) {
+    std::string interned = StrCat(domain, "\x1f", key);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(interned);
+    if (it == entries_.end()) {
+      it = entries_
+               .emplace(interned, std::make_unique<Attribution>(
+                                      std::string(domain), std::string(key)))
+               .first;
+    }
+    return *it->second;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, entry] : entries_) fn(*entry);
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Attribution>, std::less<>> entries_;
+};
+
+Registry& Rows() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+bool AttributionEnabled() {
+  return g_attribution.load(std::memory_order_relaxed);
+}
+
+void EnableAttribution(bool on) {
+  g_attribution.store(on, std::memory_order_relaxed);
+}
+
+Attribution& Attribution::Get(std::string_view domain, std::string_view key) {
+  return Rows().GetOrCreate(domain, key);
+}
+
+AttributionRow Attribution::Snapshot() const {
+  AttributionRow row;
+  row.domain = domain_;
+  row.key = key_;
+  row.time_us = time_us_.load(std::memory_order_relaxed);
+  row.fired = fired_.load(std::memory_order_relaxed);
+  row.facts = facts_.load(std::memory_order_relaxed);
+  row.hom_attempts = hom_attempts_.load(std::memory_order_relaxed);
+  return row;
+}
+
+void Attribution::Reset() {
+  time_us_.store(0, std::memory_order_relaxed);
+  fired_.store(0, std::memory_order_relaxed);
+  facts_.store(0, std::memory_order_relaxed);
+  hom_attempts_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<AttributionRow> SnapshotAttribution() {
+  std::vector<AttributionRow> out;
+  Rows().ForEach([&](Attribution& a) {
+    AttributionRow row = a.Snapshot();
+    if (row.time_us != 0 || row.fired != 0 || row.facts != 0 ||
+        row.hom_attempts != 0) {
+      out.push_back(std::move(row));
+    }
+  });
+  std::sort(out.begin(), out.end(),
+            [](const AttributionRow& a, const AttributionRow& b) {
+              if (a.domain != b.domain) return a.domain < b.domain;
+              if (a.time_us != b.time_us) return a.time_us > b.time_us;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+std::string AttributionToString() {
+  std::vector<AttributionRow> rows = SnapshotAttribution();
+  if (rows.empty()) return "";
+  std::size_t dwidth = 0, kwidth = 0;
+  for (const AttributionRow& r : rows) {
+    dwidth = std::max(dwidth, r.domain.size());
+    kwidth = std::max(kwidth, r.key.size());
+  }
+  std::ostringstream os;
+  for (const AttributionRow& r : rows) {
+    os << r.domain << std::string(dwidth - r.domain.size() + 2, ' ') << r.key
+       << std::string(kwidth - r.key.size() + 2, ' ') << "time_us=" << r.time_us
+       << " fired=" << r.fired << " facts=" << r.facts
+       << " hom_attempts=" << r.hom_attempts << "\n";
+  }
+  return os.str();
+}
+
+void ResetAttribution() {
+  Rows().ForEach([](Attribution& a) { a.Reset(); });
+}
+
+}  // namespace obs
+}  // namespace rdx

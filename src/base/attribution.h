@@ -1,0 +1,98 @@
+#ifndef RDX_BASE_ATTRIBUTION_H_
+#define RDX_BASE_ATTRIBUTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rdx {
+namespace obs {
+
+/// Attribution profiler: per-key accumulators answering "where did the
+/// time (and work) go" — per dependency, per null-block, per oracle, per
+/// chase round. Unlike flat counters, rows are keyed by *which* entity did
+/// the work, so a single hot tgd or block is visible directly.
+///
+/// Rows are interned by (domain, key) and never destroyed, mirroring
+/// Counter. Domains are dotted engine scopes; keys identify the entity
+/// within the domain. The registry of domains the engines maintain is
+/// documented in docs/observability.md; the load-bearing ones:
+///
+///   chase.dep    key = "d<i> <dependency>"     (standard chase)
+///   chase.round  key = "round <n>"
+///   dchase.dep   key = "d<i> <dependency>"     (disjunctive chase)
+///   egd.dep      key = "e<i> <egd>"
+///   core.block   key = "block <id>"
+///   fuzz.oracle  key = "<oracle name>"
+///
+/// Engines record deltas only when AttributionEnabled() — and only from
+/// deterministic sections (the sequential firing loop, ordered merges), so
+/// fired/facts are identical at any --threads value.
+struct AttributionRow {
+  std::string domain;
+  std::string key;
+  uint64_t time_us = 0;       // wall time attributed to this key
+  uint64_t fired = 0;         // triggers fired / folds applied / runs
+  uint64_t facts = 0;         // facts produced (or retracted, for core)
+  uint64_t hom_attempts = 0;  // homomorphism searches on behalf of the key
+};
+
+/// True if engines should record attribution. Relaxed-atomic guard in the
+/// style of TracingEnabled(); off by default, flipped by the CLI
+/// (--stats / --trace / --trace-chrome), tests, and attributed benchmarks.
+bool AttributionEnabled();
+void EnableAttribution(bool on);
+
+class Attribution {
+ public:
+  /// Returns the accumulator for (domain, key), creating it on first use.
+  /// The reference stays valid for the life of the process.
+  static Attribution& Get(std::string_view domain, std::string_view key);
+
+  void AddTimeMicros(uint64_t us) {
+    time_us_.fetch_add(us, std::memory_order_relaxed);
+  }
+  void AddFired(uint64_t n) { fired_.fetch_add(n, std::memory_order_relaxed); }
+  void AddFacts(uint64_t n) { facts_.fetch_add(n, std::memory_order_relaxed); }
+  void AddHomAttempts(uint64_t n) {
+    hom_attempts_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  AttributionRow Snapshot() const;
+  void Reset();
+
+  const std::string& domain() const { return domain_; }
+  const std::string& key() const { return key_; }
+
+  /// Use Get(); public only for the registry's benefit.
+  Attribution(std::string domain, std::string key)
+      : domain_(std::move(domain)), key_(std::move(key)) {}
+
+ private:
+  std::string domain_;
+  std::string key_;
+  std::atomic<uint64_t> time_us_{0};
+  std::atomic<uint64_t> fired_{0};
+  std::atomic<uint64_t> facts_{0};
+  std::atomic<uint64_t> hom_attempts_{0};
+};
+
+/// Snapshot of every row with at least one non-zero field, sorted by
+/// domain (ascending) then time (descending) then key — the order the
+/// future /statsz table and AttributionToString() present.
+std::vector<AttributionRow> SnapshotAttribution();
+
+/// Human-readable table of SnapshotAttribution(); empty string when
+/// nothing was recorded.
+std::string AttributionToString();
+
+/// Zeroes every row (interned entries survive, as with counters). Called
+/// by ResetAllMetrics().
+void ResetAttribution();
+
+}  // namespace obs
+}  // namespace rdx
+
+#endif  // RDX_BASE_ATTRIBUTION_H_

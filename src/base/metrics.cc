@@ -1,11 +1,14 @@
 #include "base/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
 
+#include "base/attribution.h"
+#include "base/spans.h"
 #include "base/strings.h"
 
 namespace rdx {
@@ -96,9 +99,62 @@ std::vector<CounterSample> SnapshotCounters() {
   return out;
 }
 
+double HistogramPercentile(const Histogram& h, double q) {
+  const uint64_t n = h.count();
+  if (n == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  // 1-based rank of the sample the quantile falls on.
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (target == 0) target = 1;
+  uint64_t cum = 0;
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const uint64_t in_bucket = h.bucket(b);
+    if (in_bucket == 0 || cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    // Bucket b spans [2^(b-1), 2^b - 1] (bucket 0 holds only v == 0);
+    // interpolate linearly by rank within it, clamped to the observed max.
+    double lo = b == 0 ? 0.0 : static_cast<double>(uint64_t{1} << (b - 1));
+    double hi = b == 0 ? 0.0
+                       : std::min(static_cast<double>(h.max()),
+                                  static_cast<double>((uint64_t{1} << b) - 1));
+    if (hi < lo) hi = lo;
+    const uint64_t within = target - cum;  // 1 .. in_bucket
+    // A lone sample resolves to the bucket's clamped high end, so q=1.0
+    // on a top-bucket outlier reports the observed max, not the bucket
+    // floor.
+    const double frac =
+        in_bucket <= 1 ? 1.0
+                       : static_cast<double>(within - 1) /
+                             static_cast<double>(in_bucket - 1);
+    return lo + frac * (hi - lo);
+  }
+  return static_cast<double>(h.max());
+}
+
+std::vector<HistogramSample> SnapshotHistograms() {
+  std::vector<HistogramSample> out;
+  Histograms().ForEach([&](Histogram& h) {
+    if (h.count() == 0) return;
+    HistogramSample s;
+    s.name = h.name();
+    s.count = h.count();
+    s.sum = h.sum();
+    s.max = h.max();
+    s.p50 = HistogramPercentile(h, 0.50);
+    s.p95 = HistogramPercentile(h, 0.95);
+    s.p99 = HistogramPercentile(h, 0.99);
+    out.push_back(std::move(s));
+  });
+  return out;
+}
+
 void ResetAllMetrics() {
   Counters().ForEach([](Counter& c) { c.Reset(); });
   Histograms().ForEach([](Histogram& h) { h.Reset(); });
+  ResetAttribution();
+  ResetSpanBookkeeping();
 }
 
 std::string CountersToString() {
@@ -112,6 +168,16 @@ std::string CountersToString() {
     if (s.value == 0) continue;
     os << s.name << std::string(width - s.name.size() + 2, ' ') << s.value
        << "\n";
+  }
+  std::vector<HistogramSample> hists = SnapshotHistograms();
+  std::size_t hwidth = 0;
+  for (const HistogramSample& h : hists) {
+    hwidth = std::max(hwidth, h.name.size());
+  }
+  for (const HistogramSample& h : hists) {
+    os << h.name << std::string(hwidth - h.name.size() + 2, ' ')
+       << "count=" << h.count << " sum=" << h.sum << " max=" << h.max
+       << " p50=" << h.p50 << " p95=" << h.p95 << " p99=" << h.p99 << "\n";
   }
   return os.str();
 }

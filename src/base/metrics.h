@@ -84,17 +84,41 @@ struct CounterSample {
   uint64_t value = 0;
 };
 
+/// One row of a histogram snapshot. Percentiles are interpolated within
+/// the power-of-two bucket holding the rank (exact for count/sum/max).
+struct HistogramSample {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
 /// Snapshot of every registered counter, sorted by name. Zero-valued
 /// counters are included (a counter exists once something touched it).
 std::vector<CounterSample> SnapshotCounters();
 
-/// Resets every registered counter (and histogram) to zero. For tests and
-/// benchmark setup; running engines concurrently with a reset is safe but
-/// yields torn deltas.
+/// Snapshot of every histogram with at least one recorded sample, sorted
+/// by name.
+std::vector<HistogramSample> SnapshotHistograms();
+
+/// The q-quantile (q in [0,1]) of `h`, linearly interpolated inside the
+/// bucket holding the rank and clamped to [0, max]. 0 when empty.
+double HistogramPercentile(const Histogram& h, double q);
+
+/// Resets every registered counter and histogram to zero, clears the
+/// attribution tables (base/attribution.h), and restarts span-id
+/// allocation (base/spans.h) — one call restores a pristine obs layer for
+/// tests and benchmark setup. Running engines concurrently with a reset
+/// is safe but yields torn deltas.
 void ResetAllMetrics();
 
-/// Multi-line human-readable rendering of all non-zero counters, aligned,
-/// sorted by name. Empty string when nothing was counted.
+/// Multi-line human-readable rendering of all non-zero counters (aligned,
+/// sorted by name) followed by one line per non-empty histogram with
+/// count/sum/max and interpolated p50/p95/p99. Empty string when nothing
+/// was recorded.
 std::string CountersToString();
 
 /// RAII wall-clock timer (steady_clock, microsecond resolution). On

@@ -1,0 +1,74 @@
+#include "base/spans.h"
+
+#include <atomic>
+
+#include "base/trace.h"
+
+namespace rdx {
+namespace obs {
+namespace {
+
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_open_spans{0};
+
+// The innermost active span on this thread. Span construction pushes,
+// destruction pops; ScopedSpanParent overrides it for pool tasks.
+thread_local SpanId t_current_span = 0;
+
+}  // namespace
+
+SpanId CurrentSpanId() { return t_current_span; }
+
+Span::Span(std::string_view name) {
+  if (!TracingEnabled()) return;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = t_current_span;
+  t_current_span = id_;
+  name_ = name;
+  start_ = std::chrono::steady_clock::now();
+  g_open_spans.fetch_add(1, std::memory_order_relaxed);
+  EmitSpanBegin(name_, id_, parent_);
+}
+
+Span::~Span() {
+  if (id_ == 0) return;
+  EmitSpanEnd(name_, id_, parent_, ElapsedMicros(), args_);
+  g_open_spans.fetch_sub(1, std::memory_order_relaxed);
+  t_current_span = parent_;
+}
+
+Span& Span::Arg(std::string_view key, uint64_t v) {
+  if (id_ != 0) AppendJsonField(&args_, key, v);
+  return *this;
+}
+
+Span& Span::Arg(std::string_view key, std::string_view v) {
+  if (id_ != 0) AppendJsonField(&args_, key, v);
+  return *this;
+}
+
+uint64_t Span::ElapsedMicros() const {
+  if (id_ == 0) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+ScopedSpanParent::ScopedSpanParent(SpanId parent) : saved_(t_current_span) {
+  t_current_span = parent;
+}
+
+ScopedSpanParent::~ScopedSpanParent() { t_current_span = saved_; }
+
+uint64_t OpenSpanCount() {
+  return g_open_spans.load(std::memory_order_relaxed);
+}
+
+void ResetSpanBookkeeping() {
+  g_next_span_id.store(1, std::memory_order_relaxed);
+  t_current_span = 0;
+}
+
+}  // namespace obs
+}  // namespace rdx

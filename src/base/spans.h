@@ -1,0 +1,101 @@
+#ifndef RDX_BASE_SPANS_H_
+#define RDX_BASE_SPANS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rdx {
+namespace obs {
+
+/// Span layer: nestable RAII wall-clock regions for profiling.
+///
+/// A Span marks a region of work ("chase", "chase.round", "core.block").
+/// Spans carry a process-unique id, a link to the span that was current on
+/// the opening thread (the *logical* parent — see ScopedSpanParent for how
+/// pool tasks inherit it), the emitting thread's tid, and monotonic
+/// begin/end timestamps. Each active span writes a "span.begin"/"span.end"
+/// JSONL pair and a Chrome trace-event "B"/"E" pair to the installed sinks
+/// (base/trace.h); tools/rdx_prof rebuilds the tree from either.
+///
+/// Cost model: construction checks TracingEnabled() (one relaxed atomic
+/// load) and does nothing else when no sink is installed, so spans are
+/// safe to leave in engine loops. When tracing is on, begin/end each take
+/// the sink lock once.
+///
+///   obs::Span span("chase.round");
+///   ... work ...
+///   span.Arg("fired", fired);   // rendered into the span.end event
+
+/// Process-unique span identifier; 0 means "no span".
+using SpanId = uint64_t;
+
+/// The innermost active span id on the calling thread (0 when none). Pass
+/// this to ScopedSpanParent on a worker thread to parent pool work under
+/// the span that scheduled it.
+SpanId CurrentSpanId();
+
+class Span {
+ public:
+  /// Opens a span named `name` under the calling thread's current span.
+  /// No-op (id() == 0) when tracing is disabled at construction time.
+  explicit Span(std::string_view name);
+
+  /// Closes the span: emits span.end / "E" and restores the previous
+  /// current span on this thread.
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches `,"key":value` to the span.end event. Keys must be plain
+  /// identifiers; string values are JSON-escaped. No-op when inactive.
+  Span& Arg(std::string_view key, uint64_t v);
+  Span& Arg(std::string_view key, std::string_view v);
+
+  bool active() const { return id_ != 0; }
+  SpanId id() const { return id_; }
+  SpanId parent() const { return parent_; }
+
+  /// Wall time since the span opened (0 when inactive).
+  uint64_t ElapsedMicros() const;
+
+ private:
+  SpanId id_ = 0;      // 0 = tracing was off at construction
+  SpanId parent_ = 0;
+  std::chrono::steady_clock::time_point start_{};
+  std::string name_;   // only populated when active
+  std::string args_;   // ,"k":v fragments for the end event
+};
+
+/// Temporarily makes `parent` the calling thread's current span, so spans
+/// opened in this scope attribute to it. rdx::par installs one of these in
+/// every pool task, capturing CurrentSpanId() at submission time — work
+/// executed on the pool therefore nests under the span that scheduled it,
+/// not under whatever the worker thread happened to be doing.
+class ScopedSpanParent {
+ public:
+  explicit ScopedSpanParent(SpanId parent);
+  ~ScopedSpanParent();
+
+  ScopedSpanParent(const ScopedSpanParent&) = delete;
+  ScopedSpanParent& operator=(const ScopedSpanParent&) = delete;
+
+ private:
+  SpanId saved_;
+};
+
+/// Number of spans currently open (begin emitted, end not yet). For tests
+/// and the ResetAllMetrics() isolation check.
+uint64_t OpenSpanCount();
+
+/// Restarts span-id allocation and clears the calling thread's
+/// current-span marker. Called by ResetAllMetrics(); only safe when no
+/// spans are open (see OpenSpanCount()).
+void ResetSpanBookkeeping();
+
+}  // namespace obs
+}  // namespace rdx
+
+#endif  // RDX_BASE_SPANS_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "base/parallel_for.h"
+#include "base/spans.h"
 
 namespace rdx {
 namespace par {
@@ -163,7 +164,12 @@ void ParallelFor(std::size_t num_threads, std::size_t n,
   auto state = std::make_shared<State>();
   const std::function<void(std::size_t)>* body = &fn;
 
-  auto run_span = [state, n, body] {
+  // Captured at submission time: spans opened inside pool-executed
+  // iterations attribute to the span that scheduled this loop, not to
+  // whatever the worker thread was otherwise doing (base/spans.h).
+  const obs::SpanId logical_parent = obs::CurrentSpanId();
+  auto run_span = [state, n, body, logical_parent] {
+    obs::ScopedSpanParent adopt(logical_parent);
     while (true) {
       std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;

@@ -10,38 +10,22 @@
 #include <mutex>
 #include <sstream>
 
+#if defined(_WIN32)
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 #include "base/strings.h"
 
 namespace rdx {
 namespace obs {
 namespace {
 
-struct Sink {
-  std::unique_ptr<std::ofstream> owned;  // set when file-backed
-  std::ostream* out = nullptr;
-  std::chrono::steady_clock::time_point installed;
-};
-
-std::mutex& SinkMutex() {
-  static std::mutex* mu = new std::mutex();
-  return *mu;
-}
-
-// Guarded by SinkMutex(); `g_tracing` mirrors "sink != null" so the hot
-// path can check without taking the lock.
-Sink*& CurrentSink() {
-  static Sink* sink = nullptr;
-  return sink;
-}
-
-std::atomic<bool> g_tracing{false};
-
-void InstallLocked(Sink* sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  delete CurrentSink();
-  CurrentSink() = sink;
-  g_tracing.store(sink != nullptr, std::memory_order_release);
-}
+// Bump when the JSONL schema changes incompatibly (field meanings, the
+// span.begin/span.end shape). v1 = PR 1 counters-and-events; v2 adds tid,
+// trace.meta, and the span layer.
+constexpr int kTraceSchemaVersion = 2;
 
 void AppendEscaped(std::string* out, std::string_view s) {
   for (char c : s) {
@@ -74,16 +58,143 @@ void AppendEscaped(std::string* out, std::string_view s) {
   }
 }
 
+// Both sinks plus shared bookkeeping, guarded by SinkMutex(). The JSONL
+// and Chrome sinks install and uninstall independently; `epoch` anchors
+// ts_us for whichever sinks are active and resets when all are gone.
+struct TraceState {
+  std::unique_ptr<std::ofstream> jsonl_owned;  // set when file-backed
+  std::ostream* jsonl = nullptr;
+  std::unique_ptr<std::ofstream> chrome;
+  bool chrome_first = true;  // no event written yet (separator handling)
+  std::chrono::steady_clock::time_point epoch;
+};
+
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+TraceState& State() {
+  static TraceState* state = new TraceState();
+  return *state;
+}
+
+// Mirrors "any sink active" so the hot path can check without the lock.
+std::atomic<bool> g_tracing{false};
+
+std::string& ProcessName() {
+  static std::string* name = new std::string("rdx");
+  return *name;
+}
+
+uint64_t ProcessId() {
+#if defined(_WIN32)
+  return static_cast<uint64_t>(_getpid());
+#else
+  return static_cast<uint64_t>(getpid());
+#endif
+}
+
+std::atomic<uint64_t> g_next_tid{1};
+thread_local uint64_t t_tid = 0;
+
+// Called with SinkMutex() held.
+void RefreshEnabledLocked() {
+  TraceState& s = State();
+  g_tracing.store(s.jsonl != nullptr || s.chrome != nullptr,
+                  std::memory_order_release);
+}
+
+// Called with SinkMutex() held, before activating a new sink: anchors the
+// ts_us epoch when no sink was active.
+void EnsureEpochLocked() {
+  TraceState& s = State();
+  if (s.jsonl == nullptr && s.chrome == nullptr) {
+    s.epoch = std::chrono::steady_clock::now();
+  }
+}
+
+// Called with SinkMutex() held.
+uint64_t NowMicrosLocked() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - State().epoch)
+          .count());
+}
+
+// Called with SinkMutex() held. `line` must not contain the trailing \n.
+void WriteJsonlLocked(const std::string& line) {
+  TraceState& s = State();
+  if (s.jsonl == nullptr) return;
+  *s.jsonl << line << '\n';
+  s.jsonl->flush();
+}
+
+// Called with SinkMutex() held. `event` is one finished Chrome trace-event
+// JSON object.
+void WriteChromeLocked(const std::string& event) {
+  TraceState& s = State();
+  if (s.chrome == nullptr) return;
+  if (!s.chrome_first) *s.chrome << ",\n";
+  s.chrome_first = false;
+  *s.chrome << event;
+  s.chrome->flush();
+}
+
+// Builds one Chrome trace-event object: phase 'B'/'E' (duration),
+// 'i' (instant), 'M' (metadata); `args` is a complete JSON object or
+// empty for none.
+std::string MakeChromeEvent(char phase, std::string_view name, uint64_t tid,
+                            uint64_t ts_us, std::string_view args) {
+  std::string out = "{\"name\":\"";
+  AppendEscaped(&out, name);
+  out += StrCat("\",\"cat\":\"rdx\",\"ph\":\"", phase, "\",\"ts\":", ts_us,
+                ",\"pid\":", ProcessId(), ",\"tid\":", tid);
+  if (phase == 'i') out += ",\"s\":\"t\"";
+  if (!args.empty()) out += StrCat(",\"args\":", args);
+  out += "}";
+  return out;
+}
+
+// Called with SinkMutex() held: writes the one-time trace.meta header line
+// to a freshly installed JSONL sink.
+void EmitMetaLocked() {
+  uint64_t epoch_wall_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::string line = "{\"ev\":\"trace.meta\"";
+  AppendJsonField(&line, "schema", static_cast<uint64_t>(kTraceSchemaVersion));
+  AppendJsonField(&line, "binary", std::string_view(ProcessName()));
+  AppendJsonField(&line, "pid", ProcessId());
+  AppendJsonField(&line, "epoch_us", epoch_wall_us);
+  AppendJsonField(&line, "tid", CurrentTraceTid());
+  AppendJsonField(&line, "ts_us", NowMicrosLocked());
+  line += "}";
+  WriteJsonlLocked(line);
+}
+
 }  // namespace
 
-TraceEvent::TraceEvent(std::string_view ev) {
+void AppendJsonField(std::string* out, std::string_view key, uint64_t v) {
+  *out += StrCat(",\"", key, "\":", v);
+}
+
+void AppendJsonField(std::string* out, std::string_view key,
+                     std::string_view v) {
+  *out += StrCat(",\"", key, "\":\"");
+  AppendEscaped(out, v);
+  *out += '"';
+}
+
+TraceEvent::TraceEvent(std::string_view ev) : name_(ev) {
   body_ = "{\"ev\":\"";
   AppendEscaped(&body_, ev);
   body_ += '"';
 }
 
 TraceEvent& TraceEvent::Add(std::string_view key, uint64_t v) {
-  body_ += StrCat(",\"", key, "\":", v);
+  AppendJsonField(&body_, key, v);
   return *this;
 }
 
@@ -110,13 +221,21 @@ TraceEvent& TraceEvent::Add(std::string_view key, bool v) {
 }
 
 TraceEvent& TraceEvent::Add(std::string_view key, std::string_view v) {
-  body_ += StrCat(",\"", key, "\":\"");
-  AppendEscaped(&body_, v);
-  body_ += '"';
+  AppendJsonField(&body_, key, v);
   return *this;
 }
 
 bool TracingEnabled() { return g_tracing.load(std::memory_order_acquire); }
+
+void SetTraceProcessName(std::string_view name) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  ProcessName() = std::string(name);
+}
+
+uint64_t CurrentTraceTid() {
+  if (t_tid == 0) t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return t_tid;
+}
 
 Status InstallTraceFile(const std::string& path) {
   auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
@@ -124,37 +243,122 @@ Status InstallTraceFile(const std::string& path) {
     return Status::InvalidArgument(
         StrCat("cannot open trace file for writing: ", path));
   }
-  Sink* sink = new Sink();
-  sink->out = file.get();
-  sink->owned = std::move(file);
-  sink->installed = std::chrono::steady_clock::now();
-  InstallLocked(sink);
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  EnsureEpochLocked();
+  TraceState& s = State();
+  s.jsonl_owned = std::move(file);
+  s.jsonl = s.jsonl_owned.get();
+  RefreshEnabledLocked();
+  EmitMetaLocked();
   return Status::OK();
 }
 
 void InstallTraceStream(std::ostream* out) {
-  Sink* sink = new Sink();
-  sink->out = out;
-  sink->installed = std::chrono::steady_clock::now();
-  InstallLocked(sink);
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  EnsureEpochLocked();
+  TraceState& s = State();
+  s.jsonl_owned.reset();
+  s.jsonl = out;
+  RefreshEnabledLocked();
+  EmitMetaLocked();
 }
 
-void UninstallTraceSink() { InstallLocked(nullptr); }
+Status InstallChromeTraceFile(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  if (!file->is_open()) {
+    return Status::InvalidArgument(
+        StrCat("cannot open chrome trace file for writing: ", path));
+  }
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  EnsureEpochLocked();
+  TraceState& s = State();
+  s.chrome = std::move(file);
+  s.chrome_first = true;
+  *s.chrome << "{\"traceEvents\":[\n";
+  RefreshEnabledLocked();
+  std::string name_field;
+  AppendJsonField(&name_field, "name", std::string_view(ProcessName()));
+  std::string args = StrCat("{", name_field.substr(1), "}");
+  WriteChromeLocked(MakeChromeEvent('M', "process_name", 0, 0, args));
+  return Status::OK();
+}
+
+void UninstallTraceSink() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  TraceState& s = State();
+  if (s.jsonl != nullptr) s.jsonl->flush();
+  s.jsonl = nullptr;
+  s.jsonl_owned.reset();
+  if (s.chrome != nullptr) {
+    *s.chrome << "\n]}\n";
+    s.chrome->flush();
+    s.chrome.reset();
+  }
+  s.chrome_first = true;
+  RefreshEnabledLocked();
+}
 
 void EmitTrace(const TraceEvent& event) {
+  uint64_t tid = CurrentTraceTid();
   std::lock_guard<std::mutex> lock(SinkMutex());
-  Sink* sink = CurrentSink();
-  if (sink == nullptr) return;
-  uint64_t ts_us = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - sink->installed)
-          .count());
+  TraceState& s = State();
+  if (s.jsonl == nullptr && s.chrome == nullptr) return;
+  uint64_t ts_us = NowMicrosLocked();
   std::string line = event.Finish();
-  // Splice ts_us before the closing brace so Finish() stays const.
+  // Splice tid/ts_us before the closing brace so Finish() stays const.
   line.pop_back();
-  line += StrCat(",\"ts_us\":", ts_us, "}\n");
-  *sink->out << line;
-  sink->out->flush();
+  AppendJsonField(&line, "tid", tid);
+  AppendJsonField(&line, "ts_us", ts_us);
+  line += "}";
+  WriteJsonlLocked(line);
+  if (s.chrome != nullptr) {
+    WriteChromeLocked(MakeChromeEvent('i', event.name(), tid, ts_us, line));
+  }
+}
+
+void EmitSpanBegin(std::string_view name, uint64_t span, uint64_t parent) {
+  uint64_t tid = CurrentTraceTid();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  TraceState& s = State();
+  if (s.jsonl == nullptr && s.chrome == nullptr) return;
+  uint64_t ts_us = NowMicrosLocked();
+  std::string line = "{\"ev\":\"span.begin\"";
+  AppendJsonField(&line, "name", name);
+  AppendJsonField(&line, "span", span);
+  AppendJsonField(&line, "parent", parent);
+  AppendJsonField(&line, "tid", tid);
+  AppendJsonField(&line, "ts_us", ts_us);
+  line += "}";
+  WriteJsonlLocked(line);
+  if (s.chrome != nullptr) {
+    std::string args = StrCat("{\"span\":", span, ",\"parent\":", parent, "}");
+    WriteChromeLocked(MakeChromeEvent('B', name, tid, ts_us, args));
+  }
+}
+
+void EmitSpanEnd(std::string_view name, uint64_t span, uint64_t parent,
+                 uint64_t dur_us, std::string_view args) {
+  uint64_t tid = CurrentTraceTid();
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  TraceState& s = State();
+  if (s.jsonl == nullptr && s.chrome == nullptr) return;
+  uint64_t ts_us = NowMicrosLocked();
+  std::string line = "{\"ev\":\"span.end\"";
+  AppendJsonField(&line, "name", name);
+  AppendJsonField(&line, "span", span);
+  AppendJsonField(&line, "parent", parent);
+  AppendJsonField(&line, "dur_us", dur_us);
+  line += args;
+  AppendJsonField(&line, "tid", tid);
+  AppendJsonField(&line, "ts_us", ts_us);
+  line += "}";
+  WriteJsonlLocked(line);
+  if (s.chrome != nullptr) {
+    std::string chrome_args = StrCat("{\"span\":", span);
+    chrome_args += args;
+    chrome_args += "}";
+    WriteChromeLocked(MakeChromeEvent('E', name, tid, ts_us, chrome_args));
+  }
 }
 
 namespace {

@@ -11,6 +11,13 @@
 namespace rdx {
 namespace obs {
 
+/// Appends `,"key":<value>` to *out (string values JSON-escaped). The
+/// shared building block under TraceEvent, the span layer, and the Chrome
+/// exporter; keys must be plain identifiers (emitted unescaped).
+void AppendJsonField(std::string* out, std::string_view key, uint64_t v);
+void AppendJsonField(std::string* out, std::string_view key,
+                     std::string_view v);
+
 /// One structured trace event, rendered as a single JSON object:
 ///
 ///   TraceEvent("chase.round")
@@ -39,13 +46,17 @@ class TraceEvent {
   /// The finished JSON object (no trailing newline).
   std::string Finish() const { return body_ + "}"; }
 
+  /// The event name passed to the constructor.
+  const std::string& name() const { return name_; }
+
  private:
+  std::string name_;
   std::string body_;  // "{...fields" — Finish() closes the brace
 };
 
-/// True if a trace sink is installed. A relaxed atomic load — guard every
-/// event construction with this so tracing compiles down to a predictable
-/// branch when off:
+/// True if any trace sink is installed. A relaxed atomic load — guard
+/// every event construction with this so tracing compiles down to a
+/// predictable branch when off:
 ///
 ///   if (obs::TracingEnabled()) {
 ///     obs::EmitTrace(obs::TraceEvent("chase.done").Add("rounds", n));
@@ -53,21 +64,50 @@ class TraceEvent {
 bool TracingEnabled();
 
 /// Installs a JSONL sink writing to `path` (truncates). Replaces any
-/// previously installed sink.
+/// previously installed JSONL sink; a Chrome sink, if present, stays.
+/// The first line written is the "trace.meta" header event (schema
+/// version, binary name, pid, wall-clock epoch) so traces from different
+/// runs and processes can be aligned and merged.
 Status InstallTraceFile(const std::string& path);
 
 /// Installs a JSONL sink writing to a caller-owned stream; the stream must
 /// outlive the sink (i.e. until UninstallTraceSink or a replacement).
+/// Emits the same trace.meta header as InstallTraceFile.
 void InstallTraceStream(std::ostream* out);
 
-/// Flushes and removes the current sink (closing it if file-backed).
-/// No-op when nothing is installed.
+/// Installs a Chrome trace-event exporter writing to `path` (truncates).
+/// The file holds one JSON object `{"traceEvents":[...]}` — loadable in
+/// chrome://tracing and Perfetto — and is finalized (array closed) by
+/// UninstallTraceSink; a process that dies without uninstalling leaves a
+/// truncated file. Coexists with the JSONL sink: spans become "B"/"E"
+/// duration events, every other TraceEvent becomes an instant event.
+Status InstallChromeTraceFile(const std::string& path);
+
+/// Flushes and removes every sink (closing file-backed ones and
+/// finalizing the Chrome export). No-op when nothing is installed.
 void UninstallTraceSink();
 
-/// Writes `event` as one line of JSON to the installed sink; a "ts_us"
-/// field (microseconds since sink installation) is appended to every
-/// event. No-op when no sink is installed. Thread-safe.
+/// Records the name stamped into trace.meta headers and the Chrome
+/// process_name metadata ("rdx" until set). Call before installing sinks.
+void SetTraceProcessName(std::string_view name);
+
+/// Stable small integer id for the calling thread (1, 2, ... in first-use
+/// order). Stamped as "tid" on every emitted event.
+uint64_t CurrentTraceTid();
+
+/// Writes `event` as one line of JSON to the installed JSONL sink; "tid"
+/// and "ts_us" (microseconds since sink installation) fields are appended
+/// to every event. A Chrome sink, if installed, receives the event as an
+/// instant event. No-op when no sink is installed. Thread-safe.
 void EmitTrace(const TraceEvent& event);
+
+/// Span-layer plumbing (base/spans.cc — use obs::Span, not these):
+/// emits the "span.begin" JSONL line and the Chrome "B" event under one
+/// sink lock, and the matching "span.end" / "E" pair. `args` is a
+/// ready-made `,"k":v` fragment spliced into the end events.
+void EmitSpanBegin(std::string_view name, uint64_t span, uint64_t parent);
+void EmitSpanEnd(std::string_view name, uint64_t span, uint64_t parent,
+                 uint64_t dur_us, std::string_view args);
 
 /// Validates that `line` is exactly one well-formed JSON value (RFC 8259
 /// syntax; no trailing garbage). Returns InvalidArgument describing the

@@ -5,8 +5,10 @@
 #include <optional>
 #include <set>
 
+#include "base/attribution.h"
 #include "base/metrics.h"
 #include "base/parallel_for.h"
+#include "base/spans.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "core/fact_index.h"
@@ -130,6 +132,7 @@ struct EnumerationTask {
 struct EnumerationResult {
   std::vector<Assignment> matches;
   MatchStats run;
+  uint64_t micros = 0;  // task wall time; only measured when `timed`
   Status status = Status::OK();
 };
 
@@ -139,13 +142,15 @@ struct EnumerationResult {
 std::vector<EnumerationResult> RunEnumerationTasks(
     const std::vector<EnumerationTask>& tasks, const Instance& instance,
     const FactIndex& index, const MatchOptions& match_options,
-    uint64_t num_threads) {
+    uint64_t num_threads, bool timed) {
   std::vector<EnumerationResult> results(tasks.size());
   par::ParallelFor(num_threads, tasks.size(), [&](std::size_t t) {
     EnumerationResult& r = results[t];
     MatchOptions task_options = match_options;
     task_options.num_threads = 1;
     task_options.stats = &r.run;
+    std::optional<obs::ScopedTimer> timer;
+    if (timed) timer.emplace(nullptr, &r.micros);
     r.status = EnumerateMatches(
         tasks[t].dep->body(), instance, index,
         [&](const Assignment& match) {
@@ -177,7 +182,55 @@ void PublishChaseStats(const ChaseStats& stats, bool completed) {
   satisfied.Add(stats.triggers_satisfied);
   added.Add(stats.facts_added);
   us.Add(stats.micros);
+  static obs::Histogram& round_us = obs::Histogram::Get("chase.round.us");
+  static obs::Histogram& round_facts =
+      obs::Histogram::Get("chase.round.facts");
+  for (const ChaseRoundStats& r : stats.per_round) {
+    round_us.Record(r.micros);
+    round_facts.Record(r.facts_added);
+  }
+  // Per-dependency attribution: the run's wall time splits into the time
+  // measured on behalf of each dependency plus an "(overhead)" residual
+  // (index builds, dedup, bookkeeping), so the chase.dep rows sum to the
+  // run's span — the invariant tools/rdx_prof checks.
+  uint64_t attributed_us = 0;
+  for (const ChaseDepStats& d : stats.per_dependency) {
+    attributed_us += d.micros;
+  }
+  const uint64_t overhead_us =
+      stats.micros > attributed_us ? stats.micros - attributed_us : 0;
+  if (obs::AttributionEnabled()) {
+    for (const ChaseDepStats& d : stats.per_dependency) {
+      obs::Attribution& row = obs::Attribution::Get("chase.dep", d.label);
+      row.AddTimeMicros(d.micros);
+      row.AddFired(d.triggers_fired);
+      row.AddFacts(d.facts_added);
+    }
+    obs::Attribution::Get("chase.dep", "(overhead)")
+        .AddTimeMicros(overhead_us);
+    for (const ChaseRoundStats& r : stats.per_round) {
+      obs::Attribution& row = obs::Attribution::Get(
+          "chase.round", StrCat("round ", r.round));
+      row.AddTimeMicros(r.micros);
+      row.AddFired(r.triggers_fired);
+      row.AddFacts(r.facts_added);
+    }
+  }
   if (obs::TracingEnabled()) {
+    for (const ChaseDepStats& d : stats.per_dependency) {
+      obs::EmitTrace(obs::TraceEvent("chase.dep")
+                         .Add("dep", d.dep)
+                         .Add("label", d.label)
+                         .Add("triggers", d.triggers_enumerated)
+                         .Add("fired", d.triggers_fired)
+                         .Add("satisfied", d.triggers_satisfied)
+                         .Add("new_facts", d.facts_added)
+                         .Add("us", d.micros));
+    }
+    obs::EmitTrace(obs::TraceEvent("chase.dep")
+                       .Add("dep", int64_t{-1})
+                       .Add("label", "(overhead)")
+                       .Add("us", overhead_us));
     obs::EmitTrace(obs::TraceEvent("chase.done")
                        .Add("rounds", stats.rounds)
                        .Add("triggers", stats.triggers_enumerated)
@@ -201,6 +254,12 @@ std::string ChaseStats::ToString() const {
                   r.triggers_fired, " satisfied=", r.triggers_satisfied,
                   " new_facts=", r.facts_added, " us=", r.micros, "\n");
   }
+  for (const ChaseDepStats& d : per_dependency) {
+    out += StrCat("  ", d.label, ": triggers=", d.triggers_enumerated,
+                  " fired=", d.triggers_fired, " satisfied=",
+                  d.triggers_satisfied, " new_facts=", d.facts_added,
+                  " us=", d.micros, "\n");
+  }
   return out;
 }
 
@@ -219,6 +278,16 @@ Result<ChaseResult> Chase(const Instance& input,
   ChaseResult result;
   result.combined = input;
   ChaseStats& stats = result.stats;
+  stats.per_dependency.resize(dependencies.size());
+  for (std::size_t d = 0; d < dependencies.size(); ++d) {
+    stats.per_dependency[d].dep = d;
+    stats.per_dependency[d].label =
+        StrCat("d", d, " ", dependencies[d].ToString());
+  }
+  // Per-trigger timing costs two clock reads per trigger; only pay it when
+  // someone is looking. Counts stay exact either way.
+  const bool attributed = obs::AttributionEnabled() || obs::TracingEnabled();
+  obs::Span run_span("chase");
   obs::ScopedTimer run_timer;
   uint64_t total_added = 0;
   std::vector<Fact> delta;  // facts added in the previous round
@@ -227,6 +296,8 @@ Result<ChaseResult> Chase(const Instance& input,
     ChaseRoundStats round_stats;
     round_stats.round = round;
     round_stats.frontier = delta.size();
+    obs::Span round_span("chase.round");
+    round_span.Arg("round", round);
     obs::ScopedTimer round_timer;
     // Snapshot this round's triggers against a fixed index. The first
     // round enumerates everything; later rounds (semi-naive) only matches
@@ -240,10 +311,15 @@ Result<ChaseResult> Chase(const Instance& input,
       MatchOptions match_options = options.match_options;
       match_options.num_threads = options.num_threads;
       for (const Dependency& dep : dependencies) {
+        std::optional<obs::ScopedTimer> dep_timer;
+        uint64_t dep_us = 0;
+        if (attributed) dep_timer.emplace(nullptr, &dep_us);
         RDX_ASSIGN_OR_RETURN(
             std::vector<Assignment> matches,
             CollectMatches(dep.body(), result.combined, index,
                            match_options));
+        dep_timer.reset();
+        stats.per_dependency[&dep - dependencies.data()].micros += dep_us;
         for (Assignment& match : matches) {
           triggers.push_back(Trigger{&dep, std::move(match)});
         }
@@ -267,10 +343,12 @@ Result<ChaseResult> Chase(const Instance& input,
       }
       std::vector<EnumerationResult> enumerated = RunEnumerationTasks(
           tasks, result.combined, index, options.match_options,
-          options.num_threads);
+          options.num_threads, attributed);
       std::set<std::vector<uint64_t>> seen;
       for (std::size_t t = 0; t < tasks.size(); ++t) {
         MergeMatchStats(enumerated[t].run, options.match_options.stats);
+        stats.per_dependency[tasks[t].dep - dependencies.data()].micros +=
+            enumerated[t].micros;
         RDX_RETURN_IF_ERROR(enumerated[t].status);
         for (Assignment& match : enumerated[t].matches) {
           if (seen.insert(TriggerKey(tasks[t].dep, match)).second) {
@@ -281,6 +359,10 @@ Result<ChaseResult> Chase(const Instance& input,
     }
 
     round_stats.triggers_enumerated = triggers.size();
+    for (const Trigger& trigger : triggers) {
+      ++stats.per_dependency[trigger.dep - dependencies.data()]
+            .triggers_enumerated;
+    }
 
     uint64_t added_this_round = 0;
     std::vector<Fact> next_delta;
@@ -290,15 +372,24 @@ Result<ChaseResult> Chase(const Instance& input,
     // later triggers).
     std::size_t indexed_facts = result.combined.size();
     for (const Trigger& trigger : triggers) {
+      ChaseDepStats& dep_stats =
+          stats.per_dependency[trigger.dep - dependencies.data()];
+      std::optional<obs::ScopedTimer> fire_timer;
+      uint64_t fire_us = 0;
+      if (attributed) fire_timer.emplace(nullptr, &fire_us);
       RDX_ASSIGN_OR_RETURN(
           bool satisfied,
           HeadSatisfied(result.combined, index, *trigger.dep, trigger.match,
                         options.match_options));
       if (satisfied) {
+        fire_timer.reset();
+        dep_stats.micros += fire_us;
         ++round_stats.triggers_satisfied;
+        ++dep_stats.triggers_satisfied;
         continue;
       }
       ++round_stats.triggers_fired;
+      ++dep_stats.triggers_fired;
       RDX_ASSIGN_OR_RETURN(
           uint64_t added,
           FireDisjunct(trigger.dep->disjuncts()[0], trigger.match,
@@ -307,6 +398,9 @@ Result<ChaseResult> Chase(const Instance& input,
         index.Add(&result.combined.facts()[i]);
       }
       indexed_facts = result.combined.size();
+      fire_timer.reset();
+      dep_stats.micros += fire_us;
+      dep_stats.facts_added += added;
       added_this_round += added;
       total_added += added;
       if (total_added > options.max_new_facts) {
@@ -324,6 +418,8 @@ Result<ChaseResult> Chase(const Instance& input,
 
     round_stats.facts_added = added_this_round;
     round_stats.micros = round_timer.ElapsedMicros();
+    round_span.Arg("fired", round_stats.triggers_fired)
+        .Arg("new_facts", round_stats.facts_added);
     stats.rounds = round + 1;
     stats.triggers_enumerated += round_stats.triggers_enumerated;
     stats.triggers_fired += round_stats.triggers_fired;
@@ -348,6 +444,8 @@ Result<ChaseResult> Chase(const Instance& input,
         if (!input.Contains(f)) result.added.AddFact(f);
       }
       stats.micros = run_timer.ElapsedMicros();
+      run_span.Arg("rounds", stats.rounds)
+          .Arg("new_facts", stats.facts_added);
       PublishChaseStats(stats, /*completed=*/true);
       return result;
     }

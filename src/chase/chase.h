@@ -57,6 +57,22 @@ struct ChaseRoundStats {
   uint64_t micros = 0;               // wall time of the round
 };
 
+/// Per-dependency totals for a chase run, in input dependency order.
+/// Trigger and fact counts come from the deterministic sections (the
+/// snapshotted trigger list and the sequential firing loop), so they are
+/// identical at every num_threads. `micros` — wall time enumerating and
+/// firing on behalf of the dependency — is only measured when tracing or
+/// attribution is enabled (base/attribution.h) and stays 0 otherwise.
+struct ChaseDepStats {
+  uint64_t dep = 0;                  // index into the input dependency list
+  std::string label;                 // "d<i> <dependency>"
+  uint64_t triggers_enumerated = 0;
+  uint64_t triggers_fired = 0;
+  uint64_t triggers_satisfied = 0;
+  uint64_t facts_added = 0;
+  uint64_t micros = 0;
+};
+
 /// Aggregate observability stats for a chase run. Totals equal the sums of
 /// the per-round entries; `rounds` mirrors ChaseResult::rounds.
 struct ChaseStats {
@@ -67,9 +83,10 @@ struct ChaseStats {
   uint64_t facts_added = 0;
   uint64_t micros = 0;
   std::vector<ChaseRoundStats> per_round;
+  std::vector<ChaseDepStats> per_dependency;  // one entry per dependency
 
   /// Human-readable multi-line summary: one header line with the totals
-  /// followed by one line per round.
+  /// followed by one line per round and one per dependency.
   std::string ToString() const;
 };
 

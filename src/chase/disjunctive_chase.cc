@@ -7,8 +7,10 @@
 #include <optional>
 #include <unordered_set>
 
+#include "base/attribution.h"
 #include "base/metrics.h"
 #include "base/parallel_for.h"
+#include "base/spans.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "core/fact_index.h"
@@ -151,6 +153,56 @@ Result<Instance> ExpandBranch(const Instance& state,
   return child;
 }
 
+// Per-dependency accumulation for one run: time and work attributed to
+// the dependency whose violation drove each step. Counts come from the
+// sequential main loop (the winning trigger is the lowest dependency
+// index, identical at any num_threads); time covers the whole step (scan
+// plus expansion) and is only measured when tracing or attribution is on.
+struct DepWork {
+  uint64_t micros = 0;
+  uint64_t fired = 0;  // steps this dependency's violation drove
+  uint64_t facts = 0;  // facts materialized across the expanded children
+};
+
+// Publishes the per-dependency rows to the "dchase.dep" attribution
+// domain and, when tracing, as "dchase.dep" events. `satisfied_us` is the
+// time spent on steps that found no violation (branch completion and
+// dedup), reported under the pseudo-key "(satisfied)".
+void PublishDisjunctiveAttribution(const std::vector<Dependency>& dependencies,
+                                   const std::vector<DepWork>& work,
+                                   uint64_t satisfied_us) {
+  const bool attributing = obs::AttributionEnabled();
+  const bool tracing = obs::TracingEnabled();
+  if (!attributing && !tracing) return;
+  for (std::size_t d = 0; d < dependencies.size(); ++d) {
+    std::string label = StrCat("d", d, " ", dependencies[d].ToString());
+    if (attributing) {
+      obs::Attribution& row = obs::Attribution::Get("dchase.dep", label);
+      row.AddTimeMicros(work[d].micros);
+      row.AddFired(work[d].fired);
+      row.AddFacts(work[d].facts);
+    }
+    if (tracing) {
+      obs::EmitTrace(obs::TraceEvent("dchase.dep")
+                         .Add("dep", static_cast<uint64_t>(d))
+                         .Add("label", label)
+                         .Add("fired", work[d].fired)
+                         .Add("new_facts", work[d].facts)
+                         .Add("us", work[d].micros));
+    }
+  }
+  if (attributing) {
+    obs::Attribution::Get("dchase.dep", "(satisfied)")
+        .AddTimeMicros(satisfied_us);
+  }
+  if (tracing) {
+    obs::EmitTrace(obs::TraceEvent("dchase.dep")
+                       .Add("dep", int64_t{-1})
+                       .Add("label", "(satisfied)")
+                       .Add("us", satisfied_us));
+  }
+}
+
 // One batched publish of a run's totals to the "dchase.*" counters plus
 // the "dchase.done" trace event.
 void PublishDisjunctiveStats(const DisjunctiveChaseStats& stats,
@@ -195,7 +247,11 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
     const DisjunctiveChaseOptions& options) {
   DisjunctiveChaseResult result;
   DisjunctiveChaseStats& stats = result.stats;
+  obs::Span run_span("dchase");
   obs::ScopedTimer run_timer;
+  const bool attributed = obs::AttributionEnabled() || obs::TracingEnabled();
+  std::vector<DepWork> dep_work(dependencies.size());
+  uint64_t satisfied_us = 0;
   std::deque<Instance> queue;
   queue.push_back(input);
 
@@ -204,6 +260,7 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
                                                  queue.size());
     if (queue.size() > options.max_branches) {
       stats.micros = run_timer.ElapsedMicros();
+      PublishDisjunctiveAttribution(dependencies, dep_work, satisfied_us);
       PublishDisjunctiveStats(stats, result.combined.size(),
                               /*completed=*/false);
       return Status::ResourceExhausted(
@@ -214,6 +271,7 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
     if (++result.steps > options.max_steps) {
       stats.steps = result.steps;
       stats.micros = run_timer.ElapsedMicros();
+      PublishDisjunctiveAttribution(dependencies, dep_work, satisfied_us);
       PublishDisjunctiveStats(stats, result.combined.size(),
                               /*completed=*/false);
       return Status::ResourceExhausted(
@@ -227,6 +285,9 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
     stats.peak_instance_facts =
         std::max<uint64_t>(stats.peak_instance_facts, state.size());
 
+    std::optional<obs::ScopedTimer> step_timer;
+    uint64_t step_us = 0;
+    if (attributed) step_timer.emplace(nullptr, &step_us);
     RDX_ASSIGN_OR_RETURN(
         std::optional<UnsatisfiedTrigger> trigger,
         FindUnsatisfiedTrigger(state, dependencies, options.match_options,
@@ -253,15 +314,24 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
       } else {
         ++stats.branches_deduped;
       }
+      step_timer.reset();
+      satisfied_us += step_us;
       continue;
     }
 
+    uint64_t facts_this_step = 0;
     for (const auto& disjunct : trigger->dep->disjuncts()) {
       RDX_ASSIGN_OR_RETURN(Instance child,
                            ExpandBranch(state, disjunct, trigger->match));
+      facts_this_step += child.size() - state.size();
       queue.push_back(std::move(child));
       ++stats.branches_expanded;
     }
+    step_timer.reset();
+    DepWork& winner = dep_work[trigger->dep - dependencies.data()];
+    winner.micros += step_us;
+    winner.fired += 1;
+    winner.facts += facts_this_step;
   }
 
   // Added-facts view.
@@ -274,6 +344,9 @@ Result<DisjunctiveChaseResult> DisjunctiveChase(
     result.added.push_back(std::move(added));
   }
   stats.micros = run_timer.ElapsedMicros();
+  run_span.Arg("steps", stats.steps)
+      .Arg("worlds", static_cast<uint64_t>(result.combined.size()));
+  PublishDisjunctiveAttribution(dependencies, dep_work, satisfied_us);
   PublishDisjunctiveStats(stats, result.combined.size(), /*completed=*/true);
   return result;
 }

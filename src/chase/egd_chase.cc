@@ -2,8 +2,11 @@
 
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
+#include "base/attribution.h"
 #include "base/metrics.h"
+#include "base/spans.h"
 #include "base/strings.h"
 #include "base/trace.h"
 
@@ -94,6 +97,38 @@ void ComposeInto(ValueMap* total, const ValueMap& step) {
   }
 }
 
+// Per-egd accumulation for one run: sweep time and merges attributed to
+// each egd (sweeps are sequential, so the merge counts are deterministic;
+// time is only measured when tracing or attribution is on).
+struct EgdWork {
+  uint64_t micros = 0;
+  uint64_t merges = 0;
+};
+
+// Publishes the per-egd rows to the "egd.dep" attribution domain and,
+// when tracing, as "egd.dep" events.
+void PublishEgdAttribution(const std::vector<Egd>& egds,
+                           const std::vector<EgdWork>& work) {
+  const bool attributing = obs::AttributionEnabled();
+  const bool tracing = obs::TracingEnabled();
+  if (!attributing && !tracing) return;
+  for (std::size_t e = 0; e < egds.size(); ++e) {
+    std::string label = StrCat("e", e, " ", egds[e].ToString());
+    if (attributing) {
+      obs::Attribution& row = obs::Attribution::Get("egd.dep", label);
+      row.AddTimeMicros(work[e].micros);
+      row.AddFired(work[e].merges);
+    }
+    if (tracing) {
+      obs::EmitTrace(obs::TraceEvent("egd.dep")
+                         .Add("dep", static_cast<uint64_t>(e))
+                         .Add("label", label)
+                         .Add("merges", work[e].merges)
+                         .Add("us", work[e].micros));
+    }
+  }
+}
+
 // One batched publish of a run's totals to the "egd.*" counters plus the
 // "egd.done" trace event.
 void PublishEgdStats(const EgdChaseStats& stats, bool failed,
@@ -142,9 +177,14 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
   EgdChaseResult result;
   result.combined = input;
   EgdChaseStats& stats = result.stats;
+  obs::Span run_span("egd");
   obs::ScopedTimer run_timer;
+  const bool attributed = obs::AttributionEnabled() || obs::TracingEnabled();
+  std::vector<EgdWork> egd_work(egds.size());
 
   for (uint64_t round = 0; round < options.max_rounds; ++round) {
+    obs::Span round_span("egd.round");
+    round_span.Arg("round", round);
     obs::ScopedTimer round_timer;
     stats.rounds = round + 1;
     // Tgd fixpoint.
@@ -169,6 +209,10 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
     while (true) {
       bool merged_this_sweep = false;
       for (const Egd& egd : egds) {
+        std::optional<obs::ScopedTimer> egd_timer;
+        uint64_t egd_us = 0;
+        if (attributed) egd_timer.emplace(nullptr, &egd_us);
+        EgdWork& work = egd_work[&egd - egds.data()];
         ValueUnionFind uf;
         std::optional<std::pair<Value, Value>> clash;
         Status status = EnumerateMatches(
@@ -193,19 +237,28 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
                      clash->first.ToString(), " and ",
                      clash->second.ToString());
           stats.micros = run_timer.ElapsedMicros();
+          PublishEgdAttribution(egds, egd_work);
           PublishEgdStats(stats, /*failed=*/true, /*completed=*/true);
           return result;
         }
-        if (uf.merges() == 0) continue;
+        if (uf.merges() == 0) {
+          egd_timer.reset();
+          work.micros += egd_us;
+          continue;
+        }
         ValueMap unify = uf.ToValueMap();
         result.combined = result.combined.Apply(unify);
         ComposeInto(&result.merge_map, unify);
         result.merges += uf.merges();
         round_merges += uf.merges();
+        egd_timer.reset();
+        work.micros += egd_us;
+        work.merges += uf.merges();
         merged_this_sweep = true;
         merged_any = true;
         if (result.merges > options.max_merges) {
           stats.micros = run_timer.ElapsedMicros();
+          PublishEgdAttribution(egds, egd_work);
           PublishEgdStats(stats, /*failed=*/false, /*completed=*/false);
           return Status::ResourceExhausted(
               StrCat("egd chase exceeded max_merges=", options.max_merges,
@@ -236,11 +289,14 @@ Result<EgdChaseResult> ChaseWithEgds(const Instance& input,
         if (!unified_input.Contains(f)) result.added.AddFact(f);
       }
       stats.micros = run_timer.ElapsedMicros();
+      PublishEgdAttribution(egds, egd_work);
       PublishEgdStats(stats, /*failed=*/false, /*completed=*/true);
+      run_span.Arg("rounds", stats.rounds).Arg("merges", stats.merges);
       return result;
     }
   }
   stats.micros = run_timer.ElapsedMicros();
+  PublishEgdAttribution(egds, egd_work);
   PublishEgdStats(stats, /*failed=*/false, /*completed=*/false);
   return Status::ResourceExhausted(
       StrCat("egd chase did not converge within max_rounds=",

@@ -7,8 +7,11 @@
 #include <utility>
 #include <vector>
 
+#include "base/attribution.h"
 #include "base/metrics.h"
 #include "base/parallel_for.h"
+#include "base/spans.h"
+#include "base/strings.h"
 #include "base/trace.h"
 #include "core/blocks.h"
 #include "core/fact_index.h"
@@ -148,11 +151,17 @@ Result<std::optional<Instance>> FindShrinkingImage(
 struct BlockState {
   std::vector<const Fact*> residue;  // facts of this block still alive
   std::unordered_set<const Fact*> failed;  // memoized failed drops
-  // Per-run trace numbers.
+  // Per-run trace numbers. `attempts`, `memo_hits`, `folds`, and
+  // `hom_searches` count only work the sequential scan would have made,
+  // so they are identical for every thread count; `micros` (discovery
+  // wall time on behalf of this block) is measured only when tracing or
+  // attribution is enabled and stays 0 otherwise.
   uint64_t initial_size = 0;
   uint64_t attempts = 0;
   uint64_t memo_hits = 0;
   uint64_t folds = 0;
+  uint64_t hom_searches = 0;
+  uint64_t micros = 0;
 };
 
 struct FoldProposal {
@@ -167,6 +176,7 @@ struct BlockRound {
   HomomorphismStats hom_run;
   uint64_t attempts = 0;
   uint64_t memo_hits = 0;
+  uint64_t micros = 0;  // discovery wall time (only when attributed)
   Status status = Status::OK();
 };
 
@@ -176,6 +186,12 @@ struct BlockRound {
 BlockRound DiscoverFold(const BlockState& block, const FactIndex& index,
                         const FactMask& mask, const CoreOptions& options) {
   BlockRound round;
+  std::optional<obs::ScopedTimer> timer;
+  if (obs::AttributionEnabled() || obs::TracingEnabled()) {
+    // NRVO constructs `round` in the return slot; the timer is destroyed
+    // first (reverse declaration order), so every return path gets timed.
+    timer.emplace(nullptr, &round.micros);
+  }
   std::vector<const Fact*> candidates;
   candidates.reserve(block.residue.size());
   for (const Fact* f : block.residue) {
@@ -293,9 +309,20 @@ class BlockedCoreEngine {
     }
     if (active.empty()) return false;
 
+    obs::Span round_span("core.round");
+    round_span.Arg("round", run_->iterations).Arg("active_blocks",
+                                                  active.size());
     std::vector<BlockRound> rounds = par::ParallelMap<BlockRound>(
         options_.hom.num_threads, active.size(), [&](std::size_t k) {
-          return DiscoverFold(blocks_[active[k]], index_, mask_, options_);
+          // Pool-executed: the span adopts the scheduling span (the
+          // core.round above) as its parent via rdx::par.
+          obs::Span block_span("core.block");
+          block_span.Arg("block", active[k]);
+          BlockRound r = DiscoverFold(blocks_[active[k]], index_, mask_,
+                                      options_);
+          block_span.Arg("attempts", r.attempts)
+              .Arg("found", r.proposal.has_value() ? 1 : 0);
+          return r;
         });
 
     // Merge stats and memoized failures in block order (deterministic for
@@ -306,6 +333,8 @@ class BlockedCoreEngine {
       BlockRound& round = rounds[k];
       block.attempts += round.attempts;
       block.memo_hits += round.memo_hits;
+      block.hom_searches += round.hom_run.searches;
+      block.micros += round.micros;
       run_->retraction_attempts += round.attempts;
       run_->masked_attempts += round.attempts;
       run_->memo_hits += round.memo_hits;
@@ -317,6 +346,7 @@ class BlockedCoreEngine {
         applied_any = true;
       }
     }
+    round_span.Arg("applied", applied_any ? 1 : 0);
     return applied_any;
   }
 
@@ -405,6 +435,17 @@ void PublishCoreStats(const CoreStats& run, CoreStats* accumulator,
     accumulator->memo_hits += run.memo_hits;
     accumulator->micros += run.micros;
   }
+  if (blocks != nullptr && obs::AttributionEnabled()) {
+    for (std::size_t b = 0; b < blocks->size(); ++b) {
+      const BlockState& block = (*blocks)[b];
+      obs::Attribution& row =
+          obs::Attribution::Get("core.block", StrCat("block ", b));
+      row.AddTimeMicros(block.micros);
+      row.AddFired(block.folds);
+      row.AddFacts(block.initial_size - block.residue.size());
+      row.AddHomAttempts(block.hom_searches);
+    }
+  }
   if (obs::TracingEnabled()) {
     if (blocks != nullptr) {
       for (std::size_t b = 0; b < blocks->size(); ++b) {
@@ -416,7 +457,9 @@ void PublishCoreStats(const CoreStats& run, CoreStats* accumulator,
                            .Add("fingerprint", BlockFingerprint(block.residue))
                            .Add("attempts", block.attempts)
                            .Add("folds", block.folds)
-                           .Add("memo_hits", block.memo_hits));
+                           .Add("memo_hits", block.memo_hits)
+                           .Add("hom_searches", block.hom_searches)
+                           .Add("us", block.micros));
       }
     }
     obs::EmitTrace(obs::TraceEvent("core.done")
@@ -437,6 +480,8 @@ void PublishCoreStats(const CoreStats& run, CoreStats* accumulator,
 Result<Instance> ComputeCore(const Instance& instance,
                              const CoreOptions& options, CoreStats* stats) {
   CoreStats run;
+  obs::Span run_span("core");
+  run_span.Arg("facts", instance.size());
   obs::ScopedTimer timer;
   if (!options.use_blocks) {
     Instance current = instance;
@@ -473,6 +518,7 @@ Result<Instance> ComputeCore(const Instance& instance,
   run.micros = timer.ElapsedMicros();
   PublishCoreStats(run, stats, instance.size(), core.size(),
                    &engine.blocks());
+  run_span.Arg("core_facts", core.size()).Arg("folds", run.successful_folds);
   return core;
 }
 
@@ -487,6 +533,8 @@ Result<Instance> ComputeCore(const Instance& instance,
 Result<bool> IsCore(const Instance& instance, const CoreOptions& options,
                     CoreStats* stats) {
   CoreStats run;
+  obs::Span run_span("core.is_core");
+  run_span.Arg("facts", instance.size());
   obs::ScopedTimer timer;
   if (!options.use_blocks) {
     ++run.iterations;

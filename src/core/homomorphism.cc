@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "base/metrics.h"
+#include "base/spans.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "core/fact_index.h"
@@ -321,6 +322,7 @@ Result<std::optional<ValueMap>> RunSearch(
     const HomomorphismOptions& options, HomomorphismStats run,
     const obs::ScopedTimer& timer) {
   const uint64_t from_facts = source_facts.size();
+  obs::Span span("hom");
   HomSearch search(std::move(source_facts), index, options, mask, excluded);
   Result<std::optional<ValueMap>> result = search.Run(seed);
   run.steps = search.steps();
@@ -328,6 +330,9 @@ Result<std::optional<ValueMap>> RunSearch(
   run.backtracks = search.backtracks();
   run.found = (result.ok() && result->has_value()) ? 1 : 0;
   run.micros = timer.ElapsedMicros();
+  span.Arg("from_facts", from_facts)
+      .Arg("steps", run.steps)
+      .Arg("found", run.found);
   PublishHomStats(run, options.stats, from_facts);
   return result;
 }

@@ -6,6 +6,7 @@
 
 #include "base/metrics.h"
 #include "base/rng.h"
+#include "base/spans.h"
 #include "base/strings.h"
 #include "base/trace.h"
 #include "core/term.h"
@@ -178,10 +179,15 @@ Result<FuzzReport> RunFuzzer(const FuzzOptions& options) {
     if (options.max_seconds > 0.0 && elapsed_seconds() >= options.max_seconds) {
       break;
     }
+    obs::Span scenario_span("fuzz.scenario");
+    scenario_span.Arg("iteration", iter);
     RDX_ASSIGN_OR_RETURN(FuzzScenario scenario,
                          GenerateScenario(options.seed, iter));
+    scenario_span.Arg("scenario", scenario.name);
     RDX_ASSIGN_OR_RETURN(OracleReport oracles,
                          RunOracles(scenario, options.oracles));
+    scenario_span.Arg("checks", oracles.oracles_run.size())
+        .Arg("failures", oracles.failures.size());
     ++report.iterations;
     scenarios_run.Increment();
     if (oracles.resource_exhausted) {

@@ -4,6 +4,9 @@
 #include <utility>
 
 #include "analysis/analyze.h"
+#include "base/attribution.h"
+#include "base/metrics.h"
+#include "base/spans.h"
 #include "base/strings.h"
 #include "chase/egd_chase.h"
 #include "chase/termination.h"
@@ -28,24 +31,51 @@ class Battery {
       : s_(scenario), opts_(options), report_(report) {}
 
   void Run() {
-    RunTermination();
-    bool chase_ok = RunChaseFamily();
-    RunAnalysis(chase_ok);
-    RunEgdFamily(chase_ok);
+    Family("wa", [&] { RunTermination(); });
+    bool chase_ok = false;
+    Family("chase", [&] { chase_ok = RunChaseFamily(); });
+    Family("analysis", [&] { RunAnalysis(chase_ok); });
+    Family("egd", [&] { RunEgdFamily(chase_ok); });
     if (chase_ok) {
-      RunCoreFamily();
-      RunHomFamily();
-      RunInverse();
+      Family("core", [&] { RunCoreFamily(); });
+      Family("hom", [&] { RunHomFamily(); });
+      Family("inverse", [&] { RunInverse(); });
     }
   }
 
  private:
+  // Runs one oracle family under a "fuzz.family" span and attributes its
+  // wall time to the "fuzz.oracle" row "<family>.*" (time per individual
+  // oracle is not separable: families share engine runs across their
+  // checks). Per-oracle check counts land on exact-name rows via Ran().
+  template <typename Fn>
+  void Family(const char* family, Fn&& fn) {
+    obs::Span span("fuzz.family");
+    span.Arg("family", family);
+    std::optional<obs::ScopedTimer> timer;
+    uint64_t us = 0;
+    if (obs::AttributionEnabled()) timer.emplace(nullptr, &us);
+    const std::size_t before = report_->oracles_run.size();
+    fn();
+    if (timer.has_value()) {
+      timer.reset();
+      obs::Attribution::Get("fuzz.oracle", StrCat(family, ".*"))
+          .AddTimeMicros(us);
+    }
+    span.Arg("checks", report_->oracles_run.size() - before);
+  }
+
   void Fail(std::string oracle, std::string detail) {
     report_->failures.push_back(
         OracleFailure{std::move(oracle), std::move(detail)});
   }
 
-  void Ran(const char* oracle) { report_->oracles_run.push_back(oracle); }
+  void Ran(const char* oracle) {
+    report_->oracles_run.push_back(oracle);
+    if (obs::AttributionEnabled()) {
+      obs::Attribution::Get("fuzz.oracle", oracle).AddFired(1);
+    }
+  }
 
   void Exhausted(const char* where, const Status& status) {
     report_->resource_exhausted = true;

@@ -9,10 +9,15 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "base/attribution.h"
 #include "base/metrics.h"
+#include "base/spans.h"
 #include "base/trace.h"
 #include "chase/chase.h"
 #include "core/core_computation.h"
@@ -112,8 +117,12 @@ TEST(TraceTest, EventsAreOneJsonObjectPerLine) {
     RDX_EXPECT_OK(obs::ValidateJsonLine(line));
     EXPECT_EQ(line.front(), '{');
     EXPECT_NE(line.find("\"ts_us\":"), std::string::npos);
+    EXPECT_NE(line.find("\"tid\":"), std::string::npos);
   }
-  EXPECT_EQ(count, 2);
+  // The one-time trace.meta header plus the two events.
+  EXPECT_EQ(count, 3);
+  EXPECT_NE(sink.str().find("\"ev\":\"trace.meta\""), std::string::npos);
+  EXPECT_NE(sink.str().find("\"schema\":"), std::string::npos);
   EXPECT_NE(sink.str().find("\"ev\":\"alpha\""), std::string::npos);
   EXPECT_NE(sink.str().find("\"n\":3"), std::string::npos);
   EXPECT_NE(sink.str().find("\"flag\":true"), std::string::npos);
@@ -125,8 +134,10 @@ TEST(TraceTest, StringValuesAreJsonEscaped) {
   obs::EmitTrace(obs::TraceEvent("esc").Add(
       "s", std::string_view("a\"b\\c\n\t\x01z")));
   obs::UninstallTraceSink();
-  std::string line = sink.str();
-  if (!line.empty() && line.back() == '\n') line.pop_back();
+  // Last line of the sink (the first is the trace.meta header).
+  std::string all = sink.str();
+  if (!all.empty() && all.back() == '\n') all.pop_back();
+  std::string line = all.substr(all.rfind('\n') + 1);
   RDX_EXPECT_OK(obs::ValidateJsonLine(line));
   EXPECT_NE(line.find("a\\\"b\\\\c\\n\\t\\u0001z"), std::string::npos);
 }
@@ -292,6 +303,241 @@ TEST(CoreStatsTest, PublishesBlockCountersAndPerBlockTrace) {
   }
   EXPECT_EQ(block_events, 2);
   EXPECT_TRUE(saw_done);
+}
+
+TEST(HistogramTest, PercentilesInterpolateWithinBuckets) {
+  obs::Histogram& h = obs::Histogram::Get("obs_test.hist.pct");
+  h.Reset();
+  EXPECT_EQ(obs::HistogramPercentile(h, 0.5), 0.0);  // empty histogram
+  for (int i = 0; i < 99; ++i) h.Record(10);
+  h.Record(1000);
+  // p50 lands in the [8, 15] bucket holding the 99 tens; p99+ reaches
+  // the outlier's bucket, clamped to the observed max.
+  EXPECT_GE(obs::HistogramPercentile(h, 0.50), 8.0);
+  EXPECT_LE(obs::HistogramPercentile(h, 0.50), 15.0);
+  EXPECT_LE(obs::HistogramPercentile(h, 0.99), 15.0);
+  EXPECT_GT(obs::HistogramPercentile(h, 1.0), 512.0);
+  EXPECT_LE(obs::HistogramPercentile(h, 1.0), 1000.0);
+
+  bool found = false;
+  for (const obs::HistogramSample& s : obs::SnapshotHistograms()) {
+    if (s.name != "obs_test.hist.pct") continue;
+    found = true;
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_EQ(s.sum, 99u * 10 + 1000);
+    EXPECT_EQ(s.max, 1000u);
+    EXPECT_LE(s.p50, s.p95);
+    EXPECT_LE(s.p95, s.p99);
+  }
+  EXPECT_TRUE(found);
+
+  std::string rendered = obs::CountersToString();
+  auto pos = rendered.find("obs_test.hist.pct");
+  ASSERT_NE(pos, std::string::npos);
+  std::string line = rendered.substr(pos, rendered.find('\n', pos) - pos);
+  EXPECT_NE(line.find("count=100"), std::string::npos);
+  EXPECT_NE(line.find("max=1000"), std::string::npos);
+  EXPECT_NE(line.find("p50="), std::string::npos);
+  EXPECT_NE(line.find("p95="), std::string::npos);
+  EXPECT_NE(line.find("p99="), std::string::npos);
+}
+
+TEST(SpanTest, InactiveWithoutTraceSink) {
+  obs::UninstallTraceSink();
+  EXPECT_EQ(obs::CurrentSpanId(), 0u);
+  obs::Span span("obs_test.noop");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(span.id(), 0u);
+  EXPECT_EQ(obs::CurrentSpanId(), 0u);
+  span.Arg("k", uint64_t{1});  // must be a no-op, not a crash
+}
+
+TEST(SpanTest, EmitsNestedBeginEndPairsWithParentLinks) {
+  std::ostringstream sink;
+  obs::InstallTraceStream(&sink);
+  uint64_t outer_id = 0, inner_id = 0;
+  {
+    obs::Span outer("obs_test.outer");
+    ASSERT_TRUE(outer.active());
+    outer_id = outer.id();
+    EXPECT_EQ(obs::CurrentSpanId(), outer_id);
+    {
+      obs::Span inner("obs_test.inner");
+      inner_id = inner.id();
+      inner.Arg("items", uint64_t{7}).Arg("mode", "fast");
+      EXPECT_EQ(inner.parent(), outer_id);
+      EXPECT_EQ(obs::CurrentSpanId(), inner_id);
+    }
+    EXPECT_EQ(obs::CurrentSpanId(), outer_id);
+  }
+  EXPECT_EQ(obs::CurrentSpanId(), 0u);
+  EXPECT_EQ(obs::OpenSpanCount(), 0u);
+  obs::UninstallTraceSink();
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  int begins = 0, ends = 0;
+  bool saw_inner_end_args = false;
+  while (std::getline(lines, line)) {
+    RDX_EXPECT_OK(obs::ValidateJsonLine(line));
+    if (line.find("\"ev\":\"span.begin\"") != std::string::npos) ++begins;
+    if (line.find("\"ev\":\"span.end\"") != std::string::npos) {
+      ++ends;
+      EXPECT_NE(line.find("\"dur_us\":"), std::string::npos);
+      if (line.find("\"name\":\"obs_test.inner\"") != std::string::npos) {
+        saw_inner_end_args =
+            line.find("\"items\":7") != std::string::npos &&
+            line.find("\"mode\":\"fast\"") != std::string::npos;
+        EXPECT_NE(line.find(StrCat("\"parent\":", outer_id)),
+                  std::string::npos);
+      }
+    }
+  }
+  EXPECT_EQ(begins, 2);
+  EXPECT_EQ(ends, 2);
+  EXPECT_TRUE(saw_inner_end_args);
+  EXPECT_NE(inner_id, outer_id);
+}
+
+TEST(SpanTest, ScopedSpanParentAdoptsLogicalParent) {
+  std::ostringstream sink;
+  obs::InstallTraceStream(&sink);
+  {
+    obs::Span outer("obs_test.adopt.outer");
+    const obs::SpanId logical = outer.id();
+    std::thread worker([logical] {
+      // Simulates what rdx::par does in every pool task.
+      obs::ScopedSpanParent adopt(logical);
+      obs::Span child("obs_test.adopt.child");
+      EXPECT_EQ(child.parent(), logical);
+    });
+    worker.join();
+  }
+  obs::UninstallTraceSink();
+}
+
+TEST(AttributionTest, RowsAccumulateSnapshotAndRender) {
+  obs::ResetAttribution();
+  const bool was_enabled = obs::AttributionEnabled();
+  obs::EnableAttribution(true);
+  obs::Attribution& row = obs::Attribution::Get("obs_test.dom", "d0 sample");
+  EXPECT_EQ(&row, &obs::Attribution::Get("obs_test.dom", "d0 sample"));
+  row.AddTimeMicros(40);
+  row.AddTimeMicros(2);
+  row.AddFired(3);
+  row.AddFacts(5);
+  row.AddHomAttempts(7);
+
+  bool found = false;
+  for (const obs::AttributionRow& r : obs::SnapshotAttribution()) {
+    if (r.domain == "obs_test.dom" && r.key == "d0 sample") {
+      found = true;
+      EXPECT_EQ(r.time_us, 42u);
+      EXPECT_EQ(r.fired, 3u);
+      EXPECT_EQ(r.facts, 5u);
+      EXPECT_EQ(r.hom_attempts, 7u);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  std::string rendered = obs::AttributionToString();
+  EXPECT_NE(rendered.find("obs_test.dom"), std::string::npos);
+  EXPECT_NE(rendered.find("d0 sample"), std::string::npos);
+
+  obs::ResetAttribution();
+  for (const obs::AttributionRow& r : obs::SnapshotAttribution()) {
+    EXPECT_NE(r.domain, "obs_test.dom");  // all-zero rows are skipped
+  }
+  obs::EnableAttribution(was_enabled);
+}
+
+TEST(AttributionTest, SnapshotSortsByDomainThenTimeDescending) {
+  obs::ResetAttribution();
+  obs::Attribution::Get("obs_test.s1", "cold").AddTimeMicros(1);
+  obs::Attribution::Get("obs_test.s1", "hot").AddTimeMicros(100);
+  obs::Attribution::Get("obs_test.s0", "other").AddTimeMicros(50);
+  std::vector<obs::AttributionRow> rows = obs::SnapshotAttribution();
+  std::vector<std::string> order;
+  for (const obs::AttributionRow& r : rows) {
+    if (r.domain.rfind("obs_test.s", 0) == 0) {
+      order.push_back(r.domain + "/" + r.key);
+    }
+  }
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "obs_test.s0/other");
+  EXPECT_EQ(order[1], "obs_test.s1/hot");
+  EXPECT_EQ(order[2], "obs_test.s1/cold");
+  obs::ResetAttribution();
+}
+
+TEST(MetricsTest, ResetAllMetricsClearsAttributionAndSpanBookkeeping) {
+  obs::Attribution::Get("obs_test.reset", "row").AddFired(9);
+  obs::ResetAllMetrics();
+  for (const obs::AttributionRow& r : obs::SnapshotAttribution()) {
+    EXPECT_NE(r.domain, "obs_test.reset");
+  }
+  EXPECT_EQ(obs::OpenSpanCount(), 0u);
+  EXPECT_EQ(obs::CurrentSpanId(), 0u);
+}
+
+// Stress the sink under concurrency (run under TSan in CI): 8 threads
+// interleave spans and events; afterwards every line must still be one
+// valid JSON object (no torn writes) and every span.begin must have a
+// matching span.end.
+TEST(TraceStressTest, ConcurrentSpansAndEventsProduceWellFormedLines) {
+  std::ostringstream sink;
+  obs::InstallTraceStream(&sink);
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 50;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kIterations; ++i) {
+        obs::Span outer(StrCat("stress.outer.", t));
+        obs::EmitTrace(obs::TraceEvent("stress.event")
+                           .Add("thread", t)
+                           .Add("i", i)
+                           .Add("payload", "x\"y\\z"));
+        obs::Span inner("stress.inner");
+        inner.Arg("i", static_cast<uint64_t>(i));
+        obs::Attribution::Get("stress.dom", StrCat("t", t)).AddFired(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs::OpenSpanCount(), 0u);
+  obs::UninstallTraceSink();
+
+  std::istringstream lines(sink.str());
+  std::string line;
+  std::size_t begins = 0, ends = 0, events = 0;
+  std::map<uint64_t, int> per_span;  // id -> begin(+1)/end(-1) balance
+  while (std::getline(lines, line)) {
+    RDX_EXPECT_OK(obs::ValidateJsonLine(line));
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    const auto span_pos = line.find("\"span\":");
+    uint64_t span_id = 0;
+    if (span_pos != std::string::npos) {
+      span_id = std::strtoull(line.c_str() + span_pos + 7, nullptr, 10);
+    }
+    if (line.find("\"ev\":\"span.begin\"") != std::string::npos) {
+      ++begins;
+      per_span[span_id] += 1;
+    } else if (line.find("\"ev\":\"span.end\"") != std::string::npos) {
+      ++ends;
+      per_span[span_id] -= 1;
+    } else if (line.find("\"ev\":\"stress.event\"") != std::string::npos) {
+      ++events;
+    }
+  }
+  EXPECT_EQ(begins, static_cast<std::size_t>(2 * kThreads * kIterations));
+  EXPECT_EQ(ends, begins);
+  EXPECT_EQ(events, static_cast<std::size_t>(kThreads * kIterations));
+  for (const auto& [id, balance] : per_span) {
+    EXPECT_EQ(balance, 0) << "span " << id << " unbalanced";
+  }
 }
 
 // Driven by cmake/run_trace_check.cmake: validates the JSONL file a prior

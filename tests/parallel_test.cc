@@ -8,7 +8,10 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <map>
 #include <stdexcept>
+#include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -388,6 +391,88 @@ TEST(ParallelInverseChecksTest, ChaseInverseWitnessStable) {
     ASSERT_EQ(actual.has_value(), expected.has_value());
     if (expected.has_value()) {
       EXPECT_EQ(*actual, *expected);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Attribution (base/attribution.h): fired / facts / hom_attempts are
+// recorded only inside the deterministic sequential sections, so the
+// per-entity table is identical at every thread count. time_us varies
+// with scheduling and is deliberately not compared.
+
+using WorkCounts = std::map<std::string, std::tuple<uint64_t, uint64_t, uint64_t>>;
+
+WorkCounts DomainWork(const std::string& domain) {
+  WorkCounts out;
+  for (const obs::AttributionRow& row : obs::SnapshotAttribution()) {
+    if (row.domain != domain) continue;
+    out[row.key] = {row.fired, row.facts, row.hom_attempts};
+  }
+  return out;
+}
+
+class AttributionGuard {
+ public:
+  AttributionGuard() : was_(obs::AttributionEnabled()) {
+    obs::EnableAttribution(true);
+  }
+  ~AttributionGuard() { obs::EnableAttribution(was_); }
+
+ private:
+  bool was_;
+};
+
+TEST(ParallelAttributionTest, ChaseDependencyWorkIsThreadCountIndependent) {
+  scenarios::Scenario scenario = scenarios::PathSplit();
+  Rng rng(13);
+  RDX_ASSERT_OK_AND_ASSIGN(
+      Instance input,
+      PathInstance(scenario.mapping.dependencies()[0].body()[0].relation(),
+                   50, /*null_ratio=*/0.2, &rng));
+  AttributionGuard enabled;
+  WorkCounts base_deps;
+  WorkCounts base_rounds;
+  for (uint64_t threads : {uint64_t{1}, uint64_t{2}, WideThreads()}) {
+    obs::ResetAttribution();
+    ChaseOptions options;
+    options.num_threads = threads;
+    RDX_ASSERT_OK_AND_ASSIGN(
+        ChaseResult chased,
+        Chase(input, scenario.mapping.dependencies(), options));
+    (void)chased;
+    WorkCounts deps = DomainWork("chase.dep");
+    WorkCounts rounds = DomainWork("chase.round");
+    EXPECT_FALSE(deps.empty());
+    if (threads == 1) {
+      base_deps = deps;
+      base_rounds = rounds;
+    } else {
+      EXPECT_EQ(deps, base_deps) << "threads=" << threads;
+      EXPECT_EQ(rounds, base_rounds) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelAttributionTest, CoreBlockWorkIsThreadCountIndependent) {
+  Instance instance = I(
+      "ParC_E(a, b) ParC_E(b, c) "
+      "ParC_E(a, ?n1) ParC_E(?n1, c) ParC_E(a, ?n2) ParC_E(?n2, ?n3) "
+      "ParC_E(?n4, c) ParC_E(b, ?n5) ParC_E(?n6, ?n7)");
+  AttributionGuard enabled;
+  WorkCounts base_blocks;
+  for (uint64_t threads : {uint64_t{1}, uint64_t{2}, WideThreads()}) {
+    obs::ResetAttribution();
+    HomomorphismOptions options;
+    options.num_threads = threads;
+    RDX_ASSERT_OK_AND_ASSIGN(Instance core, ComputeCore(instance, options));
+    (void)core;
+    WorkCounts blocks = DomainWork("core.block");
+    EXPECT_FALSE(blocks.empty());
+    if (threads == 1) {
+      base_blocks = blocks;
+    } else {
+      EXPECT_EQ(blocks, base_blocks) << "threads=" << threads;
     }
   }
 }

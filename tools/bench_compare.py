@@ -9,11 +9,19 @@ baseline is regenerated via the `bench_baseline` target).
 
 Usage:
   bench_compare.py compare --baseline bench/baseline.json \
-      --current out1.json [out2.json ...] [--threshold 0.15]
+      --current out1.json [out2.json ...] [--threshold 0.15] \
+      [--history bench/history.jsonl]
   bench_compare.py merge out1.json [out2.json ...] > baseline.json
+  bench_compare.py history bench/history.jsonl [--last N]
 
 `merge` folds several per-binary JSON files into one flat baseline mapping
 benchmark name -> median real_time (ns), suitable for checking in.
+
+`--history FILE` appends one JSON line per compare run (timestamp, commit
+if GITHUB_SHA is set, every median, gate verdict) so trends survive beyond
+the single-baseline comparison; the line is appended whether or not the
+gate passes. `history` renders the last N entries of such a file as a
+per-benchmark trend table.
 
 Median selection: with --benchmark_repetitions=N google-benchmark emits
 aggregate entries (run_type == "aggregate", aggregate_name == "median");
@@ -22,7 +30,9 @@ used as-is.
 """
 
 import argparse
+import datetime
 import json
+import os
 import sys
 
 
@@ -75,6 +85,61 @@ def cmd_merge(args):
     return 0
 
 
+def append_history(path, current, regressed):
+    """Appends one JSONL record of this run's medians to `path`."""
+    record = {
+        "schema": "rdx-bench-history-v1",
+        "utc": datetime.datetime.now(datetime.timezone.utc)
+               .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "status": "regressed" if regressed else "ok",
+        "median_real_time_ns": dict(sorted(current.items())),
+    }
+    commit = os.environ.get("GITHUB_SHA")
+    if commit:
+        record["commit"] = commit
+    with open(path, "a", encoding="utf-8") as f:
+        f.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"-- appended {len(current)} medians to {path}")
+
+
+def cmd_history(args):
+    """Prints a per-benchmark trend table over the last N history lines."""
+    entries = []
+    with open(args.file, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as e:
+                print(f"warning: {args.file}:{lineno}: skipping bad line "
+                      f"({e})", file=sys.stderr)
+                continue
+            if doc.get("schema") != "rdx-bench-history-v1":
+                print(f"warning: {args.file}:{lineno}: unknown schema "
+                      f"{doc.get('schema')!r}; skipping", file=sys.stderr)
+                continue
+            entries.append(doc)
+    if not entries:
+        print("error: no history entries found", file=sys.stderr)
+        return 1
+    entries = entries[-args.last:]
+    names = sorted({n for e in entries
+                    for n in e.get("median_real_time_ns", {})})
+    width = max(len(n) for n in names)
+    header = " ".join(f"{e['utc'][:10]:>12}" for e in entries)
+    print(f"{'benchmark':<{width}} {header}")
+    for name in names:
+        cells = []
+        for e in entries:
+            t = e.get("median_real_time_ns", {}).get(name)
+            cells.append(f"{t:12.0f}" if t is not None else f"{'-':>12}")
+        print(f"{name:<{width}} {' '.join(cells)}")
+    print(f"({len(entries)} run(s), times in ns)")
+    return 0
+
+
 def cmd_compare(args):
     with open(args.baseline, "r", encoding="utf-8") as f:
         baseline_doc = json.load(f)
@@ -106,6 +171,8 @@ def cmd_compare(args):
               f"{', '.join(new)}")
     if missing:
         print(f"-- in baseline but not measured: {', '.join(missing)}")
+    if args.history:
+        append_history(args.history, current, bool(regressions))
     if regressions:
         print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0%} vs {args.baseline}:")
@@ -127,15 +194,27 @@ def main():
     p_compare.add_argument("--current", nargs="+", required=True)
     p_compare.add_argument("--threshold", type=float, default=0.15,
                            help="allowed relative slowdown (default 0.15)")
+    p_compare.add_argument("--history", default=None, metavar="FILE",
+                           help="append this run's medians to FILE (JSONL)")
     p_compare.set_defaults(func=cmd_compare)
 
     p_merge = sub.add_parser("merge", help="fold JSON files into a baseline")
     p_merge.add_argument("files", nargs="+")
     p_merge.set_defaults(func=cmd_merge)
 
+    p_history = sub.add_parser("history", help="trend table from a history "
+                                               "JSONL file")
+    p_history.add_argument("file")
+    p_history.add_argument("--last", type=int, default=8,
+                           help="show the most recent N runs (default 8)")
+    p_history.set_defaults(func=cmd_history)
+
     args = parser.parse_args()
     return args.func(args)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `bench_compare.py history ... | head`
+        sys.exit(0)

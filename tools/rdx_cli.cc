@@ -12,10 +12,15 @@
 //   rdx_cli core           --instance I.rdx
 //
 // Every subcommand additionally accepts:
-//   --stats        print engine statistics (per-round chase summary plus
-//                  all process counters) to stderr after the run
+//   --stats        print engine statistics (per-round chase summary, all
+//                  process counters and histograms, and the attribution
+//                  table) to stderr after the run
 //   --trace FILE   write structured JSONL trace events to FILE
-//                  (docs/observability.md describes the event schema)
+//                  (docs/observability.md describes the event schema;
+//                  feed the file to tools/rdx_prof for hot-spot tables)
+//   --trace-chrome FILE
+//                  write a Chrome trace-event JSON file loadable in
+//                  chrome://tracing or Perfetto (combinable with --trace)
 //   --threads N    fan engine-internal work (trigger enumeration,
 //                  retraction attempts, violation scans) out over N
 //                  threads; results are identical for every N
@@ -61,7 +66,8 @@ int Usage() {
       "usage: rdx_cli <chase|reverse|roundtrip|quasi-inverse|compose|"
       "analyze|certain|core> [--mapping F] [--second F] [--reverse F] "
       "[--instance F] [--query Q] [--constants N] [--nulls N] "
-      "[--max-facts N] [--threads N] [--stats] [--trace FILE]\n");
+      "[--max-facts N] [--threads N] [--stats] [--trace FILE] "
+      "[--trace-chrome FILE]\n");
   return 2;
 }
 
@@ -242,6 +248,7 @@ int Main(int argc, char** argv) {
     }
   }
 
+  obs::SetTraceProcessName("rdx_cli");
   if (const char* trace_path = args.Get("trace"); trace_path != nullptr) {
     Status installed = obs::InstallTraceFile(trace_path);
     if (!installed.ok()) {
@@ -250,9 +257,25 @@ int Main(int argc, char** argv) {
       return 1;
     }
   }
+  if (const char* chrome_path = args.Get("trace-chrome");
+      chrome_path != nullptr) {
+    Status installed = obs::InstallChromeTraceFile(chrome_path);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "error (trace-chrome): %s\n",
+                   installed.ToString().c_str());
+      obs::UninstallTraceSink();
+      return 1;
+    }
+  }
+  // Attribution rows feed the --stats table; tracing needs them measured
+  // too so the chase.dep events carry real times.
+  if (args.Has("stats") || obs::TracingEnabled()) {
+    obs::EnableAttribution(true);
+  }
   int code = Dispatch(args);
   if (args.Has("stats")) {
     std::fprintf(stderr, "%s", obs::CountersToString().c_str());
+    std::fprintf(stderr, "%s", obs::AttributionToString().c_str());
   }
   obs::UninstallTraceSink();
   return code;

@@ -1,0 +1,609 @@
+// rdx_prof: hot-spot reporter over rdx JSONL traces.
+//
+// Reads a JSONL trace produced by `--trace <file>` (see
+// docs/observability.md) and prints per-dependency and per-block hot-spot
+// tables, the span tree, and flamegraph-ready collapsed stacks. Also
+// hosts the trace gates used by ctest:
+//
+//   rdx_prof <trace.jsonl>                  # tables + span tree
+//   rdx_prof <trace.jsonl> --deps           # per-dependency tables only
+//   rdx_prof <trace.jsonl> --blocks         # per-block table only
+//   rdx_prof <trace.jsonl> --tree           # span tree only
+//   rdx_prof <trace.jsonl> --collapse       # collapsed stacks (self time)
+//   rdx_prof <trace.jsonl> --top N          # cap table rows (default 20)
+//   rdx_prof <trace.jsonl> --check-coverage # chase.dep us ≈ chase.done us
+//   rdx_prof --check-chrome <trace.json>    # valid JSON + balanced B/E
+//
+// The check modes exit non-zero on violation and print the reason.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/strings.h"
+#include "base/trace.h"
+
+namespace rdx {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flat JSON object parsing. Trace lines are single-level objects; Chrome
+// event lines additionally carry one nested "args" object, which is
+// captured as raw text (the value is not needed field-by-field).
+// ---------------------------------------------------------------------------
+
+struct JsonObject {
+  // Decoded string values and raw numeric/bool/null/nested text, keyed by
+  // field name. Duplicate keys keep the last occurrence.
+  std::map<std::string, std::string> fields;
+
+  bool Has(const std::string& key) const { return fields.count(key) > 0; }
+
+  std::string Str(const std::string& key) const {
+    auto it = fields.find(key);
+    return it == fields.end() ? std::string() : it->second;
+  }
+
+  uint64_t U64(const std::string& key) const {
+    auto it = fields.find(key);
+    if (it == fields.end()) return 0;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+
+  int64_t I64(const std::string& key) const {
+    auto it = fields.find(key);
+    if (it == fields.end()) return 0;
+    return std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+};
+
+// Scans a balanced {...} or [...] starting at s[*pos], honouring strings
+// and escapes. Returns false on malformed input.
+bool SkipBalanced(std::string_view s, std::size_t* pos) {
+  char open = s[*pos];
+  char close = open == '{' ? '}' : ']';
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = *pos; i < s.size(); ++i) {
+    char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == open) {
+      ++depth;
+    } else if (c == close) {
+      if (--depth == 0) {
+        *pos = i + 1;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// Decodes a JSON string starting at the opening quote s[*pos]. Handles
+// the escapes the trace writer emits (\" \\ \n \t \r \uXXXX — the latter
+// decoded only for ASCII, else kept verbatim).
+bool ParseJsonString(std::string_view s, std::size_t* pos, std::string* out) {
+  if (*pos >= s.size() || s[*pos] != '"') return false;
+  ++*pos;
+  out->clear();
+  while (*pos < s.size()) {
+    char c = s[(*pos)++];
+    if (c == '"') return true;
+    if (c != '\\') {
+      out->push_back(c);
+      continue;
+    }
+    if (*pos >= s.size()) return false;
+    char e = s[(*pos)++];
+    switch (e) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        if (*pos + 4 > s.size()) return false;
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = s[*pos + k];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= h - '0';
+          else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+          else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+          else return false;
+        }
+        if (code < 0x80) {
+          out->push_back(static_cast<char>(code));
+        } else {
+          out->append(s.substr(*pos - 2, 6));
+        }
+        *pos += 4;
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;
+}
+
+void SkipWs(std::string_view s, std::size_t* pos) {
+  while (*pos < s.size() && (s[*pos] == ' ' || s[*pos] == '\t')) ++*pos;
+}
+
+// Parses one object line into `out`. Nested objects/arrays become raw
+// text values.
+bool ParseObjectLine(std::string_view s, JsonObject* out) {
+  std::size_t pos = 0;
+  SkipWs(s, &pos);
+  if (pos >= s.size() || s[pos] != '{') return false;
+  ++pos;
+  SkipWs(s, &pos);
+  if (pos < s.size() && s[pos] == '}') return true;  // empty object
+  while (pos < s.size()) {
+    std::string key;
+    if (!ParseJsonString(s, &pos, &key)) return false;
+    SkipWs(s, &pos);
+    if (pos >= s.size() || s[pos] != ':') return false;
+    ++pos;
+    SkipWs(s, &pos);
+    if (pos >= s.size()) return false;
+    std::string value;
+    if (s[pos] == '"') {
+      if (!ParseJsonString(s, &pos, &value)) return false;
+    } else if (s[pos] == '{' || s[pos] == '[') {
+      std::size_t start = pos;
+      if (!SkipBalanced(s, &pos)) return false;
+      value = std::string(s.substr(start, pos - start));
+    } else {
+      std::size_t start = pos;
+      while (pos < s.size() && s[pos] != ',' && s[pos] != '}') ++pos;
+      value = std::string(s.substr(start, pos - start));
+      while (!value.empty() && value.back() == ' ') value.pop_back();
+    }
+    out->fields[key] = std::move(value);
+    SkipWs(s, &pos);
+    if (pos >= s.size()) return false;
+    if (s[pos] == '}') return true;
+    if (s[pos] != ',') return false;
+    ++pos;
+    SkipWs(s, &pos);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Trace model.
+// ---------------------------------------------------------------------------
+
+struct SpanNode {
+  uint64_t id = 0;
+  uint64_t parent = 0;
+  uint64_t tid = 0;
+  uint64_t begin_ts = 0;
+  uint64_t end_ts = 0;
+  uint64_t dur_us = 0;
+  bool closed = false;
+  std::string name;
+  std::vector<uint64_t> children;  // in begin order
+};
+
+// One hot-table row, aggregated over every event with the same label.
+struct HotRow {
+  std::string label;
+  uint64_t us = 0;
+  uint64_t triggers = 0;
+  uint64_t fired = 0;
+  uint64_t satisfied = 0;
+  uint64_t facts = 0;
+};
+
+struct Trace {
+  std::vector<JsonObject> events;          // every parsed line, in order
+  std::unordered_map<uint64_t, SpanNode> spans;
+  std::vector<uint64_t> span_order;        // by begin appearance
+  std::vector<uint64_t> roots;
+};
+
+bool LoadTrace(const std::string& path, Trace* trace, std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    *error = StrCat("cannot open ", path);
+    return false;
+  }
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    JsonObject obj;
+    if (!ParseObjectLine(line, &obj)) {
+      *error = StrCat(path, ":", lineno, ": unparseable trace line");
+      return false;
+    }
+    const std::string ev = obj.Str("ev");
+    if (ev == "span.begin") {
+      uint64_t id = obj.U64("span");
+      SpanNode& node = trace->spans[id];
+      node.id = id;
+      node.parent = obj.U64("parent");
+      node.tid = obj.U64("tid");
+      node.begin_ts = obj.U64("ts_us");
+      node.name = obj.Str("name");
+      trace->span_order.push_back(id);
+    } else if (ev == "span.end") {
+      uint64_t id = obj.U64("span");
+      auto it = trace->spans.find(id);
+      if (it != trace->spans.end()) {
+        it->second.end_ts = obj.U64("ts_us");
+        it->second.dur_us = obj.U64("dur_us");
+        it->second.closed = true;
+      }
+    }
+    trace->events.push_back(std::move(obj));
+  }
+  // Parent links. A parent that never appeared (e.g. the trace was cut)
+  // promotes the child to a root.
+  for (uint64_t id : trace->span_order) {
+    SpanNode& node = trace->spans[id];
+    auto parent = trace->spans.find(node.parent);
+    if (node.parent != 0 && parent != trace->spans.end()) {
+      parent->second.children.push_back(id);
+    } else {
+      trace->roots.push_back(id);
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reports.
+// ---------------------------------------------------------------------------
+
+std::string FormatUs(uint64_t us) {
+  if (us >= 10'000'000) return StrCat(us / 1'000'000, "s");
+  if (us >= 10'000) return StrCat(us / 1'000, "ms");
+  return StrCat(us, "us");
+}
+
+// Aggregates `ev_name` events by label and prints them sorted by time,
+// hottest first. Returns whether any row was printed.
+bool PrintHotTable(const Trace& trace, const std::string& ev_name,
+                   const std::string& title, std::size_t top) {
+  std::map<std::string, HotRow> rows;
+  for (const JsonObject& e : trace.events) {
+    if (e.Str("ev") != ev_name) continue;
+    std::string label = e.Str("label");
+    if (label.empty() && e.Has("block")) {
+      label = StrCat("block ", e.Str("block"));
+    }
+    if (label.empty()) label = "(unlabeled)";
+    HotRow& row = rows[label];
+    row.label = label;
+    row.us += e.U64("us");
+    row.triggers += e.U64("triggers") + e.U64("attempts");
+    row.fired += e.U64("fired") + e.U64("merges") + e.U64("folds");
+    row.satisfied += e.U64("satisfied") + e.U64("memo_hits");
+    row.facts += e.U64("new_facts") + e.U64("facts");
+  }
+  if (rows.empty()) return false;
+
+  std::vector<HotRow> sorted;
+  sorted.reserve(rows.size());
+  uint64_t total_us = 0;
+  for (auto& [unused, row] : rows) {
+    total_us += row.us;
+    sorted.push_back(std::move(row));
+  }
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const HotRow& a, const HotRow& b) { return a.us > b.us; });
+
+  std::printf("%s (total %s)\n", title.c_str(), FormatUs(total_us).c_str());
+  std::printf("  %10s %6s %10s %10s %10s %10s  %s\n", "time", "%", "triggers",
+              "fired", "satisfied", "facts", "label");
+  std::size_t shown = 0;
+  for (const HotRow& row : sorted) {
+    if (shown++ >= top) {
+      std::printf("  ... %zu more row(s)\n", sorted.size() - top);
+      break;
+    }
+    double pct = total_us == 0 ? 0.0 : 100.0 * row.us / total_us;
+    std::printf("  %10s %5.1f%% %10llu %10llu %10llu %10llu  %s\n",
+                FormatUs(row.us).c_str(), pct,
+                static_cast<unsigned long long>(row.triggers),
+                static_cast<unsigned long long>(row.fired),
+                static_cast<unsigned long long>(row.satisfied),
+                static_cast<unsigned long long>(row.facts),
+                row.label.c_str());
+  }
+  std::printf("\n");
+  return true;
+}
+
+uint64_t SelfUs(const Trace& trace, const SpanNode& node) {
+  uint64_t child_us = 0;
+  for (uint64_t c : node.children) {
+    child_us += trace.spans.at(c).dur_us;
+  }
+  return node.dur_us > child_us ? node.dur_us - child_us : 0;
+}
+
+void PrintSpanSubtree(const Trace& trace, uint64_t id, int depth) {
+  const SpanNode& node = trace.spans.at(id);
+  std::printf("  %*s%-*s %10s self=%-8s tid=%llu id=%llu%s\n", 2 * depth, "",
+              std::max(2, 32 - 2 * depth), node.name.c_str(),
+              FormatUs(node.dur_us).c_str(),
+              FormatUs(SelfUs(trace, node)).c_str(),
+              static_cast<unsigned long long>(node.tid),
+              static_cast<unsigned long long>(node.id),
+              node.closed ? "" : " (unclosed)");
+  for (uint64_t c : node.children) PrintSpanSubtree(trace, c, depth + 1);
+}
+
+void PrintSpanTree(const Trace& trace) {
+  if (trace.span_order.empty()) {
+    std::printf("span tree: no spans in trace\n\n");
+    return;
+  }
+  std::printf("span tree (%zu spans)\n", trace.span_order.size());
+  for (uint64_t root : trace.roots) PrintSpanSubtree(trace, root, 0);
+  std::printf("\n");
+}
+
+void CollapseSpan(const Trace& trace, uint64_t id, const std::string& prefix,
+                  std::map<std::string, uint64_t>* stacks) {
+  const SpanNode& node = trace.spans.at(id);
+  std::string stack =
+      prefix.empty() ? node.name : StrCat(prefix, ";", node.name);
+  (*stacks)[stack] += SelfUs(trace, node);
+  for (uint64_t c : node.children) CollapseSpan(trace, c, stack, stacks);
+}
+
+// Flamegraph collapsed-stack format: "root;child;leaf <self_us>" per
+// line, mergeable by flamegraph.pl / speedscope.
+void PrintCollapsedStacks(const Trace& trace) {
+  std::map<std::string, uint64_t> stacks;
+  for (uint64_t root : trace.roots) CollapseSpan(trace, root, "", &stacks);
+  for (const auto& [stack, self_us] : stacks) {
+    if (self_us == 0) continue;
+    std::printf("%s %llu\n", stack.c_str(),
+                static_cast<unsigned long long>(self_us));
+  }
+}
+
+void PrintMeta(const Trace& trace) {
+  for (const JsonObject& e : trace.events) {
+    if (e.Str("ev") != "trace.meta") continue;
+    std::printf("trace: schema=%llu binary=%s pid=%llu\n\n",
+                static_cast<unsigned long long>(e.U64("schema")),
+                e.Str("binary").c_str(),
+                static_cast<unsigned long long>(e.U64("pid")));
+    return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Check modes.
+// ---------------------------------------------------------------------------
+
+// Verifies the per-dependency attribution covers the chase wall time: the
+// chase.dep rows (including the "(overhead)" residual) must sum to within
+// 10% of the chase.done total. Both sides aggregate over every chase run
+// in the trace.
+int CheckCoverage(const Trace& trace) {
+  uint64_t dep_us = 0;
+  uint64_t done_us = 0;
+  std::size_t done_events = 0;
+  for (const JsonObject& e : trace.events) {
+    const std::string ev = e.Str("ev");
+    if (ev == "chase.dep") dep_us += e.U64("us");
+    if (ev == "chase.done") {
+      done_us += e.U64("us");
+      ++done_events;
+    }
+  }
+  if (done_events == 0) {
+    std::fprintf(stderr,
+                 "coverage check: no chase.done event in trace "
+                 "(was the chase run with tracing on?)\n");
+    return 1;
+  }
+  const uint64_t diff = dep_us > done_us ? dep_us - done_us : done_us - dep_us;
+  const double limit = 0.10 * static_cast<double>(done_us);
+  std::printf("coverage: chase.dep sum=%lluus chase.done sum=%lluus "
+              "diff=%lluus (limit 10%% = %.0fus)\n",
+              static_cast<unsigned long long>(dep_us),
+              static_cast<unsigned long long>(done_us),
+              static_cast<unsigned long long>(diff), limit);
+  if (done_us > 0 && static_cast<double>(diff) > limit) {
+    std::fprintf(stderr,
+                 "coverage check FAILED: attribution misses more than 10%% "
+                 "of the chase wall time\n");
+    return 1;
+  }
+  return 0;
+}
+
+// Validates a Chrome trace-event file: the whole file must be one valid
+// JSON value, and per tid the B/E events must nest LIFO with matching
+// names and end balanced.
+int CheckChrome(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+  Status valid = obs::ValidateJsonLine(content);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s: not valid JSON: %s\n", path.c_str(),
+                 valid.ToString().c_str());
+    return 1;
+  }
+
+  // The exporter writes one event per line between the array brackets, so
+  // the nesting check can parse line-wise (the args value is nested and
+  // captured raw).
+  std::unordered_map<uint64_t, std::vector<std::string>> open;  // tid→names
+  std::size_t events = 0;
+  std::size_t lineno = 0;
+  std::istringstream lines(content);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    while (!line.empty() && (line.back() == ',' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] != '{') continue;
+    if (line.find("\"traceEvents\"") != std::string::npos) continue;
+    JsonObject obj;
+    if (!ParseObjectLine(line, &obj)) {
+      std::fprintf(stderr, "%s:%zu: unparseable event line\n", path.c_str(),
+                   lineno);
+      return 1;
+    }
+    if (!obj.Has("ph")) continue;
+    ++events;
+    const std::string ph = obj.Str("ph");
+    const uint64_t tid = obj.U64("tid");
+    if (ph == "B") {
+      open[tid].push_back(obj.Str("name"));
+    } else if (ph == "E") {
+      std::vector<std::string>& stack = open[tid];
+      if (stack.empty()) {
+        std::fprintf(stderr, "%s:%zu: 'E' event with no open 'B' on tid %llu\n",
+                     path.c_str(), lineno,
+                     static_cast<unsigned long long>(tid));
+        return 1;
+      }
+      if (stack.back() != obj.Str("name")) {
+        std::fprintf(stderr,
+                     "%s:%zu: 'E' event '%s' does not match open span '%s' "
+                     "on tid %llu\n",
+                     path.c_str(), lineno, obj.Str("name").c_str(),
+                     stack.back().c_str(), static_cast<unsigned long long>(tid));
+        return 1;
+      }
+      stack.pop_back();
+    }
+  }
+  for (const auto& [tid, stack] : open) {
+    if (!stack.empty()) {
+      std::fprintf(stderr, "%s: %zu span(s) left open on tid %llu ('%s')\n",
+                   path.c_str(), stack.size(),
+                   static_cast<unsigned long long>(tid),
+                   stack.back().c_str());
+      return 1;
+    }
+  }
+  std::printf("%s: valid JSON, %zu event(s), all B/E pairs balanced\n",
+              path.c_str(), events);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rdx_prof <trace.jsonl> [--deps] [--blocks] [--tree]\n"
+      "                [--collapse] [--top N] [--check-coverage]\n"
+      "       rdx_prof --check-chrome <trace.json>\n");
+  return 2;
+}
+
+int ProfMain(int argc, char** argv) {
+  std::string trace_path;
+  std::string chrome_path;
+  bool deps = false, blocks = false, tree = false, collapse = false;
+  bool check_coverage = false;
+  std::size_t top = 20;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--deps") {
+      deps = true;
+    } else if (arg == "--blocks") {
+      blocks = true;
+    } else if (arg == "--tree") {
+      tree = true;
+    } else if (arg == "--collapse") {
+      collapse = true;
+    } else if (arg == "--check-coverage") {
+      check_coverage = true;
+    } else if (arg == "--top") {
+      if (++i >= argc) return Usage();
+      top = std::strtoull(argv[i], nullptr, 10);
+      if (top == 0) top = 1;
+    } else if (arg == "--check-chrome") {
+      if (++i >= argc) return Usage();
+      chrome_path = argv[i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return Usage();
+    } else if (trace_path.empty()) {
+      trace_path = arg;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (!chrome_path.empty()) return CheckChrome(chrome_path);
+  if (trace_path.empty()) return Usage();
+
+  Trace trace;
+  std::string error;
+  if (!LoadTrace(trace_path, &trace, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  if (check_coverage) return CheckCoverage(trace);
+  if (collapse) {
+    PrintCollapsedStacks(trace);
+    return 0;
+  }
+
+  const bool all = !deps && !blocks && !tree;
+  PrintMeta(trace);
+  if (all || deps) {
+    bool any = false;
+    any |= PrintHotTable(trace, "chase.dep", "chase: per-dependency", top);
+    any |= PrintHotTable(trace, "dchase.dep",
+                         "disjunctive chase: per-dependency", top);
+    any |= PrintHotTable(trace, "egd.dep", "egd chase: per-egd", top);
+    if (!any && deps) std::printf("no per-dependency events in trace\n\n");
+  }
+  if (all || blocks) {
+    if (!PrintHotTable(trace, "core.block", "core: per-block", top) &&
+        blocks) {
+      std::printf("no core.block events in trace\n\n");
+    }
+  }
+  if (all || tree) PrintSpanTree(trace);
+  return 0;
+}
+
+}  // namespace
+}  // namespace rdx
+
+int main(int argc, char** argv) { return rdx::ProfMain(argc, argv); }
