@@ -1,0 +1,132 @@
+// Experiment E15 (EXPERIMENTS.md): laconic chase-to-core versus the
+// post-hoc blocked core engine on the same mapping and instance. The
+// laconic path chases the compiled dependency set (ten Cate et al.,
+// docs/laconic.md) — the chase result IS the core, no core engine runs.
+// The blocked path is the reference it replaces: chase the original
+// mapping, then ComputeCore over the added view. Compilation is a
+// one-time per-mapping cost, amortized across every instance exchanged
+// through it, so it happens in setup and is reported as its own series;
+// CI requires the laconic exchange to beat the blocked exchange via
+// bench_compare.py's --require-faster gate.
+//
+// Series reported:
+//   BM_LaconicVsBlocked_Laconic/<hubs>  — chase of the compiled set
+//   BM_LaconicVsBlocked_Blocked/<hubs>  — chase + blocked core
+//   BM_LaconicCompile                   — the one-time compilation
+//   core_size counter — |core| (identical across the two series)
+
+#include "bench_util.h"
+
+namespace rdx {
+namespace {
+
+using bench_util::Claim;
+using bench_util::MustOk;
+
+// Co-target split (Ex 3.18 shape): each request pairs two sources onto a
+// shared fresh witness. The compiler specializes it into a guarded
+// distinct-pair variant and a merged self-pair variant, ordered so the
+// self-pair block (whose head a distinct-pair block satisfies) fires
+// last — the laconic chase then never materializes it, while the naive
+// chase fires self-pairs in input order and the core engine must fold
+// every redundant block away afterwards.
+SchemaMapping LaconicMapping() {
+  Schema source = Schema::MustMake({{"BlP", 2}});
+  Schema target = Schema::MustMake({{"BlQ", 2}});
+  return SchemaMapping::MustParse(
+      source, target, "BlP(x, y) -> EXISTS z: BlQ(x, z) & BlQ(y, z)");
+}
+
+SchemaMapping CompiledMapping() {
+  SchemaMapping mapping = LaconicMapping();
+  LaconicCompilation compiled = MustOk(CompileLaconic(mapping), "compile");
+  if (!compiled.laconic) {
+    std::fprintf(stderr, "benchmark mapping did not compile laconically\n");
+    std::abort();
+  }
+  return MustOk(SchemaMapping::Make(mapping.source(), mapping.target(),
+                                    compiled.dependencies),
+                "compiled mapping");
+}
+
+// `hubs` hubs, each with a self-pair listed BEFORE its two spoke pairs —
+// the order that makes the naive chase emit one redundant block per hub.
+Instance HubInstance(std::size_t hubs) {
+  Relation rel = Relation::MustIntern("BlP", 2);
+  Instance out;
+  for (std::size_t h = 0; h < hubs; ++h) {
+    Value hub = Value::MakeConstant(StrCat("bl", h));
+    out.AddFact(Fact::MustMake(rel, {hub, hub}));
+    for (int s = 0; s < 2; ++s) {
+      Value spoke = Value::MakeConstant(StrCat("bl", h, "s", s));
+      out.AddFact(Fact::MustMake(rel, {hub, spoke}));
+    }
+  }
+  return out;
+}
+
+void BM_LaconicVsBlocked_Laconic(benchmark::State& state) {
+  SchemaMapping compiled = CompiledMapping();
+  Instance input = HubInstance(static_cast<std::size_t>(state.range(0)));
+  std::size_t core_size = 0;
+  bench_util::ExportCounters exported(
+      state, {"chase.triggers_fired", "core.retraction_attempts"});
+  for (auto _ : state) {
+    Instance core = MustOk(ChaseMapping(compiled, input), "laconic chase");
+    core_size = core.size();
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["core_size"] = static_cast<double>(core_size);
+}
+BENCHMARK(BM_LaconicVsBlocked_Laconic)->Arg(5)->Arg(25)->Arg(100);
+
+void BM_LaconicVsBlocked_Blocked(benchmark::State& state) {
+  SchemaMapping mapping = LaconicMapping();
+  Instance input = HubInstance(static_cast<std::size_t>(state.range(0)));
+  std::size_t core_size = 0;
+  bench_util::ExportCounters exported(
+      state, {"chase.triggers_fired", "core.retraction_attempts"});
+  for (auto _ : state) {
+    Instance core = MustOk(CoreChaseMapping(mapping, input), "blocked core");
+    core_size = core.size();
+    benchmark::DoNotOptimize(core);
+  }
+  state.counters["core_size"] = static_cast<double>(core_size);
+}
+BENCHMARK(BM_LaconicVsBlocked_Blocked)->Arg(5)->Arg(25)->Arg(100);
+
+// The per-mapping cost the exchange series amortize.
+void BM_LaconicCompile(benchmark::State& state) {
+  SchemaMapping mapping = LaconicMapping();
+  for (auto _ : state) {
+    LaconicCompilation compiled = MustOk(CompileLaconic(mapping), "compile");
+    benchmark::DoNotOptimize(compiled);
+  }
+}
+BENCHMARK(BM_LaconicCompile);
+
+}  // namespace
+
+// E15 claims: the two paths must agree before either is worth timing,
+// and the laconic output must already be a core (no hidden cleanup).
+void VerifyClaims() {
+  SchemaMapping mapping = LaconicMapping();
+  for (std::size_t hubs : {5, 25, 100}) {
+    Instance input = HubInstance(hubs);
+    LaconicChaseResult laconic =
+        MustOk(LaconicChaseMapping(mapping, input), "laconic chase");
+    Instance reference =
+        MustOk(CoreChaseMapping(mapping, input), "blocked core");
+    Claim(laconic.used_laconic,
+          "E15: laconic path taken (no core engine invoked)");
+    Claim(laconic.core.CanonicalForm().ToString() ==
+              reference.CanonicalForm().ToString(),
+          "E15: laconic chase canonically byte-identical to blocked core");
+    Claim(MustOk(IsCore(laconic.core), "is_core"),
+          "E15: the laconic chase result is already a core");
+  }
+}
+
+}  // namespace rdx
+
+RDX_BENCH_MAIN(rdx::VerifyClaims)

@@ -1,0 +1,55 @@
+# Laconic-vs-blocked byte-identity gate driven by ctest (see
+# tools/CMakeLists.txt): runs `rdx_cli chase --laconic --canonical` and
+# the reference `rdx_cli chase --to-core --canonical` on the same
+# mapping/instance in separate processes and requires byte-identical
+# stdout. --canonical renames nulls into the canonical form, so this is
+# an exact comparison — the CLI-level enforcement of the equivalence
+# docs/laconic.md proves and the laconic.core fuzz oracle fuzzes.
+#
+# Expects -DRDX_CLI, -DMAPPING, -DINSTANCE, -DOUT_DIR.
+
+foreach(var RDX_CLI MAPPING INSTANCE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_laconic_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(laconic_out ${OUT_DIR}/laconic.out)
+set(blocked_out ${OUT_DIR}/blocked.out)
+
+execute_process(
+  COMMAND ${RDX_CLI} chase --mapping ${MAPPING} --instance ${INSTANCE}
+          --laconic --canonical
+  RESULT_VARIABLE laconic_result
+  OUTPUT_FILE ${laconic_out}
+  ERROR_VARIABLE laconic_stderr)
+if(NOT laconic_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli chase --laconic failed (${laconic_result}):\n"
+      "${laconic_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${RDX_CLI} chase --mapping ${MAPPING} --instance ${INSTANCE}
+          --to-core --canonical
+  RESULT_VARIABLE blocked_result
+  OUTPUT_FILE ${blocked_out}
+  ERROR_VARIABLE blocked_stderr)
+if(NOT blocked_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli chase --to-core failed (${blocked_result}):\n"
+      "${blocked_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${laconic_out} ${blocked_out}
+  RESULT_VARIABLE compare_result)
+if(NOT compare_result EQUAL 0)
+  file(READ ${laconic_out} laconic_text)
+  file(READ ${blocked_out} blocked_text)
+  message(FATAL_ERROR
+      "laconic chase and chase + blocked core disagree on ${MAPPING}\n"
+      "--- laconic ---\n${laconic_text}\n"
+      "--- blocked ---\n${blocked_text}")
+endif()

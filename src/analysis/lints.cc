@@ -46,6 +46,25 @@ const LintInfo kCatalog[] = {
     {LintCode::kConstantInHead, "RDX103", LintSeverity::kNote,
      "constant in head",
      "a head atom mentions a constant term; unsupported by QuasiInverse"},
+    {LintCode::kLaconicDisjunction, "RDX201", LintSeverity::kNote,
+     "laconic: disjunctive dependency",
+     "laconic compilation requires plain tgds; disjunctive dependencies "
+     "fall back to chase + blocked core"},
+    {LintCode::kLaconicConstantInHead, "RDX202", LintSeverity::kNote,
+     "laconic: constant in head",
+     "laconic compilation does not support constant terms in heads"},
+    {LintCode::kLaconicNotSourceToTarget, "RDX203", LintSeverity::kNote,
+     "laconic: not source-to-target",
+     "a relation occurs in a body and in a head; the laconic one-round "
+     "firing argument needs a source-to-target set"},
+    {LintCode::kLaconicNoOrder, "RDX204", LintSeverity::kNote,
+     "laconic: no absorption-free firing order",
+     "the block-type absorption graph is cyclic or a same-type fold "
+     "exists; no dependency order makes the chase emit the core"},
+    {LintCode::kLaconicBudget, "RDX205", LintSeverity::kNote,
+     "laconic: compile budget exceeded",
+     "a specialization or compiled-set budget was exceeded; raise "
+     "LaconicOptions limits or fall back to chase + blocked core"},
 };
 
 std::size_t CatalogIndex(LintCode code) {

@@ -49,6 +49,25 @@ enum class LintCode {
   /// RDX103 (note): a head atom mentions a constant term; QuasiInverse
   /// does not support these heads.
   kConstantInHead,
+  /// RDX201 (note): laconic compilation (compile/laconic.h) requires
+  /// plain tgds; a disjunctive dependency falls back to chase + blocked
+  /// core. Emitted by the compiler, not by LintDependencies.
+  kLaconicDisjunction,
+  /// RDX202 (note): laconic compilation does not support constant terms
+  /// in heads. Emitted by the compiler.
+  kLaconicConstantInHead,
+  /// RDX203 (note): a relation occurs in a body and in a head, so the set
+  /// is not source-to-target and the laconic one-round firing argument
+  /// does not apply. Emitted by the compiler.
+  kLaconicNotSourceToTarget,
+  /// RDX204 (note): no absorption-free firing order exists for the
+  /// compiled block types (cyclic absorption, or a same-type threat the
+  /// fire-time check cannot discharge). Emitted by the compiler.
+  kLaconicNoOrder,
+  /// RDX205 (note): a laconic compilation budget was exceeded
+  /// (frontier/component size or compiled-set size). Emitted by the
+  /// compiler.
+  kLaconicBudget,
 };
 
 enum class LintSeverity {

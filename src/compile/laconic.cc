@@ -1,0 +1,938 @@
+// Laconic mapping compilation (docs/laconic.md).
+//
+// Pipeline:
+//   1. gates — weak acyclicity is an error (RDX001-citing status, the set
+//      has no terminating chase to compile); disjunction (RDX201), head
+//      constants (RDX202) and non-source-to-target shape (RDX203) are
+//      capability notes that fall back to chase + blocked core;
+//   2. per dependency, minimize the head (core of the frozen head);
+//   3. split the minimized head into connected components w.r.t. shared
+//      existential variables; the existential-free residue is one full
+//      tgd (ground heads never fold, so they need no specialization);
+//   4. per component, enumerate the set partitions of its frontier (the
+//      universal variables it mentions) and emit one inequality-guarded
+//      specialization per partition, re-minimized under the partition's
+//      equalities — every concrete trigger satisfies exactly one guard;
+//   5. dedupe the resulting block types by canonical frozen pattern;
+//   6. absorption analysis: an abstract-fold matcher searches, per type
+//      pair, for a retraction of one type's block that uses the other
+//      type's nulls (=> firing-order edge), and per type for a partial
+//      fold onto its own facts plus ground escapes (=> RDX204, no order
+//      can help because the fire-time check cannot see the residue);
+//   7. Kahn topological order over the edges — absorbing types fire
+//      first, so the chase's fire-time head-satisfaction check discharges
+//      every redundant block before it is created. A cycle or a same-type
+//      threat means no absorption-free order exists (RDX204).
+//
+// Soundness sketch: the compiled set is equivalent to the original (the
+// guard family partitions each trigger space; minimized heads are
+// hom-equivalent under the guard), so the chase result J is a universal
+// solution. If J were not a core, an idempotent retraction would fold
+// some fired block into kept facts: ground facts and earlier-fired
+// blocks are visible to the fire-time check (contradiction — the trigger
+// would have been skipped); later-fired blocks are excluded by the
+// ordering edges; partial folds onto the block's own facts are excluded
+// by the self-threat gate. Cores are unique up to isomorphism, so J is
+// *the* core universal solution.
+
+#include "compile/laconic.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/attribution.h"
+#include "base/metrics.h"
+#include "base/spans.h"
+#include "base/strings.h"
+#include "mapping/extended.h"
+
+namespace rdx {
+namespace {
+
+constexpr char kAttributionDomain[] = "compile.laconic";
+
+// Frozen-frontier constants live in a reserved name space ("__F<k>") that
+// cannot collide with user constants inside head patterns: heads with
+// constant terms are gated out (RDX202) before freezing.
+constexpr char kFrontierPrefix[] = "__F";
+
+LintDiagnostic MakeNote(LintCode code, std::size_t dep,
+                        const SourceLocation& location, std::string message) {
+  LintDiagnostic d;
+  d.code = code;
+  d.severity = GetLintInfo(code).severity;
+  d.dependency = dep;
+  d.location = location;
+  d.message = std::move(message);
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Variable substitution.
+
+using VarMap = std::unordered_map<Variable, Variable, VariableHash>;
+
+Term SubstTerm(const Term& t, const VarMap& sigma) {
+  if (!t.IsVariable()) return t;
+  auto it = sigma.find(t.variable());
+  return it == sigma.end() ? t : Term::Var(it->second);
+}
+
+Atom SubstAtom(const Atom& a, const VarMap& sigma) {
+  std::vector<Term> terms;
+  terms.reserve(a.terms().size());
+  for (const Term& t : a.terms()) terms.push_back(SubstTerm(t, sigma));
+  switch (a.kind()) {
+    case Atom::Kind::kRelational:
+      return Atom::MustRelational(a.relation(), std::move(terms));
+    case Atom::Kind::kInequality:
+      return Atom::Inequality(terms[0], terms[1]);
+    case Atom::Kind::kIsConstant:
+      return Atom::IsConstant(terms[0]);
+  }
+  std::abort();  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// Head minimization: freeze the atoms (universals as distinct constants,
+// existentials as labeled nulls), take the core of the frozen instance,
+// and keep the atoms whose frozen fact survived (first atom wins when two
+// atoms ground to the same fact, which also dedupes exact duplicates).
+
+Result<std::vector<Atom>> MinimizeAtoms(
+    const std::vector<Atom>& atoms,
+    const std::unordered_set<Variable, VariableHash>& universals,
+    const HomomorphismOptions& hom) {
+  Assignment freeze;
+  for (const Atom& a : atoms) {
+    for (Variable v : a.Vars()) {
+      if (freeze.count(v) > 0) continue;
+      if (universals.count(v) > 0) {
+        freeze.emplace(v, Value::MakeConstant(StrCat("__laconic$", v.name())));
+      } else {
+        freeze.emplace(v, Value::MakeNull(StrCat("__laconic$", v.name())));
+      }
+    }
+  }
+  Instance frozen;
+  std::unordered_map<Fact, std::size_t, FactHash> first_atom;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    RDX_ASSIGN_OR_RETURN(Fact f, atoms[i].Ground(freeze));
+    frozen.AddFact(f);
+    first_atom.emplace(std::move(f), i);  // first occurrence wins
+  }
+  std::vector<std::size_t> survivors;
+  if (frozen.size() <= 1) {
+    for (const auto& [fact, index] : first_atom) survivors.push_back(index);
+  } else {
+    RDX_ASSIGN_OR_RETURN(Instance core, ComputeCore(frozen, hom));
+    for (const Fact& f : core.facts()) survivors.push_back(first_atom.at(f));
+  }
+  std::sort(survivors.begin(), survivors.end());
+  std::vector<Atom> kept;
+  kept.reserve(survivors.size());
+  for (std::size_t i : survivors) kept.push_back(atoms[i]);
+  return kept;
+}
+
+// ---------------------------------------------------------------------------
+// Set partitions of {0..n-1} as restricted growth strings: rgs[0] = 0 and
+// rgs[i] <= 1 + max(rgs[0..i-1]). Class ids appear in first-occurrence
+// order, so enumeration (and everything downstream) is deterministic.
+
+std::vector<std::vector<std::size_t>> Partitions(std::size_t n) {
+  std::vector<std::vector<std::size_t>> out;
+  std::vector<std::size_t> rgs(n, 0);
+  if (n == 0) {
+    out.push_back(rgs);
+    return out;
+  }
+  while (true) {
+    out.push_back(rgs);
+    // Advance to the next restricted growth string.
+    std::size_t i = n;
+    while (i-- > 1) {
+      std::size_t max_prefix = 0;
+      for (std::size_t k = 0; k < i; ++k) max_prefix = std::max(max_prefix, rgs[k]);
+      if (rgs[i] <= max_prefix) {
+        ++rgs[i];
+        std::fill(rgs.begin() + static_cast<std::ptrdiff_t>(i) + 1, rgs.end(),
+                  0);
+        break;
+      }
+    }
+    if (i == 0) return out;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Block types: the canonical frozen pattern of one specialized existential
+// head component. Slots encode frontier positions (0..num_frontier-1) and
+// the block's own nulls (kNullBase + m).
+
+constexpr int kNullBase = 1 << 16;
+
+struct PatFact {
+  Relation relation;
+  std::vector<int> slots;
+};
+
+struct BlockType {
+  std::vector<PatFact> facts;
+  std::size_t num_frontier = 0;
+  std::size_t num_nulls = 0;
+  std::string key;  // canonical rendering — the dedup key
+};
+
+// Canonicalizes one specialized component: for every permutation of the
+// frontier, freeze frontier var k as constant "__F<k>" and existentials
+// as nulls, canonicalize the null labels, and keep the lexicographically
+// least rendering. Trying all permutations makes the key independent of
+// the dependency's variable names, so structurally identical types from
+// different dependencies dedupe (frontier-permuted near-misses stay
+// distinct, which is conservative — at worst a spurious edge forces the
+// fallback, never an unsound order).
+Result<BlockType> CanonicalType(const std::vector<Atom>& atoms,
+                                std::vector<Variable> frontier) {
+  std::sort(frontier.begin(), frontier.end(),
+            [](Variable a, Variable b) { return a.name() < b.name(); });
+  std::vector<std::size_t> perm(frontier.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::string best;
+  std::optional<Instance> best_canonical;
+  std::unordered_set<Variable, VariableHash> frontier_set(frontier.begin(),
+                                                          frontier.end());
+  do {
+    Assignment freeze;
+    for (std::size_t k = 0; k < perm.size(); ++k) {
+      freeze.emplace(frontier[perm[k]],
+                     Value::MakeConstant(StrCat(kFrontierPrefix, k)));
+    }
+    Instance frozen;
+    for (const Atom& a : atoms) {
+      for (Variable v : a.Vars()) {
+        if (freeze.count(v) == 0) {
+          freeze.emplace(v, Value::MakeNull(StrCat("__laconic$", v.name())));
+        }
+      }
+      RDX_ASSIGN_OR_RETURN(Fact f, a.Ground(freeze));
+      frozen.AddFact(std::move(f));
+    }
+    Instance canonical = frozen.CanonicalForm();
+    std::string rendered = canonical.ToString();
+    if (best.empty() || rendered < best) {
+      best = std::move(rendered);
+      best_canonical = std::move(canonical);
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  BlockType type;
+  type.key = best;
+  type.num_frontier = frontier.size();
+  // Decode the winning instance into slot-coded facts, in sorted-fact
+  // order for determinism. Canonical nulls are labeled "c<m>".
+  std::vector<const Fact*> sorted;
+  for (const Fact& f : best_canonical->facts()) sorted.push_back(&f);
+  std::sort(sorted.begin(), sorted.end(), [](const Fact* a, const Fact* b) {
+    return a->ToString() < b->ToString();
+  });
+  std::unordered_map<Value, int, ValueHash> null_slot;
+  for (const Fact* f : sorted) {
+    PatFact pf;
+    pf.relation = f->relation();
+    for (const Value& v : f->args()) {
+      if (v.IsConstant()) {
+        // Frozen frontier constant "__F<k>" (RDX202 gated out real ones).
+        pf.slots.push_back(
+            std::atoi(v.name().c_str() + sizeof(kFrontierPrefix) - 1));
+      } else {
+        auto [it, inserted] =
+            null_slot.emplace(v, kNullBase + static_cast<int>(null_slot.size()));
+        pf.slots.push_back(it->second);
+      }
+    }
+    type.facts.push_back(std::move(pf));
+  }
+  type.num_nulls = null_slot.size();
+  return type;
+}
+
+// ---------------------------------------------------------------------------
+// Abstract-fold matcher. Symbolic values:
+//   kFrontier f   — the candidate block's frontier constant f (fixed, and
+//                   pairwise distinct by its specialization guards);
+//   kFreshConst g — the absorber block's frontier constant g, when it
+//                   coincides with no candidate frontier constant;
+//   kOtherNull y  — a null of the absorber's block;
+//   kOwnNull m    — a null of the candidate's own block;
+//   kAnyConst m   — "some constant of the final instance": used for
+//                   ground escapes, and conservatively equal to every
+//                   constant-like value (over-approximating threats is
+//                   sound — it can only force an edge or the fallback).
+
+struct SymVal {
+  enum Kind : uint8_t { kFrontier, kFreshConst, kOtherNull, kOwnNull, kAnyConst };
+  Kind kind = kAnyConst;
+  std::size_t index = 0;
+};
+
+bool ConstLike(const SymVal& v) {
+  return v.kind == SymVal::kFrontier || v.kind == SymVal::kFreshConst ||
+         v.kind == SymVal::kAnyConst;
+}
+
+bool SymEq(const SymVal& a, const SymVal& b) {
+  if (a.kind == SymVal::kAnyConst || b.kind == SymVal::kAnyConst) {
+    return ConstLike(a) && ConstLike(b);
+  }
+  return a.kind == b.kind && a.index == b.index;
+}
+
+struct FoldState {
+  std::vector<std::optional<SymVal>> own;    // per candidate null
+  std::vector<std::optional<SymVal>> other;  // per absorber frontier var
+  std::vector<bool> stay_image;              // per candidate fact
+  bool used_other_null = false;
+  std::size_t stays = 0;
+};
+
+class FoldMatcher {
+ public:
+  // `other == nullptr` selects self mode (stay/escape targets only, looking
+  // for a partial fold); otherwise pair mode (cross/escape targets, looking
+  // for a fold that uses one of `other`'s nulls). Pair folds never keep own
+  // facts: a block is one existential component, so a fold either fixes all
+  // of its nulls or moves all of them — stays are self-mode only. With
+  // `same_type` a null-bijective fold is excluded: it makes the two blocks
+  // equal up to renaming, and then whichever trigger fires first
+  // head-satisfies the other without any ordering help.
+  FoldMatcher(const BlockType& from, const BlockType* other, bool same_type,
+              std::size_t node_budget)
+      : from_(from), other_(other), same_type_(same_type),
+        budget_(node_budget) {}
+
+  // True if a threatening fold exists (or the node budget blew — treated
+  // as a threat, conservatively).
+  bool FindThreat() {
+    FoldState state;
+    state.own.resize(from_.num_nulls);
+    state.other.resize(other_ == nullptr ? 0 : other_->num_frontier);
+    state.stay_image.resize(from_.facts.size(), false);
+    bool threat = Search(state, 0);
+    return threat || blown_;
+  }
+
+ private:
+  SymVal SlotVal(const FoldState& state, int slot) const {
+    if (slot >= kNullBase) {
+      std::size_t m = static_cast<std::size_t>(slot - kNullBase);
+      if (state.own[m].has_value()) return *state.own[m];
+      return SymVal{SymVal::kOwnNull, m};  // placeholder; callers assign
+    }
+    return SymVal{SymVal::kFrontier, static_cast<std::size_t>(slot)};
+  }
+
+  bool Tick() {
+    if (budget_ == 0) {
+      blown_ = true;
+      return false;
+    }
+    --budget_;
+    return true;
+  }
+
+  bool Accept(const FoldState& state) const {
+    if (other_ != nullptr) {
+      if (!state.used_other_null || state.stays != 0) return false;
+      if (same_type_) {
+        // A null-bijective all-cross fold is a block isomorphism: the two
+        // triggers emit the same block up to null renaming, so whichever
+        // fires first head-satisfies the other — no ordering needed (and
+        // none is possible within one type). Anything weaker (a null
+        // escaping to a constant, or two nulls merging) is a genuine
+        // directional fold the fire-time check cannot discharge.
+        bool bijective = true;
+        std::vector<bool> hit(other_->num_nulls, false);
+        for (const std::optional<SymVal>& o : state.own) {
+          if (!o.has_value() || o->kind != SymVal::kOtherNull ||
+              hit[o->index]) {
+            bijective = false;
+            break;
+          }
+          hit[o->index] = true;
+        }
+        if (bijective) return false;
+      }
+      return true;
+    }
+    // Self mode: a partial fold keeps some of the block's own facts and
+    // drops at least one — invisible to the fire-time check.
+    if (state.stays == 0) return false;
+    for (bool kept : state.stay_image) {
+      if (!kept) return true;
+    }
+    return false;
+  }
+
+  // Tries to map candidate atom `ai` onto candidate fact `target` (stay).
+  bool TryStay(FoldState state, std::size_t ai, std::size_t target) {
+    const PatFact& a = from_.facts[ai];
+    const PatFact& b = from_.facts[target];
+    if (!(a.relation == b.relation)) return false;
+    for (std::size_t p = 0; p < a.slots.size(); ++p) {
+      SymVal want = b.slots[p] >= kNullBase
+                        ? SymVal{SymVal::kOwnNull,
+                                 static_cast<std::size_t>(b.slots[p] - kNullBase)}
+                        : SymVal{SymVal::kFrontier,
+                                 static_cast<std::size_t>(b.slots[p])};
+      if (a.slots[p] >= kNullBase) {
+        std::size_t m = static_cast<std::size_t>(a.slots[p] - kNullBase);
+        if (state.own[m].has_value()) {
+          if (!SymEq(*state.own[m], want)) return false;
+        } else {
+          state.own[m] = want;
+        }
+      } else if (!SymEq(SymVal{SymVal::kFrontier,
+                               static_cast<std::size_t>(a.slots[p])},
+                        want)) {
+        return false;
+      }
+    }
+    state.stay_image[target] = true;
+    ++state.stays;
+    return Search(std::move(state), ai + 1);
+  }
+
+  // Tries to map candidate atom `ai` onto absorber fact `target` (cross).
+  bool TryCross(FoldState state, std::size_t ai, std::size_t target) {
+    const PatFact& a = from_.facts[ai];
+    const PatFact& b = other_->facts[target];
+    if (!(a.relation == b.relation)) return false;
+    // Positions where the absorber frontier var is still unassigned and
+    // the candidate slot is an unassigned null branch over the absorber
+    // var's value domain; everything else is forced.
+    return CrossAt(std::move(state), ai, target, 0);
+  }
+
+  bool CrossAt(FoldState state, std::size_t ai, std::size_t target,
+               std::size_t p) {
+    const PatFact& a = from_.facts[ai];
+    const PatFact& b = other_->facts[target];
+    if (p == a.slots.size()) {
+      return Search(std::move(state), ai + 1);
+    }
+    const bool a_null = a.slots[p] >= kNullBase;
+    const std::size_t m =
+        a_null ? static_cast<std::size_t>(a.slots[p] - kNullBase) : 0;
+    SymVal aval = a_null && !state.own[m].has_value()
+                      ? SymVal{SymVal::kOwnNull, SIZE_MAX}  // unassigned
+                      : SlotVal(state, a.slots[p]);
+    const bool a_unassigned = a_null && !state.own[m].has_value();
+
+    if (b.slots[p] >= kNullBase) {  // absorber null position
+      SymVal want{SymVal::kOtherNull,
+                  static_cast<std::size_t>(b.slots[p] - kNullBase)};
+      if (a_unassigned) {
+        state.own[m] = want;
+        state.used_other_null = true;
+        return CrossAt(std::move(state), ai, target, p + 1);
+      }
+      if (!SymEq(aval, want)) return false;
+      state.used_other_null = true;
+      return CrossAt(std::move(state), ai, target, p + 1);
+    }
+    // Absorber frontier position g.
+    std::size_t g = static_cast<std::size_t>(b.slots[p]);
+    if (state.other[g].has_value()) {
+      if (a_unassigned) {
+        state.own[m] = *state.other[g];
+        return CrossAt(std::move(state), ai, target, p + 1);
+      }
+      return SymEq(aval, *state.other[g]) &&
+             CrossAt(std::move(state), ai, target, p + 1);
+    }
+    // g unassigned: branch over its value domain — a candidate frontier
+    // constant (injectively: the absorber's own guards keep its frontier
+    // pairwise distinct) or its own fresh constant.
+    if (!a_unassigned) {
+      if (!ConstLike(aval)) return false;
+      if (aval.kind == SymVal::kFrontier) {
+        for (std::size_t g2 = 0; g2 < state.other.size(); ++g2) {
+          if (state.other[g2].has_value() &&
+              SymEq(*state.other[g2], aval)) {
+            return false;  // injectivity
+          }
+        }
+      }
+      state.other[g] = aval;
+      return CrossAt(std::move(state), ai, target, p + 1);
+    }
+    for (std::size_t f = 0; f < from_.num_frontier; ++f) {
+      SymVal cand{SymVal::kFrontier, f};
+      bool taken = false;
+      for (std::size_t g2 = 0; g2 < state.other.size(); ++g2) {
+        if (state.other[g2].has_value() && SymEq(*state.other[g2], cand)) {
+          taken = true;
+          break;
+        }
+      }
+      if (taken) continue;
+      FoldState branch = state;
+      branch.other[g] = cand;
+      branch.own[m] = cand;
+      if (CrossAt(std::move(branch), ai, target, p + 1)) return true;
+      if (blown_) return false;
+    }
+    state.other[g] = SymVal{SymVal::kFreshConst, g};
+    state.own[m] = SymVal{SymVal::kFreshConst, g};
+    return CrossAt(std::move(state), ai, target, p + 1);
+  }
+
+  // Tries to map candidate atom `ai` to a ground fact of the instance
+  // (escape): every position must carry a constant-like value. Unassigned
+  // nulls become kAnyConst, which conservatively matches any constant.
+  bool TryEscape(FoldState state, std::size_t ai) {
+    const PatFact& a = from_.facts[ai];
+    for (int slot : a.slots) {
+      if (slot < kNullBase) continue;  // frontier constants are fine
+      std::size_t m = static_cast<std::size_t>(slot - kNullBase);
+      if (!state.own[m].has_value()) {
+        state.own[m] = SymVal{SymVal::kAnyConst, m};
+      } else if (!ConstLike(*state.own[m])) {
+        return false;
+      }
+    }
+    return Search(std::move(state), ai + 1);
+  }
+
+  bool Search(FoldState state, std::size_t ai) {
+    if (!Tick()) return false;
+    if (ai == from_.facts.size()) return Accept(state);
+    if (other_ == nullptr) {  // stays are partial folds: self mode only
+      for (std::size_t t = 0; t < from_.facts.size(); ++t) {
+        if (TryStay(state, ai, t)) return true;
+        if (blown_) return false;
+      }
+    }
+    if (other_ != nullptr) {
+      for (std::size_t t = 0; t < other_->facts.size(); ++t) {
+        if (TryCross(state, ai, t)) return true;
+        if (blown_) return false;
+      }
+    }
+    return TryEscape(std::move(state), ai);
+  }
+
+  const BlockType& from_;
+  const BlockType* other_;
+  bool same_type_;
+  std::size_t budget_;
+  bool blown_ = false;
+};
+
+// One specialized variant awaiting emission.
+struct Variant {
+  std::size_t dep_index = 0;
+  std::size_t component_index = 0;
+  std::size_t partition_index = 0;
+  std::size_t type_id = 0;
+  Dependency dependency;
+};
+
+}  // namespace
+
+std::string LaconicCompilation::ToString() const {
+  std::string out;
+  if (laconic) {
+    out = StrCat("laconic: yes — ", full_dependencies, " full + ",
+                 specializations, " specialized dependencies over ",
+                 block_types, " block type(s), ", absorption_edges,
+                 " ordering edge(s), ", micros, " µs\n");
+  } else {
+    out = "laconic: no — falling back to chase + blocked core\n";
+  }
+  for (const LintDiagnostic& d : diagnostics) {
+    out += StrCat("  ", d.ToString(), "\n");
+  }
+  return out;
+}
+
+Result<LaconicCompilation> CompileLaconicDependencies(
+    const std::vector<Dependency>& dependencies,
+    const LaconicOptions& options) {
+  obs::Span span("compile.laconic");
+  LaconicCompilation out;
+  out.dependencies = dependencies;
+  obs::ScopedTimer total_timer(nullptr, &out.micros);
+
+  // Gate 0 (error): the chase must terminate for "the" canonical/core
+  // universal solution to exist at all.
+  PositionGraph graph =
+      PositionGraph::Build(dependencies, options.acyclicity_mode);
+  if (!graph.weakly_acyclic()) {
+    return Status::FailedPrecondition(
+        StrCat("error[RDX001] (not weakly acyclic): cannot laconicize — the "
+               "chase of this dependency set has no termination guarantee "
+               "(", graph.cycle_witness(),
+               "); see docs/laconic.md#applicability"));
+  }
+
+  // Gates 1–3 (capability notes): outside the compiled fragment.
+  auto note = [&](LintCode code, std::size_t dep, const SourceLocation& loc,
+                  std::string message) {
+    out.diagnostics.push_back(MakeNote(code, dep, loc, std::move(message)));
+  };
+  std::unordered_set<uint32_t> head_relations;
+  for (const Dependency& d : dependencies) {
+    for (Relation r : d.HeadRelations()) head_relations.insert(r.id());
+  }
+  for (std::size_t i = 0; i < dependencies.size(); ++i) {
+    const Dependency& d = dependencies[i];
+    if (d.HasDisjunction()) {
+      note(LintCode::kLaconicDisjunction, i, d.location(),
+           StrCat("laconic compilation requires plain tgds; ", d.ToString(),
+                  " is disjunctive"));
+      continue;
+    }
+    bool constant_in_head = false;
+    for (const Atom& a : d.disjuncts()[0]) {
+      for (const Term& t : a.terms()) {
+        if (!t.IsVariable()) constant_in_head = true;
+      }
+    }
+    if (constant_in_head) {
+      note(LintCode::kLaconicConstantInHead, i, d.location(),
+           StrCat("laconic compilation does not support constants in the "
+                  "head: ", d.ToString()));
+    }
+    for (Relation r : d.BodyRelations()) {
+      if (head_relations.count(r.id()) > 0) {
+        note(LintCode::kLaconicNotSourceToTarget, i, d.location(),
+             StrCat("relation ", r.name(), " occurs in a body and in a head; "
+                    "laconic compilation requires a source-to-target set"));
+        break;
+      }
+    }
+  }
+  if (!out.diagnostics.empty()) return out;  // laconic=false, original deps
+
+  // Phases 2–4: minimize, split, specialize.
+  uint64_t minimize_us = 0;
+  uint64_t specialize_us = 0;
+  std::vector<Dependency> full;                 // fire first
+  std::vector<Variant> variants;                // existential block variants
+  std::vector<BlockType> types;                 // deduped
+  std::unordered_map<std::string, std::size_t> type_ids;
+  for (std::size_t di = 0; di < dependencies.size(); ++di) {
+    const Dependency& dep = dependencies[di];
+    const std::unordered_set<Variable, VariableHash> universals(
+        dep.UniversalVars().begin(), dep.UniversalVars().end());
+    std::vector<Atom> head;
+    {
+      obs::ScopedTimer t(nullptr, &minimize_us);
+      RDX_ASSIGN_OR_RETURN(
+          head, MinimizeAtoms(dep.disjuncts()[0], universals, options.hom));
+    }
+
+    // Connected components w.r.t. shared existential variables.
+    std::vector<std::size_t> root(head.size());
+    for (std::size_t i = 0; i < head.size(); ++i) root[i] = i;
+    std::function<std::size_t(std::size_t)> find =
+        [&](std::size_t x) -> std::size_t {
+      while (root[x] != x) {
+        root[x] = root[root[x]];
+        x = root[x];
+      }
+      return x;
+    };
+    std::unordered_map<Variable, std::size_t, VariableHash> var_home;
+    std::vector<bool> existential_atom(head.size(), false);
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      for (Variable v : head[i].Vars()) {
+        if (universals.count(v) > 0) continue;
+        existential_atom[i] = true;
+        auto [it, inserted] = var_home.emplace(v, i);
+        if (!inserted) root[find(i)] = find(it->second);
+      }
+    }
+    std::vector<Atom> full_residue;
+    std::vector<std::vector<Atom>> components;
+    std::unordered_map<std::size_t, std::size_t> component_of_root;
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      if (!existential_atom[i]) {
+        full_residue.push_back(head[i]);
+        continue;
+      }
+      auto [it, inserted] =
+          component_of_root.emplace(find(i), components.size());
+      if (inserted) components.emplace_back();
+      components[it->second].push_back(head[i]);
+    }
+    if (!full_residue.empty()) {
+      RDX_ASSIGN_OR_RETURN(Dependency f,
+                           Dependency::MakeTgd(dep.body(), full_residue));
+      f.set_location(dep.location());
+      full.push_back(std::move(f));
+    }
+
+    for (std::size_t ci = 0; ci < components.size(); ++ci) {
+      const std::vector<Atom>& component = components[ci];
+      std::vector<Variable> frontier;
+      for (Variable v : VarsOf(component)) {
+        if (universals.count(v) > 0) frontier.push_back(v);
+      }
+      std::sort(frontier.begin(), frontier.end(),
+                [](Variable a, Variable b) { return a.name() < b.name(); });
+      if (frontier.size() > options.max_frontier ||
+          component.size() > options.max_block_atoms) {
+        note(LintCode::kLaconicBudget, di, dep.location(),
+             StrCat("specialization budget exceeded: head component has ",
+                    component.size(), " atom(s) over a frontier of ",
+                    frontier.size(), " (limits: ", options.max_block_atoms,
+                    " atoms, frontier ", options.max_frontier, ")"));
+        return out;
+      }
+      obs::ScopedTimer t(nullptr, &specialize_us);
+      const auto partitions = Partitions(frontier.size());
+      for (std::size_t pi = 0; pi < partitions.size(); ++pi) {
+        const std::vector<std::size_t>& rgs = partitions[pi];
+        std::size_t num_classes = 0;
+        for (std::size_t c : rgs) num_classes = std::max(num_classes, c + 1);
+        std::vector<Variable> reps;
+        for (std::size_t c = 0; c < num_classes; ++c) {
+          for (std::size_t k = 0; k < rgs.size(); ++k) {
+            if (rgs[k] == c) {
+              reps.push_back(frontier[k]);
+              break;
+            }
+          }
+        }
+        VarMap sigma;
+        for (std::size_t k = 0; k < rgs.size(); ++k) {
+          sigma.emplace(frontier[k], reps[rgs[k]]);
+        }
+        // Specialized body: σ(body), minus variants whose builtins became
+        // unsatisfiable, plus the partition's distinctness guards.
+        std::vector<Atom> body;
+        bool unsatisfiable = false;
+        for (const Atom& a : dep.body()) {
+          Atom s = SubstAtom(a, sigma);
+          if (s.kind() == Atom::Kind::kInequality &&
+              s.terms()[0] == s.terms()[1]) {
+            unsatisfiable = true;  // x != x can never fire
+            break;
+          }
+          if (std::find(body.begin(), body.end(), s) == body.end()) {
+            body.push_back(std::move(s));
+          }
+        }
+        if (unsatisfiable) continue;
+        for (std::size_t a = 0; a < reps.size(); ++a) {
+          for (std::size_t b = a + 1; b < reps.size(); ++b) {
+            Atom guard =
+                Atom::Inequality(Term::Var(reps[a]), Term::Var(reps[b]));
+            Atom mirrored =
+                Atom::Inequality(Term::Var(reps[b]), Term::Var(reps[a]));
+            if (std::find(body.begin(), body.end(), guard) == body.end() &&
+                std::find(body.begin(), body.end(), mirrored) == body.end()) {
+              body.push_back(std::move(guard));
+            }
+          }
+        }
+        // Specialized head, re-minimized under the partition's equalities.
+        std::vector<Atom> spec;
+        for (const Atom& a : component) {
+          Atom s = SubstAtom(a, sigma);
+          if (std::find(spec.begin(), spec.end(), s) == spec.end()) {
+            spec.push_back(std::move(s));
+          }
+        }
+        RDX_ASSIGN_OR_RETURN(spec, MinimizeAtoms(spec, universals, options.hom));
+        RDX_ASSIGN_OR_RETURN(Dependency compiled,
+                             Dependency::MakeTgd(body, spec));
+        compiled.set_location(dep.location());
+
+        std::vector<Variable> spec_frontier;
+        bool has_existential = false;
+        for (Variable v : VarsOf(spec)) {
+          if (universals.count(v) > 0) {
+            spec_frontier.push_back(v);
+          } else {
+            has_existential = true;
+          }
+        }
+        if (!has_existential) {
+          // The equalities collapsed the component onto its frontier:
+          // ground head, fires with the full dependencies.
+          full.push_back(std::move(compiled));
+          continue;
+        }
+        RDX_ASSIGN_OR_RETURN(BlockType type,
+                             CanonicalType(spec, spec_frontier));
+        auto [it, inserted] = type_ids.emplace(type.key, types.size());
+        if (inserted) types.push_back(std::move(type));
+        variants.push_back(Variant{di, ci, pi, it->second, std::move(compiled)});
+      }
+    }
+  }
+  if (full.size() + variants.size() > options.max_compiled_dependencies) {
+    note(LintCode::kLaconicBudget, LintDiagnostic::kWholeSet, SourceLocation{},
+         StrCat("compiled set would have ", full.size() + variants.size(),
+                " dependencies (limit ", options.max_compiled_dependencies,
+                ")"));
+    return out;
+  }
+
+  // Phases 5–6: absorption analysis over the deduped types.
+  uint64_t absorb_us = 0;
+  std::vector<std::vector<bool>> edge(types.size(),
+                                      std::vector<bool>(types.size(), false));
+  {
+    obs::ScopedTimer t(nullptr, &absorb_us);
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      if (FoldMatcher(types[i], nullptr, false, options.max_matcher_nodes)
+              .FindThreat()) {
+        note(LintCode::kLaconicNoOrder, LintDiagnostic::kWholeSet,
+             SourceLocation{},
+             StrCat("block type ", types[i].key, " admits a partial fold "
+                    "onto its own facts; no firing order is absorption-free"));
+        return out;
+      }
+    }
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      for (std::size_t j = 0; j < types.size(); ++j) {
+        if (!FoldMatcher(types[i], &types[j], i == j,
+                         options.max_matcher_nodes)
+                 .FindThreat()) {
+          continue;
+        }
+        if (i == j) {
+          note(LintCode::kLaconicNoOrder, LintDiagnostic::kWholeSet,
+               SourceLocation{},
+               StrCat("two triggers of block type ", types[i].key,
+                      " can absorb each other one-way; no firing order is "
+                      "absorption-free"));
+          return out;
+        }
+        if (!edge[j][i]) {
+          edge[j][i] = true;  // j's blocks absorb i's: j fires first
+          ++out.absorption_edges;
+        }
+      }
+    }
+  }
+
+  // Phase 7: Kahn topological order, smallest type id first (types are
+  // registered in deterministic encounter order, so the emitted set is
+  // reproducible across runs and thread counts).
+  std::vector<std::size_t> indegree(types.size(), 0);
+  for (std::size_t j = 0; j < types.size(); ++j) {
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      if (edge[j][i]) ++indegree[i];
+    }
+  }
+  std::vector<std::size_t> order;
+  std::vector<bool> emitted(types.size(), false);
+  while (order.size() < types.size()) {
+    std::size_t pick = types.size();
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      if (!emitted[i] && indegree[i] == 0) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == types.size()) {
+      note(LintCode::kLaconicNoOrder, LintDiagnostic::kWholeSet,
+           SourceLocation{},
+           StrCat("the absorption graph over ", types.size(),
+                  " block type(s) is cyclic; no firing order is "
+                  "absorption-free"));
+      return out;
+    }
+    emitted[pick] = true;
+    order.push_back(pick);
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      if (edge[pick][i]) --indegree[i];
+    }
+  }
+
+  // Emission: full dependencies first (ground heads are every block's
+  // potential escape target), then the specialized variants grouped by
+  // type in absorption order.
+  std::vector<Dependency> compiled = full;
+  for (std::size_t t : order) {
+    for (const Variant& v : variants) {
+      if (v.type_id == t) compiled.push_back(v.dependency);
+    }
+  }
+  out.dependencies = std::move(compiled);
+  out.laconic = true;
+  out.full_dependencies = full.size();
+  out.block_types = types.size();
+  out.specializations = variants.size();
+
+  span.Arg("types", out.block_types)
+      .Arg("specializations", out.specializations)
+      .Arg("edges", out.absorption_edges)
+      .Arg("laconic", uint64_t{1});
+  if (obs::AttributionEnabled()) {
+    obs::Attribution::Get(kAttributionDomain, "minimize")
+        .AddTimeMicros(minimize_us);
+    obs::Attribution::Get(kAttributionDomain, "specialize")
+        .AddTimeMicros(specialize_us);
+    obs::Attribution::Get(kAttributionDomain, "absorb")
+        .AddTimeMicros(absorb_us);
+    obs::Attribution& compile =
+        obs::Attribution::Get(kAttributionDomain, "compile");
+    compile.AddFired(out.block_types);
+    compile.AddFacts(out.dependencies.size());
+  }
+  return out;
+}
+
+Result<LaconicCompilation> CompileLaconic(const SchemaMapping& mapping,
+                                          const LaconicOptions& options) {
+  return CompileLaconicDependencies(mapping.dependencies(), options);
+}
+
+Result<LaconicChaseResult> LaconicChaseMapping(const SchemaMapping& mapping,
+                                               const Instance& I,
+                                               const ChaseOptions& chase_options,
+                                               const LaconicOptions& options) {
+  obs::Span span("laconic.chase");
+  LaconicChaseResult out;
+  RDX_ASSIGN_OR_RETURN(out.compilation, CompileLaconic(mapping, options));
+  // Labeled nulls in the source void the compile-time absorption analysis
+  // (block patterns assume trigger bindings are constants), so only a
+  // ground instance takes the laconic path.
+  if (out.compilation.laconic && I.IsGround()) {
+    RDX_ASSIGN_OR_RETURN(
+        SchemaMapping compiled,
+        SchemaMapping::Make(mapping.source(), mapping.target(),
+                            out.compilation.dependencies));
+    RDX_ASSIGN_OR_RETURN(out.chase,
+                         ChaseMappingWithStats(compiled, I, chase_options));
+    out.core = out.chase.added;
+    out.used_laconic = true;
+  } else {
+    RDX_ASSIGN_OR_RETURN(out.chase,
+                         ChaseMappingWithStats(mapping, I, chase_options));
+    CoreOptions core_options;
+    core_options.hom = options.hom;
+    core_options.hom.num_threads = chase_options.num_threads;
+    RDX_ASSIGN_OR_RETURN(
+        out.core, ComputeCore(out.chase.added, core_options, &out.core_stats));
+  }
+  span.Arg("laconic", out.used_laconic ? uint64_t{1} : uint64_t{0})
+      .Arg("core_facts", out.core.size());
+  return out;
+}
+
+}  // namespace rdx

@@ -1,0 +1,119 @@
+#ifndef RDX_COMPILE_LACONIC_H_
+#define RDX_COMPILE_LACONIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/lints.h"
+#include "analysis/position_graph.h"
+#include "base/status.h"
+#include "chase/chase.h"
+#include "core/core_computation.h"
+#include "core/dependency.h"
+#include "core/homomorphism.h"
+#include "core/instance.h"
+#include "mapping/schema_mapping.h"
+
+namespace rdx {
+
+/// Laconic mapping compilation (ten Cate–Chiticariu–Kolaitis–Tan,
+/// arXiv 0903.1953): rewrite a weakly acyclic s-t tgd set so the standard
+/// chase emits the *core* universal solution directly — no post-hoc
+/// BlockedCoreEngine pass. docs/laconic.md describes the algorithm, the
+/// applicability gates (RDX201–RDX205 capability notes), and the fallback
+/// semantics; tests/laconic_test.cc and the `laconic.core` fuzz oracle
+/// prove output equivalence against chase + blocked core.
+struct LaconicOptions {
+  /// Budgets for the compilation itself. A dependency whose existential
+  /// head component mentions more than `max_frontier` universal variables
+  /// would need Bell(n)·n! specialization work; past these limits the
+  /// compiler emits RDX205 and falls back. 5 covers every paper mapping
+  /// (they use at most 2) with Bell(5)·5! ≈ 6k tiny canonicalizations.
+  std::size_t max_frontier = 5;
+  std::size_t max_block_atoms = 12;
+  std::size_t max_compiled_dependencies = 512;
+
+  /// Node budget for one absorption-matcher search (see laconic.cc). A
+  /// blown budget is treated as a threat — conservative: may force a
+  /// fallback, never an unsound compilation.
+  std::size_t max_matcher_nodes = 100'000;
+
+  /// Budget for the head-minimization core calls (tiny frozen instances).
+  HomomorphismOptions hom;
+
+  WeakAcyclicityMode acyclicity_mode = WeakAcyclicityMode::kStandardChase;
+};
+
+/// Compilation knobs threaded through the CLI entry points.
+struct CompileOptions {
+  bool laconic = false;
+  LaconicOptions laconic_options;
+};
+
+/// Result of one compilation attempt. When `laconic` is false the input
+/// was outside the supported fragment: `dependencies` echoes the original
+/// set and `diagnostics` holds the RDX2xx capability notes explaining
+/// which gate fired (callers fall back to chase + blocked core).
+struct LaconicCompilation {
+  bool laconic = false;
+  std::vector<Dependency> dependencies;
+  std::vector<LintDiagnostic> diagnostics;
+
+  /// Compilation statistics (also mirrored into the "compile.laconic"
+  /// attribution domain).
+  std::size_t full_dependencies = 0;    // existential-free residues
+  std::size_t block_types = 0;          // distinct existential block types
+  std::size_t specializations = 0;      // emitted inequality variants
+  std::size_t absorption_edges = 0;     // firing-order constraints
+  uint64_t micros = 0;
+
+  std::string ToString() const;
+};
+
+/// Compiles a bare dependency set. Returns a FailedPrecondition status
+/// citing RDX001 when the set is not weakly acyclic (laconicization is
+/// only defined for terminating mappings); any in-fragment obstruction is
+/// reported as a non-laconic compilation with diagnostics, not an error.
+Result<LaconicCompilation> CompileLaconicDependencies(
+    const std::vector<Dependency>& dependencies,
+    const LaconicOptions& options = {});
+
+/// Mapping-level convenience (SchemaMapping construction already enforces
+/// the source-to-target shape, so RDX001 is unreachable here).
+Result<LaconicCompilation> CompileLaconic(const SchemaMapping& mapping,
+                                          const LaconicOptions& options = {});
+
+/// Outcome of LaconicChaseMapping.
+struct LaconicChaseResult {
+  /// The core universal solution (target view, like ChaseResult::added).
+  Instance core;
+
+  /// The underlying chase run (over the compiled set when `used_laconic`,
+  /// over the original set otherwise).
+  ChaseResult chase;
+
+  /// True when the compiled laconic set produced `core` directly; false
+  /// when any gate forced the chase + blocked-core fallback.
+  bool used_laconic = false;
+
+  LaconicCompilation compilation;
+
+  /// Core-engine statistics; all-zero on the laconic path (that is the
+  /// point).
+  CoreStats core_stats;
+};
+
+/// End-to-end chase-to-core: compile, chase the compiled set if laconic
+/// (and the source instance is ground — labeled nulls in the input void
+/// the compile-time absorption analysis), otherwise chase the original
+/// set and run ComputeCore over the added view. Both paths return the
+/// same instance up to null renaming.
+Result<LaconicChaseResult> LaconicChaseMapping(
+    const SchemaMapping& mapping, const Instance& I,
+    const ChaseOptions& chase_options = {},
+    const LaconicOptions& options = {});
+
+}  // namespace rdx
+
+#endif  // RDX_COMPILE_LACONIC_H_

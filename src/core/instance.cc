@@ -107,6 +107,123 @@ Instance Instance::Apply(const ValueMap& h) const {
   return out;
 }
 
+namespace {
+
+// FNV-1a over bytes: deterministic across processes and binaries (unlike
+// std::hash), which CanonicalForm needs for byte-identical rendering.
+uint64_t FnvMix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+uint64_t FnvString(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Instance Instance::CanonicalForm() const {
+  const std::vector<Value> nulls = Nulls();
+  if (nulls.empty()) return *this;
+
+  // Colors are structure-derived only: constants contribute their name
+  // hash, nulls their current refinement color — never an interning id,
+  // so two processes that built the same instance differently agree.
+  std::unordered_map<Value, uint64_t, ValueHash> color;
+  for (const Value& n : nulls) color.emplace(n, 0);
+  auto value_color = [&](const Value& v) -> uint64_t {
+    if (v.IsNull()) return color.at(v) * 2 + 1;  // tag nulls odd
+    return FnvString(v.name()) * 2;
+  };
+  auto distinct_colors = [&]() {
+    std::unordered_set<uint64_t> seen;
+    for (const Value& n : nulls) seen.insert(color.at(n));
+    return seen.size();
+  };
+
+  // One refinement round: each null's new color folds in the hash of
+  // every occurrence (fact hash under current colors, position).
+  auto refine_round = [&]() {
+    std::unordered_map<Value, std::vector<uint64_t>, ValueHash> occurrences;
+    for (const Fact& f : facts_) {
+      uint64_t fh = FnvString(f.relation().name());
+      fh = FnvMix(fh, f.args().size());
+      for (const Value& v : f.args()) fh = FnvMix(fh, value_color(v));
+      for (std::size_t p = 0; p < f.args().size(); ++p) {
+        if (f.args()[p].IsNull()) {
+          occurrences[f.args()[p]].push_back(FnvMix(fh, p));
+        }
+      }
+    }
+    std::unordered_map<Value, uint64_t, ValueHash> next;
+    for (const Value& n : nulls) {
+      std::vector<uint64_t>& occ = occurrences[n];
+      std::sort(occ.begin(), occ.end());
+      uint64_t h = FnvMix(0x9e3779b97f4a7c15ULL, color.at(n));
+      for (uint64_t o : occ) h = FnvMix(h, o);
+      next[n] = h;
+    }
+    color = std::move(next);
+  };
+  auto refine = [&]() {
+    std::size_t classes = distinct_colors();
+    for (std::size_t round = 0; round <= nulls.size(); ++round) {
+      refine_round();
+      std::size_t now = distinct_colors();
+      if (now == classes) break;
+      classes = now;
+    }
+  };
+
+  refine();
+  // Individualize-and-refine for tied classes: split off one member of
+  // the smallest-colored multi-member class and re-refine. Automorphic
+  // orbits render identically whichever member the tie-break picks; see
+  // the header comment for the (non-automorphic) incompleteness caveat.
+  uint64_t tag = 1;
+  std::size_t steps = 0;
+  while (distinct_colors() < nulls.size() && steps++ < 4 * nulls.size() + 8) {
+    std::unordered_map<uint64_t, std::size_t> count;
+    for (const Value& n : nulls) ++count[color.at(n)];
+    uint64_t pick_color = 0;
+    bool have = false;
+    for (const auto& [c, k] : count) {
+      if (k > 1 && (!have || c < pick_color)) {
+        pick_color = c;
+        have = true;
+      }
+    }
+    for (const Value& n : nulls) {  // first occurrence in fact order wins
+      if (color.at(n) == pick_color) {
+        color[n] = FnvMix(FnvMix(0x2545f4914f6cdd1dULL, pick_color), tag++);
+        break;
+      }
+    }
+    refine();
+  }
+
+  // Rename in color order: the multiset of colors is structure-determined,
+  // so isomorphic (refinement-separable) instances get identical labels.
+  std::vector<std::pair<uint64_t, Value>> ordered;
+  ordered.reserve(nulls.size());
+  for (const Value& n : nulls) ordered.emplace_back(color.at(n), n);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ValueMap renaming;
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    renaming.emplace(ordered[i].second, Value::MakeNull(StrCat("c", i)));
+  }
+  return Apply(renaming);
+}
+
 Instance Instance::RenameNullsFresh(ValueMap* renaming_out) const {
   ValueMap renaming;
   for (const Value& v : Nulls()) {

@@ -85,6 +85,19 @@ class Instance {
   /// (optional) receives the old→new map.
   Instance RenameNullsFresh(ValueMap* renaming_out = nullptr) const;
 
+  /// Returns a copy whose labeled nulls are renamed to the canonical
+  /// labels "c0", "c1", ... in a structure-determined order (iterated
+  /// color refinement over null occurrences, with individualization for
+  /// tied classes), so that isomorphic instances render identically
+  /// whenever refinement separates the nulls — in particular byte-equal
+  /// ToString() output across processes. Automorphic nulls (interchangeable
+  /// by symmetry) also render identically regardless of which one the
+  /// tie-break picks. The heuristic is not a full graph-canonization: two
+  /// isomorphic instances with refinement-inseparable, non-automorphic
+  /// nulls may still render differently (use AreIsomorphic for an exact
+  /// check). Ground instances are returned unchanged.
+  Instance CanonicalForm() const;
+
   /// Set union of the two instances.
   static Instance Union(const Instance& a, const Instance& b);
 

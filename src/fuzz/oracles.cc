@@ -1,9 +1,11 @@
 #include "fuzz/oracles.h"
 
 #include <optional>
+#include <string_view>
 #include <utility>
 
 #include "analysis/analyze.h"
+#include "compile/laconic.h"
 #include "base/attribution.h"
 #include "base/metrics.h"
 #include "base/spans.h"
@@ -40,6 +42,7 @@ class Battery {
       Family("core", [&] { RunCoreFamily(); });
       Family("hom", [&] { RunHomFamily(); });
       Family("inverse", [&] { RunInverse(); });
+      Family("laconic", [&] { RunLaconicFamily(); });
     }
   }
 
@@ -48,8 +51,17 @@ class Battery {
   // wall time to the "fuzz.oracle" row "<family>.*" (time per individual
   // oracle is not separable: families share engine runs across their
   // checks). Per-oracle check counts land on exact-name rows via Ran().
+  // True if `family` should run under the --oracle restriction. The chase
+  // family always runs: every downstream family compares against its
+  // result (and its checks are cheap).
+  bool FamilyEnabled(const char* family) const {
+    return opts_.only_family.empty() || opts_.only_family == family ||
+           std::string_view(family) == "chase";
+  }
+
   template <typename Fn>
   void Family(const char* family, Fn&& fn) {
+    if (!FamilyEnabled(family)) return;
     obs::Span span("fuzz.family");
     span.Arg("family", family);
     std::optional<obs::ScopedTimer> timer;
@@ -454,6 +466,72 @@ class Battery {
     }
   }
 
+  // Differential wall for the laconic compilation: on ground mapping
+  // scenarios the laconic chase must deliver exactly what chase + blocked
+  // core delivers — isomorphic, canonically byte-identical, and a model
+  // of the original dependencies.
+  void RunLaconicFamily() {
+    if (!s_.HasMappingShape() || !s_.instance.IsGround()) return;
+    Result<SchemaMapping> mapping = s_.Mapping();
+    if (!mapping.ok()) return;  // not a mapping-shaped scenario
+    if (!s_.instance.ConformsTo(mapping->source())) return;
+
+    LaconicOptions lopts;
+    lopts.hom = opts_.hom;
+    LaconicCompilation compiled;
+    if (!Take(CompileLaconic(*mapping, lopts), "laconic.compile", &compiled)) {
+      return;
+    }
+    Ran("laconic.compile");
+    if (!compiled.laconic) return;  // gated out: fallback path, nothing new
+
+    LaconicChaseResult laconic;
+    if (!Take(LaconicChaseMapping(*mapping, s_.instance, opts_.chase, lopts),
+              "laconic.core", &laconic)) {
+      return;
+    }
+    if (opts_.inject_laconic_corruption && !laconic.core.empty()) {
+      laconic.core.RemoveFact(laconic.core.facts().back());
+    }
+    CoreOptions core_opts;
+    core_opts.hom = opts_.hom;
+    Instance blocked;
+    if (!Take(ComputeCore(chased_.added, core_opts), "laconic.core",
+              &blocked)) {
+      return;
+    }
+    Ran("laconic.core");
+    bool iso = false;
+    if (Take(AreIsomorphic(laconic.core, blocked, opts_.hom), "laconic.core",
+             &iso)) {
+      if (!iso) {
+        Fail("laconic.core",
+             StrCat("laconic chase ", laconic.core.ToString(),
+                    " is not isomorphic to blocked core ",
+                    blocked.ToString()));
+      } else {
+        Ran("laconic.canonical");
+        const std::string a = laconic.core.CanonicalForm().ToString();
+        const std::string b = blocked.CanonicalForm().ToString();
+        if (a != b) {
+          Fail("laconic.canonical",
+               StrCat("canonical renderings differ: ", a, " vs ", b));
+        }
+      }
+    }
+
+    Ran("laconic.satisfies");
+    bool satisfied = false;
+    if (Take(mapping->Satisfied(s_.instance, laconic.core,
+                                opts_.chase.match_options),
+             "laconic.satisfies", &satisfied) &&
+        !satisfied) {
+      Fail("laconic.satisfies",
+           "laconic chase result does not satisfy the original "
+           "dependencies");
+    }
+  }
+
   const FuzzScenario& s_;
   const OracleOptions& opts_;
   OracleReport* report_;
@@ -514,6 +592,15 @@ const std::vector<OracleInfo>& OracleCatalog() {
       {"inverse.quasi",
        "the quasi-inverse of a full-tgd mapping passes the "
        "extended-recovery check"},
+      {"laconic.compile",
+       "laconic compilation succeeds or reports an RDX2xx capability note"},
+      {"laconic.core",
+       "the laconic chase is isomorphic to chase + blocked core"},
+      {"laconic.canonical",
+       "laconic and blocked cores render byte-identically after canonical "
+       "null renaming"},
+      {"laconic.satisfies",
+       "the laconic chase result satisfies the original dependencies"},
       {"status.*",
        "any engine error other than ResourceExhausted fails the scenario"},
   };

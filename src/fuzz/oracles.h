@@ -41,11 +41,18 @@ struct OracleOptions {
   /// the worst case around 150ms per scenario.
   std::size_t max_inverse_facts = 10;
 
+  /// When non-empty, run only the oracle family with this name (e.g.
+  /// "laconic" for laconic.*) plus the chase family it depends on. The
+  /// differential-CI wall uses this to spend its whole budget on one
+  /// engine comparison.
+  std::string only_family;
+
   /// Self-test hooks: deliberately corrupt one side of a comparison so
   /// the oracle-library unit tests can prove a broken engine is caught.
   /// Never set outside tests.
-  bool inject_chase_corruption = false;  // perturb the naive chase result
-  bool inject_core_corruption = false;   // perturb the blocked core result
+  bool inject_chase_corruption = false;    // perturb the naive chase result
+  bool inject_core_corruption = false;     // perturb the blocked core result
+  bool inject_laconic_corruption = false;  // perturb the laconic chase result
 };
 
 /// One oracle violation.
@@ -94,6 +101,10 @@ const std::vector<OracleInfo>& OracleCatalog();
 ///    on every scenario, agrees with CheckWeakAcyclicity, and on weakly
 ///    acyclic scenarios the chase fixpoint never exceeds the static
 ///    chase-size bound;
+///  * laconic-compilation oracles — on ground mapping scenarios the
+///    laconic chase (compile/laconic.h) must produce a core isomorphic —
+///    and canonically byte-identical — to chase + blocked core, and must
+///    satisfy the original dependencies;
 ///  * crash/Status oracles — every engine error other than
 ///    ResourceExhausted is a failure.
 ///

@@ -379,5 +379,87 @@ TEST(AnalyzeTest, PaperScenariosAreLintClean) {
   }
 }
 
+// Table-driven coverage of the laconic capability notes (RDX2xx): for
+// each code one dependency set that fires it and one near-miss that stays
+// clean. The codes are emitted by the laconic compiler, not by
+// LintDependencies — the compiler is the system under test here.
+TEST(LaconicLintTest, CapabilityNotesFireAndNearMissesStayClean) {
+  struct Case {
+    const char* name;
+    const char* deps;         // ';'-separated dependency set
+    LintCode code;            // expected capability note
+    const char* clean_deps;   // near-miss that must NOT emit `code`
+  };
+  const std::vector<Case> cases = {
+      {"disjunction_RDX201",
+       "AlDjP(x) -> AlDjQ(x) | AlDjR(x)",
+       LintCode::kLaconicDisjunction,
+       "AlDjP(x) -> AlDjQ(x); AlDjP(x) -> AlDjR(x)"},
+      {"constant_in_head_RDX202",
+       "AlCoP(x) -> AlCoQ(x, 'lit')",
+       LintCode::kLaconicConstantInHead,
+       "AlCoP(x) & AlCoP(y) -> AlCoQ(x, y)"},
+      {"not_source_to_target_RDX203",
+       "AlStA(x) -> AlStB(x); AlStB(x) -> AlStC(x)",
+       LintCode::kLaconicNotSourceToTarget,
+       "AlStA(x) -> AlStB(x); AlStD(x) -> AlStC(x)"},
+      {"no_order_RDX204",
+       "AlNoP(x) -> EXISTS u, v: AlNoQ(x, u) & AlNoQ(u, v)",
+       LintCode::kLaconicNoOrder,
+       "AlNoR(x, y) -> EXISTS u: AlNoQ(x, u) & AlNoQ(u, y)"},
+      {"budget_RDX205",
+       "AlBgP(x1, x2, x3, x4, x5, x6) -> "
+       "EXISTS z: AlBgQ(x1, x2, x3, x4, x5, x6, z)",
+       LintCode::kLaconicBudget,
+       "AlBgS(x1, x2) -> EXISTS z: AlBgR(x1, x2, z)"},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.name);
+    RDX_ASSERT_OK_AND_ASSIGN(
+        LaconicCompilation fired,
+        CompileLaconicDependencies(MustParseDependencies(c.deps)));
+    EXPECT_FALSE(fired.laconic);
+    bool found = false;
+    for (const LintDiagnostic& d : fired.diagnostics) {
+      if (d.code == c.code) {
+        found = true;
+        EXPECT_EQ(GetLintInfo(d.code).severity, LintSeverity::kNote);
+      }
+    }
+    EXPECT_TRUE(found) << "expected " << LintCodeId(c.code);
+
+    RDX_ASSERT_OK_AND_ASSIGN(
+        LaconicCompilation clean,
+        CompileLaconicDependencies(MustParseDependencies(c.clean_deps)));
+    EXPECT_TRUE(clean.laconic);
+    for (const LintDiagnostic& d : clean.diagnostics) {
+      EXPECT_NE(d.code, c.code) << d.ToString();
+    }
+  }
+}
+
+TEST(LaconicLintTest, NotWeaklyAcyclicErrorCitesRDX001) {
+  // Laconicizing a non-weakly-acyclic set is a hard error, and the
+  // diagnostic must point at RDX001 rather than a generic failure.
+  Result<LaconicCompilation> out = CompileLaconicDependencies(
+      MustParseDependencies(
+          "AlWaE(x, y) -> EXISTS z: AlWaF(y, z); AlWaF(x, y) -> AlWaE(x, y)"));
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(out.status().message().find("RDX001"), std::string::npos)
+      << out.status().ToString();
+}
+
+TEST(LaconicLintTest, LaconicCodesAreCatalogued) {
+  for (LintCode code :
+       {LintCode::kLaconicDisjunction, LintCode::kLaconicConstantInHead,
+        LintCode::kLaconicNotSourceToTarget, LintCode::kLaconicNoOrder,
+        LintCode::kLaconicBudget}) {
+    const LintInfo& info = GetLintInfo(code);
+    EXPECT_EQ(info.severity, LintSeverity::kNote);
+    EXPECT_EQ(std::string(info.id).substr(0, 4), "RDX2");
+  }
+}
+
 }  // namespace
 }  // namespace rdx

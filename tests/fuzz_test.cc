@@ -138,6 +138,66 @@ TEST(FuzzOracleTest, BrokenCoreEngineIsCaught) {
   EXPECT_TRUE(core_failure) << report.ToString();
 }
 
+FuzzScenario PathSplitScenario(Instance instance) {
+  scenarios::Scenario paper = scenarios::PathSplit();
+  FuzzScenario s;
+  s.name = "fzt_pathsplit";
+  s.source = paper.mapping.source();
+  s.target = paper.mapping.target();
+  s.tgds = paper.mapping.dependencies();
+  s.instance = std::move(instance);
+  return s;
+}
+
+TEST(FuzzOracleTest, LaconicFamilyRunsOnLaconicizableScenario) {
+  FuzzScenario s = PathSplitScenario(I("PathP(a, b). PathP(b, b)"));
+  RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  for (const char* oracle :
+       {"laconic.compile", "laconic.core", "laconic.canonical",
+        "laconic.satisfies"}) {
+    EXPECT_NE(std::find(report.oracles_run.begin(), report.oracles_run.end(),
+                        oracle),
+              report.oracles_run.end())
+        << oracle << " did not run:\n"
+        << report.ToString();
+  }
+}
+
+TEST(FuzzOracleTest, BrokenLaconicEngineIsCaught) {
+  // A corrupted laconic-chase result must trip the laconic.core
+  // differential oracle — the CI wall this battery backs has teeth.
+  FuzzScenario s = PathSplitScenario(I("PathP(a, b). PathP(c, d)"));
+  OracleOptions options;
+  options.inject_laconic_corruption = true;
+  RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s, options));
+  ASSERT_FALSE(report.ok());
+  bool laconic_failure = false;
+  for (const OracleFailure& f : report.failures) {
+    laconic_failure = laconic_failure || f.oracle.rfind("laconic.", 0) == 0;
+  }
+  EXPECT_TRUE(laconic_failure) << report.ToString();
+}
+
+TEST(FuzzOracleTest, OnlyFamilyRestrictsTheBattery) {
+  // --oracle laconic.core spends the whole budget on the laconic wall:
+  // the chase family still runs (everything diffs against it), but the
+  // expensive core/hom/inverse families are skipped.
+  FuzzScenario s = PathSplitScenario(I("PathP(a, b)"));
+  OracleOptions options;
+  options.only_family = "laconic";
+  RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s, options));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  bool saw_laconic = false;
+  for (const std::string& oracle : report.oracles_run) {
+    saw_laconic = saw_laconic || oracle.rfind("laconic.", 0) == 0;
+    EXPECT_TRUE(oracle.rfind("laconic.", 0) == 0 ||
+                oracle.rfind("chase.", 0) == 0)
+        << "unexpected oracle under only_family: " << oracle;
+  }
+  EXPECT_TRUE(saw_laconic) << report.ToString();
+}
+
 TEST(FuzzShrinkerTest, ReducesSyntheticFailureToTheRelevantSlice) {
   FuzzScenario s;
   s.name = "fzt_shrink_synthetic";

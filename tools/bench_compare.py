@@ -10,9 +10,16 @@ baseline is regenerated via the `bench_baseline` target).
 Usage:
   bench_compare.py compare --baseline bench/baseline.json \
       --current out1.json [out2.json ...] [--threshold 0.15] \
-      [--history bench/history.jsonl]
+      [--history bench/history.jsonl] [--require-faster FAST:SLOW ...]
   bench_compare.py merge out1.json [out2.json ...] > baseline.json
   bench_compare.py history bench/history.jsonl [--last N]
+
+`--require-faster FAST:SLOW` (repeatable) asserts a relative ordering
+within the *current* run: for every measured benchmark named FAST/<args>,
+the counterpart SLOW/<args> must exist and be strictly slower. The CI
+bench job uses it to require the laconic chase-to-core to beat the
+chase + blocked-core path it replaces
+(BM_LaconicVsBlocked_Laconic:BM_LaconicVsBlocked_Blocked).
 
 `merge` folds several per-binary JSON files into one flat baseline mapping
 benchmark name -> median real_time (ns), suitable for checking in.
@@ -140,6 +147,37 @@ def cmd_history(args):
     return 0
 
 
+def check_require_faster(pairs, current):
+    """Returns a list of violation lines for the FAST:SLOW orderings."""
+    violations = []
+    for pair in pairs:
+        fast_prefix, sep, slow_prefix = pair.partition(":")
+        if not sep or not fast_prefix or not slow_prefix:
+            violations.append(f"bad --require-faster spec {pair!r} "
+                              "(want FAST:SLOW)")
+            continue
+        matched = False
+        for name, fast_ns in sorted(current.items()):
+            if name != fast_prefix and \
+                    not name.startswith(fast_prefix + "/"):
+                continue
+            matched = True
+            counterpart = slow_prefix + name[len(fast_prefix):]
+            slow_ns = current.get(counterpart)
+            if slow_ns is None:
+                violations.append(f"{name}: counterpart {counterpart} "
+                                  "was not measured")
+            elif fast_ns >= slow_ns:
+                violations.append(
+                    f"{name}: {fast_ns:12.0f} ns is not faster than "
+                    f"{counterpart}: {slow_ns:12.0f} ns "
+                    f"({fast_ns / slow_ns:5.2f}x)")
+        if not matched:
+            violations.append(f"--require-faster {pair}: no benchmark "
+                              f"matches {fast_prefix}")
+    return violations
+
+
 def cmd_compare(args):
     with open(args.baseline, "r", encoding="utf-8") as f:
         baseline_doc = json.load(f)
@@ -171,17 +209,31 @@ def cmd_compare(args):
               f"{', '.join(new)}")
     if missing:
         print(f"-- in baseline but not measured: {', '.join(missing)}")
+    ordering_violations = check_require_faster(args.require_faster or [],
+                                               current)
     if args.history:
-        append_history(args.history, current, bool(regressions))
+        append_history(args.history, current,
+                       bool(regressions or ordering_violations))
+    failed = False
     if regressions:
         print(f"FAIL: {len(regressions)} benchmark(s) regressed more than "
               f"{args.threshold:.0%} vs {args.baseline}:")
         for line in regressions:
             print(f"   {line}")
+        failed = True
+    if ordering_violations:
+        print(f"FAIL: {len(ordering_violations)} --require-faster "
+              "violation(s):")
+        for line in ordering_violations:
+            print(f"   {line}")
+        failed = True
+    if failed:
         return 1
+    orderings = len(args.require_faster or [])
     print(f"OK: no benchmark regressed more than {args.threshold:.0%} "
           f"({len(set(baseline) & set(current))} compared, "
-          f"{len(new)} new, {len(missing)} missing)")
+          f"{len(new)} new, {len(missing)} missing, "
+          f"{orderings} ordering(s) held)")
     return 0
 
 
@@ -196,6 +248,10 @@ def main():
                            help="allowed relative slowdown (default 0.15)")
     p_compare.add_argument("--history", default=None, metavar="FILE",
                            help="append this run's medians to FILE (JSONL)")
+    p_compare.add_argument("--require-faster", action="append",
+                           default=[], metavar="FAST:SLOW",
+                           help="require every FAST/<args> median to beat "
+                                "its SLOW/<args> counterpart (repeatable)")
     p_compare.set_defaults(func=cmd_compare)
 
     p_merge = sub.add_parser("merge", help="fold JSON files into a baseline")

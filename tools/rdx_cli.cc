@@ -2,7 +2,9 @@
 //
 // Usage:
 //   rdx_cli chase          --mapping M.rdx --instance I.rdx
+//                          [--laconic | --to-core] [--canonical]
 //   rdx_cli reverse        --mapping M'.rdx --instance J.rdx
+//                          [--laconic] [--canonical]
 //   rdx_cli roundtrip      --mapping M.rdx --reverse M'.rdx --instance I.rdx
 //   rdx_cli quasi-inverse  --mapping M.rdx
 //   rdx_cli compose        --mapping M12.rdx --second M23.rdx
@@ -10,6 +12,25 @@
 //   rdx_cli certain        --mapping M.rdx --reverse M'.rdx --instance I.rdx
 //                          --query "q(x, y) :- P(x, y)"
 //   rdx_cli core           --instance I.rdx
+//   rdx_cli laconic        --mapping M.rdx | --deps D.rdxd
+//
+// Chase-to-core flags (docs/laconic.md):
+//   --laconic      chase the laconically compiled mapping, printing the
+//                  core universal solution directly (falls back to chase
+//                  + blocked core when a capability gate fires; `reverse
+//                  --laconic` instead refuses with the RDX-coded notes,
+//                  since its disjunctive fallback has different output)
+//   --to-core      chase the original mapping, then run the blocked core
+//                  engine over the result (the reference path --laconic
+//                  is measured against)
+//   --canonical    print instances after canonical null renaming
+//                  (Instance::CanonicalForm), so equivalent runs are
+//                  byte-comparable
+//
+// `laconic` prints the compiled dependency set and its capability notes;
+// it exits 1 with the RDX-coded diagnostics when the input cannot be
+// laconicized (including the RDX001 weak-acyclicity error for bare
+// `--deps` sets; mapping files are source-to-target by construction).
 //
 // Every subcommand additionally accepts:
 //   --stats        print engine statistics (per-round chase summary, all
@@ -31,7 +52,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 
 #include "mapping/mapping_io.h"
@@ -64,10 +87,10 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: rdx_cli <chase|reverse|roundtrip|quasi-inverse|compose|"
-      "analyze|certain|core> [--mapping F] [--second F] [--reverse F] "
-      "[--instance F] [--query Q] [--constants N] [--nulls N] "
-      "[--max-facts N] [--threads N] [--stats] [--trace FILE] "
-      "[--trace-chrome FILE]\n");
+      "analyze|certain|core|laconic> [--mapping F] [--second F] "
+      "[--reverse F] [--instance F] [--deps F] [--query Q] [--constants N] "
+      "[--nulls N] [--max-facts N] [--threads N] [--laconic] [--to-core] "
+      "[--canonical] [--stats] [--trace FILE] [--trace-chrome FILE]\n");
   return 2;
 }
 
@@ -100,13 +123,38 @@ Instance RequireInstance(const Args& args) {
   return Unwrap(LoadInstanceFile(path), "instance");
 }
 
+// Renders an instance for printing, honoring --canonical.
+std::string Render(const Args& args, const Instance& instance) {
+  return args.Has("canonical") ? instance.CanonicalForm().ToString()
+                               : instance.ToString();
+}
+
 int RunChase(const Args& args) {
   SchemaMapping m = RequireMapping(args, "mapping");
   Instance i = RequireInstance(args);
   ChaseOptions options;
   options.num_threads = args.Threads();
+  if (args.Has("laconic")) {
+    LaconicChaseResult r =
+        Unwrap(LaconicChaseMapping(m, i, options), "laconic chase");
+    std::printf("%s\n", Render(args, r.core).c_str());
+    if (args.Has("stats")) {
+      std::fprintf(stderr, "%s", r.compilation.ToString().c_str());
+      std::fprintf(stderr, "path: %s\n",
+                   r.used_laconic ? "laconic" : "chase + blocked core");
+      std::fprintf(stderr, "%s", r.chase.stats.ToString().c_str());
+    }
+    return 0;
+  }
   ChaseResult chased = Unwrap(ChaseMappingWithStats(m, i, options), "chase");
-  std::printf("%s\n", chased.added.ToString().c_str());
+  if (args.Has("to-core")) {
+    HomomorphismOptions hom;
+    hom.num_threads = args.Threads();
+    Instance core = Unwrap(ComputeCore(chased.added, hom), "core");
+    std::printf("%s\n", Render(args, core).c_str());
+  } else {
+    std::printf("%s\n", Render(args, chased.added).c_str());
+  }
   if (args.Has("stats")) {
     std::fprintf(stderr, "%s", chased.stats.ToString().c_str());
   }
@@ -116,13 +164,31 @@ int RunChase(const Args& args) {
 int RunReverse(const Args& args) {
   SchemaMapping m = RequireMapping(args, "mapping");
   Instance i = RequireInstance(args);
+  if (args.Has("laconic")) {
+    // The fallback path for an un-laconicizable reverse is the
+    // disjunctive chase, whose output (possible worlds) is not a core —
+    // so unlike `chase --laconic` this refuses instead of falling back.
+    LaconicCompilation compiled = Unwrap(CompileLaconic(m), "laconic");
+    if (!compiled.laconic) {
+      std::fprintf(stderr, "cannot laconicize reverse mapping:\n%s",
+                   compiled.ToString().c_str());
+      return 1;
+    }
+    ChaseOptions chase_options;
+    chase_options.num_threads = args.Threads();
+    LaconicChaseResult r =
+        Unwrap(LaconicChaseMapping(m, i, chase_options), "laconic chase");
+    std::printf("core universal solution:\n  %s\n",
+                Render(args, r.core).c_str());
+    return 0;
+  }
   DisjunctiveChaseOptions options;
   options.num_threads = args.Threads();
   std::vector<Instance> branches =
       Unwrap(DisjunctiveChaseMapping(m, i, options), "disjunctive chase");
   std::printf("%zu possible world(s):\n", branches.size());
   for (const Instance& v : branches) {
-    std::printf("  %s\n", v.ToString().c_str());
+    std::printf("  %s\n", Render(args, v).c_str());
   }
   return 0;
 }
@@ -216,8 +282,50 @@ int RunCore(const Args& args) {
   return 0;
 }
 
+// Loads a bare ';'-separated dependency file ('#' comments allowed).
+Result<std::vector<Dependency>> LoadDependencyFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open ", path));
+  std::ostringstream text;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    text << line << '\n';
+  }
+  return ParseDependencies(text.str());
+}
+
+int RunLaconic(const Args& args) {
+  Result<LaconicCompilation> compiled = [&]() -> Result<LaconicCompilation> {
+    if (const char* deps_path = args.Get("deps")) {
+      Result<std::vector<Dependency>> deps = LoadDependencyFile(deps_path);
+      if (!deps.ok()) return deps.status();
+      return CompileLaconicDependencies(*deps);
+    }
+    return CompileLaconic(RequireMapping(args, "mapping"));
+  }();
+  if (!compiled.ok()) {
+    // Non-weakly-acyclic bare dependency sets land here with a
+    // FailedPrecondition citing RDX001.
+    std::fprintf(stderr, "error (laconic): %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", compiled->ToString().c_str());
+  if (!compiled->laconic) return 1;
+  for (const Dependency& d : compiled->dependencies) {
+    std::printf("%s;\n", d.ToString().c_str());
+  }
+  return 0;
+}
+
 // Flags that take no value argument.
-bool IsBooleanFlag(const char* name) { return std::strcmp(name, "stats") == 0; }
+bool IsBooleanFlag(const char* name) {
+  return std::strcmp(name, "stats") == 0 ||
+         std::strcmp(name, "laconic") == 0 ||
+         std::strcmp(name, "to-core") == 0 ||
+         std::strcmp(name, "canonical") == 0;
+}
 
 int Dispatch(const Args& args) {
   if (args.command == "chase") return RunChase(args);
@@ -228,6 +336,7 @@ int Dispatch(const Args& args) {
   if (args.command == "analyze") return RunAnalyze(args);
   if (args.command == "certain") return RunCertain(args);
   if (args.command == "core") return RunCore(args);
+  if (args.command == "laconic") return RunLaconic(args);
   return Usage();
 }
 

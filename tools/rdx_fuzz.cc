@@ -2,10 +2,16 @@
 //
 // Usage:
 //   rdx_fuzz [--seconds N] [--iters N] [--seed S] [--out DIR]
-//            [--no-shrink] [--stop-on-failure]
+//            [--no-shrink] [--stop-on-failure] [--oracle NAME]
 //   rdx_fuzz --replay FILE.rdxf
 //   rdx_fuzz --replay-dir DIR
 //   rdx_fuzz --list-oracles
+//
+// --oracle NAME restricts the battery to NAME's oracle family (the part
+// before the first '.', so "laconic.core" and "laconic" both select the
+// laconic family) plus the chase family every comparison depends on. The
+// laconic-differential CI job uses it to spend its whole budget on one
+// engine wall. Applies to fuzzing and replay modes alike.
 //
 // Fuzzing mode generates scenarios deterministically from --seed, runs the
 // oracle battery on each (docs/fuzzing.md has the catalog), shrinks any
@@ -61,7 +67,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: rdx_fuzz [--seconds N] [--iters N] [--seed S] [--out DIR] "
-      "[--no-shrink] [--stop-on-failure] [--stats] [--trace FILE]\n"
+      "[--no-shrink] [--stop-on-failure] [--oracle NAME] [--stats] "
+      "[--trace FILE]\n"
       "       rdx_fuzz --replay FILE.rdxf | --replay-dir DIR | "
       "--list-oracles\n");
   return 2;
@@ -75,7 +82,7 @@ bool IsBooleanFlag(const std::string& name) {
 bool IsValueFlag(const std::string& name) {
   return name == "seconds" || name == "iters" || name == "seed" ||
          name == "out" || name == "trace" || name == "replay" ||
-         name == "replay-dir";
+         name == "replay-dir" || name == "oracle";
 }
 
 void MaybePrintStats(const Args& args) {
@@ -165,6 +172,21 @@ int Main(int argc, char** argv) {
   }
 
   OracleOptions oracle_options;
+  if (const char* oracle = args.Get("oracle")) {
+    std::string family(oracle);
+    family = family.substr(0, family.find('.'));
+    bool known = false;
+    for (const OracleInfo& info : OracleCatalog()) {
+      known = known || info.name.rfind(family + ".", 0) == 0;
+    }
+    if (family.empty() || !known) {
+      std::fprintf(stderr,
+                   "unknown oracle '%s' (see rdx_fuzz --list-oracles)\n",
+                   oracle);
+      return 2;
+    }
+    oracle_options.only_family = family;
+  }
   if (args.Has("replay")) {
     int rc = ReplayOne(args.Get("replay"), oracle_options);
     MaybePrintStats(args);

@@ -1,10 +1,12 @@
 // rdx_lint — static mapping analyzer front end (docs/analysis.md).
 //
 // Usage:
-//   rdx_lint [--json] [--oblivious] [--no-notes] [--quiet] FILE...
+//   rdx_lint [--json] [--oblivious] [--no-notes] [--quiet] [--laconic]
+//            [--deps] FILE...
 //
-// Each FILE is a mapping file in the mapping_io.h format. For every file
-// the analyzer prints the weak-acyclicity verdict, the static chase-size
+// Each FILE is a mapping file in the mapping_io.h format (or, under
+// --deps, a bare ';'-separated dependency file). For every file the
+// analyzer prints the weak-acyclicity verdict, the static chase-size
 // bound, and all lint diagnostics (RDX001...; see `rdx_lint --codes`).
 //
 // Flags:
@@ -15,17 +17,30 @@
 //                still models the standard chase, see docs/analysis.md)
 //   --no-notes   suppress RDX1xx capability notes
 //   --quiet      print diagnostics only, no per-file report body
+//   --laconic    additionally run the laconic mapping compilation
+//                (docs/laconic.md) and report its verdict with the
+//                RDX2xx capability notes; a non-weakly-acyclic input is
+//                an error citing RDX001 (exit 1)
+//   --deps       treat FILEs as bare dependency files (no schemas) —
+//                the only way a non-source-to-target set reaches the
+//                laconic weak-acyclicity gate
 //   --codes      print the lint catalog and exit
 //
 // Exit status: 0 when every file is clean (notes do not count), 1 when
-// any error- or warning-level diagnostic fired, 2 on usage or I/O error.
+// any error- or warning-level diagnostic fired (or --laconic hit the
+// weak-acyclicity error), 2 on usage or I/O error.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyze.h"
+#include "base/strings.h"
+#include "compile/laconic.h"
+#include "core/dependency_parser.h"
 #include "mapping/mapping_io.h"
 
 namespace rdx {
@@ -34,7 +49,7 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: rdx_lint [--json] [--oblivious] [--no-notes] "
-               "[--quiet] [--codes] FILE...\n");
+               "[--quiet] [--laconic] [--deps] [--codes] FILE...\n");
   return 2;
 }
 
@@ -49,21 +64,46 @@ int PrintCatalog() {
 struct Options {
   bool json = false;
   bool quiet = false;
+  bool laconic = false;
+  bool bare_deps = false;
   AnalysisOptions analysis;
 };
 
+// Loads a bare ';'-separated dependency file ('#' comments allowed).
+Result<std::vector<Dependency>> LoadDependencyFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open ", path));
+  std::ostringstream text;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == '#') continue;
+    text << line << '\n';
+  }
+  return ParseDependencies(text.str());
+}
+
 // Returns 0 clean / 1 diagnostics / 2 load failure.
 int LintFile(const std::string& path, const Options& options) {
-  Result<SchemaMapping> mapping = LoadMappingFile(path);
-  if (!mapping.ok()) {
-    std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
-                 mapping.status().ToString().c_str());
-    return 2;
-  }
   AnalysisInput input;
-  input.dependencies = mapping->dependencies();
-  input.source = mapping->source();
-  input.target = mapping->target();
+  if (options.bare_deps) {
+    Result<std::vector<Dependency>> deps = LoadDependencyFile(path);
+    if (!deps.ok()) {
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                   deps.status().ToString().c_str());
+      return 2;
+    }
+    input.dependencies = *std::move(deps);
+  } else {
+    Result<SchemaMapping> mapping = LoadMappingFile(path);
+    if (!mapping.ok()) {
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                   mapping.status().ToString().c_str());
+      return 2;
+    }
+    input.dependencies = mapping->dependencies();
+    input.source = mapping->source();
+    input.target = mapping->target();
+  }
   Result<AnalysisReport> report = AnalyzeDependencies(input, options.analysis);
   if (!report.ok()) {
     std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
@@ -78,6 +118,19 @@ int LintFile(const std::string& path, const Options& options) {
     }
   } else {
     std::printf("== %s ==\n%s", path.c_str(), report->ToString().c_str());
+  }
+  if (options.laconic) {
+    Result<LaconicCompilation> compiled =
+        CompileLaconicDependencies(input.dependencies);
+    if (!compiled.ok()) {
+      // Non-weakly-acyclic input: FailedPrecondition citing RDX001.
+      std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+    if (!options.json) {
+      std::printf("%s", compiled->ToString().c_str());
+    }
   }
   return report->clean() ? 0 : 1;
 }
@@ -94,6 +147,10 @@ int Main(int argc, char** argv) {
       options.analysis.mode = WeakAcyclicityMode::kObliviousChase;
     } else if (std::strcmp(argv[k], "--no-notes") == 0) {
       options.analysis.include_notes = false;
+    } else if (std::strcmp(argv[k], "--laconic") == 0) {
+      options.laconic = true;
+    } else if (std::strcmp(argv[k], "--deps") == 0) {
+      options.bare_deps = true;
     } else if (std::strcmp(argv[k], "--codes") == 0) {
       return PrintCatalog();
     } else if (std::strncmp(argv[k], "--", 2) == 0) {
