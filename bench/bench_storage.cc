@@ -1,0 +1,324 @@
+// Experiment E16 (EXPERIMENTS.md): columnar fact storage versus the
+// pointer-based layout it replaced. The columnar series is the real match
+// engine (core/match.cc over core/fact_index.cc): struct-of-arrays
+// columns of packed uint32 value ids with per-(position, value-id)
+// posting lists of row numbers. The legacy series is a faithful in-bench
+// port of the pre-refactor layout and search — a flat
+// (relation, position, Value)-keyed hash map of Fact-pointer candidate
+// lists, walked by a backtracking matcher that probes an
+// unordered_map<Variable, Value> assignment per term — so the two series
+// time the same join over the same data and differ only in storage
+// layout. CI requires the columnar series to beat the legacy one via
+// bench_compare.py's --require-faster gate.
+//
+// Series reported:
+//   BM_CollectMatches_Columnar/<nodes> — real CollectMatches over FactIndex
+//   BM_CollectMatches_Legacy/<nodes>   — pre-refactor port, same join
+//   BM_SerializeInstance/<nodes>       — RDXC encode (bytes/sec)
+//   BM_DeserializeInstance/<nodes>     — RDXC strict decode (bytes/sec)
+//   matches counter — join results per iteration (identical across series)
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dependency_parser.h"
+
+namespace rdx {
+namespace {
+
+using bench_util::Claim;
+using bench_util::MustOk;
+
+// --- Workload -------------------------------------------------------------
+
+// Sparse deterministic digraph on `nodes` vertices: a Hamiltonian ring
+// plus one pseudo-random chord per vertex. Dense enough that the two-atom
+// join below produces ~4 matches per vertex, sparse enough that candidate
+// filtering (not result copying) dominates.
+Instance GraphInstance(std::size_t nodes) {
+  Relation edge = Relation::MustIntern("BsE", 2);
+  Instance out;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    Value from = Value::MakeConstant(StrCat("bs", i));
+    out.AddFact(Fact::MustMake(
+        edge, {from, Value::MakeConstant(StrCat("bs", (i + 1) % nodes))}));
+    out.AddFact(Fact::MustMake(
+        edge, {from, Value::MakeConstant(StrCat("bs", (i * 7 + 3) % nodes))}));
+  }
+  return out;
+}
+
+// The join both series evaluate: paths of length two.
+std::vector<Atom> JoinAtoms() {
+  static const Dependency* dep = new Dependency(
+      MustParseDependency("BsE(x, y) & BsE(y, z) -> BsQ(x, z)"));
+  return dep->body();
+}
+
+// --- Legacy layout (faithful port of the pre-refactor code) ---------------
+
+// The old FactIndex: per-relation Fact-pointer lists plus one flat hash
+// map from (relation, position, value) to the Fact-pointer list with that
+// value at that position. Every candidate probe hashes a three-field key
+// and lands in a vector of pointers into scattered Fact storage.
+class LegacyIndex {
+ public:
+  explicit LegacyIndex(const Instance& instance) {
+    for (const Fact& f : instance.facts()) {
+      facts_by_relation_[f.relation()].push_back(&f);
+      for (std::size_t i = 0; i < f.args().size(); ++i) {
+        by_position_value_[Key{f.relation().id(), static_cast<uint32_t>(i),
+                               f.args()[i]}]
+            .push_back(&f);
+      }
+    }
+  }
+
+  const std::vector<const Fact*>* FactsOf(Relation r) const {
+    auto it = facts_by_relation_.find(r);
+    return it == facts_by_relation_.end() ? nullptr : &it->second;
+  }
+
+  const std::vector<const Fact*>* FactsWith(Relation r, std::size_t pos,
+                                            const Value& v) const {
+    auto it =
+        by_position_value_.find(Key{r.id(), static_cast<uint32_t>(pos), v});
+    return it == by_position_value_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  struct Key {
+    uint32_t relation;
+    uint32_t pos;
+    Value value;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t seed = std::hash<uint32_t>()(k.relation);
+      HashCombine(seed, k.pos);
+      HashCombine(seed, k.value.Hash());
+      return seed;
+    }
+  };
+
+  std::unordered_map<Relation, std::vector<const Fact*>> facts_by_relation_;
+  std::unordered_map<Key, std::vector<const Fact*>, KeyHash>
+      by_position_value_;
+};
+
+// The old backtracking matcher over that index, restricted to relational
+// atoms (the bench query has no builtins): most-constrained-atom
+// selection by smallest candidate list, TryBindAtom unification through
+// an unordered_map<Variable, Value> assignment, explicit unbind on
+// backtrack. Structure and probe pattern mirror the pre-refactor
+// Matcher::Search line for line.
+class LegacyMatcher {
+ public:
+  LegacyMatcher(const std::vector<Atom>& atoms, const LegacyIndex& index)
+      : index_(index) {
+    for (const Atom& a : atoms) {
+      if (a.IsRelational()) relational_.push_back(&a);
+    }
+    matched_.assign(relational_.size(), false);
+  }
+
+  // Mirrors the pre-refactor CollectMatches at num_threads = 1: sequential
+  // search, one Assignment copy per delivered match.
+  std::vector<Assignment> Collect() {
+    out_.clear();
+    Search(relational_.size());
+    return std::move(out_);
+  }
+
+ private:
+  std::optional<Value> LookupTerm(const Term& t) const {
+    if (t.IsConstant()) return t.constant();
+    auto it = assignment_.find(t.variable());
+    if (it == assignment_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t CandidateBoundFor(const Atom& a) const {
+    const std::vector<const Fact*>* all = index_.FactsOf(a.relation());
+    if (all == nullptr) return 0;
+    std::size_t best = all->size();
+    for (std::size_t i = 0; i < a.terms().size(); ++i) {
+      std::optional<Value> v = LookupTerm(a.terms()[i]);
+      if (!v.has_value()) continue;
+      const std::vector<const Fact*>* filtered =
+          index_.FactsWith(a.relation(), i, *v);
+      best = std::min(best, filtered == nullptr ? 0 : filtered->size());
+    }
+    return best;
+  }
+
+  const std::vector<const Fact*>* CandidatesFor(const Atom& a) const {
+    const std::vector<const Fact*>* best = index_.FactsOf(a.relation());
+    if (best == nullptr) return nullptr;
+    for (std::size_t i = 0; i < a.terms().size(); ++i) {
+      std::optional<Value> v = LookupTerm(a.terms()[i]);
+      if (!v.has_value()) continue;
+      const std::vector<const Fact*>* filtered =
+          index_.FactsWith(a.relation(), i, *v);
+      if (filtered == nullptr) return nullptr;
+      if (filtered->size() < best->size()) best = filtered;
+    }
+    return best;
+  }
+
+  bool TryBindAtom(const Atom& a, const Fact& f,
+                   std::vector<Variable>* newly_bound) {
+    const std::vector<Term>& terms = a.terms();
+    const std::vector<Value>& args = f.args();
+    for (std::size_t i = 0; i < terms.size(); ++i) {
+      const Term& t = terms[i];
+      if (t.IsConstant()) {
+        if (!(t.constant() == args[i])) return false;
+        continue;
+      }
+      auto it = assignment_.find(t.variable());
+      if (it != assignment_.end()) {
+        if (!(it->second == args[i])) return false;
+      } else {
+        assignment_.emplace(t.variable(), args[i]);
+        newly_bound->push_back(t.variable());
+      }
+    }
+    return true;
+  }
+
+  void Search(std::size_t remaining) {
+    if (remaining == 0) {
+      out_.push_back(assignment_);
+      return;
+    }
+    std::size_t best_idx = relational_.size();
+    std::size_t best_bound = std::numeric_limits<std::size_t>::max();
+    for (std::size_t i = 0; i < relational_.size(); ++i) {
+      if (matched_[i]) continue;
+      std::size_t bound = CandidateBoundFor(*relational_[i]);
+      if (bound < best_bound) {
+        best_bound = bound;
+        best_idx = i;
+        if (bound == 0) break;
+      }
+    }
+    if (best_bound == 0) return;
+
+    const Atom& atom = *relational_[best_idx];
+    const std::vector<const Fact*>* candidates = CandidatesFor(atom);
+    if (candidates == nullptr) return;
+
+    matched_[best_idx] = true;
+    for (const Fact* f : *candidates) {
+      std::vector<Variable> newly_bound;
+      if (TryBindAtom(atom, *f, &newly_bound)) {
+        Search(remaining - 1);
+      }
+      for (Variable v : newly_bound) {
+        assignment_.erase(v);
+      }
+    }
+    matched_[best_idx] = false;
+  }
+
+  const LegacyIndex& index_;
+  std::vector<const Atom*> relational_;
+  std::vector<bool> matched_;
+  Assignment assignment_;
+  std::vector<Assignment> out_;
+};
+
+// --- Match series ---------------------------------------------------------
+
+void BM_CollectMatches_Columnar(benchmark::State& state) {
+  Instance inst = GraphInstance(static_cast<std::size_t>(state.range(0)));
+  FactIndex index(inst);
+  std::vector<Atom> atoms = JoinAtoms();
+  MatchOptions options;
+  std::size_t matches = 0;
+  for (auto _ : state) {
+    std::vector<Assignment> found =
+        MustOk(CollectMatches(atoms, inst, index, options), "collect");
+    matches = found.size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_CollectMatches_Columnar)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_CollectMatches_Legacy(benchmark::State& state) {
+  Instance inst = GraphInstance(static_cast<std::size_t>(state.range(0)));
+  LegacyIndex index(inst);
+  std::vector<Atom> atoms = JoinAtoms();
+  std::size_t matches = 0;
+  for (auto _ : state) {
+    LegacyMatcher matcher(atoms, index);
+    std::vector<Assignment> found = matcher.Collect();
+    matches = found.size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+}
+BENCHMARK(BM_CollectMatches_Legacy)->Arg(50)->Arg(200)->Arg(1000);
+
+// --- Serialization series -------------------------------------------------
+
+void BM_SerializeInstance(benchmark::State& state) {
+  Instance inst = GraphInstance(static_cast<std::size_t>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string wire = columnar::Serialize(inst);
+    bytes = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations() * bytes));
+  state.counters["wire_bytes"] = static_cast<double>(bytes);
+}
+BENCHMARK(BM_SerializeInstance)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_DeserializeInstance(benchmark::State& state) {
+  Instance inst = GraphInstance(static_cast<std::size_t>(state.range(0)));
+  std::string wire = columnar::Serialize(inst);
+  for (auto _ : state) {
+    Instance decoded = MustOk(columnar::Deserialize(wire), "decode");
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * wire.size()));
+  state.counters["wire_bytes"] = static_cast<double>(wire.size());
+}
+BENCHMARK(BM_DeserializeInstance)->Arg(50)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+// E16 claims: the legacy port and the real engine must agree on every
+// workload before either is worth timing, and the wire format must be a
+// faithful round trip on the benched instances.
+void VerifyClaims() {
+  std::vector<Atom> atoms = JoinAtoms();
+  for (std::size_t nodes : {50, 200, 1000}) {
+    Instance inst = GraphInstance(nodes);
+    FactIndex index(inst);
+    std::vector<Assignment> columnar =
+        MustOk(CollectMatches(atoms, inst, index, MatchOptions{}), "collect");
+    LegacyIndex legacy_index(inst);
+    LegacyMatcher legacy(atoms, legacy_index);
+    Claim(legacy.Collect().size() == columnar.size(),
+          "E16: legacy port and columnar engine agree on the join");
+    std::string wire = columnar::Serialize(inst);
+    Instance decoded = MustOk(columnar::Deserialize(wire), "decode");
+    Claim(decoded.size() == inst.size() &&
+              columnar::Serialize(decoded) == wire,
+          "E16: benched instances round-trip byte-identically");
+  }
+}
+
+}  // namespace rdx
+
+RDX_BENCH_MAIN(rdx::VerifyClaims)

@@ -1,0 +1,68 @@
+# RDXC wire-format byte-identity check driven by ctest (see
+# tools/CMakeLists.txt): encodes a textual instance to the binary wire
+# format, decodes it back to text, re-encodes the decoded text, and
+# requires the two wire files to match byte for byte. The decode runs in
+# a separate process, so the identity holds across interning histories —
+# exactly the guarantee docs/storage.md states for the canonical
+# encoding.
+#
+# Expects -DRDX_CLI, -DNAME, -DINSTANCE, -DOUT_DIR; optional -DCANONICAL.
+
+foreach(var RDX_CLI NAME INSTANCE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_serialize_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+set(extra_flags)
+if(DEFINED CANONICAL)
+  set(extra_flags --canonical)
+endif()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(first_wire ${OUT_DIR}/${NAME}_first.rdxc)
+set(decoded_text ${OUT_DIR}/${NAME}_decoded.rdx)
+set(second_wire ${OUT_DIR}/${NAME}_second.rdxc)
+
+execute_process(
+  COMMAND ${RDX_CLI} instance --instance ${INSTANCE}
+          --encode ${first_wire} ${extra_flags}
+  RESULT_VARIABLE encode_result
+  ERROR_VARIABLE encode_stderr)
+if(NOT encode_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli instance --encode ${INSTANCE} failed (${encode_result}):\n"
+      "${encode_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${RDX_CLI} instance --decode ${first_wire}
+  RESULT_VARIABLE decode_result
+  OUTPUT_FILE ${decoded_text}
+  ERROR_VARIABLE decode_stderr)
+if(NOT decode_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli instance --decode ${first_wire} failed (${decode_result}):\n"
+      "${decode_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${RDX_CLI} instance --instance ${decoded_text}
+          --encode ${second_wire} ${extra_flags}
+  RESULT_VARIABLE reencode_result
+  ERROR_VARIABLE reencode_stderr)
+if(NOT reencode_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_cli instance --encode of the decoded text failed "
+      "(${reencode_result}):\n${reencode_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${first_wire} ${second_wire}
+  RESULT_VARIABLE compare_result)
+if(NOT compare_result EQUAL 0)
+  file(READ ${decoded_text} decoded)
+  message(FATAL_ERROR
+      "RDXC round trip for ${NAME} is not byte-identical: "
+      "${first_wire} vs ${second_wire}\n--- decoded text ---\n${decoded}")
+endif()

@@ -103,6 +103,9 @@ class [[nodiscard]] Result {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+  // Without this overload, `*std::move(result)` silently binds to the
+  // const& form and copies the value — ruinous for Result<vector<...>>.
+  T&& operator*() && { return std::move(*this).value(); }
   const T* operator->() const { return &value(); }
   T* operator->() { return &value(); }
 

@@ -1,0 +1,131 @@
+#include "columnar/columnar.h"
+
+namespace rdx {
+namespace columnar {
+
+Fact ColumnarRelation::RowFact(uint32_t row) const {
+  std::vector<Value> args;
+  args.reserve(cols_.size());
+  for (std::size_t pos = 0; pos < cols_.size(); ++pos) {
+    args.push_back(Value::FromPackedId(cols_[pos][row]));
+  }
+  return Fact::MustMake(relation_, std::move(args));
+}
+
+ColumnarInstance ColumnarInstance::FromInstance(const Instance& instance) {
+  ColumnarInstance out;
+  for (const Fact& f : instance.facts()) {
+    out.AddFact(f);
+  }
+  return out;
+}
+
+Instance ColumnarInstance::ToInstance() const {
+  Instance out;
+  for (const RowRef& ref : storage_->order) {
+    out.AddFact(storage_->relations[ref.slot].RowFact(ref.row));
+  }
+  return out;
+}
+
+bool ColumnarInstance::AddFact(const Fact& fact) {
+  std::vector<ValueId> vids;
+  vids.reserve(fact.args().size());
+  for (const Value& v : fact.args()) {
+    vids.push_back(v.PackedId());
+  }
+  return AddRow(fact.relation(), vids);
+}
+
+uint64_t ColumnarInstance::RowHash(Relation relation, const ValueId* vids,
+                                   std::size_t n) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ relation.id();
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= vids[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool ColumnarInstance::RowEquals(const RowRef& ref, Relation relation,
+                                 const ValueId* vids) const {
+  const ColumnarRelation& rel = storage_->relations[ref.slot];
+  if (!(rel.relation() == relation)) return false;
+  for (std::size_t pos = 0; pos < rel.arity(); ++pos) {
+    if (rel.cell(pos, ref.row) != vids[pos]) return false;
+  }
+  return true;
+}
+
+bool ColumnarInstance::AddRow(Relation relation,
+                              const std::vector<ValueId>& vids) {
+  const uint64_t h = RowHash(relation, vids.data(), vids.size());
+  auto bucket = storage_->buckets.find(h);
+  if (bucket != storage_->buckets.end()) {
+    for (const RowRef& ref : bucket->second) {
+      if (RowEquals(ref, relation, vids.data())) return false;
+    }
+  }
+  EnsureOwned();
+  auto it = storage_->slot_of.find(relation.id());
+  uint32_t slot;
+  if (it != storage_->slot_of.end()) {
+    slot = it->second;
+  } else {
+    slot = static_cast<uint32_t>(storage_->relations.size());
+    storage_->relations.emplace_back(relation);
+    storage_->slot_of.emplace(relation.id(), slot);
+  }
+  const uint32_t row = storage_->relations[slot].AppendRow(vids.data());
+  const RowRef ref{slot, row};
+  storage_->order.push_back(ref);
+  storage_->buckets[h].push_back(ref);
+  return true;
+}
+
+const ColumnarRelation* ColumnarInstance::Find(Relation relation) const {
+  auto it = storage_->slot_of.find(relation.id());
+  return it == storage_->slot_of.end() ? nullptr
+                                       : &storage_->relations[it->second];
+}
+
+bool ColumnarInstance::ContainsRow(Relation relation,
+                                   const std::vector<ValueId>& vids) const {
+  const uint64_t h = RowHash(relation, vids.data(), vids.size());
+  auto bucket = storage_->buckets.find(h);
+  if (bucket == storage_->buckets.end()) return false;
+  for (const RowRef& ref : bucket->second) {
+    if (RowEquals(ref, relation, vids.data())) return true;
+  }
+  return false;
+}
+
+ColumnarIndex::ColumnarIndex(const ColumnarInstance& instance)
+    : instance_(instance.Snapshot()) {
+  const std::vector<ColumnarRelation>& rels = instance_.relations();
+  postings_.resize(rels.size());
+  for (std::size_t slot = 0; slot < rels.size(); ++slot) {
+    const ColumnarRelation& rel = rels[slot];
+    postings_[slot].resize(rel.arity());
+    for (std::size_t pos = 0; pos < rel.arity(); ++pos) {
+      const std::vector<ValueId>& col = rel.column(pos);
+      for (uint32_t row = 0; row < col.size(); ++row) {
+        postings_[slot][pos][col[row]].push_back(row);
+      }
+    }
+  }
+}
+
+const std::vector<uint32_t>* ColumnarIndex::RowsWith(Relation relation,
+                                                     std::size_t pos,
+                                                     ValueId vid) const {
+  const ColumnarRelation* rel = instance_.Find(relation);
+  if (rel == nullptr || pos >= rel->arity()) return nullptr;
+  const std::size_t slot =
+      static_cast<std::size_t>(rel - instance_.relations().data());
+  auto it = postings_[slot][pos].find(vid);
+  return it == postings_[slot][pos].end() ? nullptr : &it->second;
+}
+
+}  // namespace columnar
+}  // namespace rdx

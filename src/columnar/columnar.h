@@ -1,0 +1,159 @@
+#ifndef RDX_COLUMNAR_COLUMNAR_H_
+#define RDX_COLUMNAR_COLUMNAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace rdx {
+namespace columnar {
+
+/// A packed value id (Value::PackedId): bit 0 the kind (0 = constant,
+/// 1 = null), bits 1..31 the process-wide interning id. The columnar
+/// layer stores and compares only these — the interning tables are
+/// touched just at the Instance/text/wire boundaries.
+using ValueId = uint32_t;
+
+inline constexpr ValueId kNoValueId = Value::kInvalidPackedId;
+
+/// True if `vid` denotes a labeled null.
+inline bool IsNullId(ValueId vid) { return (vid & 1u) != 0; }
+
+/// One relation's tuples, struct-of-arrays: column(pos) is a contiguous
+/// uint32 vector with one cell per row. Rows are append-only and kept in
+/// insertion order; deduplication is the owning ColumnarInstance's job.
+class ColumnarRelation {
+ public:
+  explicit ColumnarRelation(Relation relation)
+      : relation_(relation), cols_(relation.arity()) {}
+
+  Relation relation() const { return relation_; }
+  uint32_t arity() const { return static_cast<uint32_t>(cols_.size()); }
+  uint32_t rows() const { return rows_; }
+
+  ValueId cell(std::size_t pos, uint32_t row) const {
+    return cols_[pos][row];
+  }
+  const std::vector<ValueId>& column(std::size_t pos) const {
+    return cols_[pos];
+  }
+
+  /// Appends one row (args must have arity() entries); returns its row
+  /// number.
+  uint32_t AppendRow(const ValueId* args) {
+    for (std::size_t pos = 0; pos < cols_.size(); ++pos) {
+      cols_[pos].push_back(args[pos]);
+    }
+    return rows_++;
+  }
+
+  /// The row materialized as a Fact (interning-table lookup per cell).
+  Fact RowFact(uint32_t row) const;
+
+ private:
+  Relation relation_;
+  std::vector<std::vector<ValueId>> cols_;
+  uint32_t rows_ = 0;
+};
+
+/// A set of facts stored columnar: per-relation ColumnarRelation stores
+/// plus a global insertion-order log, deduplicated like Instance. The
+/// copy constructor is an O(1) snapshot — storage is shared and
+/// copy-on-write, so the fuzzer and the core engine can checkpoint an
+/// instance for free and only the writer pays (one deep copy on its next
+/// mutation). Conversion to/from Instance is cheap and lossless
+/// (insertion order included), so Instance remains the parse/API surface.
+class ColumnarInstance {
+ public:
+  /// Insertion-order entry: which relation store, which row.
+  struct RowRef {
+    uint32_t slot;  // index into relations()
+    uint32_t row;
+  };
+
+  ColumnarInstance() : storage_(std::make_shared<Storage>()) {}
+
+  static ColumnarInstance FromInstance(const Instance& instance);
+  Instance ToInstance() const;
+
+  /// Adds a fact/row; false if already present (set semantics, like
+  /// Instance::AddFact). AddRow's `vids` must match the relation's arity.
+  bool AddFact(const Fact& fact);
+  bool AddRow(Relation relation, const std::vector<ValueId>& vids);
+
+  /// Facts stored (after dedup).
+  std::size_t size() const { return storage_->order.size(); }
+  bool empty() const { return storage_->order.empty(); }
+
+  /// Relation stores, in first-seen order.
+  const std::vector<ColumnarRelation>& relations() const {
+    return storage_->relations;
+  }
+  /// The store for `relation`, or nullptr if it has no rows.
+  const ColumnarRelation* Find(Relation relation) const;
+
+  /// Global insertion order over (relation slot, row) pairs.
+  const std::vector<RowRef>& order() const { return storage_->order; }
+
+  bool ContainsRow(Relation relation, const std::vector<ValueId>& vids) const;
+
+  /// Explicit spelling of the O(1) copy-on-write snapshot.
+  ColumnarInstance Snapshot() const { return *this; }
+
+  /// True if this instance shares storage with a snapshot (diagnostic;
+  /// the next mutation will clone).
+  bool SharesStorage() const { return storage_.use_count() > 1; }
+
+ private:
+  struct Storage {
+    std::vector<ColumnarRelation> relations;
+    std::unordered_map<uint32_t, uint32_t> slot_of;  // relation id -> slot
+    std::vector<RowRef> order;
+    // Dedup buckets: row-content hash -> rows with that hash.
+    std::unordered_map<uint64_t, std::vector<RowRef>> buckets;
+  };
+
+  static uint64_t RowHash(Relation relation, const ValueId* vids,
+                          std::size_t n);
+  bool RowEquals(const RowRef& ref, Relation relation,
+                 const ValueId* vids) const;
+
+  // Copy-on-write: clones the storage iff a snapshot still shares it.
+  void EnsureOwned() {
+    if (storage_.use_count() > 1) {
+      storage_ = std::make_shared<Storage>(*storage_);
+    }
+  }
+
+  std::shared_ptr<Storage> storage_;
+};
+
+/// Flat hash index over a ColumnarInstance: per (relation, position,
+/// value-id) posting lists of row numbers, mirroring rdx::FactIndex but
+/// addressing rows instead of Fact pointers. The instance's storage must
+/// not be mutated while the index is in use (take a Snapshot first — the
+/// index holds the snapshot, so indexing is always safe).
+class ColumnarIndex {
+ public:
+  explicit ColumnarIndex(const ColumnarInstance& instance);
+
+  const ColumnarInstance& instance() const { return instance_; }
+
+  /// Rows of `relation` with `vid` at `pos`, or nullptr if none.
+  const std::vector<uint32_t>* RowsWith(Relation relation, std::size_t pos,
+                                        ValueId vid) const;
+
+ private:
+  ColumnarInstance instance_;  // snapshot: pins the indexed storage
+  // postings_[slot][pos][vid] -> rows, slots as in instance_.relations().
+  std::vector<std::vector<std::unordered_map<ValueId, std::vector<uint32_t>>>>
+      postings_;
+};
+
+}  // namespace columnar
+}  // namespace rdx
+
+#endif  // RDX_COLUMNAR_COLUMNAR_H_

@@ -1,0 +1,372 @@
+#include "columnar/serialize.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace columnar {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t h = kFnvOffset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void PutVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void PutString(std::string& out, std::string_view s) {
+  PutVarint(out, s.size());
+  out.append(s);
+}
+
+void PutU64LE(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(v & 0xFF));
+    v >>= 8;
+  }
+}
+
+/// Cursor over the input bytes with offset-citing errors. Every read is
+/// strict — varints must be minimal, lengths must fit — so together with
+/// the sortedness/usage checks in Deserialize, exactly one byte string
+/// decodes to any given instance and re-encoding is the identity.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  void Skip(std::size_t n) { pos_ += n; }
+
+  Status Corrupt(std::string_view what) const { return CorruptAt(what, pos_); }
+  static Status CorruptAt(std::string_view what, std::size_t offset) {
+    return Status::InvalidArgument(
+        StrCat("RDXC decode: ", what, " at byte ", offset));
+  }
+
+  Result<uint64_t> Varint(std::string_view what) {
+    const std::size_t start = pos_;
+    uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      if (pos_ >= bytes_.size()) {
+        return CorruptAt(StrCat("truncated varint (", what, ")"), start);
+      }
+      const uint8_t b = static_cast<uint8_t>(bytes_[pos_++]);
+      if (shift == 63 && (b & 0xFE) != 0) {
+        return CorruptAt(StrCat("varint overflows 64 bits (", what, ")"),
+                         start);
+      }
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if ((b & 0x80) == 0) {
+        if (b == 0 && shift != 0) {
+          return CorruptAt(StrCat("non-minimal varint (", what, ")"), start);
+        }
+        return v;
+      }
+    }
+    return CorruptAt(StrCat("varint overflows 64 bits (", what, ")"), start);
+  }
+
+  Result<std::string_view> String(std::string_view what) {
+    RDX_ASSIGN_OR_RETURN(const uint64_t len, Varint(StrCat(what, " length")));
+    if (len > remaining()) {
+      return Corrupt(StrCat("truncated ", what));
+    }
+    std::string_view s = bytes_.substr(pos_, len);
+    pos_ += len;
+    return s;
+  }
+
+ private:
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+/// One relation section, rows as ref sequences. A ref packs a dictionary
+/// index and the value kind: (index << 1) | is_null.
+struct WireRelation {
+  uint64_t arity = 0;
+  std::set<std::vector<uint64_t>> rows;  // sorted + deduped by the set
+};
+
+std::string EncodeBody(const Instance& instance, uint64_t flags) {
+  // Dictionaries: every distinct constant name and null label, sorted
+  // byte-lexicographically (std::string's comparison is unsigned-byte
+  // memcmp order).
+  std::set<std::string> constant_names;
+  std::set<std::string> null_labels;
+  for (const Fact& f : instance.facts()) {
+    for (const Value& v : f.args()) {
+      (v.IsNull() ? null_labels : constant_names).insert(v.name());
+    }
+  }
+  std::map<std::string, uint64_t> constant_index;
+  std::map<std::string, uint64_t> null_index;
+  uint64_t next = 0;
+  for (const std::string& name : constant_names) constant_index[name] = next++;
+  next = 0;
+  for (const std::string& label : null_labels) null_index[label] = next++;
+
+  // Relations sorted by name, rows as sorted ref sequences. Distinct facts
+  // give distinct rows (the name -> index maps are injective), so the set
+  // sizes match the fact counts.
+  std::map<std::string, WireRelation> relations;
+  for (const Fact& f : instance.facts()) {
+    WireRelation& rel = relations[f.relation().name()];
+    rel.arity = f.relation().arity();
+    std::vector<uint64_t> row;
+    row.reserve(f.args().size());
+    for (const Value& v : f.args()) {
+      const uint64_t index =
+          v.IsNull() ? null_index[v.name()] : constant_index[v.name()];
+      row.push_back((index << 1) | static_cast<uint64_t>(v.IsNull()));
+    }
+    rel.rows.insert(std::move(row));
+  }
+
+  std::string out;
+  out.append(kWireMagic, sizeof(kWireMagic));
+  out.push_back(static_cast<char>(kWireVersion));
+  PutVarint(out, flags);
+  PutVarint(out, constant_names.size());
+  for (const std::string& name : constant_names) PutString(out, name);
+  PutVarint(out, null_labels.size());
+  for (const std::string& label : null_labels) PutString(out, label);
+  PutVarint(out, relations.size());
+  for (const auto& [name, rel] : relations) {
+    PutString(out, name);
+    PutVarint(out, rel.arity);
+    PutVarint(out, rel.rows.size());
+    for (const std::vector<uint64_t>& row : rel.rows) {
+      for (uint64_t ref : row) PutVarint(out, ref);
+    }
+  }
+  PutU64LE(out, Fnv1a64(out));
+  return out;
+}
+
+/// Orders facts by content only — (relation name, then argument kind and
+/// name pointwise) — so the order is a function of the fact set, free of
+/// interning ids and insertion history. Used to fix the fact order before
+/// CanonicalForm(), whose individualization tie-break is order-sensitive.
+bool WireFactLess(const Fact& a, const Fact& b) {
+  const std::string& an = a.relation().name();
+  const std::string& bn = b.relation().name();
+  if (an != bn) return an < bn;
+  for (std::size_t i = 0; i < a.args().size() && i < b.args().size(); ++i) {
+    const Value& av = a.args()[i];
+    const Value& bv = b.args()[i];
+    if (av.kind() != bv.kind()) return av.kind() < bv.kind();
+    const std::string avn = av.name();
+    const std::string bvn = bv.name();
+    if (avn != bvn) return avn < bvn;
+  }
+  return a.args().size() < b.args().size();
+}
+
+Instance CanonicalizeForWire(const Instance& instance) {
+  std::vector<const Fact*> facts;
+  facts.reserve(instance.size());
+  for (const Fact& f : instance.facts()) facts.push_back(&f);
+  std::sort(facts.begin(), facts.end(),
+            [](const Fact* a, const Fact* b) { return WireFactLess(*a, *b); });
+  Instance sorted = Instance::FromFactPointers(facts);
+  return sorted.CanonicalForm();
+}
+
+}  // namespace
+
+std::string Serialize(const Instance& instance,
+                      const SerializeOptions& options) {
+  if (options.canonical_nulls) {
+    return EncodeBody(CanonicalizeForWire(instance), kWireFlagCanonicalNulls);
+  }
+  return EncodeBody(instance, 0);
+}
+
+std::string Serialize(const ColumnarInstance& instance,
+                      const SerializeOptions& options) {
+  return Serialize(instance.ToInstance(), options);
+}
+
+Result<Instance> Deserialize(std::string_view bytes) {
+  constexpr std::size_t kHeaderSize = sizeof(kWireMagic) + 1;
+  constexpr std::size_t kChecksumSize = 8;
+  if (bytes.size() < kHeaderSize + kChecksumSize) {
+    return Reader::CorruptAt("input shorter than header + checksum", 0);
+  }
+  if (bytes.compare(0, sizeof(kWireMagic),
+                    std::string_view(kWireMagic, sizeof(kWireMagic))) != 0) {
+    return Reader::CorruptAt("bad magic (want \"RDXC\")", 0);
+  }
+  const uint8_t version = static_cast<uint8_t>(bytes[sizeof(kWireMagic)]);
+  if (version != kWireVersion) {
+    return Status::FailedPrecondition(StrCat(
+        "RDXC decode: unsupported wire version ", static_cast<int>(version),
+        " (want ", static_cast<int>(kWireVersion), ") at byte ",
+        sizeof(kWireMagic)));
+  }
+  const std::string_view payload =
+      bytes.substr(0, bytes.size() - kChecksumSize);
+  uint64_t stored_checksum = 0;
+  for (int i = 7; i >= 0; --i) {
+    stored_checksum = (stored_checksum << 8) |
+                      static_cast<uint8_t>(bytes[payload.size() + i]);
+  }
+  if (Fnv1a64(payload) != stored_checksum) {
+    return Reader::CorruptAt("checksum mismatch", payload.size());
+  }
+
+  Reader body(payload);
+  body.Skip(kHeaderSize);
+
+  RDX_ASSIGN_OR_RETURN(const uint64_t flags, body.Varint("flags"));
+  if ((flags & ~kWireFlagCanonicalNulls) != 0) {
+    return Reader::CorruptAt("unknown flag bits", kHeaderSize);
+  }
+
+  // Dictionaries: strictly ascending, so sortedness doubles as a duplicate
+  // check. Usage is tracked to reject unused entries — in a canonical
+  // encoding every dictionary entry is referenced by some row.
+  auto read_dict = [&body](std::string_view what,
+                           std::vector<std::string>& dict) -> Status {
+    RDX_ASSIGN_OR_RETURN(const uint64_t count,
+                         body.Varint(StrCat(what, " count")));
+    if (count > body.remaining()) {
+      return body.Corrupt(StrCat(what, " count exceeds input size"));
+    }
+    dict.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      const std::size_t at = body.pos();
+      RDX_ASSIGN_OR_RETURN(std::string_view name, body.String(what));
+      if (!dict.empty() && !(dict.back() < name)) {
+        return Reader::CorruptAt(
+            StrCat(what, " dictionary not strictly ascending"), at);
+      }
+      dict.emplace_back(name);
+    }
+    return Status::OK();
+  };
+  std::vector<std::string> constants;
+  std::vector<std::string> nulls;
+  RDX_RETURN_IF_ERROR(read_dict("constant", constants));
+  RDX_RETURN_IF_ERROR(read_dict("null label", nulls));
+  std::vector<bool> constant_used(constants.size(), false);
+  std::vector<bool> null_used(nulls.size(), false);
+
+  // Pre-intern the dictionary values once; rows then just index.
+  std::vector<Value> constant_values;
+  constant_values.reserve(constants.size());
+  for (const std::string& name : constants) {
+    constant_values.push_back(Value::MakeConstant(name));
+  }
+  std::vector<Value> null_values;
+  null_values.reserve(nulls.size());
+  for (const std::string& label : nulls) {
+    null_values.push_back(Value::MakeNull(label));
+  }
+
+  RDX_ASSIGN_OR_RETURN(const uint64_t n_relations,
+                       body.Varint("relation count"));
+  if (n_relations > body.remaining()) {
+    return body.Corrupt("relation count exceeds input size");
+  }
+  Instance out;
+  std::string prev_name;
+  for (uint64_t ri = 0; ri < n_relations; ++ri) {
+    const std::size_t name_at = body.pos();
+    RDX_ASSIGN_OR_RETURN(std::string_view name, body.String("relation name"));
+    if (ri > 0 && !(prev_name < name)) {
+      return Reader::CorruptAt("relations not strictly ascending by name",
+                               name_at);
+    }
+    prev_name.assign(name);
+    RDX_ASSIGN_OR_RETURN(const uint64_t arity, body.Varint("arity"));
+    if (arity > body.remaining() + 1) {
+      return body.Corrupt("arity exceeds input size");
+    }
+    auto relation = Relation::Intern(name, static_cast<uint32_t>(arity));
+    if (!relation.ok()) return relation.status();
+    RDX_ASSIGN_OR_RETURN(const uint64_t n_rows, body.Varint("row count"));
+    if (n_rows == 0) {
+      return body.Corrupt("relation with zero rows");
+    }
+    if (n_rows > body.remaining() + 1) {
+      return body.Corrupt("row count exceeds input size");
+    }
+    std::vector<uint64_t> prev_row;
+    std::vector<uint64_t> row(arity);
+    std::vector<Value> args(arity);
+    for (uint64_t k = 0; k < n_rows; ++k) {
+      const std::size_t row_at = body.pos();
+      for (uint64_t pos = 0; pos < arity; ++pos) {
+        RDX_ASSIGN_OR_RETURN(const uint64_t ref, body.Varint("value ref"));
+        const bool is_null = (ref & 1) != 0;
+        const uint64_t index = ref >> 1;
+        if (is_null) {
+          if (index >= nulls.size()) {
+            return Reader::CorruptAt("null ref out of range", row_at);
+          }
+          null_used[index] = true;
+          args[pos] = null_values[index];
+        } else {
+          if (index >= constants.size()) {
+            return Reader::CorruptAt("constant ref out of range", row_at);
+          }
+          constant_used[index] = true;
+          args[pos] = constant_values[index];
+        }
+        row[pos] = ref;
+      }
+      if (k > 0 && !(prev_row < row)) {
+        return Reader::CorruptAt("rows not strictly ascending", row_at);
+      }
+      prev_row = row;
+      out.AddFact(Fact::MustMake(*relation, args));
+    }
+  }
+  if (body.remaining() != 0) {
+    return body.Corrupt("trailing bytes after last relation");
+  }
+  for (std::size_t i = 0; i < constant_used.size(); ++i) {
+    if (!constant_used[i]) {
+      return Reader::CorruptAt(
+          StrCat("unused constant dictionary entry \"", constants[i], "\""),
+          kHeaderSize);
+    }
+  }
+  for (std::size_t i = 0; i < null_used.size(); ++i) {
+    if (!null_used[i]) {
+      return Reader::CorruptAt(
+          StrCat("unused null dictionary entry \"", nulls[i], "\""),
+          kHeaderSize);
+    }
+  }
+  return out;
+}
+
+Result<ColumnarInstance> DeserializeColumnar(std::string_view bytes) {
+  RDX_ASSIGN_OR_RETURN(const Instance instance, Deserialize(bytes));
+  return ColumnarInstance::FromInstance(instance);
+}
+
+}  // namespace columnar
+}  // namespace rdx

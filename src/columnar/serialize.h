@@ -1,0 +1,68 @@
+#ifndef RDX_COLUMNAR_SERIALIZE_H_
+#define RDX_COLUMNAR_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "columnar/columnar.h"
+#include "core/instance.h"
+
+namespace rdx {
+namespace columnar {
+
+/// The RDXC binary wire format: a bit-precise, implementation-independent
+/// encoding of an instance (docs/storage.md has the full spec and a
+/// worked hex example). Properties:
+///
+///  - Deterministic: the bytes depend only on the fact set — value and
+///    relation dictionaries are sorted byte-lexicographically and rows
+///    are sorted per relation, so interning order, insertion order, and
+///    process history never leak into the encoding. Two set-equal
+///    instances encode to identical bytes.
+///  - Canonical: Deserialize accepts exactly one encoding per instance
+///    (minimal varints, strictly sorted dictionaries and rows, no unused
+///    dictionary entries, checksum), so serialize ∘ deserialize is the
+///    identity on accepted byte strings.
+///  - Versioned and checksummed: a 1-byte version after the "RDXC" magic,
+///    and a trailing FNV-1a64 checksum over everything before it.
+///
+/// With SerializeOptions::canonical_nulls the instance is first put in
+/// fact-set-canonical order and its nulls renamed via
+/// Instance::CanonicalForm(), making the bytes identical even across
+/// instances that differ by a null renaming (isomorphism fingerprinting
+/// for cross-process comparison). The flag is recorded in the header.
+
+inline constexpr char kWireMagic[4] = {'R', 'D', 'X', 'C'};
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Header flag bits (the `flags` varint).
+inline constexpr uint64_t kWireFlagCanonicalNulls = 1;
+
+struct SerializeOptions {
+  /// Rename nulls with Instance::CanonicalForm() (after sorting facts
+  /// into the wire order, so the renaming is insertion-order-free) before
+  /// encoding. Off by default: plain encoding preserves null labels.
+  bool canonical_nulls = false;
+};
+
+std::string Serialize(const Instance& instance,
+                      const SerializeOptions& options = {});
+std::string Serialize(const ColumnarInstance& instance,
+                      const SerializeOptions& options = {});
+
+/// Decodes `bytes`, validating strictly (magic, version, flag bits,
+/// minimal varints, dictionary/row sortedness, reference bounds, unused
+/// dictionary entries, trailing bytes, checksum). Error statuses cite the
+/// byte offset of the violation. Relation arities are checked against the
+/// process-wide registry via Relation::Intern, so decoding a relation
+/// name already interned at a different arity fails cleanly. The decoded
+/// instance's insertion order is the wire order (sorted).
+Result<Instance> Deserialize(std::string_view bytes);
+Result<ColumnarInstance> DeserializeColumnar(std::string_view bytes);
+
+}  // namespace columnar
+}  // namespace rdx
+
+#endif  // RDX_COLUMNAR_SERIALIZE_H_

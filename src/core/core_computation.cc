@@ -150,7 +150,8 @@ Result<std::optional<Instance>> FindShrinkingImage(
 
 struct BlockState {
   std::vector<const Fact*> residue;  // facts of this block still alive
-  std::unordered_set<const Fact*> failed;  // memoized failed drops
+  std::vector<uint32_t> residue_ordinals;  // parallel: index ordinals
+  std::unordered_set<uint32_t> failed;  // memoized failed drops (ordinals)
   // Per-run trace numbers. `attempts`, `memo_hits`, `folds`, and
   // `hom_searches` count only work the sequential scan would have made,
   // so they are identical for every thread count; `micros` (discovery
@@ -172,7 +173,7 @@ struct FoldProposal {
 // One block's discovery result for one round.
 struct BlockRound {
   std::optional<FoldProposal> proposal;
-  std::vector<const Fact*> new_failures;  // failures before the winner
+  std::vector<uint32_t> new_failures;  // ordinals failed before the winner
   HomomorphismStats hom_run;
   uint64_t attempts = 0;
   uint64_t memo_hits = 0;
@@ -193,31 +194,35 @@ BlockRound DiscoverFold(const BlockState& block, const FactIndex& index,
     timer.emplace(nullptr, &round.micros);
   }
   std::vector<const Fact*> candidates;
+  std::vector<uint32_t> candidate_ordinals;
   candidates.reserve(block.residue.size());
-  for (const Fact* f : block.residue) {
-    if (options.memoize && block.failed.count(f) > 0) {
+  candidate_ordinals.reserve(block.residue.size());
+  for (std::size_t i = 0; i < block.residue.size(); ++i) {
+    const uint32_t ordinal = block.residue_ordinals[i];
+    if (options.memoize && block.failed.count(ordinal) > 0) {
       ++round.memo_hits;
       continue;
     }
-    candidates.push_back(f);
+    candidates.push_back(block.residue[i]);
+    candidate_ordinals.push_back(ordinal);
   }
 
   HomomorphismOptions hom = options.hom;
   if (hom.num_threads <= 1 || candidates.size() <= 1) {
     hom.stats = &round.hom_run;
-    for (const Fact* f : candidates) {
+    for (std::size_t k = 0; k < candidates.size(); ++k) {
       ++round.attempts;
-      Result<std::optional<ValueMap>> h =
-          FindHomomorphismMasked(block.residue, index, &mask, f, hom);
+      Result<std::optional<ValueMap>> h = FindHomomorphismMasked(
+          block.residue, index, &mask, candidate_ordinals[k], hom);
       if (!h.ok()) {
         round.status = h.status();
         return round;
       }
       if (h->has_value()) {
-        round.proposal = FoldProposal{f, *std::move(*h)};
+        round.proposal = FoldProposal{candidates[k], *std::move(*h)};
         return round;
       }
-      round.new_failures.push_back(f);
+      round.new_failures.push_back(candidate_ordinals[k]);
     }
     return round;
   }
@@ -241,7 +246,8 @@ BlockRound DiscoverFold(const BlockState& block, const FactIndex& index,
       task_options.num_threads = 1;
       task_options.stats = &attempt.hom_run;
       Result<std::optional<ValueMap>> h = FindHomomorphismMasked(
-          block.residue, index, &mask, candidates[base + k], task_options);
+          block.residue, index, &mask, candidate_ordinals[base + k],
+          task_options);
       if (h.ok()) {
         attempt.h = *std::move(h);
       } else {
@@ -260,7 +266,7 @@ BlockRound DiscoverFold(const BlockState& block, const FactIndex& index,
                                       *std::move(attempts[k].h)};
         return round;
       }
-      round.new_failures.push_back(candidates[base + k]);
+      round.new_failures.push_back(candidate_ordinals[base + k]);
     }
   }
   return round;
@@ -287,13 +293,27 @@ class BlockedCoreEngine {
                     const CoreOptions& options, CoreStats* run)
       : instance_(instance), options_(options), run_(run), index_(instance) {
     run_->blocks = decomp.blocks.size();
+    // Ordinal of a fact = its position in the instance's insertion order,
+    // which is exactly the order FactIndex assigned (it indexed the same
+    // deque). The pointer map translates the decomposition's block
+    // members; the value map resolves fold images in ApplyProposal.
+    std::unordered_map<const Fact*, uint32_t> ordinal_of;
+    ordinal_of.reserve(instance.size());
+    fact_ordinals_.reserve(instance.size());
+    uint32_t ordinal = 0;
+    for (const Fact& f : instance.facts()) {
+      ordinal_of.emplace(&f, ordinal);
+      fact_ordinals_.emplace(f, ordinal);
+      ++ordinal;
+    }
     blocks_.resize(decomp.blocks.size());
     for (std::size_t b = 0; b < decomp.blocks.size(); ++b) {
       blocks_[b].residue = std::move(decomp.blocks[b]);
       blocks_[b].initial_size = blocks_[b].residue.size();
-    }
-    for (const Fact& f : instance.facts()) {
-      fact_ptrs_.emplace(f, &f);
+      blocks_[b].residue_ordinals.reserve(blocks_[b].residue.size());
+      for (const Fact* f : blocks_[b].residue) {
+        blocks_[b].residue_ordinals.push_back(ordinal_of.at(f));
+      }
     }
   }
 
@@ -340,7 +360,7 @@ class BlockedCoreEngine {
       run_->memo_hits += round.memo_hits;
       MergeHomStats(round.hom_run, options_.hom.stats);
       RDX_RETURN_IF_ERROR(round.status);
-      for (const Fact* f : round.new_failures) block.failed.insert(f);
+      for (uint32_t ordinal : round.new_failures) block.failed.insert(ordinal);
       if (round.proposal.has_value() &&
           ApplyProposal(block, *round.proposal)) {
         applied_any = true;
@@ -353,8 +373,10 @@ class BlockedCoreEngine {
   // Surviving facts, in instance insertion order.
   Instance Materialize() const {
     std::vector<const Fact*> alive;
+    uint32_t ordinal = 0;
     for (const Fact& f : instance_.facts()) {
-      if (mask_.alive(&f)) alive.push_back(&f);
+      if (mask_.alive(ordinal)) alive.push_back(&f);
+      ++ordinal;
     }
     return Instance::FromFactPointers(alive);
   }
@@ -368,11 +390,11 @@ class BlockedCoreEngine {
   // valid, kills the residue facts outside its image. Returns whether the
   // fold was applied.
   bool ApplyProposal(BlockState& block, const FoldProposal& proposal) {
-    std::unordered_set<const Fact*> image;
+    std::unordered_set<uint32_t> image;
     image.reserve(block.residue.size());
     for (const Fact* f : block.residue) {
-      auto it = fact_ptrs_.find(ApplyToFact(*f, proposal.h));
-      if (it == fact_ptrs_.end() || !mask_.alive(it->second)) {
+      auto it = fact_ordinals_.find(ApplyToFact(*f, proposal.h));
+      if (it == fact_ordinals_.end() || !mask_.alive(it->second)) {
         // An application earlier this round killed a fact the witness
         // maps onto; drop the proposal, the block retries next round.
         return false;
@@ -380,15 +402,20 @@ class BlockedCoreEngine {
       image.insert(it->second);
     }
     std::vector<const Fact*> survivors;
+    std::vector<uint32_t> survivor_ordinals;
     survivors.reserve(block.residue.size());
-    for (const Fact* f : block.residue) {
-      if (image.count(f) > 0) {
-        survivors.push_back(f);
+    survivor_ordinals.reserve(block.residue.size());
+    for (std::size_t i = 0; i < block.residue.size(); ++i) {
+      const uint32_t ordinal = block.residue_ordinals[i];
+      if (image.count(ordinal) > 0) {
+        survivors.push_back(block.residue[i]);
+        survivor_ordinals.push_back(ordinal);
       } else {
-        mask_.Kill(f);
+        mask_.Kill(ordinal);
       }
     }
     block.residue = std::move(survivors);
+    block.residue_ordinals = std::move(survivor_ordinals);
     block.failed.clear();
     ++block.folds;
     ++run_->successful_folds;
@@ -401,7 +428,7 @@ class BlockedCoreEngine {
   FactIndex index_;
   FactMask mask_;
   std::vector<BlockState> blocks_;
-  std::unordered_map<Fact, const Fact*, FactHash> fact_ptrs_;
+  std::unordered_map<Fact, uint32_t, FactHash> fact_ordinals_;
 };
 
 // Batched publish of one run's totals to the "core.*" counters, the

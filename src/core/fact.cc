@@ -44,7 +44,7 @@ std::strong_ordering operator<=>(const Fact& a, const Fact& b) {
   return a.args_ <=> b.args_;
 }
 
-std::size_t Fact::Hash() const {
+std::size_t Fact::ComputeHash() const {
   std::size_t seed = std::hash<uint32_t>()(relation_.id());
   for (const Value& v : args_) {
     HashCombine(seed, v.Hash());

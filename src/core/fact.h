@@ -16,7 +16,7 @@ namespace rdx {
 /// match the relation's arity; Make() enforces this.
 class Fact {
  public:
-  Fact() = default;
+  Fact() : hash_(ComputeHash()) {}
 
   /// Builds a fact, validating that |args| equals the relation's arity.
   static Result<Fact> Make(Relation relation, std::vector<Value> args);
@@ -39,14 +39,19 @@ class Fact {
   }
   friend std::strong_ordering operator<=>(const Fact& a, const Fact& b);
 
-  std::size_t Hash() const;
+  /// Cached at construction: facts are immutable, and the chase/core
+  /// engines hash every fact repeatedly (dedup set probes, fold lookups).
+  std::size_t Hash() const { return hash_; }
 
  private:
   Fact(Relation relation, std::vector<Value> args)
-      : relation_(relation), args_(std::move(args)) {}
+      : relation_(relation), args_(std::move(args)), hash_(ComputeHash()) {}
+
+  std::size_t ComputeHash() const;
 
   Relation relation_;
   std::vector<Value> args_;
+  std::size_t hash_ = 0;
 };
 
 struct FactHash {

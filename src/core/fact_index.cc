@@ -1,42 +1,61 @@
 #include "core/fact_index.h"
 
-#include "base/hash.h"
-
 namespace rdx {
 
-std::size_t FactIndex::KeyHash::operator()(const Key& k) const {
-  std::size_t seed = std::hash<uint32_t>()(k.relation);
-  HashCombine(seed, k.pos);
-  HashCombine(seed, k.value.Hash());
-  return seed;
-}
-
 FactIndex::FactIndex(const Instance& instance) {
+  // Batch build: count rows per relation first so every store's columns
+  // and posting maps are sized once. The reserve kills the vector-regrowth
+  // and hash-rehash churn that otherwise dominates small index builds
+  // (setup-bound callers like failed homomorphism checks feel it most).
+  all_facts_.reserve(instance.size());
+  std::unordered_map<uint32_t, uint32_t> rows_of;
+  for (const Fact& f : instance.facts()) {
+    ++rows_of[f.relation().id()];
+  }
+  reserve_hint_ = &rows_of;
   for (const Fact& f : instance.facts()) {
     Add(&f);
   }
+  reserve_hint_ = nullptr;
 }
 
 void FactIndex::Add(const Fact* fact) {
-  facts_by_relation_[fact->relation()].push_back(fact);
-  for (std::size_t i = 0; i < fact->args().size(); ++i) {
-    by_position_value_[Key{fact->relation().id(), static_cast<uint32_t>(i),
-                           fact->args()[i]}]
-        .push_back(fact);
+  RelStore* store;
+  auto it = by_relation_.find(fact->relation().id());
+  if (it != by_relation_.end()) {
+    store = it->second;
+  } else {
+    stores_.push_back(std::make_unique<RelStore>());
+    store = stores_.back().get();
+    store->relation = fact->relation();
+    store->arity = static_cast<uint32_t>(fact->args().size());
+    store->cols.resize(store->arity);
+    store->postings.resize(store->arity);
+    if (reserve_hint_ != nullptr) {
+      auto hint = reserve_hint_->find(fact->relation().id());
+      if (hint != reserve_hint_->end()) {
+        const uint32_t n = hint->second;
+        store->facts.reserve(n);
+        store->ordinals.reserve(n);
+        for (uint32_t pos = 0; pos < store->arity; ++pos) {
+          store->cols[pos].reserve(n);
+          store->postings[pos].reserve(n);
+        }
+      }
+    }
+    by_relation_.emplace(fact->relation().id(), store);
   }
-}
-
-const std::vector<const Fact*>* FactIndex::FactsOf(Relation r) const {
-  auto it = facts_by_relation_.find(r);
-  return it == facts_by_relation_.end() ? nullptr : &it->second;
-}
-
-const std::vector<const Fact*>* FactIndex::FactsWith(Relation r,
-                                                     std::size_t pos,
-                                                     const Value& v) const {
-  auto it = by_position_value_.find(
-      Key{r.id(), static_cast<uint32_t>(pos), v});
-  return it == by_position_value_.end() ? nullptr : &it->second;
+  const uint32_t row = static_cast<uint32_t>(store->rows());
+  const uint32_t ordinal = static_cast<uint32_t>(all_facts_.size());
+  all_facts_.push_back(fact);
+  store->facts.push_back(fact);
+  store->ordinals.push_back(ordinal);
+  const std::vector<Value>& args = fact->args();
+  for (std::size_t pos = 0; pos < args.size(); ++pos) {
+    const uint32_t vid = args[pos].PackedId();
+    store->cols[pos].push_back(vid);
+    store->postings[pos][vid].push_back(row);
+  }
 }
 
 }  // namespace rdx

@@ -2,13 +2,16 @@
 #define RDX_CORE_FACT_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/instance.h"
 
 namespace rdx {
+
+/// Sentinel fact ordinal ("no fact"); see FactIndex::ordinals.
+inline constexpr uint32_t kNoFactOrdinal = 0xFFFFFFFFu;
 
 /// Tombstone overlay for an indexed instance: marks facts as dead without
 /// touching the instance or its FactIndex. The masked homomorphism search
@@ -16,23 +19,41 @@ namespace rdx {
 /// core engine express "instance minus this fact" without the per-attempt
 /// deep copy and index rebuild (see docs/core.md).
 ///
-/// Pointers must reference the masked instance's (append-stable) fact
-/// storage. Kills are permanent for the mask's lifetime — the core
-/// retraction loop only ever shrinks, and the memoization soundness
-/// argument relies on the target never growing back.
+/// Facts are identified by their ordinal: the position of the fact in the
+/// indexed instance's (append-stable) insertion order, as recorded by
+/// FactIndex. The mask is a dense bitset over those ordinals, so alive()
+/// is a single word probe — the masked search pays no hashing at all.
+/// Kills are permanent for the mask's lifetime — the core retraction loop
+/// only ever shrinks, and the memoization soundness argument relies on the
+/// target never growing back.
 class FactMask {
  public:
-  bool alive(const Fact* fact) const { return dead_.count(fact) == 0; }
-  void Kill(const Fact* fact) { dead_.insert(fact); }
-  std::size_t dead_count() const { return dead_.size(); }
+  bool alive(uint32_t ordinal) const {
+    const std::size_t word = ordinal >> 6;
+    return word >= bits_.size() ||
+           (bits_[word] & (uint64_t{1} << (ordinal & 63))) == 0;
+  }
+  void Kill(uint32_t ordinal) {
+    const std::size_t word = ordinal >> 6;
+    if (word >= bits_.size()) bits_.resize(word + 1, 0);
+    const uint64_t bit = uint64_t{1} << (ordinal & 63);
+    if ((bits_[word] & bit) == 0) {
+      bits_[word] |= bit;
+      ++dead_;
+    }
+  }
+  std::size_t dead_count() const { return dead_; }
 
  private:
-  std::unordered_set<const Fact*> dead_;
+  std::vector<uint64_t> bits_;
+  std::size_t dead_ = 0;
 };
 
-/// Index over an instance's facts: per-relation fact lists plus a
-/// (relation, position, value) -> fact-list index used to filter candidate
-/// facts during homomorphism search and dependency matching.
+/// Index over an instance's facts, stored struct-of-arrays: per relation,
+/// one contiguous uint32 column of packed value ids (Value::PackedId) per
+/// argument position, plus per-(position, value-id) posting lists of row
+/// numbers. Candidate filtering during homomorphism search and dependency
+/// matching walks these uint32 columns instead of chasing Fact pointers.
 ///
 /// The index holds references into the indexed instance; the instance must
 /// outlive the index. Instance fact storage is append-stable (deque), so
@@ -41,34 +62,72 @@ class FactMask {
 /// firing instead of rebuilding). RemoveFact invalidates the index.
 class FactIndex {
  public:
+  /// One relation's struct-of-arrays store. Rows are in insertion order;
+  /// row r of relation R is the r-th R-fact added to the index.
+  struct RelStore {
+    Relation relation;
+    uint32_t arity = 0;
+    /// Column-major cells: cols[pos][row] is Value::PackedId of argument
+    /// `pos` of row `row`. Contiguous per position for scan locality.
+    std::vector<std::vector<uint32_t>> cols;
+    /// row -> pointer into the indexed instance's fact storage.
+    std::vector<const Fact*> facts;
+    /// row -> index-wide fact ordinal (position in insertion order across
+    /// all relations; the FactMask key space).
+    std::vector<uint32_t> ordinals;
+    /// postings[pos][vid] = rows with packed value id `vid` at position
+    /// `pos`, in insertion order.
+    std::vector<std::unordered_map<uint32_t, std::vector<uint32_t>>> postings;
+
+    std::size_t rows() const { return facts.size(); }
+
+    /// Rows with packed id `vid` at position `pos`, or nullptr if none.
+    const std::vector<uint32_t>* RowsWith(std::size_t pos,
+                                          uint32_t vid) const {
+      auto it = postings[pos].find(vid);
+      return it == postings[pos].end() ? nullptr : &it->second;
+    }
+  };
+
   explicit FactIndex(const Instance& instance);
 
   /// Adds one fact (a reference into the indexed instance's storage) to
-  /// the index.
+  /// the index. Its ordinal is the number of facts added before it.
   void Add(const Fact* fact);
 
-  /// Facts of relation `r`, or nullptr if none.
-  const std::vector<const Fact*>* FactsOf(Relation r) const;
+  /// The store for relation `r`, or nullptr if no fact of `r` is indexed.
+  const RelStore* StoreOf(Relation r) const {
+    auto it = by_relation_.find(r.id());
+    return it == by_relation_.end() ? nullptr : it->second;
+  }
 
-  /// Facts of relation `r` with value `v` at position `pos`, or nullptr if
-  /// none.
-  const std::vector<const Fact*>* FactsWith(Relation r, std::size_t pos,
-                                            const Value& v) const;
+  /// Facts of relation `r` in insertion order, or nullptr if none.
+  const std::vector<const Fact*>* FactsOf(Relation r) const {
+    const RelStore* store = StoreOf(r);
+    return store == nullptr ? nullptr : &store->facts;
+  }
+
+  /// Rows of relation `r` with value `v` at position `pos`, or nullptr if
+  /// none (row numbers are per-relation; see RelStore).
+  const std::vector<uint32_t>* RowsWith(Relation r, std::size_t pos,
+                                        const Value& v) const {
+    const RelStore* store = StoreOf(r);
+    return store == nullptr ? nullptr : store->RowsWith(pos, v.PackedId());
+  }
+
+  /// Total facts indexed (== one past the largest assigned ordinal).
+  std::size_t size() const { return all_facts_.size(); }
+
+  /// The fact with ordinal `ordinal`.
+  const Fact* FactAt(uint32_t ordinal) const { return all_facts_[ordinal]; }
 
  private:
-  struct Key {
-    uint32_t relation;
-    uint32_t pos;
-    Value value;
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& k) const;
-  };
-
-  std::unordered_map<Relation, std::vector<const Fact*>> facts_by_relation_;
-  std::unordered_map<Key, std::vector<const Fact*>, KeyHash>
-      by_position_value_;
+  std::vector<std::unique_ptr<RelStore>> stores_;  // stable addresses
+  std::unordered_map<uint32_t, RelStore*> by_relation_;
+  std::vector<const Fact*> all_facts_;  // ordinal -> fact
+  /// Batch-build only: relation id -> row count, set by the constructor so
+  /// Add can size new stores up front (null during incremental use).
+  const std::unordered_map<uint32_t, uint32_t>* reserve_hint_ = nullptr;
 };
 
 }  // namespace rdx

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "base/metrics.h"
 #include "base/spans.h"
@@ -52,11 +54,21 @@ void PublishHomStats(const HomomorphismStats& run,
   }
 }
 
+// The backtracking search, lowered onto the columnar index: source facts
+// are compiled once into packed-id rows (constants inline, nulls as dense
+// slot numbers), the binding is a flat uint32 vector indexed by slot, and
+// candidate filtering walks the index's per-position posting lists of row
+// numbers. Enumeration order and the steps/candidate_pairs/backtracks
+// counters are identical to the original pointer-based search: rows are
+// in insertion order exactly like the old per-(relation,position,value)
+// fact lists, and the most-constrained-first choice compares the same
+// list sizes.
 class HomSearch {
  public:
   HomSearch(std::vector<const Fact*> source_facts, const FactIndex& index,
             const HomomorphismOptions& options,
-            const FactMask* mask = nullptr, const Fact* excluded = nullptr)
+            const FactMask* mask = nullptr,
+            uint32_t excluded = kNoFactOrdinal)
       : index_(index),
         mask_(mask),
         excluded_(excluded),
@@ -64,24 +76,25 @@ class HomSearch {
         source_facts_(std::move(source_facts)) {}
 
   Result<std::optional<ValueMap>> Run(const ValueMap& seed) {
-    binding_ = seed;
+    Prepare(seed);
     if (options_.injective) {
       // Constants of the source are their own (reserved) images; seed
       // bindings occupy their targets too.
       for (const Fact* f : source_facts_) {
         for (const Value& v : f->args()) {
-          if (v.IsConstant()) used_targets_.insert(v);
+          if (v.IsConstant()) used_targets_.insert(v.PackedId());
         }
       }
       for (const auto& [from, to] : seed) {
         if (from.IsNull()) {
-          if (!used_targets_.insert(to).second) {
+          if (!used_targets_.insert(to.PackedId()).second) {
             return std::optional<ValueMap>();  // seed already non-injective
           }
         }
       }
     }
     matched_.assign(source_facts_.size(), false);
+    bind_stack_.resize(source_facts_.size());
     steps_ = 0;
     bool found = Search(source_facts_.size());
     if (budget_exceeded_) {
@@ -90,58 +103,76 @@ class HomSearch {
                  " steps"));
     }
     if (!found) return std::optional<ValueMap>();
-    return std::optional<ValueMap>(binding_);
+    ValueMap out = seed;
+    for (std::size_t s = 0; s < binding_.size(); ++s) {
+      if (binding_[s] != Value::kInvalidPackedId) {
+        out.insert_or_assign(slot_values_[s], Value::FromPackedId(binding_[s]));
+      }
+    }
+    return std::optional<ValueMap>(out);
   }
 
  private:
-  // True if target fact `g` is part of the (possibly masked) search
-  // target. Index candidate lists are not mask-aware, so every consumer
-  // of a candidate filters through this.
-  bool Admissible(const Fact* g) const {
-    if (g == excluded_) return false;
-    return mask_ == nullptr || mask_->alive(g);
+  // One source fact, lowered: terms_[begin + pos] is the constant's packed
+  // id when is_null_[begin + pos] == 0, else the null's slot number. The
+  // per-position data lives in shared arenas so preparing n facts costs two
+  // allocations, not 2n — negative searches that die in the first selection
+  // pass are dominated by this setup.
+  struct PreparedFact {
+    const FactIndex::RelStore* store = nullptr;  // null: relation unindexed
+    uint32_t begin = 0;
+    uint32_t arity = 0;
+  };
+
+  void Prepare(const ValueMap& seed) {
+    std::unordered_map<uint32_t, uint32_t> slot_of;  // packed null -> slot
+    std::size_t total_arity = 0;
+    for (const Fact* f : source_facts_) total_arity += f->args().size();
+    terms_.reserve(total_arity);
+    is_null_.reserve(total_arity);
+    prepared_.resize(source_facts_.size());
+    for (std::size_t i = 0; i < source_facts_.size(); ++i) {
+      const Fact& f = *source_facts_[i];
+      PreparedFact& p = prepared_[i];
+      p.store = index_.StoreOf(f.relation());
+      p.begin = static_cast<uint32_t>(terms_.size());
+      p.arity = static_cast<uint32_t>(f.args().size());
+      for (const Value& v : f.args()) {
+        if (v.IsConstant()) {
+          terms_.push_back(v.PackedId());
+          is_null_.push_back(0);
+        } else {
+          auto [it, inserted] = slot_of.emplace(
+              v.PackedId(), static_cast<uint32_t>(slot_values_.size()));
+          if (inserted) slot_values_.push_back(v);
+          terms_.push_back(it->second);
+          is_null_.push_back(1);
+        }
+      }
+    }
+    binding_.assign(slot_values_.size(), Value::kInvalidPackedId);
+    for (const auto& [from, to] : seed) {
+      if (!from.IsNull()) continue;
+      auto it = slot_of.find(from.PackedId());
+      if (it != slot_of.end()) binding_[it->second] = to.PackedId();
+    }
   }
 
   // Number of target candidates compatible with the current binding for
-  // source fact `f`, or a cheap upper bound (masked-out facts are still
-  // counted, so masking only weakens the bound, never unsoundly prunes).
-  // Used for the most-constrained-fact-first heuristic.
-  std::size_t CandidateBound(const Fact& f) const {
-    std::size_t best = std::numeric_limits<std::size_t>::max();
-    const std::vector<const Fact*>* all = index_.FactsOf(f.relation());
-    if (all == nullptr) return 0;
-    best = all->size();
-    for (std::size_t i = 0; i < f.args().size(); ++i) {
-      Value v = f.args()[i];
-      if (v.IsNull()) {
-        auto it = binding_.find(v);
-        if (it == binding_.end()) continue;
-        v = it->second;
+  // prepared source fact `p`, or a cheap upper bound (masked-out facts are
+  // still counted, so masking only weakens the bound, never unsoundly
+  // prunes). Used for the most-constrained-fact-first heuristic.
+  std::size_t CandidateBound(const PreparedFact& p) const {
+    if (p.store == nullptr) return 0;
+    std::size_t best = p.store->rows();
+    for (std::size_t pos = 0; pos < p.arity; ++pos) {
+      uint32_t vid = terms_[p.begin + pos];
+      if (is_null_[p.begin + pos]) {
+        vid = binding_[vid];
+        if (vid == Value::kInvalidPackedId) continue;
       }
-      const std::vector<const Fact*>* filtered =
-          index_.FactsWith(f.relation(), i, v);
-      std::size_t n = (filtered == nullptr) ? 0 : filtered->size();
-      best = std::min(best, n);
-    }
-    return best;
-  }
-
-  // The candidate list for `f`: the tightest single-position filter
-  // available, or all facts of the relation.
-  const std::vector<const Fact*>* Candidates(const Fact& f) const {
-    const std::vector<const Fact*>* best = index_.FactsOf(f.relation());
-    if (best == nullptr) return nullptr;
-    for (std::size_t i = 0; i < f.args().size(); ++i) {
-      Value v = f.args()[i];
-      if (v.IsNull()) {
-        auto it = binding_.find(v);
-        if (it == binding_.end()) continue;
-        v = it->second;
-      }
-      const std::vector<const Fact*>* filtered =
-          index_.FactsWith(f.relation(), i, v);
-      if (filtered == nullptr) return nullptr;  // no candidate at all
-      if (filtered->size() < best->size()) best = filtered;
+      const std::vector<uint32_t>* rows = p.store->RowsWith(pos, vid);
+      best = std::min(best, rows == nullptr ? std::size_t{0} : rows->size());
     }
     return best;
   }
@@ -154,11 +185,11 @@ class HomSearch {
     }
 
     // Pick the unmatched source fact with the fewest candidates.
-    std::size_t best_idx = source_facts_.size();
+    std::size_t best_idx = prepared_.size();
     std::size_t best_bound = std::numeric_limits<std::size_t>::max();
-    for (std::size_t i = 0; i < source_facts_.size(); ++i) {
+    for (std::size_t i = 0; i < prepared_.size(); ++i) {
       if (matched_[i]) continue;
-      std::size_t bound = CandidateBound(*source_facts_[i]);
+      std::size_t bound = CandidateBound(prepared_[i]);
       if (bound < best_bound) {
         best_bound = bound;
         best_idx = i;
@@ -167,68 +198,99 @@ class HomSearch {
     }
     if (best_bound == 0) return false;
 
-    const Fact& f = *source_facts_[best_idx];
-    const std::vector<const Fact*>* candidates = Candidates(f);
-    if (candidates == nullptr) return false;
+    // The candidate rows: the tightest single-position posting list
+    // available, or every row of the relation.
+    const PreparedFact& p = prepared_[best_idx];
+    const std::vector<uint32_t>* list = nullptr;
+    std::size_t list_size = p.store->rows();
+    for (std::size_t pos = 0; pos < p.arity; ++pos) {
+      uint32_t vid = terms_[p.begin + pos];
+      if (is_null_[p.begin + pos]) {
+        vid = binding_[vid];
+        if (vid == Value::kInvalidPackedId) continue;
+      }
+      const std::vector<uint32_t>* rows = p.store->RowsWith(pos, vid);
+      if (rows == nullptr) return false;  // no candidate at all
+      if (rows->size() < list_size) {
+        list = rows;
+        list_size = rows->size();
+      }
+    }
 
     matched_[best_idx] = true;
-    for (const Fact* g : *candidates) {
-      if (!Admissible(g)) continue;
+    const uint32_t n_rows = static_cast<uint32_t>(p.store->rows());
+    std::vector<uint32_t>& newly_bound = bind_stack_[remaining - 1];
+    for (uint32_t k = 0; k < (list ? list->size() : n_rows); ++k) {
+      const uint32_t row = list ? (*list)[k] : k;
+      const uint32_t ordinal = p.store->ordinals[row];
+      if (ordinal == excluded_) continue;
+      if (mask_ != nullptr && !mask_->alive(ordinal)) continue;
       ++candidate_pairs_;
-      std::vector<Value> newly_bound;
-      if (TryUnify(f, *g, &newly_bound)) {
+      newly_bound.clear();
+      if (TryUnify(p, row, &newly_bound)) {
         if (Search(remaining - 1)) return true;
-        if (budget_exceeded_) break;
+        if (budget_exceeded_) {
+          Rollback(newly_bound);
+          break;
+        }
       }
       ++backtracks_;
-      for (const Value& v : newly_bound) {
-        auto it = binding_.find(v);
-        if (options_.injective && it != binding_.end()) {
-          used_targets_.erase(it->second);
-        }
-        binding_.erase(it);
-      }
+      Rollback(newly_bound);
     }
     matched_[best_idx] = false;
     return false;
   }
 
-  // Attempts to extend the binding so that f maps onto g. On success the
-  // nulls newly bound are appended to `newly_bound`; on failure any partial
-  // additions are recorded there too (caller rolls back either way).
-  bool TryUnify(const Fact& f, const Fact& g,
-                std::vector<Value>* newly_bound) {
-    const std::vector<Value>& fa = f.args();
-    const std::vector<Value>& ga = g.args();
-    for (std::size_t i = 0; i < fa.size(); ++i) {
-      const Value& v = fa[i];
-      if (v.IsConstant()) {
-        if (!(ga[i] == v)) return false;
+  // Attempts to extend the binding so that source row `p` maps onto target
+  // row `row` of its relation. On success the slots newly bound are
+  // appended to `newly_bound`; on failure any partial additions are
+  // recorded there too (caller rolls back either way).
+  bool TryUnify(const PreparedFact& p, uint32_t row,
+                std::vector<uint32_t>* newly_bound) {
+    for (std::size_t pos = 0; pos < p.arity; ++pos) {
+      const uint32_t gv = p.store->cols[pos][row];
+      if (!is_null_[p.begin + pos]) {
+        if (terms_[p.begin + pos] != gv) return false;
         continue;
       }
-      auto it = binding_.find(v);
-      if (it != binding_.end()) {
-        if (!(it->second == ga[i])) return false;
+      const uint32_t slot = terms_[p.begin + pos];
+      const uint32_t bound = binding_[slot];
+      if (bound != Value::kInvalidPackedId) {
+        if (bound != gv) return false;
       } else {
-        if (options_.nulls_to_nulls && !ga[i].IsNull()) return false;
-        if (options_.injective && !used_targets_.insert(ga[i]).second) {
+        if (options_.nulls_to_nulls && (gv & 1u) == 0) return false;
+        if (options_.injective && !used_targets_.insert(gv).second) {
           return false;
         }
-        binding_.emplace(v, ga[i]);
-        newly_bound->push_back(v);
+        binding_[slot] = gv;
+        newly_bound->push_back(slot);
       }
     }
     return true;
   }
 
+  void Rollback(const std::vector<uint32_t>& newly_bound) {
+    for (uint32_t slot : newly_bound) {
+      if (options_.injective) used_targets_.erase(binding_[slot]);
+      binding_[slot] = Value::kInvalidPackedId;
+    }
+  }
+
   const FactIndex& index_;
   const FactMask* mask_;
-  const Fact* excluded_;
+  uint32_t excluded_;
   HomomorphismOptions options_;
   std::vector<const Fact*> source_facts_;
+  std::vector<PreparedFact> prepared_;
+  std::vector<uint32_t> terms_;    // shared arena, see PreparedFact
+  std::vector<uint8_t> is_null_;   // shared arena, see PreparedFact
+  // Per-depth undo lists, reused across candidates so the hot loop never
+  // allocates. Indexed by `remaining - 1`; deeper calls use lower indices.
+  std::vector<std::vector<uint32_t>> bind_stack_;
+  std::vector<Value> slot_values_;  // slot -> the source null it stands for
   std::vector<bool> matched_;
-  ValueMap binding_;
-  std::unordered_set<Value, ValueHash> used_targets_;  // injective mode
+  std::vector<uint32_t> binding_;  // slot -> target packed id, or invalid
+  std::unordered_set<uint32_t> used_targets_;  // injective mode
   uint64_t steps_ = 0;
   uint64_t candidate_pairs_ = 0;
   uint64_t backtracks_ = 0;
@@ -248,34 +310,33 @@ namespace {
 // candidate values over all (fact, position) occurrences against the
 // target index. Returns false if some null's domain is empty (no
 // homomorphism can exist). Ground facts are checked for membership
-// directly. Conservative: never rejects a satisfiable input.
+// directly. Conservative: never rejects a satisfiable input. Domains are
+// sets of packed value ids, so the inner loops are uint32 column scans.
 bool DomainFilterPasses(const Instance& from, const Instance& to,
                         const ValueMap& seed) {
   FactIndex index(to);
-  std::unordered_map<Value, std::unordered_set<Value, ValueHash>, ValueHash>
-      domains;
+  std::unordered_map<uint32_t, std::unordered_set<uint32_t>> domains;
   for (const Fact& f : from.facts()) {
     if (f.IsGround()) {
       if (!to.Contains(f)) return false;
       continue;
     }
+    const FactIndex::RelStore* store = index.StoreOf(f.relation());
+    if (store == nullptr) return false;
     for (std::size_t i = 0; i < f.args().size(); ++i) {
       const Value& v = f.args()[i];
       if (!v.IsNull()) {
         // Constant position: some target fact must carry it here.
-        if (index.FactsWith(f.relation(), i, v) == nullptr) return false;
+        if (store->RowsWith(i, v.PackedId()) == nullptr) return false;
         continue;
       }
-      const std::vector<const Fact*>* candidates =
-          index.FactsOf(f.relation());
-      if (candidates == nullptr) return false;
-      std::unordered_set<Value, ValueHash> here;
-      for (const Fact* g : *candidates) {
-        here.insert(g->args()[i]);
+      std::unordered_set<uint32_t> here;
+      for (uint32_t gv : store->cols[i]) {
+        here.insert(gv);
       }
-      auto it = domains.find(v);
+      auto it = domains.find(v.PackedId());
       if (it == domains.end()) {
-        domains.emplace(v, std::move(here));
+        domains.emplace(v.PackedId(), std::move(here));
       } else {
         // Intersect in place.
         for (auto dit = it->second.begin(); dit != it->second.end();) {
@@ -285,15 +346,16 @@ bool DomainFilterPasses(const Instance& from, const Instance& to,
             ++dit;
           }
         }
+        if (it->second.empty()) return false;
       }
-      auto current = domains.find(v);
-      if (current->second.empty()) return false;
     }
   }
   // Seed bindings must lie within the computed domains.
   for (const auto& [k, v] : seed) {
-    auto it = domains.find(k);
-    if (it != domains.end() && it->second.count(v) == 0) return false;
+    auto it = domains.find(k.PackedId());
+    if (it != domains.end() && it->second.count(v.PackedId()) == 0) {
+      return false;
+    }
   }
   return true;
 }
@@ -318,7 +380,7 @@ Status CheckSeed(const ValueMap& seed) {
 // publish one batch of stats.
 Result<std::optional<ValueMap>> RunSearch(
     std::vector<const Fact*> source_facts, const FactIndex& index,
-    const FactMask* mask, const Fact* excluded, const ValueMap& seed,
+    const FactMask* mask, uint32_t excluded, const ValueMap& seed,
     const HomomorphismOptions& options, HomomorphismStats run,
     const obs::ScopedTimer& timer) {
   const uint64_t from_facts = source_facts.size();
@@ -364,12 +426,12 @@ Result<std::optional<ValueMap>> FindHomomorphism(
     source_facts.push_back(&f);
   }
   return RunSearch(std::move(source_facts), to_index, /*mask=*/nullptr,
-                   /*excluded=*/nullptr, seed, options, run, timer);
+                   /*excluded=*/kNoFactOrdinal, seed, options, run, timer);
 }
 
 Result<std::optional<ValueMap>> FindHomomorphismMasked(
     const std::vector<const Fact*>& from_facts, const FactIndex& to_index,
-    const FactMask* mask, const Fact* excluded,
+    const FactMask* mask, uint32_t excluded,
     const HomomorphismOptions& options) {
   obs::ScopedTimer timer;
   return RunSearch(from_facts, to_index, mask, excluded, /*seed=*/{},

@@ -88,17 +88,18 @@ Result<std::optional<ValueMap>> FindHomomorphism(
 
 /// Masked-target search: looks for a homomorphism from the explicit fact
 /// set `from_facts` into the indexed instance restricted to the facts
-/// alive in `mask` (if non-null) and distinct from `excluded` (if
-/// non-null). This is the copy-free retraction primitive of the core
-/// engine: "can this block map into the instance with fact f masked out"
-/// without materializing the sub-instance or rebuilding its index.
+/// alive in `mask` (if non-null) and distinct from the fact with index
+/// ordinal `excluded` (pass kNoFactOrdinal to exclude nothing). This is
+/// the copy-free retraction primitive of the core engine: "can this block
+/// map into the instance with fact f masked out" without materializing
+/// the sub-instance or rebuilding its index.
 ///
 /// The domain-filter preprocessing pass is not applied here (it needs the
 /// target in instance form); everything else behaves like
 /// FindHomomorphism, including stats publication under "hom.*".
 Result<std::optional<ValueMap>> FindHomomorphismMasked(
     const std::vector<const Fact*>& from_facts, const FactIndex& to_index,
-    const FactMask* mask, const Fact* excluded,
+    const FactMask* mask, uint32_t excluded = kNoFactOrdinal,
     const HomomorphismOptions& options = {});
 
 /// Decides `from → to` (the paper's binary relation →).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <optional>
+#include <unordered_map>
 
 #include "base/metrics.h"
 #include "base/parallel_for.h"
@@ -39,43 +40,54 @@ std::optional<Value> LookupTerm(const Term& t, const Assignment& assignment) {
 }
 
 // Size of the smallest candidate list for `a` under the current bindings.
-// Shared by the sequential search and the parallel root-partitioning so
-// both branch on exactly the same atom (determinism depends on this).
+// Shared by the parallel root-partitioning and (in slot form, inside
+// Matcher) the sequential search, so both branch on exactly the same atom
+// (determinism depends on this).
 std::size_t CandidateBoundFor(const Atom& a, const FactIndex& index,
                               const Assignment& assignment) {
-  const std::vector<const Fact*>* all = index.FactsOf(a.relation());
-  if (all == nullptr) return 0;
-  std::size_t best = all->size();
+  const FactIndex::RelStore* store = index.StoreOf(a.relation());
+  if (store == nullptr) return 0;
+  std::size_t best = store->rows();
   for (std::size_t i = 0; i < a.terms().size(); ++i) {
     std::optional<Value> v = LookupTerm(a.terms()[i], assignment);
     if (!v.has_value()) continue;
-    const std::vector<const Fact*>* filtered =
-        index.FactsWith(a.relation(), i, *v);
-    best = std::min(best, filtered == nullptr ? 0 : filtered->size());
+    const std::vector<uint32_t>* rows = store->RowsWith(i, v->PackedId());
+    best = std::min(best, rows == nullptr ? std::size_t{0} : rows->size());
   }
   return best;
 }
 
-// The smallest candidate list itself (nullptr => provably no match).
-const std::vector<const Fact*>* CandidatesFor(const Atom& a,
-                                              const FactIndex& index,
-                                              const Assignment& assignment) {
-  const std::vector<const Fact*>* best = index.FactsOf(a.relation());
-  if (best == nullptr) return nullptr;
+// The smallest candidate row list for `a`: `dead` when provably no match;
+// otherwise `rows` is the tightest posting list, or nullptr meaning every
+// row of `store`.
+struct CandidateRows {
+  const FactIndex::RelStore* store = nullptr;
+  const std::vector<uint32_t>* rows = nullptr;
+  bool dead = true;
+};
+CandidateRows CandidatesFor(const Atom& a, const FactIndex& index,
+                            const Assignment& assignment) {
+  CandidateRows out;
+  out.store = index.StoreOf(a.relation());
+  if (out.store == nullptr) return out;
+  std::size_t best = out.store->rows();
   for (std::size_t i = 0; i < a.terms().size(); ++i) {
     std::optional<Value> v = LookupTerm(a.terms()[i], assignment);
     if (!v.has_value()) continue;
-    const std::vector<const Fact*>* filtered =
-        index.FactsWith(a.relation(), i, *v);
-    if (filtered == nullptr) return nullptr;
-    if (filtered->size() < best->size()) best = filtered;
+    const std::vector<uint32_t>* rows = out.store->RowsWith(i, v->PackedId());
+    if (rows == nullptr) return out;
+    if (rows->size() < best) {
+      best = rows->size();
+      out.rows = rows;
+    }
   }
-  return best;
+  out.dead = false;
+  return out;
 }
 
 // Extends `*assignment` so that `atom` grounds to `fact`; false (with
 // *assignment possibly partially extended) on constant/binding conflict.
-// Mirrors Matcher::TryBindAtom's matching rules.
+// Mirrors Matcher::TryBindRow's matching rules.
 bool TryExtendSeed(const Atom& atom, const Fact& fact,
                    Assignment* assignment) {
   const std::vector<Term>& terms = atom.terms();
@@ -95,6 +107,16 @@ bool TryExtendSeed(const Atom& atom, const Fact& fact,
   return true;
 }
 
+// The backtracking enumerator, lowered onto the columnar index: atoms are
+// compiled once into packed-id rows (constant terms inline, variables as
+// dense slot numbers), the assignment under construction is a flat uint32
+// vector indexed by slot, and candidate filtering walks the index's
+// per-position posting lists of row numbers. Assignment (the hash map) is
+// only materialized when a complete match is delivered. Enumeration order
+// and the steps/candidates/matches counters are identical to the original
+// pointer-based search: rows are in insertion order exactly like the old
+// per-(relation,position,value) fact lists, and the most-constrained-first
+// choice compares the same list sizes.
 class Matcher {
  public:
   Matcher(const std::vector<Atom>& atoms, const Instance& instance,
@@ -104,16 +126,60 @@ class Matcher {
         index_(index),
         callback_(callback),
         options_(options),
-        assignment_(seed) {
+        seed_(seed) {
+    std::unordered_map<uint32_t, uint32_t> slot_of;  // variable id -> slot
+    auto slot_for = [&](Variable v) {
+      auto [it, inserted] =
+          slot_of.emplace(v.id(), static_cast<uint32_t>(slot_vars_.size()));
+      if (inserted) slot_vars_.push_back(v);
+      return it->second;
+    };
+    std::size_t total_arity = 0;
+    for (const Atom& a : atoms) {
+      if (a.IsRelational()) total_arity += a.terms().size();
+    }
+    terms_.reserve(total_arity);
+    is_var_.reserve(total_arity);
     for (const Atom& a : atoms) {
       if (a.IsRelational()) {
-        relational_.push_back(&a);
+        PreparedAtom p;
+        p.store = index.StoreOf(a.relation());
+        p.begin = static_cast<uint32_t>(terms_.size());
+        p.arity = static_cast<uint32_t>(a.terms().size());
+        for (const Term& t : a.terms()) {
+          if (t.IsConstant()) {
+            terms_.push_back(t.constant().PackedId());
+            is_var_.push_back(0);
+          } else {
+            terms_.push_back(slot_for(t.variable()));
+            is_var_.push_back(1);
+          }
+        }
+        relational_.push_back(p);
       } else {
-        builtins_.push_back(&a);
+        PreparedBuiltin b;
+        b.atom = &a;
+        for (Variable v : a.Vars()) {
+          b.slots.push_back(slot_for(v));
+        }
+        builtins_.push_back(std::move(b));
       }
     }
+    binding_.assign(slot_vars_.size(), Value::kInvalidPackedId);
+    for (std::size_t s = 0; s < slot_vars_.size(); ++s) {
+      auto it = seed.find(slot_vars_[s]);
+      if (it != seed.end()) binding_[s] = it->second.PackedId();
+    }
     matched_.assign(relational_.size(), false);
+    // One bind-undo scratch vector per search depth, reused across every
+    // candidate tried at that depth — the inner loop never allocates.
+    bind_stack_.resize(relational_.size());
   }
+
+  // Collection mode: complete matches are appended to `*out` (constructed
+  // in place and moved, never copied) instead of going through the
+  // callback. CollectMatches uses this; the callback is ignored.
+  void CollectInto(std::vector<Assignment>* out) { collect_ = out; }
 
   // Runs the search, adding this run's counts to *run. Publishing to the
   // process-wide counters is the caller's job (CollectMatches merges
@@ -134,46 +200,117 @@ class Matcher {
   }
 
  private:
-  // True if all variables of builtin atom `a` are bound.
-  bool BuiltinReady(const Atom& a) const {
-    for (const Term& t : a.terms()) {
-      if (t.IsVariable() && assignment_.count(t.variable()) == 0) {
-        return false;
-      }
+  // One relational atom, lowered: terms_[begin + pos] is the constant's
+  // packed id when is_var_[begin + pos] == 0, else the variable's slot
+  // number. Positions live in shared arenas so lowering a body costs two
+  // allocations total, not two per atom — the chase constructs a Matcher
+  // per dependency per round, so setup cost is on its hot path.
+  struct PreparedAtom {
+    const FactIndex::RelStore* store = nullptr;  // null: relation unindexed
+    uint32_t begin = 0;
+    uint32_t arity = 0;
+  };
+  struct PreparedBuiltin {
+    const Atom* atom = nullptr;
+    std::vector<uint32_t> slots;  // slots of the atom's variables
+  };
+
+  // True if all variables of builtin `b` are bound.
+  bool BuiltinReady(const PreparedBuiltin& b) const {
+    for (uint32_t s : b.slots) {
+      if (binding_[s] == Value::kInvalidPackedId) return false;
     }
     return true;
   }
 
   // Checks the builtins that just became fully bound. Atoms whose variables
-  // are all bound must hold; others are deferred.
+  // are all bound must hold; others are deferred. Builtins are evaluated on
+  // a mini-assignment of just their own variables (EvalBuiltin reads
+  // nothing else), rebuilt per check — builtins are rare and tiny.
   bool BuiltinsHold() const {
-    for (const Atom* a : builtins_) {
-      if (!BuiltinReady(*a)) continue;
-      Result<bool> holds = a->EvalBuiltin(assignment_);
+    for (const PreparedBuiltin& b : builtins_) {
+      if (!BuiltinReady(b)) continue;
+      Assignment mini;
+      for (uint32_t s : b.slots) {
+        mini.emplace(slot_vars_[s], Value::FromPackedId(binding_[s]));
+      }
+      Result<bool> holds = b.atom->EvalBuiltin(mini);
       if (!holds.ok() || !*holds) return false;
     }
     return true;
   }
 
-  bool TryBindAtom(const Atom& a, const Fact& f,
-                   std::vector<Variable>* newly_bound) {
-    const std::vector<Term>& terms = a.terms();
-    const std::vector<Value>& args = f.args();
-    for (std::size_t i = 0; i < terms.size(); ++i) {
-      const Term& t = terms[i];
-      if (t.IsConstant()) {
-        if (!(t.constant() == args[i])) return false;
+  bool TryBindRow(const PreparedAtom& a, uint32_t row,
+                  std::vector<uint32_t>* newly_bound) {
+    for (std::size_t pos = 0; pos < a.arity; ++pos) {
+      const uint32_t gv = a.store->cols[pos][row];
+      if (!is_var_[a.begin + pos]) {
+        if (terms_[a.begin + pos] != gv) return false;
         continue;
       }
-      auto it = assignment_.find(t.variable());
-      if (it != assignment_.end()) {
-        if (!(it->second == args[i])) return false;
+      const uint32_t slot = terms_[a.begin + pos];
+      const uint32_t bound = binding_[slot];
+      if (bound != Value::kInvalidPackedId) {
+        if (bound != gv) return false;
       } else {
-        assignment_.emplace(t.variable(), args[i]);
-        newly_bound->push_back(t.variable());
+        binding_[slot] = gv;
+        newly_bound->push_back(slot);
       }
     }
     return true;
+  }
+
+  // The candidate bound of `a` under the current binding — the size of the
+  // tightest single-position posting list (`list`, nullptr meaning every
+  // row of the store) — computed in one pass over the atom's positions so
+  // atom selection and candidate enumeration share the probes.
+  struct AtomCandidates {
+    std::size_t bound = 0;
+    const std::vector<uint32_t>* list = nullptr;
+  };
+  AtomCandidates CandidatesOf(const PreparedAtom& a) const {
+    AtomCandidates out;
+    if (a.store == nullptr) return out;  // unindexed relation: bound 0
+    out.bound = a.store->rows();
+    for (std::size_t pos = 0; pos < a.arity; ++pos) {
+      uint32_t vid = terms_[a.begin + pos];
+      if (is_var_[a.begin + pos]) {
+        vid = binding_[vid];
+        if (vid == Value::kInvalidPackedId) continue;
+      }
+      const std::vector<uint32_t>* rows = a.store->RowsWith(pos, vid);
+      if (rows == nullptr) {  // no row has this value here: dead atom
+        out.bound = 0;
+        return out;
+      }
+      if (rows->size() < out.bound) {
+        out.bound = rows->size();
+        out.list = rows;
+      }
+    }
+    return out;
+  }
+
+  // Materializes the current flat binding as an Assignment extending the
+  // seed and hands it to the callback. The map is a reused member so
+  // steady-state delivery only pays the per-entry node insertions, not a
+  // fresh table; the callback sees each delivery as a distinct value and
+  // must copy if it keeps it (the documented MatchCallback contract).
+  bool Deliver() {
+    // Collection mode: materialize straight into the output vector — one
+    // construction per match, no copy.
+    Assignment& out = collect_ != nullptr
+                          ? collect_->emplace_back()
+                          : (delivery_.clear(), delivery_);
+    for (const auto& [var, value] : seed_) {
+      out.emplace(var, value);
+    }
+    for (std::size_t s = 0; s < binding_.size(); ++s) {
+      if (binding_[s] != Value::kInvalidPackedId) {
+        out.insert_or_assign(slot_vars_[s], Value::FromPackedId(binding_[s]));
+      }
+    }
+    return collect_ != nullptr || callback_(delivery_);
   }
 
   // Returns true if the search space was fully explored (or the callback
@@ -183,39 +320,41 @@ class Matcher {
     if (++steps_ > options_.max_steps) return false;
     if (remaining == 0) {
       ++matches_;
-      if (!callback_(assignment_)) stopped_ = true;
+      if (!Deliver()) stopped_ = true;
       return true;
     }
 
     std::size_t best_idx = relational_.size();
-    std::size_t best_bound = std::numeric_limits<std::size_t>::max();
+    AtomCandidates best{std::numeric_limits<std::size_t>::max(), nullptr};
     for (std::size_t i = 0; i < relational_.size(); ++i) {
       if (matched_[i]) continue;
-      std::size_t bound = CandidateBoundFor(*relational_[i], index_,
-                                            assignment_);
-      if (bound < best_bound) {
-        best_bound = bound;
+      AtomCandidates c = CandidatesOf(relational_[i]);
+      if (c.bound < best.bound) {
+        best = c;
         best_idx = i;
-        if (bound == 0) break;
+        if (c.bound == 0) break;
       }
     }
-    if (best_bound == 0) return true;  // dead branch, fully explored
+    if (best.bound == 0) return true;  // dead branch, fully explored
 
-    const Atom& atom = *relational_[best_idx];
-    const std::vector<const Fact*>* candidates =
-        CandidatesFor(atom, index_, assignment_);
-    if (candidates == nullptr) return true;
+    // The candidate rows: the tightest single-position posting list found
+    // during selection, or every row of the relation.
+    const PreparedAtom& atom = relational_[best_idx];
+    const std::vector<uint32_t>* list = best.list;
 
     matched_[best_idx] = true;
     bool ok = true;
-    for (const Fact* f : *candidates) {
+    const uint32_t n_rows = static_cast<uint32_t>(atom.store->rows());
+    std::vector<uint32_t>& newly_bound = bind_stack_[remaining - 1];
+    for (uint32_t k = 0; k < (list ? list->size() : n_rows); ++k) {
+      const uint32_t row = list ? (*list)[k] : k;
       ++candidates_;
-      std::vector<Variable> newly_bound;
-      if (TryBindAtom(atom, *f, &newly_bound) && BuiltinsHold()) {
+      newly_bound.clear();
+      if (TryBindRow(atom, row, &newly_bound) && BuiltinsHold()) {
         ok = Search(remaining - 1);
       }
-      for (Variable v : newly_bound) {
-        assignment_.erase(v);
+      for (uint32_t slot : newly_bound) {
+        binding_[slot] = Value::kInvalidPackedId;
       }
       if (!ok || stopped_) break;
     }
@@ -227,10 +366,19 @@ class Matcher {
   const FactIndex& index_;
   const MatchCallback& callback_;
   MatchOptions options_;
-  std::vector<const Atom*> relational_;
-  std::vector<const Atom*> builtins_;
+  Assignment seed_;
+  std::vector<PreparedAtom> relational_;
+  std::vector<uint32_t> terms_;   // shared arena, see PreparedAtom
+  std::vector<uint8_t> is_var_;   // shared arena, see PreparedAtom
+  std::vector<PreparedBuiltin> builtins_;
+  std::vector<Variable> slot_vars_;  // slot -> the variable it stands for
   std::vector<bool> matched_;
-  Assignment assignment_;
+  std::vector<uint32_t> binding_;  // slot -> packed value id, or invalid
+  // bind_stack_[depth] holds the slots bound while trying one candidate at
+  // that depth (cleared per candidate; distinct depths never alias).
+  std::vector<std::vector<uint32_t>> bind_stack_;
+  Assignment delivery_;  // Deliver()'s reused output map (callback mode)
+  std::vector<Assignment>* collect_ = nullptr;  // collection mode sink
   uint64_t steps_ = 0;
   uint64_t candidates_ = 0;
   uint64_t matches_ = 0;
@@ -300,12 +448,14 @@ Result<std::vector<Assignment>> CollectMatchesParallel(
     PublishMatchStats(merged, options.stats);
     return std::vector<Assignment>();
   }
-  const std::vector<const Fact*>* candidates = CandidatesFor(*root, index,
-                                                             seed);
-  if (candidates == nullptr) {
+  CandidateRows candidates = CandidatesFor(*root, index, seed);
+  if (candidates.dead) {
     PublishMatchStats(merged, options.stats);
     return std::vector<Assignment>();
   }
+  const std::size_t n_candidates = candidates.rows != nullptr
+                                       ? candidates.rows->size()
+                                       : candidates.store->rows();
 
   std::vector<Atom> sub_atoms;
   sub_atoms.reserve(atoms.size() - 1);
@@ -318,13 +468,17 @@ Result<std::vector<Assignment>> CollectMatchesParallel(
     MatchStats run;
     Status status = Status::OK();
   };
-  std::vector<Partition> parts(candidates->size());
+  std::vector<Partition> parts(n_candidates);
   par::ParallelFor(
-      options.num_threads, candidates->size(), [&](std::size_t k) {
+      options.num_threads, n_candidates, [&](std::size_t k) {
         Partition& p = parts[k];
         p.run.candidates = 1;  // the root (atom, fact) binding attempt
+        const uint32_t row = candidates.rows != nullptr
+                                 ? (*candidates.rows)[k]
+                                 : static_cast<uint32_t>(k);
+        const Fact* fact = candidates.store->facts[row];
         Assignment sub_seed = seed;
-        if (!TryExtendSeed(*root, *(*candidates)[k], &sub_seed)) return;
+        if (!TryExtendSeed(*root, *fact, &sub_seed)) return;
         // Builtins fully bound by the extended seed prune here, exactly
         // where the sequential search checks them after the root binding.
         for (const Atom& a : sub_atoms) {
@@ -343,15 +497,12 @@ Result<std::vector<Assignment>> CollectMatchesParallel(
         MatchOptions sub_options = options;
         sub_options.num_threads = 1;
         sub_options.stats = nullptr;
-        // Matcher stores the callback by reference, so it must outlive
-        // Run() — a lambda passed inline dies with the constructor's
-        // full-expression (stack-use-after-scope).
-        MatchCallback collect = [&p](const Assignment& match) {
-          p.matches.push_back(match);
+        static const MatchCallback kUnused = [](const Assignment&) {
           return true;
         };
-        Matcher matcher(sub_atoms, instance, index, collect, sub_options,
+        Matcher matcher(sub_atoms, instance, index, kUnused, sub_options,
                         sub_seed);
+        matcher.CollectInto(&p.matches);
         p.status = matcher.Run(&p.run);
       });
 
@@ -408,14 +559,14 @@ Result<std::vector<Assignment>> CollectMatches(
     RDX_RETURN_IF_ERROR(ValidateBuiltinVars(atoms, seed));
     return CollectMatchesParallel(atoms, instance, index, options, seed);
   }
+  RDX_RETURN_IF_ERROR(ValidateBuiltinVars(atoms, seed));
   std::vector<Assignment> out;
-  Status status = EnumerateMatches(
-      atoms, instance, index,
-      [&](const Assignment& match) {
-        out.push_back(match);
-        return true;
-      },
-      options, seed);
+  static const MatchCallback kUnused = [](const Assignment&) { return true; };
+  Matcher matcher(atoms, instance, index, kUnused, options, seed);
+  matcher.CollectInto(&out);
+  MatchStats run;
+  Status status = matcher.Run(&run);
+  PublishMatchStats(run, options.stats);
   RDX_RETURN_IF_ERROR(status);
   return out;
 }

@@ -67,6 +67,27 @@ class Value {
     return seed;
   }
 
+  /// Dense packed id over the combined constant/null id spaces: bit 0 is
+  /// the kind (0 = constant, 1 = null), bits 1..31 the interning id. The
+  /// packing is bijective (both interners hand out dense ids from 0), so
+  /// packed ids are directly usable as columnar cell values and hash keys
+  /// without touching the interning tables. Requires id() < 2^31; the
+  /// interners allocate sequentially, so this only breaks past two billion
+  /// distinct names of one kind.
+  uint32_t PackedId() const {
+    return (id_ << 1) | static_cast<uint32_t>(kind_);
+  }
+
+  /// Inverse of PackedId(). The packed id must have been produced by
+  /// PackedId() (i.e. refer to an interned value of this process).
+  static Value FromPackedId(uint32_t packed) {
+    return Value(static_cast<Kind>(packed & 1u), packed >> 1);
+  }
+
+  /// Reserved sentinel, never returned by PackedId() until the interners
+  /// overflow 2^31 names. Used as "unbound" by the columnar search layers.
+  static constexpr uint32_t kInvalidPackedId = 0xFFFFFFFFu;
+
  private:
   Value(Kind kind, uint32_t id) : kind_(kind), id_(id) {}
 

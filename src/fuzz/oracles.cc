@@ -1,10 +1,12 @@
 #include "fuzz/oracles.h"
 
+#include <algorithm>
 #include <optional>
 #include <string_view>
 #include <utility>
 
 #include "analysis/analyze.h"
+#include "columnar/serialize.h"
 #include "compile/laconic.h"
 #include "base/attribution.h"
 #include "base/metrics.h"
@@ -43,6 +45,7 @@ class Battery {
       Family("hom", [&] { RunHomFamily(); });
       Family("inverse", [&] { RunInverse(); });
       Family("laconic", [&] { RunLaconicFamily(); });
+      Family("serialize", [&] { RunSerializeFamily(); });
     }
   }
 
@@ -421,7 +424,7 @@ class Battery {
     for (const Fact& f : from.facts()) from_facts.push_back(&f);
     std::optional<ValueMap> masked;
     if (!Take(FindHomomorphismMasked(from_facts, index, /*mask=*/nullptr,
-                                     /*excluded=*/nullptr, opts_.hom),
+                                     /*excluded=*/kNoFactOrdinal, opts_.hom),
               "hom", &masked)) {
       return;
     }
@@ -532,6 +535,72 @@ class Battery {
     }
   }
 
+  // Differential wall for the RDXC wire format: every instance the
+  // battery already has in hand must survive encode -> decode -> encode
+  // bit-exactly, through both the Instance and the columnar decode paths,
+  // and canonical-mode bytes must not depend on fact insertion order.
+  void RunSerializeFamily() {
+    CheckSerializeRoundTrip("input", s_.instance);
+    CheckSerializeRoundTrip("combined", chased_.combined);
+
+    Ran("serialize.canonical");
+    std::vector<const Fact*> reversed;
+    reversed.reserve(chased_.combined.size());
+    for (const Fact& f : chased_.combined.facts()) reversed.push_back(&f);
+    std::reverse(reversed.begin(), reversed.end());
+    const Instance shuffled = Instance::FromFactPointers(reversed);
+    columnar::SerializeOptions canonical;
+    canonical.canonical_nulls = true;
+    if (columnar::Serialize(chased_.combined, canonical) !=
+        columnar::Serialize(shuffled, canonical)) {
+      Fail("serialize.canonical",
+           "canonical encoding depends on fact insertion order");
+    }
+  }
+
+  void CheckSerializeRoundTrip(const char* label, const Instance& instance) {
+    Ran("serialize.roundtrip");
+    std::string bytes = columnar::Serialize(instance);
+    if (opts_.inject_serialize_corruption && !bytes.empty()) {
+      // The checksum makes any single-byte flip a decode error; a decoder
+      // that still accepts the bytes is caught below.
+      bytes[bytes.size() / 2] =
+          static_cast<char>(bytes[bytes.size() / 2] ^ 0xFF);
+    }
+    Result<Instance> decoded = columnar::Deserialize(bytes);
+    if (!decoded.ok()) {
+      Fail("serialize.roundtrip",
+           StrCat(label, ": decoding a fresh encoding failed: ",
+                  decoded.status().ToString()));
+      return;
+    }
+    if (!(*decoded == instance)) {
+      Fail("serialize.roundtrip",
+           StrCat(label, ": decoded instance differs from the original: ",
+                  decoded->ToString(), " vs ", instance.ToString()));
+      return;
+    }
+    if (columnar::Serialize(*decoded) != bytes) {
+      Fail("serialize.roundtrip",
+           StrCat(label, ": re-encoding the decoded instance is not "
+                         "byte-identical"));
+      return;
+    }
+    Result<columnar::ColumnarInstance> col =
+        columnar::DeserializeColumnar(bytes);
+    if (!col.ok()) {
+      Fail("serialize.roundtrip",
+           StrCat(label, ": columnar decode failed: ",
+                  col.status().ToString()));
+      return;
+    }
+    if (col->ToInstance() != instance) {
+      Fail("serialize.roundtrip",
+           StrCat(label, ": columnar decode path disagrees with the "
+                         "Instance decode path"));
+    }
+  }
+
   const FuzzScenario& s_;
   const OracleOptions& opts_;
   OracleReport* report_;
@@ -601,6 +670,11 @@ const std::vector<OracleInfo>& OracleCatalog() {
        "null renaming"},
       {"laconic.satisfies",
        "the laconic chase result satisfies the original dependencies"},
+      {"serialize.roundtrip",
+       "RDXC encode -> decode -> encode is lossless and byte-identical, on "
+       "both the Instance and columnar decode paths"},
+      {"serialize.canonical",
+       "canonical-mode RDXC bytes are invariant under fact insertion order"},
       {"status.*",
        "any engine error other than ResourceExhausted fails the scenario"},
   };

@@ -53,6 +53,7 @@ struct OracleOptions {
   bool inject_chase_corruption = false;    // perturb the naive chase result
   bool inject_core_corruption = false;     // perturb the blocked core result
   bool inject_laconic_corruption = false;  // perturb the laconic chase result
+  bool inject_serialize_corruption = false;  // flip one encoded wire byte
 };
 
 /// One oracle violation.
@@ -105,6 +106,11 @@ const std::vector<OracleInfo>& OracleCatalog();
 ///    laconic chase (compile/laconic.h) must produce a core isomorphic —
 ///    and canonically byte-identical — to chase + blocked core, and must
 ///    satisfy the original dependencies;
+///  * serialization oracles — the RDXC wire format (columnar/serialize.h)
+///    must round-trip the input and the chase result (decode(encode(I))
+///    equals I, re-encoding is byte-identical, the columnar decode path
+///    agrees), and canonical-mode encoding must be invariant under fact
+///    insertion order;
 ///  * crash/Status oracles — every engine error other than
 ///    ResourceExhausted is a failure.
 ///

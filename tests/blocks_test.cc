@@ -115,15 +115,24 @@ TEST(BlockFingerprintTest, OrderInsensitiveAndSensitiveToContent) {
 // The copy-free retraction primitive.
 
 TEST(FactMaskTest, KillsArePermanentAndCounted) {
-  Instance inst = I("BlkT_P(a) BlkT_P(b)");
-  const Fact* first = &inst.facts().front();
+  // Ordinals are positions in the indexed instance's insertion order; the
+  // mask is a dense bitset over them, so kills never touch the instance.
   FactMask mask;
-  EXPECT_TRUE(mask.alive(first));
+  EXPECT_TRUE(mask.alive(0));
   EXPECT_EQ(mask.dead_count(), 0u);
-  mask.Kill(first);
-  EXPECT_FALSE(mask.alive(first));
-  EXPECT_TRUE(mask.alive(&inst.facts().back()));
+  mask.Kill(0);
+  EXPECT_FALSE(mask.alive(0));
+  EXPECT_TRUE(mask.alive(1));
   EXPECT_EQ(mask.dead_count(), 1u);
+  // Killing twice counts once, and ordinals past the grown bitset are
+  // alive by default (the chase appends facts after masks exist).
+  mask.Kill(0);
+  EXPECT_EQ(mask.dead_count(), 1u);
+  mask.Kill(200);
+  EXPECT_FALSE(mask.alive(200));
+  EXPECT_TRUE(mask.alive(199));
+  EXPECT_TRUE(mask.alive(70));
+  EXPECT_EQ(mask.dead_count(), 2u);
 }
 
 TEST(MaskedSearchTest, MaskAndExclusionRestrictTheTarget) {
@@ -135,18 +144,18 @@ TEST(MaskedSearchTest, MaskAndExclusionRestrictTheTarget) {
 
   // P(a) masked out, P(b) excluded: only P(c) remains as a target.
   FactMask mask;
-  mask.Kill(&to.facts()[0]);
+  mask.Kill(0);
   RDX_ASSERT_OK_AND_ASSIGN(
       std::optional<ValueMap> h,
-      FindHomomorphismMasked(source, index, &mask, &to.facts()[1]));
+      FindHomomorphismMasked(source, index, &mask, /*excluded=*/1));
   ASSERT_TRUE(h.has_value());
   EXPECT_EQ(h->at(Value::MakeNull("X")), Value::MakeConstant("c"));
 
   // Everything masked or excluded: no homomorphism.
-  mask.Kill(&to.facts()[2]);
+  mask.Kill(2);
   RDX_ASSERT_OK_AND_ASSIGN(
       std::optional<ValueMap> none,
-      FindHomomorphismMasked(source, index, &mask, &to.facts()[1]));
+      FindHomomorphismMasked(source, index, &mask, /*excluded=*/1));
   EXPECT_FALSE(none.has_value());
 }
 
@@ -239,6 +248,32 @@ TEST(BlockedCoreDeterminismTest, ManySmallBlocks) {
       "BlkT_E(a, ?n3) BlkT_E(?n3, ?n4) BlkT_E(?n4, d) "
       "BlkT_E(?n5, ?n6)");
   ExpectThreadCountInvariant(inst);
+}
+
+TEST(BlockedCoreDeterminismTest, PinnedCounters) {
+  // Concrete counter values for the ManySmallBlocks instance, pinned so a
+  // storage/index refactor that accidentally perturbs enumeration order,
+  // masking, or memoization fails loudly instead of silently shifting
+  // work. Each of the four null-blocks folds onto the ground backbone in
+  // one attempt (4 masked attempts, 4 folds), and the second round
+  // re-proves nothing is left via memo-free re-scans of the emptied
+  // residues (blocks with empty residue are skipped, so no memo hits).
+  Instance inst = I(
+      "BlkT_E(a, b) BlkT_E(b, c) BlkT_E(c, d) "
+      "BlkT_E(a, ?n1) BlkT_E(?n1, c) "
+      "BlkT_E(b, ?n2) BlkT_E(?n2, d) "
+      "BlkT_E(a, ?n3) BlkT_E(?n3, ?n4) BlkT_E(?n4, d) "
+      "BlkT_E(?n5, ?n6)");
+  CoreStats stats;
+  RDX_ASSERT_OK_AND_ASSIGN(Instance core,
+                           ComputeCore(inst, CoreOptions{}, &stats));
+  EXPECT_EQ(core.size(), 3u);
+  EXPECT_EQ(stats.blocks, 4u);
+  EXPECT_EQ(stats.iterations, 2u);
+  EXPECT_EQ(stats.retraction_attempts, 4u);
+  EXPECT_EQ(stats.masked_attempts, 4u);
+  EXPECT_EQ(stats.successful_folds, 4u);
+  EXPECT_EQ(stats.memo_hits, 0u);
 }
 
 TEST(BlockedCoreDeterminismTest, SingleBlockWorstCase) {

@@ -1,0 +1,134 @@
+#include "columnar/columnar.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace rdx {
+namespace columnar {
+namespace {
+
+using testing_util::I;
+
+TEST(PackedIdTest, BijectiveOverBothKinds) {
+  const Value c = Value::MakeConstant("colt_pack_c");
+  const Value n = Value::MakeNull("colt_pack_n");
+  EXPECT_FALSE(IsNullId(c.PackedId()));
+  EXPECT_TRUE(IsNullId(n.PackedId()));
+  EXPECT_EQ(Value::FromPackedId(c.PackedId()), c);
+  EXPECT_EQ(Value::FromPackedId(n.PackedId()), n);
+  EXPECT_NE(c.PackedId(), n.PackedId());
+  EXPECT_NE(c.PackedId(), kNoValueId);
+}
+
+TEST(ColumnarInstanceTest, RoundTripPreservesFactsAndOrder) {
+  const Instance in = I("ColT_P(a, ?X). ColT_Q(b). ColT_P(?X, c)");
+  const ColumnarInstance col = ColumnarInstance::FromInstance(in);
+  EXPECT_EQ(col.size(), 3u);
+  const Instance back = col.ToInstance();
+  EXPECT_EQ(back, in);
+  // Insertion order survives the round trip, not just the fact set.
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    EXPECT_EQ(back.facts()[k], in.facts()[k]) << k;
+  }
+}
+
+TEST(ColumnarInstanceTest, ColumnsAreContiguousValueIds) {
+  const Instance in = I("ColT_E(a, b). ColT_E(a, ?N). ColT_E(c, b)");
+  const ColumnarInstance col = ColumnarInstance::FromInstance(in);
+  const ColumnarRelation* rel = col.Find(Relation::MustIntern("ColT_E", 2));
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->rows(), 3u);
+  const std::vector<ValueId>& first = rel->column(0);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0], Value::MakeConstant("a").PackedId());
+  EXPECT_EQ(first[1], Value::MakeConstant("a").PackedId());
+  EXPECT_EQ(first[2], Value::MakeConstant("c").PackedId());
+  EXPECT_EQ(rel->cell(1, 1), Value::MakeNull("N").PackedId());
+  EXPECT_TRUE(IsNullId(rel->cell(1, 1)));
+  EXPECT_FALSE(IsNullId(rel->cell(1, 0)));
+  EXPECT_EQ(rel->RowFact(1).ToString(), "ColT_E(a, ?N)");
+}
+
+TEST(ColumnarInstanceTest, DuplicatesCollapseLikeInstance) {
+  ColumnarInstance col;
+  const Fact f = Fact::MustMake(Relation::MustIntern("ColT_D", 1),
+                                {Value::MakeConstant("a")});
+  EXPECT_TRUE(col.AddFact(f));
+  EXPECT_FALSE(col.AddFact(f));
+  EXPECT_EQ(col.size(), 1u);
+  EXPECT_TRUE(col.ContainsRow(f.relation(), {f.args()[0].PackedId()}));
+  EXPECT_FALSE(col.ContainsRow(f.relation(),
+                               {Value::MakeConstant("b").PackedId()}));
+}
+
+TEST(ColumnarInstanceTest, SnapshotIsCopyOnWrite) {
+  ColumnarInstance a = ColumnarInstance::FromInstance(I("ColT_S(x, y)"));
+  EXPECT_FALSE(a.SharesStorage());
+  ColumnarInstance snap = a.Snapshot();
+  // The snapshot is O(1): both handles point at the same storage until
+  // one of them writes.
+  EXPECT_TRUE(a.SharesStorage());
+  EXPECT_TRUE(snap.SharesStorage());
+
+  ASSERT_TRUE(a.AddFact(Fact::MustMake(Relation::MustIntern("ColT_S", 2),
+                                       {Value::MakeConstant("x"),
+                                        Value::MakeConstant("z")})));
+  // The write detached the writer; the snapshot still sees the old state.
+  EXPECT_FALSE(a.SharesStorage());
+  EXPECT_FALSE(snap.SharesStorage());
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap.ToInstance(), I("ColT_S(x, y)"));
+}
+
+TEST(ColumnarInstanceTest, RedundantAddDoesNotDetachSnapshots) {
+  ColumnarInstance a = ColumnarInstance::FromInstance(I("ColT_R(x)"));
+  ColumnarInstance snap = a.Snapshot();
+  EXPECT_FALSE(a.AddFact(Fact::MustMake(Relation::MustIntern("ColT_R", 1),
+                                        {Value::MakeConstant("x")})));
+  // A duplicate insert is a no-op and must not pay the copy-on-write.
+  EXPECT_TRUE(a.SharesStorage());
+  EXPECT_TRUE(snap.SharesStorage());
+}
+
+TEST(ColumnarIndexTest, PostingsAddressRowsInInsertionOrder) {
+  const Instance in =
+      I("ColT_I(a, b). ColT_I(b, a). ColT_I(a, c). ColT_J(a)");
+  const ColumnarInstance col = ColumnarInstance::FromInstance(in);
+  const ColumnarIndex index(col);
+  const Relation rel = Relation::MustIntern("ColT_I", 2);
+
+  const std::vector<uint32_t>* rows =
+      index.RowsWith(rel, 0, Value::MakeConstant("a").PackedId());
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{0, 2}));
+
+  rows = index.RowsWith(rel, 1, Value::MakeConstant("a").PackedId());
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(*rows, (std::vector<uint32_t>{1}));
+
+  EXPECT_EQ(index.RowsWith(rel, 1, Value::MakeConstant("zzz").PackedId()),
+            nullptr);
+  EXPECT_EQ(index.RowsWith(Relation::MustIntern("ColT_K", 1), 0,
+                           Value::MakeConstant("a").PackedId()),
+            nullptr);
+}
+
+TEST(ColumnarIndexTest, IndexPinsItsSnapshot) {
+  ColumnarInstance col = ColumnarInstance::FromInstance(I("ColT_X(a)"));
+  const ColumnarIndex index(col);
+  // Mutating the indexed instance detaches it; the index keeps reading
+  // the state it captured.
+  ASSERT_TRUE(col.AddFact(Fact::MustMake(Relation::MustIntern("ColT_X", 1),
+                                         {Value::MakeConstant("b")})));
+  EXPECT_EQ(index.instance().size(), 1u);
+  const std::vector<uint32_t>* rows =
+      index.RowsWith(Relation::MustIntern("ColT_X", 1), 0,
+                     Value::MakeConstant("b").PackedId());
+  EXPECT_EQ(rows, nullptr);
+}
+
+}  // namespace
+}  // namespace columnar
+}  // namespace rdx

@@ -51,9 +51,16 @@ TEST(EdgeCases, FactIndexIncrementalAddMatchesRebuild) {
   Relation p = Relation::MustIntern("EdgP", 2);
   EXPECT_EQ(incremental.FactsOf(p)->size(), rebuilt.FactsOf(p)->size());
   const auto* by_value =
-      incremental.FactsWith(p, 0, Value::MakeConstant("c"));
+      incremental.RowsWith(p, 0, Value::MakeConstant("c"));
   ASSERT_NE(by_value, nullptr);
   EXPECT_EQ(by_value->size(), 1u);
+  // Row numbers resolve to the same facts the rebuilt index sees, and the
+  // incremental ordinals stay the insertion order.
+  const FactIndex::RelStore* store = incremental.StoreOf(p);
+  ASSERT_NE(store, nullptr);
+  EXPECT_EQ(store->facts[(*by_value)[0]]->ToString(), "EdgP(c, d)");
+  EXPECT_EQ(incremental.size(), 3u);
+  EXPECT_EQ(store->ordinals.back(), 2u);
 }
 
 TEST(EdgeCases, DequeStabilityUnderGrowth) {

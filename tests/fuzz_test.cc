@@ -179,6 +179,62 @@ TEST(FuzzOracleTest, BrokenLaconicEngineIsCaught) {
   EXPECT_TRUE(laconic_failure) << report.ToString();
 }
 
+TEST(FuzzOracleTest, SerializeFamilyRunsOnEveryChasedScenario) {
+  FuzzScenario s = PathSplitScenario(I("PathP(a, b). PathP(b, b)"));
+  RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  for (const char* oracle : {"serialize.roundtrip", "serialize.canonical"}) {
+    EXPECT_NE(std::find(report.oracles_run.begin(), report.oracles_run.end(),
+                        oracle),
+              report.oracles_run.end())
+        << oracle << " did not run:\n"
+        << report.ToString();
+  }
+}
+
+TEST(FuzzOracleTest, BrokenSerializerIsCaught) {
+  // A single flipped wire byte must trip the round-trip oracle (the
+  // checksum turns any flip into a decode error; a decoder that accepted
+  // the bytes anyway would fail the equality leg instead) — proof the
+  // serialize.roundtrip gate has teeth.
+  FuzzScenario s = PathSplitScenario(I("PathP(a, b). PathP(c, d)"));
+  OracleOptions options;
+  options.inject_serialize_corruption = true;
+  RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s, options));
+  ASSERT_FALSE(report.ok());
+  bool serialize_failure = false;
+  for (const OracleFailure& f : report.failures) {
+    serialize_failure =
+        serialize_failure || f.oracle.rfind("serialize.", 0) == 0;
+  }
+  EXPECT_TRUE(serialize_failure) << report.ToString();
+}
+
+TEST(FuzzShrinkerTest, SerializeFailureShrinksToMinimalRepro) {
+  // The corruption hook fails every candidate (even an empty instance has
+  // a wire header to corrupt), so the shrinker must drive the repro all
+  // the way down — the workflow a real wire-format bug would follow.
+  FuzzScenario s = PathSplitScenario(I(
+      "PathP(a, b). PathP(c, d). PathP(e, f). PathP(g, h). PathP(i, j)"));
+  OracleOptions oracle_options;
+  oracle_options.inject_serialize_corruption = true;
+  FailurePredicate still_fails =
+      [&oracle_options](const FuzzScenario& candidate) -> Result<bool> {
+    RDX_ASSIGN_OR_RETURN(OracleReport r,
+                         RunOracles(candidate, oracle_options));
+    for (const OracleFailure& f : r.failures) {
+      if (f.oracle.rfind("serialize.", 0) == 0) return true;
+    }
+    return false;
+  };
+  ShrinkStats stats;
+  RDX_ASSERT_OK_AND_ASSIGN(FuzzScenario shrunk,
+                           ShrinkScenario(s, still_fails, {}, &stats));
+  EXPECT_TRUE(shrunk.instance.empty()) << shrunk.ToText();
+  EXPECT_TRUE(shrunk.tgds.empty()) << shrunk.ToText();
+  EXPECT_GT(stats.attempts, 0u);
+}
+
 TEST(FuzzOracleTest, OnlyFamilyRestrictsTheBattery) {
   // --oracle laconic.core spends the whole budget on the laconic wall:
   // the chase family still runs (everything diffs against it), but the

@@ -1,0 +1,278 @@
+#include "columnar/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzzer.h"
+#include "test_util.h"
+
+namespace rdx {
+namespace columnar {
+namespace {
+
+using testing_util::I;
+
+// Independent re-implementations of the wire primitives, so the tests pin
+// the format itself rather than echoing the encoder.
+std::string TestVarint(uint64_t v) {
+  std::string out;
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+  return out;
+}
+
+uint64_t TestFnv1a64(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string WithChecksum(std::string payload) {
+  uint64_t h = TestFnv1a64(payload);
+  for (int i = 0; i < 8; ++i) {
+    payload.push_back(static_cast<char>(h & 0xFF));
+    h >>= 8;
+  }
+  return payload;
+}
+
+std::string Hex(std::string_view bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  for (unsigned char c : bytes) {
+    out.push_back(digits[c >> 4]);
+    out.push_back(digits[c & 0xF]);
+  }
+  return out;
+}
+
+void ExpectRoundTrip(const Instance& instance) {
+  const std::string bytes = Serialize(instance);
+  RDX_ASSERT_OK_AND_ASSIGN(Instance decoded, Deserialize(bytes));
+  EXPECT_EQ(decoded, instance);
+  EXPECT_EQ(Serialize(decoded), bytes) << instance.ToString();
+}
+
+TEST(WireFormatTest, WorkedExampleMatchesTheSpec) {
+  // The worked example from docs/storage.md: E(a, ?n1). E(?n1, b).
+  // Dictionaries: constants [a, b], nulls [n1]; refs a=0x00, b=0x02,
+  // ?n1=0x01; rows sorted: [00 01], [01 02].
+  const Instance in = I("E(a, ?n1). E(?n1, b)");
+  static const char kPayload[] =
+      "RDXC"                      // magic
+      "\x01"                      // version
+      "\x00"                      // flags
+      "\x02\x01" "a" "\x01" "b"   // constant dictionary
+      "\x01\x02" "n1"             // null-label dictionary
+      "\x01"                      // one relation
+      "\x01" "E" "\x02" "\x02"    // name, arity 2, 2 rows
+      "\x00\x01"                  // row E(a, ?n1)
+      "\x01\x02";                 // row E(?n1, b)
+  const std::string expected_payload(kPayload, sizeof(kPayload) - 1);
+  const std::string bytes = Serialize(in);
+  EXPECT_EQ(Hex(bytes), Hex(WithChecksum(expected_payload)));
+  RDX_ASSERT_OK_AND_ASSIGN(Instance decoded, Deserialize(bytes));
+  EXPECT_EQ(decoded, in);
+}
+
+TEST(WireFormatTest, EqualInstancesEncodeIdentically) {
+  // Same fact set, different insertion order and different interning
+  // history: the bytes must not notice.
+  const Instance a = I("SerEq_P(u, v). SerEq_Q(?A, w). SerEq_P(w, ?A)");
+  const Instance b = I("SerEq_P(w, ?A). SerEq_P(u, v). SerEq_Q(?A, w)");
+  ASSERT_EQ(a, b);
+  EXPECT_EQ(Serialize(a), Serialize(b));
+}
+
+TEST(WireFormatTest, RoundTripsRepresentativeInstances) {
+  ExpectRoundTrip(Instance());
+  ExpectRoundTrip(I("SerRt_U(a)"));
+  ExpectRoundTrip(I("SerRt_N(?X, ?Y). SerRt_N(?Y, ?X)"));
+  ExpectRoundTrip(I("SerRt_M(a, b, c). SerRt_M(a, b, ?Z). SerRt_One(a)"));
+  // Multi-byte varints: force >127 distinct constants.
+  Instance wide;
+  const Relation rel = Relation::MustIntern("SerRt_W", 1);
+  for (int k = 0; k < 200; ++k) {
+    wide.AddFact(Fact::MustMake(rel, {Value::MakeInt(1000 + k)}));
+  }
+  ExpectRoundTrip(wide);
+  // The 200-row count needs a two-byte LEB128 varint (0xC8 0x01); pin
+  // both the helper and the wire bytes to the same encoding.
+  EXPECT_EQ(Hex(TestVarint(200)), "c801");
+  EXPECT_NE(Serialize(wide).find(TestVarint(200)), std::string::npos);
+}
+
+TEST(WireFormatTest, RoundTripsGeneratedScenarioInstances) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    RDX_ASSERT_OK_AND_ASSIGN(fuzz::FuzzScenario s,
+                             fuzz::GenerateScenario(9, seed));
+    ExpectRoundTrip(s.instance);
+  }
+}
+
+TEST(WireFormatTest, ColumnarPathAgreesWithInstancePath) {
+  const Instance in = I("SerCp_E(a, ?n). SerCp_E(?n, b). SerCp_F(b)");
+  const ColumnarInstance col = ColumnarInstance::FromInstance(in);
+  const std::string bytes = Serialize(col);
+  EXPECT_EQ(bytes, Serialize(in));
+  RDX_ASSERT_OK_AND_ASSIGN(ColumnarInstance back, DeserializeColumnar(bytes));
+  EXPECT_EQ(back.ToInstance(), in);
+  // The issue's property: parse -> columnar -> bytes -> columnar ->
+  // canonical form is byte-identical to canonicalizing the parse.
+  EXPECT_EQ(back.ToInstance().CanonicalForm().ToString(),
+            in.CanonicalForm().ToString());
+}
+
+TEST(WireFormatTest, CanonicalModeIsInsertionOrderFree) {
+  const Instance a = I("SerCn_E(a, ?p). SerCn_E(?p, ?q). SerCn_E(?q, b)");
+  const Instance b = I("SerCn_E(?q, b). SerCn_E(a, ?p). SerCn_E(?p, ?q)");
+  SerializeOptions canonical;
+  canonical.canonical_nulls = true;
+  const std::string bytes_a = Serialize(a, canonical);
+  EXPECT_EQ(bytes_a, Serialize(b, canonical));
+  // The canonical flag is recorded in the header and the stored labels
+  // are the canonical c0, c1, ... names.
+  RDX_ASSERT_OK_AND_ASSIGN(Instance decoded, Deserialize(bytes_a));
+  EXPECT_EQ(decoded.ToString(), a.CanonicalForm().ToString());
+  // Canonical re-encoding of the canonical instance is a fixpoint.
+  EXPECT_EQ(Serialize(decoded, canonical), bytes_a);
+}
+
+TEST(WireFormatTest, CanonicalModeNormalizesNullRenamings) {
+  // The same structure under two different null labelings: refinement
+  // separates these nulls, so the canonical bytes coincide.
+  const Instance a = I("SerCr_E(a, ?x). SerCr_E(?x, ?y)");
+  const Instance b = I("SerCr_E(a, ?u). SerCr_E(?u, ?w)");
+  SerializeOptions canonical;
+  canonical.canonical_nulls = true;
+  EXPECT_EQ(Serialize(a, canonical), Serialize(b, canonical));
+  // Plain mode keeps the labels, so these differ.
+  EXPECT_NE(Serialize(a), Serialize(b));
+}
+
+// --- strict-decode error cases -------------------------------------------
+
+Status DecodeStatus(const std::string& bytes) {
+  Result<Instance> r = Deserialize(bytes);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+TEST(WireFormatTest, RejectsTruncatedAndForeignInput) {
+  EXPECT_EQ(DecodeStatus("").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeStatus("RDXC").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(DecodeStatus("not a wire file at all").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WireFormatTest, RejectsFutureVersion) {
+  std::string bytes = Serialize(I("SerVe_P(a)"));
+  std::string payload = bytes.substr(0, bytes.size() - 8);
+  payload[4] = 0x02;  // bump the version, then re-checksum
+  const Status status = DecodeStatus(WithChecksum(payload));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("version"), std::string::npos);
+}
+
+TEST(WireFormatTest, RejectsEverySingleByteFlip) {
+  const std::string bytes = Serialize(I("SerFl_P(a, ?x). SerFl_Q(b)"));
+  for (std::size_t k = 0; k < bytes.size(); ++k) {
+    std::string flipped = bytes;
+    flipped[k] = static_cast<char>(flipped[k] ^ 0x01);
+    EXPECT_FALSE(Deserialize(flipped).ok()) << "offset " << k;
+  }
+}
+
+TEST(WireFormatTest, ErrorsCiteTheByteOffset) {
+  std::string bytes = Serialize(I("SerOf_P(a)"));
+  bytes[6] = static_cast<char>(bytes[6] ^ 0x40);
+  const Status status = DecodeStatus(bytes);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("at byte"), std::string::npos);
+}
+
+// Rebuilds a hand-crafted single-relation payload; each mutation below
+// must be rejected even though its checksum is valid.
+std::string CraftedPayload(const std::string& body) {
+  return WithChecksum(std::string("RDXC") + std::string("\x01\x00", 2) +
+                      body);
+}
+
+TEST(WireFormatTest, RejectsNonCanonicalEncodings) {
+  // Baseline: constants [a, b], relation SerNc_R/1 with rows [a], [b].
+  const std::string good_body = std::string("\x02\x01", 2) + "a" +
+                                std::string("\x01", 1) + "b" +
+                                std::string("\x00", 1) +  // no nulls
+                                std::string("\x01\x07", 2) + "SerNc_R" +
+                                std::string("\x01\x02\x00\x02", 4);
+  ASSERT_TRUE(Deserialize(CraftedPayload(good_body)).ok());
+
+  // Rows out of order ([b] before [a]).
+  std::string rows_swapped = good_body;
+  rows_swapped[rows_swapped.size() - 2] = '\x02';
+  rows_swapped[rows_swapped.size() - 1] = '\x00';
+  EXPECT_FALSE(Deserialize(CraftedPayload(rows_swapped)).ok());
+
+  // Duplicate rows ([a], [a]) — also leaves "b" unused.
+  std::string rows_dup = good_body;
+  rows_dup[rows_dup.size() - 1] = '\x00';
+  EXPECT_FALSE(Deserialize(CraftedPayload(rows_dup)).ok());
+
+  // Dictionary out of order ([b, a]).
+  std::string dict_swapped = good_body;
+  std::swap(dict_swapped[2], dict_swapped[4]);
+  EXPECT_FALSE(Deserialize(CraftedPayload(dict_swapped)).ok());
+
+  // Unused dictionary entry: declare 3 constants, reference 2.
+  const std::string unused = std::string("\x03\x01", 2) + "a" +
+                             std::string("\x01", 1) + "b" +
+                             std::string("\x01", 1) + "c" +
+                             std::string("\x00", 1) +
+                             std::string("\x01\x07", 2) + "SerNc_R" +
+                             std::string("\x01\x02\x00\x02", 4);
+  EXPECT_FALSE(Deserialize(CraftedPayload(unused)).ok());
+
+  // A relation with zero rows.
+  const std::string zero_rows = std::string("\x00\x00\x01\x07", 4) +
+                                "SerNc_Z" + std::string("\x01\x00", 2);
+  EXPECT_FALSE(Deserialize(CraftedPayload(zero_rows)).ok());
+
+  // Ref out of dictionary range.
+  std::string bad_ref = good_body;
+  bad_ref[bad_ref.size() - 1] = '\x7E';
+  EXPECT_FALSE(Deserialize(CraftedPayload(bad_ref)).ok());
+
+  // Non-minimal varint (flags encoded as 80 00).
+  const std::string nonminimal =
+      WithChecksum(std::string("RDXC") + std::string("\x01", 1) +
+                   std::string("\x80\x00", 2) + good_body.substr(0));
+  EXPECT_FALSE(Deserialize(nonminimal).ok());
+
+  // Trailing bytes between the body and the checksum.
+  EXPECT_FALSE(
+      Deserialize(CraftedPayload(good_body + std::string("\x00", 1))).ok());
+}
+
+TEST(WireFormatTest, RejectsArityClashWithTheProcessRegistry) {
+  ASSERT_TRUE(Relation::Intern("SerAc_R", 1).ok());
+  // Wire bytes declaring SerAc_R with arity 2: structurally valid, but the
+  // process-wide registry already pinned arity 1.
+  const std::string body = std::string("\x01\x01", 2) + "a" +
+                           std::string("\x00", 1) +
+                           std::string("\x01\x07", 2) + "SerAc_R" +
+                           std::string("\x02\x01\x00\x00", 4);
+  const Status status = DecodeStatus(CraftedPayload(body));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("arity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace columnar
+}  // namespace rdx

@@ -13,6 +13,8 @@
 //                          --query "q(x, y) :- P(x, y)"
 //   rdx_cli core           --instance I.rdx
 //   rdx_cli laconic        --mapping M.rdx | --deps D.rdxd
+//   rdx_cli instance       --instance I.rdx --encode OUT.rdxc [--canonical]
+//   rdx_cli instance       --decode IN.rdxc [--canonical]
 //
 // Chase-to-core flags (docs/laconic.md):
 //   --laconic      chase the laconically compiled mapping, printing the
@@ -26,6 +28,16 @@
 //   --canonical    print instances after canonical null renaming
 //                  (Instance::CanonicalForm), so equivalent runs are
 //                  byte-comparable
+//
+// `instance` converts between the textual instance syntax and the RDXC
+// binary wire format (docs/storage.md). --encode writes the canonical
+// byte encoding of --instance to a file; --decode reads a wire file and
+// prints one fact per line in the parser syntax, so the output feeds
+// straight back into any --instance flag. With --canonical, encoding
+// stores canonically renamed nulls (the wire flag records this) and
+// decoding prints the canonical form. Version mismatches and corrupted
+// input exit 1 with the decoder's status (the cited byte offset
+// included).
 //
 // `laconic` prints the compiled dependency set and its capability notes;
 // it exits 1 with the RDX-coded diagnostics when the input cannot be
@@ -87,10 +99,11 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: rdx_cli <chase|reverse|roundtrip|quasi-inverse|compose|"
-      "analyze|certain|core|laconic> [--mapping F] [--second F] "
+      "analyze|certain|core|laconic|instance> [--mapping F] [--second F] "
       "[--reverse F] [--instance F] [--deps F] [--query Q] [--constants N] "
       "[--nulls N] [--max-facts N] [--threads N] [--laconic] [--to-core] "
-      "[--canonical] [--stats] [--trace FILE] [--trace-chrome FILE]\n");
+      "[--canonical] [--encode F] [--decode F] [--stats] [--trace FILE] "
+      "[--trace-chrome FILE]\n");
   return 2;
 }
 
@@ -282,6 +295,47 @@ int RunCore(const Args& args) {
   return 0;
 }
 
+int RunInstance(const Args& args) {
+  const char* encode_path = args.Get("encode");
+  const char* decode_path = args.Get("decode");
+  if ((encode_path == nullptr) == (decode_path == nullptr)) {
+    std::fprintf(stderr,
+                 "instance: exactly one of --encode / --decode required\n");
+    return Usage();
+  }
+  if (encode_path != nullptr) {
+    Instance i = RequireInstance(args);
+    columnar::SerializeOptions options;
+    options.canonical_nulls = args.Has("canonical");
+    const std::string bytes = columnar::Serialize(i, options);
+    std::ofstream out(encode_path, std::ios::binary | std::ios::trunc);
+    if (!out || !out.write(bytes.data(),
+                           static_cast<std::streamsize>(bytes.size()))) {
+      std::fprintf(stderr, "error (encode): cannot write %s\n", encode_path);
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu bytes (%zu facts) to %s\n", bytes.size(),
+                 i.size(), encode_path);
+    return 0;
+  }
+  std::ifstream in(decode_path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error (decode): cannot open %s\n", decode_path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+  Instance i = Unwrap(columnar::Deserialize(bytes), "decode");
+  if (args.Has("canonical")) i = i.CanonicalForm();
+  // One fact per line in the parser syntax, so the output round-trips
+  // through any --instance flag (unlike Instance::ToString's braces).
+  for (const Fact& f : i.facts()) {
+    std::printf("%s.\n", f.ToString().c_str());
+  }
+  return 0;
+}
+
 // Loads a bare ';'-separated dependency file ('#' comments allowed).
 Result<std::vector<Dependency>> LoadDependencyFile(const std::string& path) {
   std::ifstream in(path);
@@ -337,6 +391,7 @@ int Dispatch(const Args& args) {
   if (args.command == "certain") return RunCertain(args);
   if (args.command == "core") return RunCore(args);
   if (args.command == "laconic") return RunLaconic(args);
+  if (args.command == "instance") return RunInstance(args);
   return Usage();
 }
 
