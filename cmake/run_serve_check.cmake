@@ -1,0 +1,199 @@
+# End-to-end rdx_serve byte-identity check driven by ctest (see
+# tools/CMakeLists.txt):
+#   1. run one-shot `rdx_cli SUBCOMMAND ...` to capture the expected bytes;
+#   2. start the daemon over the checked-in catalog, with a JSONL trace;
+#   3. send the same request over the socket TWICE — the second reply is a
+#      plan-cache hit against a dirty term interner, the strongest
+#      cross-request identity test — and require both replies to equal the
+#      one-shot stdout byte for byte;
+#   4. probe /statsz and require the plan cache to report the hit;
+#   5. SIGTERM the daemon, require a drained exit 0, and validate the
+#      trace with obs_test's built-in JSON checker (no python involved).
+#
+# In EXPECT_REJECT mode step 1/3 instead require the client to exit 3
+# with an RDX301 admission rejection and no reply payload.
+#
+# Expects -DRDX_SERVE, -DRDX_CLI, -DOBS_TEST, -DNAME, -DCATALOG,
+# -DSUBCOMMAND, -DMAPPING_NAME, -DMAPPING_FILE, -DINSTANCE, -DOUT_DIR;
+# optional -DCLIENT_FLAGS / -DSERVE_FLAGS (space-separated flag strings —
+# NOT ;-lists, which would re-split inside the caller's ${ARGN} expansion
+# and truncate at the first flag) and -DEXPECT_REJECT.
+
+foreach(var RDX_SERVE RDX_CLI OBS_TEST NAME CATALOG SUBCOMMAND MAPPING_NAME
+            MAPPING_FILE INSTANCE OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_serve_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+# CLIENT_FLAGS arrives as one space-separated string; the client is run
+# via execute_process, which needs a real argument list.
+separate_arguments(client_flags UNIX_COMMAND "${CLIENT_FLAGS}")
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(socket ${OUT_DIR}/serve.sock)
+set(pidfile ${OUT_DIR}/serve.pid)
+set(exitfile ${OUT_DIR}/serve.exit)
+set(trace_file ${OUT_DIR}/serve.jsonl)
+
+# Terminates the daemon (if still up) before failing, so one broken gate
+# does not leak a daemon that outlives the ctest run.
+function(serve_fatal message)
+  if(EXISTS ${pidfile})
+    file(READ ${pidfile} pid)
+    string(STRIP "${pid}" pid)
+    execute_process(COMMAND sh -c "kill -KILL ${pid} 2>/dev/null || true")
+  endif()
+  if(EXISTS ${OUT_DIR}/serve.log)
+    file(READ ${OUT_DIR}/serve.log serve_log)
+  else()
+    set(serve_log "<no serve.log>")
+  endif()
+  message(FATAL_ERROR "${message}\n--- serve.log ---\n${serve_log}")
+endfunction()
+
+# --- 1. one-shot expected bytes -------------------------------------------
+if(NOT DEFINED EXPECT_REJECT)
+  execute_process(
+    COMMAND ${RDX_CLI} ${SUBCOMMAND} --mapping ${MAPPING_FILE}
+            --instance ${INSTANCE} ${client_flags}
+    RESULT_VARIABLE cli_result
+    OUTPUT_FILE ${OUT_DIR}/expected.out
+    ERROR_VARIABLE cli_stderr)
+  if(NOT cli_result EQUAL 0)
+    message(FATAL_ERROR
+        "one-shot rdx_cli ${SUBCOMMAND} failed (${cli_result}):\n"
+        "${cli_stderr}")
+  endif()
+endif()
+
+# --- 2. start the daemon --------------------------------------------------
+# execute_process cannot background a child, so a shell subshell does it:
+# the daemon's exit code lands in ${exitfile} for the drain check, and the
+# redirect lets sh exit immediately without a shared pipe keeping us alive.
+# SERVE_FLAGS is already a space-separated string, spliced verbatim.
+execute_process(
+  COMMAND sh -c "(\"$0\" serve --socket '${socket}' --catalog '${CATALOG}' \
+--pidfile '${pidfile}' --trace '${trace_file}' ${SERVE_FLAGS}; \
+echo $? > '${exitfile}') > '${OUT_DIR}/serve.log' 2>&1 &" ${RDX_SERVE}
+  RESULT_VARIABLE launch_result)
+if(NOT launch_result EQUAL 0)
+  message(FATAL_ERROR "failed to launch rdx_serve (${launch_result})")
+endif()
+
+set(up FALSE)
+foreach(attempt RANGE 100)
+  if(EXISTS ${socket} AND EXISTS ${pidfile})
+    set(up TRUE)
+    break()
+  endif()
+  if(EXISTS ${exitfile})
+    serve_fatal("rdx_serve exited before creating ${socket}")
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT up)
+  serve_fatal("rdx_serve did not create ${socket} within 10s")
+endif()
+
+# --- 3. the request, twice ------------------------------------------------
+set(client_args ${SUBCOMMAND} --socket ${socket} --mapping ${MAPPING_NAME}
+    --instance ${INSTANCE} ${client_flags})
+foreach(round 1 2)
+  execute_process(
+    COMMAND ${RDX_SERVE} ${client_args}
+    RESULT_VARIABLE reply_result
+    OUTPUT_FILE ${OUT_DIR}/reply${round}.out
+    ERROR_VARIABLE reply_stderr)
+  if(DEFINED EXPECT_REJECT)
+    if(NOT reply_result EQUAL 3)
+      serve_fatal("round ${round}: expected admission rejection (exit 3), "
+                  "got exit ${reply_result}:\n${reply_stderr}")
+    endif()
+    if(NOT reply_stderr MATCHES "RDX301")
+      serve_fatal("round ${round}: rejection does not cite RDX301:\n"
+                  "${reply_stderr}")
+    endif()
+  else()
+    if(NOT reply_result EQUAL 0)
+      serve_fatal("round ${round}: serve request failed (${reply_result}):\n"
+                  "${reply_stderr}")
+    endif()
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${OUT_DIR}/expected.out ${OUT_DIR}/reply${round}.out
+      RESULT_VARIABLE compare_result)
+    if(NOT compare_result EQUAL 0)
+      file(READ ${OUT_DIR}/expected.out expected)
+      file(READ ${OUT_DIR}/reply${round}.out got)
+      serve_fatal("round ${round} reply differs from one-shot rdx_cli "
+                  "output\n--- expected ---\n${expected}\n--- got ---\n"
+                  "${got}")
+    endif()
+  endif()
+endforeach()
+
+# --- 4. /statsz -----------------------------------------------------------
+execute_process(
+  COMMAND ${RDX_SERVE} statsz --socket ${socket}
+  RESULT_VARIABLE statsz_result
+  OUTPUT_VARIABLE statsz_text
+  ERROR_VARIABLE statsz_stderr)
+if(NOT statsz_result EQUAL 0)
+  serve_fatal("statsz failed (${statsz_result}):\n${statsz_stderr}")
+endif()
+if(NOT statsz_text MATCHES "plan ${MAPPING_NAME}:")
+  serve_fatal("statsz does not show plan ${MAPPING_NAME}:\n${statsz_text}")
+endif()
+if(DEFINED EXPECT_REJECT)
+  if(NOT statsz_text MATCHES "serve.admission_rejects")
+    serve_fatal("statsz shows no admission_rejects counter:\n${statsz_text}")
+  endif()
+elseif(NOT statsz_text MATCHES "cache_hits: 1")
+  serve_fatal("second request was not a plan-cache hit:\n${statsz_text}")
+endif()
+
+# --- 5. drain on SIGTERM, then validate the trace -------------------------
+file(READ ${pidfile} pid)
+string(STRIP "${pid}" pid)
+execute_process(COMMAND sh -c "kill -TERM ${pid}"
+  RESULT_VARIABLE kill_result)
+if(NOT kill_result EQUAL 0)
+  serve_fatal("kill -TERM ${pid} failed")
+endif()
+
+set(down FALSE)
+foreach(attempt RANGE 100)
+  if(EXISTS ${exitfile})
+    set(down TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT down)
+  serve_fatal("rdx_serve did not exit within 10s of SIGTERM")
+endif()
+file(READ ${exitfile} serve_exit)
+string(STRIP "${serve_exit}" serve_exit)
+if(NOT serve_exit STREQUAL "0")
+  serve_fatal("rdx_serve exited ${serve_exit} after SIGTERM, want 0 "
+              "(drained, trace flushed, no open spans)")
+endif()
+
+set(ENV{RDX_JSONL_VALIDATE_FILE} ${trace_file})
+execute_process(
+  COMMAND ${OBS_TEST} --gtest_filter=TraceValidation.JsonlFileIsWellFormed
+  RESULT_VARIABLE validate_result
+  OUTPUT_VARIABLE validate_stdout
+  ERROR_VARIABLE validate_stderr)
+if(NOT validate_result EQUAL 0)
+  message(FATAL_ERROR
+      "serve trace validation failed:\n${validate_stdout}\n"
+      "${validate_stderr}")
+endif()
+if(validate_stdout MATCHES "SKIPPED")
+  message(FATAL_ERROR
+      "TraceValidation skipped — RDX_JSONL_VALIDATE_FILE not seen:\n"
+      "${validate_stdout}")
+endif()

@@ -1,6 +1,8 @@
 #include "base/strings.h"
 
 #include <cctype>
+#include <charconv>
+#include <system_error>
 
 namespace rdx {
 
@@ -23,6 +25,33 @@ bool IsIdentifier(std::string_view s) {
     }
   }
   return true;
+}
+
+namespace {
+
+// from_chars accepts a leading '-' for signed targets but no '+'; both
+// parsers share the "whole token, nothing else" contract.
+template <typename T>
+bool ParseWholeToken(std::string_view s, T* out) {
+  T value{};
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(s.data(), end, value, 10);
+  if (ec != std::errc() || ptr != end) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  return ParseWholeToken(s, out);
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  // from_chars on unsigned already rejects '-'; '+' it never accepts.
+  if (s.empty()) return false;
+  return ParseWholeToken(s, out);
 }
 
 }  // namespace rdx

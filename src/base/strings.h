@@ -56,6 +56,15 @@ std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
 /// True if `s` consists only of [A-Za-z0-9_] and is non-empty.
 bool IsIdentifier(std::string_view s);
 
+/// Strict integer parsing (std::from_chars over the whole token): the
+/// entire string must be one in-range integer — empty input, trailing
+/// junk ("12x"), lone signs, and overflow all return false and leave
+/// *out untouched. ParseUint64 additionally rejects any leading sign.
+/// This is the required parser for every CLI integer flag; std::atoi's
+/// silent garbage acceptance is the bug class PR 4 fixed in the fuzzer.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseUint64(std::string_view s, uint64_t* out);
+
 }  // namespace rdx
 
 #endif  // RDX_BASE_STRINGS_H_

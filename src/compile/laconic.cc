@@ -902,13 +902,13 @@ Result<LaconicCompilation> CompileLaconic(const SchemaMapping& mapping,
   return CompileLaconicDependencies(mapping.dependencies(), options);
 }
 
-Result<LaconicChaseResult> LaconicChaseMapping(const SchemaMapping& mapping,
-                                               const Instance& I,
-                                               const ChaseOptions& chase_options,
-                                               const LaconicOptions& options) {
+Result<LaconicChaseResult> LaconicChaseWithCompilation(
+    const SchemaMapping& mapping, const LaconicCompilation& compilation,
+    const Instance& I, const ChaseOptions& chase_options,
+    const LaconicOptions& options) {
   obs::Span span("laconic.chase");
   LaconicChaseResult out;
-  RDX_ASSIGN_OR_RETURN(out.compilation, CompileLaconic(mapping, options));
+  out.compilation = compilation;
   // Labeled nulls in the source void the compile-time absorption analysis
   // (block patterns assume trigger bindings are constants), so only a
   // ground instance takes the laconic path.
@@ -933,6 +933,16 @@ Result<LaconicChaseResult> LaconicChaseMapping(const SchemaMapping& mapping,
   span.Arg("laconic", out.used_laconic ? uint64_t{1} : uint64_t{0})
       .Arg("core_facts", out.core.size());
   return out;
+}
+
+Result<LaconicChaseResult> LaconicChaseMapping(const SchemaMapping& mapping,
+                                               const Instance& I,
+                                               const ChaseOptions& chase_options,
+                                               const LaconicOptions& options) {
+  RDX_ASSIGN_OR_RETURN(LaconicCompilation compilation,
+                       CompileLaconic(mapping, options));
+  return LaconicChaseWithCompilation(mapping, compilation, I, chase_options,
+                                     options);
 }
 
 }  // namespace rdx

@@ -114,6 +114,15 @@ Result<LaconicChaseResult> LaconicChaseMapping(
     const ChaseOptions& chase_options = {},
     const LaconicOptions& options = {});
 
+/// As LaconicChaseMapping, but reuses an already-computed compilation of
+/// `mapping` instead of recompiling — the entry point for callers that
+/// cache compiled plans across many instances (rdx_serve). Passing a
+/// compilation that was not produced from `mapping` is undefined.
+Result<LaconicChaseResult> LaconicChaseWithCompilation(
+    const SchemaMapping& mapping, const LaconicCompilation& compilation,
+    const Instance& I, const ChaseOptions& chase_options = {},
+    const LaconicOptions& options = {});
+
 }  // namespace rdx
 
 #endif  // RDX_COMPILE_LACONIC_H_

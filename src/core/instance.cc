@@ -264,6 +264,15 @@ std::string Instance::ToString() const {
                 "}");
 }
 
+std::string Instance::CanonicalText() const {
+  const Instance canon = CanonicalForm();
+  std::vector<std::string> rendered;
+  rendered.reserve(canon.size());
+  for (const Fact& f : canon.facts()) rendered.push_back(f.ToString());
+  std::sort(rendered.begin(), rendered.end());
+  return StrCat("{", Join(rendered, ", "), "}");
+}
+
 std::size_t Instance::Hash() const {
   // XOR of fact hashes is order-insensitive.
   std::size_t h = 0x51ed2701a2b3c4d5ULL;

@@ -98,6 +98,14 @@ class Instance {
   /// check). Ground instances are returned unchanged.
   Instance CanonicalForm() const;
 
+  /// Process-independent rendering: CanonicalForm(), then facts sorted by
+  /// their rendered text instead of interned ids. ToString()'s id order
+  /// depends on the process's interning history (text parse order vs RDXC
+  /// dictionary order vs a long-running daemon's accumulated table), so
+  /// byte-comparing output across processes — the --canonical contract of
+  /// rdx_cli and every rdx_serve reply — must go through this instead.
+  std::string CanonicalText() const;
+
   /// Set union of the two instances.
   static Instance Union(const Instance& a, const Instance& b);
 

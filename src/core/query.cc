@@ -156,18 +156,20 @@ TupleSet IntersectAll(const std::vector<TupleSet>& sets) {
 }
 
 std::string TupleSetToString(const TupleSet& tuples) {
-  return StrCat("{",
-                JoinMapped(tuples, ", ",
-                           [](const Tuple& t) {
-                             return StrCat(
-                                 "(",
-                                 JoinMapped(t, ", ",
-                                            [](const Value& v) {
-                                              return v.ToString();
-                                            }),
-                                 ")");
-                           }),
-                "}");
+  // Sorted by rendered text, not by the set's Value-id order: interned
+  // ids depend on the process's interning history, and this string is
+  // byte-compared across processes (rdx_cli vs rdx_serve replies).
+  std::vector<std::string> rendered;
+  rendered.reserve(tuples.size());
+  for (const Tuple& t : tuples) {
+    rendered.push_back(StrCat(
+        "(",
+        JoinMapped(t, ", ",
+                   [](const Value& v) { return v.ToString(); }),
+        ")"));
+  }
+  std::sort(rendered.begin(), rendered.end());
+  return StrCat("{", Join(rendered, ", "), "}");
 }
 
 }  // namespace rdx

@@ -1,0 +1,89 @@
+#include "serve/catalog.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace serve {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+Result<std::vector<CatalogEntry>> ParseCatalog(std::string_view text,
+                                               std::string_view base_dir) {
+  std::vector<CatalogEntry> entries;
+  std::set<std::string> seen;
+  std::size_t line_number = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    start = end + 1;
+    ++line_number;
+    if (line.empty() || line.front() == '#') continue;
+    std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrCat("catalog line ", line_number,
+                 ": expected 'name = mapping-file', got '", line, "'"));
+    }
+    CatalogEntry entry;
+    entry.name = std::string(Trim(line.substr(0, eq)));
+    std::string_view path = Trim(line.substr(eq + 1));
+    if (!IsIdentifier(entry.name)) {
+      return Status::InvalidArgument(
+          StrCat("catalog line ", line_number, ": plan name '", entry.name,
+                 "' is not an identifier"));
+    }
+    if (path.empty()) {
+      return Status::InvalidArgument(
+          StrCat("catalog line ", line_number, ": empty mapping path for '",
+                 entry.name, "'"));
+    }
+    if (!seen.insert(entry.name).second) {
+      return Status::InvalidArgument(
+          StrCat("catalog line ", line_number, ": duplicate plan name '",
+                 entry.name, "'"));
+    }
+    if (!base_dir.empty() && path.front() != '/') {
+      entry.path = StrCat(base_dir, "/", path);
+    } else {
+      entry.path = std::string(path);
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("catalog declares no mappings");
+  }
+  return entries;
+}
+
+Result<std::vector<CatalogEntry>> LoadCatalogFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound(StrCat("cannot open catalog ", path));
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::size_t slash = path.find_last_of('/');
+  std::string base_dir =
+      slash == std::string::npos ? std::string() : path.substr(0, slash);
+  return ParseCatalog(text.str(), base_dir);
+}
+
+}  // namespace serve
+}  // namespace rdx

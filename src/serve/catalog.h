@@ -1,0 +1,41 @@
+#ifndef RDX_SERVE_CATALOG_H_
+#define RDX_SERVE_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace rdx {
+namespace serve {
+
+/// One catalog line: a request-visible plan name bound to a mapping file
+/// (mapping_io.h format).
+struct CatalogEntry {
+  std::string name;
+  std::string path;
+};
+
+/// Parses the catalog text format (docs/serving.md):
+///
+///   # the four paper mappings
+///   decomposition = decomposition.rdx
+///   selfloop_reverse = selfloop_reverse.rdx
+///
+/// One `name = path` binding per line; '#' starts a comment; blank lines
+/// are skipped. Names must be identifiers ([A-Za-z0-9_]) and unique.
+/// Relative paths are resolved against `base_dir` (pass "" to keep them
+/// as written).
+Result<std::vector<CatalogEntry>> ParseCatalog(std::string_view text,
+                                               std::string_view base_dir);
+
+/// Reads and parses a catalog file; relative entry paths resolve against
+/// the catalog file's own directory, so a checked-in catalog works from
+/// any working directory.
+Result<std::vector<CatalogEntry>> LoadCatalogFile(const std::string& path);
+
+}  // namespace serve
+}  // namespace rdx
+
+#endif  // RDX_SERVE_CATALOG_H_

@@ -1,0 +1,156 @@
+#include "serve/plan_cache.h"
+
+#include "base/metrics.h"
+#include "base/spans.h"
+#include "base/strings.h"
+#include "base/trace.h"
+#include "mapping/mapping_io.h"
+#include "mapping/normalization.h"
+
+namespace rdx {
+namespace serve {
+
+namespace {
+
+Result<std::unique_ptr<CompiledPlan>> CompilePlan(const CatalogEntry& entry) {
+  obs::Span span("serve.compile");
+  auto plan = std::make_unique<CompiledPlan>();
+  plan->name = entry.name;
+  plan->path = entry.path;
+  {
+    obs::ScopedTimer timer(&obs::Counter::Get("serve.plan_compile_us"),
+                           &plan->compile_micros);
+    RDX_ASSIGN_OR_RETURN(plan->mapping, LoadMappingFile(entry.path));
+
+    AnalysisInput input;
+    input.dependencies = plan->mapping.dependencies();
+    input.source = plan->mapping.source();
+    input.target = plan->mapping.target();
+    RDX_ASSIGN_OR_RETURN(plan->analysis, AnalyzeDependencies(input));
+
+    // SchemaMapping construction already enforced the source-to-target
+    // shape, so CompileLaconic cannot hit the RDX001 error path here; an
+    // out-of-fragment mapping comes back laconic=false with RDX2xx notes
+    // and serves through the chase + blocked-core fallback.
+    RDX_ASSIGN_OR_RETURN(plan->laconic, CompileLaconic(plan->mapping));
+
+    // Redundancy is reported, never applied: admission bounds and replies
+    // are computed over the set as written so replies stay byte-identical
+    // to the one-shot CLI. The implication test only covers plain tgds;
+    // anything else keeps the diagnostic at 0.
+    if (plan->mapping.IsTgdMapping()) {
+      Result<std::vector<Dependency>> minimized =
+          MinimizeDependencies(plan->mapping.dependencies());
+      if (minimized.ok()) {
+        plan->redundant_dependencies =
+            plan->mapping.dependencies().size() - minimized->size();
+      }
+    }
+  }
+  span.Arg("plan", plan->name).Arg("us", plan->compile_micros);
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("serve.plan")
+                       .Add("plan", plan->name)
+                       .Add("dependencies",
+                            plan->mapping.dependencies().size())
+                       .Add("laconic", plan->laconic.laconic)
+                       .Add("weakly_acyclic", plan->analysis.weakly_acyclic)
+                       .Add("redundant", plan->redundant_dependencies)
+                       .Add("us", plan->compile_micros));
+  }
+  return plan;
+}
+
+}  // namespace
+
+std::string CompiledPlan::Summary() const {
+  return StrCat("plan ", name, ": deps=", mapping.dependencies().size(),
+                " laconic=", laconic.laconic ? "yes" : "no", " ",
+                analysis.bound.ToString(),
+                redundant_dependencies > 0
+                    ? StrCat(" redundant=", redundant_dependencies)
+                    : "",
+                " compile_us=", compile_micros);
+}
+
+PlanCache::PlanCache(std::vector<CatalogEntry> entries)
+    : entries_(std::move(entries)) {}
+
+Result<const CompiledPlan*> PlanCache::Get(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetLocked(name);
+}
+
+Result<const CompiledPlan*> PlanCache::GetLocked(const std::string& name) {
+  auto it = plans_.find(name);
+  if (it != plans_.end()) {
+    ++hits_;
+    obs::Counter::Get("serve.plan_hits").Increment();
+    return it->second.get();
+  }
+  const CatalogEntry* entry = nullptr;
+  for (const CatalogEntry& candidate : entries_) {
+    if (candidate.name == name) {
+      entry = &candidate;
+      break;
+    }
+  }
+  if (entry == nullptr) {
+    return Status::NotFound(StrCat(
+        "no mapping named '", name, "' in the catalog (names: ",
+        JoinMapped(entries_, ", ",
+                   [](const CatalogEntry& e) { return e.name; }),
+        ")"));
+  }
+  ++misses_;
+  obs::Counter::Get("serve.plan_misses").Increment();
+  RDX_ASSIGN_OR_RETURN(std::unique_ptr<CompiledPlan> plan,
+                       CompilePlan(*entry));
+  const CompiledPlan* raw = plan.get();
+  plans_.emplace(name, std::move(plan));
+  return raw;
+}
+
+Status PlanCache::CompileAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CatalogEntry& entry : entries_) {
+    RDX_RETURN_IF_ERROR(GetLocked(entry.name).status());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> PlanCache::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const CatalogEntry& entry : entries_) names.push_back(entry.name);
+  return names;
+}
+
+std::vector<std::string> PlanCache::Summaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> summaries;
+  for (const CatalogEntry& entry : entries_) {
+    auto it = plans_.find(entry.name);
+    if (it != plans_.end()) summaries.push_back(it->second->Summary());
+  }
+  return summaries;
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t PlanCache::compiled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return plans_.size();
+}
+
+}  // namespace serve
+}  // namespace rdx

@@ -1,0 +1,96 @@
+#ifndef RDX_SERVE_PLAN_CACHE_H_
+#define RDX_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "analysis/analyze.h"
+#include "base/status.h"
+#include "compile/laconic.h"
+#include "mapping/schema_mapping.h"
+#include "serve/catalog.h"
+
+namespace rdx {
+namespace serve {
+
+/// One catalog mapping compiled into an executable plan — the artifact
+/// the one-shot CLI rebuilds on every invocation and the daemon builds
+/// exactly once:
+///
+///   parse → rdx::analysis statics (weak acyclicity, ChaseSizeBound for
+///   admission control, lints) → laconic compilation when the RDX201–
+///   RDX205 gates admit it (chase + blocked core otherwise) → redundancy
+///   diagnostics (MinimizeDependencies, reported but never applied:
+///   replies must stay byte-identical to one-shot rdx_cli output, which
+///   chases the dependency set as written).
+struct CompiledPlan {
+  std::string name;
+  std::string path;
+  SchemaMapping mapping;
+
+  /// Static analysis of the dependency set. `analysis.bound` is the
+  /// admission-control table: FactBound(instance) is evaluated per
+  /// request before any chase work is admitted.
+  AnalysisReport analysis;
+
+  /// Cached laconic compilation; `laconic.laconic` says whether laconic
+  /// requests take the compiled set or fall back to chase + blocked core.
+  LaconicCompilation laconic;
+
+  /// Dependencies implied by the rest of the set (diagnostic only; 0 when
+  /// the implication test does not apply, e.g. disjunctive mappings).
+  std::size_t redundant_dependencies = 0;
+
+  uint64_t compile_micros = 0;
+
+  /// One "plan <name>: ..." summary line for /statsz and startup logs.
+  std::string Summary() const;
+};
+
+/// Name-keyed cache of compiled plans over a catalog. Plans compile
+/// lazily on first request and are then shared by every later request
+/// (hit/miss counts are mirrored into the serve.plan_hits/.plan_misses
+/// counters). Thread-safe; compilation holds the cache lock, so two
+/// concurrent first requests for one plan compile it once.
+class PlanCache {
+ public:
+  explicit PlanCache(std::vector<CatalogEntry> entries);
+
+  /// The compiled plan for `name`; compiles it on the first call.
+  /// NotFound when the catalog has no such entry, or the entry's mapping
+  /// file fails to load/compile. The pointer stays valid for the cache's
+  /// lifetime.
+  Result<const CompiledPlan*> Get(const std::string& name);
+
+  /// Eagerly compiles every catalog entry (daemon --precompile).
+  Status CompileAll();
+
+  /// Catalog names in catalog order.
+  std::vector<std::string> Names() const;
+
+  /// Summary() lines of the plans compiled so far, in catalog order
+  /// (uncompiled entries are skipped — this never forces a compile).
+  std::vector<std::string> Summaries() const;
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  std::size_t compiled() const;
+
+ private:
+  Result<const CompiledPlan*> GetLocked(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<CatalogEntry> entries_;
+  std::map<std::string, std::unique_ptr<CompiledPlan>> plans_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace serve
+}  // namespace rdx
+
+#endif  // RDX_SERVE_PLAN_CACHE_H_

@@ -1,0 +1,292 @@
+#include "serve/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace serve {
+
+namespace {
+
+void AppendU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>(v >> 8));
+}
+
+void AppendString16(std::string* out, std::string_view s) {
+  AppendU16(out, static_cast<uint16_t>(s.size()));
+  out->append(s);
+}
+
+void AppendString32(std::string* out, std::string_view s) {
+  AppendU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Strict cursor over a request/reply body. Every getter fails on
+/// truncation; Done() rejects trailing bytes.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view body) : body_(body) {}
+
+  Status U8(uint8_t* out) {
+    if (pos_ + 1 > body_.size()) return Truncated("u8");
+    *out = static_cast<uint8_t>(body_[pos_++]);
+    return Status::OK();
+  }
+
+  Status U16(uint16_t* out) {
+    if (pos_ + 2 > body_.size()) return Truncated("u16");
+    const auto* p = reinterpret_cast<const unsigned char*>(body_.data() + pos_);
+    *out = static_cast<uint16_t>(p[0] | (p[1] << 8));
+    pos_ += 2;
+    return Status::OK();
+  }
+
+  Status U32(uint32_t* out) {
+    if (pos_ + 4 > body_.size()) return Truncated("u32");
+    *out = ReadU32(
+        reinterpret_cast<const unsigned char*>(body_.data() + pos_));
+    pos_ += 4;
+    return Status::OK();
+  }
+
+  Status String16(std::string* out) {
+    uint16_t len = 0;
+    RDX_RETURN_IF_ERROR(U16(&len));
+    return Bytes(len, out);
+  }
+
+  Status String32(std::string* out) {
+    uint32_t len = 0;
+    RDX_RETURN_IF_ERROR(U32(&len));
+    return Bytes(len, out);
+  }
+
+  Status Done() const {
+    if (pos_ != body_.size()) {
+      return Status::InvalidArgument(
+          StrCat("protocol: ", body_.size() - pos_,
+                 " trailing byte(s) after the body at offset ", pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Bytes(std::size_t len, std::string* out) {
+    if (pos_ + len > body_.size()) return Truncated("bytes");
+    out->assign(body_, pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status Truncated(const char* what) const {
+    return Status::InvalidArgument(
+        StrCat("protocol: truncated ", what, " at offset ", pos_));
+  }
+
+  std::string_view body_;
+  std::size_t pos_ = 0;
+};
+
+Status CheckVersion(uint8_t version) {
+  if (version != kProtocolVersion) {
+    return Status::InvalidArgument(
+        StrCat("protocol: version ", static_cast<int>(version),
+               " (this build speaks ", static_cast<int>(kProtocolVersion),
+               ")"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* CommandName(Command command) {
+  switch (command) {
+    case Command::kChase: return "chase";
+    case Command::kReverse: return "reverse";
+    case Command::kCertain: return "certain";
+    case Command::kStatsz: return "statsz";
+    case Command::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* ReplyStatusName(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk: return "ok";
+    case ReplyStatus::kBadRequest: return "bad-request";
+    case ReplyStatus::kNotFound: return "not-found";
+    case ReplyStatus::kRejected: return "rejected";
+    case ReplyStatus::kDeadlineExpired: return "deadline-expired";
+    case ReplyStatus::kEngineError: return "engine-error";
+  }
+  return "unknown";
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+uint32_t ReadU32(const unsigned char* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+std::string EncodeRequest(const Request& request) {
+  std::string out;
+  AppendU8(&out, kProtocolVersion);
+  AppendU8(&out, static_cast<uint8_t>(request.command));
+  AppendU8(&out, request.flags);
+  AppendU32(&out, request.deadline_ms);
+  AppendString16(&out, request.mapping);
+  AppendString16(&out, request.reverse_mapping);
+  AppendString16(&out, request.query);
+  AppendString32(&out, request.instance_rdxc);
+  return out;
+}
+
+Result<Request> DecodeRequest(std::string_view body) {
+  Cursor cursor(body);
+  uint8_t version = 0;
+  RDX_RETURN_IF_ERROR(cursor.U8(&version));
+  RDX_RETURN_IF_ERROR(CheckVersion(version));
+  Request request;
+  uint8_t command = 0;
+  RDX_RETURN_IF_ERROR(cursor.U8(&command));
+  if (command < static_cast<uint8_t>(Command::kChase) ||
+      command > static_cast<uint8_t>(Command::kShutdown)) {
+    return Status::InvalidArgument(
+        StrCat("protocol: unknown command ", static_cast<int>(command)));
+  }
+  request.command = static_cast<Command>(command);
+  RDX_RETURN_IF_ERROR(cursor.U8(&request.flags));
+  if ((request.flags & ~kAllFlags) != 0) {
+    return Status::InvalidArgument(
+        StrCat("protocol: unknown flag bits 0x",
+               static_cast<int>(request.flags & ~kAllFlags)));
+  }
+  RDX_RETURN_IF_ERROR(cursor.U32(&request.deadline_ms));
+  RDX_RETURN_IF_ERROR(cursor.String16(&request.mapping));
+  RDX_RETURN_IF_ERROR(cursor.String16(&request.reverse_mapping));
+  RDX_RETURN_IF_ERROR(cursor.String16(&request.query));
+  RDX_RETURN_IF_ERROR(cursor.String32(&request.instance_rdxc));
+  RDX_RETURN_IF_ERROR(cursor.Done());
+  return request;
+}
+
+std::string EncodeReply(const Reply& reply) {
+  std::string out;
+  AppendU8(&out, kProtocolVersion);
+  AppendU8(&out, static_cast<uint8_t>(reply.status));
+  AppendString32(&out, reply.payload);
+  return out;
+}
+
+Result<Reply> DecodeReply(std::string_view body) {
+  Cursor cursor(body);
+  uint8_t version = 0;
+  RDX_RETURN_IF_ERROR(cursor.U8(&version));
+  RDX_RETURN_IF_ERROR(CheckVersion(version));
+  Reply reply;
+  uint8_t status = 0;
+  RDX_RETURN_IF_ERROR(cursor.U8(&status));
+  if (status > static_cast<uint8_t>(ReplyStatus::kEngineError)) {
+    return Status::InvalidArgument(
+        StrCat("protocol: unknown reply status ", static_cast<int>(status)));
+  }
+  reply.status = static_cast<ReplyStatus>(status);
+  RDX_RETURN_IF_ERROR(cursor.String32(&reply.payload));
+  RDX_RETURN_IF_ERROR(cursor.Done());
+  return reply;
+}
+
+Status ReadFull(int fd, void* buf, std::size_t n) {
+  auto* p = static_cast<char*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    ssize_t got = ::read(fd, p + off, n - off);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("read: ", std::strerror(errno)));
+    }
+    if (got == 0) {
+      return Status::InvalidArgument(
+          StrCat("protocol: connection closed after ", off, " of ", n,
+                 " expected byte(s)"));
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t wrote = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("write: ", std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(wrote);
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, std::string_view body) {
+  if (body.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrCat("protocol: frame of ", body.size(), " bytes exceeds the ",
+               kMaxFrameBytes, "-byte limit"));
+  }
+  std::string framed;
+  framed.reserve(4 + body.size());
+  AppendU32(&framed, static_cast<uint32_t>(body.size()));
+  framed.append(body);
+  return WriteAll(fd, framed);
+}
+
+Result<std::string> ReadFrame(int fd, bool* clean_eof) {
+  *clean_eof = false;
+  unsigned char header[4];
+  ssize_t got;
+  do {
+    got = ::read(fd, header, sizeof(header));
+  } while (got < 0 && errno == EINTR);
+  if (got < 0) {
+    return Status::Internal(StrCat("read: ", std::strerror(errno)));
+  }
+  if (got == 0) {
+    *clean_eof = true;
+    return std::string();
+  }
+  if (got < 4) {
+    RDX_RETURN_IF_ERROR(ReadFull(fd, header + got, sizeof(header) - got));
+  }
+  uint32_t length = ReadU32(header);
+  if (length > kMaxFrameBytes) {
+    return Status::InvalidArgument(
+        StrCat("protocol: frame length ", length, " exceeds the ",
+               kMaxFrameBytes, "-byte limit"));
+  }
+  std::string body(length, '\0');
+  if (length > 0) {
+    RDX_RETURN_IF_ERROR(ReadFull(fd, body.data(), length));
+  }
+  return body;
+}
+
+}  // namespace serve
+}  // namespace rdx

@@ -1,0 +1,119 @@
+#ifndef RDX_SERVE_PROTOCOL_H_
+#define RDX_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace rdx {
+namespace serve {
+
+/// The rdx_serve socket protocol (docs/serving.md): length-prefixed
+/// frames over a SOCK_STREAM connection. Every frame is
+///
+///   u32le body_length | body
+///
+/// and every multi-byte integer in a body is little-endian fixed width.
+/// Instance payloads inside request bodies are the canonical RDXC binary
+/// wire format (docs/storage.md) — the daemon never parses instance text.
+///
+/// A connection may pipeline frames: the server answers each request with
+/// exactly one reply frame, in order. As a convenience, a connection whose
+/// first four bytes are "GET " is treated as a plaintext /statsz probe
+/// (`curl --unix-socket ... http://x/statsz`) instead of a frame stream.
+
+inline constexpr uint8_t kProtocolVersion = 1;
+
+/// Frames above this limit are rejected before allocation; a corrupt
+/// length prefix must not look like a 4 GiB read.
+inline constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+enum class Command : uint8_t {
+  kChase = 1,    // chase the named mapping over the instance payload
+  kReverse = 2,  // disjunctive chase (possible worlds)
+  kCertain = 3,  // reverse certain answers (needs reverse_mapping + query)
+  kStatsz = 4,   // text statistics snapshot; no instance payload
+  kShutdown = 5, // ask the daemon to drain and exit; no instance payload
+};
+
+/// Request flag bits — the serve spellings of the rdx_cli output flags.
+inline constexpr uint8_t kFlagCanonical = 1;  // render via CanonicalForm()
+inline constexpr uint8_t kFlagLaconic = 2;    // chase the laconic plan
+inline constexpr uint8_t kFlagToCore = 4;     // chase + blocked core
+inline constexpr uint8_t kAllFlags =
+    kFlagCanonical | kFlagLaconic | kFlagToCore;
+
+/// Request body layout, after the frame length prefix:
+///
+///   u8  version        (kProtocolVersion)
+///   u8  command        (Command)
+///   u8  flags          (kFlag* bits; unknown bits are rejected)
+///   u32 deadline_ms    (0 = server default)
+///   u16 len + bytes    mapping name (catalog key)
+///   u16 len + bytes    reverse-mapping name (kCertain only, else empty)
+///   u16 len + bytes    query text (kCertain only, else empty)
+///   u32 len + bytes    instance, RDXC-encoded (empty for statsz/shutdown)
+struct Request {
+  Command command = Command::kChase;
+  uint8_t flags = 0;
+  uint32_t deadline_ms = 0;
+  std::string mapping;
+  std::string reverse_mapping;
+  std::string query;
+  std::string instance_rdxc;
+
+  bool has_flag(uint8_t bit) const { return (flags & bit) != 0; }
+};
+
+enum class ReplyStatus : uint8_t {
+  kOk = 0,               // payload = exactly the one-shot rdx_cli stdout
+  kBadRequest = 1,       // malformed body, RDXC decode error, bad query
+  kNotFound = 2,         // mapping name not in the catalog
+  kRejected = 3,         // admission control: static FactBound over budget
+  kDeadlineExpired = 4,  // request deadline elapsed before execution
+  kEngineError = 5,      // chase/core/certain computation failed
+};
+
+/// Reply body layout: u8 version | u8 status | u32 len + payload bytes.
+/// On kOk the payload is byte-identical to the corresponding one-shot
+/// rdx_cli stdout; otherwise it is a human-readable error citing the
+/// relevant RDX code (RDX001 / RDX301 for admission rejections).
+struct Reply {
+  ReplyStatus status = ReplyStatus::kOk;
+  std::string payload;
+};
+
+const char* CommandName(Command command);
+const char* ReplyStatusName(ReplyStatus status);
+
+/// Body encoders/decoders (no length prefix — framing is separate).
+/// Decoders validate strictly: version, known command, known flag bits,
+/// in-bounds lengths, and no trailing bytes.
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::string_view body);
+std::string EncodeReply(const Reply& reply);
+Result<Reply> DecodeReply(std::string_view body);
+
+/// u32le helpers shared with the server's header sniffing.
+void AppendU32(std::string* out, uint32_t v);
+uint32_t ReadU32(const unsigned char* p);
+
+/// EINTR-safe exact-length fd I/O. ReadFull fails on EOF mid-buffer;
+/// WriteAll fails on any write error (callers ignore SIGPIPE).
+Status ReadFull(int fd, void* buf, std::size_t n);
+Status WriteAll(int fd, std::string_view bytes);
+
+/// Writes one length-prefixed frame.
+Status WriteFrame(int fd, std::string_view body);
+
+/// Reads one length-prefixed frame. A clean EOF before the first header
+/// byte sets *clean_eof and returns an empty body; EOF anywhere else is
+/// an error.
+Result<std::string> ReadFrame(int fd, bool* clean_eof);
+
+}  // namespace serve
+}  // namespace rdx
+
+#endif  // RDX_SERVE_PROTOCOL_H_

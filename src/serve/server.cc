@@ -1,0 +1,463 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "base/attribution.h"
+#include "base/metrics.h"
+#include "base/spans.h"
+#include "base/strings.h"
+#include "base/thread_pool.h"
+#include "base/trace.h"
+#include "columnar/serialize.h"
+#include "compile/laconic.h"
+#include "core/query.h"
+#include "mapping/extended.h"
+#include "mapping/reverse_query.h"
+
+namespace rdx {
+namespace serve {
+
+namespace {
+
+/// Attribution domain for per-plan request time (visible on /statsz).
+constexpr char kPlanDomain[] = "serve.plan";
+
+Reply ErrorReply(ReplyStatus status, std::string message) {
+  Reply reply;
+  reply.status = status;
+  reply.payload = std::move(message);
+  return reply;
+}
+
+// Mirrors rdx_cli's Render: the canonical path is process-independent
+// (CanonicalText), which is what makes a daemon reply byte-identical to a
+// fresh one-shot process despite a dirty interning table.
+std::string Render(const Request& request, const Instance& instance) {
+  return request.has_flag(kFlagCanonical) ? instance.CanonicalText()
+                                          : instance.ToString();
+}
+
+Reply RunChase(const CompiledPlan& plan, const Request& request,
+               const Instance& instance, const ServerOptions& options) {
+  ChaseOptions chase_options;
+  chase_options.num_threads = options.num_threads;
+  if (request.has_flag(kFlagLaconic)) {
+    Result<LaconicChaseResult> r = LaconicChaseWithCompilation(
+        plan.mapping, plan.laconic, instance, chase_options);
+    if (!r.ok()) {
+      return ErrorReply(ReplyStatus::kEngineError, r.status().ToString());
+    }
+    return Reply{ReplyStatus::kOk, StrCat(Render(request, r->core), "\n")};
+  }
+  Result<ChaseResult> chased =
+      ChaseMappingWithStats(plan.mapping, instance, chase_options);
+  if (!chased.ok()) {
+    return ErrorReply(ReplyStatus::kEngineError, chased.status().ToString());
+  }
+  if (request.has_flag(kFlagToCore)) {
+    HomomorphismOptions hom;
+    hom.num_threads = options.num_threads;
+    Result<Instance> core = ComputeCore(chased->added, hom);
+    if (!core.ok()) {
+      return ErrorReply(ReplyStatus::kEngineError, core.status().ToString());
+    }
+    return Reply{ReplyStatus::kOk, StrCat(Render(request, *core), "\n")};
+  }
+  return Reply{ReplyStatus::kOk, StrCat(Render(request, chased->added), "\n")};
+}
+
+Reply RunReverse(const CompiledPlan& plan, const Request& request,
+                 const Instance& instance, const ServerOptions& options) {
+  if (request.has_flag(kFlagLaconic)) {
+    // Mirrors `rdx_cli reverse --laconic`: the fallback for an
+    // un-laconicizable reverse is the disjunctive chase, whose output is
+    // not a core, so this refuses instead of falling back.
+    if (!plan.laconic.laconic) {
+      return ErrorReply(
+          ReplyStatus::kEngineError,
+          StrCat("cannot laconicize reverse mapping:\n",
+                 plan.laconic.ToString()));
+    }
+    ChaseOptions chase_options;
+    chase_options.num_threads = options.num_threads;
+    Result<LaconicChaseResult> r = LaconicChaseWithCompilation(
+        plan.mapping, plan.laconic, instance, chase_options);
+    if (!r.ok()) {
+      return ErrorReply(ReplyStatus::kEngineError, r.status().ToString());
+    }
+    return Reply{ReplyStatus::kOk,
+                 StrCat("core universal solution:\n  ",
+                        Render(request, r->core), "\n")};
+  }
+  DisjunctiveChaseOptions options_d;
+  options_d.num_threads = options.num_threads;
+  Result<std::vector<Instance>> branches =
+      DisjunctiveChaseMapping(plan.mapping, instance, options_d);
+  if (!branches.ok()) {
+    return ErrorReply(ReplyStatus::kEngineError, branches.status().ToString());
+  }
+  std::vector<std::string> worlds;
+  worlds.reserve(branches->size());
+  for (const Instance& v : *branches) worlds.push_back(Render(request, v));
+  // Mirrors rdx_cli: canonical world lists are sorted, so the order does
+  // not leak the branch-discovery order (interning-history-dependent).
+  if (request.has_flag(kFlagCanonical)) {
+    std::sort(worlds.begin(), worlds.end());
+  }
+  std::string payload =
+      StrCat(branches->size(), " possible world(s):\n");
+  for (const std::string& w : worlds) {
+    payload += StrCat("  ", w, "\n");
+  }
+  return Reply{ReplyStatus::kOk, std::move(payload)};
+}
+
+Reply RunCertain(PlanCache& plans, const CompiledPlan& plan,
+                 const Request& request, const Instance& instance,
+                 const ServerOptions& options) {
+  if (request.reverse_mapping.empty()) {
+    return ErrorReply(ReplyStatus::kBadRequest,
+                      "certain request carries no reverse mapping name");
+  }
+  Result<const CompiledPlan*> reverse_plan = plans.Get(request.reverse_mapping);
+  if (!reverse_plan.ok()) {
+    return ErrorReply(ReplyStatus::kNotFound,
+                      reverse_plan.status().ToString());
+  }
+  Result<ConjunctiveQuery> query = ConjunctiveQuery::Parse(request.query);
+  if (!query.ok()) {
+    return ErrorReply(ReplyStatus::kBadRequest,
+                      StrCat("bad query: ", query.status().ToString()));
+  }
+  ChaseOptions chase_options;
+  chase_options.num_threads = options.num_threads;
+  DisjunctiveChaseOptions disjunctive_options;
+  disjunctive_options.num_threads = options.num_threads;
+  Result<TupleSet> certain =
+      ReverseCertainAnswers(plan.mapping, (*reverse_plan)->mapping, *query,
+                            instance, chase_options, disjunctive_options);
+  if (!certain.ok()) {
+    return ErrorReply(ReplyStatus::kEngineError, certain.status().ToString());
+  }
+  return Reply{ReplyStatus::kOk, StrCat(TupleSetToString(*certain), "\n")};
+}
+
+}  // namespace
+
+Reply ExecuteRequest(PlanCache& plans, const Request& request,
+                     const ServerOptions& options,
+                     std::chrono::steady_clock::time_point received) {
+  obs::Span span("serve.request");
+  span.Arg("command", CommandName(request.command))
+      .Arg("plan", request.mapping);
+  obs::Counter::Get("serve.requests").Increment();
+
+  // Deadlines are checked before any engine work starts; the chase itself
+  // is not interrupted mid-flight (ChaseOptions budgets bound it instead).
+  const uint32_t deadline_ms = request.deadline_ms != 0
+                                   ? request.deadline_ms
+                                   : options.default_deadline_ms;
+  if (deadline_ms != 0 &&
+      std::chrono::steady_clock::now() - received >=
+          std::chrono::milliseconds(deadline_ms)) {
+    obs::Counter::Get("serve.deadline_expired").Increment();
+    return ErrorReply(
+        ReplyStatus::kDeadlineExpired,
+        StrCat("deadline of ", deadline_ms, "ms expired before execution"));
+  }
+
+  Result<const CompiledPlan*> plan_result = plans.Get(request.mapping);
+  if (!plan_result.ok()) {
+    return ErrorReply(ReplyStatus::kNotFound, plan_result.status().ToString());
+  }
+  const CompiledPlan& plan = **plan_result;
+
+  Result<Instance> instance = columnar::Deserialize(request.instance_rdxc);
+  if (!instance.ok()) {
+    return ErrorReply(ReplyStatus::kBadRequest,
+                      StrCat("bad RDXC instance payload: ",
+                             instance.status().ToString()));
+  }
+
+  // Admission control: the plan's static FactBound (PR-5 tables) over the
+  // decoded instance, evaluated BEFORE any chase work. A non-weakly-
+  // acyclic plan has no bound at all, so no finite budget admits it.
+  const uint64_t bound = plan.analysis.bound.FactBound(*instance);
+  if (bound == ChaseSizeBound::kUnbounded) {
+    obs::Counter::Get("serve.admission_rejects").Increment();
+    return ErrorReply(
+        ReplyStatus::kRejected,
+        StrCat(kAdmissionUnboundedCode, ": plan '", plan.name,
+               "' is not weakly acyclic — no static chase bound exists, so "
+               "the request cannot be admitted under a finite budget"));
+  }
+  if (bound > options.admit_budget) {
+    obs::Counter::Get("serve.admission_rejects").Increment();
+    return ErrorReply(
+        ReplyStatus::kRejected,
+        StrCat(kAdmissionOverBudgetCode, ": static chase bound of ", bound,
+               " fact(s) for plan '", plan.name, "' over ", instance->size(),
+               " input fact(s) exceeds the admission budget of ",
+               options.admit_budget));
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  Reply reply;
+  switch (request.command) {
+    case Command::kChase:
+      reply = RunChase(plan, request, *instance, options);
+      break;
+    case Command::kReverse:
+      reply = RunReverse(plan, request, *instance, options);
+      break;
+    case Command::kCertain:
+      reply = RunCertain(plans, plan, request, *instance, options);
+      break;
+    default:
+      reply = ErrorReply(ReplyStatus::kBadRequest,
+                         StrCat("command ", CommandName(request.command),
+                                " is not an execution command"));
+      break;
+  }
+  const uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count());
+  obs::Counter::Get("serve.request_us").Add(us);
+  if (obs::AttributionEnabled()) {
+    obs::Attribution& row = obs::Attribution::Get(kPlanDomain, plan.name);
+    row.AddTimeMicros(us);
+    row.AddFired(1);
+  }
+  if (reply.status == ReplyStatus::kOk) {
+    obs::Counter::Get("serve.replies_ok").Increment();
+  } else {
+    obs::Counter::Get("serve.replies_error").Increment();
+  }
+  span.Arg("status", ReplyStatusName(reply.status)).Arg("us", us);
+  if (obs::TracingEnabled()) {
+    obs::EmitTrace(obs::TraceEvent("serve.request")
+                       .Add("command", CommandName(request.command))
+                       .Add("plan", request.mapping)
+                       .Add("status", ReplyStatusName(reply.status))
+                       .Add("bound", bound)
+                       .Add("us", us));
+  }
+  return reply;
+}
+
+std::string StatszText(PlanCache& plans, const ServerOptions& options) {
+  std::string out = "rdx_serve statsz\n";
+  out += StrCat("catalog: ", options.catalog_path, "\n");
+  out += StrCat("socket: ", options.socket_path, "\n");
+  out += StrCat("threads: ", options.num_threads,
+                "  admit_budget: ", options.admit_budget,
+                "  default_deadline_ms: ", options.default_deadline_ms, "\n");
+  out += StrCat("plans: ", plans.compiled(), "/", plans.Names().size(),
+                " compiled  cache_hits: ", plans.hits(),
+                "  cache_misses: ", plans.misses(), "\n");
+  for (const std::string& summary : plans.Summaries()) {
+    out += StrCat("  ", summary, "\n");
+  }
+  out += obs::CountersToString();
+  out += obs::AttributionToString();
+  return out;
+}
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() {
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+}
+
+Status Server::Start() {
+  RDX_ASSIGN_OR_RETURN(std::vector<CatalogEntry> entries,
+                       LoadCatalogFile(options_.catalog_path));
+  plans_ = std::make_unique<PlanCache>(std::move(entries));
+  if (options_.precompile) {
+    RDX_RETURN_IF_ERROR(plans_->CompileAll());
+  }
+
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.empty() ||
+      options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrCat("socket path must be 1..", sizeof(addr.sun_path) - 1,
+               " bytes, got ", options_.socket_path.size()));
+  }
+  std::memcpy(addr.sun_path, options_.socket_path.data(),
+              options_.socket_path.size());
+
+  listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Internal(StrCat("socket(): ", std::strerror(errno)));
+  }
+  // A previous daemon's socket file would make bind() fail with
+  // EADDRINUSE; the path is daemon-owned, so replace it.
+  unlink(options_.socket_path.c_str());
+  if (bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return Status::Internal(StrCat("bind(", options_.socket_path,
+                                   "): ", std::strerror(errno)));
+  }
+  if (listen(listen_fd_, 16) != 0) {
+    return Status::Internal(StrCat("listen(): ", std::strerror(errno)));
+  }
+
+  int wake[2];
+  if (pipe(wake) != 0) {
+    return Status::Internal(StrCat("pipe(): ", std::strerror(errno)));
+  }
+  wake_read_fd_ = wake[0];
+  wake_write_fd_ = wake[1];
+  return Status::OK();
+}
+
+void Server::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_write_fd_ >= 0) {
+    const char byte = 0;
+    // Best-effort wake; the accept loop also times out periodically.
+    [[maybe_unused]] ssize_t n = write(wake_write_fd_, &byte, 1);
+  }
+}
+
+int Server::Run() {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_read_fd_, POLLIN, 0};
+    int ready = poll(fds, 2, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (ready == 0 || (fds[0].revents & POLLIN) == 0) continue;
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    connection_threads_.emplace_back(
+        [this, fd]() { HandleConnection(fd); });
+  }
+  // Drain: every connection thread finishes its in-flight request and
+  // writes the reply before exiting its loop.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(threads_mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads) t.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  unlink(options_.socket_path.c_str());
+  return 0;
+}
+
+Reply Server::ExecuteOnPool(const Request& request,
+                            std::chrono::steady_clock::time_point received) {
+  par::ThreadPool& pool = par::ThreadPool::Shared(
+      static_cast<std::size_t>(options_.num_threads));
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Reply reply;
+  pool.Submit([&]() {
+    Reply r = ExecuteRequest(*plans_, request, options_, received);
+    std::lock_guard<std::mutex> lock(mu);
+    reply = std::move(r);
+    done = true;
+    cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&]() { return done; });
+  return reply;
+}
+
+void Server::HandleStatszProbe(int fd) {
+  // Drain whatever request line arrived; the reply does not depend on it.
+  char buf[512];
+  [[maybe_unused]] ssize_t n = recv(fd, buf, sizeof(buf), 0);
+  const std::string body = StatszText(*plans_, options_);
+  const std::string response =
+      StrCat("HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\n"
+             "Content-Length: ", body.size(), "\r\n\r\n", body);
+  [[maybe_unused]] Status written = WriteAll(fd, response);
+}
+
+void Server::HandleConnection(int fd) {
+  // First-bytes sniff: "GET " means a plaintext /statsz probe (curl
+  //   --unix-socket), anything else is the framed protocol.
+  char head[4];
+  ssize_t peeked = recv(fd, head, sizeof(head), MSG_PEEK);
+  if (peeked == sizeof(head) && std::memcmp(head, "GET ", 4) == 0) {
+    HandleStatszProbe(fd);
+    close(fd);
+    return;
+  }
+
+  while (true) {
+    pollfd pfd{fd, POLLIN, 0};
+    int ready = poll(&pfd, 1, 200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) {
+      // Idle tick: between frames a stop request ends the connection.
+      if (stop_requested_.load(std::memory_order_acquire)) break;
+      continue;
+    }
+
+    bool clean_eof = false;
+    Result<std::string> frame = ReadFrame(fd, &clean_eof);
+    if (!frame.ok()) {
+      // The stream is desynchronized; a framed error reply is still
+      // well-formed, so send one before closing.
+      Reply reply{ReplyStatus::kBadRequest, frame.status().ToString()};
+      [[maybe_unused]] Status s = WriteFrame(fd, EncodeReply(reply));
+      break;
+    }
+    if (clean_eof) break;
+    const auto received = std::chrono::steady_clock::now();
+
+    Reply reply;
+    bool stop_after_reply = false;
+    Result<Request> request = DecodeRequest(*frame);
+    if (!request.ok()) {
+      reply = Reply{ReplyStatus::kBadRequest, request.status().ToString()};
+    } else if (request->command == Command::kStatsz) {
+      reply = Reply{ReplyStatus::kOk, StatszText(*plans_, options_)};
+    } else if (request->command == Command::kShutdown) {
+      reply = Reply{ReplyStatus::kOk, "shutting down\n"};
+      stop_after_reply = true;
+    } else {
+      reply = ExecuteOnPool(*request, received);
+    }
+
+    if (!WriteFrame(fd, EncodeReply(reply)).ok()) break;
+    const uint64_t served =
+        requests_served_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (stop_after_reply ||
+        (options_.max_requests != 0 && served >= options_.max_requests)) {
+      RequestStop();
+      break;
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+  }
+  close(fd);
+}
+
+}  // namespace serve
+}  // namespace rdx

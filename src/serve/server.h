@@ -1,0 +1,122 @@
+#ifndef RDX_SERVE_SERVER_H_
+#define RDX_SERVE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+
+namespace rdx {
+namespace serve {
+
+/// Admission-control diagnostic codes cited in rejection replies
+/// (docs/serving.md). They extend the RDX lint numbering: RDX001 is the
+/// analyzer's "not weakly acyclic" error (no static chase bound exists,
+/// so nothing can be admitted under a finite budget); RDX301 is the
+/// serve-layer "static chase-size bound exceeds the admission budget".
+inline constexpr char kAdmissionOverBudgetCode[] = "RDX301";
+inline constexpr char kAdmissionUnboundedCode[] = "RDX001";
+
+struct ServerOptions {
+  std::string socket_path;
+  std::string catalog_path;
+
+  /// Engine threads per request (ChaseOptions/DisjunctiveChaseOptions/
+  /// HomomorphismOptions num_threads — the rdx::par pool underneath).
+  uint64_t num_threads = 1;
+
+  /// Admission budget: a request is rejected before any chase work when
+  /// its plan's static FactBound over the decoded instance exceeds this
+  /// many facts (ChaseSizeBound::kUnbounded — a non-weakly-acyclic plan —
+  /// never passes). Mirrors ChaseOptions::max_new_facts by default.
+  uint64_t admit_budget = 5'000'000;
+
+  /// Deadline applied when a request carries deadline_ms == 0
+  /// (0 = no deadline).
+  uint32_t default_deadline_ms = 0;
+
+  /// Compile every catalog plan at startup instead of on first request.
+  bool precompile = false;
+
+  /// Exit after serving this many framed requests (0 = run until
+  /// signalled). A testing hook, like rdx_fuzz --iters.
+  uint64_t max_requests = 0;
+};
+
+/// Executes one framed request against the plan cache: deadline check →
+/// plan lookup → RDXC decode → FactBound admission → engine dispatch.
+/// `received` is when the request frame finished arriving; deadlines are
+/// measured from it. Pure function of its inputs plus the engine layer —
+/// the unit-testable core of the daemon (no sockets involved).
+///
+/// kOk payloads are byte-identical to the stdout of the corresponding
+/// one-shot CLI invocation (`rdx_cli chase|reverse|certain`, with
+/// --canonical/--laconic/--to-core per the request flags).
+Reply ExecuteRequest(PlanCache& plans, const Request& request,
+                     const ServerOptions& options,
+                     std::chrono::steady_clock::time_point received);
+
+/// The /statsz text: catalog and plan-cache state, request totals, then
+/// the process counter/histogram and attribution tables.
+std::string StatszText(PlanCache& plans, const ServerOptions& options);
+
+/// The daemon: a Unix-domain stream socket speaking the frame protocol
+/// (plus the "GET /statsz" plaintext probe), one handler thread per
+/// connection, request execution batched onto the rdx::par pool.
+///
+/// Lifecycle: Start() loads the catalog and binds the socket; Run()
+/// accepts until RequestStop() (signal-safe — SIGINT/SIGTERM handlers
+/// call it), then drains: in-flight requests finish and their replies are
+/// written before connection threads join. Run() returns the process exit
+/// code (0 after a clean drain). Callers flush trace sinks after Run();
+/// the drain guarantees OpenSpanCount()==0 by then.
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads the catalog, optionally precompiles, binds and listens.
+  Status Start();
+
+  /// Accept loop; blocks until RequestStop(). Returns the exit code.
+  int Run();
+
+  /// Initiates shutdown. Async-signal-safe: an atomic store plus one
+  /// write() to the wake pipe.
+  void RequestStop();
+
+  const ServerOptions& options() const { return options_; }
+  PlanCache* plans() { return plans_.get(); }
+
+ private:
+  void HandleConnection(int fd);
+  void HandleStatszProbe(int fd);
+  Reply ExecuteOnPool(const Request& request,
+                      std::chrono::steady_clock::time_point received);
+
+  ServerOptions options_;
+  std::unique_ptr<PlanCache> plans_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<uint64_t> requests_served_{0};
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> connection_threads_;
+};
+
+}  // namespace serve
+}  // namespace rdx
+
+#endif  // RDX_SERVE_SERVER_H_

@@ -1,0 +1,336 @@
+// Unit tests for the rdx_serve layer (docs/serving.md): the frame
+// protocol codecs, the catalog parser, the compiled-plan cache, and
+// ExecuteRequest — exercised as a pure function, no sockets involved.
+// The socket path itself is covered end to end by the cli_serve_* ctest
+// gates (cmake/run_serve_check.cmake).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <fstream>
+#include <string>
+
+#include "base/metrics.h"
+#include "columnar/serialize.h"
+#include "core/instance_parser.h"
+#include "gtest/gtest.h"
+#include "mapping/extended.h"
+#include "mapping/mapping_io.h"
+#include "serve/catalog.h"
+#include "serve/plan_cache.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace rdx {
+namespace serve {
+namespace {
+
+constexpr char kDecompositionMapping[] =
+    "source: Emp/3\n"
+    "target: WorksIn/2, Manages/2\n"
+    "Emp(n, d, g) -> WorksIn(n, d) & Manages(d, g)\n";
+
+constexpr char kSelfloopReverseMapping[] =
+    "source: SlPp/2\n"
+    "target: SlP/2, SlT/1\n"
+    "SlPp(x, y) & x != y -> SlP(x, y);\n"
+    "SlPp(x, x) -> SlT(x) | SlP(x, x)\n";
+
+constexpr char kCompanyInstance[] =
+    "Emp(alice, search, carol).\n"
+    "Emp(bob, ads, dana).\n";
+
+std::string WriteTempFile(const std::string& name,
+                          const std::string& content) {
+  // ctest runs each test in its own process, concurrently; the pid keeps
+  // parallel tests from clobbering each other's fixtures in TempDir.
+  const std::string path = ::testing::TempDir() + "/" +
+                           std::to_string(::getpid()) + "_" + name;
+  std::ofstream out(path, std::ios::trunc);
+  out << content;
+  EXPECT_TRUE(out.good()) << "cannot write " << path;
+  return path;
+}
+
+// A cache over a one-entry catalog for the decomposition mapping (plus
+// optionals), backed by temp files.
+PlanCache MakeCache() {
+  std::vector<CatalogEntry> entries;
+  entries.push_back(
+      {"decomposition",
+       WriteTempFile("serve_decomposition.rdx", kDecompositionMapping)});
+  entries.push_back(
+      {"selfloop_reverse", WriteTempFile("serve_selfloop_reverse.rdx",
+                                         kSelfloopReverseMapping)});
+  return PlanCache(std::move(entries));
+}
+
+Instance ParseCompany() {
+  std::string path = WriteTempFile("serve_company.rdx", kCompanyInstance);
+  auto instance = LoadInstanceFile(path);
+  EXPECT_TRUE(instance.ok());
+  return *instance;
+}
+
+Request ChaseRequest(const Instance& instance) {
+  Request request;
+  request.command = Command::kChase;
+  request.flags = kFlagCanonical;
+  request.mapping = "decomposition";
+  request.instance_rdxc = columnar::Serialize(instance);
+  return request;
+}
+
+auto Now() { return std::chrono::steady_clock::now(); }
+
+// --- protocol -------------------------------------------------------------
+
+TEST(Protocol, RequestRoundTrips) {
+  Request request;
+  request.command = Command::kCertain;
+  request.flags = kFlagCanonical | kFlagLaconic;
+  request.deadline_ms = 1234;
+  request.mapping = "decomposition";
+  request.reverse_mapping = "decomposition_reverse";
+  request.query = "q(n, d) :- Emp(n, d, g)";
+  request.instance_rdxc = std::string("\x00\x01\xff binary", 10);
+
+  auto decoded = DecodeRequest(EncodeRequest(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->command, request.command);
+  EXPECT_EQ(decoded->flags, request.flags);
+  EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
+  EXPECT_EQ(decoded->mapping, request.mapping);
+  EXPECT_EQ(decoded->reverse_mapping, request.reverse_mapping);
+  EXPECT_EQ(decoded->query, request.query);
+  EXPECT_EQ(decoded->instance_rdxc, request.instance_rdxc);
+}
+
+TEST(Protocol, ReplyRoundTrips) {
+  Reply reply;
+  reply.status = ReplyStatus::kRejected;
+  reply.payload = "RDX301: over budget";
+  auto decoded = DecodeReply(EncodeReply(reply));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->status, reply.status);
+  EXPECT_EQ(decoded->payload, reply.payload);
+}
+
+TEST(Protocol, RejectsBadVersion) {
+  std::string body = EncodeRequest(Request{});
+  body[0] = 9;
+  EXPECT_FALSE(DecodeRequest(body).ok());
+}
+
+TEST(Protocol, RejectsUnknownCommand) {
+  std::string body = EncodeRequest(Request{});
+  body[1] = 42;
+  EXPECT_FALSE(DecodeRequest(body).ok());
+}
+
+TEST(Protocol, RejectsUnknownFlagBits) {
+  std::string body = EncodeRequest(Request{});
+  body[2] = static_cast<char>(0x80);
+  EXPECT_FALSE(DecodeRequest(body).ok());
+}
+
+TEST(Protocol, RejectsTruncationAndTrailingBytes) {
+  const std::string body = EncodeRequest(Request{});
+  for (std::size_t n = 0; n < body.size(); ++n) {
+    EXPECT_FALSE(DecodeRequest(body.substr(0, n)).ok())
+        << "decoded a " << n << "-byte prefix";
+  }
+  EXPECT_FALSE(DecodeRequest(body + "x").ok());
+  EXPECT_FALSE(DecodeReply(EncodeReply(Reply{}) + "x").ok());
+}
+
+// --- catalog --------------------------------------------------------------
+
+TEST(Catalog, ParsesEntriesCommentsAndBlankLines) {
+  auto entries = ParseCatalog(
+      "# heading\n"
+      "\n"
+      "decomposition = decomposition.rdx\n"
+      "  selfloop =   sub/selfloop.rdx  \n"
+      "absolute = /abs/path.rdx\n",
+      "/base");
+  ASSERT_TRUE(entries.ok()) << entries.status().ToString();
+  ASSERT_EQ(entries->size(), 3u);
+  EXPECT_EQ((*entries)[0].name, "decomposition");
+  EXPECT_EQ((*entries)[0].path, "/base/decomposition.rdx");
+  EXPECT_EQ((*entries)[1].path, "/base/sub/selfloop.rdx");
+  EXPECT_EQ((*entries)[2].path, "/abs/path.rdx");
+}
+
+TEST(Catalog, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseCatalog("just a line\n", "").ok());
+  EXPECT_FALSE(ParseCatalog("bad name! = x.rdx\n", "").ok());
+  EXPECT_FALSE(ParseCatalog("a = x.rdx\na = y.rdx\n", "").ok());
+  EXPECT_FALSE(ParseCatalog("a =\n", "").ok());
+  EXPECT_FALSE(ParseCatalog("# only comments\n", "").ok());
+}
+
+// --- plan cache -----------------------------------------------------------
+
+TEST(PlanCacheTest, CompilesOnceAndCountsHits) {
+  PlanCache cache = MakeCache();
+  EXPECT_EQ(cache.compiled(), 0u);
+
+  auto first = cache.Get("decomposition");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.compiled(), 1u);
+  EXPECT_TRUE((*first)->laconic.laconic);
+  EXPECT_TRUE((*first)->analysis.weakly_acyclic);
+
+  auto second = cache.Get("decomposition");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second) << "second lookup must reuse the plan";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PlanCacheTest, NotFoundListsCatalogNames) {
+  PlanCache cache = MakeCache();
+  auto missing = cache.Get("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("decomposition"),
+            std::string::npos)
+      << missing.status().ToString();
+}
+
+TEST(PlanCacheTest, CompileAllCompilesEverything) {
+  PlanCache cache = MakeCache();
+  ASSERT_TRUE(cache.CompileAll().ok());
+  EXPECT_EQ(cache.compiled(), 2u);
+}
+
+// --- ExecuteRequest -------------------------------------------------------
+
+TEST(ExecuteRequestTest, ChaseReplyMatchesEngineBytes) {
+  PlanCache cache = MakeCache();
+  ServerOptions options;
+  Instance company = ParseCompany();
+
+  Reply reply = ExecuteRequest(cache, ChaseRequest(company), options, Now());
+  ASSERT_EQ(reply.status, ReplyStatus::kOk) << reply.payload;
+
+  auto mapping = ParseMappingText(kDecompositionMapping);
+  ASSERT_TRUE(mapping.ok());
+  auto chased = ChaseMappingWithStats(*mapping, company, ChaseOptions{});
+  ASSERT_TRUE(chased.ok());
+  EXPECT_EQ(reply.payload, chased->added.CanonicalText() + "\n");
+}
+
+TEST(ExecuteRequestTest, SecondRequestIsAPlanCacheHit) {
+  PlanCache cache = MakeCache();
+  ServerOptions options;
+  Request request = ChaseRequest(ParseCompany());
+
+  Reply first = ExecuteRequest(cache, request, options, Now());
+  Reply second = ExecuteRequest(cache, request, options, Now());
+  ASSERT_EQ(first.status, ReplyStatus::kOk) << first.payload;
+  ASSERT_EQ(second.status, ReplyStatus::kOk) << second.payload;
+  EXPECT_EQ(first.payload, second.payload)
+      << "cache-hit reply must be byte-identical to the cold reply";
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(ExecuteRequestTest, UnknownMappingIsNotFound) {
+  PlanCache cache = MakeCache();
+  Request request = ChaseRequest(ParseCompany());
+  request.mapping = "nope";
+  Reply reply = ExecuteRequest(cache, request, ServerOptions{}, Now());
+  EXPECT_EQ(reply.status, ReplyStatus::kNotFound);
+}
+
+TEST(ExecuteRequestTest, GarbagePayloadIsBadRequest) {
+  PlanCache cache = MakeCache();
+  Request request = ChaseRequest(ParseCompany());
+  request.instance_rdxc = "definitely not RDXC";
+  Reply reply = ExecuteRequest(cache, request, ServerOptions{}, Now());
+  EXPECT_EQ(reply.status, ReplyStatus::kBadRequest);
+}
+
+TEST(ExecuteRequestTest, AdmissionRejectsOverBudgetBeforeChasing) {
+  PlanCache cache = MakeCache();
+  ServerOptions options;
+  options.admit_budget = 1;
+
+  // Compile the plan first: laconic compilation itself runs a chase, and
+  // this test is about the *request* never reaching the engine.
+  ASSERT_TRUE(cache.Get("decomposition").ok());
+  const uint64_t runs_before = obs::Counter::Get("chase.runs").value();
+  Reply reply =
+      ExecuteRequest(cache, ChaseRequest(ParseCompany()), options, Now());
+  EXPECT_EQ(reply.status, ReplyStatus::kRejected);
+  EXPECT_NE(reply.payload.find(kAdmissionOverBudgetCode), std::string::npos)
+      << reply.payload;
+  EXPECT_NE(reply.payload.find("budget of 1"), std::string::npos)
+      << reply.payload;
+  EXPECT_EQ(obs::Counter::Get("chase.runs").value(), runs_before)
+      << "an admission rejection must not run the chase";
+}
+
+TEST(ExecuteRequestTest, ExpiredDeadlineRejectsBeforeExecution) {
+  PlanCache cache = MakeCache();
+  Request request = ChaseRequest(ParseCompany());
+  request.deadline_ms = 1;
+  const uint64_t runs_before = obs::Counter::Get("chase.runs").value();
+  Reply reply = ExecuteRequest(cache, request, ServerOptions{},
+                               Now() - std::chrono::seconds(10));
+  EXPECT_EQ(reply.status, ReplyStatus::kDeadlineExpired) << reply.payload;
+  EXPECT_EQ(obs::Counter::Get("chase.runs").value(), runs_before);
+}
+
+TEST(ExecuteRequestTest, ReverseReplyMatchesEngineBytes) {
+  std::vector<CatalogEntry> entries;
+  entries.push_back(
+      {"selfloop_reverse", WriteTempFile("serve_selfloop_reverse.rdx",
+                                         kSelfloopReverseMapping)});
+  PlanCache cache(std::move(entries));
+
+  auto target = ParseInstance("SlPp(a, a).");
+  ASSERT_TRUE(target.ok());
+
+  Request request;
+  request.command = Command::kReverse;
+  request.flags = kFlagCanonical;
+  request.mapping = "selfloop_reverse";
+  request.instance_rdxc = columnar::Serialize(*target);
+  Reply reply = ExecuteRequest(cache, request, ServerOptions{}, Now());
+  ASSERT_EQ(reply.status, ReplyStatus::kOk) << reply.payload;
+
+  auto mapping = ParseMappingText(kSelfloopReverseMapping);
+  ASSERT_TRUE(mapping.ok());
+  auto branches = DisjunctiveChaseMapping(*mapping, *target);
+  ASSERT_TRUE(branches.ok());
+  EXPECT_EQ(branches->size(), 2u);
+  EXPECT_NE(reply.payload.find("2 possible world(s):\n"), std::string::npos)
+      << reply.payload;
+  for (const Instance& world : *branches) {
+    EXPECT_NE(reply.payload.find("  " + world.CanonicalText() + "\n"),
+              std::string::npos)
+        << reply.payload;
+  }
+}
+
+TEST(ExecuteRequestTest, StatszReportsPlanAndCounters) {
+  PlanCache cache = MakeCache();
+  ServerOptions options;
+  options.catalog_path = "plans.catalog";
+  Reply reply =
+      ExecuteRequest(cache, ChaseRequest(ParseCompany()), options, Now());
+  ASSERT_EQ(reply.status, ReplyStatus::kOk);
+
+  std::string text = StatszText(cache, options);
+  EXPECT_NE(text.find("plan decomposition:"), std::string::npos) << text;
+  EXPECT_NE(text.find("laconic=yes"), std::string::npos) << text;
+  EXPECT_NE(text.find("serve.requests"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace rdx

@@ -31,6 +31,43 @@ TEST(StringsTest, JoinMapped) {
             "2-4-6");
 }
 
+TEST(StringsTest, ParseInt64Strict) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseInt64("42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseInt64("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_TRUE(ParseInt64("0", &v));
+  EXPECT_EQ(v, 0);
+
+  v = 99;
+  EXPECT_FALSE(ParseInt64("", &v));
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("x12", &v));
+  EXPECT_FALSE(ParseInt64("1 2", &v));
+  EXPECT_FALSE(ParseInt64("-", &v));
+  EXPECT_FALSE(ParseInt64("+", &v));
+  EXPECT_FALSE(ParseInt64("1.5", &v));
+  EXPECT_FALSE(ParseInt64("99999999999999999999", &v));
+  EXPECT_EQ(v, 99) << "failed parses must leave *out untouched";
+}
+
+TEST(StringsTest, ParseUint64Strict) {
+  uint64_t v = 1;
+  EXPECT_TRUE(ParseUint64("42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+
+  v = 99;
+  EXPECT_FALSE(ParseUint64("", &v));
+  EXPECT_FALSE(ParseUint64("-1", &v));
+  EXPECT_FALSE(ParseUint64("+1", &v));
+  EXPECT_FALSE(ParseUint64("12x", &v));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &v));
+  EXPECT_EQ(v, 99u) << "failed parses must leave *out untouched";
+}
+
 TEST(StringsTest, IsIdentifier) {
   EXPECT_TRUE(IsIdentifier("abc"));
   EXPECT_TRUE(IsIdentifier("A_1"));

@@ -25,9 +25,11 @@
 //   --to-core      chase the original mapping, then run the blocked core
 //                  engine over the result (the reference path --laconic
 //                  is measured against)
-//   --canonical    print instances after canonical null renaming
-//                  (Instance::CanonicalForm), so equivalent runs are
-//                  byte-comparable
+//   --canonical    print instances in process-independent canonical form
+//                  (Instance::CanonicalText: canonical null renaming,
+//                  text-sorted facts, sorted world lists), so equivalent
+//                  runs are byte-comparable — including against rdx_serve
+//                  replies from a long-running daemon
 //
 // `instance` converts between the textual instance syntax and the RDXC
 // binary wire format (docs/storage.md). --encode writes the canonical
@@ -62,18 +64,23 @@
 // Mapping files use the format of mapping_io.h; instance files use the
 // instance_parser.h syntax ('#' comments allowed in both).
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "mapping/mapping_io.h"
 #include "rdx.h"
 
 namespace rdx {
 namespace {
+
+int Usage();
 
 struct Args {
   std::string command;
@@ -84,14 +91,39 @@ struct Args {
     return it == flags.end() ? nullptr : it->second.c_str();
   }
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
+
+  // Strict from_chars parse (base/strings.h): trailing junk ("12x"),
+  // empty values, lone signs, negatives, and out-of-range input all exit
+  // with a usage message instead of silently becoming 0 like atoi did.
   int GetInt(const std::string& key, int fallback) const {
     const char* v = Get(key);
-    return v == nullptr ? fallback : std::atoi(v);
+    if (v == nullptr) return fallback;
+    int64_t parsed = 0;
+    if (!ParseInt64(v, &parsed) || parsed < 0 ||
+        parsed > std::numeric_limits<int>::max()) {
+      std::fprintf(stderr,
+                   "error: --%s expects a non-negative integer, got '%s'\n",
+                   key.c_str(), v);
+      Usage();
+      std::exit(1);
+    }
+    return static_cast<int>(parsed);
   }
-  // --threads N, clamped below at 1 (0 or garbage fall back to sequential).
+
+  // --threads N, N >= 1 (0 and negative counts are rejected, not clamped).
   uint64_t Threads() const {
-    int n = GetInt("threads", 1);
-    return n < 1 ? 1 : static_cast<uint64_t>(n);
+    const char* v = Get("threads");
+    if (v == nullptr) return 1;
+    int64_t parsed = 0;
+    if (!ParseInt64(v, &parsed) || parsed < 1) {
+      std::fprintf(stderr,
+                   "error: --threads expects a positive integer, got '%s' "
+                   "(0 and negative thread counts are rejected)\n",
+                   v);
+      Usage();
+      std::exit(1);
+    }
+    return static_cast<uint64_t>(parsed);
   }
 };
 
@@ -136,9 +168,11 @@ Instance RequireInstance(const Args& args) {
   return Unwrap(LoadInstanceFile(path), "instance");
 }
 
-// Renders an instance for printing, honoring --canonical.
+// Renders an instance for printing, honoring --canonical. The canonical
+// path is process-independent (CanonicalText), so the bytes match the
+// rdx_serve reply for the same mapping and instance.
 std::string Render(const Args& args, const Instance& instance) {
-  return args.Has("canonical") ? instance.CanonicalForm().ToString()
+  return args.Has("canonical") ? instance.CanonicalText()
                                : instance.ToString();
 }
 
@@ -200,8 +234,15 @@ int RunReverse(const Args& args) {
   std::vector<Instance> branches =
       Unwrap(DisjunctiveChaseMapping(m, i, options), "disjunctive chase");
   std::printf("%zu possible world(s):\n", branches.size());
-  for (const Instance& v : branches) {
-    std::printf("  %s\n", Render(args, v).c_str());
+  std::vector<std::string> worlds;
+  worlds.reserve(branches.size());
+  for (const Instance& v : branches) worlds.push_back(Render(args, v));
+  // Branch discovery order depends on fact iteration order, which is
+  // interning-history-dependent; the canonical contract sorts the worlds
+  // so two processes list them identically.
+  if (args.Has("canonical")) std::sort(worlds.begin(), worlds.end());
+  for (const std::string& w : worlds) {
+    std::printf("  %s\n", w.c_str());
   }
   return 0;
 }
@@ -381,6 +422,19 @@ bool IsBooleanFlag(const char* name) {
          std::strcmp(name, "canonical") == 0;
 }
 
+// Flags that take one value argument; anything outside the two lists is
+// rejected (a typo like --thread used to be accepted and ignored).
+bool IsValueFlag(const char* name) {
+  static const char* const kValueFlags[] = {
+      "mapping", "second",    "reverse",   "instance", "deps",
+      "query",   "constants", "nulls",     "max-facts", "threads",
+      "encode",  "decode",    "trace",     "trace-chrome"};
+  for (const char* flag : kValueFlags) {
+    if (std::strcmp(name, flag) == 0) return true;
+  }
+  return false;
+}
+
 int Dispatch(const Args& args) {
   if (args.command == "chase") return RunChase(args);
   if (args.command == "reverse") return RunReverse(args);
@@ -400,15 +454,24 @@ int Main(int argc, char** argv) {
   Args args;
   args.command = argv[1];
   for (int k = 2; k < argc;) {
-    if (std::strncmp(argv[k], "--", 2) != 0) return Usage();
+    if (std::strncmp(argv[k], "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[k]);
+      return Usage();
+    }
     const char* name = argv[k] + 2;
     if (IsBooleanFlag(name)) {
       args.flags[name] = "";
       k += 1;
-    } else {
-      if (k + 1 >= argc) return Usage();
+    } else if (IsValueFlag(name)) {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "--%s requires a value\n", name);
+        return Usage();
+      }
       args.flags[name] = argv[k + 1];
       k += 2;
+    } else {
+      std::fprintf(stderr, "unknown flag --%s\n", name);
+      return Usage();
     }
   }
 

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "base/metrics.h"
+#include "base/strings.h"
 #include "base/trace.h"
 #include "fuzz/fuzzer.h"
 
@@ -51,15 +52,31 @@ struct Args {
     return it == flags.end() ? nullptr : it->second.c_str();
   }
   bool Has(const std::string& key) const { return flags.count(key) > 0; }
+  // Strict parses: junk that atof/atoll silently read as 0 (or truncated
+  // at the first bad character) now exits with a usage message instead.
   double GetDouble(const std::string& key, double fallback) const {
     const char* v = Get(key);
-    return v == nullptr ? fallback : std::atof(v);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    double parsed = std::strtod(v, &end);
+    if (end == v || *end != '\0') {
+      std::fprintf(stderr, "error: --%s expects a number, got '%s'\n",
+                   key.c_str(), v);
+      std::exit(2);
+    }
+    return parsed;
   }
   uint64_t GetUint(const std::string& key, uint64_t fallback) const {
     const char* v = Get(key);
     if (v == nullptr) return fallback;
-    long long parsed = std::atoll(v);
-    return parsed < 0 ? fallback : static_cast<uint64_t>(parsed);
+    uint64_t parsed = 0;
+    if (!ParseUint64(v, &parsed)) {
+      std::fprintf(stderr,
+                   "error: --%s expects a non-negative integer, got '%s'\n",
+                   key.c_str(), v);
+      std::exit(2);
+    }
+    return parsed;
   }
 };
 

@@ -552,8 +552,15 @@ int ProfMain(int argc, char** argv) {
       check_coverage = true;
     } else if (arg == "--top") {
       if (++i >= argc) return Usage();
-      top = std::strtoull(argv[i], nullptr, 10);
-      if (top == 0) top = 1;
+      // Strict parse: "20x" and "" used to silently become 0 → 1.
+      uint64_t parsed = 0;
+      if (!ParseUint64(argv[i], &parsed) || parsed == 0) {
+        std::fprintf(stderr,
+                     "error: --top expects a positive integer, got '%s'\n",
+                     argv[i]);
+        return Usage();
+      }
+      top = static_cast<std::size_t>(parsed);
     } else if (arg == "--check-chrome") {
       if (++i >= argc) return Usage();
       chrome_path = argv[i];

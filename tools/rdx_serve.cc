@@ -1,0 +1,367 @@
+// rdx_serve — compiled-plan mapping daemon over RDXC frames, and its
+// client.
+//
+// Daemon:
+//   rdx_serve serve --socket S.sock --catalog plans.catalog
+//                   [--threads N] [--admit-budget N] [--deadline-ms N]
+//                   [--max-requests N] [--precompile] [--pidfile F]
+//                   [--stats] [--trace FILE] [--trace-chrome FILE]
+//
+// Loads the catalog (name = mapping-file lines), compiles each mapping
+// once into a cached plan (analysis statics + laconic compilation), and
+// serves chase/reverse/certain requests over a Unix-domain socket using
+// the length-prefixed frame protocol of docs/serving.md. Instance
+// payloads are the RDXC binary format (docs/storage.md). Requests are
+// admission-checked against the plan's static chase-size bound before any
+// chase work runs; rejections cite RDX301 (bound over budget) or RDX001
+// (no bound exists). SIGINT/SIGTERM drain in-flight requests, flush trace
+// sinks, and exit 0.
+//
+// Client:
+//   rdx_serve chase   --socket S --mapping NAME --instance I.rdx
+//                     [--laconic | --to-core] [--canonical] [--deadline-ms N]
+//   rdx_serve reverse --socket S --mapping NAME --instance J.rdx
+//                     [--laconic] [--canonical] [--deadline-ms N]
+//   rdx_serve certain --socket S --mapping NAME --reverse NAME
+//                     --instance I.rdx --query "q(x) :- P(x, y)"
+//   rdx_serve statsz  --socket S
+//   rdx_serve shutdown --socket S
+//
+// On an ok reply the payload — byte-identical to the one-shot rdx_cli
+// stdout for the same mapping and instance — is printed to stdout and the
+// client exits 0. Admission rejections exit 3, expired deadlines exit 4,
+// every other error reply exits 1, usage errors exit 2.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "base/attribution.h"
+#include "base/spans.h"
+#include "base/strings.h"
+#include "base/trace.h"
+#include "columnar/serialize.h"
+#include "mapping/mapping_io.h"
+#include "serve/server.h"
+
+namespace rdx {
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rdx_serve <serve|chase|reverse|certain|statsz|shutdown>\n"
+      "  --socket PATH       Unix socket (all modes)\n"
+      "  serve: --catalog F [--threads N] [--admit-budget N]\n"
+      "         [--deadline-ms N] [--max-requests N] [--precompile]\n"
+      "         [--pidfile F] [--stats] [--trace F] [--trace-chrome F]\n"
+      "  chase|reverse|certain: --mapping NAME --instance F\n"
+      "         [--reverse NAME] [--query Q] [--laconic] [--to-core]\n"
+      "         [--canonical] [--deadline-ms N]\n");
+  return 2;
+}
+
+bool IsBooleanFlag(const char* name) {
+  return std::strcmp(name, "canonical") == 0 ||
+         std::strcmp(name, "laconic") == 0 ||
+         std::strcmp(name, "to-core") == 0 ||
+         std::strcmp(name, "precompile") == 0 ||
+         std::strcmp(name, "stats") == 0;
+}
+
+bool IsValueFlag(const char* name) {
+  static const char* const kValueFlags[] = {
+      "socket",      "catalog",  "mapping",      "reverse",
+      "query",       "instance", "threads",      "admit-budget",
+      "deadline-ms", "pidfile",  "max-requests", "trace",
+      "trace-chrome"};
+  for (const char* flag : kValueFlags) {
+    if (std::strcmp(name, flag) == 0) return true;
+  }
+  return false;
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  const char* Get(const std::string& key) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? nullptr : it->second.c_str();
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+
+  // Strict from_chars parse: trailing junk, overflow, and empty values
+  // all error out instead of silently truncating (docs/serving.md).
+  uint64_t GetUint(const std::string& key, uint64_t fallback) const {
+    const char* v = Get(key);
+    if (v == nullptr) return fallback;
+    uint64_t parsed = 0;
+    if (!ParseUint64(v, &parsed)) {
+      std::fprintf(stderr,
+                   "error: --%s expects a non-negative integer, got '%s'\n",
+                   key.c_str(), v);
+      Usage();
+      std::exit(1);
+    }
+    return parsed;
+  }
+
+  uint64_t Threads() const {
+    const char* v = Get("threads");
+    if (v == nullptr) return 1;
+    int64_t parsed = 0;
+    if (!ParseInt64(v, &parsed) || parsed < 1) {
+      std::fprintf(stderr,
+                   "error: --threads expects a positive integer, got '%s' "
+                   "(0 and negative thread counts are rejected)\n",
+                   v);
+      Usage();
+      std::exit(1);
+    }
+    return static_cast<uint64_t>(parsed);
+  }
+
+  std::string Require(const char* flag) const {
+    const char* v = Get(flag);
+    if (v == nullptr) {
+      std::fprintf(stderr, "missing --%s\n", flag);
+      std::exit(Usage());
+    }
+    return v;
+  }
+};
+
+serve::Server* g_server = nullptr;
+
+void OnShutdownSignal(int) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+int RunServe(const Args& args) {
+  serve::ServerOptions options;
+  options.socket_path = args.Require("socket");
+  options.catalog_path = args.Require("catalog");
+  options.num_threads = args.Threads();
+  options.admit_budget =
+      args.GetUint("admit-budget", serve::ServerOptions{}.admit_budget);
+  options.default_deadline_ms =
+      static_cast<uint32_t>(args.GetUint("deadline-ms", 0));
+  options.max_requests = args.GetUint("max-requests", 0);
+  options.precompile = args.Has("precompile");
+
+  obs::SetTraceProcessName("rdx_serve");
+  if (const char* trace_path = args.Get("trace"); trace_path != nullptr) {
+    Status installed = obs::InstallTraceFile(trace_path);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "error (trace): %s\n",
+                   installed.ToString().c_str());
+      return 1;
+    }
+  }
+  if (const char* chrome_path = args.Get("trace-chrome");
+      chrome_path != nullptr) {
+    Status installed = obs::InstallChromeTraceFile(chrome_path);
+    if (!installed.ok()) {
+      std::fprintf(stderr, "error (trace-chrome): %s\n",
+                   installed.ToString().c_str());
+      obs::UninstallTraceSink();
+      return 1;
+    }
+  }
+  if (args.Has("stats") || obs::TracingEnabled()) {
+    obs::EnableAttribution(true);
+  }
+
+  serve::Server server(std::move(options));
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error (serve): %s\n", started.ToString().c_str());
+    obs::UninstallTraceSink();
+    return 1;
+  }
+
+  if (const char* pidfile = args.Get("pidfile"); pidfile != nullptr) {
+    std::ofstream out(pidfile, std::ios::trunc);
+    out << getpid() << "\n";
+    if (!out) {
+      std::fprintf(stderr, "error (pidfile): cannot write %s\n", pidfile);
+      obs::UninstallTraceSink();
+      return 1;
+    }
+  }
+
+  // Drain-and-exit on SIGINT/SIGTERM; ignore SIGPIPE so a client that
+  // disappears mid-reply surfaces as a write error, not process death.
+  g_server = &server;
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = OnShutdownSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::fprintf(stderr, "rdx_serve: listening on %s (%zu catalog plans)\n",
+               server.options().socket_path.c_str(),
+               server.plans()->Names().size());
+  int code = server.Run();
+  g_server = nullptr;
+
+  if (args.Has("stats")) {
+    std::fprintf(stderr, "%s",
+                 serve::StatszText(*server.plans(), server.options()).c_str());
+  }
+  obs::UninstallTraceSink();
+  // The drain contract: no request is mid-execution once Run() returns,
+  // so every profiling span has closed. A violation means a leaked span
+  // (and a corrupt trace), which must fail loudly.
+  if (obs::OpenSpanCount() != 0) {
+    std::fprintf(stderr,
+                 "error (shutdown): %llu span(s) still open after drain\n",
+                 static_cast<unsigned long long>(obs::OpenSpanCount()));
+    return 1;
+  }
+  return code;
+}
+
+int Connect(const std::string& socket_path) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    std::fprintf(stderr, "error: bad socket path '%s'\n",
+                 socket_path.c_str());
+    std::exit(1);
+  }
+  std::memcpy(addr.sun_path, socket_path.data(), socket_path.size());
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 || connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                        sizeof(addr)) != 0) {
+    std::fprintf(stderr, "error: cannot connect to %s: %s\n",
+                 socket_path.c_str(), std::strerror(errno));
+    std::exit(1);
+  }
+  return fd;
+}
+
+// Sends one request frame and prints/exits per the reply contract.
+int RoundTrip(const std::string& socket_path,
+              const serve::Request& request) {
+  int fd = Connect(socket_path);
+  Status sent = serve::WriteFrame(fd, serve::EncodeRequest(request));
+  if (!sent.ok()) {
+    std::fprintf(stderr, "error (send): %s\n", sent.ToString().c_str());
+    close(fd);
+    return 1;
+  }
+  bool clean_eof = false;
+  Result<std::string> frame = serve::ReadFrame(fd, &clean_eof);
+  close(fd);
+  if (!frame.ok() || clean_eof) {
+    std::fprintf(stderr, "error (receive): %s\n",
+                 clean_eof ? "connection closed before reply"
+                           : frame.status().ToString().c_str());
+    return 1;
+  }
+  Result<serve::Reply> reply = serve::DecodeReply(*frame);
+  if (!reply.ok()) {
+    std::fprintf(stderr, "error (reply): %s\n",
+                 reply.status().ToString().c_str());
+    return 1;
+  }
+  if (reply->status == serve::ReplyStatus::kOk) {
+    std::fwrite(reply->payload.data(), 1, reply->payload.size(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "error (%s): %s\n",
+               serve::ReplyStatusName(reply->status),
+               reply->payload.c_str());
+  if (reply->status == serve::ReplyStatus::kRejected) return 3;
+  if (reply->status == serve::ReplyStatus::kDeadlineExpired) return 4;
+  return 1;
+}
+
+int RunClient(const Args& args, serve::Command command) {
+  serve::Request request;
+  request.command = command;
+  request.deadline_ms = static_cast<uint32_t>(args.GetUint("deadline-ms", 0));
+  if (args.Has("canonical")) request.flags |= serve::kFlagCanonical;
+  if (args.Has("laconic")) request.flags |= serve::kFlagLaconic;
+  if (args.Has("to-core")) request.flags |= serve::kFlagToCore;
+
+  if (command == serve::Command::kChase ||
+      command == serve::Command::kReverse ||
+      command == serve::Command::kCertain) {
+    request.mapping = args.Require("mapping");
+    Result<Instance> instance = LoadInstanceFile(args.Require("instance"));
+    if (!instance.ok()) {
+      std::fprintf(stderr, "error (instance): %s\n",
+                   instance.status().ToString().c_str());
+      return 1;
+    }
+    request.instance_rdxc = columnar::Serialize(*instance);
+  }
+  if (command == serve::Command::kCertain) {
+    request.reverse_mapping = args.Require("reverse");
+    request.query = args.Require("query");
+  }
+  return RoundTrip(args.Require("socket"), request);
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int k = 2; k < argc;) {
+    if (std::strncmp(argv[k], "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[k]);
+      return Usage();
+    }
+    const char* name = argv[k] + 2;
+    if (IsBooleanFlag(name)) {
+      args.flags[name] = "";
+      k += 1;
+    } else if (IsValueFlag(name)) {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "--%s requires a value\n", name);
+        return Usage();
+      }
+      args.flags[name] = argv[k + 1];
+      k += 2;
+    } else {
+      std::fprintf(stderr, "unknown flag --%s\n", name);
+      return Usage();
+    }
+  }
+
+  if (args.command == "serve") return RunServe(args);
+  if (args.command == "chase") {
+    return RunClient(args, serve::Command::kChase);
+  }
+  if (args.command == "reverse") {
+    return RunClient(args, serve::Command::kReverse);
+  }
+  if (args.command == "certain") {
+    return RunClient(args, serve::Command::kCertain);
+  }
+  if (args.command == "statsz") {
+    return RunClient(args, serve::Command::kStatsz);
+  }
+  if (args.command == "shutdown") {
+    return RunClient(args, serve::Command::kShutdown);
+  }
+  std::fprintf(stderr, "unknown command '%s'\n", args.command.c_str());
+  return Usage();
+}
+
+}  // namespace
+}  // namespace rdx
+
+int main(int argc, char** argv) { return rdx::Main(argc, argv); }
