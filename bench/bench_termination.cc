@@ -1,0 +1,95 @@
+// Termination-hierarchy classifier cost (docs/analysis.md): how much
+// static analysis the tiered admission pipeline adds per dependency set.
+// Each series classifies one generator tier family
+// (generator/termination_families.h) at growing copy counts, so the
+// measurements cover every decision procedure the hierarchy runs —
+// position graph (weakly-acyclic exits first), propagation graph over
+// affected positions (safe), firing-graph condensation (safely
+// stratified), and the Marnette place/trigger fixpoint, which only the
+// super-weakly-acyclic and unknown series reach. The per-iteration cost
+// is the number that matters for rdx_serve plan compilation and for
+// rdx_lint --tier over large sets.
+//
+// Series reported (gated against bench/baseline.json in CI):
+//   BM_TerminationHierarchy_WeaklyAcyclic/<n>      — chain of n tgds
+//   BM_TerminationHierarchy_Safe/<n>               — n guarded loops
+//   BM_TerminationHierarchy_Stratified/<n>         — n stratified triples
+//   BM_TerminationHierarchy_SuperWeaklyAcyclic/<n> — n fused-SCC triples
+//   BM_TerminationHierarchy_Unknown                — the self-loop set
+
+#include "bench_util.h"
+
+namespace rdx {
+namespace {
+
+using bench_util::Claim;
+
+void Classify(benchmark::State& state, const TierFamily& family) {
+  TerminationTier tier = TerminationTier::kUnknown;
+  for (auto _ : state) {
+    TerminationVerdict verdict = ClassifyTermination(family.dependencies);
+    tier = verdict.tier;
+    benchmark::DoNotOptimize(verdict);
+  }
+  state.counters["dependencies"] =
+      static_cast<double>(family.dependencies.size());
+  if (tier != family.tier) {
+    std::fprintf(stderr, "family %s classified at %s\n", family.name.c_str(),
+                 TerminationTierName(tier));
+    std::abort();
+  }
+}
+
+void BM_TerminationHierarchy_WeaklyAcyclic(benchmark::State& state) {
+  Classify(state, WeaklyAcyclicFamily(
+                      "Bn", static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_TerminationHierarchy_WeaklyAcyclic)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TerminationHierarchy_Safe(benchmark::State& state) {
+  Classify(state, SafeFamily("Bn", static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_TerminationHierarchy_Safe)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TerminationHierarchy_Stratified(benchmark::State& state) {
+  Classify(state, SafelyStratifiedFamily(
+                      "Bn", static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_TerminationHierarchy_Stratified)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TerminationHierarchy_SuperWeaklyAcyclic(benchmark::State& state) {
+  Classify(state, SuperWeaklyAcyclicFamily(
+                      "Bn", static_cast<std::size_t>(state.range(0))));
+}
+BENCHMARK(BM_TerminationHierarchy_SuperWeaklyAcyclic)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_TerminationHierarchy_Unknown(benchmark::State& state) {
+  Classify(state, NonTerminatingFamily("Bn"));
+}
+BENCHMARK(BM_TerminationHierarchy_Unknown);
+
+}  // namespace
+
+// The qualitative properties the series above rely on, re-verified per
+// run so the numbers never describe a misclassifying hierarchy.
+void VerifyClaims() {
+  bool tiers_separate = true;
+  bool bounds_finite = true;
+  for (const TierFamily& family : AllTierFamilies("Bc")) {
+    TerminationVerdict verdict = ClassifyTermination(family.dependencies);
+    tiers_separate = tiers_separate && verdict.tier == family.tier;
+    if (verdict.tier != TerminationTier::kUnknown) {
+      bounds_finite =
+          bounds_finite && verdict.bound.FactBound(family.instance) !=
+                               ChaseSizeBound::kUnbounded;
+    }
+  }
+  Claim(tiers_separate,
+        "every generator tier family classifies at exactly its tier");
+  Claim(bounds_finite,
+        "every terminating tier yields a finite tiered fact bound");
+}
+
+}  // namespace rdx
+
+RDX_BENCH_MAIN(rdx::VerifyClaims)

@@ -1,0 +1,41 @@
+# End-to-end check of `rdx_lint --explain` (see tools/CMakeLists.txt):
+#   1. a known code prints its registry entry and exits 0;
+#   2. an unknown code prints a pointer to --codes and exits exactly 2
+#      (distinct from 1, which means "lint found errors").
+#
+# Expects -DRDX_LINT.
+
+if(NOT DEFINED RDX_LINT)
+  message(FATAL_ERROR "run_lint_explain_check.cmake: missing -DRDX_LINT")
+endif()
+
+execute_process(
+  COMMAND ${RDX_LINT} --explain RDX110
+  RESULT_VARIABLE known_result
+  OUTPUT_VARIABLE known_stdout
+  ERROR_VARIABLE known_stderr)
+if(NOT known_result EQUAL 0)
+  message(FATAL_ERROR
+      "--explain RDX110 exited ${known_result}, want 0:\n"
+      "${known_stdout}${known_stderr}")
+endif()
+if(NOT known_stdout MATCHES "RDX110.*admitted at tier: safe")
+  message(FATAL_ERROR
+      "--explain RDX110 printed no registry entry:\n${known_stdout}")
+endif()
+
+execute_process(
+  COMMAND ${RDX_LINT} --explain RDX999
+  RESULT_VARIABLE unknown_result
+  OUTPUT_VARIABLE unknown_stdout
+  ERROR_VARIABLE unknown_stderr)
+if(NOT unknown_result EQUAL 2)
+  message(FATAL_ERROR
+      "--explain RDX999 exited '${unknown_result}', want exactly 2:\n"
+      "${unknown_stdout}${unknown_stderr}")
+endif()
+if(NOT unknown_stderr MATCHES "unknown lint code")
+  message(FATAL_ERROR
+      "--explain RDX999 stderr lacks the unknown-code message:\n"
+      "${unknown_stderr}")
+endif()

@@ -1,0 +1,63 @@
+# CI tier fixture gate (see tools/CMakeLists.txt and the lint-tiers step
+# in .github/workflows/ci.yml): re-derive the termination tier of every
+# shipped mapping and dependency set with `rdx_lint --tier --json` and
+# demand byte-identity with the checked-in data/tiers.expected.json.
+# A tier drift — a classifier change reshuffling the shipped examples,
+# or a data edit landing on a different rung — fails with the diff.
+# Regenerate the fixture with the same two commands from the repo root.
+#
+# Expects -DRDX_LINT, -DDATA_DIR (the source data/ directory), -DOUT_FILE.
+
+foreach(var RDX_LINT DATA_DIR OUT_FILE)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_lint_tiers_check.cmake: missing -D${var}")
+  endif()
+endforeach()
+
+# The fixture records paths as "data/<file>", so run from data/'s parent.
+get_filename_component(repo_root ${DATA_DIR} DIRECTORY)
+
+execute_process(
+  COMMAND ${RDX_LINT} --tier --json
+          data/decomposition.rdx data/decomposition_reverse.rdx
+          data/selfloop.rdx data/selfloop_reverse.rdx
+  WORKING_DIRECTORY ${repo_root}
+  RESULT_VARIABLE mapping_result
+  OUTPUT_VARIABLE mapping_json
+  ERROR_VARIABLE mapping_stderr)
+if(NOT mapping_result EQUAL 0)
+  message(FATAL_ERROR
+      "rdx_lint --tier --json over the mappings failed "
+      "(${mapping_result}):\n${mapping_stderr}")
+endif()
+
+# The .rdxd pass covers tier: unknown, so a nonzero exit is expected;
+# only a parse failure (empty output) is an error.
+execute_process(
+  COMMAND ${RDX_LINT} --tier --json --deps
+          data/safe.rdxd data/stratified.rdxd data/swa.rdxd data/nonwa.rdxd
+  WORKING_DIRECTORY ${repo_root}
+  RESULT_VARIABLE deps_result
+  OUTPUT_VARIABLE deps_json
+  ERROR_VARIABLE deps_stderr)
+if(deps_stderr MATCHES "error")
+  message(FATAL_ERROR
+      "rdx_lint --tier --json --deps failed:\n${deps_stderr}")
+endif()
+
+file(WRITE ${OUT_FILE} "${mapping_json}${deps_json}")
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${DATA_DIR}/tiers.expected.json ${OUT_FILE}
+  RESULT_VARIABLE diff_result)
+if(NOT diff_result EQUAL 0)
+  file(READ ${DATA_DIR}/tiers.expected.json expected)
+  message(FATAL_ERROR
+      "termination tiers drifted from data/tiers.expected.json.\n"
+      "got:\n${mapping_json}${deps_json}\n"
+      "expected:\n${expected}\n"
+      "If the drift is intentional, regenerate the fixture (see the\n"
+      "header of data/tiers.expected.json's gate, cmake/run_lint_tiers_"
+      "check.cmake).")
+endif()

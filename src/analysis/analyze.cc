@@ -12,6 +12,7 @@ obs::TraceEvent SummaryEvent(const AnalysisReport& report) {
   return obs::TraceEvent("analysis.summary")
       .Add("dependencies", static_cast<uint64_t>(report.dependency_count))
       .Add("weakly_acyclic", report.weakly_acyclic)
+      .Add("tier", TerminationTierName(report.termination.tier))
       .Add("max_rank", static_cast<uint64_t>(report.max_rank))
       .Add("degree", report.bound.polynomial_degree)
       .Add("errors", static_cast<uint64_t>(report.errors))
@@ -40,7 +41,8 @@ std::string AnalysisReport::ToString() const {
   std::string out =
       StrCat("static analysis: ", dependency_count, " dependency(ies), ",
              errors, " error(s), ", warnings, " warning(s), ", notes,
-             " note(s)\n  ", bound.ToString(), "\n");
+             " note(s)\n  ", termination.ToString(), "\n  ", bound.ToString(),
+             "\n");
   for (const LintDiagnostic& d : diagnostics) {
     out += StrCat("  ", d.ToString(), "\n");
   }
@@ -73,11 +75,16 @@ Result<AnalysisReport> AnalyzeDependencies(const AnalysisInput& input,
   report.max_rank = graph.max_rank();
   report.bound = ComputeChaseSizeBound(graph, input.dependencies);
 
+  TerminationHierarchyOptions hierarchy;
+  hierarchy.mode = options.mode;
+  report.termination = ClassifyTermination(input.dependencies, hierarchy);
+
   LintOptions lint_options = options.lints;
   lint_options.mode = options.mode;
   lint_options.source = input.source;
   lint_options.target = input.target;
   lint_options.include_notes = options.include_notes;
+  lint_options.termination = &report.termination;
   RDX_ASSIGN_OR_RETURN(report.diagnostics,
                        LintDependencies(input.dependencies, lint_options));
 
@@ -99,7 +106,8 @@ Result<AnalysisReport> AnalyzeDependencies(const AnalysisInput& input,
   diags.Add(report.diagnostics.size());
   us.Add(timer.ElapsedMicros());
   span.Arg("diagnostics", report.diagnostics.size())
-      .Arg("weakly_acyclic", report.weakly_acyclic ? 1 : 0);
+      .Arg("weakly_acyclic", report.weakly_acyclic ? 1 : 0)
+      .Arg("tier", static_cast<uint64_t>(report.termination.tier));
   if (obs::TracingEnabled()) {
     obs::EmitTrace(SummaryEvent(report));
     for (const LintDiagnostic& d : report.diagnostics) {

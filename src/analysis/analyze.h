@@ -7,6 +7,7 @@
 #include "analysis/bounds.h"
 #include "analysis/lints.h"
 #include "analysis/position_graph.h"
+#include "analysis/termination_hierarchy.h"
 #include "core/dependency.h"
 #include "core/schema.h"
 
@@ -40,6 +41,13 @@ struct AnalysisReport {
   uint32_t max_rank = 0;
 
   ChaseSizeBound bound;
+
+  /// The full termination-hierarchy verdict (tier, per-tier witnesses,
+  /// firing strata, and the tiered fact-bound tables admission falls back
+  /// to when `bound` is unbounded). `weakly_acyclic`/`cycle_witness`
+  /// above mirror termination.weakly_acyclic / termination.cycle_witness.
+  TerminationVerdict termination;
+
   std::vector<LintDiagnostic> diagnostics;
 
   std::size_t errors = 0;

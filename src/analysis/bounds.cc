@@ -49,20 +49,27 @@ std::vector<uint64_t> ValueLevels(const ChaseSizeBound& bound, uint64_t n0) {
 }  // namespace
 
 uint64_t ChaseSizeBound::ValueBound(const Instance& input) const {
-  if (!weakly_acyclic) return kUnbounded;
-  uint64_t n0 = SatAdd(SatAdd(input.ActiveDomain().size(),
-                              dependency_constants),
-                       once_existentials);
-  return ValueLevels(*this, n0).back();
+  return ValueBoundForCounts(input.ActiveDomain().size());
 }
 
 uint64_t ChaseSizeBound::FactBound(const Instance& input) const {
+  return FactBoundForCounts(input.size(), input.ActiveDomain().size());
+}
+
+uint64_t ChaseSizeBound::ValueBoundForCounts(uint64_t values) const {
   if (!weakly_acyclic) return kUnbounded;
-  uint64_t n0 = SatAdd(SatAdd(input.ActiveDomain().size(),
-                              dependency_constants),
-                       once_existentials);
+  uint64_t n0 =
+      SatAdd(SatAdd(values, dependency_constants), once_existentials);
+  return ValueLevels(*this, n0).back();
+}
+
+uint64_t ChaseSizeBound::FactBoundForCounts(uint64_t facts,
+                                            uint64_t values) const {
+  if (!weakly_acyclic) return kUnbounded;
+  uint64_t n0 =
+      SatAdd(SatAdd(values, dependency_constants), once_existentials);
   std::vector<uint64_t> levels = ValueLevels(*this, n0);
-  uint64_t total = input.size();
+  uint64_t total = facts;
   for (const HeadRelationProfile& head : head_relations) {
     uint64_t product = 1;
     for (uint32_t rank : head.position_ranks) {
@@ -85,12 +92,18 @@ std::string ChaseSizeBound::ToString() const {
                 dependency_constants, " dependency constant(s)");
 }
 
-ChaseSizeBound ComputeChaseSizeBound(const PositionGraph& graph,
-                                     const std::vector<Dependency>& deps) {
+namespace {
+
+// Shared core of ComputeChaseSizeBound and ComputeChaseSizeBoundWithRanks:
+// builds the tables for a set already certified terminating, reading
+// position ranks through `rank_of`.
+ChaseSizeBound ComputeBoundTables(
+    const std::vector<Dependency>& deps,
+    const std::function<uint32_t(const GraphPosition&)>& rank_of,
+    uint32_t max_rank) {
   ChaseSizeBound bound;
-  bound.weakly_acyclic = graph.weakly_acyclic();
-  if (!bound.weakly_acyclic) return bound;
-  bound.max_rank = graph.max_rank();
+  bound.weakly_acyclic = true;
+  bound.max_rank = max_rank;
 
   std::unordered_set<Value, ValueHash> constants;
   std::vector<uint32_t> seen_relations;
@@ -114,7 +127,7 @@ ChaseSizeBound ComputeChaseSizeBound(const PositionGraph& graph,
           profile.relation = a.relation();
           for (uint32_t p = 0; p < a.relation().arity(); ++p) {
             profile.position_ranks.push_back(
-                graph.RankOf(GraphPosition{a.relation(), p}));
+                rank_of(GraphPosition{a.relation(), p}));
           }
           bound.head_relations.push_back(std::move(profile));
         }
@@ -133,7 +146,7 @@ ChaseSizeBound ComputeChaseSizeBound(const PositionGraph& graph,
               head_universals.push_back(v);
             }
           } else {
-            uint32_t rank = graph.RankOf(
+            uint32_t rank = rank_of(
                 GraphPosition{a.relation(), static_cast<uint32_t>(p)});
             if (!has_existential_position || rank < min_existential_rank) {
               min_existential_rank = rank;
@@ -180,9 +193,65 @@ ChaseSizeBound ComputeChaseSizeBound(const PositionGraph& graph,
   return bound;
 }
 
+}  // namespace
+
+ChaseSizeBound ComputeChaseSizeBound(const PositionGraph& graph,
+                                     const std::vector<Dependency>& deps) {
+  if (!graph.weakly_acyclic()) {
+    ChaseSizeBound bound;
+    bound.weakly_acyclic = false;
+    return bound;
+  }
+  return ComputeBoundTables(
+      deps, [&graph](const GraphPosition& p) { return graph.RankOf(p); },
+      graph.max_rank());
+}
+
 ChaseSizeBound ComputeChaseSizeBound(const std::vector<Dependency>& deps,
                                      WeakAcyclicityMode mode) {
   return ComputeChaseSizeBound(PositionGraph::Build(deps, mode), deps);
+}
+
+ChaseSizeBound ComputeChaseSizeBoundWithRanks(
+    const std::vector<Dependency>& deps,
+    const std::function<uint32_t(const GraphPosition&)>& rank_of,
+    uint32_t max_rank) {
+  return ComputeBoundTables(deps, rank_of, max_rank);
+}
+
+uint64_t TieredChaseBound::FactBoundForCounts(uint64_t facts,
+                                              uint64_t values) const {
+  if (!evaluable) return ChaseSizeBound::kUnbounded;
+  for (const Stratum& stratum : strata) {
+    if (stratum.once) {
+      // A single dependency that cannot re-trigger itself fires at most
+      // once per assignment of its universal variables over the value
+      // pool it inherits (earlier strata cannot be re-enabled, so the
+      // pool is final by the time this stratum drains).
+      uint64_t pool = SatAdd(values, stratum.constants);
+      uint64_t firings = SatPow(pool == 0 ? 1 : pool, stratum.universals);
+      facts = SatAdd(facts, SatMul(firings, stratum.head_atoms));
+      values = SatAdd(pool, SatMul(firings, stratum.existentials));
+    } else {
+      uint64_t next_values = stratum.bound.ValueBoundForCounts(values);
+      facts = stratum.bound.FactBoundForCounts(facts, values);
+      values = next_values;
+    }
+    if (facts == ChaseSizeBound::kUnbounded) return facts;
+  }
+  return facts;
+}
+
+uint64_t TieredChaseBound::FactBound(const Instance& input) const {
+  return FactBoundForCounts(input.size(), input.ActiveDomain().size());
+}
+
+std::string TieredChaseBound::ToString() const {
+  if (!evaluable) return "no terminating tier: no static chase bound";
+  std::size_t once_count = 0;
+  for (const Stratum& s : strata) once_count += s.once ? 1 : 0;
+  return StrCat(strata.size(), " stratum(a) in firing order (", once_count,
+                " once-bounded), fact bound evaluable");
 }
 
 }  // namespace rdx

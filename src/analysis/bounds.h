@@ -2,6 +2,7 @@
 #define RDX_ANALYSIS_BOUNDS_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -84,8 +85,65 @@ struct ChaseSizeBound {
   /// chase of `input`. kUnbounded when the set is not weakly acyclic.
   uint64_t FactBound(const Instance& input) const;
 
+  /// Count-based evaluators: the same tables applied to an abstract input
+  /// of `facts` facts over `values` distinct values, so per-stratum
+  /// bounds can be composed without materializing intermediate instances
+  /// (TieredChaseBound below). The Instance overloads delegate here.
+  uint64_t ValueBoundForCounts(uint64_t values) const;
+  uint64_t FactBoundForCounts(uint64_t facts, uint64_t values) const;
+
   /// "weakly acyclic: max rank 1, fact bound O(n^2)" | "not weakly
   /// acyclic: no static chase bound".
+  std::string ToString() const;
+};
+
+/// Per-stratum chase-size tables for dependency sets admitted beyond weak
+/// acyclicity (docs/analysis.md#termination-hierarchy). The termination
+/// hierarchy orders the strata so that no later stratum can re-enable an
+/// earlier one; the composed bound therefore threads the accumulated
+/// (fact, value) counts through each stratum's own tables:
+///
+///  * a polynomial stratum carries the FKMP05-style ChaseSizeBound built
+///    from its weak-acyclicity ranks — or, for a safe-but-not-WA stratum,
+///    from the ranks of its safety propagation graph (unaffected
+///    positions only ever hold input values, rank 0);
+///  * a once stratum (a single dependency that provably cannot re-trigger
+///    itself) fires at most once per assignment of its universal
+///    variables, so its firing count is V^u over the value pool V it
+///    inherits.
+///
+/// All arithmetic saturates at ChaseSizeBound::kUnbounded.
+struct TieredChaseBound {
+  struct Stratum {
+    /// Indices into the analyzed dependency set, ascending.
+    std::vector<uint32_t> dependencies;
+
+    /// True for a single self-trigger-free dependency bounded by its
+    /// trigger count; false for a stratum with polynomial rank tables.
+    bool once = false;
+
+    // once == true: the V^u firing-count parameters.
+    uint64_t universals = 0;    // distinct universal variables
+    uint64_t existentials = 0;  // max distinct existentials per disjunct
+    uint64_t head_atoms = 0;    // max head atoms per disjunct
+    uint64_t constants = 0;     // constants the dependency mentions
+
+    // once == false: the stratum's own polynomial tables.
+    ChaseSizeBound bound;
+  };
+
+  /// False when no terminating tier produced strata (the set classified
+  /// unknown); both evaluators then return kUnbounded.
+  bool evaluable = false;
+  std::vector<Stratum> strata;  // topological firing order
+
+  /// Composed bound on the TOTAL fact count of any standard chase of
+  /// `input` (input + added), threading counts through the strata.
+  uint64_t FactBound(const Instance& input) const;
+  uint64_t FactBoundForCounts(uint64_t facts, uint64_t values) const;
+
+  /// "3 stratum(a), fact bound evaluable" | "no terminating tier: no
+  /// static chase bound".
   std::string ToString() const;
 };
 
@@ -98,6 +156,16 @@ ChaseSizeBound ComputeChaseSizeBound(const PositionGraph& graph,
 ChaseSizeBound ComputeChaseSizeBound(
     const std::vector<Dependency>& deps,
     WeakAcyclicityMode mode = WeakAcyclicityMode::kStandardChase);
+
+/// As ComputeChaseSizeBound, but with caller-provided position ranks —
+/// the safety propagation graph's ranks for a safe-but-not-WA stratum
+/// (positions the callback does not know answer 0). The returned tables
+/// are marked evaluable (weakly_acyclic = true) because the caller
+/// certifies termination at its own tier; only the rank source differs.
+ChaseSizeBound ComputeChaseSizeBoundWithRanks(
+    const std::vector<Dependency>& deps,
+    const std::function<uint32_t(const GraphPosition&)>& rank_of,
+    uint32_t max_rank);
 
 }  // namespace rdx
 

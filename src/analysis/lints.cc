@@ -15,9 +15,10 @@ namespace {
 
 const LintInfo kCatalog[] = {
     {LintCode::kNotWeaklyAcyclic, "RDX001", LintSeverity::kError,
-     "not weakly acyclic",
-     "the dependency set fails FKMP05 Def. 3.9; the chase has no static "
-     "termination guarantee"},
+     "no terminating tier",
+     "no termination tier admits the set (weakly-acyclic, safe, "
+     "safely-stratified, super-weakly-acyclic all fail); the chase has no "
+     "static termination guarantee"},
     {LintCode::kDeclaredExistentialInBody, "RDX002", LintSeverity::kWarning,
      "declared existential occurs in body",
      "a variable declared with EXISTS also occurs in the body, so it is "
@@ -46,6 +47,27 @@ const LintInfo kCatalog[] = {
     {LintCode::kConstantInHead, "RDX103", LintSeverity::kNote,
      "constant in head",
      "a head atom mentions a constant term; unsupported by QuasiInverse"},
+    {LintCode::kAdmittedSafe, "RDX110", LintSeverity::kWarning,
+     "admitted at tier: safe",
+     "not weakly acyclic, but the propagation graph over affected "
+     "positions is acyclic; the chase still terminates"},
+    {LintCode::kAdmittedSafelyStratified, "RDX111", LintSeverity::kWarning,
+     "admitted at tier: safely-stratified",
+     "neither weakly acyclic nor safe, but every firing-graph stratum "
+     "is; the chase still terminates stratum by stratum"},
+    {LintCode::kAdmittedSuperWeaklyAcyclic, "RDX112", LintSeverity::kWarning,
+     "admitted at tier: super-weakly-acyclic",
+     "admitted by Marnette place/trigger propagation: the trigger graph "
+     "is acyclic, so no dependency can transitively re-trigger itself"},
+    {LintCode::kTerminationStrata, "RDX113", LintSeverity::kNote,
+     "firing-graph strata",
+     "the firing-graph condensation of the set, in topological firing "
+     "order"},
+    {LintCode::kLaconicRequiresWeakAcyclicity, "RDX114", LintSeverity::kNote,
+     "laconic unavailable beyond weak acyclicity",
+     "laconic compilation's one-round firing argument needs "
+     "position-graph ranks; wider tiers fall back to chase + blocked "
+     "core"},
     {LintCode::kLaconicDisjunction, "RDX201", LintSeverity::kNote,
      "laconic: disjunctive dependency",
      "laconic compilation requires plain tgds; disjunctive dependencies "
@@ -146,7 +168,7 @@ class Linter {
       : deps_(deps), options_(options) {}
 
   Result<std::vector<LintDiagnostic>> Run() {
-    CheckWeakAcyclicity();
+    CheckTermination();
     for (std::size_t i = 0; i < deps_.size(); ++i) {
       CheckDeclaredExistentials(i);
       CheckDisconnectedBody(i);
@@ -185,15 +207,64 @@ class Linter {
     diagnostics_.push_back(std::move(d));
   }
 
-  // RDX001.
-  void CheckWeakAcyclicity() {
-    PositionGraph graph = PositionGraph::Build(deps_, options_.mode);
-    if (graph.weakly_acyclic()) return;
-    Emit(LintCode::kNotWeaklyAcyclic, LintDiagnostic::kWholeSet,
-         StrCat("dependency set is not weakly acyclic (cycle through a "
-                "special edge: ",
-                graph.cycle_witness(),
-                "); the chase has no static termination guarantee"));
+  // RDX001 / RDX110–RDX114: the termination hierarchy.
+  void CheckTermination() {
+    TerminationVerdict local;
+    const TerminationVerdict* verdict = options_.termination;
+    if (verdict == nullptr) {
+      TerminationHierarchyOptions hierarchy;
+      hierarchy.mode = options_.mode;
+      local = ClassifyTermination(deps_, hierarchy);
+      verdict = &local;
+    }
+    switch (verdict->tier) {
+      case TerminationTier::kWeaklyAcyclic:
+        return;
+      case TerminationTier::kSafe:
+        Emit(LintCode::kAdmittedSafe, LintDiagnostic::kWholeSet,
+             StrCat("not weakly acyclic (", verdict->cycle_witness,
+                    ") but safe: every special cycle runs through an "
+                    "unaffected position, so the chase still terminates"));
+        break;
+      case TerminationTier::kSafelyStratified:
+        Emit(LintCode::kAdmittedSafelyStratified, LintDiagnostic::kWholeSet,
+             StrCat("not weakly acyclic or safe (", verdict->safety_witness,
+                    ") but safely stratified: each of its ",
+                    verdict->strata.size(),
+                    " firing-graph stratum(a) terminates on its own"));
+        break;
+      case TerminationTier::kSuperWeaklyAcyclic:
+        Emit(LintCode::kAdmittedSuperWeaklyAcyclic, LintDiagnostic::kWholeSet,
+             StrCat("not safely stratified (",
+                    verdict->stratification_witness,
+                    ") but super-weakly acyclic: the trigger graph is "
+                    "acyclic, so the chase still terminates"));
+        break;
+      case TerminationTier::kUnknown:
+        Emit(LintCode::kNotWeaklyAcyclic, LintDiagnostic::kWholeSet,
+             TierRejectionDetail(*verdict,
+                                 TerminationTier::kSuperWeaklyAcyclic));
+        return;
+    }
+    if (!options_.include_notes) return;
+    if (verdict->tier == TerminationTier::kSafelyStratified) {
+      Emit(LintCode::kTerminationStrata, LintDiagnostic::kWholeSet,
+           StrCat("firing order: ",
+                  JoinMapped(verdict->strata, " then ",
+                             [](const std::vector<uint32_t>& stratum) {
+                               return StrCat(
+                                   "{", JoinMapped(stratum, ", ",
+                                                   [](uint32_t i) {
+                                                     return StrCat("#", i + 1);
+                                                   }),
+                                   "}");
+                             })));
+    }
+    Emit(LintCode::kLaconicRequiresWeakAcyclicity, LintDiagnostic::kWholeSet,
+         StrCat("laconic compilation requires weak acyclicity; a set "
+                "admitted at tier '",
+                TerminationTierName(verdict->tier),
+                "' falls back to chase + blocked core"));
   }
 
   // RDX002.

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "analysis/position_graph.h"
+#include "analysis/termination_hierarchy.h"
 #include "base/status.h"
 #include "chase/chase.h"
 #include "core/dependency.h"
@@ -19,8 +20,10 @@ namespace rdx {
 /// gate downstream operators (which of the paper's inversion/composition
 /// theorems apply). docs/analysis.md has the full catalog with examples.
 enum class LintCode {
-  /// RDX001 (error): the set is not weakly acyclic — the chase has no
-  /// static termination guarantee (FKMP05 Def. 3.9).
+  /// RDX001 (error): no termination tier admits the set — it is not
+  /// weakly acyclic, safe, safely stratified, or super-weakly acyclic,
+  /// so the chase has no static termination guarantee
+  /// (docs/analysis.md#termination-hierarchy).
   kNotWeaklyAcyclic,
   /// RDX002 (warning): a variable declared with EXISTS also occurs in the
   /// body, so it is in fact universal and the declaration is dead.
@@ -49,6 +52,23 @@ enum class LintCode {
   /// RDX103 (note): a head atom mentions a constant term; QuasiInverse
   /// does not support these heads.
   kConstantInHead,
+  /// RDX110 (warning): not weakly acyclic, but admitted at tier "safe" —
+  /// the propagation graph over affected positions is weakly acyclic, so
+  /// the chase still terminates.
+  kAdmittedSafe,
+  /// RDX111 (warning): admitted at tier "safely-stratified" — the set is
+  /// neither weakly acyclic nor safe, but every firing-graph stratum is.
+  kAdmittedSafelyStratified,
+  /// RDX112 (warning): admitted at tier "super-weakly-acyclic" — the
+  /// Marnette trigger graph is acyclic; no dependency can transitively
+  /// re-trigger itself.
+  kAdmittedSuperWeaklyAcyclic,
+  /// RDX113 (note): the firing-graph strata of a safely stratified set,
+  /// in topological firing order.
+  kTerminationStrata,
+  /// RDX114 (note): laconic compilation requires weak acyclicity; a set
+  /// admitted at a wider tier falls back to chase + blocked core.
+  kLaconicRequiresWeakAcyclicity,
   /// RDX201 (note): laconic compilation (compile/laconic.h) requires
   /// plain tgds; a disjunctive dependency falls back to chase + blocked
   /// core. Emitted by the compiler, not by LintDependencies.
@@ -112,6 +132,11 @@ struct LintDiagnostic {
 
 struct LintOptions {
   WeakAcyclicityMode mode = WeakAcyclicityMode::kStandardChase;
+
+  /// Precomputed termination verdict for the same set and mode, to avoid
+  /// classifying twice (AnalyzeDependencies passes its own). Left null,
+  /// the linter runs ClassifyTermination itself.
+  const TerminationVerdict* termination = nullptr;
 
   /// Source/target schemas for RDX006; leave empty to skip the check.
   Schema source;

@@ -12,10 +12,8 @@ namespace {
 
 using NodeKey = std::pair<uint32_t, uint32_t>;  // (relation id, index)
 
-// Iterative Tarjan SCC. Returns the number of components and fills
-// `component` (indexed by node id). Component ids are assigned in
-// completion order, so every cross-component edge goes from a higher
-// component id to a lower one (reverse topological order).
+}  // namespace
+
 std::size_t TarjanScc(std::size_t n,
                       const std::vector<std::vector<uint32_t>>& adjacency,
                       std::vector<uint32_t>* component) {
@@ -77,8 +75,6 @@ std::size_t TarjanScc(std::size_t n,
   }
   return next_component;
 }
-
-}  // namespace
 
 std::string GraphPosition::ToString() const {
   return StrCat(relation.name(), ".", index + 1);

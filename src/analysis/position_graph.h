@@ -26,6 +26,17 @@ enum class WeakAcyclicityMode {
   kObliviousChase,
 };
 
+/// Iterative Tarjan SCC over a dense adjacency list. Returns the number
+/// of strongly connected components and fills `component` (indexed by
+/// node id). Component ids are assigned in completion order, so every
+/// cross-component edge goes from a higher component id to a lower one
+/// (a reverse topological order of the condensation). Shared by the
+/// position graph, the safety propagation graph, and the firing/trigger
+/// graphs of the termination hierarchy.
+std::size_t TarjanScc(std::size_t node_count,
+                      const std::vector<std::vector<uint32_t>>& adjacency,
+                      std::vector<uint32_t>* component);
+
 /// A position (R, i): argument slot `index` (0-based) of relation
 /// `relation`. Rendered 1-based ("R.1") to match the literature.
 struct GraphPosition {

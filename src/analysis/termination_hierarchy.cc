@@ -1,0 +1,780 @@
+#include "analysis/termination_hierarchy.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "base/strings.h"
+
+namespace rdx {
+namespace {
+
+bool Contains(const std::vector<Variable>& vars, Variable v) {
+  return std::find(vars.begin(), vars.end(), v) != vars.end();
+}
+
+// --- shared small-graph helpers ------------------------------------------
+
+struct SimpleEdge {
+  uint32_t from;
+  uint32_t to;
+  bool special;
+};
+
+std::vector<std::vector<uint32_t>> Adjacency(std::size_t n,
+                                             const std::vector<SimpleEdge>& edges) {
+  std::vector<std::vector<uint32_t>> adjacency(n);
+  for (const SimpleEdge& e : edges) adjacency[e.from].push_back(e.to);
+  return adjacency;
+}
+
+// Shortest return path that closes the cycle opened by `edge` inside its
+// strongly connected component (the position graph's witness shape:
+// "A.1 => B.2 -> A.1").
+std::vector<uint32_t> CyclePath(const SimpleEdge& edge,
+                                const std::vector<std::vector<uint32_t>>& adjacency,
+                                const std::vector<uint32_t>& component) {
+  const uint32_t comp = component[edge.from];
+  std::vector<uint32_t> prev(adjacency.size(), UINT32_MAX);
+  std::queue<uint32_t> queue;
+  queue.push(edge.to);
+  prev[edge.to] = edge.to;
+  while (!queue.empty() && prev[edge.from] == UINT32_MAX) {
+    uint32_t v = queue.front();
+    queue.pop();
+    for (uint32_t w : adjacency[v]) {
+      if (component[w] != comp || prev[w] != UINT32_MAX) continue;
+      prev[w] = v;
+      queue.push(w);
+    }
+  }
+  std::vector<uint32_t> path;
+  for (uint32_t v = edge.from; v != edge.to; v = prev[v]) path.push_back(v);
+  path.push_back(edge.to);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// --- safety: affected positions and the propagation graph ----------------
+
+// Interned (relation, index) positions, as in PositionGraph but local so
+// the propagation graph can use its own edge set.
+struct PositionTable {
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> ids;
+  std::vector<GraphPosition> positions;
+
+  uint32_t Intern(Relation relation, uint32_t index) {
+    auto [it, inserted] =
+        ids.emplace(std::pair{relation.id(), index},
+                    static_cast<uint32_t>(positions.size()));
+    if (inserted) positions.push_back(GraphPosition{relation, index});
+    return it->second;
+  }
+};
+
+struct SafetyResult {
+  bool safe = true;
+  std::string witness;  // "P.1 => Q.2 -> P.1" over affected positions
+
+  // Ranks of the propagation graph (affected positions; anything absent
+  // only ever holds input values and keeps rank 0). Valid when safe.
+  std::map<std::pair<uint32_t, uint32_t>, uint32_t> ranks;
+  uint32_t max_rank = 0;
+};
+
+// Safety per Meier–Schmidt–Lausen: weak acyclicity of the propagation
+// graph, the position graph restricted to *affected* positions (positions
+// that can carry a labeled null: existential positions, plus head
+// positions of a universal occurring only at affected body positions).
+// Mode-aware like PositionGraph::Build: under the standard chase, special
+// edges are drawn only from universals occurring in the disjunct's head,
+// which keeps the propagation graph a subgraph of the position graph and
+// therefore weak acyclicity a subset of safety.
+SafetyResult AnalyzeSafety(const std::vector<Dependency>& deps,
+                           WeakAcyclicityMode mode) {
+  SafetyResult result;
+  PositionTable table;
+
+  // Body/head positions of every universal variable, per dependency.
+  struct DepPositions {
+    std::map<uint32_t, std::vector<uint32_t>> body;  // var id -> positions
+    // Per disjunct: universal head positions and existential positions.
+    std::vector<std::map<uint32_t, std::vector<uint32_t>>> head;
+    std::vector<std::vector<uint32_t>> existential;
+    std::vector<std::vector<uint32_t>> head_vars;  // var ids in disjunct
+  };
+  std::vector<DepPositions> dep_positions(deps.size());
+
+  for (std::size_t i = 0; i < deps.size(); ++i) {
+    const Dependency& dep = deps[i];
+    DepPositions& dp = dep_positions[i];
+    for (const Atom& a : dep.RelationalBody()) {
+      for (std::size_t p = 0; p < a.terms().size(); ++p) {
+        uint32_t node = table.Intern(a.relation(), static_cast<uint32_t>(p));
+        const Term& t = a.terms()[p];
+        if (t.IsVariable()) dp.body[t.variable().id()].push_back(node);
+      }
+    }
+    dp.head.resize(dep.disjuncts().size());
+    dp.existential.resize(dep.disjuncts().size());
+    dp.head_vars.resize(dep.disjuncts().size());
+    for (std::size_t d = 0; d < dep.disjuncts().size(); ++d) {
+      for (const Atom& a : dep.disjuncts()[d]) {
+        for (std::size_t p = 0; p < a.terms().size(); ++p) {
+          uint32_t node = table.Intern(a.relation(), static_cast<uint32_t>(p));
+          const Term& t = a.terms()[p];
+          if (!t.IsVariable()) continue;
+          if (dp.body.count(t.variable().id()) > 0) {
+            dp.head[d][t.variable().id()].push_back(node);
+          } else {
+            dp.existential[d].push_back(node);
+          }
+          dp.head_vars[d].push_back(t.variable().id());
+        }
+      }
+    }
+  }
+
+  // Affected positions: least fixpoint.
+  std::vector<bool> affected(table.positions.size(), false);
+  for (const DepPositions& dp : dep_positions) {
+    for (const std::vector<uint32_t>& nodes : dp.existential) {
+      for (uint32_t node : nodes) affected[node] = true;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const DepPositions& dp : dep_positions) {
+      for (const auto& [var, body_nodes] : dp.body) {
+        bool all_affected = !body_nodes.empty();
+        for (uint32_t node : body_nodes) all_affected &= affected[node];
+        if (!all_affected) continue;
+        for (std::size_t d = 0; d < dp.head.size(); ++d) {
+          auto it = dp.head[d].find(var);
+          if (it == dp.head[d].end()) continue;
+          for (uint32_t node : it->second) {
+            if (!affected[node]) {
+              affected[node] = true;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Propagation graph: edges only for universals that can carry nulls
+  // (all body occurrences affected).
+  std::vector<SimpleEdge> edges;
+  for (const DepPositions& dp : dep_positions) {
+    for (const auto& [var, body_nodes] : dp.body) {
+      bool eligible = !body_nodes.empty();
+      for (uint32_t node : body_nodes) eligible &= affected[node];
+      if (!eligible) continue;
+      for (std::size_t d = 0; d < dp.head.size(); ++d) {
+        auto it = dp.head[d].find(var);
+        if (it != dp.head[d].end()) {
+          for (uint32_t from : body_nodes) {
+            for (uint32_t to : it->second) {
+              edges.push_back(SimpleEdge{from, to, /*special=*/false});
+            }
+          }
+        }
+        if (dp.existential[d].empty()) continue;
+        bool in_head = std::find(dp.head_vars[d].begin(), dp.head_vars[d].end(),
+                                 var) != dp.head_vars[d].end();
+        if (mode == WeakAcyclicityMode::kStandardChase && !in_head) continue;
+        for (uint32_t from : body_nodes) {
+          for (uint32_t to : dp.existential[d]) {
+            edges.push_back(SimpleEdge{from, to, /*special=*/true});
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<uint32_t>> adjacency =
+      Adjacency(table.positions.size(), edges);
+  std::vector<uint32_t> component;
+  std::size_t component_count =
+      TarjanScc(table.positions.size(), adjacency, &component);
+
+  for (const SimpleEdge& e : edges) {
+    if (!e.special || component[e.from] != component[e.to]) continue;
+    result.safe = false;
+    std::vector<uint32_t> path = CyclePath(e, adjacency, component);
+    result.witness = StrCat(
+        table.positions[e.from].ToString(), " => ",
+        JoinMapped(path, " -> ", [&](uint32_t v) {
+          return table.positions[v].ToString();
+        }));
+    return result;
+  }
+
+  // Ranks over the propagation condensation (component ids are a reverse
+  // topological order, exactly as in PositionGraph::Build).
+  std::vector<uint32_t> comp_rank(component_count, 0);
+  std::vector<std::vector<const SimpleEdge*>> in_edges(component_count);
+  for (const SimpleEdge& e : edges) {
+    if (component[e.from] != component[e.to]) {
+      in_edges[component[e.to]].push_back(&e);
+    }
+  }
+  for (std::size_t c = component_count; c-- > 0;) {
+    for (const SimpleEdge* e : in_edges[c]) {
+      uint32_t via = comp_rank[component[e->from]] + (e->special ? 1 : 0);
+      comp_rank[c] = std::max(comp_rank[c], via);
+    }
+  }
+  for (std::size_t v = 0; v < table.positions.size(); ++v) {
+    uint32_t rank = comp_rank[component[v]];
+    if (rank == 0) continue;
+    result.ranks.emplace(
+        std::pair{table.positions[v].relation.id(), table.positions[v].index},
+        rank);
+    result.max_rank = std::max(result.max_rank, rank);
+  }
+  return result;
+}
+
+// --- head/body atom unification ------------------------------------------
+
+// Can a fact produced by grounding head atom `head` of `from` ever be
+// matched by body atom `body` of another (or the same) dependency? This
+// is the saturating one-step image of the frozen-body chase-implication
+// test: the head is fired on its most general (frozen) trigger, except
+// that two frozen universals may still denote one value, so unification
+// classes replace concrete frozen facts. A class fails when it forces
+//  * two distinct constants equal,
+//  * a fresh existential null equal to a constant,
+//  * a fresh existential null equal to a universal's (pre-firing) value,
+//  * two distinct fresh existential nulls equal.
+bool HeadFeedsBody(const Atom& head, const Dependency& from,
+                   const Atom& body) {
+  if (head.relation().id() != body.relation().id()) return false;
+  if (head.terms().size() != body.terms().size()) return false;
+
+  // Union-find over term nodes: head variables, body variables (disjoint
+  // namespaces), and constants.
+  std::vector<int> parent;
+  std::vector<std::optional<Value>> constant;  // per root
+  std::vector<bool> has_universal;             // head-side universal
+  std::vector<int> existential;                // head-side var id, -1 if none
+  auto make_node = [&]() {
+    parent.push_back(static_cast<int>(parent.size()));
+    constant.push_back(std::nullopt);
+    has_universal.push_back(false);
+    existential.push_back(-1);
+    return static_cast<int>(parent.size()) - 1;
+  };
+  auto find = [&](int v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  bool ok = true;
+  auto unite = [&](int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    parent[b] = a;
+    if (constant[b].has_value()) {
+      if (constant[a].has_value() && !(*constant[a] == *constant[b])) {
+        ok = false;
+      }
+      constant[a] = constant[b];
+    }
+    has_universal[a] = has_universal[a] || has_universal[b];
+    if (existential[b] >= 0) {
+      if (existential[a] >= 0 && existential[a] != existential[b]) ok = false;
+      existential[a] = existential[b];
+    }
+    if (existential[a] >= 0 &&
+        (constant[a].has_value() || has_universal[a])) {
+      ok = false;
+    }
+  };
+
+  std::map<uint32_t, int> head_vars;
+  std::map<uint32_t, int> body_vars;
+  std::vector<std::pair<Value, int>> constants;
+  auto node_of = [&](const Term& t, bool head_side) {
+    if (t.IsConstant()) {
+      for (const auto& [value, node] : constants) {
+        if (value == t.constant()) return node;
+      }
+      int node = make_node();
+      constant[node] = t.constant();
+      constants.emplace_back(t.constant(), node);
+      return node;
+    }
+    std::map<uint32_t, int>& vars = head_side ? head_vars : body_vars;
+    auto it = vars.find(t.variable().id());
+    if (it != vars.end()) return it->second;
+    int node = make_node();
+    if (head_side) {
+      if (Contains(from.UniversalVars(), t.variable())) {
+        has_universal[node] = true;
+      } else {
+        existential[node] = static_cast<int>(t.variable().id());
+      }
+    }
+    vars.emplace(t.variable().id(), node);
+    return node;
+  };
+
+  for (std::size_t i = 0; i < head.terms().size() && ok; ++i) {
+    unite(node_of(head.terms()[i], /*head_side=*/true),
+          node_of(body.terms()[i], /*head_side=*/false));
+  }
+  return ok;
+}
+
+// Firing-graph edge: firing `from` can produce a new match of `to`'s
+// body. Over-approximated (complete, never missing a real edge): a new
+// match must use at least one fresh fact, and a fresh fact shares a
+// ground instance with the head atom that produced it, so some
+// (head atom, body atom) pair unifies.
+bool CanFire(const Dependency& from, const Dependency& to) {
+  for (const auto& disjunct : from.disjuncts()) {
+    for (const Atom& head : disjunct) {
+      for (const Atom& body : to.RelationalBody()) {
+        if (HeadFeedsBody(head, from, body)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+// --- super-weak acyclicity: Marnette place/trigger propagation -----------
+
+struct PlaceMachine {
+  struct AtomEntry {
+    uint32_t dep;
+    bool head;
+    Atom atom;  // by value: RelationalBody() returns a temporary
+    uint32_t place_base;
+  };
+  std::vector<AtomEntry> atoms;
+  uint32_t place_count = 0;
+  std::vector<uint32_t> place_atom;  // place id -> atom entry index
+
+  // Body places of each universal variable: (dep, var id) -> places.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint32_t>> in_places;
+  // Head places of each universal variable.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<uint32_t>> head_places;
+  // Head places holding an existential variable, per dependency.
+  std::vector<std::vector<uint32_t>> out_places;
+  // Unification cache: head atom entry -> body atom entries it can feed.
+  std::map<uint32_t, std::vector<uint32_t>> feeds;
+
+  const std::vector<Dependency>* deps = nullptr;
+
+  explicit PlaceMachine(const std::vector<Dependency>& dependencies)
+      : out_places(dependencies.size()), deps(&dependencies) {
+    for (std::size_t i = 0; i < dependencies.size(); ++i) {
+      const Dependency& dep = dependencies[i];
+      for (const Atom& a : dep.RelationalBody()) {
+        AddAtom(static_cast<uint32_t>(i), /*head=*/false, a);
+      }
+      for (const auto& disjunct : dep.disjuncts()) {
+        for (const Atom& a : disjunct) {
+          AddAtom(static_cast<uint32_t>(i), /*head=*/true, a);
+        }
+      }
+    }
+    for (uint32_t e = 0; e < atoms.size(); ++e) {
+      const AtomEntry& entry = atoms[e];
+      const Dependency& dep = (*deps)[entry.dep];
+      for (std::size_t p = 0; p < entry.atom.terms().size(); ++p) {
+        const Term& t = entry.atom.terms()[p];
+        if (!t.IsVariable()) continue;
+        uint32_t place = entry.place_base + static_cast<uint32_t>(p);
+        bool universal = Contains(dep.UniversalVars(), t.variable());
+        std::pair<uint32_t, uint32_t> key{entry.dep, t.variable().id()};
+        if (!entry.head && universal) {
+          in_places[key].push_back(place);
+        } else if (entry.head && universal) {
+          head_places[key].push_back(place);
+        } else if (entry.head && !universal) {
+          out_places[entry.dep].push_back(place);
+        }
+      }
+    }
+    for (uint32_t h = 0; h < atoms.size(); ++h) {
+      if (!atoms[h].head) continue;
+      for (uint32_t b = 0; b < atoms.size(); ++b) {
+        if (atoms[b].head) continue;
+        if (HeadFeedsBody(atoms[h].atom, (*deps)[atoms[h].dep],
+                          atoms[b].atom)) {
+          feeds[h].push_back(b);
+        }
+      }
+    }
+  }
+
+  void AddAtom(uint32_t dep, bool head, const Atom& atom) {
+    AtomEntry entry{dep, head, atom, place_count};
+    place_count += static_cast<uint32_t>(atom.terms().size());
+    for (std::size_t p = 0; p < atom.terms().size(); ++p) {
+      place_atom.push_back(static_cast<uint32_t>(atoms.size()));
+    }
+    atoms.push_back(entry);
+  }
+
+  // The saturating fixpoint: every place a null minted at `seed` places
+  // can ever reach. Rule (a): a null at a head place materializes in a
+  // fact; every body place whose atom the head atom can feed (and whose
+  // term is a variable) receives it. Rule (b): once a null can sit at
+  // EVERY body place of a universal, the variable can be bound to it and
+  // the null flows to the variable's head places.
+  std::vector<bool> Move(const std::vector<uint32_t>& seed) const {
+    std::vector<bool> in_q(place_count, false);
+    std::map<std::pair<uint32_t, uint32_t>, std::size_t> remaining;
+    for (const auto& [key, places] : in_places) {
+      remaining[key] = places.size();
+    }
+    std::vector<uint32_t> stack;
+    auto push = [&](uint32_t place) {
+      if (!in_q[place]) {
+        in_q[place] = true;
+        stack.push_back(place);
+      }
+    };
+    for (uint32_t place : seed) push(place);
+    while (!stack.empty()) {
+      uint32_t place = stack.back();
+      stack.pop_back();
+      const AtomEntry& entry = atoms[place_atom[place]];
+      uint32_t index = place - entry.place_base;
+      if (entry.head) {
+        auto it = feeds.find(place_atom[place]);
+        if (it == feeds.end()) continue;
+        for (uint32_t b : it->second) {
+          const AtomEntry& body = atoms[b];
+          if (index < body.atom.terms().size() &&
+              body.atom.terms()[index].IsVariable()) {
+            push(body.place_base + index);
+          }
+        }
+        continue;
+      }
+      const Term& t = entry.atom.terms()[index];
+      if (!t.IsVariable()) continue;
+      std::pair<uint32_t, uint32_t> key{entry.dep, t.variable().id()};
+      auto rem = remaining.find(key);
+      if (rem == remaining.end() || rem->second == 0) continue;
+      if (--rem->second == 0) {
+        auto heads = head_places.find(key);
+        if (heads == head_places.end()) continue;
+        for (uint32_t head_place : heads->second) push(head_place);
+      }
+    }
+    return in_q;
+  }
+
+  // Trigger edge: a null minted by `from` can be bound to some universal
+  // of `to` (it reaches every body place of the variable). A universal
+  // with no relational body occurrence is treated as bindable
+  // (conservative).
+  bool Triggers(const std::vector<bool>& move_of_from, uint32_t to) const {
+    const Dependency& dep = (*deps)[to];
+    for (Variable v : dep.UniversalVars()) {
+      auto it = in_places.find({to, v.id()});
+      if (it == in_places.end()) return true;
+      bool all = true;
+      for (uint32_t place : it->second) all &= move_of_from[place];
+      if (all) return true;
+    }
+    return false;
+  }
+};
+
+// --- per-stratum admission and bounds ------------------------------------
+
+std::string DepList(const std::vector<uint32_t>& indices) {
+  return StrCat("{", JoinMapped(indices, ", ",
+                                [](uint32_t i) { return StrCat("#", i + 1); }),
+                "}");
+}
+
+TieredChaseBound::Stratum OnceStratum(uint32_t index, const Dependency& dep) {
+  TieredChaseBound::Stratum stratum;
+  stratum.dependencies = {index};
+  stratum.once = true;
+  stratum.universals = dep.UniversalVars().size();
+  std::vector<Value> constants;
+  auto collect = [&](const std::vector<Atom>& atoms) {
+    for (const Atom& a : atoms) {
+      for (const Term& t : a.terms()) {
+        if (!t.IsConstant()) continue;
+        if (std::find(constants.begin(), constants.end(), t.constant()) ==
+            constants.end()) {
+          constants.push_back(t.constant());
+        }
+      }
+    }
+  };
+  collect(dep.body());
+  for (std::size_t d = 0; d < dep.disjuncts().size(); ++d) {
+    collect(dep.disjuncts()[d]);
+    stratum.existentials =
+        std::max<uint64_t>(stratum.existentials, dep.ExistentialVars(d).size());
+    stratum.head_atoms =
+        std::max<uint64_t>(stratum.head_atoms, dep.disjuncts()[d].size());
+  }
+  stratum.constants = constants.size();
+  return stratum;
+}
+
+// The polynomial tables for a stratum already certified terminating at
+// some tier: classic FKMP05 ranks when weakly acyclic, propagation-graph
+// ranks when merely safe.
+std::optional<TieredChaseBound::Stratum> PolynomialStratum(
+    const std::vector<uint32_t>& indices, const std::vector<Dependency>& subset,
+    WeakAcyclicityMode mode, const SafetyResult* safety) {
+  TieredChaseBound::Stratum stratum;
+  stratum.dependencies = indices;
+  PositionGraph graph = PositionGraph::Build(subset, mode);
+  if (graph.weakly_acyclic()) {
+    stratum.bound = ComputeChaseSizeBound(graph, subset);
+    return stratum;
+  }
+  SafetyResult local;
+  if (safety == nullptr) {
+    local = AnalyzeSafety(subset, mode);
+    safety = &local;
+  }
+  if (!safety->safe) return std::nullopt;
+  stratum.bound = ComputeChaseSizeBoundWithRanks(
+      subset,
+      [safety](const GraphPosition& p) {
+        auto it = safety->ranks.find({p.relation.id(), p.index});
+        return it == safety->ranks.end() ? 0u : it->second;
+      },
+      safety->max_rank);
+  return stratum;
+}
+
+}  // namespace
+
+const char* TerminationTierName(TerminationTier tier) {
+  switch (tier) {
+    case TerminationTier::kWeaklyAcyclic:
+      return "weakly-acyclic";
+    case TerminationTier::kSafe:
+      return "safe";
+    case TerminationTier::kSafelyStratified:
+      return "safely-stratified";
+    case TerminationTier::kSuperWeaklyAcyclic:
+      return "super-weakly-acyclic";
+    case TerminationTier::kUnknown:
+      return "unknown";
+  }
+  return "unknown";
+}
+
+std::string TerminationVerdict::Witness() const {
+  if (!super_weakly_acyclic && !trigger_witness.empty()) {
+    return trigger_witness;
+  }
+  if (!safely_stratified && !stratification_witness.empty()) {
+    return stratification_witness;
+  }
+  if (!safe && !safety_witness.empty()) return safety_witness;
+  return cycle_witness;
+}
+
+std::string TerminationVerdict::ToString() const {
+  std::string out = StrCat("tier: ", TerminationTierName(tier));
+  switch (tier) {
+    case TerminationTier::kWeaklyAcyclic:
+      break;
+    case TerminationTier::kSafe:
+      out = StrCat(out, " (not weakly acyclic: ", cycle_witness, ")");
+      break;
+    case TerminationTier::kSafelyStratified:
+      out = StrCat(out, " (", strata.size(), " stratum(a); not safe: ",
+                   safety_witness, ")");
+      break;
+    case TerminationTier::kSuperWeaklyAcyclic:
+      out = StrCat(out, " (not safely stratified: ", stratification_witness,
+                   ")");
+      break;
+    case TerminationTier::kUnknown:
+      out = StrCat(out, " (", Witness(), ")");
+      break;
+  }
+  return out;
+}
+
+TerminationVerdict ClassifyTermination(
+    const std::vector<Dependency>& dependencies,
+    const TerminationHierarchyOptions& options) {
+  TerminationVerdict verdict;
+  const std::size_t n = dependencies.size();
+
+  // Tier 1: weak acyclicity on the full position graph.
+  PositionGraph graph = PositionGraph::Build(dependencies, options.mode);
+  verdict.weakly_acyclic = graph.weakly_acyclic();
+  verdict.cycle_witness = graph.cycle_witness();
+
+  // Tier 2: safety (the propagation graph over affected positions).
+  SafetyResult safety = AnalyzeSafety(dependencies, options.mode);
+  verdict.safe = safety.safe;
+  verdict.safety_witness = safety.witness;
+
+  // Tier 3: safe stratification. Firing edges are SCC-condensed with the
+  // shared Tarjan pass; strata are reported in topological firing order.
+  std::vector<std::vector<uint32_t>> firing_adjacency(n);
+  std::vector<bool> self_edge(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = 0; j < n; ++j) {
+      if (CanFire(dependencies[i], dependencies[j])) {
+        firing_adjacency[i].push_back(j);
+        if (i == j) self_edge[i] = true;
+      }
+    }
+  }
+  std::vector<uint32_t> firing_component;
+  std::size_t firing_components = TarjanScc(n, firing_adjacency,
+                                            &firing_component);
+  for (std::size_t c = firing_components; c-- > 0;) {
+    std::vector<uint32_t> stratum;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (firing_component[i] == c) stratum.push_back(i);
+    }
+    verdict.strata.push_back(std::move(stratum));
+  }
+
+  verdict.safely_stratified = true;
+  std::vector<std::optional<TieredChaseBound::Stratum>> stratum_bounds;
+  for (const std::vector<uint32_t>& stratum : verdict.strata) {
+    std::vector<Dependency> subset;
+    for (uint32_t i : stratum) subset.push_back(dependencies[i]);
+    std::optional<TieredChaseBound::Stratum> bound =
+        PolynomialStratum(stratum, subset, options.mode, nullptr);
+    if (!bound.has_value() && stratum.size() == 1 && !self_edge[stratum[0]]) {
+      // A single dependency that cannot re-enable itself fires at most
+      // once per trigger assignment regardless of its position graph.
+      bound = OnceStratum(stratum[0], dependencies[stratum[0]]);
+    }
+    if (!bound.has_value() && verdict.safely_stratified) {
+      verdict.safely_stratified = false;
+      SafetyResult stratum_safety = AnalyzeSafety(subset, options.mode);
+      verdict.stratification_witness =
+          StrCat("stratum ", DepList(stratum),
+                 " is not weakly acyclic or safe (", stratum_safety.witness,
+                 ")");
+    }
+    stratum_bounds.push_back(std::move(bound));
+  }
+
+  // Tier 4: super-weak acyclicity (trigger graph acyclic).
+  PlaceMachine machine(dependencies);
+  std::vector<std::vector<uint32_t>> trigger_adjacency(n);
+  std::vector<bool> trigger_self(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::vector<bool> move = machine.Move(machine.out_places[i]);
+    for (uint32_t j = 0; j < n; ++j) {
+      if (machine.Triggers(move, j)) {
+        trigger_adjacency[i].push_back(j);
+        if (i == j) trigger_self[i] = true;
+      }
+    }
+  }
+  std::vector<uint32_t> trigger_component;
+  TarjanScc(n, trigger_adjacency, &trigger_component);
+  verdict.super_weakly_acyclic = true;
+  for (uint32_t i = 0; i < n && verdict.super_weakly_acyclic; ++i) {
+    bool cyclic = trigger_self[i];
+    for (uint32_t j = 0; j < n && !cyclic; ++j) {
+      cyclic = i != j && trigger_component[i] == trigger_component[j];
+    }
+    if (!cyclic) continue;
+    verdict.super_weakly_acyclic = false;
+    if (trigger_self[i]) {
+      verdict.trigger_witness = StrCat("trigger cycle #", i + 1, " -> #",
+                                       i + 1);
+    } else {
+      SimpleEdge loop{i, i, false};
+      std::vector<uint32_t> path =
+          CyclePath(loop, trigger_adjacency, trigger_component);
+      verdict.trigger_witness = StrCat(
+          "trigger cycle #", i + 1, " -> ",
+          JoinMapped(path, " -> ",
+                     [](uint32_t v) { return StrCat("#", v + 1); }));
+    }
+  }
+
+  // Final tier: first passing check, then the bound tables for it.
+  if (verdict.weakly_acyclic) {
+    verdict.tier = TerminationTier::kWeaklyAcyclic;
+    TieredChaseBound::Stratum all;
+    for (uint32_t i = 0; i < n; ++i) all.dependencies.push_back(i);
+    all.bound = ComputeChaseSizeBound(graph, dependencies);
+    verdict.bound.evaluable = true;
+    verdict.bound.strata.push_back(std::move(all));
+  } else if (verdict.safe) {
+    verdict.tier = TerminationTier::kSafe;
+    TieredChaseBound::Stratum all;
+    for (uint32_t i = 0; i < n; ++i) all.dependencies.push_back(i);
+    all.bound = ComputeChaseSizeBoundWithRanks(
+        dependencies,
+        [&safety](const GraphPosition& p) {
+          auto it = safety.ranks.find({p.relation.id(), p.index});
+          return it == safety.ranks.end() ? 0u : it->second;
+        },
+        safety.max_rank);
+    verdict.bound.evaluable = true;
+    verdict.bound.strata.push_back(std::move(all));
+  } else if (verdict.safely_stratified) {
+    verdict.tier = TerminationTier::kSafelyStratified;
+    verdict.bound.evaluable = true;
+    for (std::optional<TieredChaseBound::Stratum>& stratum : stratum_bounds) {
+      verdict.bound.strata.push_back(std::move(*stratum));
+    }
+  } else if (verdict.super_weakly_acyclic) {
+    verdict.tier = TerminationTier::kSuperWeaklyAcyclic;
+    verdict.bound.evaluable = true;
+    // The trigger graph is acyclic, so no dependency can (transitively)
+    // re-enable itself: each is once-bounded over the pool its
+    // predecessors leave behind. Component ids are a reverse topological
+    // order, so descending order is firing order.
+    std::vector<uint32_t> order(n);
+    for (uint32_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return trigger_component[a] > trigger_component[b];
+    });
+    for (uint32_t i : order) {
+      std::vector<Dependency> one{dependencies[i]};
+      std::optional<TieredChaseBound::Stratum> poly =
+          PolynomialStratum({i}, one, options.mode, nullptr);
+      verdict.bound.strata.push_back(
+          poly.has_value() ? std::move(*poly)
+                           : OnceStratum(i, dependencies[i]));
+    }
+  }
+  return verdict;
+}
+
+std::string TierRejectionDetail(const TerminationVerdict& verdict,
+                                TerminationTier required) {
+  if (static_cast<uint8_t>(verdict.tier) <= static_cast<uint8_t>(required)) {
+    return std::string();
+  }
+  if (required == TerminationTier::kWeaklyAcyclic) {
+    return StrCat("the set is not weakly acyclic (cycle through a special "
+                  "edge: ",
+                  verdict.cycle_witness, "); it classifies as ",
+                  TerminationTierName(verdict.tier));
+  }
+  return StrCat(
+      "no termination tier admits this dependency set (tried weakly-acyclic, "
+      "safe, safely-stratified, super-weakly-acyclic; ",
+      verdict.Witness(), ")");
+}
+
+}  // namespace rdx

@@ -1,0 +1,125 @@
+#ifndef RDX_ANALYSIS_TERMINATION_HIERARCHY_H_
+#define RDX_ANALYSIS_TERMINATION_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.h"
+#include "analysis/position_graph.h"
+#include "core/dependency.h"
+
+namespace rdx {
+
+/// The static termination hierarchy (docs/analysis.md#termination-
+/// hierarchy): ordered tiers of decidable sufficient conditions for chase
+/// termination, each strictly wider than the previous as implemented
+/// here. A set's tier is the FIRST tier whose check passes, so tier
+/// values are comparable: tier <= kSuperWeaklyAcyclic means "some static
+/// guarantee exists" and admission can proceed with a finite budget.
+///
+///  * kWeaklyAcyclic      — FKMP05 Def. 3.9 on the position graph.
+///  * kSafe               — weak acyclicity of the propagation graph
+///                          restricted to *affected* positions (positions
+///                          that can ever carry a labeled null); a
+///                          special-edge cycle through a position that
+///                          only ever holds input values is harmless.
+///  * kSafelyStratified   — the firing graph (can firing σ enable a new
+///                          trigger of τ?) is SCC-condensed with the
+///                          shared Tarjan pass; every stratum must itself
+///                          be weakly acyclic or safe (a singleton
+///                          stratum with no self-edge passes outright: it
+///                          can never re-enable itself).
+///  * kSuperWeaklyAcyclic — Marnette-style place/trigger propagation: a
+///                          saturating fixpoint computes, per dependency,
+///                          the set of places its fresh nulls can reach;
+///                          σ triggers τ when some universal of τ can be
+///                          bound wholly inside σ's reachable places. The
+///                          set qualifies when the trigger graph is
+///                          acyclic.
+///  * kUnknown            — no tier admits the set; the chase has no
+///                          static termination guarantee (RDX001).
+enum class TerminationTier : uint8_t {
+  kWeaklyAcyclic = 0,
+  kSafe = 1,
+  kSafelyStratified = 2,
+  kSuperWeaklyAcyclic = 3,
+  kUnknown = 4,
+};
+
+/// "weakly-acyclic" | "safe" | "safely-stratified" |
+/// "super-weakly-acyclic" | "unknown" (stable: CI diffs tier JSON).
+const char* TerminationTierName(TerminationTier tier);
+
+struct TerminationHierarchyOptions {
+  WeakAcyclicityMode mode = WeakAcyclicityMode::kStandardChase;
+};
+
+/// The classifier's full result, threaded through AnalyzeDependencies and
+/// cached per plan by rdx_serve.
+struct TerminationVerdict {
+  TerminationTier tier = TerminationTier::kUnknown;
+
+  /// Any tier other than kUnknown certifies standard-chase termination.
+  bool terminating() const { return tier != TerminationTier::kUnknown; }
+
+  /// Raw per-tier predicates. By construction weakly_acyclic implies safe
+  /// (the propagation graph is a subgraph of the position graph) and safe
+  /// implies safely_stratified (safety is closed under subsets, so every
+  /// stratum of a safe set is safe) — the termination.containment fuzz
+  /// oracle asserts both. super_weakly_acyclic is an independent last
+  /// resort; the tier order reflects trial order, not set inclusion with
+  /// stratification.
+  bool weakly_acyclic = false;
+  bool safe = false;
+  bool safely_stratified = false;
+  bool super_weakly_acyclic = false;
+
+  /// Per-tier failure witnesses (each empty when its predicate holds):
+  /// position-graph special cycle, propagation-graph special cycle, the
+  /// failing stratum with its cycle, and the trigger-graph cycle.
+  std::string cycle_witness;
+  std::string safety_witness;
+  std::string stratification_witness;
+  std::string trigger_witness;
+
+  /// Firing-graph strata in topological firing order (no later stratum
+  /// can enable an earlier one); original dependency indices, ascending
+  /// within a stratum.
+  std::vector<std::vector<uint32_t>> strata;
+
+  /// Composable per-stratum fact-bound tables; evaluable exactly when
+  /// terminating(). For a weakly acyclic set this is one stratum carrying
+  /// the classic FKMP05 tables, so FactBound agrees with
+  /// ChaseSizeBound::FactBound.
+  TieredChaseBound bound;
+
+  /// The strongest-tier witness: the trigger cycle when every tier was
+  /// tried, otherwise the first failing tier's witness.
+  std::string Witness() const;
+
+  /// "tier: safe (not weakly acyclic: Emp.1 => Emp.2 -> Emp.1)" — one
+  /// line for reports and /statsz.
+  std::string ToString() const;
+};
+
+/// Runs the whole hierarchy over the set. Pure static analysis: position
+/// and propagation graphs, firing-graph condensation, and the Marnette
+/// place fixpoint — no chase is executed.
+TerminationVerdict ClassifyTermination(
+    const std::vector<Dependency>& dependencies,
+    const TerminationHierarchyOptions& options = {});
+
+/// The one place that words a tier rejection, shared by the RDX001 lint,
+/// the laconic compile gate, and rdx_serve admission so the three
+/// messages cannot drift. `required` is the strongest tier the caller
+/// insists on: kSuperWeaklyAcyclic means "any terminating tier" (the
+/// lint / admission contract), kWeaklyAcyclic is the laconic compiler's
+/// gate. Returns the detail sentence (no severity/code prefix); empty
+/// when the verdict satisfies the requirement.
+std::string TierRejectionDetail(const TerminationVerdict& verdict,
+                                TerminationTier required);
+
+}  // namespace rdx
+
+#endif  // RDX_ANALYSIS_TERMINATION_HIERARCHY_H_

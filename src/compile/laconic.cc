@@ -572,16 +572,20 @@ Result<LaconicCompilation> CompileLaconicDependencies(
   out.dependencies = dependencies;
   obs::ScopedTimer total_timer(nullptr, &out.micros);
 
-  // Gate 0 (error): the chase must terminate for "the" canonical/core
-  // universal solution to exist at all.
-  PositionGraph graph =
-      PositionGraph::Build(dependencies, options.acyclicity_mode);
-  if (!graph.weakly_acyclic()) {
-    return Status::FailedPrecondition(
-        StrCat("error[RDX001] (not weakly acyclic): cannot laconicize — the "
-               "chase of this dependency set has no termination guarantee "
-               "(", graph.cycle_witness(),
-               "); see docs/laconic.md#applicability"));
+  // Gate 0 (error): laconicization needs WEAK ACYCLICITY specifically,
+  // not just a terminating tier — the one-round firing argument orders
+  // blocks by position-graph rank, and the wider tiers (safe, stratified,
+  // super-weakly acyclic) provide no such global rank function. The
+  // refusal wording is shared with the lint and rdx_serve admission
+  // through TierRejectionDetail so the three sites cannot drift.
+  TerminationHierarchyOptions hierarchy;
+  hierarchy.mode = options.acyclicity_mode;
+  TerminationVerdict verdict = ClassifyTermination(dependencies, hierarchy);
+  if (!verdict.weakly_acyclic) {
+    return Status::FailedPrecondition(StrCat(
+        "error[RDX001]: cannot laconicize — ",
+        TierRejectionDetail(verdict, TerminationTier::kWeaklyAcyclic),
+        "; see docs/laconic.md#applicability"));
   }
 
   // Gates 1–3 (capability notes): outside the compiled fragment.

@@ -13,6 +13,7 @@
 #include "generator/instance_generator.h"
 #include "generator/mapping_generator.h"
 #include "generator/scenarios.h"
+#include "generator/termination_families.h"
 
 namespace rdx {
 namespace fuzz {
@@ -72,7 +73,31 @@ Result<FuzzScenario> GenerateScenario(uint64_t seed, uint64_t iteration) {
   Rng rng(MixSeed(seed, iteration));
   FuzzScenario s;
   s.name = StrCat("fz_s", seed, "_i", iteration);
-  uint64_t kind = rng.Uniform(10);
+  uint64_t kind = rng.Uniform(12);
+
+  if (kind >= 10) {
+    // A termination-hierarchy family (generator/termination_families.h):
+    // one of the five tier-separating shapes, scaled by a random copy
+    // count. The non-terminating member is deliberately in the mix — the
+    // termination.* oracles must also see sets every tier rejects. The
+    // tag pins relation names to (seed, iteration), same as the mapping
+    // generator below.
+    std::string tag = StrCat("z", seed, "x", iteration);
+    std::size_t scale = 1 + rng.Uniform(3);
+    TierFamily family;
+    switch (rng.Uniform(5)) {
+      case 0: family = WeaklyAcyclicFamily(tag, 1 + scale); break;
+      case 1: family = SafeFamily(tag, scale); break;
+      case 2: family = SafelyStratifiedFamily(tag, scale); break;
+      case 3: family = SuperWeaklyAcyclicFamily(tag, scale); break;
+      default: family = NonTerminatingFamily(tag); break;
+    }
+    s.tgds = family.dependencies;
+    s.instance = family.instance;
+    s.expect_weakly_acyclic =
+        family.tier == TerminationTier::kWeaklyAcyclic;
+    return s;
+  }
 
   if (kind < 8) {
     // Random full-tgd mapping. The name tag pins relation/variable names

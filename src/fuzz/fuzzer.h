@@ -63,7 +63,9 @@ struct FuzzReport {
 /// relation names (the mapping generator is pinned to a per-pair name
 /// tag), so failures replay exactly. The mix covers random full-tgd
 /// mappings over random instances at several null ratios, the same with
-/// key egds on the target schema, and the paper's scenario catalog.
+/// key egds on the target schema, the paper's scenario catalog, and the
+/// termination-hierarchy tier families
+/// (generator/termination_families.h).
 Result<FuzzScenario> GenerateScenario(uint64_t seed, uint64_t iteration);
 
 /// The fuzzing loop: generate, run the oracle battery, and on failure

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/analyze.h"
+#include "analysis/termination_hierarchy.h"
 #include "columnar/serialize.h"
 #include "compile/laconic.h"
 #include "base/attribution.h"
@@ -39,6 +40,7 @@ class Battery {
     bool chase_ok = false;
     Family("chase", [&] { chase_ok = RunChaseFamily(); });
     Family("analysis", [&] { RunAnalysis(chase_ok); });
+    Family("termination", [&] { RunTerminationHierarchy(chase_ok); });
     Family("egd", [&] { RunEgdFamily(chase_ok); });
     if (chase_ok) {
       Family("core", [&] { RunCoreFamily(); });
@@ -247,6 +249,90 @@ class Battery {
            StrCat("chase produced ", chased_.combined.size(),
                   " facts, above the static bound of ", bound, " (",
                   analysis.bound.ToString(), ")"));
+    }
+  }
+
+  // Termination-hierarchy oracles (analysis/termination_hierarchy.h).
+  //
+  //  * termination.containment — the tier lattice never inverts: the
+  //    predicates are monotone (weakly acyclic ⇒ safe ⇒ safely
+  //    stratified), the reported tier is the first admitting rung, the
+  //    weak-acyclicity rung agrees with CheckWeakAcyclicity, and a
+  //    rejected set always carries a witness.
+  //  * termination.soundness — an admitted set really is one the chase
+  //    finishes: a terminating verdict must carry an evaluable tiered
+  //    bound, a completed chase fixpoint never exceeds it, and when the
+  //    bound fits comfortably inside the fuzzing budget, budget
+  //    exhaustion on an admitted set is a classifier (or engine) bug,
+  //    not an artifact.
+  void RunTerminationHierarchy(bool chase_ok) {
+    if (s_.tgds.empty()) return;
+    TerminationVerdict verdict = ClassifyTermination(s_.tgds);
+
+    Ran("termination.containment");
+    if (verdict.weakly_acyclic && !verdict.safe) {
+      Fail("termination.containment",
+           "weakly acyclic but not safe: restricting the propagation graph "
+           "to affected positions must only remove edges");
+    }
+    if (verdict.safe && !verdict.safely_stratified) {
+      Fail("termination.containment",
+           "safe but not safely stratified: every stratum of a safe set is "
+           "safe");
+    }
+    const TerminationTier first =
+        verdict.weakly_acyclic        ? TerminationTier::kWeaklyAcyclic
+        : verdict.safe                ? TerminationTier::kSafe
+        : verdict.safely_stratified   ? TerminationTier::kSafelyStratified
+        : verdict.super_weakly_acyclic ? TerminationTier::kSuperWeaklyAcyclic
+                                       : TerminationTier::kUnknown;
+    if (verdict.tier != first) {
+      Fail("termination.containment",
+           StrCat("reported tier '", TerminationTierName(verdict.tier),
+                  "' is not the first admitting rung '",
+                  TerminationTierName(first), "'"));
+    }
+    if (wa_verdict_.has_value() && verdict.weakly_acyclic != *wa_verdict_) {
+      Fail("termination.containment",
+           StrCat("hierarchy weak-acyclicity rung ",
+                  verdict.weakly_acyclic ? "true" : "false",
+                  " contradicts CheckWeakAcyclicity (",
+                  *wa_verdict_ ? "true" : "false", ")"));
+    }
+    if (!verdict.terminating() && verdict.Witness().empty()) {
+      Fail("termination.containment",
+           "rejected at every tier but no witness was produced");
+    }
+
+    if (!verdict.terminating()) return;
+    Ran("termination.soundness");
+    const uint64_t bound = verdict.bound.FactBound(s_.instance);
+    if (bound == ChaseSizeBound::kUnbounded) {
+      Fail("termination.soundness",
+           StrCat("terminating verdict (tier ",
+                  TerminationTierName(verdict.tier),
+                  ") with an unevaluable tiered fact bound"));
+      return;
+    }
+    if (chase_ok) {
+      if (chased_.combined.size() > bound) {
+        Fail("termination.soundness",
+             StrCat("chase produced ", chased_.combined.size(),
+                    " facts, above the tiered bound of ", bound, " (tier ",
+                    TerminationTierName(verdict.tier), ")"));
+      }
+    } else if (report_->resource_exhausted &&
+               report_->exhausted_reason.rfind("chase", 0) == 0 &&
+               bound + 1 < opts_.chase.max_rounds &&
+               bound < opts_.chase.max_new_facts) {
+      // Semi-naive rounds add at least one fact each, so a fixpoint of
+      // `bound` facts needs at most bound+1 rounds; exhaustion below
+      // both budgets cannot be a budget artifact.
+      Fail("termination.soundness",
+           StrCat("chase of a set admitted at tier '",
+                  TerminationTierName(verdict.tier),
+                  "' exhausted its budget despite a tiered bound of ", bound,
+                  " facts (", report_->exhausted_reason, ")"));
     }
   }
 
@@ -639,6 +725,14 @@ const std::vector<OracleInfo>& OracleCatalog() {
       {"analysis.bound",
        "on weakly acyclic scenarios the chase fixpoint never exceeds the "
        "static chase-size bound"},
+      {"termination.containment",
+       "the termination-tier lattice never inverts: weakly acyclic implies "
+       "safe implies safely stratified, the reported tier is the first "
+       "admitting rung, and rejections carry a witness"},
+      {"termination.soundness",
+       "a set admitted at any terminating tier chases to a fixpoint within "
+       "the tiered per-stratum fact bound (and within the fuzzing budget "
+       "when the bound fits inside it)"},
       {"chase.semi_naive",
        "semi-naive and naive chase agree up to null renaming"},
       {"chase.threads",

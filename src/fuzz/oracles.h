@@ -102,6 +102,11 @@ const std::vector<OracleInfo>& OracleCatalog();
 ///    on every scenario, agrees with CheckWeakAcyclicity, and on weakly
 ///    acyclic scenarios the chase fixpoint never exceeds the static
 ///    chase-size bound;
+///  * termination-hierarchy oracles — the tier lattice never inverts
+///    (weakly acyclic implies safe implies safely stratified; the
+///    reported tier is the first admitting rung) and a set admitted at
+///    any terminating tier chases to a fixpoint within its tiered
+///    per-stratum fact bound;
 ///  * laconic-compilation oracles — on ground mapping scenarios the
 ///    laconic chase (compile/laconic.h) must produce a core isomorphic —
 ///    and canonically byte-identical — to chase + blocked core, and must

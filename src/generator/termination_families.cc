@@ -1,0 +1,106 @@
+#include "generator/termination_families.h"
+
+#include "base/strings.h"
+#include "core/dependency_parser.h"
+#include "core/instance_parser.h"
+
+namespace rdx {
+namespace {
+
+// The families are fixed shapes, so parse failures are programming
+// errors; MustParse keeps the construction as readable as the pinned
+// test table it generalizes.
+TierFamily Make(TerminationTier tier, std::string deps_text,
+                std::string instance_text) {
+  TierFamily family;
+  family.name = TerminationTierName(tier);
+  family.tier = tier;
+  family.dependencies = MustParseDependencies(deps_text);
+  family.instance = MustParseInstance(instance_text);
+  return family;
+}
+
+}  // namespace
+
+TierFamily WeaklyAcyclicFamily(const std::string& tag, std::size_t length) {
+  if (length == 0) length = 1;
+  std::string deps, facts;
+  for (std::size_t i = 0; i < length; ++i) {
+    // TfR_i(x, y) -> ∃z TfR_{i+1}(y, z): special edges forward only.
+    deps += StrCat("Tf", tag, "R", i, "(x, y) -> EXISTS z: Tf", tag, "R",
+                   i + 1, "(y, z); ");
+  }
+  facts = StrCat("Tf", tag, "R0(a, b).");
+  return Make(TerminationTier::kWeaklyAcyclic, deps, facts);
+}
+
+TierFamily SafeFamily(const std::string& tag, std::size_t copies) {
+  if (copies == 0) copies = 1;
+  std::string deps, facts;
+  for (std::size_t c = 0; c < copies; ++c) {
+    // The special cycle P.2 ⇒ Q.2 → P.2 exists, but the guard position
+    // TfG.1 is never affected, so no null ever re-enters the loop.
+    deps += StrCat("Tf", tag, "P", c, "(x, y) & Tf", tag, "G", c,
+                   "(y) -> EXISTS z: Tf", tag, "Q", c, "(y, z); ");
+    deps += StrCat("Tf", tag, "Q", c, "(x, y) -> Tf", tag, "P", c, "(x, y); ");
+    facts += StrCat("Tf", tag, "P", c, "(a", c, ", b", c, "). Tf", tag, "G", c,
+                    "(b", c, "). ");
+  }
+  return Make(TerminationTier::kSafe, deps, facts);
+}
+
+TierFamily SafelyStratifiedFamily(const std::string& tag, std::size_t copies) {
+  if (copies == 0) copies = 1;
+  std::string deps, facts;
+  for (std::size_t c = 0; c < copies; ++c) {
+    // The SR feed lives in its own firing stratum (SR facts never
+    // re-trigger the ST tgd), so each stratum is weakly acyclic even
+    // though the combined position graph has an affected special cycle.
+    deps += StrCat("Tf", tag, "SP", c, "(x) -> EXISTS y: Tf", tag, "SQ", c,
+                   "(x, y); ");
+    deps += StrCat("Tf", tag, "SQ", c, "(x, y) & Tf", tag, "SR", c,
+                   "(y) -> Tf", tag, "SP", c, "(y); ");
+    deps += StrCat("Tf", tag, "ST", c, "(u) -> EXISTS w: Tf", tag, "SR", c,
+                   "(w); ");
+    facts += StrCat("Tf", tag, "SP", c, "(a", c, "). Tf", tag, "ST", c, "(t",
+                    c, "). ");
+  }
+  return Make(TerminationTier::kSafelyStratified, deps, facts);
+}
+
+TierFamily SuperWeaklyAcyclicFamily(const std::string& tag,
+                                    std::size_t copies) {
+  if (copies == 0) copies = 1;
+  std::string deps, facts;
+  for (std::size_t c = 0; c < copies; ++c) {
+    // WP both starts the loop and feeds WR, fusing all three tgds into
+    // one firing SCC; place propagation still shows the invented WQ
+    // nulls never reach the WR guard, so every trigger fires finitely.
+    deps += StrCat("Tf", tag, "WP", c, "(x) -> EXISTS y: Tf", tag, "WQ", c,
+                   "(x, y); ");
+    deps += StrCat("Tf", tag, "WQ", c, "(x, y) & Tf", tag, "WR", c,
+                   "(y) -> Tf", tag, "WP", c, "(y); ");
+    deps += StrCat("Tf", tag, "WP", c, "(u) -> EXISTS w: Tf", tag, "WR", c,
+                   "(w); ");
+    facts += StrCat("Tf", tag, "WP", c, "(a", c, "). ");
+  }
+  return Make(TerminationTier::kSuperWeaklyAcyclic, deps, facts);
+}
+
+TierFamily NonTerminatingFamily(const std::string& tag) {
+  return Make(TerminationTier::kUnknown,
+              StrCat("Tf", tag, "N(x, y) -> EXISTS z: Tf", tag, "N(y, z);"),
+              StrCat("Tf", tag, "N(a, b)."));
+}
+
+std::vector<TierFamily> AllTierFamilies(const std::string& tag) {
+  std::vector<TierFamily> families;
+  families.push_back(WeaklyAcyclicFamily(tag));
+  families.push_back(SafeFamily(tag));
+  families.push_back(SafelyStratifiedFamily(tag));
+  families.push_back(SuperWeaklyAcyclicFamily(tag));
+  families.push_back(NonTerminatingFamily(tag));
+  return families;
+}
+
+}  // namespace rdx

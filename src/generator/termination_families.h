@@ -1,0 +1,64 @@
+#ifndef RDX_GENERATOR_TERMINATION_FAMILIES_H_
+#define RDX_GENERATOR_TERMINATION_FAMILIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/termination_hierarchy.h"
+#include "core/dependency.h"
+#include "core/instance.h"
+
+namespace rdx {
+
+/// One member of a tier-separating dependency family: a dependency set
+/// whose ClassifyTermination verdict is pinned to exactly `tier`, plus a
+/// seed instance that drives the firing path the tier's decision
+/// procedure reasons about (docs/analysis.md#termination-hierarchy).
+struct TierFamily {
+  std::string name;  // "weakly-acyclic", "safe", ... (tier name)
+  TerminationTier tier;
+  std::vector<Dependency> dependencies;
+  Instance instance;
+};
+
+/// Tier-separating families, each parameterized by a scale knob and a
+/// name tag. The tag is embedded in every relation name (the process-wide
+/// relation registry pins each name to one arity, so distinct callers
+/// must pass distinct tags); the scale knob grows the set without moving
+/// it to a different tier. Every family generalizes one of the pinned
+/// separating examples in tests/termination_test.cc:
+///
+///   WeaklyAcyclicFamily      — an existential chain R0 → R1 → ... Rn
+///                              (special edges, no cycle).
+///   SafeFamily               — copies of the guarded feedback loop
+///                              P & G → ∃Q, Q → P: the special cycle runs
+///                              through the unaffected guard position, so
+///                              the set is safe but not weakly acyclic.
+///   SafelyStratifiedFamily   — copies of the SP/SQ/SR/ST triple whose
+///                              position cycle IS affected, but whose
+///                              firing graph splits the null-feeding tgd
+///                              into an earlier stratum.
+///   SuperWeaklyAcyclicFamily — copies of the WP/WQ/WR triple that fuses
+///                              the same shape into one firing SCC
+///                              (stratification fails) while Marnette's
+///                              place propagation still proves every
+///                              trigger fires finitely often.
+///   NonTerminatingFamily     — the diverging tgd N(x,y) → ∃z N(y,z),
+///                              rejected by every tier.
+TierFamily WeaklyAcyclicFamily(const std::string& tag, std::size_t length = 2);
+TierFamily SafeFamily(const std::string& tag, std::size_t copies = 1);
+TierFamily SafelyStratifiedFamily(const std::string& tag,
+                                  std::size_t copies = 1);
+TierFamily SuperWeaklyAcyclicFamily(const std::string& tag,
+                                    std::size_t copies = 1);
+TierFamily NonTerminatingFamily(const std::string& tag);
+
+/// All five families at scale 1 (and chain length 2), one per tier rung,
+/// in tier order. For sweep-style tests, the fuzzer's scenario mix, and
+/// the hierarchy benchmark.
+std::vector<TierFamily> AllTierFamilies(const std::string& tag);
+
+}  // namespace rdx
+
+#endif  // RDX_GENERATOR_TERMINATION_FAMILIES_H_

@@ -166,4 +166,14 @@ Result<Instance> LoadInstanceFile(const std::string& path) {
   return ParseInstance(StripComments(text));
 }
 
+Result<std::vector<Dependency>> ParseDependencySetText(std::string_view text) {
+  return ParseDependencies(StripComments(text));
+}
+
+Result<std::vector<Dependency>> LoadDependencySetFile(
+    const std::string& path) {
+  RDX_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseDependencySetText(text);
+}
+
 }  // namespace rdx

@@ -32,6 +32,14 @@ std::string MappingToText(const SchemaMapping& mapping);
 /// '#' comments allowed).
 Result<Instance> LoadInstanceFile(const std::string& path);
 
+/// Parses a bare ';'-separated dependency-set file ('#' comments
+/// allowed; no schema declarations) — the .rdxd format consumed by
+/// `rdx_lint --deps` and served by rdx_serve as a chase-only plan
+/// (docs/serving.md). Unlike a mapping file, the set may be same-schema
+/// and so can land anywhere in the termination hierarchy.
+Result<std::vector<Dependency>> ParseDependencySetText(std::string_view text);
+Result<std::vector<Dependency>> LoadDependencySetFile(const std::string& path);
+
 }  // namespace rdx
 
 #endif  // RDX_MAPPING_MAPPING_IO_H_

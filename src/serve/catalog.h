@@ -11,7 +11,10 @@ namespace rdx {
 namespace serve {
 
 /// One catalog line: a request-visible plan name bound to a mapping file
-/// (mapping_io.h format).
+/// (mapping_io.h format), or — when the path ends in .rdxd — to a bare
+/// dependency-set file (the `rdx_lint --deps` format). Dependency-set
+/// plans serve chase requests only and are admitted off the termination
+/// hierarchy's tiered bound when they are not weakly acyclic.
 struct CatalogEntry {
   std::string name;
   std::string path;

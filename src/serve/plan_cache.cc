@@ -17,33 +17,49 @@ Result<std::unique_ptr<CompiledPlan>> CompilePlan(const CatalogEntry& entry) {
   auto plan = std::make_unique<CompiledPlan>();
   plan->name = entry.name;
   plan->path = entry.path;
+  plan->bare_deps = entry.path.size() >= 5 &&
+                    entry.path.compare(entry.path.size() - 5, 5, ".rdxd") == 0;
   {
     obs::ScopedTimer timer(&obs::Counter::Get("serve.plan_compile_us"),
                            &plan->compile_micros);
-    RDX_ASSIGN_OR_RETURN(plan->mapping, LoadMappingFile(entry.path));
+    if (plan->bare_deps) {
+      // A bare dependency-set plan: no schemas, no laconic compilation
+      // (the laconic gate requires weak acyclicity AND a source-to-target
+      // mapping; a same-schema set admitted at a wider tier serves
+      // through the plain chase — RDX114). Admission relies on the
+      // termination hierarchy when the classic tables are unbounded.
+      RDX_ASSIGN_OR_RETURN(plan->dependencies,
+                           LoadDependencySetFile(entry.path));
+      AnalysisInput input;
+      input.dependencies = plan->dependencies;
+      RDX_ASSIGN_OR_RETURN(plan->analysis, AnalyzeDependencies(input));
+    } else {
+      RDX_ASSIGN_OR_RETURN(plan->mapping, LoadMappingFile(entry.path));
+      plan->dependencies = plan->mapping.dependencies();
 
-    AnalysisInput input;
-    input.dependencies = plan->mapping.dependencies();
-    input.source = plan->mapping.source();
-    input.target = plan->mapping.target();
-    RDX_ASSIGN_OR_RETURN(plan->analysis, AnalyzeDependencies(input));
+      AnalysisInput input;
+      input.dependencies = plan->mapping.dependencies();
+      input.source = plan->mapping.source();
+      input.target = plan->mapping.target();
+      RDX_ASSIGN_OR_RETURN(plan->analysis, AnalyzeDependencies(input));
 
-    // SchemaMapping construction already enforced the source-to-target
-    // shape, so CompileLaconic cannot hit the RDX001 error path here; an
-    // out-of-fragment mapping comes back laconic=false with RDX2xx notes
-    // and serves through the chase + blocked-core fallback.
-    RDX_ASSIGN_OR_RETURN(plan->laconic, CompileLaconic(plan->mapping));
+      // SchemaMapping construction already enforced the source-to-target
+      // shape, so CompileLaconic cannot hit the RDX001 error path here; an
+      // out-of-fragment mapping comes back laconic=false with RDX2xx notes
+      // and serves through the chase + blocked-core fallback.
+      RDX_ASSIGN_OR_RETURN(plan->laconic, CompileLaconic(plan->mapping));
 
-    // Redundancy is reported, never applied: admission bounds and replies
-    // are computed over the set as written so replies stay byte-identical
-    // to the one-shot CLI. The implication test only covers plain tgds;
-    // anything else keeps the diagnostic at 0.
-    if (plan->mapping.IsTgdMapping()) {
-      Result<std::vector<Dependency>> minimized =
-          MinimizeDependencies(plan->mapping.dependencies());
-      if (minimized.ok()) {
-        plan->redundant_dependencies =
-            plan->mapping.dependencies().size() - minimized->size();
+      // Redundancy is reported, never applied: admission bounds and
+      // replies are computed over the set as written so replies stay
+      // byte-identical to the one-shot CLI. The implication test only
+      // covers plain tgds; anything else keeps the diagnostic at 0.
+      if (plan->mapping.IsTgdMapping()) {
+        Result<std::vector<Dependency>> minimized =
+            MinimizeDependencies(plan->mapping.dependencies());
+        if (minimized.ok()) {
+          plan->redundant_dependencies =
+              plan->mapping.dependencies().size() - minimized->size();
+        }
       }
     }
   }
@@ -51,10 +67,11 @@ Result<std::unique_ptr<CompiledPlan>> CompilePlan(const CatalogEntry& entry) {
   if (obs::TracingEnabled()) {
     obs::EmitTrace(obs::TraceEvent("serve.plan")
                        .Add("plan", plan->name)
-                       .Add("dependencies",
-                            plan->mapping.dependencies().size())
+                       .Add("dependencies", plan->dependencies.size())
                        .Add("laconic", plan->laconic.laconic)
                        .Add("weakly_acyclic", plan->analysis.weakly_acyclic)
+                       .Add("tier",
+                            TerminationTierName(plan->analysis.termination.tier))
                        .Add("redundant", plan->redundant_dependencies)
                        .Add("us", plan->compile_micros));
   }
@@ -64,8 +81,10 @@ Result<std::unique_ptr<CompiledPlan>> CompilePlan(const CatalogEntry& entry) {
 }  // namespace
 
 std::string CompiledPlan::Summary() const {
-  return StrCat("plan ", name, ": deps=", mapping.dependencies().size(),
-                " laconic=", laconic.laconic ? "yes" : "no", " ",
+  return StrCat("plan ", name, bare_deps ? " (dependency set)" : "",
+                ": deps=", dependencies.size(),
+                " laconic=", laconic.laconic ? "yes" : "no",
+                " tier=", TerminationTierName(analysis.termination.tier), " ",
                 analysis.bound.ToString(),
                 redundant_dependencies > 0
                     ? StrCat(" redundant=", redundant_dependencies)

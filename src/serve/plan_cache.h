@@ -30,7 +30,20 @@ namespace serve {
 struct CompiledPlan {
   std::string name;
   std::string path;
+
+  /// Empty (default) for bare dependency-set plans — catalog entries
+  /// whose path ends in .rdxd. Such a set has no schemas, may be
+  /// same-schema (so it can land on any rung of the termination
+  /// hierarchy), and serves chase requests only; admission runs off the
+  /// tiered bound when the classic weak-acyclicity tables are unbounded.
   SchemaMapping mapping;
+
+  /// The executable dependency set: mapping.dependencies() for mapping
+  /// plans, the parsed .rdxd set for bare dependency-set plans.
+  std::vector<Dependency> dependencies;
+
+  /// True for .rdxd catalog entries.
+  bool bare_deps = false;
 
   /// Static analysis of the dependency set. `analysis.bound` is the
   /// admission-control table: FactBound(instance) is evaluated per

@@ -51,6 +51,32 @@ Reply RunChase(const CompiledPlan& plan, const Request& request,
                const Instance& instance, const ServerOptions& options) {
   ChaseOptions chase_options;
   chase_options.num_threads = options.num_threads;
+  if (plan.bare_deps) {
+    // A dependency-set plan: plain chase over the set as written. The
+    // laconic flag has nothing to compile against (no mapping shape), so
+    // it is refused rather than silently ignored.
+    if (request.has_flag(kFlagLaconic)) {
+      return ErrorReply(ReplyStatus::kBadRequest,
+                        StrCat("plan '", plan.name,
+                               "' is a bare dependency set; laconic "
+                               "requests need a mapping plan (RDX114)"));
+    }
+    Result<ChaseResult> chased = Chase(instance, plan.dependencies,
+                                       chase_options);
+    if (!chased.ok()) {
+      return ErrorReply(ReplyStatus::kEngineError, chased.status().ToString());
+    }
+    if (request.has_flag(kFlagToCore)) {
+      HomomorphismOptions hom;
+      hom.num_threads = options.num_threads;
+      Result<Instance> core = ComputeCore(chased->added, hom);
+      if (!core.ok()) {
+        return ErrorReply(ReplyStatus::kEngineError, core.status().ToString());
+      }
+      return Reply{ReplyStatus::kOk, StrCat(Render(request, *core), "\n")};
+    }
+    return Reply{ReplyStatus::kOk, StrCat(Render(request, chased->added), "\n")};
+  }
   if (request.has_flag(kFlagLaconic)) {
     Result<LaconicChaseResult> r = LaconicChaseWithCompilation(
         plan.mapping, plan.laconic, instance, chase_options);
@@ -189,26 +215,50 @@ Reply ExecuteRequest(PlanCache& plans, const Request& request,
                              instance.status().ToString()));
   }
 
-  // Admission control: the plan's static FactBound (PR-5 tables) over the
-  // decoded instance, evaluated BEFORE any chase work. A non-weakly-
-  // acyclic plan has no bound at all, so no finite budget admits it.
-  const uint64_t bound = plan.analysis.bound.FactBound(*instance);
+  // Admission control: a static FactBound over the decoded instance,
+  // evaluated BEFORE any chase work. The classic weak-acyclicity tables
+  // are tried first; when they are unbounded, the termination hierarchy's
+  // tiered per-stratum tables take over, so any terminating tier (safe,
+  // safely-stratified, super-weakly-acyclic) stays admissible. Only a
+  // tier-unknown plan has no bound at all, and no finite budget admits it.
+  uint64_t bound = plan.analysis.bound.FactBound(*instance);
+  if (bound == ChaseSizeBound::kUnbounded) {
+    bound = plan.analysis.termination.bound.FactBound(*instance);
+  }
   if (bound == ChaseSizeBound::kUnbounded) {
     obs::Counter::Get("serve.admission_rejects").Increment();
+    obs::Counter::Get(
+        StrCat("serve.admission_rejects.", kAdmissionUnboundedCode))
+        .Increment();
     return ErrorReply(
         ReplyStatus::kRejected,
         StrCat(kAdmissionUnboundedCode, ": plan '", plan.name,
-               "' is not weakly acyclic — no static chase bound exists, so "
-               "the request cannot be admitted under a finite budget"));
+               "' cannot be admitted under a finite budget: ",
+               TierRejectionDetail(plan.analysis.termination,
+                                   TerminationTier::kSuperWeaklyAcyclic)));
   }
   if (bound > options.admit_budget) {
     obs::Counter::Get("serve.admission_rejects").Increment();
+    obs::Counter::Get(
+        StrCat("serve.admission_rejects.", kAdmissionOverBudgetCode))
+        .Increment();
     return ErrorReply(
         ReplyStatus::kRejected,
         StrCat(kAdmissionOverBudgetCode, ": static chase bound of ", bound,
                " fact(s) for plan '", plan.name, "' over ", instance->size(),
                " input fact(s) exceeds the admission budget of ",
                options.admit_budget));
+  }
+
+  // A bare dependency-set plan has no source/target split, so reverse
+  // and certain-answers requests are shapeless for it; only the chase
+  // applies.
+  if (plan.bare_deps && request.command != Command::kChase) {
+    return ErrorReply(
+        ReplyStatus::kBadRequest,
+        StrCat("plan '", plan.name, "' is a bare dependency set; ",
+               CommandName(request.command),
+               " requests need a source-to-target mapping plan"));
   }
 
   const auto started = std::chrono::steady_clock::now();
@@ -269,6 +319,19 @@ std::string StatszText(PlanCache& plans, const ServerOptions& options) {
   for (const std::string& summary : plans.Summaries()) {
     out += StrCat("  ", summary, "\n");
   }
+  // Per-admission-code reject counts, always rendered (the aggregate
+  // serve.admission_rejects counter only appears in the counter dump
+  // after its first increment).
+  out += StrCat(
+      "admission_rejects: ", kAdmissionUnboundedCode, "=",
+      obs::Counter::Get(
+          StrCat("serve.admission_rejects.", kAdmissionUnboundedCode))
+          .value(),
+      " ", kAdmissionOverBudgetCode, "=",
+      obs::Counter::Get(
+          StrCat("serve.admission_rejects.", kAdmissionOverBudgetCode))
+          .value(),
+      "\n");
   out += obs::CountersToString();
   out += obs::AttributionToString();
   return out;

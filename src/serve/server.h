@@ -18,9 +18,12 @@ namespace serve {
 
 /// Admission-control diagnostic codes cited in rejection replies
 /// (docs/serving.md). They extend the RDX lint numbering: RDX001 is the
-/// analyzer's "not weakly acyclic" error (no static chase bound exists,
-/// so nothing can be admitted under a finite budget); RDX301 is the
-/// serve-layer "static chase-size bound exceeds the admission budget".
+/// analyzer's "no terminating tier" error — the plan is not weakly
+/// acyclic, safe, safely stratified, or super-weakly acyclic, so no
+/// static chase bound exists and nothing can be admitted under a finite
+/// budget (the rejection wording comes from TierRejectionDetail, shared
+/// with the lint and the laconic gate); RDX301 is the serve-layer
+/// "static chase-size bound exceeds the admission budget".
 inline constexpr char kAdmissionOverBudgetCode[] = "RDX301";
 inline constexpr char kAdmissionUnboundedCode[] = "RDX001";
 

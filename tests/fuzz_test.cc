@@ -5,6 +5,7 @@
 #include "fuzz/scenario.h"
 #include "fuzz/shrinker.h"
 #include "generator/scenarios.h"
+#include "generator/termination_families.h"
 #include "test_util.h"
 
 namespace rdx {
@@ -177,6 +178,28 @@ TEST(FuzzOracleTest, BrokenLaconicEngineIsCaught) {
     laconic_failure = laconic_failure || f.oracle.rfind("laconic.", 0) == 0;
   }
   EXPECT_TRUE(laconic_failure) << report.ToString();
+}
+
+TEST(FuzzOracleTest, TerminationFamilyCoversEveryTier) {
+  // Every tier-family scenario passes the termination oracles; the
+  // soundness leg only applies to admitted (terminating) sets.
+  for (const TierFamily& family : AllTierFamilies("FzTo")) {
+    FuzzScenario s;
+    s.name = StrCat("fzt_tier_", family.name);
+    s.tgds = family.dependencies;
+    s.instance = family.instance;
+    RDX_ASSERT_OK_AND_ASSIGN(OracleReport report, RunOracles(s));
+    EXPECT_TRUE(report.ok()) << family.name << ":\n" << report.ToString();
+    auto ran = [&report](const char* oracle) {
+      return std::find(report.oracles_run.begin(), report.oracles_run.end(),
+                       oracle) != report.oracles_run.end();
+    };
+    EXPECT_TRUE(ran("termination.containment")) << report.ToString();
+    EXPECT_EQ(ran("termination.soundness"),
+              family.tier != TerminationTier::kUnknown)
+        << family.name << ":\n"
+        << report.ToString();
+  }
 }
 
 TEST(FuzzOracleTest, SerializeFamilyRunsOnEveryChasedScenario) {

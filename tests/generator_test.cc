@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "chase/chase.h"
 #include "generator/mapping_generator.h"
+#include "generator/termination_families.h"
 #include "test_util.h"
 
 namespace rdx {
@@ -95,6 +97,44 @@ TEST(MappingGeneratorTest, OptionsValidated) {
   MappingGenOptions options;
   options.num_tgds = 0;
   EXPECT_FALSE(RandomFullTgdMapping(options, &rng).ok());
+}
+
+// Every tier family must land on exactly its advertised tier — that is
+// the whole point of a separating family — and stay there as the scale
+// knob grows the set.
+TEST(TerminationFamilyTest, FamiliesClassifyAtTheirTier) {
+  for (std::size_t scale : {std::size_t{1}, std::size_t{3}}) {
+    std::vector<TierFamily> families = {
+        WeaklyAcyclicFamily("GtA", 1 + scale),
+        SafeFamily("GtA", scale),
+        SafelyStratifiedFamily("GtA", scale),
+        SuperWeaklyAcyclicFamily("GtA", scale),
+        NonTerminatingFamily("GtA"),
+    };
+    for (const TierFamily& family : families) {
+      TerminationVerdict verdict = ClassifyTermination(family.dependencies);
+      EXPECT_EQ(verdict.tier, family.tier)
+          << family.name << " at scale " << scale << ": " << verdict.ToString();
+      EXPECT_STREQ(TerminationTierName(family.tier), family.name.c_str());
+      EXPECT_FALSE(family.instance.empty());
+    }
+  }
+}
+
+// The seed instance of every terminating family drives its firing path
+// to a fixpoint within the family's own tiered fact bound.
+TEST(TerminationFamilyTest, SeedInstancesChaseWithinTheTieredBound) {
+  for (const TierFamily& family : AllTierFamilies("GtB")) {
+    if (family.tier == TerminationTier::kUnknown) continue;
+    TerminationVerdict verdict = ClassifyTermination(family.dependencies);
+    const uint64_t bound = verdict.bound.FactBound(family.instance);
+    ASSERT_NE(bound, ChaseSizeBound::kUnbounded) << family.name;
+    RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result,
+                             Chase(family.instance, family.dependencies));
+    EXPECT_LE(result.combined.size(), bound) << family.name;
+    EXPECT_GT(result.combined.size(), family.instance.size())
+        << family.name << ": the seed instance never fired a dependency";
+  }
 }
 
 TEST(RngTest, UniformBoundsAndDeterminism) {

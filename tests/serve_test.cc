@@ -11,8 +11,10 @@
 #include <string>
 
 #include "base/metrics.h"
+#include "base/strings.h"
 #include "columnar/serialize.h"
 #include "core/instance_parser.h"
+#include "generator/termination_families.h"
 #include "gtest/gtest.h"
 #include "mapping/extended.h"
 #include "mapping/mapping_io.h"
@@ -328,7 +330,114 @@ TEST(ExecuteRequestTest, StatszReportsPlanAndCounters) {
   std::string text = StatszText(cache, options);
   EXPECT_NE(text.find("plan decomposition:"), std::string::npos) << text;
   EXPECT_NE(text.find("laconic=yes"), std::string::npos) << text;
+  EXPECT_NE(text.find("tier=weakly-acyclic"), std::string::npos) << text;
   EXPECT_NE(text.find("serve.requests"), std::string::npos) << text;
+  EXPECT_NE(text.find("admission_rejects: RDX001="), std::string::npos)
+      << text;
+}
+
+// --- tiered admission (the termination hierarchy's serve payoff) ----------
+
+// Renders a generator-produced tier family as a servable .rdxd
+// dependency-set plan file.
+std::string TierFamilyFile(const TierFamily& family) {
+  std::string text = StrCat("# generated tier family: ", family.name, "\n");
+  for (const Dependency& d : family.dependencies) {
+    text += StrCat(d.ToString(), ";\n");
+  }
+  return WriteTempFile(StrCat("serve_tier_", family.name, ".rdxd"), text);
+}
+
+TEST(ExecuteRequestTest, TieredAdmissionWidensBeyondWeakAcyclicity) {
+  // The ctest gate for the hierarchy's admission payoff: each
+  // generator-produced tier-boundary set (safe / safely-stratified /
+  // super-weakly-acyclic — all non-weakly-acyclic) compiles into a
+  // servable plan whose CLASSIC weak-acyclicity FactBound is unbounded.
+  // That bound was the sole admission criterion before the hierarchy, so
+  // each of these plans was rejected citing RDX001 at HEAD; under the
+  // tiered tables the same request is admitted and chased to a reply.
+  std::vector<TierFamily> families = {SafeFamily("Sv"),
+                                      SafelyStratifiedFamily("Sv"),
+                                      SuperWeaklyAcyclicFamily("Sv")};
+  std::vector<CatalogEntry> entries;
+  for (const TierFamily& family : families) {
+    entries.push_back({family.name, TierFamilyFile(family)});
+  }
+  PlanCache cache(std::move(entries));
+
+  for (const TierFamily& family : families) {
+    auto plan = cache.Get(family.name);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    EXPECT_TRUE((*plan)->bare_deps);
+    EXPECT_EQ((*plan)->analysis.termination.tier, family.tier)
+        << (*plan)->analysis.termination.ToString();
+    // The pre-hierarchy admission criterion: classic tables unbounded ⇒
+    // this plan was rejected at HEAD.
+    EXPECT_EQ((*plan)->analysis.bound.FactBound(family.instance),
+              ChaseSizeBound::kUnbounded)
+        << family.name;
+    // The tiered tables admit it.
+    EXPECT_LT((*plan)->analysis.termination.bound.FactBound(family.instance),
+              ChaseSizeBound::kUnbounded)
+        << family.name;
+
+    Request request;
+    request.command = Command::kChase;
+    request.flags = kFlagCanonical;
+    request.mapping = family.name;
+    request.instance_rdxc = columnar::Serialize(family.instance);
+    Reply reply = ExecuteRequest(cache, request, ServerOptions{}, Now());
+    EXPECT_EQ(reply.status, ReplyStatus::kOk)
+        << family.name << ": " << reply.payload;
+    EXPECT_FALSE(reply.payload.empty());
+  }
+}
+
+TEST(ExecuteRequestTest, TierUnknownPlanIsRejectedWithTieredDetail) {
+  TierFamily family = NonTerminatingFamily("Sv");
+  std::vector<CatalogEntry> entries;
+  entries.push_back({"nonterminating", TierFamilyFile(family)});
+  PlanCache cache(std::move(entries));
+
+  const uint64_t runs_before = obs::Counter::Get("chase.runs").value();
+  Request request;
+  request.command = Command::kChase;
+  request.mapping = "nonterminating";
+  request.instance_rdxc = columnar::Serialize(family.instance);
+  Reply reply = ExecuteRequest(cache, request, ServerOptions{}, Now());
+  EXPECT_EQ(reply.status, ReplyStatus::kRejected) << reply.payload;
+  EXPECT_NE(reply.payload.find(kAdmissionUnboundedCode), std::string::npos)
+      << reply.payload;
+  EXPECT_NE(reply.payload.find("no termination tier admits"),
+            std::string::npos)
+      << reply.payload;
+  EXPECT_EQ(obs::Counter::Get("chase.runs").value(), runs_before)
+      << "an admission rejection must not run the chase";
+
+  std::string text = StatszText(cache, ServerOptions{});
+  EXPECT_NE(text.find("tier=unknown"), std::string::npos) << text;
+}
+
+TEST(ExecuteRequestTest, BareDependencyPlanRefusesMappingShapedRequests) {
+  TierFamily family = SafeFamily("Sv");
+  std::vector<CatalogEntry> entries;
+  entries.push_back({"safe_set", TierFamilyFile(family)});
+  PlanCache cache(std::move(entries));
+
+  Request request;
+  request.command = Command::kReverse;
+  request.mapping = "safe_set";
+  request.instance_rdxc = columnar::Serialize(family.instance);
+  Reply reply = ExecuteRequest(cache, request, ServerOptions{}, Now());
+  EXPECT_EQ(reply.status, ReplyStatus::kBadRequest) << reply.payload;
+  EXPECT_NE(reply.payload.find("bare dependency set"), std::string::npos)
+      << reply.payload;
+
+  request.command = Command::kChase;
+  request.flags = kFlagLaconic;
+  reply = ExecuteRequest(cache, request, ServerOptions{}, Now());
+  EXPECT_EQ(reply.status, ReplyStatus::kBadRequest) << reply.payload;
+  EXPECT_NE(reply.payload.find("RDX114"), std::string::npos) << reply.payload;
 }
 
 }  // namespace

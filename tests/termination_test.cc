@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "analysis/bounds.h"
+#include "analysis/termination_hierarchy.h"
 #include "chase/chase.h"
 #include "test_util.h"
 
@@ -205,6 +206,186 @@ TEST(TerminationTest, ChaseStaysWithinStaticBoundOnExistentialChain) {
   Instance input = I("TmT_D1(a, b). TmT_D1(b, c)");
   RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(input, deps));
   EXPECT_LE(result.combined.size(), bound.FactBound(input));
+}
+
+// --- the static termination hierarchy ------------------------------------
+//
+// One table row per tier boundary, each a classic separating example:
+// the set classifies at exactly the stated tier, the strongest-tier
+// witness carries the stated substring, and (for terminating tiers) a
+// real chase on `input` stays within the tiered fact bound.
+
+struct TierCase {
+  const char* name;
+  std::vector<const char*> deps;
+  TerminationTier tier;
+  const char* witness_substring;  // "" for weakly acyclic sets
+  const char* input;
+};
+
+const std::vector<TierCase>& TierCases() {
+  static const std::vector<TierCase> cases = {
+      {"weakly-acyclic",
+       {"Th_A(x, y) -> EXISTS z: Th_B(x, z)", "Th_B(x, y) -> Th_C(y, x)"},
+       TerminationTier::kWeaklyAcyclic,
+       "",
+       "Th_A(a, b)"},
+      // Safe, not WA: the position graph has the special cycle
+      // P.2 => Q.2 -> P.2, but y also occurs at the never-affected guard
+      // G.1, so y can never carry a null and the propagation graph drops
+      // the cycle. The chase stays inside the input domain of G.
+      {"safe-not-weakly-acyclic",
+       {"Th_P(x, y) & Th_G(y) -> EXISTS z: Th_Q(y, z)",
+        "Th_Q(x, y) -> Th_P(x, y)"},
+       TerminationTier::kSafe,
+       "Th_",
+       "Th_P(a, b). Th_G(b)"},
+      // Safely stratified, not safe: sigma3's existential makes SR.1
+      // affected, so for the WHOLE set y is null-capable and the
+      // propagation cycle SP.1 => SQ.2 -> SP.1 appears. But sigma3 can
+      // never fire after {sigma1, sigma2} (no firing edge back), and
+      // within that stratum SR.1 is unaffected again — each stratum is
+      // safe on its own.
+      {"stratified-not-safe",
+       {"Th_SP(x) -> EXISTS y: Th_SQ(x, y)",
+        "Th_SQ(x, y) & Th_SR(y) -> Th_SP(y)",
+        "Th_ST(u) -> EXISTS w: Th_SR(w)"},
+       TerminationTier::kSafelyStratified,
+       "Th_S",
+       "Th_SP(a). Th_ST(t)"},
+      // Super-weakly acyclic, not stratified: replacing sigma3's guard by
+      // Th_WP fuses all three into ONE firing SCC that is neither weakly
+      // acyclic nor safe. But the nulls sigma1 and sigma3 mint are
+      // distinct, and Marnette's place propagation proves neither can
+      // ever cover BOTH body places of sigma2's y — the trigger graph is
+      // empty.
+      {"super-weakly-acyclic-not-stratified",
+       {"Th_WP(x) -> EXISTS y: Th_WQ(x, y)",
+        "Th_WQ(x, y) & Th_WR(y) -> Th_WP(y)",
+        "Th_WP(u) -> EXISTS w: Th_WR(w)"},
+       TerminationTier::kSuperWeaklyAcyclic,
+       "stratum",
+       "Th_WP(a)"},
+      // Genuinely divergent: every tier rejects the classic self-feeding
+      // existential (data/nonwa.rdxd's shape).
+      {"no-terminating-tier",
+       {"Th_N(x, y) -> EXISTS z: Th_N(y, z)"},
+       TerminationTier::kUnknown,
+       "trigger cycle #1",
+       "Th_N(a, b)"},
+  };
+  return cases;
+}
+
+TEST(TerminationHierarchyTest, SeparatingExamples) {
+  for (const TierCase& c : TierCases()) {
+    SCOPED_TRACE(c.name);
+    std::vector<Dependency> deps;
+    for (const char* t : c.deps) deps.push_back(D(t));
+    TerminationVerdict verdict = ClassifyTermination(deps);
+    EXPECT_EQ(verdict.tier, c.tier) << verdict.ToString();
+
+    // Structural containments never invert: WA => safe => stratified.
+    if (verdict.weakly_acyclic) {
+      EXPECT_TRUE(verdict.safe);
+    }
+    if (verdict.safe) {
+      EXPECT_TRUE(verdict.safely_stratified);
+    }
+
+    if (*c.witness_substring != '\0') {
+      EXPECT_NE(verdict.Witness().find(c.witness_substring),
+                std::string::npos)
+          << verdict.Witness();
+    }
+
+    Instance input = I(c.input);
+    if (verdict.terminating()) {
+      ASSERT_TRUE(verdict.bound.evaluable) << verdict.bound.ToString();
+      uint64_t bound = verdict.bound.FactBound(input);
+      ASSERT_NE(bound, ChaseSizeBound::kUnbounded) << verdict.ToString();
+      RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(input, deps));
+      EXPECT_LE(result.combined.size(), bound);
+    } else {
+      EXPECT_FALSE(verdict.bound.evaluable);
+      EXPECT_EQ(verdict.bound.FactBound(input), ChaseSizeBound::kUnbounded);
+    }
+  }
+}
+
+TEST(TerminationHierarchyTest, TierNamesAreStable) {
+  // data/tiers.expected.json and the /statsz output diff on these.
+  EXPECT_STREQ(TerminationTierName(TerminationTier::kWeaklyAcyclic),
+               "weakly-acyclic");
+  EXPECT_STREQ(TerminationTierName(TerminationTier::kSafe), "safe");
+  EXPECT_STREQ(TerminationTierName(TerminationTier::kSafelyStratified),
+               "safely-stratified");
+  EXPECT_STREQ(TerminationTierName(TerminationTier::kSuperWeaklyAcyclic),
+               "super-weakly-acyclic");
+  EXPECT_STREQ(TerminationTierName(TerminationTier::kUnknown), "unknown");
+}
+
+TEST(TerminationHierarchyTest, WitnessFieldsMatchTheFailedTier) {
+  // The stratified example: position graph AND propagation graph cycles
+  // are reported, the strata come out in firing order (the guard-feeding
+  // sigma3 first), and per-tier flags agree with the tier.
+  std::vector<Dependency> deps = {
+      D("Th_SP(x) -> EXISTS y: Th_SQ(x, y)"),
+      D("Th_SQ(x, y) & Th_SR(y) -> Th_SP(y)"),
+      D("Th_ST(u) -> EXISTS w: Th_SR(w)")};
+  TerminationVerdict verdict = ClassifyTermination(deps);
+  ASSERT_EQ(verdict.tier, TerminationTier::kSafelyStratified);
+  EXPECT_FALSE(verdict.weakly_acyclic);
+  EXPECT_FALSE(verdict.safe);
+  EXPECT_TRUE(verdict.safely_stratified);
+  EXPECT_NE(verdict.cycle_witness.find("Th_S"), std::string::npos);
+  EXPECT_NE(verdict.safety_witness.find("Th_S"), std::string::npos);
+  ASSERT_EQ(verdict.strata.size(), 2u);
+  EXPECT_EQ(verdict.strata[0], std::vector<uint32_t>({2}));
+  EXPECT_EQ(verdict.strata[1], std::vector<uint32_t>({0, 1}));
+}
+
+TEST(TerminationHierarchyTest, UnknownTierCarriesEveryWitness) {
+  TerminationVerdict verdict =
+      ClassifyTermination({D("Th_N(x, y) -> EXISTS z: Th_N(y, z)")});
+  EXPECT_EQ(verdict.tier, TerminationTier::kUnknown);
+  EXPECT_FALSE(verdict.terminating());
+  EXPECT_FALSE(verdict.weakly_acyclic);
+  EXPECT_FALSE(verdict.safe);
+  EXPECT_FALSE(verdict.safely_stratified);
+  EXPECT_FALSE(verdict.super_weakly_acyclic);
+  EXPECT_FALSE(verdict.cycle_witness.empty());
+  EXPECT_FALSE(verdict.safety_witness.empty());
+  EXPECT_FALSE(verdict.stratification_witness.empty());
+  EXPECT_FALSE(verdict.trigger_witness.empty());
+}
+
+TEST(TerminationHierarchyTest, WeaklyAcyclicBoundMatchesClassicTables) {
+  // For a WA set the tiered bound is one stratum carrying the classic
+  // FKMP05 tables, so both evaluators agree exactly.
+  std::vector<Dependency> deps = {
+      D("TmT_D1(x, y) -> EXISTS z: TmT_D2(y, z)"),
+      D("TmT_D2(x, z) -> EXISTS w: TmT_D3(z, w)")};
+  TerminationVerdict verdict = ClassifyTermination(deps);
+  ASSERT_EQ(verdict.tier, TerminationTier::kWeaklyAcyclic);
+  ChaseSizeBound classic = ComputeChaseSizeBound(deps);
+  Instance input = I("TmT_D1(a, b). TmT_D1(b, c)");
+  EXPECT_EQ(verdict.bound.FactBound(input), classic.FactBound(input));
+}
+
+TEST(TerminationHierarchyTest, SafeTierChaseFixpointStaysWithinBound) {
+  // The safe example really does terminate beyond WA: the guard keeps
+  // fresh nulls out of the recursive positions.
+  std::vector<Dependency> deps = {
+      D("Th_P(x, y) & Th_G(y) -> EXISTS z: Th_Q(y, z)"),
+      D("Th_Q(x, y) -> Th_P(x, y)")};
+  TerminationVerdict verdict = ClassifyTermination(deps);
+  ASSERT_EQ(verdict.tier, TerminationTier::kSafe);
+  Instance input = I("Th_P(a, b). Th_G(b)");
+  RDX_ASSERT_OK_AND_ASSIGN(ChaseResult result, Chase(input, deps));
+  // P(a,b), G(b) -> Q(b,n1) -> P(b,n1); G(n1) is absent, fixpoint.
+  EXPECT_EQ(result.combined.size(), 4u);
+  EXPECT_LE(result.combined.size(), verdict.bound.FactBound(input));
 }
 
 TEST(TerminationTest, NonWeaklyAcyclicSetsHitTheBudget) {

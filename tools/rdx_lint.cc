@@ -24,6 +24,13 @@
 //   --deps       treat FILEs as bare dependency files (no schemas) —
 //                the only way a non-source-to-target set reaches the
 //                laconic weak-acyclicity gate
+//   --tier       print one termination-tier line per file (text mode),
+//                or one "analysis.tier" JSON object per file under
+//                --json — the shape data/tiers.expected.json pins in CI
+//   --explain RDXnnn
+//                print the lint registry entry (id, severity, title,
+//                summary) for the given code and exit 0; exit 2 on an
+//                unknown code
 //   --codes      print the lint catalog and exit
 //
 // Exit status: 0 when every file is clean (notes do not count), 1 when
@@ -32,15 +39,13 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/analyze.h"
 #include "base/strings.h"
+#include "base/trace.h"
 #include "compile/laconic.h"
-#include "core/dependency_parser.h"
 #include "mapping/mapping_io.h"
 
 namespace rdx {
@@ -49,7 +54,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: rdx_lint [--json] [--oblivious] [--no-notes] "
-               "[--quiet] [--laconic] [--deps] [--codes] FILE...\n");
+               "[--quiet] [--laconic] [--deps] [--tier] [--codes] "
+               "[--explain RDXnnn] FILE...\n");
   return 2;
 }
 
@@ -61,32 +67,34 @@ int PrintCatalog() {
   return 0;
 }
 
+// --explain RDXnnn: the registry entry for one code; exit 2 when the
+// code is not in the catalog.
+int Explain(const char* code) {
+  for (const LintInfo& info : LintCatalog()) {
+    if (std::strcmp(info.id, code) != 0) continue;
+    std::printf("%s  %s  %s\n  %s\n", info.id,
+                LintSeverityName(info.severity), info.title, info.summary);
+    return 0;
+  }
+  std::fprintf(stderr, "rdx_lint: unknown lint code '%s' (see --codes)\n",
+               code);
+  return 2;
+}
+
 struct Options {
   bool json = false;
   bool quiet = false;
   bool laconic = false;
   bool bare_deps = false;
+  bool tier = false;
   AnalysisOptions analysis;
 };
-
-// Loads a bare ';'-separated dependency file ('#' comments allowed).
-Result<std::vector<Dependency>> LoadDependencyFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::NotFound(StrCat("cannot open ", path));
-  std::ostringstream text;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line[0] == '#') continue;
-    text << line << '\n';
-  }
-  return ParseDependencies(text.str());
-}
 
 // Returns 0 clean / 1 diagnostics / 2 load failure.
 int LintFile(const std::string& path, const Options& options) {
   AnalysisInput input;
   if (options.bare_deps) {
-    Result<std::vector<Dependency>> deps = LoadDependencyFile(path);
+    Result<std::vector<Dependency>> deps = LoadDependencySetFile(path);
     if (!deps.ok()) {
       std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
                    deps.status().ToString().c_str());
@@ -109,6 +117,20 @@ int LintFile(const std::string& path, const Options& options) {
     std::fprintf(stderr, "%s: error: %s\n", path.c_str(),
                  report.status().ToString().c_str());
     return 2;
+  }
+  if (options.tier) {
+    const TerminationVerdict& verdict = report->termination;
+    if (options.json) {
+      obs::TraceEvent event("analysis.tier");
+      event.Add("file", path)
+          .Add("tier", TerminationTierName(verdict.tier))
+          .Add("terminating", verdict.terminating());
+      if (!verdict.terminating()) event.Add("witness", verdict.Witness());
+      std::printf("%s\n", event.Finish().c_str());
+    } else {
+      std::printf("%s: %s\n", path.c_str(), verdict.ToString().c_str());
+    }
+    return report->clean() ? 0 : 1;
   }
   if (options.json) {
     std::printf("%s", report->ToJsonLines().c_str());
@@ -151,8 +173,13 @@ int Main(int argc, char** argv) {
       options.laconic = true;
     } else if (std::strcmp(argv[k], "--deps") == 0) {
       options.bare_deps = true;
+    } else if (std::strcmp(argv[k], "--tier") == 0) {
+      options.tier = true;
     } else if (std::strcmp(argv[k], "--codes") == 0) {
       return PrintCatalog();
+    } else if (std::strcmp(argv[k], "--explain") == 0) {
+      if (k + 1 >= argc) return Usage();
+      return Explain(argv[k + 1]);
     } else if (std::strncmp(argv[k], "--", 2) == 0) {
       return Usage();
     } else {
